@@ -1,0 +1,37 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures through the
+experiment harness and records the headline values in
+``benchmark.extra_info`` so ``pytest benchmarks/ --benchmark-only``
+doubles as the reproduction log.
+
+By default the benchmarks run at reduced ("quick") input sizes so the
+whole suite finishes in a few minutes; set ``REPRO_FULL=1`` to run the
+calibrated full sizes recorded in EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+from repro.config import ReproConfig
+
+
+@pytest.fixture(scope="session")
+def config() -> ReproConfig:
+    """Deterministic configuration shared by every benchmark."""
+    return ReproConfig()
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    """False only when REPRO_FULL=1 requests paper-scale inputs."""
+    return os.environ.get("REPRO_FULL", "0") != "1"
+
+
+def record(benchmark, result_data):
+    """Stash an experiment's headline numbers on the benchmark record."""
+    for key, value in result_data.items():
+        benchmark.extra_info[str(key)] = (
+            round(value, 4) if isinstance(value, float) else str(value)
+        )

@@ -1,0 +1,48 @@
+"""Ablation: eager chunk size in asynchronous DySel (paper §2.4).
+
+Eager execution "is divided into many chunks, imposing associated kernel
+launch overhead"; big chunks amortize launches but commit more work to a
+possibly-suboptimal current-best variant.  Sweeps the chunk size with the
+worst variant as the initial default — the configuration that exposes the
+tradeoff.
+"""
+
+import dataclasses
+
+from repro.device import make_cpu
+from repro.harness.runner import evaluate_case
+from repro.workloads import sgemm
+
+from conftest import record
+
+CHUNK_UNITS = (1, 4, 16)
+
+
+def run_sweep(config, quick):
+    n = 256 if quick else 512
+    results = {}
+    for chunk in CHUNK_UNITS:
+        swept = dataclasses.replace(config, eager_chunk_units=chunk)
+        case = sgemm.schedule_case(n, swept)
+        evaluation = evaluate_case(
+            case, make_cpu(swept), swept, dysel_flows=("async-worst",)
+        )
+        results[chunk] = {
+            "overhead": evaluation.relative(evaluation.dysel["async-worst"])
+            - 1.0,
+        }
+    return results
+
+
+def test_eager_chunk_size(benchmark, config, quick):
+    results = benchmark.pedantic(
+        lambda: run_sweep(config, quick), rounds=1, iterations=1
+    )
+    print()
+    for chunk, info in results.items():
+        print(f"  chunk x{chunk}: async(worst-initial) overhead "
+              f"{info['overhead']*100:.2f}%")
+        record(benchmark, {f"chunk{chunk}.overhead": info["overhead"]})
+    # With a bad initial default, small chunks limit the damage: the
+    # largest chunk must not beat the smallest.
+    assert results[1]["overhead"] <= results[16]["overhead"] + 0.02

@@ -1,0 +1,48 @@
+"""Ablation: host query latency vs eager dispatch on GPU (paper §5.1).
+
+"Querying the status often takes a longer latency than profiling time.
+Therefore, it can only have few or even zero eager dispatches."  Sweeps
+the simulated host query latency and counts eager chunks.
+"""
+
+import dataclasses
+
+from repro.device.gpu import GpuDevice, make_gpu
+from repro.harness.runner import run_dysel
+from repro.modes import OrchestrationFlow
+from repro.workloads import spmv_csr
+
+from conftest import record
+
+LATENCIES = (100.0, 1000.0, 5000.0, 20000.0)
+
+
+def gpu_with_latency(config, latency):
+    base = make_gpu(config)
+    spec = dataclasses.replace(base.spec, host_query_latency=latency)
+    return GpuDevice(spec, base.memory, config)
+
+
+def run_sweep(config, quick):
+    size = 2048 if quick else 8192
+    results = {}
+    for latency in LATENCIES:
+        device = gpu_with_latency(config, latency)
+        case = spmv_csr.input_dependent_case("gpu", "random", size, config)
+        run = run_dysel(case, device, flow=OrchestrationFlow.ASYNC, config=config)
+        results[latency] = run.eager_chunks
+    return results
+
+
+def test_query_latency_vs_eager_dispatch(benchmark, config, quick):
+    results = benchmark.pedantic(
+        lambda: run_sweep(config, quick), rounds=1, iterations=1
+    )
+    print()
+    for latency, chunks in results.items():
+        print(f"  query latency {latency:>8.0f} cycles: {chunks} eager chunks")
+        record(benchmark, {f"lat{int(latency)}.chunks": float(chunks)})
+    # Faster queries allow (weakly) more eager dispatch; at K20c-like
+    # latency the count collapses toward zero — the §5.1 observation.
+    assert results[100.0] >= results[20000.0]
+    assert results[20000.0] <= 2

@@ -1,0 +1,54 @@
+"""Ablation: the safe-point multiplier (paper §3.4's "fill the hardware").
+
+Sweeps the constant that scales the normalized profiling slice.  Larger
+slices cost more profiling time but average over more data; the paper
+notes increasing executions per kernel improves accuracy "at the expense
+of additional profiling overhead".
+"""
+
+import dataclasses
+
+from repro.device import make_cpu
+from repro.harness.runner import evaluate_case
+from repro.workloads import spmv_csr
+
+from conftest import record
+
+MULTIPLIERS = (1, 2, 4)
+
+
+def run_sweep(config, quick):
+    size = 8192 if quick else 16384
+    results = {}
+    for multiplier in MULTIPLIERS:
+        swept = dataclasses.replace(config, safe_point_multiplier=multiplier)
+        case = spmv_csr.input_dependent_case(
+            "cpu", "random", size, swept, iterations=10
+        )
+        evaluation = evaluate_case(
+            case, make_cpu(swept), swept, dysel_flows=("sync",)
+        )
+        results[multiplier] = {
+            "overhead": evaluation.relative(evaluation.dysel["sync"]) - 1.0,
+            "selected": evaluation.dysel["sync"].selected,
+            "oracle": evaluation.oracle.selected,
+        }
+    return results
+
+
+def test_safe_point_multiplier(benchmark, config, quick):
+    results = benchmark.pedantic(
+        lambda: run_sweep(config, quick), rounds=1, iterations=1
+    )
+    print()
+    for multiplier, info in results.items():
+        print(
+            f"  multiplier {multiplier}: overhead {info['overhead']*100:.2f}% "
+            f"selected {info['selected']!r}"
+        )
+        record(benchmark, {f"x{multiplier}.overhead": info["overhead"]})
+    # Overhead grows with the multiplier...
+    assert results[4]["overhead"] > results[1]["overhead"]
+    # ...while selection stays correct throughout this (easy) workload.
+    for info in results.values():
+        assert info["selected"] == info["oracle"]

@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 10 (mixed optimizations, Case Study III)."""
+
+from repro.harness.experiments import fig10
+
+from conftest import record
+
+
+def test_fig10_cpu(benchmark, config, quick):
+    result = benchmark.pedantic(
+        lambda: fig10.run_device("cpu", config, quick), rounds=1, iterations=1
+    )
+    print()
+    print(result.text)
+    for group, info in result.data.items():
+        record(benchmark, {
+            f"{group}.sync": info["series"]["Sync"],
+            f"{group}.worst": info["series"]["Worst"],
+        })
+        assert info["all_valid"], group
+        assert info["series"]["Sync"] < 1.2, group
+        # Paper: base versions win on CPU.
+        assert "tiled" not in info["oracle_variant"], group
+
+
+def test_fig10_gpu(benchmark, config, quick):
+    result = benchmark.pedantic(
+        lambda: fig10.run_device("gpu", config, quick), rounds=1, iterations=1
+    )
+    print()
+    print(result.text)
+    for group, info in result.data.items():
+        record(benchmark, {
+            f"{group}.sync": info["series"]["Sync"],
+            f"{group}.worst": info["series"]["Worst"],
+        })
+        assert info["all_valid"], group
+        assert info["series"]["Sync"] < 1.25, group

@@ -1,0 +1,51 @@
+"""Benchmark: regenerate Figure 11 (input-dependent selection, Case IV)."""
+
+from repro.harness.experiments import fig11
+
+from conftest import record
+
+
+def test_fig11_cpu(benchmark, config, quick):
+    result = benchmark.pedantic(
+        lambda: fig11.run_device("cpu", config, quick), rounds=1, iterations=1
+    )
+    print()
+    print(result.text)
+    for group, info in result.data.items():
+        record(benchmark, {
+            f"{group}.sync": info["series"]["Sync"],
+            f"{group}.worst": info["series"]["Worst"],
+            f"{group}.selected": info["dysel_selected"],
+        })
+        assert info["all_valid"], group
+        assert info["series"]["Sync"] < 1.05, group
+        assert info["dysel_selected"] == info["oracle_variant"], group
+    # Paper: scalar+DFO wins random, scalar+BFO wins diagonal; the wrong
+    # choice costs 2.98x / 8.63x.
+    assert result.data["random matrix"]["oracle_variant"] == "scalar,DFO"
+    assert result.data["diagonal matrix"]["oracle_variant"] == "scalar,BFO"
+    assert result.data["random matrix"]["series"]["Worst"] > 2.0
+    assert result.data["diagonal matrix"]["series"]["Worst"] > 5.0
+
+
+def test_fig11_gpu(benchmark, config, quick):
+    result = benchmark.pedantic(
+        lambda: fig11.run_device("gpu", config, quick), rounds=1, iterations=1
+    )
+    print()
+    print(result.text)
+    for group, info in result.data.items():
+        record(benchmark, {
+            f"{group}.sync": info["series"]["Sync"],
+            f"{group}.worst": info["series"]["Worst"],
+            f"{group}.selected": info["dysel_selected"],
+        })
+        assert info["all_valid"], group
+        assert info["series"]["Sync"] < 1.05, group
+        assert info["dysel_selected"] == info["oracle_variant"], group
+    # Paper: vector wins random (scalar 4.73x off), scalar wins diagonal
+    # (vector 22.73x off).
+    assert result.data["random matrix"]["oracle_variant"] == "vector"
+    assert result.data["diagonal matrix"]["oracle_variant"] == "scalar"
+    assert result.data["random matrix"]["series"]["Worst"] > 2.0
+    assert result.data["diagonal matrix"]["series"]["Worst"] > 5.0

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 1 (vectorization strategies on CPU)."""
+
+from repro.harness.experiments import fig1
+
+from conftest import record
+
+
+def test_fig1(benchmark, config, quick):
+    result = benchmark.pedantic(
+        lambda: fig1.run(config, quick), rounds=1, iterations=1
+    )
+    print()
+    print(result.text)
+    for group in ("sgemm", "spmv-jds"):
+        info = result.data[group]
+        record(
+            benchmark,
+            {
+                f"{group}.heuristic_width": info["heuristic_width"],
+                f"{group}.best": info["best"],
+                f"{group}.best_over_heuristic": info[
+                    "best_speedup_over_heuristic"
+                ],
+            },
+        )
+    # Paper shape: the heuristic is suboptimal on both kernels, in
+    # opposite directions (picks too narrow for sgemm, too wide for spmv).
+    assert result.data["sgemm"]["best"] == "8-way"
+    assert result.data["spmv-jds"]["best"] != "8-way"

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 2 (kernel-launch census)."""
+
+from repro.harness.experiments import fig2
+
+from conftest import record
+
+
+def test_fig2(benchmark, config, quick):
+    result = benchmark.pedantic(
+        lambda: fig2.run(config, quick), rounds=1, iterations=1
+    )
+    print()
+    print(result.text)
+    counts = result.data["counts"]
+    record(
+        benchmark,
+        {
+            "total_invocations": float(sum(counts.values())),
+            "dropped_small": float(result.data["dropped_small_launches"]),
+            "populated_buckets": float(
+                sum(1 for v in counts.values() if v > 0)
+            ),
+        },
+    )
+    # Paper shape: significant mass across 128..32768; small launches rare.
+    assert sum(counts.values()) > 1000
+    assert result.data["dropped_small_launches"] < 0.1 * sum(counts.values())

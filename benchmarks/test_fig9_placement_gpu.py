@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 9 (data placement on GPU, Case Study II)."""
+
+from repro.harness.experiments import fig9
+
+from conftest import record
+
+
+def test_fig9(benchmark, config, quick):
+    result = benchmark.pedantic(
+        lambda: fig9.run(config, quick), rounds=1, iterations=1
+    )
+    print()
+    print(result.text)
+    for group, info in result.data.items():
+        series = info["series"]
+        record(
+            benchmark,
+            {
+                f"{group}.sync": series["Sync"],
+                f"{group}.porple": series["PORPLE"],
+                f"{group}.heuristic": series["Heuristic-based"],
+                f"{group}.worst": series["Worst"],
+            },
+        )
+        assert info["all_valid"], group
+        assert series["Sync"] < 1.06, group  # paper: at most 4%
+
+    spmv = result.data["spmv-csr"]["series"]
+    # Paper: PORPLE 1.29x, heuristic 2.29x (worst); Fermi policy optimal.
+    assert 1.1 < spmv["PORPLE"] < 1.7
+    assert spmv["Heuristic-based"] > 1.8
+    assert "porple-fermi" in result.data["spmv-csr"]["oracle_variant"]
+
+    pf = result.data["particle filter"]["series"]
+    # Paper: both baselines optimal; Rodinia's original trails (1.17x).
+    assert pf["PORPLE"] < 1.05
+    assert pf["Heuristic-based"] < 1.05
+    assert pf["Worst"] > 1.1

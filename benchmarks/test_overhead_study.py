@@ -1,0 +1,46 @@
+"""Benchmark: regenerate the §5.1/§5.2 overhead and accuracy studies."""
+
+from repro.harness.experiments import overhead
+
+from conftest import record
+
+
+def test_overhead_study(benchmark, config, quick):
+    result = benchmark.pedantic(
+        lambda: overhead.run(config, quick), rounds=1, iterations=1
+    )
+    print()
+    print(result.text)
+    sync_async = result.data["sync_vs_async"]
+    record(
+        benchmark,
+        {
+            "sgemm.sync_overhead": sync_async["cpu_sync_overhead"],
+            "sgemm.async_overhead": sync_async["cpu_async_overhead"],
+            "gpu_eager_chunks": result.data["gpu_eager_dispatch"][
+                "gpu_eager_chunks"
+            ],
+            "cpu_eager_chunks": result.data["gpu_eager_dispatch"][
+                "cpu_eager_chunks"
+            ],
+            "selection_accuracy": result.data["selection_accuracy"][
+                "accuracy"
+            ],
+        },
+    )
+    # §5.1: sync pays for the slowest candidate; async no worse.
+    assert sync_async["cpu_async_overhead"] <= sync_async["cpu_sync_overhead"] + 0.02
+    # §5.1: the GPU's host query latency suppresses eager dispatch
+    # relative to the CPU.
+    eager = result.data["gpu_eager_dispatch"]
+    assert eager["gpu_eager_chunks"] <= eager["cpu_eager_chunks"]
+    # §5.2: per-iteration profiling is strictly more expensive than
+    # profile-once, and profile-once overhead is small.
+    per_it = result.data["per_iteration"]
+    for label in ("cpu/spmv-csr (random)", "gpu/spmv-csr (random)", "cpu/stencil"):
+        once = per_it[f"{label}: profile-once overhead"]
+        every = per_it[f"{label}: profile-every-iteration overhead"]
+        assert every > once
+        assert once < 0.25, label
+    # §5.2: selection accuracy high but not necessarily perfect (95% case).
+    assert result.data["selection_accuracy"]["accuracy"] >= 0.8

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table 1 (productive profiling mode properties)."""
+
+from repro.harness.experiments import table1
+
+from conftest import record
+
+
+def test_table1(benchmark, config, quick):
+    result = benchmark.pedantic(
+        lambda: table1.run(config, quick), rounds=1, iterations=1
+    )
+    print()
+    print(result.text)
+    for mode, info in result.data.items():
+        record(
+            benchmark,
+            {
+                f"{mode}.productive": float(info["productive_slices"]),
+                f"{mode}.copies": float(info["extra_copies"]),
+                f"{mode}.async": str(info["async_support"]),
+            },
+        )
+    k = result.data["fully"]["k"]
+    assert result.data["fully"] == {
+        "k": k, "productive_slices": k, "extra_copies": 0, "async_support": True
+    }
+    assert result.data["hybrid"]["extra_copies"] == k - 1
+    assert result.data["swap"]["extra_copies"] == k
+    assert not result.data["swap"]["async_support"]

@@ -1,0 +1,58 @@
+"""Input-adaptive histogramming under swap-based profiling.
+
+Histogram kernels write overlapping output (every work-group hits the
+same 256 bins), so side effect analysis restricts DySel to swap-based
+partial-productive profiling (paper §2.3, Table 1): every candidate runs
+the shared slice into a private copy of the bins, and the winner's copy
+is swapped in.
+
+The best variant is input dependent: global atomics win on uniform data,
+work-group privatization wins when the data is skewed onto hot bins.
+This script runs both inputs through the same pool and checks the counts
+are exact either way — the correctness guarantee swap mode exists for.
+
+Run:  python examples/adaptive_histogram.py
+"""
+
+import numpy as np
+
+from repro import DySelRuntime, ReproConfig, make_gpu
+from repro.workloads import histogram
+
+
+def run(distribution: str, config: ReproConfig) -> None:
+    case = histogram.swap_case(distribution, elems=1 << 19, config=config)
+    runtime = DySelRuntime(make_gpu(config), config)
+    runtime.register_pool(case.pool)
+    print(f"\n=== {distribution} data ===")
+    print(f"compiler-recommended mode: {case.pool.mode.value} "
+          "(global atomics detected by side effect analysis)")
+
+    args = case.fresh_args()
+    result = runtime.launch_kernel(
+        case.pool.name, args, case.workload_units
+    )
+    print(f"orchestration: {result.flow.value} "
+          "(swap mode cannot run asynchronously - Table 1)")
+    print(f"selected: {result.selected!r}")
+
+    counts = args["hist"].data
+    expected = np.bincount(args["data"].data, minlength=histogram.BINS)
+    assert np.array_equal(counts, expected), "histogram corrupted!"
+    print(f"counts exact: {int(counts.sum()):,} elements binned, "
+          f"hottest bin holds {int(counts.max()):,}")
+
+
+def main() -> None:
+    config = ReproConfig()
+    run("uniform", config)
+    run("skewed", config)
+    print(
+        "\nSame pool, opposite winners — and in both cases the final "
+        "counts are exact\nbecause only the winner's private output was "
+        "swapped into the real bins."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Regenerate every table and figure of the paper's evaluation.
+
+Runs the full experiment suite and prints each report.  Pass ``--quick``
+for reduced input sizes (minutes -> seconds); the default sizes are the
+calibrated ones recorded in EXPERIMENTS.md.
+
+Run:  python examples/paper_figures.py [--quick]
+"""
+
+import argparse
+import sys
+import time
+
+from repro import ReproConfig
+from repro.harness.experiments import (
+    fig1,
+    fig2,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    overhead,
+    summary,
+    table1,
+)
+
+
+def banner(text: str) -> None:
+    print("\n" + "#" * 72)
+    print(f"# {text}")
+    print("#" * 72)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced input sizes"
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated experiment names (fig1,fig2,table1,fig8,"
+        "fig9,fig10,fig11,overhead,summary)",
+    )
+    args = parser.parse_args(argv)
+    config = ReproConfig()
+    quick = args.quick
+    wanted = set(args.only.split(",")) if args.only else None
+
+    def selected(name: str) -> bool:
+        return wanted is None or name in wanted
+
+    start = time.time()
+    if selected("fig1"):
+        banner("Figure 1")
+        print(fig1.run(config, quick).text)
+    if selected("fig2"):
+        banner("Figure 2")
+        print(fig2.run(config, quick).text)
+    if selected("table1"):
+        banner("Table 1")
+        print(table1.run(config, quick).text)
+    if selected("fig8"):
+        banner("Figure 8")
+        print(fig8.run(config, quick).text)
+    if selected("fig9"):
+        banner("Figure 9")
+        print(fig9.run(config, quick).text)
+    if selected("fig10"):
+        banner("Figure 10")
+        results = fig10.run(config, quick)
+        print(results["cpu"].text)
+        print()
+        print(results["gpu"].text)
+    if selected("fig11"):
+        banner("Figure 11")
+        results = fig11.run(config, quick)
+        print(results["cpu"].text)
+        print()
+        print(results["gpu"].text)
+    if selected("overhead"):
+        banner("Sections 5.1 / 5.2")
+        print(overhead.run(config, quick).text)
+    if selected("summary"):
+        banner("Section 5.3")
+        print(summary.run(config, quick).text)
+    print(f"\nall requested experiments regenerated in "
+          f"{time.time() - start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

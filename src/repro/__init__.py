@@ -1,0 +1,56 @@
+"""DySel reproduction: lightweight dynamic kernel-variant selection.
+
+A faithful Python reproduction of *DySel: Lightweight Dynamic Selection
+for Kernel-based Data-parallel Programming Model* (Chang, Kim, Hwu —
+ASPLOS 2016), built on a simulated heterogeneous substrate (see
+DESIGN.md for the substitution rationale).
+
+Quick start::
+
+    from repro import DySelRuntime, make_cpu, ReproConfig
+    from repro.kernel import KernelSpec, KernelSignature, ArgSpec
+
+    config = ReproConfig()
+    runtime = DySelRuntime(make_cpu(config), config)
+    runtime.declare_kernel(KernelSpec(signature=my_signature))
+    runtime.add_kernel("my_kernel", variant_a)
+    runtime.add_kernel("my_kernel", variant_b)
+    result = runtime.launch_kernel("my_kernel", args, workload_units)
+    print(result.selected, result.elapsed_cycles)
+
+Subpackages: :mod:`repro.kernel` (programming model), :mod:`repro.device`
+(simulated CPU/GPU), :mod:`repro.compiler` (variants, analyses, baseline
+heuristics), :mod:`repro.core` (the DySel runtime), :mod:`repro.workloads`
+(the evaluation's benchmarks) and :mod:`repro.harness` (experiments
+regenerating every table and figure).
+"""
+
+from .config import DEFAULT_CONFIG, NoiseModel, ReproConfig
+from .core import (
+    DySelContext,
+    DySelKernelRegistry,
+    DySelRuntime,
+    LaunchResult,
+)
+from .device import ExecutionEngine, make_cpu, make_gpu
+from .errors import ReproError
+from .modes import OrchestrationFlow, ProfilingMode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "DySelContext",
+    "DySelKernelRegistry",
+    "DySelRuntime",
+    "ExecutionEngine",
+    "LaunchResult",
+    "NoiseModel",
+    "OrchestrationFlow",
+    "ProfilingMode",
+    "ReproConfig",
+    "ReproError",
+    "__version__",
+    "make_cpu",
+    "make_gpu",
+]

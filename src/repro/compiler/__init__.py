@@ -1,0 +1,38 @@
+"""Compiler side of DySel: analyses, transforms, heuristic baselines.
+
+DySel deliberately *relaxes* the compiler's job: instead of having to pick
+the single best code arrangement, the compiler emits several likely
+candidates (typically 2–10, paper §1) plus the metadata the runtime needs
+to profile them fairly and safely.  This subpackage provides:
+
+* :mod:`~repro.compiler.analyses` — the three analyses of paper §3.4
+  (safe point, uniform workload, side effect) plus access-pattern
+  derivation;
+* :mod:`~repro.compiler.transforms` — the optimization axes the evaluation
+  varies (scheduling, vectorization, tiling, coarsening, unrolling,
+  prefetching, data placement), implemented as IR-rewriting functions over
+  kernel variants;
+* :mod:`~repro.compiler.heuristics` — reimplementations of the *static*
+  selection baselines DySel is compared against (locality-centric
+  scheduling [17], PORPLE [7], the Jang et al. placement rules [15], and
+  the Intel vectorizer width heuristic [21]), including the documented
+  cases where they mispick;
+* :mod:`~repro.compiler.variants` — the variant-pool container handed to
+  the DySel runtime.
+"""
+
+from .analyses.safe_point import SafePointPlan, safe_point_plan
+from .analyses.side_effect import SideEffectReport, analyze_side_effects
+from .analyses.uniform import UniformityReport, analyze_uniformity
+from .variants import VariantPool, recommend_mode
+
+__all__ = [
+    "SafePointPlan",
+    "SideEffectReport",
+    "UniformityReport",
+    "VariantPool",
+    "analyze_side_effects",
+    "analyze_uniformity",
+    "recommend_mode",
+    "safe_point_plan",
+]

@@ -1,0 +1,17 @@
+"""Static analyses feeding the DySel runtime (paper §3.4)."""
+
+from .access import classify_access, schedule_locality_cost
+from .safe_point import SafePointPlan, safe_point_plan
+from .side_effect import SideEffectReport, analyze_side_effects
+from .uniform import UniformityReport, analyze_uniformity
+
+__all__ = [
+    "SafePointPlan",
+    "SideEffectReport",
+    "UniformityReport",
+    "analyze_side_effects",
+    "analyze_uniformity",
+    "classify_access",
+    "safe_point_plan",
+    "schedule_locality_cost",
+]

@@ -1,0 +1,100 @@
+"""Access-pattern derivation from loop schedules.
+
+When a compiler serializes OpenCL work-items into loops on a CPU (MCUDA /
+pocl style), the chosen loop order decides each access's effective memory
+pattern: the innermost loop whose variable appears in the index expression
+sets the stride of consecutive touches.  This module derives
+(pattern, stride) from an access's per-loop strides under a given loop
+order — the machinery behind both the schedule transform
+(:mod:`repro.compiler.transforms.schedule`) and the locality-centric
+heuristic baseline (:mod:`repro.compiler.heuristics.lc`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple
+
+from ...errors import AnalysisError
+from ...kernel.ir import GATHER_STRIDE, AccessPattern, MemoryAccess
+from ...device.memory import ELEM_BYTES
+
+#: Trip count assumed for data-dependent loops by *static* consumers (the
+#: LC heuristic).  Static analysis cannot see actual bounds; this guess is
+#: what makes the heuristic mispick on inputs like the diagonal matrix
+#: (Fig 8, Fig 11a), where real trip counts are ~1.
+ASSUMED_DYNAMIC_TRIPS = 32.0
+
+
+def classify_access(
+    strides_by_loop: Mapping[str, int],
+    loop_order: Sequence[str],
+) -> Tuple[AccessPattern, int]:
+    """Pattern and stride an access exhibits under a loop order.
+
+    The *innermost* loop's stride decides the dynamic access stream:
+
+    * zero → the address is invariant in the hot loop: the value lives in
+      a register (or L1 after the first touch) → BROADCAST;
+    * ``GATHER_STRIDE`` → data-dependent → GATHER;
+    * one element → UNIT_STRIDE;
+    * anything else → STRIDED with that stride (each re-entry of the
+      innermost loop restarts the strided walk, defeating prefetch).
+    """
+    if not loop_order:
+        raise AnalysisError("classify_access requires a non-empty loop order")
+    stride = strides_by_loop.get(list(loop_order)[-1], 0)
+    if stride == 0:
+        return AccessPattern.BROADCAST, 0
+    if stride == GATHER_STRIDE:
+        return AccessPattern.GATHER, 0
+    if stride == int(ELEM_BYTES):
+        return AccessPattern.UNIT_STRIDE, 0
+    return AccessPattern.STRIDED, int(stride)
+
+
+def innermost_stride(
+    strides_by_loop: Mapping[str, int],
+    loop_order: Sequence[str],
+) -> float:
+    """Effective innermost stride in bytes (for locality scoring).
+
+    GATHER counts as a worst-case stride of one cache line; BROADCAST as
+    zero.
+    """
+    pattern, stride = classify_access(strides_by_loop, loop_order)
+    if pattern is AccessPattern.GATHER:
+        return 64.0
+    if pattern is AccessPattern.UNIT_STRIDE:
+        return ELEM_BYTES
+    if pattern is AccessPattern.BROADCAST:
+        return 0.0
+    return float(stride)
+
+
+def schedule_locality_cost(
+    accesses: Sequence[MemoryAccess],
+    loop_order: Sequence[str],
+    static_trips: Mapping[str, Optional[int]],
+) -> float:
+    """LC-style static cost of a loop order: trip-weighted strides.
+
+    For each access with stride metadata, the cost contribution is its
+    effective innermost stride times the (statically estimated) execution
+    count of its site.  Data-dependent loop bounds contribute
+    :data:`ASSUMED_DYNAMIC_TRIPS` — the blind spot that lets DySel beat
+    this heuristic on unfavourable inputs.
+    """
+    total = 0.0
+    for access in accesses:
+        if access.strides_by_loop is None:
+            continue
+        strides = dict(access.strides_by_loop)
+        scope = access.scope if access.scope is not None else tuple(loop_order)
+        weight = 1.0
+        for loop_name in scope:
+            trips = static_trips.get(loop_name)
+            weight *= (
+                float(trips) if trips is not None else ASSUMED_DYNAMIC_TRIPS
+            )
+        total += innermost_stride(strides, loop_order) * weight
+    return total

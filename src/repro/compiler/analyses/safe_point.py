@@ -1,0 +1,130 @@
+"""Safe point analysis: fair profiling-slice sizing (paper §3.4).
+
+Variants differ in how much work each work-group processes (their *work
+assignment factors*, changed by coarsening and tiling).  Comparing raw
+per-work-group times would be unfair; instead the profiled workload per
+variant is normalized to the least common multiple (LCM) of all factors,
+so every variant profiles the **same number of workload units** and
+throughput comparison is apples to apples.
+
+The paper further multiplies this number by a constant so the profiled
+work per variant is a multiple of the device's compute units, "to fully
+utilize the hardware".  We scale until the *smallest* variant launch (the
+most-coarsened variant) fills the device at least once, times the
+configured ``safe_point_multiplier``.
+
+The plan also respects the available workload: profiling cannot consume
+more units than the launch has, and DySel deactivates profiling entirely
+for small launches (paper §2.1) — that policy lives in
+:mod:`repro.core.policy`; here we only clamp.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ...errors import AnalysisError
+from ...kernel.kernel import KernelVariant
+
+
+@dataclass(frozen=True)
+class SafePointPlan:
+    """Result of safe point analysis for one kernel pool.
+
+    ``units_per_variant`` is the workload-unit count each variant profiles
+    (identical across variants — the fairness guarantee);
+    ``groups_per_variant`` maps variant name to its work-group count for
+    that slice (units / wa_factor, exact by construction).
+    """
+
+    units_per_variant: int
+    groups_per_variant: Dict[str, int]
+
+    def total_profile_units(self, num_variants_productive: int) -> int:
+        """Units consumed from the workload by profiling.
+
+        Fully-productive profiling consumes ``K`` distinct slices; the
+        partial modes re-profile one shared slice, consuming one.
+        """
+        return self.units_per_variant * num_variants_productive
+
+
+def lcm_of(values: Sequence[int]) -> int:
+    """Least common multiple of positive integers."""
+    if not values:
+        raise AnalysisError("lcm_of requires at least one value")
+    result = 1
+    for value in values:
+        if value < 1:
+            raise AnalysisError(f"lcm_of requires positive values, got {value}")
+        result = result * value // math.gcd(result, value)
+    return result
+
+
+def safe_point_plan(
+    variants: Sequence[KernelVariant],
+    compute_units: int,
+    workload_units: int,
+    multiplier: int = 1,
+    max_workload_fraction: float = 0.5,
+) -> SafePointPlan:
+    """Compute the fair profiling-slice size for a variant pool.
+
+    Parameters
+    ----------
+    variants:
+        The registered kernel pool (at least one variant).
+    compute_units:
+        Device parallelism (cores / SMs) to fill during profiling.
+    workload_units:
+        Units available in this launch; the slice is clamped so that even
+        K distinct slices (fully-productive mode) fit into this fraction.
+    multiplier:
+        Extra scaling constant (``ReproConfig.safe_point_multiplier``).
+    max_workload_fraction:
+        Upper bound on the fraction of the workload that profiling may
+        claim across all variants.
+    """
+    if not variants:
+        raise AnalysisError("safe_point_plan requires a non-empty pool")
+    if compute_units < 1:
+        raise AnalysisError(f"compute_units must be >= 1, got {compute_units}")
+    if not 0 < max_workload_fraction <= 1:
+        raise AnalysisError(
+            f"max_workload_fraction must be in (0, 1], got {max_workload_fraction}"
+        )
+
+    factors = [variant.wa_factor for variant in variants]
+    base_units = lcm_of(factors)
+
+    # Scale so the most-coarsened variant still launches at least one
+    # work-group per compute unit, then apply the configured constant.
+    max_factor = max(factors)
+    fill = math.ceil(compute_units * max_factor / base_units)
+    units = base_units * max(1, fill) * max(1, multiplier)
+
+    # Clamp to the available workload: all K slices (worst case,
+    # fully-productive) must fit in the allowed fraction, and the slice
+    # must stay a multiple of base_units for alignment.
+    budget = int(workload_units * max_workload_fraction) // max(1, len(variants))
+    if budget >= base_units:
+        units = min(units, (budget // base_units) * base_units)
+    else:
+        # Degenerate small launch; profile a single LCM block if possible.
+        units = min(units, base_units)
+    units = min(units, workload_units)
+    if units < base_units:
+        raise AnalysisError(
+            f"workload of {workload_units} units cannot host a fair "
+            f"profiling slice (LCM of work assignment factors is "
+            f"{base_units}); the launch policy should have deactivated "
+            "profiling for a workload this small"
+        )
+
+    groups = {
+        variant.name: max(1, units // variant.wa_factor)
+        for variant in variants
+    }
+    return SafePointPlan(units_per_variant=units, groups_per_variant=groups)

@@ -1,0 +1,64 @@
+"""Side effect analysis (paper §3.4).
+
+Productive profiling is only safe when profiled work-groups write disjoint
+parts of the final output.  This analysis detects the cases where that
+cannot be guaranteed:
+
+* **global atomic operations** — the paper's implementation "only detects
+  global atomic operations" under the assumption that the original program
+  is race-free/deterministic; we do the same over the IR;
+* **declared output-range overlap / variation** — kernels whose IR states
+  that work-groups write overlapping or differently-shaped output ranges
+  (privatization, compaction, output binning, algorithm changes).
+
+Either finding restricts micro-profiling to the swap-based mode, which
+keeps a fully private output per candidate (paper §2.3).  The analysis is
+conservative — atomics do not prove actual cross-work-group contention —
+so the launch API lets programmers override the decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ...kernel.ir import AtomicKind, KernelIR
+
+
+@dataclass(frozen=True)
+class SideEffectReport:
+    """Verdict and reasons for the side-effect restriction."""
+
+    requires_swap: bool
+    reasons: Tuple[str, ...] = ()
+
+
+def analyze_ir_side_effects(ir: KernelIR, label: str = "kernel") -> Tuple[str, ...]:
+    """Swap-forcing reasons for one variant's IR (empty if none)."""
+    reasons = []
+    for access in ir.accesses:
+        if access.atomic is AtomicKind.GLOBAL:
+            reasons.append(
+                f"{label}: global atomic on buffer {access.buffer!r}"
+            )
+    if ir.output_ranges_overlap:
+        reasons.append(f"{label}: work-group output ranges may overlap")
+    if ir.output_range_varies:
+        reasons.append(
+            f"{label}: output range varies across kernel variants"
+        )
+    return tuple(reasons)
+
+
+def analyze_side_effects(
+    irs: Sequence[Tuple[str, KernelIR]]
+) -> SideEffectReport:
+    """Analyze a pool of (variant name, IR) pairs.
+
+    One offending variant restricts the whole pool: profiling runs all
+    candidates, so the weakest safety guarantee governs the mode.
+    """
+    reasons: Tuple[str, ...] = ()
+    for name, ir in irs:
+        reasons += analyze_ir_side_effects(ir, label=name)
+    return SideEffectReport(requires_swap=bool(reasons), reasons=reasons)

@@ -1,0 +1,64 @@
+"""Uniform workload analysis (paper §3.4).
+
+Determines whether loop bounds vary across work-groups — if they might,
+fully-productive profiling would compare variants on unequal slices and
+the throughput comparison would be unfair, so DySel must use a partial
+productive mode (hybrid or swap) that profiles every variant on the same
+slice.
+
+The analysis is deliberately **conservative**, exactly as the paper
+describes: a data-dependent loop bound is flagged non-uniform even if the
+actual data happens to be uniform (the uniform-CSR-matrix example), and
+early loop breaks / early kernel termination are flagged too.  Programmers
+can override the resulting mode through the launch API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ...kernel.ir import KernelIR
+
+
+@dataclass(frozen=True)
+class UniformityReport:
+    """Why (or that) a kernel pool is considered uniform.
+
+    ``uniform`` is the verdict; ``reasons`` lists the conservative
+    triggers, each tagged with the variant that raised it.
+    """
+
+    uniform: bool
+    reasons: Tuple[str, ...] = ()
+
+
+def analyze_ir_uniformity(ir: KernelIR, label: str = "kernel") -> Tuple[str, ...]:
+    """Non-uniformity reasons for one variant's IR (empty if uniform)."""
+    reasons = []
+    for loop in ir.loops:
+        if loop.bound.is_data_dependent:
+            reasons.append(
+                f"{label}: loop {loop.name!r} has a data-dependent bound"
+                + (
+                    f" ({loop.bound.description})"
+                    if loop.bound.description
+                    else ""
+                )
+            )
+        if loop.has_early_exit:
+            reasons.append(f"{label}: loop {loop.name!r} may exit early")
+    return tuple(reasons)
+
+
+def analyze_uniformity(irs: Sequence[Tuple[str, KernelIR]]) -> UniformityReport:
+    """Analyze a pool of (variant name, IR) pairs.
+
+    The pool is uniform only if every variant is: any variant's irregular
+    loop makes the shared profiling slice unrepresentative for the whole
+    comparison.
+    """
+    reasons: Tuple[str, ...] = ()
+    for name, ir in irs:
+        reasons += analyze_ir_uniformity(ir, label=name)
+    return UniformityReport(uniform=not reasons, reasons=reasons)

@@ -1,0 +1,31 @@
+"""Static selection baselines DySel is evaluated against.
+
+Each module reimplements one published heuristic over our IR, *including
+its documented blind spots* — the evaluation depends on them mispicking
+exactly where the paper reports they do:
+
+* :mod:`.lc` — locality-centric scheduling [17]: minimizes trip-weighted
+  access strides, assuming a fixed trip count for data-dependent loops
+  (mispicks spmv-csr on the diagonal matrix, Fig 8 / Fig 11a).
+* :mod:`.porple` — PORPLE [7]: model-driven data placement with
+  per-GPU-generation cache models (its Kepler-targeted policy loses 1.29×
+  on spmv-csr, Fig 9).
+* :mod:`.jang` — Jang et al. [15]: pattern-rule data placement without
+  volume/working-set modeling (loses 2.29× on spmv-csr, Fig 9).
+* :mod:`.intel_vec` — the Intel OpenCL vectorizer's width knob [21]
+  (picks 4-way for sgemm and 8-way for divergent spmv, both suboptimal,
+  Fig 1).
+"""
+
+from .intel_vec import intel_vector_width
+from .jang import jang_placement
+from .lc import lc_select_schedule
+from .porple import GpuGeneration, porple_placement
+
+__all__ = [
+    "GpuGeneration",
+    "intel_vector_width",
+    "jang_placement",
+    "lc_select_schedule",
+    "porple_placement",
+]

@@ -1,0 +1,55 @@
+"""Jang et al. pattern-rule data placement [15].
+
+A purely syntactic rule table mapping access patterns to memory spaces,
+with no volume weighting and no cache-capacity modeling beyond the hard
+constant-memory limit.  Simpler and older than PORPLE — and, in Fig 9,
+the worst placement for spmv-csr (2.29× off): its "small read-only array
+accessed irregularly → constant memory" rule puts the dense vector on the
+serializing constant bank.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ...kernel.buffers import Buffer, MemorySpace
+from ...kernel.ir import AccessPattern, KernelIR
+
+#: Constant-memory capacity the rules respect.
+CONSTANT_CAPACITY_BYTES = 64 * 1024
+
+
+def jang_placement(
+    ir: KernelIR,
+    buffers: Mapping[str, Buffer],
+) -> Dict[str, MemorySpace]:
+    """Placement the rule table produces for this kernel.
+
+    Rules, applied per read-only buffer (written buffers stay global):
+
+    1. broadcast-read data → constant memory;
+    2. irregularly accessed (gather) data that fits the constant capacity
+       → constant memory (the documented pitfall);
+    3. irregularly accessed data larger than that → texture memory;
+    4. everything else (regular streams) → global memory.
+    """
+    written = {access.buffer for access in ir.accesses if access.is_write}
+    placement: Dict[str, MemorySpace] = {}
+    for name, buffer in buffers.items():
+        sites = [a for a in ir.accesses if a.buffer == name]
+        if not sites:
+            continue
+        if name in written:
+            placement[name] = MemorySpace.GLOBAL
+            continue
+        patterns = {site.pattern for site in sites}
+        if patterns == {AccessPattern.BROADCAST}:
+            placement[name] = MemorySpace.CONSTANT
+        elif AccessPattern.GATHER in patterns:
+            if buffer.nbytes <= CONSTANT_CAPACITY_BYTES:
+                placement[name] = MemorySpace.CONSTANT
+            else:
+                placement[name] = MemorySpace.TEXTURE
+        else:
+            placement[name] = MemorySpace.GLOBAL
+    return placement

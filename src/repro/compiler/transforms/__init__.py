@@ -1,0 +1,32 @@
+"""Compile-time transforms: the optimization axes the evaluation varies.
+
+Each transform maps a :class:`~repro.kernel.kernel.KernelVariant` to a new
+variant with rewritten IR (and, where work packing changes, a new work
+assignment factor).  Functional executors are never altered — all these
+optimizations are semantics-preserving, which is what makes the variants
+interchangeable members of one DySel pool.
+
+The set mirrors paper §2.3's applicability catalogue: scheduling
+(locality-centric work-item/loop interchange), vectorization, scratchpad
+tiling, thread coarsening, loop unrolling, software prefetching, and data
+placement.
+"""
+
+from .coarsen import coarsen
+from .placement import place
+from .prefetch import add_prefetch
+from .schedule import enumerate_schedules, reorder_loops
+from .tile import tile_scratchpad
+from .unroll import unroll
+from .vectorize import vectorize
+
+__all__ = [
+    "add_prefetch",
+    "coarsen",
+    "enumerate_schedules",
+    "place",
+    "reorder_loops",
+    "tile_scratchpad",
+    "unroll",
+    "vectorize",
+]

@@ -1,0 +1,73 @@
+"""Thread coarsening: more workload units per work-group.
+
+Coarsening merges the work of several work-groups (or work-items) into
+one, trading parallelism for register reuse and amortized per-work-group
+overhead [19].  It multiplies the variant's work assignment factor — the
+metadata safe point analysis normalizes with (paper §3.4, Fig 6a) — and
+optionally scales per-unit flop/byte volumes to model the reuse the
+transform enables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Optional
+
+from ...errors import TransformError
+from ...kernel.kernel import KernelVariant
+
+
+def coarsen(
+    variant: KernelVariant,
+    factor: int,
+    flops_scale: float = 1.0,
+    bytes_scale: Optional[Mapping[str, float]] = None,
+    label: str = "",
+) -> KernelVariant:
+    """Return the variant coarsened by ``factor``.
+
+    Parameters
+    ----------
+    factor:
+        How many previous work-groups' units one new work-group covers;
+        the work assignment factor multiplies by this.
+    flops_scale:
+        Per-unit arithmetic scaling (< 1 models redundant-computation
+        elimination through register reuse).
+    bytes_scale:
+        Optional per-buffer scaling of per-unit traffic (< 1 models loads
+        shared across the coarsened work).
+    """
+    if factor < 1:
+        raise TransformError(
+            f"coarsening factor must be >= 1, got {factor} "
+            f"(variant {variant.name!r})"
+        )
+    if flops_scale <= 0:
+        raise TransformError(f"flops_scale must be > 0, got {flops_scale}")
+    ir = variant.ir
+    accesses = []
+    scales = dict(bytes_scale or {})
+    for access in ir.accesses:
+        scale = scales.get(access.buffer, 1.0)
+        if scale <= 0:
+            raise TransformError(
+                f"bytes_scale for {access.buffer!r} must be > 0, got {scale}"
+            )
+        accesses.append(
+            dataclasses.replace(
+                access, bytes_per_trip=access.bytes_per_trip * scale
+            )
+        )
+    new_ir = ir.with_(
+        accesses=tuple(accesses),
+        flops_per_trip=ir.flops_per_trip * flops_scale,
+        flops_fixed=ir.flops_fixed * flops_scale,
+    ).with_note(f"coarsened {factor}x")
+    suffix = label or f"coarsen{factor}x"
+    return dataclasses.replace(
+        variant,
+        name=f"{variant.name},{suffix}",
+        ir=new_ir,
+        wa_factor=variant.wa_factor * factor,
+    )

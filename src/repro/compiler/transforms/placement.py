@@ -1,0 +1,62 @@
+"""Data placement: bind read-only buffers to specialized memory paths.
+
+The axis PORPLE [7] and Jang et al. [15] optimize (paper Case Study II):
+moving a buffer into texture or constant memory changes which cache path
+serves it on the GPU.  Placement never changes functional results, so the
+transform only records the decision in the IR; the cost model re-binds
+the buffer's space when pricing accesses.  On the CPU model every space
+lowers to the same cache hierarchy, mirroring how GPU-specific placement
+"makes no difference for CPU" (paper §4.3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from ...errors import TransformError
+from ...kernel.buffers import MemorySpace
+from ...kernel.kernel import KernelVariant
+
+
+def place(
+    variant: KernelVariant,
+    placements: Mapping[str, MemorySpace],
+    label: str = "",
+) -> KernelVariant:
+    """Return the variant with the given buffer→space placement policy.
+
+    Only buffers some access reads may be placed, and read-only spaces
+    (texture/constant) cannot hold written buffers.
+    """
+    if not placements:
+        raise TransformError("placement requires at least one buffer")
+    ir = variant.ir
+    touched = {access.buffer for access in ir.accesses}
+    written = {access.buffer for access in ir.accesses if access.is_write}
+    for name, space in placements.items():
+        if name not in touched:
+            raise TransformError(
+                f"placement names {name!r}, which no access touches "
+                f"(variant {variant.name!r})"
+            )
+        if name in written and space in (
+            MemorySpace.TEXTURE,
+            MemorySpace.CONSTANT,
+        ):
+            raise TransformError(
+                f"buffer {name!r} is written; cannot place in read-only "
+                f"{space.value} space (variant {variant.name!r})"
+            )
+    merged = dict(ir.placements)
+    merged.update({name: space.value for name, space in placements.items()})
+    new_ir = ir.with_(placements=tuple(sorted(merged.items()))).with_note(
+        "placement "
+        + ",".join(f"{k}->{v.value}" for k, v in sorted(placements.items()))
+    )
+    suffix = label or "place:" + ",".join(
+        f"{k}={v.value}" for k, v in sorted(placements.items())
+    )
+    return dataclasses.replace(
+        variant, name=f"{variant.name},{suffix}", ir=new_ir
+    )

@@ -1,0 +1,29 @@
+"""Software prefetching: overlap memory latency with computation."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ...kernel.kernel import KernelVariant
+
+
+def add_prefetch(variant: KernelVariant, label: str = "") -> KernelVariant:
+    """Return the variant with software prefetching enabled.
+
+    On the GPU model this deepens gather latency hiding — unless the
+    gathers already go through the texture path, where the benefit
+    collapses (paper §4.3: unrolling and prefetching in spmv-jds are
+    redundant once texture memory is applied on Kepler).  The CPU model's
+    hardware prefetchers make it a no-op there.
+    """
+    # Prefetch instructions are not free: they occupy issue slots whether
+    # or not the latency they hide matters (the reason the transform is a
+    # slight net loss once texture placement already hides it).
+    new_ir = variant.ir.with_(
+        prefetch=True,
+        flops_per_trip=variant.ir.flops_per_trip + 0.5,
+    ).with_note("software prefetch")
+    suffix = label or "prefetch"
+    return dataclasses.replace(
+        variant, name=f"{variant.name},{suffix}", ir=new_ir
+    )

@@ -1,0 +1,122 @@
+"""Work-item / kernel-loop scheduling (loop interchange on CPU).
+
+On CPUs, OpenCL work-items are serialized into loops; the order chosen for
+those loops relative to the kernel's own loops decides every access's
+effective stride (paper §4.2's LC case study; up to 117× spread on sgemm).
+:func:`reorder_loops` permutes a variant's loop nest and re-derives each
+access's pattern from its per-loop stride metadata;
+:func:`enumerate_schedules` produces the full permutation family LC
+chooses from (60/3/6/2/2/6 schedules for the Fig 8 benchmarks).
+
+Naming follows the paper's Case Study IV shorthand: a schedule that runs
+in-kernel loops innermost is depth-first order (*DFO*); work-item loops
+innermost is breadth-first order (*BFO*).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Iterator, Sequence, Tuple
+
+from ...errors import TransformError
+from ...kernel.ir import KernelIR, MemoryAccess
+from ...kernel.kernel import KernelVariant
+from ..analyses.access import classify_access
+
+
+def reorder_loops(
+    variant: KernelVariant,
+    order: Sequence[str],
+    label: str = "",
+) -> KernelVariant:
+    """Return the variant rescheduled to the given loop order.
+
+    ``order`` names every loop of the variant exactly once, outermost
+    first.  Accesses carrying ``strides_by_loop`` metadata get their
+    pattern and stride re-derived for the new order; accesses without
+    metadata are kept unchanged (their pattern is schedule-invariant).
+    """
+    ir = variant.ir
+    current = [loop.name for loop in ir.loops]
+    if sorted(order) != sorted(current):
+        raise TransformError(
+            f"schedule order {list(order)} must be a permutation of loops "
+            f"{current} (variant {variant.name!r})"
+        )
+    loops_by_name = {loop.name: loop for loop in ir.loops}
+    new_loops = tuple(loops_by_name[name] for name in order)
+
+    new_accesses = []
+    for access in ir.accesses:
+        if access.strides_by_loop is None:
+            new_accesses.append(access)
+            continue
+        strides = dict(access.strides_by_loop)
+        pattern, stride = classify_access(strides, order)
+        scope = _hoisted_scope(access, strides, order)
+        new_accesses.append(
+            dataclasses.replace(
+                access, pattern=pattern, stride_bytes=stride, scope=scope
+            )
+        )
+
+    name = label or "sched:" + ">".join(order)
+    new_ir = ir.with_(loops=new_loops, accesses=tuple(new_accesses)).with_note(
+        f"schedule {'>'.join(order)}"
+    )
+    return dataclasses.replace(variant, name=f"{variant.name},{name}", ir=new_ir)
+
+
+def _hoisted_scope(
+    access: MemoryAccess,
+    strides: dict,
+    order: Sequence[str],
+) -> Tuple[str, ...]:
+    """Execution scope of an access after loop-invariant code motion.
+
+    A load whose address is invariant in the innermost loops (zero stride)
+    gets hoisted out of them by any real compiler, so its execution count
+    excludes the maximal suffix of zero-stride loops under the new order.
+    This is what makes a "work-items innermost" schedule keep reused
+    operands in registers rather than re-issuing the load per work-item.
+    """
+    base_scope = (
+        set(access.scope)
+        if access.scope is not None
+        else {name for name in order}
+    )
+    ordered = [name for name in order if name in base_scope]
+    while ordered and strides.get(ordered[-1], 0) == 0:
+        ordered.pop()
+    return tuple(ordered)
+
+
+def schedule_label(ir: KernelIR, order: Sequence[str]) -> str:
+    """DFO/BFO-style label for a loop order, if it matches either shape."""
+    work_item = {loop.name for loop in ir.loops if loop.is_work_item_loop}
+    if not work_item or len(work_item) == len(ir.loops):
+        return ""
+    innermost = order[-1]
+    return "BFO" if innermost in work_item else "DFO"
+
+
+def enumerate_schedules(
+    variant: KernelVariant,
+) -> Iterator[Tuple[Tuple[str, ...], KernelVariant]]:
+    """All loop-order permutations of a variant, as (order, variant) pairs.
+
+    This is the schedule family the LC compiler generates; DySel registers
+    each as a pool candidate, while the LC heuristic statically picks one.
+    """
+    names = [loop.name for loop in variant.ir.loops]
+    if not names:
+        raise TransformError(
+            f"variant {variant.name!r} has no loops to schedule"
+        )
+    for order in itertools.permutations(names):
+        # Names must stay unique across the family, so the full order is
+        # always part of the label; the DFO/BFO tag is a readability hint.
+        tag = schedule_label(variant.ir, order)
+        suffix = ">".join(order) + (f"({tag})" if tag else "")
+        yield order, reorder_loops(variant, order, label=suffix)

@@ -1,0 +1,83 @@
+"""Scratchpad tiling: stage reused data in on-chip memory.
+
+Tiling loads a block of the inputs into scratchpad once and reuses it
+across the work-group, cutting global traffic by the reuse factor — a big
+win on GPUs, and (because scratchpad lowers to ordinary cached memory) a
+pure copy-cost loss on CPUs, which is exactly the asymmetry behind
+Fig 10a vs 10b.  The transform scales the tiled accesses' per-unit
+traffic, charges the scratchpad footprint and barrier in the IR, and
+multiplies the work assignment factor when a tile covers several units.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from ...errors import TransformError
+from ...kernel.kernel import KernelVariant
+
+
+def tile_scratchpad(
+    variant: KernelVariant,
+    scratchpad_bytes: int,
+    traffic_scale: Mapping[str, float],
+    wa_factor_scale: int = 1,
+    label: str = "",
+) -> KernelVariant:
+    """Return the variant tiled through scratchpad memory.
+
+    Parameters
+    ----------
+    scratchpad_bytes:
+        Per-work-group scratchpad footprint (staging cost on both devices;
+        capacity/latency benefit only where scratchpad is real).
+    traffic_scale:
+        Per-buffer scaling of global traffic, e.g. ``{"a": 1/16}`` for a
+        16-wide tile reusing each loaded element 16 times.
+    wa_factor_scale:
+        How many previous work-groups' units one tile covers.
+    """
+    if scratchpad_bytes <= 0:
+        raise TransformError(
+            f"scratchpad_bytes must be > 0, got {scratchpad_bytes} "
+            f"(variant {variant.name!r})"
+        )
+    if wa_factor_scale < 1:
+        raise TransformError(
+            f"wa_factor_scale must be >= 1, got {wa_factor_scale}"
+        )
+    if not traffic_scale:
+        raise TransformError("traffic_scale must name at least one buffer")
+    ir = variant.ir
+    known = {access.buffer for access in ir.accesses}
+    for name in traffic_scale:
+        if name not in known:
+            raise TransformError(
+                f"traffic_scale names {name!r}, which no access touches "
+                f"(variant {variant.name!r})"
+            )
+    accesses = []
+    for access in ir.accesses:
+        scale = traffic_scale.get(access.buffer, 1.0)
+        if scale <= 0:
+            raise TransformError(
+                f"traffic_scale for {access.buffer!r} must be > 0, got {scale}"
+            )
+        accesses.append(
+            dataclasses.replace(
+                access, bytes_per_trip=access.bytes_per_trip * scale
+            )
+        )
+    new_ir = ir.with_(
+        accesses=tuple(accesses),
+        scratchpad_bytes=ir.scratchpad_bytes + scratchpad_bytes,
+        uses_barrier=True,
+    ).with_note(f"scratchpad tile ({scratchpad_bytes}B)")
+    suffix = label or "tiled"
+    return dataclasses.replace(
+        variant,
+        name=f"{variant.name},{suffix}",
+        ir=new_ir,
+        wa_factor=variant.wa_factor * wa_factor_scale,
+    )

@@ -1,0 +1,34 @@
+"""Loop unrolling: amortize innermost-loop bookkeeping."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ...errors import TransformError
+from ...kernel.kernel import KernelVariant
+
+
+def unroll(variant: KernelVariant, factor: int, label: str = "") -> KernelVariant:
+    """Return the variant with its innermost loop unrolled ``factor``×.
+
+    The device charges loop bookkeeping per innermost trip divided by the
+    unroll factor; like prefetching, unrolling is one of the optimizations
+    that turn out redundant when combined with texture placement on Kepler
+    (paper §4.3's spmv-jds observation).
+    """
+    if factor < 1:
+        raise TransformError(
+            f"unroll factor must be >= 1, got {factor} "
+            f"(variant {variant.name!r})"
+        )
+    if not variant.ir.loops:
+        raise TransformError(
+            f"variant {variant.name!r} has no loop to unroll"
+        )
+    new_ir = variant.ir.with_(
+        unroll_factor=variant.ir.unroll_factor * factor
+    ).with_note(f"unrolled {factor}x")
+    suffix = label or f"unroll{factor}"
+    return dataclasses.replace(
+        variant, name=f"{variant.name},{suffix}", ir=new_ir
+    )

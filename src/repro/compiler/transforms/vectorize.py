@@ -1,0 +1,64 @@
+"""Vectorization: SIMD width selection (paper Fig 1's axis).
+
+The Intel OpenCL stack implicitly vectorizes kernels across work-items at
+a heuristically chosen width.  The transform records the chosen width in
+the IR; the CPU device model translates it into arithmetic speedup and,
+under control divergence, into mask/pack/unpack overhead that grows with
+width — the mechanism behind Fig 1's counterintuitive results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ...errors import TransformError
+from ...kernel.kernel import KernelVariant
+
+
+def vectorize(
+    variant: KernelVariant, width: int, label: str = ""
+) -> KernelVariant:
+    """Return the variant vectorized to ``width`` lanes (1 = scalar)."""
+    if width < 1:
+        raise TransformError(
+            f"vector width must be >= 1, got {width} "
+            f"(variant {variant.name!r})"
+        )
+    if width & (width - 1):
+        raise TransformError(
+            f"vector width must be a power of two, got {width}"
+        )
+    suffix = label or (f"{width}-way" if width > 1 else "scalar")
+    new_ir = variant.ir.with_(vector_width=width).with_note(
+        f"vectorized {width}-way"
+    )
+    return dataclasses.replace(
+        variant, name=f"{variant.name},{suffix}", ir=new_ir
+    )
+
+
+def auto_vectorize(variant: KernelVariant, width: int = 8) -> KernelVariant:
+    """Vectorize only if the innermost loop is profitably vectorizable.
+
+    Models icc's implicit vectorizer over LC-scheduled code (the Fig 8
+    toolchain: "uses the Intel's icc compiler with vectorization
+    enabled"): a loop whose varying accesses are all unit-stride,
+    coalesced or loop-invariant vectorizes; strided or gather bodies are
+    left scalar.  The variant's name is left unchanged so schedule labels
+    stay the family's identity.
+    """
+    ir = variant.ir
+    if not ir.loops:
+        return variant
+    innermost = ir.loops[-1].name
+    for access in ir.accesses:
+        if access.strides_by_loop is None:
+            continue
+        stride = dict(access.strides_by_loop).get(innermost, 0)
+        if stride == 0 or stride == 4:
+            continue
+        return variant  # strided or data-dependent body: stays scalar
+    new_ir = ir.with_(vector_width=width).with_note(
+        f"auto-vectorized {width}-way"
+    )
+    return dataclasses.replace(variant, ir=new_ir)

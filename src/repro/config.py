@@ -1,0 +1,126 @@
+"""Global configuration for the DySel reproduction.
+
+The simulator is deterministic given a seed: all measurement noise, workload
+generation, and scheduling tie-breaks draw from RNG streams derived from a
+single root seed.  Experiments construct a :class:`ReproConfig` and thread it
+through devices and workloads; library defaults are chosen so that
+``ReproConfig()`` reproduces the paper-shaped results out of the box.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+#: Default root seed.  Chosen arbitrarily; fixed so results are reproducible.
+DEFAULT_SEED = 20160402  # ASPLOS'16 started April 2, 2016.
+
+#: Work-group-count threshold below which DySel deactivates profiling
+#: (paper §2.1: "profiling-based kernel selection is deactivated for small
+#: workload"; Figure 2 drops launches under 128 work-groups).
+SMALL_WORKLOAD_THRESHOLD = 128
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Measurement / execution noise parameters.
+
+    The paper (§5.2) observes that profiling accuracy degrades when the
+    profiled unit of work is tiny relative to system noise (95% selection
+    accuracy on CPU spmv-csr).  We model two noise sources:
+
+    * ``execution_jitter`` — multiplicative lognormal jitter applied to each
+      work-group's true cost (system noise, frequency scaling, ...).
+    * ``timer_quantum`` — granularity of the simulated cycle counter; tiny
+      measurements are rounded to this quantum, losing resolution exactly
+      when the paper says wall-clock timers become unreliable (§3.3).
+    """
+
+    execution_jitter: float = 0.02
+    timer_quantum: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.execution_jitter < 0:
+            raise ConfigurationError(
+                f"execution_jitter must be >= 0, got {self.execution_jitter}"
+            )
+        if self.timer_quantum <= 0:
+            raise ConfigurationError(
+                f"timer_quantum must be > 0, got {self.timer_quantum}"
+            )
+
+
+@dataclass(frozen=True)
+class ReproConfig:
+    """Root configuration threaded through devices, workloads and harness."""
+
+    seed: int = DEFAULT_SEED
+    noise: NoiseModel = field(default_factory=NoiseModel)
+    #: Constant multiplier from safe point analysis (paper §3.4): the
+    #: normalized profiling workload is scaled to a multiple of the number of
+    #: compute units "to fully utilize the hardware".
+    safe_point_multiplier: int = 1
+    #: Work-group-count threshold for deactivating profiling.
+    small_workload_threshold: int = SMALL_WORKLOAD_THRESHOLD
+    #: Number of work-groups dispatched per eager chunk in asynchronous mode
+    #: (paper §2.4: eager execution is "a series of chunks").  Expressed as a
+    #: multiple of the device's compute-unit count.
+    eager_chunk_units: int = 1
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ConfigurationError(f"seed must be >= 0, got {self.seed}")
+        if self.safe_point_multiplier < 1:
+            raise ConfigurationError(
+                "safe_point_multiplier must be >= 1, got "
+                f"{self.safe_point_multiplier}"
+            )
+        if self.small_workload_threshold < 0:
+            raise ConfigurationError(
+                "small_workload_threshold must be >= 0, got "
+                f"{self.small_workload_threshold}"
+            )
+        if self.eager_chunk_units < 1:
+            raise ConfigurationError(
+                f"eager_chunk_units must be >= 1, got {self.eager_chunk_units}"
+            )
+
+    def rng(self, *stream: object) -> np.random.Generator:
+        """Return an independent RNG for the named stream.
+
+        Streams are identified by arbitrary hashable labels, e.g.
+        ``config.rng("noise", device_name)``.  The same labels always yield
+        the same stream for a given root seed, and distinct labels yield
+        statistically independent streams.
+        """
+        key = [self.seed] + [_stable_hash(part) for part in stream]
+        return np.random.default_rng(key)
+
+    def with_noise(self, **changes: float) -> "ReproConfig":
+        """Return a copy with noise-model fields replaced."""
+        return replace(self, noise=replace(self.noise, **changes))
+
+    def without_noise(self) -> "ReproConfig":
+        """Return a copy with all noise disabled (for oracle runs)."""
+        return replace(
+            self, noise=NoiseModel(execution_jitter=0.0, timer_quantum=1e-12)
+        )
+
+
+def _stable_hash(part: object) -> int:
+    """Hash ``part`` to a 32-bit int, stable across processes.
+
+    ``hash()`` on str/bytes is salted per interpreter process
+    (PYTHONHASHSEED), which would make RNG streams irreproducible across
+    runs; we hash the repr with blake2 instead.
+    """
+    digest = hashlib.blake2s(repr(part).encode("utf-8"), digest_size=4)
+    return int.from_bytes(digest.digest(), "little")
+
+
+#: Library-wide default configuration instance.
+DEFAULT_CONFIG = ReproConfig()

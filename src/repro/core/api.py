@@ -1,0 +1,108 @@
+"""Paper-faithful functional facade over :class:`DySelRuntime`.
+
+Figure 6 of the paper shows the runtime interface as two calls::
+
+    DySelAddKernel(kernel_sig, implementation, wa_factor, sandbox_index=[])
+    DySelLaunchKernel(kernel_sig, profiling=True, mode=fully_async)
+
+:class:`DySelContext` reproduces that shape — including the combined
+``mode`` argument that folds the productive profiling mode and the
+sync/async flow into one enum-like string (``"fully_async"``,
+``"hybrid_sync"``, ...) — on top of the object API.  New code should
+prefer :class:`~repro.core.runtime.DySelRuntime`; this facade exists so
+examples and tests can exercise the interface exactly as published.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple
+
+from ..device.base import Device
+from ..errors import LaunchError, RegistrationError
+from ..kernel.kernel import KernelSpec, KernelVariant
+from ..kernel.signature import KernelSignature
+from ..config import ReproConfig
+from ..modes import OrchestrationFlow, ProfilingMode
+from .runtime import DySelRuntime, LaunchResult
+
+#: Accepted ``mode`` strings: productive mode × orchestration flow.
+_MODE_TABLE = {
+    "fully_sync": (ProfilingMode.FULLY, OrchestrationFlow.SYNC),
+    "fully_async": (ProfilingMode.FULLY, OrchestrationFlow.ASYNC),
+    "hybrid_sync": (ProfilingMode.HYBRID, OrchestrationFlow.SYNC),
+    "hybrid_async": (ProfilingMode.HYBRID, OrchestrationFlow.ASYNC),
+    "swap_sync": (ProfilingMode.SWAP, OrchestrationFlow.SYNC),
+}
+
+
+def parse_mode(mode: str) -> Tuple[ProfilingMode, OrchestrationFlow]:
+    """Parse a combined mode string into (profiling mode, flow)."""
+    try:
+        return _MODE_TABLE[mode]
+    except KeyError:
+        raise LaunchError(
+            f"unknown mode {mode!r}; expected one of {sorted(_MODE_TABLE)}"
+        ) from None
+
+
+class DySelContext:
+    """One device's DySel runtime behind the paper's two-call interface."""
+
+    def __init__(self, device: Device, config: Optional[ReproConfig] = None) -> None:
+        self.runtime = DySelRuntime(device, config)
+
+    def DySelAddKernel(  # noqa: N802 - paper-faithful name
+        self,
+        kernel_sig: KernelSignature,
+        implementation: KernelVariant,
+        wa_factor: Optional[int] = None,
+        sandbox_index: Sequence[str] = (),
+        initial_default: bool = False,
+    ) -> None:
+        """Register a kernel implementation (paper Fig 6a).
+
+        ``wa_factor`` overrides the variant's work assignment factor;
+        ``sandbox_index`` names the output arguments that sandboxing and
+        swapping apply to (defaults to every declared output).
+        """
+        name = kernel_sig.name
+        if name not in self.runtime.registry:
+            self.runtime.declare_kernel(
+                KernelSpec(
+                    signature=kernel_sig,
+                    sandbox_outputs=tuple(sandbox_index),
+                )
+            )
+        elif sandbox_index:
+            raise RegistrationError(
+                f"kernel {name!r}: sandbox_index must be supplied with the "
+                "first DySelAddKernel call for a signature"
+            )
+        if wa_factor is not None and wa_factor != implementation.wa_factor:
+            import dataclasses
+
+            implementation = dataclasses.replace(
+                implementation, wa_factor=wa_factor
+            )
+        self.runtime.add_kernel(
+            name, implementation, initial_default=initial_default
+        )
+
+    def DySelLaunchKernel(  # noqa: N802 - paper-faithful name
+        self,
+        kernel_sig: str,
+        args: Mapping[str, object],
+        workload_units: int,
+        profiling: bool = True,
+        mode: str = "fully_async",
+    ) -> LaunchResult:
+        """Launch a kernel (paper Fig 6b)."""
+        profiling_mode, flow = parse_mode(mode)
+        return self.runtime.launch_kernel(
+            kernel_sig,
+            args,
+            workload_units,
+            profiling=profiling,
+            mode=profiling_mode,
+            flow=flow,
+        )

@@ -1,0 +1,128 @@
+"""Mixed execution: different variants on different workload partitions.
+
+The paper's §4.1 notes that "a mixed version that applies different pure
+versions on different partitions of computation could potentially
+outperform the oracle" and leaves it as future work.  This module provides
+that hook as an *experimental extension*: a :class:`MixedPlan` maps unit
+ranges to variant names, built either by hand or from per-slice
+micro-profiles (:func:`build_mixed_plan`), and
+:func:`execute_mixed` runs it on an engine.
+
+The mechanism pays off exactly when the workload is heterogeneous enough
+that different slices have different best variants — e.g. a sparse matrix
+whose top rows are dense (vector-friendly) and bottom rows are sparse
+(scalar-friendly).  The extension benchmark
+(``benchmarks/test_extension_mixed.py``) constructs such an input and
+shows the mixed plan beating the best single pure version — the outcome
+the paper anticipated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Tuple
+
+from ..compiler.analyses.safe_point import lcm_of
+from ..compiler.variants import VariantPool
+from ..device.engine import ExecutionEngine, Priority, TaskHandle
+from ..errors import ProfilingError
+from ..kernel.kernel import WorkRange
+
+
+@dataclass(frozen=True)
+class MixedPlan:
+    """A partition of the workload with one variant per segment."""
+
+    #: (units, variant name) segments, contiguous and in order.
+    segments: Tuple[Tuple[WorkRange, str], ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ProfilingError("mixed plan needs at least one segment")
+        cursor = self.segments[0][0].start
+        for units, _name in self.segments:
+            if units.start != cursor:
+                raise ProfilingError(
+                    f"mixed plan segments must be contiguous; gap at "
+                    f"{cursor} -> {units.start}"
+                )
+            cursor = units.end
+
+    @property
+    def span(self) -> WorkRange:
+        """The covered unit range."""
+        return WorkRange(self.segments[0][0].start, self.segments[-1][0].end)
+
+    def variant_for(self, unit: int) -> str:
+        """The variant assigned to one unit."""
+        for units, name in self.segments:
+            if units.start <= unit < units.end:
+                return name
+        raise ProfilingError(f"unit {unit} outside the mixed plan's span")
+
+
+def build_mixed_plan(
+    pool: VariantPool,
+    engine: ExecutionEngine,
+    args: Mapping[str, object],
+    workload_units: int,
+    num_slices: int = 8,
+) -> MixedPlan:
+    """Profile every variant on every slice; assign each slice its winner.
+
+    A straightforward realization of the paper's future-work idea: the
+    workload is cut into ``num_slices`` aligned slices, each candidate is
+    timed on each slice (productively — outputs are written and kept,
+    since the last write per slice is the final state of deterministic
+    kernels), and each slice gets its measured best variant.  Adjacent
+    slices with the same winner are merged.
+    """
+    if num_slices < 1:
+        raise ProfilingError("num_slices must be >= 1")
+    base = lcm_of([variant.wa_factor for variant in pool.variants])
+    slice_units = max(base, (workload_units // num_slices) // base * base)
+
+    boundaries: List[int] = list(range(0, workload_units, slice_units))
+    winners: List[str] = []
+    for start in boundaries:
+        units = WorkRange(start, min(start + slice_units, workload_units))
+        best_name: Optional[str] = None
+        best_cycles = float("inf")
+        for variant in pool.variants:
+            task = engine.submit(
+                variant, args, units, priority=Priority.PROFILING, measure=True
+            )
+            engine.wait(task)
+            assert task.measured is not None
+            if task.measured.measured_cycles < best_cycles:
+                best_cycles = task.measured.measured_cycles
+                best_name = variant.name
+        assert best_name is not None
+        winners.append(best_name)
+
+    segments: List[Tuple[WorkRange, str]] = []
+    for index, start in enumerate(boundaries):
+        end = min(start + slice_units, workload_units)
+        if segments and segments[-1][1] == winners[index]:
+            previous, name = segments[-1]
+            segments[-1] = (WorkRange(previous.start, end), name)
+        else:
+            segments.append((WorkRange(start, end), winners[index]))
+    return MixedPlan(segments=tuple(segments))
+
+
+def execute_mixed(
+    plan: MixedPlan,
+    pool: VariantPool,
+    engine: ExecutionEngine,
+    args: Mapping[str, object],
+) -> List[TaskHandle]:
+    """Run a mixed plan: one batch launch per segment."""
+    tasks = [
+        engine.submit(
+            pool.variant(name), args, units, priority=Priority.BATCH
+        )
+        for units, name in plan.segments
+    ]
+    engine.wait_all(tasks)
+    return tasks

@@ -1,0 +1,238 @@
+"""Orchestration flows: synchronous and asynchronous DySel (paper §2.4).
+
+Both flows submit every candidate's micro-profile at PROFILING priority on
+its own stream (concurrent profiling, §3.3) and finish by processing the
+remaining workload with the winner.  They differ in what happens in
+between:
+
+* **sync** (Fig 4a) — a device barrier waits for the *slowest* candidate;
+  execution units sit idle meanwhile (Fig 5a), so a pathological candidate
+  inflates overhead (§5.1's sgemm case: 8% sync vs <5% async).
+* **async** (Fig 4b) — eager execution starts immediately with the
+  suggested initial default, dispatched in chunks at EAGER priority so
+  profiling keeps precedence; each poll of profiling status costs host
+  query latency, and the current best is updated as candidates finish
+  (the ¹–» steps of Fig 4b).  On the GPU the query latency exceeds the
+  micro-profile time, so few or zero eager chunks dispatch and async
+  degenerates to sync — the §5.1 observation, reproduced mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..compiler.analyses.safe_point import lcm_of
+from ..compiler.variants import VariantPool
+from ..config import ReproConfig
+from ..device.engine import ExecutionEngine, Priority, TaskHandle
+from ..device.stream import Stream
+from ..errors import ProfilingError
+from ..kernel.launch import LaunchConfig
+from ..modes import OrchestrationFlow
+from .productive import ProfilingPlan
+from .selection import SelectionRecord, VariantMeasurement
+
+#: Host cycles charged for comparing candidate times and updating the
+#: selection (an atomic min plus bookkeeping).
+SELECTION_COMPARE_CYCLES = 200.0
+
+#: Eager chunks kept in flight during asynchronous profiling.  Small so a
+#: selection update takes effect quickly; large enough to keep vacant
+#: execution units fed between polls.
+MAX_OUTSTANDING_EAGER_CHUNKS = 2
+
+
+@dataclass
+class OrchestrationResult:
+    """Timing and selection outcome of one orchestrated launch."""
+
+    record: SelectionRecord
+    start_cycles: float
+    profiling_done_cycles: float
+    end_cycles: float
+    eager_chunks: int = 0
+    eager_units: int = 0
+
+    @property
+    def elapsed_cycles(self) -> float:
+        """Wall time of the whole launch (profiling + remainder)."""
+        return self.end_cycles - self.start_cycles
+
+    @property
+    def profiling_latency_cycles(self) -> float:
+        """Time until the selection was final."""
+        return self.profiling_done_cycles - self.start_cycles
+
+
+def _submit_profiling(
+    engine: ExecutionEngine, plan: ProfilingPlan
+) -> Dict[str, TaskHandle]:
+    """Launch every candidate's micro-profile on its own stream."""
+    handles: Dict[str, TaskHandle] = {}
+    for task in plan.tasks:
+        stream = Stream(engine, f"profile.{task.variant.name}")
+        handles[task.variant.name] = stream.submit(
+            task.variant,
+            task.args,
+            task.units,
+            priority=Priority.PROFILING,
+            measure=True,
+        )
+    return handles
+
+
+def _measurement(
+    plan: ProfilingPlan, name: str, handle: TaskHandle
+) -> VariantMeasurement:
+    if handle.measured is None:
+        raise ProfilingError(
+            f"profiling task for {name!r} finished without a measurement"
+        )
+    task = plan.task_for(name)
+    return VariantMeasurement(
+        variant=name,
+        measured_cycles=handle.measured.measured_cycles,
+        profiled_units=len(task.units),
+        productive=task.productive,
+    )
+
+
+def run_sync(
+    engine: ExecutionEngine,
+    pool: VariantPool,
+    plan: ProfilingPlan,
+    launch: LaunchConfig,
+    config: ReproConfig,
+) -> OrchestrationResult:
+    """Synchronous flow: profile, barrier, select, batch the remainder."""
+    start = engine.now
+    record = SelectionRecord(
+        kernel=pool.name, mode=plan.mode, flow=OrchestrationFlow.SYNC
+    )
+    handles = _submit_profiling(engine, plan)
+    engine.wait_all(list(handles.values()))
+    for name, handle in handles.items():
+        engine.host_compute(SELECTION_COMPARE_CYCLES)
+        record.observe(_measurement(plan, name, handle))
+    assert record.selected is not None
+    plan.finalize(record.selected, launch)
+    profiling_done = engine.now
+
+    winner = pool.variant(record.selected)
+    if not plan.remainder.empty:
+        remainder_task = engine.submit(
+            winner, launch.args, plan.remainder, priority=Priority.BATCH
+        )
+        engine.wait(remainder_task)
+    return OrchestrationResult(
+        record=record,
+        start_cycles=start,
+        profiling_done_cycles=profiling_done,
+        end_cycles=engine.now,
+    )
+
+
+def run_async(
+    engine: ExecutionEngine,
+    pool: VariantPool,
+    plan: ProfilingPlan,
+    launch: LaunchConfig,
+    config: ReproConfig,
+    initial_variant: Optional[str] = None,
+) -> OrchestrationResult:
+    """Asynchronous flow: eager chunks with the current best meanwhile.
+
+    ``initial_variant`` overrides the pool's suggested default — the knob
+    the evaluation varies between "best initial selection" and "worst
+    initial selection".
+    """
+    if not plan.mode.supports_async:
+        raise ProfilingError(
+            f"profiling mode {plan.mode.value!r} cannot run asynchronously: "
+            "the final output space is unknown until profiling completes "
+            "(paper Table 1)"
+        )
+    start = engine.now
+    record = SelectionRecord(
+        kernel=pool.name, mode=plan.mode, flow=OrchestrationFlow.ASYNC
+    )
+    handles = _submit_profiling(engine, plan)
+
+    current_best = initial_variant or pool.initial_default
+    assert current_best is not None
+    pool.variant(current_best)  # validate the name early
+
+    base = lcm_of([variant.wa_factor for variant in pool.variants])
+    chunk_units = max(
+        base,
+        (
+            config.eager_chunk_units
+            * engine.device.spec.compute_units
+            * base
+        ),
+    )
+
+    remaining = plan.remainder
+    eager_chunks = 0
+    eager_units = 0
+    outstanding: List[TaskHandle] = []
+    pending: List[str] = [name for name in handles]
+    while pending:
+        finished_now: List[str] = []
+        for name in pending:
+            if engine.poll(handles[name]):
+                finished_now.append(name)
+        for name in finished_now:
+            pending.remove(name)
+            engine.host_compute(SELECTION_COMPARE_CYCLES)
+            record.observe(_measurement(plan, name, handles[name]))
+            assert record.selected is not None
+            current_best = record.selected
+        # Eager dispatch is paced: keep a small number of chunks in
+        # flight so the workload can switch to a better variant as soon
+        # as profiling finds one (paper §2.4's "careful workload
+        # management").  Completion of eager chunks is piggybacked on the
+        # profiling polls already paid for above.
+        outstanding = [
+            task
+            for task in outstanding
+            if not (task.finished and task.last_end <= engine.now)
+        ]
+        if (
+            pending
+            and not remaining.empty
+            and len(outstanding) < MAX_OUTSTANDING_EAGER_CHUNKS
+        ):
+            chunk, remaining = remaining.take(chunk_units)
+            task = engine.submit(
+                pool.variant(current_best),
+                launch.args,
+                chunk,
+                priority=Priority.EAGER,
+            )
+            outstanding.append(task)
+            eager_chunks += 1
+            eager_units += len(chunk)
+
+    assert record.selected is not None
+    plan.finalize(record.selected, launch)
+    profiling_done = engine.now
+
+    if not remaining.empty:
+        remainder_task = engine.submit(
+            pool.variant(record.selected),
+            launch.args,
+            remaining,
+            priority=Priority.BATCH,
+        )
+        engine.wait(remainder_task)
+    engine.barrier()
+    return OrchestrationResult(
+        record=record,
+        start_cycles=start,
+        profiling_done_cycles=profiling_done,
+        end_cycles=engine.now,
+        eager_chunks=eager_chunks,
+        eager_units=eager_units,
+    )

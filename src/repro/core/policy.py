@@ -1,0 +1,80 @@
+"""Launch-time policy: when does DySel actually profile?
+
+Paper §2.1: profiling-based selection is deactivated for small workloads —
+launches under ~128 work-groups are both rare (Fig 2) and too small for
+the optimization level to matter, while profiling overhead would be
+proportionally large.  Paper §3.1: the *profiling activation flag* lets
+iterative applications profile only their first iteration; later launches
+reuse the cached selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..compiler.variants import VariantPool
+from ..config import ReproConfig
+from .selection import SelectionCache
+
+
+@dataclass(frozen=True)
+class LaunchDecision:
+    """Whether to profile this launch, and which variant to use if not."""
+
+    profile: bool
+    variant_name: Optional[str] = None
+    reason: str = ""
+
+
+def decide(
+    pool: VariantPool,
+    workload_units: int,
+    profiling_requested: bool,
+    cache: SelectionCache,
+    config: ReproConfig,
+) -> LaunchDecision:
+    """Resolve the profiling decision for one launch.
+
+    Precedence: an explicit ``profiling=False`` wins (use the cached
+    selection if one exists, else the pool's default); a cached selection
+    is reused only when the caller deactivated profiling — re-requesting
+    profiling re-profiles, which is how callers handle changed inputs; a
+    small workload deactivates profiling regardless.
+    """
+    cached = cache.lookup(pool.name)
+    if not profiling_requested:
+        if cached is not None:
+            return LaunchDecision(
+                profile=False,
+                variant_name=cached.selected,
+                reason="profiling deactivated; cached selection reused",
+            )
+        return LaunchDecision(
+            profile=False,
+            variant_name=pool.initial_default,
+            reason="profiling deactivated; no cached selection, using default",
+        )
+
+    base_groups = workload_units // max(
+        1, min(v.wa_factor for v in pool.variants)
+    )
+    if base_groups < config.small_workload_threshold:
+        name = cached.selected if cached is not None else pool.initial_default
+        return LaunchDecision(
+            profile=False,
+            variant_name=name,
+            reason=(
+                f"small workload ({base_groups} work-groups < "
+                f"{config.small_workload_threshold}); profiling deactivated"
+            ),
+        )
+
+    if len(pool.variants) == 1:
+        return LaunchDecision(
+            profile=False,
+            variant_name=pool.variants[0].name,
+            reason="single-variant pool; nothing to select",
+        )
+
+    return LaunchDecision(profile=True, reason="profiling activated")

@@ -1,0 +1,195 @@
+"""Productive profiling plans: the three modes of paper §2.2 / Fig 3.
+
+A :class:`ProfilingPlan` decides, for one launch, which workload units
+each candidate profiles and against which argument binding:
+
+* **fully-productive** — candidate *i* profiles its own slice
+  ``[i·S, (i+1)·S)`` of the real output; all K slices contribute; the
+  remainder starts at ``K·S``.
+* **hybrid partial-productive** — every candidate profiles the *same*
+  slice ``[0, S)``; the first candidate binds the real output, the others
+  bind sandboxes (≤ K−1 copies); the remainder starts at ``S``.
+* **swap-based partial-productive** — every candidate profiles ``[0, S)``
+  into a fully private output (≤ K copies); after selection the winner's
+  private output is swapped in (a pointer swap on real hardware — no
+  simulated cost) and the remainder starts at ``S``.
+
+``S`` (``units_per_variant``) comes from safe point analysis, so slices
+are aligned to every variant's work assignment factor and equal in units —
+the fairness precondition for throughput comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..compiler.analyses.safe_point import SafePointPlan
+from ..compiler.variants import VariantPool
+from ..errors import ProfilingError
+from ..kernel.buffers import Buffer
+from ..kernel.kernel import KernelVariant, WorkRange
+from ..kernel.launch import LaunchConfig
+from ..modes import ProfilingMode
+from .sandbox import SandboxAllocator
+
+
+@dataclass(frozen=True)
+class ProfilingTask:
+    """One candidate's micro-profiling execution."""
+
+    variant: KernelVariant
+    args: Mapping[str, object]
+    units: WorkRange
+    #: Whether this task's writes land in the final output.
+    productive: bool
+    #: Swap mode only: the candidate's private output buffers.
+    private_outputs: Optional[Dict[str, Buffer]] = None
+
+
+@dataclass
+class ProfilingPlan:
+    """Complete profiling layout for one launch."""
+
+    mode: ProfilingMode
+    tasks: Tuple[ProfilingTask, ...]
+    remainder: WorkRange
+    units_per_variant: int
+    allocator: SandboxAllocator = field(default_factory=SandboxAllocator)
+
+    @property
+    def productive_task_count(self) -> int:
+        """How many profiled slices contribute to the final output
+        (Table 1: K for fully-productive, 1 for the partial modes).
+
+        Swap mode marks no task productive up front — the winner's slice
+        reaches the output only through :meth:`finalize` — but exactly one
+        slice contributes in the end.
+        """
+        if self.mode is ProfilingMode.SWAP:
+            return 1 if self.tasks else 0
+        return sum(1 for task in self.tasks if task.productive)
+
+    @property
+    def extra_copies(self) -> int:
+        """Sandbox/private copies allocated (Table 1's space column)."""
+        return self.allocator.live_copies
+
+    def task_for(self, variant_name: str) -> ProfilingTask:
+        """Look up the profiling task of one candidate."""
+        for task in self.tasks:
+            if task.variant.name == variant_name:
+                return task
+        raise ProfilingError(f"no profiling task for variant {variant_name!r}")
+
+    def finalize(self, winner_name: str, launch: LaunchConfig) -> None:
+        """Commit profiling results after selection.
+
+        In swap mode, installs the winner's private outputs as the final
+        outputs (modeled as a pointer swap: no simulated time).  All
+        sandbox/private copies are then released.
+        """
+        if self.mode is ProfilingMode.SWAP:
+            task = self.task_for(winner_name)
+            if task.private_outputs is None:
+                raise ProfilingError(
+                    f"swap-mode task for {winner_name!r} has no private "
+                    "outputs"
+                )
+            self.allocator.swap_in(launch.output_buffers(), task.private_outputs)
+        self.allocator.release_all()
+
+
+def plan_profiling(
+    pool: VariantPool,
+    mode: ProfilingMode,
+    launch: LaunchConfig,
+    safe_plan: SafePointPlan,
+) -> ProfilingPlan:
+    """Lay out profiling tasks for a launch under the given mode."""
+    span = safe_plan.units_per_variant
+    total = launch.workload_units
+    variants = pool.variants
+    allocator = SandboxAllocator()
+
+    if mode is ProfilingMode.FULLY:
+        needed = span * len(variants)
+        if needed > total:
+            raise ProfilingError(
+                f"kernel {pool.name!r}: fully-productive profiling needs "
+                f"{needed} units but the launch has {total}"
+            )
+        tasks = tuple(
+            ProfilingTask(
+                variant=variant,
+                args=launch.args,
+                units=WorkRange(i * span, (i + 1) * span),
+                productive=True,
+            )
+            for i, variant in enumerate(variants)
+        )
+        remainder = WorkRange(needed, total)
+        return ProfilingPlan(mode, tasks, remainder, span, allocator)
+
+    if span > total:
+        raise ProfilingError(
+            f"kernel {pool.name!r}: profiling slice of {span} units exceeds "
+            f"the launch's {total}"
+        )
+    shared = WorkRange(0, span)
+    remainder = WorkRange(span, total)
+    outputs = _sandboxed_outputs(pool, launch)
+
+    if mode is ProfilingMode.HYBRID:
+        tasks = []
+        for i, variant in enumerate(variants):
+            if i == 0:
+                tasks.append(
+                    ProfilingTask(variant, launch.args, shared, productive=True)
+                )
+            else:
+                args = allocator.sandbox_args(
+                    launch, outputs, label=f"sandbox.{variant.name}"
+                )
+                tasks.append(
+                    ProfilingTask(variant, args, shared, productive=False)
+                )
+        return ProfilingPlan(mode, tuple(tasks), remainder, span, allocator)
+
+    if mode is ProfilingMode.SWAP:
+        tasks = []
+        for variant in variants:
+            privates = allocator.private_outputs(
+                launch, outputs, label=f"private.{variant.name}"
+            )
+            args = dict(launch.with_args(dict(privates)).args)
+            tasks.append(
+                ProfilingTask(
+                    variant,
+                    args,
+                    shared,
+                    productive=False,
+                    private_outputs=privates,
+                )
+            )
+        return ProfilingPlan(mode, tuple(tasks), remainder, span, allocator)
+
+    raise ProfilingError(f"unknown profiling mode {mode!r}")
+
+
+def _sandboxed_outputs(
+    pool: VariantPool, launch: LaunchConfig
+) -> Dict[str, Buffer]:
+    """Output buffers subject to sandbox/swap handling for this launch."""
+    names = pool.spec.effective_sandbox_outputs
+    if not names:
+        raise ProfilingError(
+            f"kernel {pool.name!r} declares no output buffers; partial "
+            "productive profiling has nothing to sandbox"
+        )
+    outputs: Dict[str, Buffer] = {}
+    for name in names:
+        value = launch.args[name]
+        assert isinstance(value, Buffer)
+        outputs[name] = value
+    return outputs

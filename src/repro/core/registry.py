@@ -1,0 +1,105 @@
+"""Kernel pool registry: multiple implementations per kernel signature.
+
+Unlike a traditional runtime, DySel lets compilers and programmers deposit
+several implementations of the same kernel function signature (paper
+§3.1, Fig 6a).  The registry stores them as
+:class:`~repro.compiler.variants.VariantPool` objects keyed by signature
+name, building pools incrementally as ``add_kernel`` calls arrive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..compiler.variants import VariantPool
+from ..errors import RegistrationError
+from ..kernel.kernel import KernelSpec, KernelVariant
+from ..modes import ProfilingMode
+
+
+class DySelKernelRegistry:
+    """Holds every registered kernel pool."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, KernelSpec] = {}
+        self._variants: Dict[str, List[KernelVariant]] = {}
+        self._modes: Dict[str, Optional[ProfilingMode]] = {}
+        self._defaults: Dict[str, Optional[str]] = {}
+
+    def declare(self, spec: KernelSpec) -> None:
+        """Declare a kernel signature before registering implementations."""
+        name = spec.signature.name
+        if name in self._specs:
+            raise RegistrationError(f"kernel {name!r} already declared")
+        self._specs[name] = spec
+        self._variants[name] = []
+        self._modes[name] = None
+        self._defaults[name] = None
+
+    def add_kernel(
+        self,
+        kernel_sig: str,
+        implementation: KernelVariant,
+        initial_default: bool = False,
+    ) -> None:
+        """Register one implementation under a declared signature.
+
+        Mirrors ``DySelAddKernel`` (Fig 6a): the work assignment factor and
+        sandbox metadata travel on the variant / spec.  Passing
+        ``initial_default=True`` marks this variant as the asynchronous
+        flow's suggested starting version (paper §2.4's ``Kdefault``).
+        """
+        if kernel_sig not in self._specs:
+            raise RegistrationError(
+                f"kernel {kernel_sig!r} not declared; call declare() first"
+            )
+        existing = self._variants[kernel_sig]
+        if any(v.name == implementation.name for v in existing):
+            raise RegistrationError(
+                f"kernel {kernel_sig!r}: variant {implementation.name!r} "
+                "already registered"
+            )
+        existing.append(implementation)
+        if initial_default:
+            self._defaults[kernel_sig] = implementation.name
+
+    def set_mode(self, kernel_sig: str, mode: ProfilingMode) -> None:
+        """Override the compiler-recommended profiling mode (paper §3.4)."""
+        if kernel_sig not in self._specs:
+            raise RegistrationError(f"kernel {kernel_sig!r} not declared")
+        self._modes[kernel_sig] = mode
+
+    def register_pool(self, pool: VariantPool) -> None:
+        """Register a pre-built pool in one call (compiler entry point)."""
+        self.declare(pool.spec)
+        for variant in pool.variants:
+            self.add_kernel(pool.name, variant)
+        self._modes[pool.name] = pool.mode
+        self._defaults[pool.name] = pool.initial_default
+
+    def pool(self, kernel_sig: str) -> VariantPool:
+        """Materialize the current pool for a signature."""
+        if kernel_sig not in self._specs:
+            raise RegistrationError(f"kernel {kernel_sig!r} not declared")
+        variants = tuple(self._variants[kernel_sig])
+        if not variants:
+            raise RegistrationError(
+                f"kernel {kernel_sig!r} has no registered implementations"
+            )
+        return VariantPool(
+            spec=self._specs[kernel_sig],
+            variants=variants,
+            mode=self._modes[kernel_sig],
+            initial_default=self._defaults[kernel_sig],
+        )
+
+    def __contains__(self, kernel_sig: str) -> bool:
+        return kernel_sig in self._specs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._specs)
+
+    def items(self) -> Iterator[Tuple[str, VariantPool]]:
+        """Iterate (signature name, pool) pairs."""
+        for name in self._specs:
+            yield name, self.pool(name)

@@ -1,0 +1,216 @@
+"""DySelRuntime: the launch-facing runtime (paper Fig 6b).
+
+``launch_kernel`` resolves the kernel pool, applies the launch policy
+(small-workload deactivation, activation flag, cached selections), runs
+safe point analysis, lays out the productive profiling plan, and drives
+the requested orchestration flow on the device's execution engine.  One
+runtime owns one engine, so simulated time accumulates across launches —
+which is how iterative experiments (profile the first iteration, reuse the
+selection) measure amortized overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..compiler.analyses.safe_point import safe_point_plan
+from ..compiler.variants import VariantPool
+from ..config import ReproConfig
+from ..device.base import Device
+from ..device.engine import ExecutionEngine, Priority
+from ..errors import LaunchError
+from ..kernel.kernel import KernelSpec, KernelVariant, WorkRange
+from ..kernel.launch import LaunchConfig
+from ..modes import OrchestrationFlow, ProfilingMode
+from . import policy
+from .orchestrator import run_async, run_sync
+from .productive import plan_profiling
+from .registry import DySelKernelRegistry
+from .selection import SelectionCache, SelectionRecord
+
+
+@dataclass(frozen=True)
+class LaunchResult:
+    """What one ``launch_kernel`` call produced.
+
+    ``elapsed_cycles`` covers everything the evaluation's timing covers
+    (paper §4.1): profiling time, profiling launch overheads, and the
+    remaining workload's compute time.
+    """
+
+    kernel: str
+    selected: str
+    profiled: bool
+    mode: Optional[ProfilingMode]
+    flow: Optional[OrchestrationFlow]
+    start_cycles: float
+    end_cycles: float
+    reason: str = ""
+    record: Optional[SelectionRecord] = None
+    eager_chunks: int = 0
+    eager_units: int = 0
+    profiling_latency_cycles: float = 0.0
+
+    @property
+    def elapsed_cycles(self) -> float:
+        """Wall time of the launch on the device clock."""
+        return self.end_cycles - self.start_cycles
+
+
+class DySelRuntime:
+    """The DySel runtime bound to one (simulated) device."""
+
+    def __init__(
+        self,
+        device: Device,
+        config: Optional[ReproConfig] = None,
+        registry: Optional[DySelKernelRegistry] = None,
+    ) -> None:
+        self.device = device
+        self.config = config if config is not None else device.config
+        self.registry = registry if registry is not None else DySelKernelRegistry()
+        self.engine = ExecutionEngine(device, self.config)
+        self.cache = SelectionCache()
+
+    # ------------------------------------------------------------------
+    # Registration facade
+    # ------------------------------------------------------------------
+
+    def declare_kernel(self, spec: KernelSpec) -> None:
+        """Declare a kernel signature (see :class:`DySelKernelRegistry`)."""
+        self.registry.declare(spec)
+
+    def add_kernel(
+        self,
+        kernel_sig: str,
+        implementation: KernelVariant,
+        initial_default: bool = False,
+    ) -> None:
+        """Register one implementation (``DySelAddKernel``, Fig 6a)."""
+        self.registry.add_kernel(kernel_sig, implementation, initial_default)
+
+    def register_pool(self, pool: VariantPool) -> None:
+        """Register a compiler-built pool in one call."""
+        self.registry.register_pool(pool)
+
+    # ------------------------------------------------------------------
+    # Launch
+    # ------------------------------------------------------------------
+
+    def launch_kernel(
+        self,
+        kernel_sig: str,
+        args: Mapping[str, object],
+        workload_units: int,
+        profiling: bool = True,
+        mode: Optional[ProfilingMode] = None,
+        flow: OrchestrationFlow = OrchestrationFlow.ASYNC,
+        initial_variant: Optional[str] = None,
+    ) -> LaunchResult:
+        """Launch a kernel (``DySelLaunchKernel``, Fig 6b).
+
+        Parameters
+        ----------
+        kernel_sig:
+            Declared kernel signature name.
+        args:
+            Concrete argument mapping (validated against the signature).
+        workload_units:
+            Total workload units of this launch.
+        profiling:
+            The profiling activation flag (§3.1): off reuses the cached
+            selection (or the pool default).
+        mode:
+            Productive profiling mode override; defaults to the compiler's
+            recommendation from uniform-workload/side-effect analyses.
+        flow:
+            Orchestration flow; the paper's default is asynchronous.
+            Swap-mode pools fall back to synchronous (Table 1).
+        initial_variant:
+            Async-flow initial default override (``Kdefault``).
+        """
+        if kernel_sig not in self.registry:
+            raise LaunchError(f"kernel {kernel_sig!r} is not registered")
+        pool = self.registry.pool(kernel_sig)
+        launch = LaunchConfig.create(
+            pool.spec.signature, args, workload_units
+        )
+
+        decision = policy.decide(
+            pool, workload_units, profiling, self.cache, self.config
+        )
+        if not decision.profile:
+            return self._launch_without_profiling(pool, launch, decision)
+
+        effective_mode = mode if mode is not None else pool.mode
+        assert effective_mode is not None
+        effective_flow = flow
+        reason = decision.reason
+        if flow is OrchestrationFlow.ASYNC and not effective_mode.supports_async:
+            effective_flow = OrchestrationFlow.SYNC
+            reason += "; swap mode forced synchronous flow"
+
+        safe = safe_point_plan(
+            pool.variants,
+            compute_units=self.device.spec.compute_units,
+            workload_units=workload_units,
+            multiplier=self.config.safe_point_multiplier,
+        )
+        plan = plan_profiling(pool, effective_mode, launch, safe)
+
+        if effective_flow is OrchestrationFlow.SYNC:
+            outcome = run_sync(self.engine, pool, plan, launch, self.config)
+        else:
+            outcome = run_async(
+                self.engine,
+                pool,
+                plan,
+                launch,
+                self.config,
+                initial_variant=initial_variant,
+            )
+        self.cache.record(outcome.record)
+        assert outcome.record.selected is not None
+        return LaunchResult(
+            kernel=kernel_sig,
+            selected=outcome.record.selected,
+            profiled=True,
+            mode=effective_mode,
+            flow=effective_flow,
+            start_cycles=outcome.start_cycles,
+            end_cycles=outcome.end_cycles,
+            reason=reason,
+            record=outcome.record,
+            eager_chunks=outcome.eager_chunks,
+            eager_units=outcome.eager_units,
+            profiling_latency_cycles=outcome.profiling_latency_cycles,
+        )
+
+    def _launch_without_profiling(
+        self,
+        pool: VariantPool,
+        launch: LaunchConfig,
+        decision: policy.LaunchDecision,
+    ) -> LaunchResult:
+        assert decision.variant_name is not None
+        variant = pool.variant(decision.variant_name)
+        start = self.engine.now
+        if launch.workload_units > 0:
+            task = self.engine.submit(
+                variant,
+                launch.args,
+                WorkRange(0, launch.workload_units),
+                priority=Priority.BATCH,
+            )
+            self.engine.wait(task)
+        return LaunchResult(
+            kernel=pool.name,
+            selected=variant.name,
+            profiled=False,
+            mode=None,
+            flow=None,
+            start_cycles=start,
+            end_cycles=self.engine.now,
+            reason=decision.reason,
+        )

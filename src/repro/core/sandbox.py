@@ -1,0 +1,79 @@
+"""Sandbox and private-output management for partial productive profiling.
+
+Hybrid-based profiling directs non-committing candidates' writes into
+*sandboxes* — throwaway copies of the output buffers — so all candidates
+can profile the same workload slice without corrupting the final output
+(paper Fig 3b; at most K−1 copies).  Swap-based profiling gives *every*
+candidate a private output and installs the winner's contents afterwards
+(Fig 3c; at most K copies).
+
+The paper notes the space requirement could shrink if profiling footprints
+were predictable; :class:`SandboxAllocator` tracks allocated bytes so the
+Table 1 space accounting is observable in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from ..errors import SandboxError
+from ..kernel.buffers import Buffer
+from ..kernel.launch import LaunchConfig
+
+
+class SandboxAllocator:
+    """Creates and accounts for sandbox / private-output buffers."""
+
+    def __init__(self) -> None:
+        self._allocated_bytes = 0
+        self._live: List[Buffer] = []
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Total bytes allocated for sandboxes/private outputs so far."""
+        return self._allocated_bytes
+
+    @property
+    def live_copies(self) -> int:
+        """Number of copies currently alive."""
+        return len(self._live)
+
+    def sandbox_args(
+        self, launch: LaunchConfig, outputs: Mapping[str, Buffer], label: str
+    ) -> Dict[str, object]:
+        """Argument mapping with the given outputs replaced by copies."""
+        overrides: Dict[str, object] = {}
+        for name, buffer in outputs.items():
+            copy = buffer.sandbox_copy(label)
+            self._allocated_bytes += copy.nbytes
+            self._live.append(copy)
+            overrides[name] = copy
+        return dict(launch.with_args(overrides).args)
+
+    def private_outputs(
+        self, launch: LaunchConfig, outputs: Mapping[str, Buffer], label: str
+    ) -> Dict[str, Buffer]:
+        """Private copies of the outputs for one swap-mode candidate."""
+        privates: Dict[str, Buffer] = {}
+        for name, buffer in outputs.items():
+            copy = buffer.sandbox_copy(label)
+            self._allocated_bytes += copy.nbytes
+            self._live.append(copy)
+            privates[name] = copy
+        return privates
+
+    def swap_in(
+        self, outputs: Mapping[str, Buffer], privates: Mapping[str, Buffer]
+    ) -> None:
+        """Install the winner's private outputs as the final outputs."""
+        missing = set(outputs) - set(privates)
+        if missing:
+            raise SandboxError(
+                f"winner has no private copy for outputs {sorted(missing)}"
+            )
+        for name, buffer in outputs.items():
+            buffer.swap_contents(privates[name])
+
+    def release_all(self) -> None:
+        """Drop all live copies (profiling finished)."""
+        self._live.clear()

@@ -1,0 +1,112 @@
+"""Selection records and the cross-launch selection cache.
+
+Micro-profiling yields one measured interval per candidate; the selection
+logic simply keeps the minimum (the paper's CPU runtime updates the
+current best with an atomic min, §3.2; the GPU code does it with
+``atomicMin`` on cycle counts, Fig 7).  A :class:`SelectionRecord`
+preserves the full comparison for reporting.
+
+Iterative applications (stencil in PDE solvers, spmv in CG) launch the
+same kernel repeatedly without changing the workload shape; the
+*profiling activation flag* lets them profile only the first iteration
+(paper §3.1).  :class:`SelectionCache` stores the chosen variant per
+kernel signature so later launches reuse it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import ProfilingError
+from ..modes import OrchestrationFlow, ProfilingMode
+
+
+@dataclass(frozen=True)
+class VariantMeasurement:
+    """One candidate's micro-profiling observation."""
+
+    variant: str
+    measured_cycles: float
+    profiled_units: int
+    productive: bool
+
+    @property
+    def cycles_per_unit(self) -> float:
+        """Throughput-normalized measurement (equal units by safe point
+        analysis, so ordering matches raw cycles; exposed for reports)."""
+        if self.profiled_units <= 0:
+            return float("inf")
+        return self.measured_cycles / self.profiled_units
+
+
+@dataclass
+class SelectionRecord:
+    """Outcome of one micro-profiled launch."""
+
+    kernel: str
+    mode: ProfilingMode
+    flow: OrchestrationFlow
+    measurements: Tuple[VariantMeasurement, ...] = ()
+    selected: Optional[str] = None
+
+    def observe(self, measurement: VariantMeasurement) -> None:
+        """Fold in one candidate's measurement, keeping the running best.
+
+        Mirrors the atomic-min update of the reference implementation:
+        the first observation seeds the best; later ones replace it only
+        when strictly faster.
+        """
+        self.measurements = self.measurements + (measurement,)
+        if self.selected is None:
+            self.selected = measurement.variant
+            return
+        current = self.best_measurement()
+        if measurement.measured_cycles < current.measured_cycles:
+            self.selected = measurement.variant
+
+    def best_measurement(self) -> VariantMeasurement:
+        """The measurement backing the current selection."""
+        if self.selected is None:
+            raise ProfilingError(
+                f"kernel {self.kernel!r}: no measurements observed"
+            )
+        for measurement in self.measurements:
+            if measurement.variant == self.selected:
+                return measurement
+        raise ProfilingError(
+            f"kernel {self.kernel!r}: selection {self.selected!r} has no "
+            "measurement"
+        )
+
+    def ranking(self) -> Tuple[VariantMeasurement, ...]:
+        """Measurements sorted fastest first."""
+        return tuple(
+            sorted(self.measurements, key=lambda m: m.measured_cycles)
+        )
+
+
+@dataclass
+class SelectionCache:
+    """Chosen variant per kernel signature, across launches."""
+
+    _records: Dict[str, SelectionRecord] = field(default_factory=dict)
+
+    def record(self, record: SelectionRecord) -> None:
+        """Store (or overwrite) the selection for a kernel."""
+        if record.selected is None:
+            raise ProfilingError(
+                f"kernel {record.kernel!r}: cannot cache an empty selection"
+            )
+        self._records[record.kernel] = record
+
+    def lookup(self, kernel: str) -> Optional[SelectionRecord]:
+        """The cached selection, or None if this kernel never profiled."""
+        return self._records.get(kernel)
+
+    def invalidate(self, kernel: str) -> None:
+        """Forget a cached selection (workload shape changed)."""
+        self._records.pop(kernel, None)
+
+    def __contains__(self, kernel: str) -> bool:
+        return kernel in self._records

@@ -1,0 +1,49 @@
+"""Simulated heterogeneous devices.
+
+This subpackage replaces the paper's real hardware (Intel i7-3820 CPU,
+NVIDIA K20c GPU) with discrete-event simulated devices.  The substitution
+preserves what DySel actually consumes from hardware:
+
+* work-group-granularity dispatch with priorities and concurrency
+  (:mod:`~repro.device.engine`),
+* per-kernel timing with realistic measurement noise
+  (:mod:`~repro.device.clock`),
+* performance that *emerges from device/data interaction* — a mechanistic
+  cost model over the kernel IR (:mod:`~repro.device.cost`,
+  :mod:`~repro.device.memory`) in which strides cost cache lines,
+  divergence costs SIMD masking, gathers cost latency, and placement
+  changes the served memory path.
+
+Nothing in the DySel runtime reads the cost model directly; it only
+observes measured times, exactly as on real hardware.
+"""
+
+from .base import Device, DeviceSpec
+from .clock import MeasuredInterval, NoisyClock
+from .cost import CostModel
+from .cpu import CpuDevice, CpuSpec, make_cpu
+from .engine import ExecutionEngine, Priority, TaskHandle
+from .gpu import GpuDevice, GpuSpec, make_gpu
+from .memory import AccessCost, CacheLevel, MemoryModel
+from .stream import Stream
+
+__all__ = [
+    "AccessCost",
+    "CacheLevel",
+    "CostModel",
+    "CpuDevice",
+    "CpuSpec",
+    "Device",
+    "DeviceSpec",
+    "ExecutionEngine",
+    "GpuDevice",
+    "GpuSpec",
+    "MeasuredInterval",
+    "MemoryModel",
+    "NoisyClock",
+    "Priority",
+    "Stream",
+    "TaskHandle",
+    "make_cpu",
+    "make_gpu",
+]

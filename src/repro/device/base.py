@@ -1,0 +1,151 @@
+"""Device abstraction shared by the CPU and GPU models.
+
+A :class:`Device` bundles a static :class:`DeviceSpec`, a
+:class:`~repro.device.memory.MemoryModel`, a noise clock, and the
+architecture-specific compute-efficiency rules.  The discrete-event engine
+(:mod:`~repro.device.engine`) asks the device for per-work-group cycle
+costs (through :class:`~repro.device.cost.CostModel`) and schedules them on
+``spec.compute_units`` concurrent execution units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ReproConfig
+from ..errors import DeviceError
+from ..kernel.ir import KernelIR
+from .clock import NoisyClock
+from .memory import MemoryModel
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static parameters every device exposes.
+
+    Parameters
+    ----------
+    name:
+        Device name (also seeds its noise stream).
+    compute_units:
+        Concurrent execution units: cores on CPU, SMs on GPU.
+    clock_ghz:
+        Nominal clock, used only to convert cycles to seconds in reports.
+    flops_per_cycle:
+        Peak scalar arithmetic throughput of one unit (ops/cycle); vector
+        and warp efficiency scale it per variant.
+    max_vector_width:
+        SIMD lanes (CPU) or warp size (GPU).
+    workgroup_dispatch_overhead:
+        Fixed cycles charged per work-group (TBB task dispatch on CPU,
+        block scheduler on GPU).  Drives the §5.2 tiny-task overhead case.
+    kernel_launch_overhead:
+        Cycles from API call to first work-group start (task-group spawn on
+        CPU, driver launch on GPU).  Drives the §5.2 spmv-on-GPU overhead
+        discussion and the eager-chunking tradeoff (§2.4).
+    host_query_latency:
+        Cycles a host-side stream-status query consumes (GPU async flow,
+        §5.1); irrelevant on CPU where shared memory makes polling cheap.
+    loop_overhead_cycles:
+        Branch/index cycles per loop trip (the innermost loop's share is
+        amortized by unrolling).
+    loop_setup_cycles:
+        Cycles to enter a loop (bound load, induction init).  Charged per
+        loop *instance*, so a short data-dependent inner loop entered once
+        per work-item is overhead-dominated — the mechanism behind the
+        DFO/BFO crossover on the diagonal matrix (paper §4.4).
+    """
+
+    name: str
+    compute_units: int
+    clock_ghz: float
+    flops_per_cycle: float
+    max_vector_width: int
+    workgroup_dispatch_overhead: float
+    kernel_launch_overhead: float
+    host_query_latency: float
+    loop_overhead_cycles: float
+    loop_setup_cycles: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.compute_units < 1:
+            raise DeviceError(
+                f"device {self.name!r}: compute_units must be >= 1"
+            )
+        if self.clock_ghz <= 0 or self.flops_per_cycle <= 0:
+            raise DeviceError(f"device {self.name!r}: invalid throughput spec")
+        if self.max_vector_width < 1:
+            raise DeviceError(
+                f"device {self.name!r}: max_vector_width must be >= 1"
+            )
+        for field_name in (
+            "workgroup_dispatch_overhead",
+            "kernel_launch_overhead",
+            "host_query_latency",
+            "loop_overhead_cycles",
+            "loop_setup_cycles",
+        ):
+            if getattr(self, field_name) < 0:
+                raise DeviceError(
+                    f"device {self.name!r}: {field_name} must be >= 0"
+                )
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert simulated cycles to seconds at the nominal clock."""
+        return cycles / (self.clock_ghz * 1e9)
+
+
+class Device:
+    """A simulated device: spec + memory model + compute rules + noise.
+
+    Subclasses implement :meth:`compute_cycles` (how vector width,
+    divergence and work-group shape map to arithmetic efficiency) and
+    :meth:`scratchpad_cycles` (what on-chip scratchpad costs/saves — the
+    asymmetry behind Fig 10a's "tiling hurts on CPU" result).
+    """
+
+    #: "cpu" or "gpu"; workload variant pools use it to pick applicable
+    #: transform axes (e.g. texture placement is GPU-only).
+    kind: str = "abstract"
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        memory: MemoryModel,
+        config: ReproConfig,
+    ) -> None:
+        self.spec = spec
+        self.memory = memory
+        self.config = config
+        self.clock = NoisyClock(config, spec.name)
+
+    @property
+    def name(self) -> str:
+        """Device name."""
+        return self.spec.name
+
+    # ------------------------------------------------------------------
+    # Architecture-specific rules
+    # ------------------------------------------------------------------
+
+    def compute_cycles(
+        self, ir: KernelIR, flops: np.ndarray, work_group_size: int
+    ) -> np.ndarray:
+        """Arithmetic cycles per work-group for the given flop counts."""
+        raise NotImplementedError
+
+    def scratchpad_cycles_per_group(self, ir: KernelIR) -> float:
+        """Fixed per-work-group cost of scratchpad staging and barriers."""
+        raise NotImplementedError
+
+    def atomic_cycles_per_op(self) -> float:
+        """Serialized cycles per global atomic operation."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.spec.name!r}, "
+            f"units={self.spec.compute_units})"
+        )

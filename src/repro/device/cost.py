@@ -1,0 +1,217 @@
+"""Mechanistic cost model: per-unit pricing, per-work-group aggregation.
+
+:class:`CostModel` interprets a variant's IR against a device.  All IR
+quantities (trip counts, byte volumes, flops) are defined **per workload
+unit** — the finest decomposition of the launch.  A variant packs
+``wa_factor`` units into each work-group, so the model:
+
+1. evaluates per-unit compute, bandwidth and latency cycles (vectorized,
+   honoring data-dependent loop bounds for exactly the units covered);
+2. sums each component over every work-group's units;
+3. combines with a roofline — bandwidth traffic overlaps compute; exposed
+   latency (gathers, atomics), loop bookkeeping, scratchpad staging and
+   the per-work-group dispatch overhead add on top.
+
+Because per-unit quantities are evaluated for the *specific* units a
+work-group covers, profiling a slice reflects that slice's data — the
+property DySel's productive profiling relies on (paper §2.1), and the
+reason profiling can be misled only by genuine workload irregularity, not
+by model artifacts.
+
+The DySel runtime never calls this module; it only observes measured
+execution times from the engine — the same information asymmetry the real
+system has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..kernel.buffers import Buffer, MemorySpace
+from ..kernel.ir import AtomicKind, KernelIR
+from ..kernel.kernel import KernelVariant, WorkRange
+from .base import Device
+from .memory import ELEM_BYTES, AccessCost
+
+
+@dataclass(frozen=True)
+class UnitCostBreakdown:
+    """Per-unit cost components (arrays over units)."""
+
+    compute_cycles: np.ndarray
+    bandwidth_cycles: np.ndarray
+    exposed_cycles: np.ndarray  # latency + atomics + loop overhead
+
+
+class CostModel:
+    """Prices work-groups of a variant on one device."""
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def workgroup_cycles(
+        self,
+        variant: KernelVariant,
+        args: Mapping[str, object],
+        units: WorkRange,
+    ) -> np.ndarray:
+        """True (noise-free) cycles for each work-group covering ``units``.
+
+        ``units`` must be aligned to the variant's ``wa_factor`` (safe
+        point analysis guarantees this for profiling slices; whole-launch
+        ranges start at zero and are trivially aligned).
+        """
+        if units.empty:
+            return np.zeros(0)
+        unit_ids = np.arange(units.start, units.end, dtype=np.int64)
+        breakdown = self.unit_costs(variant.ir, args, unit_ids)
+
+        group_start, group_end = variant.groups_for_units(units)
+        factor = variant.wa_factor
+        offsets = (
+            np.arange(group_start, group_end, dtype=np.int64) * factor
+            - units.start
+        )
+        compute = np.add.reduceat(breakdown.compute_cycles, offsets)
+        bandwidth = np.add.reduceat(breakdown.bandwidth_cycles, offsets)
+        exposed = np.add.reduceat(breakdown.exposed_cycles, offsets)
+
+        per_group_fixed = (
+            self.device.scratchpad_cycles_per_group(variant.ir)
+            + self.device.spec.workgroup_dispatch_overhead
+        )
+        return np.maximum(compute, bandwidth) + exposed + per_group_fixed
+
+    def unit_costs(
+        self,
+        ir: KernelIR,
+        args: Mapping[str, object],
+        unit_ids: np.ndarray,
+    ) -> UnitCostBreakdown:
+        """Evaluate per-unit cost components for the given unit ids."""
+        ids = np.asarray(unit_ids, dtype=np.int64)
+        flops = ir.total_flops(args, ids)
+        compute = self.device.compute_cycles(ir, flops, self._wg_size(ir))
+
+        cost = AccessCost.zero(ids.size)
+        atomic_cycles = np.zeros(ids.size)
+        placements = dict(ir.placements)
+        memory = self.device.memory
+        for access in ir.accesses:
+            trips = ir.access_trips(access, args, ids)
+            useful_bytes = access.bytes_per_trip * trips
+            buffer = self._buffer_arg(args, access.buffer)
+            space = MemorySpace(
+                placements.get(
+                    access.buffer,
+                    buffer.space.value if buffer is not None else "global",
+                )
+            )
+            hint = (
+                self._buffer_arg(args, access.working_set_hint)
+                if access.working_set_hint
+                else None
+            )
+            working_set = memory.working_set(access, args, ids, buffer, hint)
+            buffer_bytes = (
+                float(buffer.nbytes) if buffer is not None else float("inf")
+            )
+            dynamic_stride = (
+                np.asarray(access.stride_evaluator(args, ids), dtype=float)
+                if access.stride_evaluator is not None
+                else None
+            )
+            cost = cost + memory.access_cost(
+                access,
+                useful_bytes,
+                working_set,
+                buffer_bytes,
+                ir,
+                space,
+                dynamic_stride=dynamic_stride,
+            )
+            if access.atomic is AtomicKind.GLOBAL:
+                ops = useful_bytes / ELEM_BYTES
+                atomic_cycles += ops * self.device.atomic_cycles_per_op()
+
+        bookkeeping = self._loop_bookkeeping(ir, args, ids)
+        exposed = cost.latency_cycles + atomic_cycles + bookkeeping
+        return UnitCostBreakdown(
+            compute_cycles=compute,
+            bandwidth_cycles=cost.bandwidth_cycles,
+            exposed_cycles=exposed,
+        )
+
+    def _loop_bookkeeping(
+        self,
+        ir: KernelIR,
+        args: Mapping[str, object],
+        ids: np.ndarray,
+    ) -> np.ndarray:
+        """Per-unit loop setup and trip bookkeeping cycles.
+
+        Every loop charges a setup cost per *instance* (once per iteration
+        of its enclosing loops) and a per-trip branch cost; only the
+        innermost loop's trips are amortized by unrolling.  Short
+        data-dependent inner loops are therefore setup-dominated, which is
+        what makes loop order matter for irregular inputs (paper §4.4's
+        DFO/BFO crossover).
+        """
+        spec = self.device.spec
+        bookkeeping = np.zeros(ids.size)
+        instances = np.ones(ids.size)
+        for index, loop in enumerate(ir.loops):
+            trips = loop.bound.trips(args, ids)
+            iterations = instances * trips
+            per_trip = spec.loop_overhead_cycles
+            if index == len(ir.loops) - 1:
+                # The innermost loop's bookkeeping amortizes over both
+                # unrolling and SIMD lanes (a vectorized loop takes 1/w
+                # as many trips).
+                per_trip /= ir.unroll_factor * max(1, ir.vector_width)
+                if ir.prefetch:
+                    # Prefetch instructions occupy an issue slot per trip.
+                    per_trip += 0.6
+            bookkeeping += instances * spec.loop_setup_cycles
+            bookkeeping += iterations * per_trip
+            instances = iterations
+        return bookkeeping
+
+    def launch_cycles(
+        self,
+        variant: KernelVariant,
+        args: Mapping[str, object],
+        units: WorkRange,
+    ) -> float:
+        """Total serialized cycles if the work-groups ran on one unit.
+
+        Convenience for tests and analytical baselines; the engine computes
+        actual makespans with concurrency.
+        """
+        return float(np.sum(self.workgroup_cycles(variant, args, units)))
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _wg_size(ir: KernelIR) -> int:
+        """Work-group thread count hint used by compute-efficiency rules."""
+        return ir.work_group_threads
+
+    @staticmethod
+    def _buffer_arg(
+        args: Mapping[str, object], name: Optional[str]
+    ) -> Optional[Buffer]:
+        """Resolve an argument to a Buffer, or None for scalars/missing."""
+        if name is None:
+            return None
+        value = args.get(name)
+        return value if isinstance(value, Buffer) else None

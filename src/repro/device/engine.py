@@ -1,0 +1,370 @@
+"""Discrete-event execution engine for simulated devices.
+
+The engine plays the role of TBB (CPU) and the CUDA driver + block
+scheduler (GPU): it dispatches work-groups onto ``compute_units``
+concurrent execution units, honoring priorities — profiling work beats
+eager work beats batch work, like DySel's prioritized task groups (§3.2) —
+and charging kernel-launch overhead and host query latency (§3.3, §5.1).
+
+Causality is host-driven: the engine never simulates past the host clock
+(``now``) on its own.  Host-side operations (submit, poll, wait, barrier)
+advance the host clock, and only then does the device schedule work-groups
+whose start times fall inside the advanced window.  This makes the
+asynchronous flow faithful: an eager chunk submitted after a poll really
+competes with whatever is still running at that host time.
+
+Functional execution (the variant actually writing its output buffers)
+happens at submission; simulated timing is independent of functional
+results, matching how a deterministic kernel's output does not depend on
+when it is scheduled.
+
+Measurement mimics the paper's in-kernel clock instrumentation (Fig 7):
+a task's interval spans the earliest work-group start to the latest
+work-group end among its work-groups, read through the quantized noisy
+timer.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..config import ReproConfig
+from ..errors import EngineError
+from ..kernel.kernel import KernelVariant, WorkRange
+from .base import Device
+from .clock import MeasuredInterval, NoisyClock
+from .cost import CostModel
+
+#: Fraction of the kernel-launch overhead spent on the *host* side of the
+#: launch call (driver entry / task-group spawn); the remainder is
+#: device-side setup before the first work-group starts.
+HOST_LAUNCH_FRACTION = 0.25
+
+#: Above this many work-groups, an uncontended batch task is scheduled with
+#: the analytic makespan instead of per-work-group events.
+FAST_BATCH_THRESHOLD = 4096
+
+
+class Priority(enum.IntEnum):
+    """Dispatch priority classes (lower value wins)."""
+
+    PROFILING = 0
+    EAGER = 1
+    BATCH = 2
+
+
+@dataclass
+class TaskHandle:
+    """One submitted kernel execution (a set of work-groups).
+
+    Exposes completion state and the measured interval once finished.
+    ``true_cycles``/``measured`` are populated by the engine; callers
+    (the DySel runtime) must only read ``measured`` — ``true_*`` fields
+    exist for the oracle and tests.
+    """
+
+    task_id: int
+    variant: KernelVariant
+    units: WorkRange
+    priority: Priority
+    stream: Optional[str]
+    measure: bool
+    submit_time: float
+    arrival_time: float
+    #: Work-group durations (jittered), consumed front-first at dispatch.
+    _durations: Deque[float] = field(default_factory=deque, repr=False)
+    total_work_groups: int = 0
+    completed_work_groups: int = 0
+    first_start: float = float("inf")
+    last_end: float = 0.0
+    measured: Optional[MeasuredInterval] = None
+
+    @property
+    def finished(self) -> bool:
+        """True once every work-group has completed."""
+        return self.completed_work_groups >= self.total_work_groups
+
+    @property
+    def true_span_cycles(self) -> float:
+        """Ground-truth profiled interval (first start to last end)."""
+        if not self.finished:
+            raise EngineError(
+                f"task {self.task_id} not finished; span unavailable"
+            )
+        if self.total_work_groups == 0:
+            return 0.0
+        return self.last_end - self.first_start
+
+
+class ExecutionEngine:
+    """Event-driven scheduler for one device."""
+
+    def __init__(self, device: Device, config: Optional[ReproConfig] = None) -> None:
+        self.device = device
+        self.config = config if config is not None else device.config
+        # The engine owns its clock so a per-run config (e.g. noise
+        # disabled for oracle runs) takes effect regardless of how the
+        # device was built.
+        self.clock = NoisyClock(self.config, device.spec.name)
+        self.cost_model = CostModel(device)
+        self._now = 0.0
+        units = device.spec.compute_units
+        #: Heap of (free_time, unit_id).
+        self._unit_heap: List[Tuple[float, int]] = [(0.0, i) for i in range(units)]
+        heapq.heapify(self._unit_heap)
+        #: Pending device-side arrivals: (arrival_time, seq, task).
+        self._arrivals: List[Tuple[float, int, TaskHandle]] = []
+        #: Ready work-groups by priority: deque of (task, duration).
+        self._ready: Dict[Priority, Deque[Tuple[TaskHandle, float]]] = {
+            p: deque() for p in Priority
+        }
+        self._seq = itertools.count()
+        self._busy_cycles = 0.0
+        self._launch_count = 0
+
+    # ------------------------------------------------------------------
+    # Host-side API
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current host clock, in device cycles."""
+        return self._now
+
+    @property
+    def launch_count(self) -> int:
+        """Number of kernel launches submitted so far."""
+        return self._launch_count
+
+    def utilization(self) -> float:
+        """Fraction of unit-cycles spent busy since time zero."""
+        elapsed = self._device_horizon()
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_cycles / (elapsed * self.device.spec.compute_units)
+
+    def submit(
+        self,
+        variant: KernelVariant,
+        args: Mapping[str, object],
+        units: WorkRange,
+        priority: Priority = Priority.BATCH,
+        stream: Optional[str] = None,
+        measure: bool = False,
+    ) -> TaskHandle:
+        """Launch a variant over a workload-unit range.
+
+        Functionally executes the variant immediately (writing its output
+        buffers); schedules its work-groups for timing.  The host clock
+        advances by the host-side share of the launch overhead; the
+        work-groups become dispatchable after the device-side share.
+        """
+        overhead = self.device.spec.kernel_launch_overhead
+        self._now += overhead * HOST_LAUNCH_FRACTION
+        arrival = self._now + overhead * (1.0 - HOST_LAUNCH_FRACTION)
+        self._launch_count += 1
+
+        variant.execute(args, units)
+
+        true_costs = self.cost_model.workgroup_cycles(variant, args, units)
+        durations = self.clock.jitter_durations(true_costs)
+
+        task = TaskHandle(
+            task_id=next(self._seq),
+            variant=variant,
+            units=units,
+            priority=priority,
+            stream=stream,
+            measure=measure,
+            submit_time=self._now,
+            arrival_time=arrival,
+            _durations=deque(float(d) for d in durations),
+            total_work_groups=int(len(durations)),
+        )
+        if task.total_work_groups == 0:
+            task.first_start = arrival
+            task.last_end = arrival
+            self._finalize(task)
+        else:
+            heapq.heappush(self._arrivals, (arrival, next(self._seq), task))
+        return task
+
+    def poll(self, task: TaskHandle) -> bool:
+        """Query a task's completion status (costs host query latency).
+
+        Models ``cudaStreamQuery`` (§3.3): the query itself takes longer
+        than a micro-profile often does, which is what limits eager
+        dispatch on GPUs (§5.1).
+        """
+        self._now += self.device.spec.host_query_latency
+        self._advance_to(self._now)
+        return task.finished and task.last_end <= self._now
+
+    def wait(self, task: TaskHandle) -> float:
+        """Block the host until a task completes; returns completion time."""
+        self._drain_task(task)
+        self._now = max(self._now, task.last_end)
+        return task.last_end
+
+    def wait_all(self, tasks: List[TaskHandle]) -> float:
+        """Block the host until all tasks complete (device synchronize)."""
+        end = self._now
+        for task in tasks:
+            self._drain_task(task)
+            end = max(end, task.last_end)
+        self._now = max(self._now, end)
+        return self._now
+
+    def barrier(self) -> float:
+        """Drain every outstanding work-group (``cudaDeviceSynchronize``)."""
+        self._advance_to(float("inf"))
+        self._now = max(self._now, self._device_horizon())
+        return self._now
+
+    def host_compute(self, cycles: float) -> None:
+        """Charge host-side work (selection compare, bookkeeping)."""
+        if cycles < 0:
+            raise EngineError(f"host_compute cycles must be >= 0: {cycles}")
+        self._now += cycles
+        self._advance_to(self._now)
+
+    # ------------------------------------------------------------------
+    # Simulation core
+    # ------------------------------------------------------------------
+
+    def _drain_task(self, task: TaskHandle) -> None:
+        """Advance simulation until the given task finishes."""
+        guard = 0
+        while not task.finished:
+            progressed = self._advance_to(float("inf"), stop_task=task)
+            guard += 1
+            if not progressed and not task.finished:
+                raise EngineError(
+                    f"task {task.task_id} cannot finish: engine is stuck "
+                    f"(ready={sum(len(q) for q in self._ready.values())}, "
+                    f"arrivals={len(self._arrivals)})"
+                )
+            if guard > 10_000_000:
+                raise EngineError("engine livelock detected")
+
+    def _device_horizon(self) -> float:
+        """Latest unit free time (device-side frontier)."""
+        return max(t for t, _ in self._unit_heap)
+
+    def _ready_count(self) -> int:
+        return sum(len(q) for q in self._ready.values())
+
+    def _pop_ready(self) -> Tuple[TaskHandle, float]:
+        for priority in Priority:
+            queue = self._ready[priority]
+            if queue:
+                return queue.popleft()
+        raise EngineError("no ready work-group to pop")
+
+    def _deliver_arrivals(self, up_to: float) -> None:
+        while self._arrivals and self._arrivals[0][0] <= up_to:
+            _, _, task = heapq.heappop(self._arrivals)
+            queue = self._ready[task.priority]
+            while task._durations:
+                queue.append((task, task._durations.popleft()))
+
+    def _advance_to(
+        self, horizon: float, stop_task: Optional[TaskHandle] = None
+    ) -> bool:
+        """Schedule work-groups with start times up to ``horizon``.
+
+        Returns True if any progress was made.  With ``stop_task`` given,
+        returns as soon as that task finishes.
+        """
+        progressed = False
+        while True:
+            if stop_task is not None and stop_task.finished:
+                return progressed
+            if self._ready_count() == 0:
+                if not self._arrivals:
+                    return progressed
+                next_arrival = self._arrivals[0][0]
+                if next_arrival > horizon:
+                    return progressed
+                self._deliver_arrivals(next_arrival)
+                continue
+
+            if self._try_fast_batch(horizon):
+                progressed = True
+                continue
+
+            free_time, unit = self._unit_heap[0]
+            # Deliver anything arriving by the dispatch instant so higher
+            # priority work can claim the unit.
+            self._deliver_arrivals(free_time)
+            task, duration = self._pop_ready()
+            start = max(free_time, task.arrival_time)
+            if start > horizon:
+                # Undo the pop; nothing can start inside the horizon yet.
+                self._ready[task.priority].appendleft((task, duration))
+                return progressed
+            heapq.heappop(self._unit_heap)
+            end = start + duration
+            heapq.heappush(self._unit_heap, (end, unit))
+            self._busy_cycles += duration
+            task.first_start = min(task.first_start, start)
+            task.last_end = max(task.last_end, end)
+            task.completed_work_groups += 1
+            if task.finished:
+                self._finalize(task)
+            progressed = True
+
+    def _try_fast_batch(self, horizon: float) -> bool:
+        """Analytic fast path for a large uncontended batch.
+
+        When exactly one task's work-groups are ready, nothing else is in
+        flight or arriving, and the batch is large, its makespan is
+        computed analytically (list scheduling on identical units) instead
+        of event by event.  Keeps iterative whole-workload launches cheap
+        to simulate without changing comparative timing.
+        """
+        if self._arrivals:
+            return False
+        if horizon != float("inf"):
+            return False
+        ready = [(p, q) for p, q in self._ready.items() if q]
+        if len(ready) != 1:
+            return False
+        _, queue = ready[0]
+        if len(queue) < FAST_BATCH_THRESHOLD:
+            return False
+        tasks = {id(task): task for task, _ in queue}
+        if len(tasks) != 1:
+            return False
+        free_times = sorted(t for t, _ in self._unit_heap)
+        task = next(iter(tasks.values()))
+
+        durations = np.fromiter((d for _, d in queue), dtype=float, count=len(queue))
+        queue.clear()
+        units = len(free_times)
+        start0 = max(free_times[0], task.arrival_time)
+        total = float(np.sum(durations))
+        # List-scheduling makespan bounds: mean load plus one straggler.
+        makespan = total / units + float(np.max(durations)) * (1.0 - 1.0 / units)
+        end = start0 + makespan
+        self._busy_cycles += total
+        task.first_start = min(task.first_start, start0)
+        task.last_end = max(task.last_end, end)
+        task.completed_work_groups += len(durations)
+        self._unit_heap = [(end, i) for i in range(units)]
+        heapq.heapify(self._unit_heap)
+        if task.finished:
+            self._finalize(task)
+        return True
+
+    def _finalize(self, task: TaskHandle) -> None:
+        if task.measure and task.measured is None:
+            span = task.true_span_cycles
+            task.measured = self.clock.read_interval(span)

@@ -1,0 +1,78 @@
+"""Streams: named in-order submission queues (CUDA-stream analogue).
+
+DySel's GPU runtime launches each profiling candidate on its own stream so
+candidates profile concurrently, then either synchronizes the device (sync
+flow) or polls stream status while eagerly dispatching (async flow, §3.3).
+A :class:`Stream` wraps the engine with per-stream task tracking and the
+query/synchronize operations those flows use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from ..errors import StreamError
+from ..kernel.kernel import KernelVariant, WorkRange
+from .engine import ExecutionEngine, Priority, TaskHandle
+
+
+class Stream:
+    """An in-order submission queue on one device."""
+
+    def __init__(self, engine: ExecutionEngine, name: str) -> None:
+        if not name:
+            raise StreamError("stream name must be non-empty")
+        self.engine = engine
+        self.name = name
+        self.tasks: List[TaskHandle] = []
+        self._destroyed = False
+
+    def submit(
+        self,
+        variant: KernelVariant,
+        args: Mapping[str, object],
+        units: WorkRange,
+        priority: Priority = Priority.BATCH,
+        measure: bool = False,
+    ) -> TaskHandle:
+        """Launch a kernel on this stream."""
+        self._check_alive()
+        task = self.engine.submit(
+            variant, args, units, priority=priority, stream=self.name,
+            measure=measure,
+        )
+        self.tasks.append(task)
+        return task
+
+    def query(self) -> bool:
+        """``cudaStreamQuery``: has all work on this stream completed?
+
+        Costs host query latency (see §5.1: the query often takes longer
+        than the micro-profile it is checking on).
+        """
+        self._check_alive()
+        for task in self.tasks:
+            if not task.finished:
+                return self.engine.poll(task)
+        # All finished; one poll still pays the host round-trip.
+        if self.tasks:
+            return self.engine.poll(self.tasks[-1])
+        return True
+
+    def synchronize(self) -> float:
+        """Block until all work on this stream completes."""
+        self._check_alive()
+        return self.engine.wait_all(self.tasks)
+
+    def destroy(self) -> None:
+        """Release the stream; further use raises."""
+        self._check_alive()
+        self._destroyed = True
+
+    def _check_alive(self) -> None:
+        if self._destroyed:
+            raise StreamError(f"stream {self.name!r} was destroyed")
+
+    def __repr__(self) -> str:
+        state = "destroyed" if self._destroyed else f"{len(self.tasks)} tasks"
+        return f"Stream({self.name!r}, {state})"

@@ -1,0 +1,94 @@
+"""Exception hierarchy for the DySel reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries.  Subsystems raise the most specific
+subclass available; error messages name the offending object (kernel
+signature, buffer, device) to make failures diagnosable from the message
+alone.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid global or per-run configuration value."""
+
+
+class KernelError(ReproError):
+    """Base class for kernel-model errors."""
+
+
+class SignatureError(KernelError):
+    """Kernel arguments do not match the declared signature."""
+
+
+class NDRangeError(KernelError):
+    """Invalid NDRange / work-group decomposition."""
+
+
+class BufferError_(KernelError):
+    """Invalid buffer construction or access.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`BufferError`.
+    """
+
+
+class IRError(KernelError):
+    """Malformed kernel IR (loop nest, access descriptor, ...)."""
+
+
+class DeviceError(ReproError):
+    """Base class for simulated-device errors."""
+
+
+class StreamError(DeviceError):
+    """Invalid stream operation (double-destroy, sync on dead stream...)."""
+
+
+class EngineError(DeviceError):
+    """Discrete-event engine invariant violation."""
+
+
+class CompilerError(ReproError):
+    """Base class for compiler-analysis and transform errors."""
+
+
+class AnalysisError(CompilerError):
+    """A static analysis was given IR it cannot reason about."""
+
+
+class TransformError(CompilerError):
+    """A code transform could not be applied to the given variant."""
+
+
+class DySelError(ReproError):
+    """Base class for DySel-runtime errors."""
+
+
+class RegistrationError(DySelError):
+    """Invalid kernel-pool registration (duplicate variant, bad factor...)."""
+
+
+class LaunchError(DySelError):
+    """Invalid kernel launch (unknown signature, empty pool, bad mode)."""
+
+
+class ProfilingError(DySelError):
+    """Micro-profiling failed or was configured inconsistently."""
+
+
+class SandboxError(DySelError):
+    """Sandbox / private-output management error."""
+
+
+class WorkloadError(ReproError):
+    """Benchmark workload construction or validation error."""
+
+
+class HarnessError(ReproError):
+    """Experiment-harness configuration or execution error."""

@@ -1,0 +1,28 @@
+"""Experiment harness: oracle/baseline runners and figure regeneration.
+
+:mod:`~repro.harness.runner` executes a benchmark case under one selection
+strategy (a fixed pure variant, a static heuristic's choice, or DySel
+itself) and reports wall cycles; :mod:`~repro.harness.report` formats the
+relative-to-oracle tables the paper's figures plot;
+:mod:`~repro.harness.experiments` holds one module per table/figure.
+"""
+
+from .report import RelativeBar, format_figure, format_table
+from .runner import (
+    CaseEvaluation,
+    RunResult,
+    evaluate_case,
+    run_dysel,
+    run_pure,
+)
+
+__all__ = [
+    "CaseEvaluation",
+    "RelativeBar",
+    "RunResult",
+    "evaluate_case",
+    "format_figure",
+    "format_table",
+    "run_dysel",
+    "run_pure",
+]

@@ -1,0 +1,103 @@
+"""Kernel-launch census (paper Figure 2).
+
+Figure 2 accumulates, across all Parboil and Rodinia OpenCL benchmarks,
+how many kernel invocations fall into each work-group-count bucket — the
+evidence that workload over-decomposition makes micro-profiling cheap:
+most invocations carry 128–32768 work-groups, and launches under 128
+work-groups (where DySel deactivates) are rare enough to drop.
+
+We regenerate the census from our benchmark suite: each application
+contributes its kernels' base work-group counts times the number of
+invocations a realistic run performs (iterative solvers launch their
+kernel per step; the counts below are the suites' default run lengths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..config import DEFAULT_CONFIG, ReproConfig
+
+#: (application, kernel, base work-groups, invocations per run).
+#: Work-group counts are our suite's defaults (base variant, one
+#: work-group per work-unit block); invocation counts are the benchmark
+#: suites' default iteration counts — CG-style solvers and PDE steppers
+#: dominate the high-invocation mass, matching the paper's observation.
+CensusEntry = Tuple[str, str, int, int]
+
+
+def suite_entries(config: ReproConfig = DEFAULT_CONFIG) -> List[CensusEntry]:
+    """The launch census of our benchmark suite's default runs."""
+    return [
+        # Parboil
+        ("sgemm", "sgemm", 2304, 1),
+        ("stencil", "jacobi7", 2048, 100),
+        ("cutcp", "lattice", 4096, 10),
+        ("spmv-jds", "spmv", 512, 1000),  # CG solver inner loop
+        ("mri-q", "computeQ", 2048, 2),
+        ("histo", "histogram", 1024, 20),
+        ("tpacf", "correlation", 201, 1),
+        ("mri-q", "computePhiMag", 64, 2),
+        ("sad", "larger_sad_calc_16", 99, 1),
+        ("lbm", "collide-stream", 32768, 300),
+        # Rodinia
+        ("kmeans", "assign", 4096, 20),
+        ("kmeans", "update", 256, 20),
+        ("particle-filter", "find_index", 500, 100),
+        ("particle-filter", "normalize", 500, 100),
+        ("hotspot", "temperature", 1849, 360),
+        ("bfs", "frontier", 1954, 24),
+        ("srad", "srad1", 8192, 100),
+        ("srad", "srad2", 8192, 100),
+        ("lud", "diagonal", 128, 64),
+        ("nw", "needle", 255, 128),
+        ("backprop", "forward", 4096, 1),
+        ("streamcluster", "pgain", 1024, 500),
+        # SHOC
+        ("spmv-csr", "spmv", 4096, 1000),  # CG solver inner loop
+        ("reduction", "reduce", 256, 64),
+        ("scan", "scan", 512, 64),
+    ]
+
+
+#: Figure 2's x-axis buckets (work-group counts, powers of two).
+BUCKETS = (128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768)
+
+
+@dataclass(frozen=True)
+class Census:
+    """Accumulated invocation counts per work-group bucket."""
+
+    counts: Dict[int, int]
+    dropped_small: int
+
+    def series(self) -> List[Tuple[int, int]]:
+        """(bucket, invocations) pairs in x order."""
+        return [(bucket, self.counts.get(bucket, 0)) for bucket in BUCKETS]
+
+
+def bucket_of(work_groups: int) -> int:
+    """Round a work-group count down to its Figure 2 bucket."""
+    chosen = BUCKETS[0]
+    for bucket in BUCKETS:
+        if work_groups >= bucket:
+            chosen = bucket
+    return chosen
+
+
+def collect_census(config: ReproConfig = DEFAULT_CONFIG) -> Census:
+    """Accumulate the suite's launches into Figure 2's buckets.
+
+    Launches under 128 work-groups are counted separately and dropped
+    from the plot, as the paper does.
+    """
+    counts: Dict[int, int] = {}
+    dropped = 0
+    for _app, _kernel, work_groups, invocations in suite_entries(config):
+        if work_groups < BUCKETS[0]:
+            dropped += invocations
+            continue
+        bucket = bucket_of(work_groups)
+        counts[bucket] = counts.get(bucket, 0) + invocations
+    return Census(counts=counts, dropped_small=dropped)

@@ -1,0 +1,41 @@
+"""One module per table/figure of the paper's evaluation.
+
+Each module exposes ``run(config=DEFAULT_CONFIG, quick=False)`` returning
+an :class:`ExperimentResult`: the regenerated rows/series (structured, for
+tests and benchmarks) plus a formatted text report shaped like the paper's
+figure.  ``quick=True`` shrinks inputs for CI-speed runs; the default
+sizes match the paper's regimes (see DESIGN.md §4 and EXPERIMENTS.md for
+paper-vs-measured).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..report import RelativeBar
+
+
+@dataclass
+class ExperimentResult:
+    """Regenerated content of one table/figure."""
+
+    experiment: str
+    title: str
+    bars: List[RelativeBar] = field(default_factory=list)
+    text: str = ""
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def bar(self, group: str, series: str) -> float:
+        """Look up one bar's value."""
+        for bar in self.bars:
+            if bar.group == group and bar.series == series:
+                return bar.value
+        raise KeyError(f"no bar ({group!r}, {series!r}) in {self.experiment}")
+
+    def series_of(self, group: str) -> Dict[str, float]:
+        """All series values of one group."""
+        return {
+            bar.series: bar.value for bar in self.bars if bar.group == group
+        }
+
+
+__all__ = ["ExperimentResult", "RelativeBar"]

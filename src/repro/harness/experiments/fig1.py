@@ -1,0 +1,72 @@
+"""Figure 1: Intel CPU OpenCL stack with different vectorization strategies.
+
+Regenerates the motivation figure: for sgemm and spmv-jds on the CPU,
+speedup over the Intel heuristic's width choice (higher is better) for
+the scalar, 4-way and 8-way variants.  The paper reports the heuristic
+falling short of the best by 2.13× (sgemm, picks 4-way, 8-way wins) and
+1.24× (spmv-jds, picks 8-way, narrower wins).
+"""
+
+from __future__ import annotations
+
+from ...compiler.heuristics.intel_vec import intel_vector_width
+from ...config import DEFAULT_CONFIG, ReproConfig
+from ...device.cpu import make_cpu
+from ...workloads import sgemm, spmv_jds
+from ..report import RelativeBar, format_figure
+from ..runner import run_pure
+from . import ExperimentResult
+
+#: Series labels, matching the paper's legend.
+SERIES = ("heuristic", "scalar", "4-way vector", "8-way vector")
+
+
+def run(config: ReproConfig = DEFAULT_CONFIG, quick: bool = False) -> ExperimentResult:
+    """Regenerate Figure 1."""
+    cpu = make_cpu(config)
+    n = 256 if quick else sgemm.DEFAULT_N
+    size = 1024 if quick else spmv_jds.DEFAULT_SIZE
+    cases = {
+        "sgemm": (
+            sgemm.vectorization_case(n, config),
+            intel_vector_width(sgemm.base_variant(n, "cpu").ir),
+        ),
+        "spmv-jds": (
+            spmv_jds.vectorization_case(size, config),
+            intel_vector_width(spmv_jds.base_variant("cpu").ir),
+        ),
+    }
+    bars = []
+    data = {}
+    for name, (case, heuristic_width) in cases.items():
+        times = {}
+        for variant_name in case.pool.variant_names:
+            result = run_pure(case, cpu, variant_name, config)
+            width_label = variant_name.split(",")[-1]
+            times[width_label] = result.elapsed_cycles
+        heuristic_label = (
+            f"{heuristic_width}-way" if heuristic_width > 1 else "scalar"
+        )
+        heuristic_time = times[heuristic_label]
+        speedups = {
+            "heuristic": 1.0,
+            "scalar": heuristic_time / times["scalar"],
+            "4-way vector": heuristic_time / times["4-way"],
+            "8-way vector": heuristic_time / times["8-way"],
+        }
+        for series in SERIES:
+            bars.append(RelativeBar(group=name, series=series, value=speedups[series]))
+        best = max(times, key=lambda k: heuristic_time / times[k])
+        data[name] = {
+            "heuristic_width": heuristic_width,
+            "best": best,
+            "best_speedup_over_heuristic": heuristic_time / min(times.values()),
+        }
+    text = format_figure(
+        "Figure 1: vectorization strategies on CPU",
+        bars,
+        value_header="speedup over heuristic (higher is better)",
+    )
+    return ExperimentResult(
+        experiment="fig1", title="Fig 1", bars=bars, text=text, data=data
+    )

@@ -1,0 +1,102 @@
+"""Figure 10: DySel on mixed compile-time optimizations (Case Study III).
+
+Four Parboil benchmarks (cutcp, sgemm, spmv-jds, stencil) with their
+shipped version pools as DySel candidates, on CPU (a) and GPU (b).  Bars
+relative to the oracle: Oracle, Sync, Async (best/worst initial), Worst;
+plus the geometric mean.
+
+Paper shape: near-oracle DySel on both devices (~2% CPU average); base
+versions win on CPU while tiled/coarsened versions win on GPU; on GPU
+spmv-jds DySel picks the second-best version, 0.8% off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...config import DEFAULT_CONFIG, ReproConfig
+from ...device.cpu import make_cpu
+from ...device.gpu import make_gpu
+from ...workloads import cutcp, sgemm, spmv_jds, stencil
+from ..report import RelativeBar, format_figure, geomean
+from ..runner import evaluate_case
+from . import ExperimentResult
+
+SERIES = ("Oracle", "Sync", "Async(best)", "Async(worst)", "Worst")
+
+
+def _cases(device_kind: str, config: ReproConfig, quick: bool):
+    if quick:
+        return [
+            ("sgemm", sgemm.mixed_case(device_kind, 512, config)),
+            (
+                "stencil",
+                stencil.mixed_case(
+                    device_kind, (256, 256, 16), config, iterations=10
+                ),
+            ),
+        ]
+    return [
+        ("cutcp", cutcp.mixed_case(device_kind, config=config)),
+        ("sgemm", sgemm.mixed_case(device_kind, 768, config)),
+        (
+            "spmv-jds",
+            spmv_jds.mixed_case(device_kind, config=config, iterations=50),
+        ),
+        ("stencil", stencil.mixed_case(device_kind, config=config, iterations=20)),
+    ]
+
+
+def run_device(
+    device_kind: str, config: ReproConfig, quick: bool
+) -> ExperimentResult:
+    """Regenerate one panel (Fig 10a: cpu, Fig 10b: gpu)."""
+    device = make_cpu(config) if device_kind == "cpu" else make_gpu(config)
+    bars: List[RelativeBar] = []
+    data: Dict[str, object] = {}
+    labels = []
+    for label, case in _cases(device_kind, config, quick):
+        labels.append(label)
+        evaluation = evaluate_case(case, device, config)
+        oracle = evaluation.oracle.elapsed_cycles
+        series_values = {
+            "Oracle": 1.0,
+            "Sync": evaluation.dysel["sync"].elapsed_cycles / oracle,
+            "Async(best)": evaluation.dysel["async-best"].elapsed_cycles / oracle,
+            "Async(worst)": evaluation.dysel["async-worst"].elapsed_cycles
+            / oracle,
+            "Worst": evaluation.worst.elapsed_cycles / oracle,
+        }
+        for series in SERIES:
+            bars.append(RelativeBar(label, series, series_values[series]))
+        data[label] = {
+            "oracle_variant": evaluation.oracle.selected,
+            "dysel_selected": evaluation.dysel["sync"].selected,
+            "all_valid": evaluation.all_valid(),
+            "series": series_values,
+        }
+    for series in SERIES:
+        values = [
+            bar.value for bar in bars if bar.series == series and bar.group in labels
+        ]
+        bars.append(RelativeBar("GeoMean", series, geomean(values)))
+    panel = "a" if device_kind == "cpu" else "b"
+    text = format_figure(
+        f"Figure 10({panel}): mixed compile-time optimizations ({device_kind.upper()})",
+        bars,
+    )
+    return ExperimentResult(
+        experiment=f"fig10{panel}",
+        title=f"Fig 10({panel})",
+        bars=bars,
+        text=text,
+        data=data,
+    )
+
+
+def run(config: ReproConfig = DEFAULT_CONFIG, quick: bool = False) -> Dict[str, ExperimentResult]:
+    """Regenerate both panels."""
+    return {
+        "cpu": run_device("cpu", config, quick),
+        "gpu": run_device("gpu", config, quick),
+    }

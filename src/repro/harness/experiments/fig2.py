@@ -1,0 +1,40 @@
+"""Figure 2: distribution of work-group counts among kernel launches.
+
+Regenerates the launch census supporting the low-cost-profiling
+hypothesis: significant invocation mass between 128 and 32768 work-groups
+(log-scale y), launches under 128 work-groups rare and dropped.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...config import DEFAULT_CONFIG, ReproConfig
+from ..census import BUCKETS, collect_census
+from ..report import format_table
+from . import ExperimentResult
+
+
+def run(config: ReproConfig = DEFAULT_CONFIG, quick: bool = False) -> ExperimentResult:
+    """Regenerate Figure 2."""
+    census = collect_census(config)
+    rows = []
+    for bucket, count in census.series():
+        log_count = math.log10(count) if count > 0 else float("-inf")
+        bar = "#" * int(round(log_count * 8)) if count > 0 else ""
+        rows.append((bucket, count, f"1e{log_count:.1f}" if count else "0", bar))
+    text = format_table(
+        "Figure 2: kernel invocations per work-group-count bucket",
+        ("work-groups", "invocations", "log10", "log-scale bar"),
+        rows,
+    )
+    return ExperimentResult(
+        experiment="fig2",
+        title="Fig 2",
+        text=text,
+        data={
+            "counts": dict(census.series()),
+            "dropped_small_launches": census.dropped_small,
+            "buckets": list(BUCKETS),
+        },
+    )

@@ -1,0 +1,162 @@
+"""Figure 8: DySel on locality-centric scheduling, CPU (Case Study I).
+
+Seven benchmark configurations (cutcp, kmeans, sgemm, spmv-jds,
+spmv-csr on the random and diagonal matrices, stencil), each with its LC
+schedule family as the DySel pool.  Bars, relative to the oracle (lower
+is better): Oracle, Sync, Async (best initial selection), Async (worst
+initial selection), LC's static pick, and the Worst schedule; plus the
+geometric mean.
+
+Paper shape to reproduce: DySel near-oracle everywhere; LC optimal except
+spmv-csr on the diagonal matrix (~1.15× off); large oracle-to-worst
+spreads (sgemm pathological).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ...compiler.heuristics.lc import lc_select_schedule
+from ...config import DEFAULT_CONFIG, ReproConfig
+from ...device.cpu import make_cpu
+from ...workloads import cutcp, kmeans, sgemm, spmv_csr, spmv_jds, stencil
+from ...workloads.base import BenchmarkCase
+from ..report import RelativeBar, format_figure, geomean
+from ..runner import CaseEvaluation, evaluate_case
+from . import ExperimentResult
+
+SERIES = ("Oracle", "Sync", "Async(best)", "Async(worst)", "LC", "Worst")
+
+
+def _cases(
+    config: ReproConfig, quick: bool
+) -> List[Tuple[str, BenchmarkCase, Callable[[], object]]]:
+    """(label, case, LC-pick thunk) per benchmark."""
+    if quick:
+        return [
+            (
+                "sgemm",
+                sgemm.schedule_case(512, config),
+                lambda: lc_select_schedule(sgemm.schedule_family(512)),
+            ),
+            (
+                "spmv-csr (random)",
+                spmv_csr.schedule_case("random", 4096, config, iterations=30),
+                lambda: lc_select_schedule(_csr_family()),
+            ),
+            (
+                "spmv-csr (diagonal)",
+                spmv_csr.schedule_case("diagonal", 65536, config, iterations=30),
+                lambda: lc_select_schedule(_csr_family()),
+            ),
+        ]
+    return [
+        (
+            "cutcp",
+            cutcp.schedule_case((128, 128, 32), 40000, config, iterations=5),
+            lambda: lc_select_schedule(cutcp.schedule_family(config)),
+        ),
+        (
+            "kmeans",
+            kmeans.schedule_case(config=config, iterations=20),
+            lambda: lc_select_schedule(kmeans.schedule_family()),
+        ),
+        (
+            "sgemm",
+            sgemm.schedule_case(768, config),
+            lambda: lc_select_schedule(sgemm.schedule_family(768)),
+        ),
+        (
+            "spmv-jds",
+            spmv_jds.schedule_case(config=config, iterations=50),
+            lambda: lc_select_schedule(spmv_jds.schedule_family(config=config)),
+        ),
+        (
+            "spmv-csr (random)",
+            spmv_csr.schedule_case("random", 16384, config, iterations=50),
+            lambda: lc_select_schedule(_csr_family()),
+        ),
+        (
+            "spmv-csr (diagonal)",
+            spmv_csr.schedule_case("diagonal", 262144, config, iterations=50),
+            lambda: lc_select_schedule(_csr_family()),
+        ),
+        (
+            "stencil",
+            stencil.schedule_case(config=config, iterations=20),
+            lambda: lc_select_schedule(stencil.schedule_family()),
+        ),
+    ]
+
+
+def _csr_family():
+    """The spmv-csr scalar kernel's two schedules, as LC sees them."""
+    from ...compiler.transforms.schedule import reorder_loops
+
+    base = spmv_csr.scalar_variant("cpu")
+    return [
+        (("wi_r", "nnz"), reorder_loops(base, ("wi_r", "nnz"), label="DFO")),
+        (("nnz", "wi_r"), reorder_loops(base, ("nnz", "wi_r"), label="BFO")),
+    ]
+
+
+def _bars_for(
+    label: str, evaluation: CaseEvaluation, lc_name: str
+) -> List[RelativeBar]:
+    oracle = evaluation.oracle.elapsed_cycles
+    bars = [RelativeBar(label, "Oracle", 1.0)]
+    bars.append(
+        RelativeBar(label, "Sync", evaluation.dysel["sync"].elapsed_cycles / oracle)
+    )
+    bars.append(
+        RelativeBar(
+            label,
+            "Async(best)",
+            evaluation.dysel["async-best"].elapsed_cycles / oracle,
+        )
+    )
+    bars.append(
+        RelativeBar(
+            label,
+            "Async(worst)",
+            evaluation.dysel["async-worst"].elapsed_cycles / oracle,
+        )
+    )
+    bars.append(
+        RelativeBar(label, "LC", evaluation.pure[lc_name].elapsed_cycles / oracle)
+    )
+    bars.append(
+        RelativeBar(label, "Worst", evaluation.worst.elapsed_cycles / oracle)
+    )
+    return bars
+
+
+def run(config: ReproConfig = DEFAULT_CONFIG, quick: bool = False) -> ExperimentResult:
+    """Regenerate Figure 8."""
+    cpu = make_cpu(config)
+    bars: List[RelativeBar] = []
+    data: Dict[str, object] = {}
+    for label, case, lc_thunk in _cases(config, quick):
+        evaluation = evaluate_case(case, cpu, config)
+        lc_name = lc_thunk().name
+        case_bars = _bars_for(label, evaluation, lc_name)
+        bars.extend(case_bars)
+        data[label] = {
+            "oracle_variant": evaluation.oracle.selected,
+            "lc_variant": lc_name,
+            "dysel_selected": evaluation.dysel["sync"].selected,
+            "all_valid": evaluation.all_valid(),
+            "series": {bar.series: bar.value for bar in case_bars},
+        }
+    groups = [label for label, _, _ in _cases(config, quick)]
+    for series in SERIES:
+        values = [
+            bar.value for bar in bars if bar.series == series and bar.group in groups
+        ]
+        bars.append(RelativeBar("GeoMean", series, geomean(values)))
+    text = format_figure(
+        "Figure 8: DySel on locality-centric scheduling (CPU)", bars
+    )
+    return ExperimentResult(
+        experiment="fig8", title="Fig 8", bars=bars, text=text, data=data
+    )

@@ -1,0 +1,156 @@
+"""§5.1 / §5.2: profiling overhead studies.
+
+Three measurements behind the discussion section:
+
+* **sync vs async on the pathological pool** (§5.1) — sgemm's schedule
+  family has a huge best-to-worst spread, so the synchronous barrier pays
+  for the slowest candidate while async scatters the cost with eager
+  chunks; on the GPU, host query latency erases the difference.
+* **profile-every-iteration overheads** (§5.2) — iterative benchmarks
+  re-profiled each launch expose the full profiling cost instead of
+  amortizing it; tiny per-iteration kernels (spmv) are hit hardest.
+* **selection accuracy under noise** (§5.2) — with measurement noise and
+  small profiled units, DySel occasionally mispicks (the paper's 95%
+  accuracy case); accuracy is measured across reseeded runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from ...config import DEFAULT_CONFIG, ReproConfig
+from ...device.cpu import make_cpu
+from ...device.gpu import make_gpu
+from ...modes import OrchestrationFlow
+from ...workloads import sgemm, spmv_csr, stencil
+from ..report import format_table
+from ..runner import evaluate_case, run_dysel, run_pure
+from . import ExperimentResult
+
+
+def sync_vs_async(config: ReproConfig, quick: bool) -> Dict[str, float]:
+    """§5.1: overhead of sync vs async DySel on sgemm's schedule pool."""
+    n = 256 if quick else 768
+    case = sgemm.schedule_case(n, config)
+    cpu = make_cpu(config)
+    evaluation = evaluate_case(case, cpu, config)
+    oracle = evaluation.oracle.elapsed_cycles
+    return {
+        "cpu_sync_overhead": evaluation.dysel["sync"].elapsed_cycles / oracle - 1,
+        "cpu_async_overhead": evaluation.dysel["async-best"].elapsed_cycles
+        / oracle
+        - 1,
+        "spread": evaluation.worst.elapsed_cycles / oracle,
+    }
+
+
+def gpu_eager_dispatch(config: ReproConfig, quick: bool) -> Dict[str, float]:
+    """§5.1: the GPU's host query latency suppresses eager dispatches."""
+    size = 2048 if quick else 8192
+    case = spmv_csr.input_dependent_case("gpu", "random", size, config)
+    gpu = make_gpu(config)
+    cpu = make_cpu(config)
+    gpu_run = run_dysel(case, gpu, flow=OrchestrationFlow.ASYNC, config=config)
+    cpu_case = spmv_csr.input_dependent_case("cpu", "random", size, config)
+    cpu_run = run_dysel(cpu_case, cpu, flow=OrchestrationFlow.ASYNC, config=config)
+    return {
+        "gpu_eager_chunks": float(gpu_run.eager_chunks),
+        "cpu_eager_chunks": float(cpu_run.eager_chunks),
+    }
+
+
+def per_iteration_overheads(
+    config: ReproConfig, quick: bool
+) -> Dict[str, float]:
+    """§5.2: overhead when profiling is re-activated every iteration."""
+    iterations = 10 if quick else 30
+    results: Dict[str, float] = {}
+    cpu = make_cpu(config)
+    gpu = make_gpu(config)
+    cases = [
+        (
+            "cpu/spmv-csr (random)",
+            cpu,
+            spmv_csr.input_dependent_case(
+                "cpu", "random", 2048 if quick else 16384, config, iterations=iterations
+            ),
+        ),
+        (
+            "gpu/spmv-csr (random)",
+            gpu,
+            spmv_csr.input_dependent_case(
+                "gpu", "random", 2048 if quick else 16384, config, iterations=iterations
+            ),
+        ),
+        (
+            "cpu/stencil",
+            cpu,
+            stencil.schedule_case(
+                stencil.DEFAULT_GRID, config, iterations=iterations
+            ),
+        ),
+    ]
+    for label, device, case in cases:
+        best = min(
+            run_pure(case, device, name, config).elapsed_cycles
+            for name in case.pool.variant_names
+        )
+        every = run_dysel(
+            case, device, profile_every_iteration=True, config=config
+        )
+        once = run_dysel(case, device, config=config)
+        results[f"{label}: profile-once overhead"] = (
+            once.elapsed_cycles / best - 1
+        )
+        results[f"{label}: profile-every-iteration overhead"] = (
+            every.elapsed_cycles / best - 1
+        )
+    return results
+
+
+def selection_accuracy(
+    config: ReproConfig, quick: bool, trials: int = 20
+) -> Dict[str, float]:
+    """§5.2: fraction of reseeded runs that select the true best variant."""
+    size = 2048 if quick else 8192
+    correct = 0
+    trials = 10 if quick else trials
+    reference_case = spmv_csr.input_dependent_case("cpu", "random", size, config)
+    cpu = make_cpu(config)
+    truth = min(
+        (
+            (run_pure(reference_case, cpu, name, config.without_noise()).elapsed_cycles, name)
+            for name in reference_case.pool.variant_names
+        )
+    )[1]
+    for trial in range(trials):
+        trial_config = dataclasses.replace(config, seed=config.seed + trial + 1)
+        case = spmv_csr.input_dependent_case("cpu", "random", size, trial_config)
+        device = make_cpu(trial_config)
+        run = run_dysel(case, device, config=trial_config)
+        if run.selected == truth:
+            correct += 1
+    return {"accuracy": correct / trials, "trials": float(trials)}
+
+
+def run(config: ReproConfig = DEFAULT_CONFIG, quick: bool = False) -> ExperimentResult:
+    """Regenerate the §5.1/§5.2 overhead studies."""
+    data: Dict[str, object] = {}
+    data["sync_vs_async"] = sync_vs_async(config, quick)
+    data["gpu_eager_dispatch"] = gpu_eager_dispatch(config, quick)
+    data["per_iteration"] = per_iteration_overheads(config, quick)
+    data["selection_accuracy"] = selection_accuracy(config, quick)
+
+    rows: List[tuple] = []
+    for section, values in data.items():
+        for key, value in values.items():  # type: ignore[union-attr]
+            rows.append((section, key, f"{value:.3f}"))
+    text = format_table(
+        "Sections 5.1/5.2: profiling overhead studies",
+        ("study", "metric", "value"),
+        rows,
+    )
+    return ExperimentResult(
+        experiment="overhead", title="§5.1/§5.2", text=text, data=data
+    )

@@ -1,0 +1,71 @@
+"""§5.3: performance advantage over heuristic approaches.
+
+Regenerates the discussion's speedup-recovery summary from the figure
+experiments: what DySel gains over the static heuristics' picks and over
+the worst possible pure choice, per case study.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...config import DEFAULT_CONFIG, ReproConfig
+from ..report import format_table
+from . import ExperimentResult
+from . import fig8 as fig8_mod
+from . import fig9 as fig9_mod
+from . import fig11 as fig11_mod
+
+
+def run(config: ReproConfig = DEFAULT_CONFIG, quick: bool = False) -> ExperimentResult:
+    """Regenerate the §5.3 summary (runs Figs 8, 9 and 11 underneath)."""
+    fig8 = fig8_mod.run(config, quick)
+    fig9 = fig9_mod.run(config, quick)
+    fig11 = fig11_mod.run(config, quick)
+
+    rows = []
+    data: Dict[str, float] = {}
+
+    diag_label = "spmv-csr (diagonal)"
+    if any(bar.group == diag_label for bar in fig8.bars):
+        lc_gain = fig8.bar(diag_label, "LC") / fig8.bar(diag_label, "Sync")
+        rows.append(
+            ("Case I", "spmv-csr diagonal: DySel over LC (paper 1.15x)", f"{lc_gain:.2f}x")
+        )
+        data["case1_lc_recovery"] = lc_gain
+
+    porple_gain = fig9.bar("spmv-csr", "PORPLE") / fig9.bar("spmv-csr", "Sync")
+    jang_gain = fig9.bar("spmv-csr", "Heuristic-based") / fig9.bar(
+        "spmv-csr", "Sync"
+    )
+    rows.append(
+        ("Case II", "spmv-csr: DySel over PORPLE (paper 1.29x)", f"{porple_gain:.2f}x")
+    )
+    rows.append(
+        ("Case II", "spmv-csr: DySel over heuristic (paper 2.29x)", f"{jang_gain:.2f}x")
+    )
+    data["case2_porple_recovery"] = porple_gain
+    data["case2_heuristic_recovery"] = jang_gain
+
+    for device, paper in (("cpu", "2.98x/8.63x"), ("gpu", "4.73x/22.73x")):
+        panel = fig11[device]
+        for kind in ("random", "diagonal"):
+            label = f"{kind} matrix"
+            worst_gain = panel.bar(label, "Worst") / panel.bar(label, "Sync")
+            rows.append(
+                (
+                    "Case IV",
+                    f"{device} spmv-csr {kind}: DySel over worst (paper {paper})",
+                    f"{worst_gain:.2f}x",
+                )
+            )
+            data[f"case4_{device}_{kind}_recovery"] = worst_gain
+
+    text = format_table(
+        "Section 5.3: performance advantage over heuristic approaches",
+        ("case study", "recovery", "measured"),
+        rows,
+    )
+    return ExperimentResult(
+        experiment="summary", title="§5.3", text=text, data=data
+    )

@@ -1,0 +1,81 @@
+"""Report formatting: the rows/series the paper's figures plot."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class RelativeBar:
+    """One bar of a relative-execution-time figure."""
+
+    group: str
+    series: str
+    value: float
+    annotation: str = ""
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's cross-benchmark aggregate)."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geomean requires positive values, got {value}")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def format_figure(
+    title: str,
+    bars: Sequence[RelativeBar],
+    value_header: str = "relative time over oracle (lower is better)",
+) -> str:
+    """Render a figure's bars as an aligned text table, grouped like the
+    paper's x-axis (benchmark groups × strategy series)."""
+    groups: List[str] = []
+    series: List[str] = []
+    for bar in bars:
+        if bar.group not in groups:
+            groups.append(bar.group)
+        if bar.series not in series:
+            series.append(bar.series)
+    lookup = {(bar.group, bar.series): bar for bar in bars}
+
+    group_width = max([len("benchmark")] + [len(g) for g in groups]) + 2
+    col_width = max([8] + [len(s) for s in series]) + 2
+    lines = [title, "=" * len(title), f"({value_header})", ""]
+    header = "benchmark".ljust(group_width) + "".join(
+        s.rjust(col_width) for s in series
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for group in groups:
+        row = group.ljust(group_width)
+        for name in series:
+            bar = lookup.get((group, name))
+            cell = f"{bar.value:.2f}" if bar is not None else "-"
+            row += cell.rjust(col_width)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render a generic aligned text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max([len(h)] + [len(row[i]) for row in str_rows]) + 2
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, "=" * len(title), ""]
+    lines.append("".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-" * sum(widths))
+    for row in str_rows:
+        lines.append("".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)

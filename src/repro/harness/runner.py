@@ -1,0 +1,208 @@
+"""Run benchmark cases under pure variants, static picks, and DySel.
+
+The paper's evaluation methodology (§4.1): measure kernel execution time
+including all profiling time, profiling launch overheads, and the
+remaining workload's compute; the *oracle* is the best single pure
+version, the *worst* the slowest.  ``evaluate_case`` reproduces that
+protocol for one benchmark case: every pure variant is timed on a fresh
+engine, then each requested DySel configuration runs on its own fresh
+engine, and everything is reported relative to the oracle.
+
+Iterative cases launch the kernel ``iterations`` times; DySel profiles
+only the first launch (activation flag, §3.1) unless
+``profile_every_iteration`` is set — the §5.2 overhead study's knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..config import ReproConfig
+from ..core.runtime import DySelRuntime
+from ..device.base import Device
+from ..device.engine import ExecutionEngine, Priority
+from ..errors import HarnessError
+from ..kernel.kernel import WorkRange
+from ..modes import OrchestrationFlow, ProfilingMode
+from ..workloads.base import BenchmarkCase
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One (case × strategy) execution."""
+
+    case: str
+    strategy: str
+    elapsed_cycles: float
+    valid: bool
+    selected: Optional[str] = None
+    eager_chunks: int = 0
+    profiled_launches: int = 0
+
+    def relative_to(self, oracle_cycles: float) -> float:
+        """Relative execution time over the oracle (lower is better)."""
+        if oracle_cycles <= 0:
+            raise HarnessError("oracle cycles must be positive")
+        return self.elapsed_cycles / oracle_cycles
+
+
+def run_pure(
+    case: BenchmarkCase,
+    device: Device,
+    variant_name: str,
+    config: Optional[ReproConfig] = None,
+) -> RunResult:
+    """Time one pure variant over all iterations (no profiling at all)."""
+    variant = case.pool.variant(variant_name)
+    engine = ExecutionEngine(device, config)
+    args = case.fresh_args()
+    for _ in range(case.iterations):
+        task = engine.submit(
+            variant,
+            args,
+            WorkRange(0, case.workload_units),
+            priority=Priority.BATCH,
+        )
+        engine.wait(task)
+    return RunResult(
+        case=case.name,
+        strategy=f"pure:{variant_name}",
+        elapsed_cycles=engine.now,
+        valid=case.validate(args),
+        selected=variant_name,
+    )
+
+
+def run_dysel(
+    case: BenchmarkCase,
+    device: Device,
+    flow: OrchestrationFlow = OrchestrationFlow.ASYNC,
+    initial_variant: Optional[str] = None,
+    mode: Optional[ProfilingMode] = None,
+    profile_every_iteration: bool = False,
+    config: Optional[ReproConfig] = None,
+    strategy_label: Optional[str] = None,
+) -> RunResult:
+    """Time a full DySel run (profiling included) over all iterations."""
+    runtime = DySelRuntime(device, config)
+    runtime.register_pool(case.pool)
+    args = case.fresh_args()
+    selected = None
+    profiled = 0
+    for iteration in range(case.iterations):
+        profiling = profile_every_iteration or iteration == 0
+        result = runtime.launch_kernel(
+            case.pool.name,
+            args,
+            case.workload_units,
+            profiling=profiling,
+            mode=mode,
+            flow=flow,
+            initial_variant=initial_variant,
+        )
+        selected = result.selected
+        profiled += int(result.profiled)
+    eager = result.eager_chunks if case.iterations == 1 else 0
+    label = strategy_label or f"dysel:{flow.value}"
+    return RunResult(
+        case=case.name,
+        strategy=label,
+        elapsed_cycles=runtime.engine.now,
+        valid=case.validate(args),
+        selected=selected,
+        eager_chunks=eager,
+        profiled_launches=profiled,
+    )
+
+
+@dataclass
+class CaseEvaluation:
+    """All strategies' results for one case, oracle-normalized."""
+
+    case: str
+    pure: Dict[str, RunResult] = field(default_factory=dict)
+    dysel: Dict[str, RunResult] = field(default_factory=dict)
+
+    @property
+    def oracle(self) -> RunResult:
+        """The best pure version (the paper's oracle definition)."""
+        if not self.pure:
+            raise HarnessError(f"case {self.case!r}: no pure runs recorded")
+        return min(self.pure.values(), key=lambda r: r.elapsed_cycles)
+
+    @property
+    def worst(self) -> RunResult:
+        """The slowest pure version."""
+        if not self.pure:
+            raise HarnessError(f"case {self.case!r}: no pure runs recorded")
+        return max(self.pure.values(), key=lambda r: r.elapsed_cycles)
+
+    def relative(self, result: RunResult) -> float:
+        """Relative execution time of a result over this case's oracle."""
+        return result.relative_to(self.oracle.elapsed_cycles)
+
+    def all_valid(self) -> bool:
+        """True when every recorded run produced correct output."""
+        runs = list(self.pure.values()) + list(self.dysel.values())
+        return all(run.valid for run in runs)
+
+
+def evaluate_case(
+    case: BenchmarkCase,
+    device: Device,
+    config: Optional[ReproConfig] = None,
+    dysel_flows: Tuple[str, ...] = ("sync", "async-best", "async-worst"),
+    mode: Optional[ProfilingMode] = None,
+    profile_every_iteration: bool = False,
+) -> CaseEvaluation:
+    """Run the paper's standard comparison for one case.
+
+    Pure runs for every variant establish oracle and worst; then each
+    requested DySel configuration runs: ``"sync"``, ``"async-best"``
+    (asynchronous with the oracle's variant as the initial default) and
+    ``"async-worst"`` (the slowest variant as initial default).
+    """
+    evaluation = CaseEvaluation(case=case.name)
+    for name in case.pool.variant_names:
+        evaluation.pure[name] = run_pure(case, device, name, config)
+
+    best_name = evaluation.oracle.selected
+    worst_name = evaluation.worst.selected
+    for flow_label in dysel_flows:
+        if flow_label == "sync":
+            result = run_dysel(
+                case,
+                device,
+                flow=OrchestrationFlow.SYNC,
+                mode=mode,
+                profile_every_iteration=profile_every_iteration,
+                config=config,
+                strategy_label="dysel:sync",
+            )
+        elif flow_label == "async-best":
+            result = run_dysel(
+                case,
+                device,
+                flow=OrchestrationFlow.ASYNC,
+                initial_variant=best_name,
+                mode=mode,
+                profile_every_iteration=profile_every_iteration,
+                config=config,
+                strategy_label="dysel:async-best",
+            )
+        elif flow_label == "async-worst":
+            result = run_dysel(
+                case,
+                device,
+                flow=OrchestrationFlow.ASYNC,
+                initial_variant=worst_name,
+                mode=mode,
+                profile_every_iteration=profile_every_iteration,
+                config=config,
+                strategy_label="dysel:async-worst",
+            )
+        else:
+            raise HarnessError(f"unknown DySel flow label {flow_label!r}")
+        evaluation.dysel[flow_label] = result
+    return evaluation

@@ -1,0 +1,44 @@
+"""Kernel-based data-parallel programming model.
+
+This subpackage models the programming abstractions that OpenCL / CUDA
+provide and that DySel builds on: an NDRange decomposed into independent
+work-groups (:mod:`~repro.kernel.ndrange`), typed device buffers
+(:mod:`~repro.kernel.buffers`), a declarative kernel IR describing loop
+nests and memory access patterns (:mod:`~repro.kernel.ir`), and kernel
+variants that pair the IR with a real (numpy) functional implementation
+(:mod:`~repro.kernel.kernel`).
+"""
+
+from .buffers import Buffer, MemorySpace
+from .ir import (
+    GATHER_STRIDE,
+    AccessPattern,
+    AtomicKind,
+    KernelIR,
+    Loop,
+    LoopBound,
+    MemoryAccess,
+)
+from .kernel import KernelSpec, KernelVariant, WorkRange
+from .launch import LaunchConfig
+from .ndrange import NDRange
+from .signature import ArgSpec, KernelSignature
+
+__all__ = [
+    "GATHER_STRIDE",
+    "AccessPattern",
+    "ArgSpec",
+    "AtomicKind",
+    "Buffer",
+    "KernelIR",
+    "KernelSignature",
+    "KernelSpec",
+    "KernelVariant",
+    "LaunchConfig",
+    "Loop",
+    "LoopBound",
+    "MemoryAccess",
+    "MemorySpace",
+    "NDRange",
+    "WorkRange",
+]

@@ -1,0 +1,115 @@
+"""NDRange and work-group decomposition.
+
+Kernel-based data-parallel models over-decompose the workload into many
+independent work-groups (paper §2.1).  DySel exploits exactly this property:
+work-groups are the granularity of micro-profiling, and a launch's
+work-groups can be partitioned into profiled slices plus a remainder.
+
+We model an NDRange as up to three dimensions of work-groups.  Work-groups
+are identified by a *linear* index in ``[0, total)``; helpers convert to and
+from 3-D coordinates in row-major order (x fastest), matching how OpenCL
+flattens ``get_group_id``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from ..errors import NDRangeError
+
+
+@dataclass(frozen=True)
+class NDRange:
+    """A grid of work-groups, each of ``local_size`` work-items.
+
+    Parameters
+    ----------
+    groups:
+        Number of work-groups along (x, y, z).  Trailing dimensions may be 1.
+    local_size:
+        Work-items per work-group along (x, y, z).
+    """
+
+    groups: Tuple[int, int, int]
+    local_size: Tuple[int, int, int] = (1, 1, 1)
+
+    def __post_init__(self) -> None:
+        if len(self.groups) != 3 or len(self.local_size) != 3:
+            raise NDRangeError(
+                "groups and local_size must be 3-tuples, got "
+                f"{self.groups!r} and {self.local_size!r}"
+            )
+        if any(g < 1 for g in self.groups):
+            raise NDRangeError(f"all group counts must be >= 1, got {self.groups}")
+        if any(l < 1 for l in self.local_size):
+            raise NDRangeError(
+                f"all local sizes must be >= 1, got {self.local_size}"
+            )
+
+    @classmethod
+    def linear(cls, num_groups: int, work_group_size: int = 1) -> "NDRange":
+        """Build a 1-D NDRange of ``num_groups`` work-groups."""
+        return cls(groups=(num_groups, 1, 1), local_size=(work_group_size, 1, 1))
+
+    @classmethod
+    def grid2d(
+        cls,
+        groups_x: int,
+        groups_y: int,
+        local_x: int = 1,
+        local_y: int = 1,
+    ) -> "NDRange":
+        """Build a 2-D NDRange."""
+        return cls(groups=(groups_x, groups_y, 1), local_size=(local_x, local_y, 1))
+
+    @property
+    def total_groups(self) -> int:
+        """Total number of work-groups in the grid."""
+        gx, gy, gz = self.groups
+        return gx * gy * gz
+
+    @property
+    def work_group_size(self) -> int:
+        """Work-items per work-group."""
+        lx, ly, lz = self.local_size
+        return lx * ly * lz
+
+    @property
+    def total_work_items(self) -> int:
+        """Total work-items across the whole NDRange."""
+        return self.total_groups * self.work_group_size
+
+    def group_coords(self, linear_id: int) -> Tuple[int, int, int]:
+        """Convert a linear work-group id to (x, y, z) coordinates."""
+        if not 0 <= linear_id < self.total_groups:
+            raise NDRangeError(
+                f"work-group id {linear_id} out of range "
+                f"[0, {self.total_groups})"
+            )
+        gx, gy, _gz = self.groups
+        x = linear_id % gx
+        y = (linear_id // gx) % gy
+        z = linear_id // (gx * gy)
+        return (x, y, z)
+
+    def linear_id(self, x: int, y: int = 0, z: int = 0) -> int:
+        """Convert (x, y, z) work-group coordinates to a linear id."""
+        gx, gy, gz = self.groups
+        if not (0 <= x < gx and 0 <= y < gy and 0 <= z < gz):
+            raise NDRangeError(
+                f"work-group coords ({x}, {y}, {z}) out of grid {self.groups}"
+            )
+        return x + gx * (y + gy * z)
+
+    def iter_group_ids(self) -> Iterator[int]:
+        """Iterate all linear work-group ids in dispatch order."""
+        return iter(range(self.total_groups))
+
+    def with_groups(self, num_groups: int) -> "NDRange":
+        """Return a linearized copy covering ``num_groups`` work-groups.
+
+        Used when a variant repacks work (coarsening/tiling) and therefore
+        launches a different number of work-groups over the same workload.
+        """
+        return NDRange.linear(num_groups, self.work_group_size)

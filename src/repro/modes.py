@@ -1,0 +1,55 @@
+"""Shared vocabulary: profiling modes and orchestration flows.
+
+Defined at the package top level because both sides of DySel speak it: the
+compiler (:mod:`repro.compiler`) recommends a productive profiling mode
+from its analyses, and the runtime (:mod:`repro.core`) executes it under a
+synchronous or asynchronous orchestration flow (paper §2.2–§2.4, Fig 6b's
+``mode`` parameter).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ProfilingMode(enum.Enum):
+    """The three productive micro-profiling modes (paper §2.2, Table 1).
+
+    * ``FULLY`` — fully-productive: each candidate profiles a distinct
+      slice; all K slices contribute to the output; zero extra space;
+      requires regular workload and disjoint outputs.
+    * ``HYBRID`` — hybrid-based partial-productive: all candidates profile
+      the *same* slice; the first candidate commits, the others write to
+      sandboxes (≤ K−1 extra copies); handles irregular workload.
+    * ``SWAP`` — swap-based partial-productive: every candidate runs with
+      a private output (≤ K copies); the winner's output is swapped in;
+      handles overlapping/varying output ranges, atomics, and algorithm
+      changes; cannot run asynchronously (the final output space is
+      unknown until profiling completes).
+    """
+
+    FULLY = "fully"
+    HYBRID = "hybrid"
+    SWAP = "swap"
+
+    @property
+    def productive_slices(self) -> str:
+        """How many profiled slices contribute to the output ("K" or "1")."""
+        return "K" if self is ProfilingMode.FULLY else "1"
+
+    @property
+    def supports_async(self) -> bool:
+        """Whether the asynchronous flow may run this mode (Table 1)."""
+        return self is not ProfilingMode.SWAP
+
+
+class OrchestrationFlow(enum.Enum):
+    """How profiling overlaps the rest of the launch (paper §2.4, Fig 4).
+
+    * ``SYNC`` — barrier after profiling, then one batch with the winner.
+    * ``ASYNC`` — eager execution in chunks with the current-best variant
+      while profiling completes at higher priority.
+    """
+
+    SYNC = "sync"
+    ASYNC = "async"

@@ -1,0 +1,23 @@
+"""Benchmark workloads: the kernels the paper's evaluation uses.
+
+Each module rebuilds one benchmark from Parboil [28], Rodinia [6] or
+SHOC [9] as used in the evaluation: a kernel signature, real numpy
+executors for every variant, IR describing each variant's loop structure
+and access patterns, and the variant pools of the relevant case studies.
+
+All modules expose factory functions returning
+:class:`~repro.workloads.base.BenchmarkCase` objects the harness consumes;
+sizes default to values that keep the simulation fast while preserving the
+paper's regimes (cache-resident vs DRAM-resident, regular vs irregular).
+"""
+
+from .base import BenchmarkCase
+from .matrices import CsrMatrix, JdsMatrix, diagonal_csr, random_csr
+
+__all__ = [
+    "BenchmarkCase",
+    "CsrMatrix",
+    "JdsMatrix",
+    "diagonal_csr",
+    "random_csr",
+]

@@ -1,0 +1,64 @@
+"""Benchmark case container consumed by the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
+
+from ..compiler.variants import VariantPool
+from ..errors import WorkloadError
+
+#: Builds a fresh argument mapping (fresh output buffers) for one run.
+ArgsFactory = Callable[[], Dict[str, object]]
+
+#: Validates the outputs in an argument mapping against the reference.
+Checker = Callable[[Mapping[str, object]], bool]
+
+
+@dataclass
+class BenchmarkCase:
+    """One benchmark × device × case-study configuration.
+
+    Parameters
+    ----------
+    name:
+        Case label used in reports (e.g. ``"sgemm/cpu/schedules"``).
+    pool:
+        The variant pool DySel selects from.
+    make_args:
+        Factory producing fresh arguments (so repeated runs with different
+        selectors don't share output buffers).
+    workload_units:
+        Units per launch.
+    iterations:
+        Launches per run; > 1 marks iterative applications (stencil,
+        kmeans, spmv in CG) that profile only their first iteration.
+    check:
+        Output validator against a reference implementation.
+    """
+
+    name: str
+    pool: VariantPool
+    make_args: ArgsFactory
+    workload_units: int
+    iterations: int = 1
+    check: Optional[Checker] = None
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.workload_units < 1:
+            raise WorkloadError(
+                f"case {self.name!r}: workload_units must be >= 1"
+            )
+        if self.iterations < 1:
+            raise WorkloadError(f"case {self.name!r}: iterations must be >= 1")
+
+    def fresh_args(self) -> Dict[str, object]:
+        """Build a fresh argument mapping for one run."""
+        return self.make_args()
+
+    def validate(self, args: Mapping[str, object]) -> bool:
+        """Check outputs against the reference (True when no checker)."""
+        if self.check is None:
+            return True
+        return self.check(args)

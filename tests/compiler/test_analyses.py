@@ -1,0 +1,197 @@
+"""Unit tests for uniform-workload, side-effect, and access analyses."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.analyses.access import (
+    classify_access,
+    innermost_stride,
+    schedule_locality_cost,
+)
+from repro.compiler.analyses.side_effect import analyze_side_effects
+from repro.compiler.analyses.uniform import analyze_uniformity
+from repro.errors import AnalysisError
+from repro.kernel import (
+    AccessPattern,
+    AtomicKind,
+    GATHER_STRIDE,
+    KernelIR,
+    Loop,
+    LoopBound,
+    MemoryAccess,
+)
+
+
+def static_ir(**overrides):
+    defaults = dict(
+        loops=(Loop("a", LoopBound(static_trips=4)),),
+        accesses=(),
+    )
+    defaults.update(overrides)
+    return KernelIR(**defaults)
+
+
+class TestUniformity:
+    def test_static_bounds_are_uniform(self):
+        report = analyze_uniformity([("v", static_ir())])
+        assert report.uniform
+        assert report.reasons == ()
+
+    def test_data_dependent_bound_flags(self):
+        ir = static_ir(
+            loops=(
+                Loop(
+                    "d",
+                    LoopBound(
+                        evaluator=lambda a, i: np.ones(len(i)),
+                        description="row length",
+                    ),
+                ),
+            )
+        )
+        report = analyze_uniformity([("v", ir)])
+        assert not report.uniform
+        assert "data-dependent" in report.reasons[0]
+        assert "row length" in report.reasons[0]
+
+    def test_early_exit_flags(self):
+        ir = static_ir(
+            loops=(Loop("e", LoopBound(static_trips=4), has_early_exit=True),)
+        )
+        report = analyze_uniformity([("v", ir)])
+        assert not report.uniform
+        assert "early" in report.reasons[0]
+
+    def test_one_bad_variant_taints_pool(self):
+        good = static_ir()
+        bad = static_ir(
+            loops=(Loop("d", LoopBound(evaluator=lambda a, i: np.ones(len(i)))),)
+        )
+        report = analyze_uniformity([("good", good), ("bad", bad)])
+        assert not report.uniform
+        assert all("bad" in reason for reason in report.reasons)
+
+    def test_conservatism_documented_case(self):
+        """A data-dependent bound flags non-uniform even if the data is
+        actually uniform (the paper's uniform-CSR example)."""
+        ir = static_ir(
+            loops=(
+                Loop(
+                    "nnz",
+                    # Returns a constant — uniform in practice.
+                    LoopBound(evaluator=lambda a, i: np.full(len(i), 7.0)),
+                ),
+            )
+        )
+        assert not analyze_uniformity([("spmv", ir)]).uniform
+
+
+class TestSideEffects:
+    def test_clean_kernel(self):
+        report = analyze_side_effects([("v", static_ir())])
+        assert not report.requires_swap
+
+    def test_global_atomic_forces_swap(self):
+        ir = static_ir(
+            accesses=(
+                MemoryAccess(
+                    "h",
+                    True,
+                    AccessPattern.GATHER,
+                    4.0,
+                    atomic=AtomicKind.GLOBAL,
+                ),
+            )
+        )
+        report = analyze_side_effects([("v", ir)])
+        assert report.requires_swap
+        assert "atomic" in report.reasons[0]
+
+    def test_local_atomic_does_not(self):
+        ir = static_ir(
+            accesses=(
+                MemoryAccess(
+                    "h",
+                    True,
+                    AccessPattern.GATHER,
+                    4.0,
+                    atomic=AtomicKind.LOCAL,
+                ),
+            )
+        )
+        assert not analyze_side_effects([("v", ir)]).requires_swap
+
+    def test_overlapping_output_forces_swap(self):
+        assert analyze_side_effects(
+            [("v", static_ir(output_ranges_overlap=True))]
+        ).requires_swap
+
+    def test_varying_output_forces_swap(self):
+        assert analyze_side_effects(
+            [("v", static_ir(output_range_varies=True))]
+        ).requires_swap
+
+
+class TestClassifyAccess:
+    STRIDES = {"i": 4096, "j": 0, "k": 4}
+
+    def test_innermost_decides(self):
+        assert classify_access(self.STRIDES, ("i", "j", "k")) == (
+            AccessPattern.UNIT_STRIDE,
+            0,
+        )
+        assert classify_access(self.STRIDES, ("k", "j", "i")) == (
+            AccessPattern.STRIDED,
+            4096,
+        )
+
+    def test_zero_innermost_is_broadcast(self):
+        assert classify_access(self.STRIDES, ("i", "k", "j"))[0] is (
+            AccessPattern.BROADCAST
+        )
+
+    def test_gather_sentinel(self):
+        strides = {"i": GATHER_STRIDE}
+        assert classify_access(strides, ("i",))[0] is AccessPattern.GATHER
+
+    def test_empty_order_rejected(self):
+        with pytest.raises(AnalysisError):
+            classify_access({}, ())
+
+    def test_innermost_stride_values(self):
+        assert innermost_stride({"k": 4}, ("k",)) == 4.0
+        assert innermost_stride({"k": GATHER_STRIDE}, ("k",)) == 64.0
+        assert innermost_stride({"k": 0}, ("k",)) == 0.0
+        assert innermost_stride({"k": 512}, ("k",)) == 512.0
+
+
+class TestLocalityCost:
+    def _access(self, strides, scope):
+        return MemoryAccess(
+            "x",
+            False,
+            AccessPattern.UNIT_STRIDE,
+            4.0,
+            scope=scope,
+            strides_by_loop=tuple(strides.items()),
+        )
+
+    def test_prefers_unit_stride_innermost(self):
+        access = self._access({"i": 4096, "k": 4}, ("i", "k"))
+        trips = {"i": 16, "k": 100}
+        good = schedule_locality_cost([access], ("i", "k"), trips)
+        bad = schedule_locality_cost([access], ("k", "i"), trips)
+        assert good < bad
+
+    def test_dynamic_trips_assumed(self):
+        """Unknown bounds get the fixed guess — the LC blind spot."""
+        access = self._access({"i": GATHER_STRIDE, "k": 4}, ("i", "k"))
+        trips = {"i": 4, "k": None}
+        cost = schedule_locality_cost([access], ("i", "k"), trips)
+        from repro.compiler.analyses.access import ASSUMED_DYNAMIC_TRIPS
+
+        assert cost == pytest.approx(4.0 * 4 * ASSUMED_DYNAMIC_TRIPS)
+
+    def test_accesses_without_metadata_ignored(self):
+        plain = MemoryAccess("x", False, AccessPattern.GATHER, 4.0)
+        assert schedule_locality_cost([plain], ("i",), {"i": 4}) == 0.0

@@ -1,0 +1,124 @@
+"""Unit tests for the static-selection baseline heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.heuristics import (
+    GpuGeneration,
+    intel_vector_width,
+    jang_placement,
+    lc_select_schedule,
+    porple_placement,
+)
+from repro.errors import AnalysisError
+from repro.kernel import (
+    AccessPattern,
+    KernelIR,
+    Loop,
+    LoopBound,
+    MemoryAccess,
+)
+from repro.kernel.buffers import Buffer, MemorySpace
+
+
+class TestIntelWidth:
+    def test_regular_kernel_gets_4way(self):
+        ir = KernelIR(divergence=0.0)
+        assert intel_vector_width(ir) == 4
+
+    def test_divergent_kernel_gets_8way(self):
+        ir = KernelIR(divergence=0.3)
+        assert intel_vector_width(ir) == 8
+
+
+class TestLcSelect:
+    def test_requires_candidates(self):
+        with pytest.raises(AnalysisError):
+            lc_select_schedule([])
+
+    def test_picks_spmv_dfo(self):
+        """The documented pick: DFO for spmv, right on random inputs,
+        wrong on the diagonal matrix (Fig 8)."""
+        from repro.compiler.transforms.schedule import reorder_loops
+        from repro.workloads.spmv_csr import scalar_variant
+
+        base = scalar_variant("cpu")
+        family = [
+            (("wi_r", "nnz"), reorder_loops(base, ("wi_r", "nnz"), label="DFO")),
+            (("nnz", "wi_r"), reorder_loops(base, ("nnz", "wi_r"), label="BFO")),
+        ]
+        assert lc_select_schedule(family).name.endswith("DFO")
+
+
+def _gather_ir(buffers):
+    """Scalar-spmv-shaped IR: streams + one gather."""
+    return KernelIR(
+        loops=(Loop("k", LoopBound(static_trips=8)),),
+        accesses=(
+            MemoryAccess("val", False, AccessPattern.UNIT_STRIDE, 4.0, loop="k"),
+            MemoryAccess("col", False, AccessPattern.UNIT_STRIDE, 4.0, loop="k"),
+            MemoryAccess("x", False, AccessPattern.GATHER, 4.0, loop="k"),
+            MemoryAccess("y", True, AccessPattern.COALESCED, 4.0, loop="k"),
+        ),
+    )
+
+
+def _buffers(x_kb=16):
+    return {
+        "val": Buffer("val", np.zeros(100000, dtype=np.float32), writable=False),
+        "col": Buffer("col", np.zeros(100000, dtype=np.int32), writable=False),
+        "x": Buffer("x", np.zeros(x_kb * 256, dtype=np.float32), writable=False),
+    }
+
+
+class TestPorple:
+    def test_fermi_model_texture_for_gather_only(self):
+        policy = porple_placement(_gather_ir(None), _buffers(), GpuGeneration.FERMI)
+        assert policy["x"] is MemorySpace.TEXTURE
+        assert policy["val"] is MemorySpace.GLOBAL
+
+    def test_kepler_model_overuses_texture(self):
+        policy = porple_placement(_gather_ir(None), _buffers(), GpuGeneration.KEPLER)
+        assert policy["x"] is MemorySpace.TEXTURE
+        assert policy["val"] is MemorySpace.TEXTURE  # the 1.29x mistake
+
+    def test_maxwell_model_stays_global(self):
+        policy = porple_placement(_gather_ir(None), _buffers(), GpuGeneration.MAXWELL)
+        assert policy["x"] is MemorySpace.GLOBAL
+        assert policy["val"] is MemorySpace.GLOBAL
+
+    def test_written_buffers_stay_global(self):
+        buffers = _buffers()
+        buffers["y"] = Buffer("y", np.zeros(64, dtype=np.float32))
+        policy = porple_placement(_gather_ir(None), buffers, GpuGeneration.KEPLER)
+        assert policy["y"] is MemorySpace.GLOBAL
+
+    def test_constant_capacity_respected(self):
+        big = _buffers(x_kb=256)  # 256 KB > 64 KB constant capacity
+        policy = porple_placement(_gather_ir(None), big, GpuGeneration.FERMI)
+        assert policy["x"] is not MemorySpace.CONSTANT
+
+
+class TestJang:
+    def test_small_gather_goes_constant(self):
+        """The documented pitfall: x (<=64KB) lands on the constant bank."""
+        policy = jang_placement(_gather_ir(None), _buffers(x_kb=16))
+        assert policy["x"] is MemorySpace.CONSTANT
+
+    def test_large_gather_goes_texture(self):
+        policy = jang_placement(_gather_ir(None), _buffers(x_kb=128))
+        assert policy["x"] is MemorySpace.TEXTURE
+
+    def test_streams_stay_global(self):
+        policy = jang_placement(_gather_ir(None), _buffers())
+        assert policy["val"] is MemorySpace.GLOBAL
+
+    def test_broadcast_goes_constant(self):
+        ir = KernelIR(
+            loops=(Loop("k", LoopBound(static_trips=8)),),
+            accesses=(
+                MemoryAccess("c", False, AccessPattern.BROADCAST, 4.0, loop="k"),
+            ),
+        )
+        buffers = {"c": Buffer("c", np.zeros(16, dtype=np.float32), writable=False)}
+        assert jang_placement(ir, buffers)["c"] is MemorySpace.CONSTANT

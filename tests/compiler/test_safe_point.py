@@ -1,0 +1,81 @@
+"""Unit tests for safe point analysis (paper §3.4)."""
+
+import pytest
+
+from repro.compiler.analyses.safe_point import (
+    SafePointPlan,
+    lcm_of,
+    safe_point_plan,
+)
+from repro.errors import AnalysisError
+from tests.conftest import make_axpy_variant
+
+
+class TestLcm:
+    def test_basic(self):
+        assert lcm_of([2, 3]) == 6
+        assert lcm_of([4, 6]) == 12
+        assert lcm_of([1]) == 1
+        assert lcm_of([16, 4, 1]) == 16
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(AnalysisError):
+            lcm_of([])
+        with pytest.raises(AnalysisError):
+            lcm_of([0, 2])
+
+
+class TestPlan:
+    def _variants(self, *factors):
+        return [
+            make_axpy_variant(f"v{i}", wa_factor=f)
+            for i, f in enumerate(factors)
+        ]
+
+    def test_equal_units_across_variants(self):
+        variants = self._variants(1, 2, 3)
+        plan = safe_point_plan(variants, compute_units=4, workload_units=10000)
+        assert plan.units_per_variant % 6 == 0  # LCM alignment
+        for variant in variants:
+            groups = plan.groups_per_variant[variant.name]
+            assert groups * variant.wa_factor >= plan.units_per_variant
+            # Fair comparison: every variant covers the same units.
+            assert groups == plan.units_per_variant // variant.wa_factor
+
+    def test_fills_device_for_coarsest_variant(self):
+        variants = self._variants(1, 16)
+        plan = safe_point_plan(variants, compute_units=13, workload_units=100000)
+        coarse_groups = plan.groups_per_variant["v1"]
+        assert coarse_groups >= 13
+
+    def test_multiplier_scales(self):
+        variants = self._variants(1, 2)
+        base = safe_point_plan(variants, compute_units=4, workload_units=100000)
+        scaled = safe_point_plan(
+            variants, compute_units=4, workload_units=100000, multiplier=3
+        )
+        assert scaled.units_per_variant == 3 * base.units_per_variant
+
+    def test_clamped_to_workload_fraction(self):
+        variants = self._variants(1, 2)
+        plan = safe_point_plan(variants, compute_units=64, workload_units=100)
+        # Both fully-productive slices fit in half the workload.
+        assert plan.units_per_variant * len(variants) <= 100
+
+    def test_degenerate_tiny_workload(self):
+        variants = self._variants(4)
+        plan = safe_point_plan(variants, compute_units=4, workload_units=5)
+        assert plan.units_per_variant <= 5
+
+    def test_impossible_workload_raises(self):
+        variants = self._variants(8)
+        with pytest.raises(AnalysisError):
+            safe_point_plan(variants, compute_units=4, workload_units=0)
+
+    def test_empty_pool_raises(self):
+        with pytest.raises(AnalysisError):
+            safe_point_plan([], compute_units=4, workload_units=100)
+
+    def test_total_profile_units(self):
+        plan = SafePointPlan(units_per_variant=8, groups_per_variant={"a": 8})
+        assert plan.total_profile_units(3) == 24

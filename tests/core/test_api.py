@@ -1,0 +1,91 @@
+"""Unit tests for the paper-faithful functional facade (Fig 6)."""
+
+import pytest
+
+from repro.core.api import DySelContext, parse_mode
+from repro.errors import LaunchError, RegistrationError
+from repro.modes import OrchestrationFlow, ProfilingMode
+from tests.conftest import (
+    axpy_output_ok,
+    axpy_signature,
+    make_axpy_args,
+    make_axpy_variant,
+)
+from repro.kernel import AccessPattern
+
+
+class TestParseMode:
+    def test_known_modes(self):
+        assert parse_mode("fully_async") == (
+            ProfilingMode.FULLY,
+            OrchestrationFlow.ASYNC,
+        )
+        assert parse_mode("swap_sync") == (
+            ProfilingMode.SWAP,
+            OrchestrationFlow.SYNC,
+        )
+
+    def test_unknown_mode(self):
+        with pytest.raises(LaunchError):
+            parse_mode("swap_async")  # Table 1: not a thing
+        with pytest.raises(LaunchError):
+            parse_mode("???")
+
+
+class TestContext:
+    def _context(self, cpu, config):
+        context = DySelContext(cpu, config)
+        sig = axpy_signature()
+        context.DySelAddKernel(sig, make_axpy_variant("fast"))
+        context.DySelAddKernel(
+            sig,
+            make_axpy_variant("slow", AccessPattern.STRIDED),
+        )
+        return context
+
+    def test_add_and_launch(self, cpu, config):
+        context = self._context(cpu, config)
+        args = make_axpy_args(512, config)
+        result = context.DySelLaunchKernel("axpy", args, 512)
+        assert result.selected == "fast"
+        assert axpy_output_ok(args)
+
+    def test_profiling_flag(self, cpu, config):
+        context = self._context(cpu, config)
+        args = make_axpy_args(512, config)
+        context.DySelLaunchKernel("axpy", args, 512)
+        result = context.DySelLaunchKernel("axpy", args, 512, profiling=False)
+        assert not result.profiled
+
+    def test_mode_string_controls_flow(self, cpu, config):
+        context = self._context(cpu, config)
+        args = make_axpy_args(512, config)
+        result = context.DySelLaunchKernel(
+            "axpy", args, 512, mode="fully_sync"
+        )
+        assert result.flow is OrchestrationFlow.SYNC
+
+    def test_wa_factor_override(self, cpu, config):
+        context = DySelContext(cpu, config)
+        sig = axpy_signature()
+        context.DySelAddKernel(sig, make_axpy_variant("v"), wa_factor=4)
+        pool = context.runtime.registry.pool("axpy")
+        assert pool.variant("v").wa_factor == 4
+
+    def test_late_sandbox_index_rejected(self, cpu, config):
+        context = self._context(cpu, config)
+        with pytest.raises(RegistrationError, match="first"):
+            context.DySelAddKernel(
+                axpy_signature(),
+                make_axpy_variant("late"),
+                sandbox_index=("y",),
+            )
+
+    def test_initial_default_marker(self, cpu, config):
+        context = DySelContext(cpu, config)
+        sig = axpy_signature()
+        context.DySelAddKernel(sig, make_axpy_variant("a"))
+        context.DySelAddKernel(
+            sig, make_axpy_variant("b"), initial_default=True
+        )
+        assert context.runtime.registry.pool("axpy").initial_default == "b"

@@ -1,0 +1,64 @@
+"""Unit tests for the mixed-execution extension (paper §4.1 future work)."""
+
+import pytest
+
+from repro.core.mixed import MixedPlan, build_mixed_plan, execute_mixed
+from repro.device.engine import ExecutionEngine
+from repro.errors import ProfilingError
+from repro.kernel import WorkRange
+from tests.conftest import axpy_output_ok, make_axpy_args
+
+
+class TestMixedPlan:
+    def test_contiguity_enforced(self):
+        with pytest.raises(ProfilingError, match="contiguous"):
+            MixedPlan(
+                segments=(
+                    (WorkRange(0, 4), "a"),
+                    (WorkRange(8, 12), "b"),
+                )
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProfilingError):
+            MixedPlan(segments=())
+
+    def test_variant_lookup(self):
+        plan = MixedPlan(
+            segments=((WorkRange(0, 4), "a"), (WorkRange(4, 10), "b"))
+        )
+        assert plan.variant_for(0) == "a"
+        assert plan.variant_for(4) == "b"
+        assert plan.span.end == 10
+        with pytest.raises(ProfilingError):
+            plan.variant_for(10)
+
+
+class TestBuildAndExecute:
+    def test_plan_covers_workload_and_computes(self, fast_slow_pool, cpu, config):
+        engine = ExecutionEngine(cpu, config)
+        args = make_axpy_args(256, config)
+        plan = build_mixed_plan(fast_slow_pool, engine, args, 256, num_slices=4)
+        assert plan.span.start == 0
+        assert plan.span.end == 256
+        execute_mixed(plan, fast_slow_pool, engine, args)
+        assert axpy_output_ok(args)
+
+    def test_uniform_workload_collapses_to_one_segment(
+        self, fast_slow_pool, cpu, quiet_config
+    ):
+        """With one globally-best variant, merging yields a single
+        segment — mixed execution degenerates to the oracle."""
+        engine = ExecutionEngine(cpu, quiet_config)
+        args = make_axpy_args(256, quiet_config)
+        plan = build_mixed_plan(
+            fast_slow_pool, engine, args, 256, num_slices=4
+        )
+        assert len(plan.segments) == 1
+        assert plan.segments[0][1] == "fast"
+
+    def test_invalid_slices(self, fast_slow_pool, cpu, config):
+        engine = ExecutionEngine(cpu, config)
+        args = make_axpy_args(64, config)
+        with pytest.raises(ProfilingError):
+            build_mixed_plan(fast_slow_pool, engine, args, 64, num_slices=0)

@@ -1,0 +1,140 @@
+"""Unit tests for the three productive profiling plans (paper §2.2/Fig 3)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.analyses.safe_point import safe_point_plan
+from repro.core.productive import plan_profiling
+from repro.errors import ProfilingError
+from repro.kernel.launch import LaunchConfig
+from repro.modes import ProfilingMode
+from tests.conftest import (
+    AXPY_UNIT,
+    axpy_signature,
+    make_axpy_args,
+)
+
+UNITS = 512
+
+
+@pytest.fixture
+def launch(config):
+    return LaunchConfig.create(
+        axpy_signature(), make_axpy_args(UNITS, config), UNITS
+    )
+
+
+@pytest.fixture
+def safe(fast_slow_pool, cpu):
+    return safe_point_plan(
+        fast_slow_pool.variants,
+        compute_units=cpu.spec.compute_units,
+        workload_units=UNITS,
+    )
+
+
+class TestFullyProductive:
+    def test_distinct_slices_all_productive(self, fast_slow_pool, launch, safe):
+        plan = plan_profiling(fast_slow_pool, ProfilingMode.FULLY, launch, safe)
+        assert plan.productive_task_count == 2
+        assert plan.extra_copies == 0
+        ranges = [(t.units.start, t.units.end) for t in plan.tasks]
+        assert ranges[0][1] == ranges[1][0]  # adjacent, disjoint
+        assert plan.remainder.start == ranges[1][1]
+        assert plan.remainder.end == UNITS
+        for task in plan.tasks:
+            assert task.args is launch.args  # real output binding
+
+    def test_workload_too_small_rejected(self, fast_slow_pool, config, cpu):
+        tiny = LaunchConfig.create(
+            axpy_signature(), make_axpy_args(1, config), 1
+        )
+        safe = safe_point_plan(
+            fast_slow_pool.variants, cpu.spec.compute_units, 1
+        )
+        with pytest.raises(ProfilingError):
+            plan_profiling(fast_slow_pool, ProfilingMode.FULLY, tiny, safe)
+
+    def test_profiled_writes_land_in_output(self, fast_slow_pool, launch, safe):
+        plan = plan_profiling(fast_slow_pool, ProfilingMode.FULLY, launch, safe)
+        for task in plan.tasks:
+            task.variant.execute(task.args, task.units)
+        y = launch.args["y"].data
+        x = launch.args["x"].data
+        covered = slice(0, 2 * plan.units_per_variant * AXPY_UNIT)
+        assert np.allclose(y[covered], 2.0 * x[covered])
+
+
+class TestHybrid:
+    def test_shared_slice_one_productive(self, fast_slow_pool, launch, safe):
+        plan = plan_profiling(fast_slow_pool, ProfilingMode.HYBRID, launch, safe)
+        assert plan.productive_task_count == 1
+        assert plan.extra_copies == len(fast_slow_pool.variants) - 1
+        spans = {(t.units.start, t.units.end) for t in plan.tasks}
+        assert len(spans) == 1  # same slice for everyone
+        assert plan.remainder.start == plan.units_per_variant
+
+    def test_sandbox_absorbs_nonfirst_writes(self, fast_slow_pool, launch, safe):
+        plan = plan_profiling(fast_slow_pool, ProfilingMode.HYBRID, launch, safe)
+        committing, sandboxed = plan.tasks
+        sandboxed.variant.execute(sandboxed.args, sandboxed.units)
+        # Nothing reached the real output yet.
+        assert (launch.args["y"].data == 0).all()
+        committing.variant.execute(committing.args, committing.units)
+        span = slice(0, plan.units_per_variant * AXPY_UNIT)
+        assert np.allclose(
+            launch.args["y"].data[span], 2.0 * launch.args["x"].data[span]
+        )
+
+    def test_finalize_releases_copies(self, fast_slow_pool, launch, safe):
+        plan = plan_profiling(fast_slow_pool, ProfilingMode.HYBRID, launch, safe)
+        plan.finalize("fast", launch)
+        assert plan.allocator.live_copies == 0
+
+
+class TestSwap:
+    def test_private_outputs_per_variant(self, fast_slow_pool, launch, safe):
+        plan = plan_profiling(fast_slow_pool, ProfilingMode.SWAP, launch, safe)
+        assert plan.productive_task_count == 1  # after finalize
+        assert plan.extra_copies == len(fast_slow_pool.variants)
+        for task in plan.tasks:
+            assert task.private_outputs is not None
+            assert task.args["y"] is task.private_outputs["y"]
+
+    def test_finalize_swaps_winner(self, fast_slow_pool, launch, safe):
+        plan = plan_profiling(fast_slow_pool, ProfilingMode.SWAP, launch, safe)
+        for task in plan.tasks:
+            task.variant.execute(task.args, task.units)
+        assert (launch.args["y"].data == 0).all()
+        plan.finalize("slow", launch)
+        span = slice(0, plan.units_per_variant * AXPY_UNIT)
+        assert np.allclose(
+            launch.args["y"].data[span], 2.0 * launch.args["x"].data[span]
+        )
+
+    def test_unknown_winner_rejected(self, fast_slow_pool, launch, safe):
+        plan = plan_profiling(fast_slow_pool, ProfilingMode.SWAP, launch, safe)
+        with pytest.raises(ProfilingError):
+            plan.finalize("nope", launch)
+
+
+class TestAlignment:
+    def test_slices_aligned_for_coarsened_variants(self, axpy_spec, config, cpu):
+        from repro.compiler.variants import VariantPool
+        from tests.conftest import make_axpy_variant
+
+        pool = VariantPool(
+            spec=axpy_spec,
+            variants=(
+                make_axpy_variant("fine", wa_factor=3),
+                make_axpy_variant("coarse", wa_factor=4),
+            ),
+        )
+        launch = LaunchConfig.create(
+            axpy_signature(), make_axpy_args(1024, config), 1024
+        )
+        safe = safe_point_plan(pool.variants, cpu.spec.compute_units, 1024)
+        plan = plan_profiling(pool, ProfilingMode.FULLY, launch, safe)
+        for task in plan.tasks:
+            # Must not raise: units align to each variant's factor.
+            task.variant.groups_for_units(task.units)

@@ -1,0 +1,70 @@
+"""Unit tests for the kernel pool registry."""
+
+import pytest
+
+from repro.core.registry import DySelKernelRegistry
+from repro.errors import RegistrationError
+from repro.modes import ProfilingMode
+from tests.conftest import make_axpy_variant
+
+
+class TestRegistry:
+    def test_declare_then_add(self, axpy_spec):
+        registry = DySelKernelRegistry()
+        registry.declare(axpy_spec)
+        registry.add_kernel("axpy", make_axpy_variant("a"))
+        registry.add_kernel("axpy", make_axpy_variant("b"))
+        pool = registry.pool("axpy")
+        assert pool.variant_names == ("a", "b")
+        assert "axpy" in registry
+        assert list(registry) == ["axpy"]
+
+    def test_double_declare_rejected(self, axpy_spec):
+        registry = DySelKernelRegistry()
+        registry.declare(axpy_spec)
+        with pytest.raises(RegistrationError):
+            registry.declare(axpy_spec)
+
+    def test_add_without_declare_rejected(self):
+        registry = DySelKernelRegistry()
+        with pytest.raises(RegistrationError, match="declare"):
+            registry.add_kernel("axpy", make_axpy_variant("a"))
+
+    def test_duplicate_variant_rejected(self, axpy_spec):
+        registry = DySelKernelRegistry()
+        registry.declare(axpy_spec)
+        registry.add_kernel("axpy", make_axpy_variant("a"))
+        with pytest.raises(RegistrationError, match="already"):
+            registry.add_kernel("axpy", make_axpy_variant("a"))
+
+    def test_empty_pool_rejected(self, axpy_spec):
+        registry = DySelKernelRegistry()
+        registry.declare(axpy_spec)
+        with pytest.raises(RegistrationError, match="no registered"):
+            registry.pool("axpy")
+
+    def test_unknown_pool_rejected(self):
+        registry = DySelKernelRegistry()
+        with pytest.raises(RegistrationError):
+            registry.pool("nope")
+
+    def test_initial_default_marker(self, axpy_spec):
+        registry = DySelKernelRegistry()
+        registry.declare(axpy_spec)
+        registry.add_kernel("axpy", make_axpy_variant("a"))
+        registry.add_kernel("axpy", make_axpy_variant("b"), initial_default=True)
+        assert registry.pool("axpy").initial_default == "b"
+
+    def test_mode_override(self, axpy_spec):
+        registry = DySelKernelRegistry()
+        registry.declare(axpy_spec)
+        registry.add_kernel("axpy", make_axpy_variant("a"))
+        registry.set_mode("axpy", ProfilingMode.SWAP)
+        assert registry.pool("axpy").mode is ProfilingMode.SWAP
+
+    def test_register_pool_roundtrip(self, fast_slow_pool):
+        registry = DySelKernelRegistry()
+        registry.register_pool(fast_slow_pool)
+        pool = registry.pool("axpy")
+        assert pool.variant_names == ("fast", "slow")
+        assert dict(registry.items())["axpy"].variant_names == ("fast", "slow")

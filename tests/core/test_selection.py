@@ -1,0 +1,96 @@
+"""Unit tests for selection records and the cross-launch cache."""
+
+import pytest
+
+from repro.core.selection import (
+    SelectionCache,
+    SelectionRecord,
+    VariantMeasurement,
+)
+from repro.errors import ProfilingError
+from repro.modes import OrchestrationFlow, ProfilingMode
+
+
+def measurement(name, cycles, units=8):
+    return VariantMeasurement(
+        variant=name, measured_cycles=cycles, profiled_units=units, productive=True
+    )
+
+
+def record():
+    return SelectionRecord(
+        kernel="k", mode=ProfilingMode.FULLY, flow=OrchestrationFlow.SYNC
+    )
+
+
+class TestSelectionRecord:
+    def test_running_minimum(self):
+        rec = record()
+        rec.observe(measurement("a", 100.0))
+        assert rec.selected == "a"
+        rec.observe(measurement("b", 50.0))
+        assert rec.selected == "b"
+        rec.observe(measurement("c", 75.0))
+        assert rec.selected == "b"
+
+    def test_ties_keep_first(self):
+        rec = record()
+        rec.observe(measurement("a", 100.0))
+        rec.observe(measurement("b", 100.0))
+        assert rec.selected == "a"
+
+    def test_best_measurement(self):
+        rec = record()
+        rec.observe(measurement("a", 100.0))
+        rec.observe(measurement("b", 50.0))
+        assert rec.best_measurement().variant == "b"
+
+    def test_ranking_sorted(self):
+        rec = record()
+        for name, cycles in (("a", 30.0), ("b", 10.0), ("c", 20.0)):
+            rec.observe(measurement(name, cycles))
+        assert [m.variant for m in rec.ranking()] == ["b", "c", "a"]
+
+    def test_empty_record_raises(self):
+        with pytest.raises(ProfilingError):
+            record().best_measurement()
+
+    def test_cycles_per_unit(self):
+        m = measurement("a", 100.0, units=4)
+        assert m.cycles_per_unit == 25.0
+        empty = VariantMeasurement("a", 100.0, 0, True)
+        assert empty.cycles_per_unit == float("inf")
+
+
+class TestSelectionCache:
+    def test_record_and_lookup(self):
+        cache = SelectionCache()
+        rec = record()
+        rec.observe(measurement("a", 10.0))
+        cache.record(rec)
+        assert cache.lookup("k").selected == "a"
+        assert "k" in cache
+
+    def test_empty_selection_rejected(self):
+        cache = SelectionCache()
+        with pytest.raises(ProfilingError):
+            cache.record(record())
+
+    def test_invalidate(self):
+        cache = SelectionCache()
+        rec = record()
+        rec.observe(measurement("a", 10.0))
+        cache.record(rec)
+        cache.invalidate("k")
+        assert cache.lookup("k") is None
+        cache.invalidate("never-seen")  # no-op
+
+    def test_overwrite(self):
+        cache = SelectionCache()
+        first = record()
+        first.observe(measurement("a", 10.0))
+        cache.record(first)
+        second = record()
+        second.observe(measurement("b", 5.0))
+        cache.record(second)
+        assert cache.lookup("k").selected == "b"

@@ -1,0 +1,181 @@
+"""Unit tests for the mechanistic cost model."""
+
+import numpy as np
+import pytest
+
+from repro.device.cost import CostModel
+from repro.kernel import AccessPattern, WorkRange
+from repro.kernel.buffers import MemorySpace
+from tests.conftest import make_axpy_args, make_axpy_variant
+
+
+class TestWorkgroupCycles:
+    def test_positive_and_shaped(self, cpu, config):
+        model = CostModel(cpu)
+        variant = make_axpy_variant("v")
+        args = make_axpy_args(16, config)
+        cycles = model.workgroup_cycles(variant, args, WorkRange(0, 16))
+        assert cycles.shape == (16,)
+        assert (cycles > 0).all()
+
+    def test_empty_range(self, cpu, config):
+        model = CostModel(cpu)
+        variant = make_axpy_variant("v")
+        args = make_axpy_args(4, config)
+        assert model.workgroup_cycles(variant, args, WorkRange(2, 2)).size == 0
+
+    def test_coarsening_aggregates_units(self, cpu, config):
+        model = CostModel(cpu)
+        fine = make_axpy_variant("fine", wa_factor=1)
+        coarse = make_axpy_variant("coarse", wa_factor=4)
+        args = make_axpy_args(16, config)
+        fine_cycles = model.workgroup_cycles(fine, args, WorkRange(0, 16))
+        coarse_cycles = model.workgroup_cycles(coarse, args, WorkRange(0, 16))
+        assert coarse_cycles.shape == (4,)
+        # Coarse groups carry 4 units of work but only one dispatch
+        # overhead, so 4 * fine > coarse > sum-of-4-units-minus-overheads.
+        assert coarse_cycles.sum() < fine_cycles.sum()
+        dispatch = cpu.spec.workgroup_dispatch_overhead
+        assert coarse_cycles.sum() == pytest.approx(
+            fine_cycles.sum() - 12 * dispatch, rel=0.01
+        )
+
+    def test_strided_slower_than_unit(self, cpu, config):
+        model = CostModel(cpu)
+        fast = make_axpy_variant("fast", AccessPattern.UNIT_STRIDE)
+        slow = make_axpy_variant("slow", AccessPattern.STRIDED)
+        args = make_axpy_args(8, config)
+        fast_total = model.launch_cycles(fast, args, WorkRange(0, 8))
+        slow_total = model.launch_cycles(slow, args, WorkRange(0, 8))
+        assert slow_total > fast_total
+
+    def test_more_flops_cost_more(self, cpu, config):
+        model = CostModel(cpu)
+        light = make_axpy_variant("light", flops_per_trip=8.0)
+        heavy = make_axpy_variant("heavy", flops_per_trip=8000.0)
+        args = make_axpy_args(4, config)
+        assert model.launch_cycles(heavy, args, WorkRange(0, 4)) > model.launch_cycles(
+            light, args, WorkRange(0, 4)
+        )
+
+
+class TestVectorization:
+    def test_vector_width_speeds_up_regular_compute(self, cpu, config):
+        import dataclasses
+
+        model = CostModel(cpu)
+        scalar = make_axpy_variant("s", flops_per_trip=4000.0)
+        vector = dataclasses.replace(
+            scalar, name="v", ir=scalar.ir.with_(vector_width=8)
+        )
+        args = make_axpy_args(4, config)
+        assert model.launch_cycles(vector, args, WorkRange(0, 4)) < model.launch_cycles(
+            scalar, args, WorkRange(0, 4)
+        )
+
+    def test_divergence_penalizes_wide_vectors(self, cpu, config):
+        import dataclasses
+
+        model = CostModel(cpu)
+        base = make_axpy_variant("b", flops_per_trip=4000.0)
+        narrow = dataclasses.replace(
+            base, name="n", ir=base.ir.with_(vector_width=4, divergence=0.5)
+        )
+        wide = dataclasses.replace(
+            base, name="w", ir=base.ir.with_(vector_width=8, divergence=0.5)
+        )
+        args = make_axpy_args(4, config)
+        narrow_cost = model.launch_cycles(narrow, args, WorkRange(0, 4))
+        wide_cost = model.launch_cycles(wide, args, WorkRange(0, 4))
+        # Wide is still faster on pure compute here, but by less than 2x.
+        assert wide_cost < narrow_cost
+        assert narrow_cost / wide_cost < 2.0
+
+
+class TestPlacementEffects:
+    def test_texture_helps_gpu_gathers(self, gpu, config):
+        import dataclasses
+
+        model = CostModel(gpu)
+        base = make_axpy_variant("g", AccessPattern.GATHER)
+        placed = dataclasses.replace(
+            base,
+            name="t",
+            ir=base.ir.with_(placements=(("x", MemorySpace.TEXTURE.value),)),
+        )
+        args = make_axpy_args(8, config)
+        assert model.launch_cycles(placed, args, WorkRange(0, 8)) < model.launch_cycles(
+            base, args, WorkRange(0, 8)
+        )
+
+    def test_constant_hurts_gpu_gathers(self, gpu, config):
+        import dataclasses
+
+        model = CostModel(gpu)
+        base = make_axpy_variant("g", AccessPattern.GATHER)
+        placed = dataclasses.replace(
+            base,
+            name="c",
+            ir=base.ir.with_(placements=(("x", MemorySpace.CONSTANT.value),)),
+        )
+        args = make_axpy_args(8, config)
+        assert model.launch_cycles(placed, args, WorkRange(0, 8)) > model.launch_cycles(
+            base, args, WorkRange(0, 8)
+        )
+
+    def test_placement_is_noop_on_cpu(self, cpu, config):
+        import dataclasses
+
+        model = CostModel(cpu)
+        base = make_axpy_variant("g", AccessPattern.GATHER)
+        placed = dataclasses.replace(
+            base,
+            name="t",
+            ir=base.ir.with_(placements=(("x", MemorySpace.TEXTURE.value),)),
+        )
+        args = make_axpy_args(8, config)
+        assert model.launch_cycles(placed, args, WorkRange(0, 8)) == pytest.approx(
+            model.launch_cycles(base, args, WorkRange(0, 8))
+        )
+
+
+class TestBookkeeping:
+    def test_unroll_reduces_cost(self, cpu, config):
+        import dataclasses
+
+        model = CostModel(cpu)
+        base = make_axpy_variant("b", trips=1000)
+        unrolled = dataclasses.replace(
+            base, name="u", ir=base.ir.with_(unroll_factor=4)
+        )
+        args = make_axpy_args(4, config)
+        assert model.launch_cycles(unrolled, args, WorkRange(0, 4)) < model.launch_cycles(
+            base, args, WorkRange(0, 4)
+        )
+
+    def test_data_dependent_bounds_reach_costs(self, cpu, config):
+        """Units with more work must cost more (the productive-profiling
+        prerequisite: slice costs reflect slice data)."""
+        from repro.kernel import KernelIR, Loop, LoopBound, MemoryAccess
+        import dataclasses
+
+        base = make_axpy_variant("d")
+        dyn_ir = KernelIR(
+            loops=(
+                Loop(
+                    "k",
+                    LoopBound(
+                        evaluator=lambda args, ids: (ids.astype(float) + 1) * 10
+                    ),
+                ),
+            ),
+            accesses=(
+                MemoryAccess("x", False, AccessPattern.UNIT_STRIDE, 64.0, loop="k"),
+            ),
+            flops_per_trip=16.0,
+        )
+        variant = dataclasses.replace(base, ir=dyn_ir)
+        model = CostModel(cpu)
+        args = make_axpy_args(8, config)
+        cycles = model.workgroup_cycles(variant, args, WorkRange(0, 8))
+        assert (np.diff(cycles) > 0).all()

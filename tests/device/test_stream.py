@@ -1,0 +1,51 @@
+"""Unit tests for CUDA-stream-like submission queues."""
+
+import pytest
+
+from repro.device.engine import ExecutionEngine
+from repro.device.stream import Stream
+from repro.errors import StreamError
+from repro.kernel import WorkRange
+from tests.conftest import make_axpy_args, make_axpy_variant
+
+
+class TestStream:
+    def test_submit_and_synchronize(self, cpu, config):
+        engine = ExecutionEngine(cpu, config)
+        stream = Stream(engine, "s0")
+        variant = make_axpy_variant("v")
+        args = make_axpy_args(8, config)
+        task = stream.submit(variant, args, WorkRange(0, 8))
+        stream.synchronize()
+        assert task.finished
+
+    def test_query_costs_latency_and_resolves(self, cpu, config):
+        engine = ExecutionEngine(cpu, config)
+        stream = Stream(engine, "s0")
+        variant = make_axpy_variant("v", trips=100)
+        args = make_axpy_args(16, config)
+        stream.submit(variant, args, WorkRange(0, 16))
+        before = engine.now
+        stream.query()
+        assert engine.now > before
+        for _ in range(100000):
+            if stream.query():
+                break
+        else:
+            pytest.fail("stream never drained")
+
+    def test_empty_stream_query_true(self, cpu, config):
+        stream = Stream(ExecutionEngine(cpu, config), "s0")
+        assert stream.query()
+
+    def test_destroyed_stream_rejects_use(self, cpu, config):
+        stream = Stream(ExecutionEngine(cpu, config), "s0")
+        stream.destroy()
+        with pytest.raises(StreamError):
+            stream.query()
+        with pytest.raises(StreamError):
+            stream.destroy()
+
+    def test_requires_name(self, cpu, config):
+        with pytest.raises(StreamError):
+            Stream(ExecutionEngine(cpu, config), "")

@@ -1,0 +1,44 @@
+"""Unit tests for the Fig 2 launch census."""
+
+from repro.harness.census import (
+    BUCKETS,
+    bucket_of,
+    collect_census,
+    suite_entries,
+)
+
+
+class TestCensus:
+    def test_buckets_cover_paper_range(self):
+        assert BUCKETS[0] == 128
+        assert BUCKETS[-1] == 32768
+
+    def test_bucket_of(self):
+        assert bucket_of(128) == 128
+        assert bucket_of(255) == 128
+        assert bucket_of(256) == 256
+        assert bucket_of(10**6) == 32768
+
+    def test_collects_significant_mass(self):
+        census = collect_census()
+        total = sum(count for _, count in census.series())
+        assert total > 1000  # iterative solvers dominate
+
+    def test_small_launches_dropped(self):
+        census = collect_census()
+        assert census.dropped_small > 0
+        dropped_fraction = census.dropped_small / (
+            census.dropped_small + sum(c for _, c in census.series())
+        )
+        assert dropped_fraction < 0.1  # "rarely observed" (paper §2.1)
+
+    def test_every_entry_well_formed(self):
+        for app, kernel, work_groups, invocations in suite_entries():
+            assert work_groups > 0
+            assert invocations > 0
+            assert app and kernel
+
+    def test_most_buckets_populated(self):
+        census = collect_census()
+        populated = sum(1 for _, count in census.series() if count > 0)
+        assert populated >= 7

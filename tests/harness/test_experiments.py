@@ -1,0 +1,122 @@
+"""Quick-mode runs of every experiment: shape assertions per figure.
+
+These are the repository's end-to-end reproduction checks: each paper
+table/figure regenerates (at reduced input sizes) and its qualitative
+claims hold.  The full-size numbers live in EXPERIMENTS.md and the
+benchmarks.
+"""
+
+import pytest
+
+from repro.config import ReproConfig
+from repro.harness.experiments import (
+    fig1,
+    fig2,
+    fig9,
+    fig11,
+    table1,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ReproConfig()
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return fig1.run(config, quick=True)
+
+    def test_heuristic_is_suboptimal_on_both(self, result):
+        for group in ("sgemm", "spmv-jds"):
+            assert result.data[group]["best_speedup_over_heuristic"] > 1.0
+
+    def test_sgemm_wants_wider_than_heuristic(self, result):
+        assert result.data["sgemm"]["heuristic_width"] == 4
+        assert result.data["sgemm"]["best"] == "8-way"
+
+    def test_spmv_wants_narrower_than_heuristic(self, result):
+        assert result.data["spmv-jds"]["heuristic_width"] == 8
+        assert result.data["spmv-jds"]["best"] != "8-way"
+
+    def test_report_renders(self, result):
+        assert "Figure 1" in result.text
+
+
+class TestFig2:
+    def test_mass_in_paper_range(self, config):
+        result = fig2.run(config)
+        counts = result.data["counts"]
+        assert sum(counts.values()) > 1000
+        assert result.data["dropped_small_launches"] < 0.1 * sum(counts.values())
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return table1.run(config, quick=True)
+
+    def test_productive_slices(self, result):
+        k = result.data["fully"]["k"]
+        assert result.data["fully"]["productive_slices"] == k
+        assert result.data["hybrid"]["productive_slices"] == 1
+        assert result.data["swap"]["productive_slices"] == 1
+
+    def test_extra_space(self, result):
+        k = result.data["fully"]["k"]
+        assert result.data["fully"]["extra_copies"] == 0
+        assert result.data["hybrid"]["extra_copies"] == k - 1
+        assert result.data["swap"]["extra_copies"] == k
+
+    def test_async_support(self, result):
+        assert result.data["fully"]["async_support"]
+        assert result.data["hybrid"]["async_support"]
+        assert not result.data["swap"]["async_support"]
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return fig9.run(config, quick=True)
+
+    def test_dysel_near_oracle(self, result):
+        for group in ("spmv-csr", "particle filter"):
+            assert result.bar(group, "Sync") < 1.15
+            assert result.data[group]["all_valid"]
+
+    def test_spmv_baseline_ordering(self, result):
+        """PORPLE beats the rule heuristic; both lose to DySel."""
+        porple = result.bar("spmv-csr", "PORPLE")
+        jang = result.bar("spmv-csr", "Heuristic-based")
+        sync = result.bar("spmv-csr", "Sync")
+        assert sync < porple < jang
+
+    def test_fermi_policy_is_oracle(self, result):
+        assert "porple-fermi" in result.data["spmv-csr"]["oracle_variant"]
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def results(self, config):
+        return fig11.run(config, quick=True)
+
+    def test_winner_flips_with_input_gpu(self, results):
+        gpu = results["gpu"]
+        assert gpu.data["random matrix"]["oracle_variant"] == "vector"
+        assert gpu.data["diagonal matrix"]["oracle_variant"] == "scalar"
+
+    def test_dysel_follows_the_input(self, results):
+        for device in ("cpu", "gpu"):
+            panel = results[device]
+            for group in ("random matrix", "diagonal matrix"):
+                assert (
+                    panel.data[group]["dysel_selected"]
+                    == panel.data[group]["oracle_variant"]
+                )
+                assert panel.bar(group, "Sync") < 1.1
+
+    def test_worst_recovery_magnitude(self, results):
+        gpu = results["gpu"]
+        assert gpu.bar("diagonal matrix", "Worst") > 5.0
+        assert gpu.bar("random matrix", "Worst") > 1.5

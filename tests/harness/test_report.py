@@ -1,0 +1,50 @@
+"""Unit tests for report formatting."""
+
+import pytest
+
+from repro.harness.report import RelativeBar, format_figure, format_table, geomean
+
+
+class TestGeomean:
+    def test_values(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([3.0]) == 3.0
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestFormatFigure:
+    def test_grid_layout(self):
+        bars = [
+            RelativeBar("a", "Oracle", 1.0),
+            RelativeBar("a", "Worst", 3.5),
+            RelativeBar("b", "Oracle", 1.0),
+        ]
+        text = format_figure("My Figure", bars)
+        assert "My Figure" in text
+        assert "Oracle" in text and "Worst" in text
+        assert "3.50" in text
+        # Missing cell renders as '-'.
+        assert "-" in text.splitlines()[-1]
+
+    def test_preserves_insertion_order(self):
+        bars = [
+            RelativeBar("z-last", "S", 1.0),
+            RelativeBar("a-first", "S", 1.0),
+        ]
+        text = format_figure("t", bars)
+        assert text.index("z-last") < text.index("a-first")
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            "T", ("col1", "column2"), [("a", 1), ("bbbb", 22)]
+        )
+        lines = text.splitlines()
+        assert "col1" in lines[3]
+        assert any("bbbb" in line for line in lines)

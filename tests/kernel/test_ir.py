@@ -1,0 +1,200 @@
+"""Unit tests for the kernel IR: loops, bounds, accesses, evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.kernel import (
+    AccessPattern,
+    AtomicKind,
+    KernelIR,
+    Loop,
+    LoopBound,
+    MemoryAccess,
+)
+
+
+def simple_ir(**overrides):
+    defaults = dict(
+        loops=(
+            Loop("outer", LoopBound(static_trips=4), is_work_item_loop=True),
+            Loop("inner", LoopBound(static_trips=10)),
+        ),
+        accesses=(
+            MemoryAccess("x", False, AccessPattern.UNIT_STRIDE, 4.0, loop="inner"),
+            MemoryAccess("y", True, AccessPattern.UNIT_STRIDE, 4.0, loop="outer"),
+        ),
+        flops_per_trip=2.0,
+    )
+    defaults.update(overrides)
+    return KernelIR(**defaults)
+
+
+class TestLoopBound:
+    def test_static_trips(self):
+        bound = LoopBound(static_trips=5)
+        assert not bound.is_data_dependent
+        trips = bound.trips({}, np.arange(3))
+        assert (trips == 5.0).all()
+
+    def test_evaluator(self):
+        bound = LoopBound(evaluator=lambda args, ids: ids.astype(float) + 1)
+        assert bound.is_data_dependent
+        trips = bound.trips({}, np.arange(3))
+        assert list(trips) == [1.0, 2.0, 3.0]
+
+    def test_exactly_one_source_required(self):
+        with pytest.raises(IRError):
+            LoopBound()
+        with pytest.raises(IRError):
+            LoopBound(static_trips=1, evaluator=lambda a, i: i)
+
+    def test_negative_static_rejected(self):
+        with pytest.raises(IRError):
+            LoopBound(static_trips=-1)
+
+    def test_evaluator_shape_checked(self):
+        bound = LoopBound(evaluator=lambda args, ids: np.zeros(1))
+        with pytest.raises(IRError, match="shape"):
+            bound.trips({}, np.arange(3))
+
+
+class TestValidation:
+    def test_duplicate_loop_names(self):
+        with pytest.raises(IRError, match="duplicate"):
+            simple_ir(
+                loops=(
+                    Loop("a", LoopBound(static_trips=1)),
+                    Loop("a", LoopBound(static_trips=1)),
+                )
+            )
+
+    def test_unknown_loop_reference(self):
+        with pytest.raises(IRError, match="unknown loop"):
+            simple_ir(
+                accesses=(
+                    MemoryAccess("x", False, AccessPattern.GATHER, 4.0, loop="nope"),
+                )
+            )
+
+    def test_unknown_scope_reference(self):
+        with pytest.raises(IRError, match="scope"):
+            simple_ir(
+                accesses=(
+                    MemoryAccess(
+                        "x",
+                        False,
+                        AccessPattern.GATHER,
+                        4.0,
+                        scope=("nope",),
+                    ),
+                )
+            )
+
+    def test_strided_needs_stride(self):
+        with pytest.raises(IRError, match="stride"):
+            MemoryAccess("x", False, AccessPattern.STRIDED, 4.0)
+
+    def test_divergence_range(self):
+        with pytest.raises(IRError):
+            simple_ir(divergence=1.5)
+
+    def test_vector_width_positive(self):
+        with pytest.raises(IRError):
+            simple_ir(vector_width=0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(IRError):
+            MemoryAccess("x", False, AccessPattern.GATHER, -1.0)
+
+
+class TestStructureQueries:
+    def test_loop_classification(self):
+        ir = simple_ir()
+        assert [l.name for l in ir.work_item_loops] == ["outer"]
+        assert [l.name for l in ir.in_kernel_loops] == ["inner"]
+
+    def test_loop_depth(self):
+        ir = simple_ir()
+        assert ir.loop_depth("outer") == 0
+        assert ir.loop_depth("inner") == 1
+        with pytest.raises(IRError):
+            ir.loop_depth("nope")
+
+    def test_global_atomics_detection(self):
+        ir = simple_ir()
+        assert not ir.has_global_atomics
+        atomic = simple_ir(
+            accesses=(
+                MemoryAccess(
+                    "h",
+                    True,
+                    AccessPattern.GATHER,
+                    4.0,
+                    atomic=AtomicKind.GLOBAL,
+                ),
+            )
+        )
+        assert atomic.has_global_atomics
+
+    def test_local_atomics_do_not_trigger(self):
+        ir = simple_ir(
+            accesses=(
+                MemoryAccess(
+                    "h", True, AccessPattern.GATHER, 4.0, atomic=AtomicKind.LOCAL
+                ),
+            )
+        )
+        assert not ir.has_global_atomics
+
+    def test_data_dependence_flags(self):
+        ir = simple_ir()
+        assert not ir.has_data_dependent_bounds
+        dyn = simple_ir(
+            loops=(
+                Loop("d", LoopBound(evaluator=lambda a, i: np.ones(len(i)))),
+            ),
+            accesses=(),
+        )
+        assert dyn.has_data_dependent_bounds
+
+    def test_early_exit_flag(self):
+        ir = simple_ir(
+            loops=(
+                Loop("outer", LoopBound(static_trips=4)),
+                Loop("inner", LoopBound(static_trips=10), has_early_exit=True),
+            )
+        )
+        assert ir.has_early_exit
+
+
+class TestQuantities:
+    def test_site_trips_nesting(self):
+        ir = simple_ir()
+        ids = np.arange(2)
+        assert list(ir.site_trips("inner", {}, ids)) == [40.0, 40.0]
+        assert list(ir.site_trips("outer", {}, ids)) == [4.0, 4.0]
+        assert list(ir.site_trips(None, {}, ids)) == [1.0, 1.0]
+
+    def test_access_trips_scope_is_order_independent(self):
+        access = MemoryAccess(
+            "y", True, AccessPattern.UNIT_STRIDE, 4.0, scope=("outer",)
+        )
+        ir = simple_ir(accesses=(access,))
+        reordered = ir.with_(loops=tuple(reversed(ir.loops)))
+        ids = np.arange(3)
+        assert list(ir.access_trips(access, {}, ids)) == [4.0] * 3
+        assert list(reordered.access_trips(access, {}, ids)) == [4.0] * 3
+
+    def test_total_flops(self):
+        ir = simple_ir(flops_fixed=10.0)
+        ids = np.arange(2)
+        assert list(ir.total_flops({}, ids)) == [90.0, 90.0]
+
+    def test_innermost_trips_empty_nest(self):
+        ir = simple_ir(loops=(), accesses=())
+        assert list(ir.innermost_trips({}, np.arange(2))) == [1.0, 1.0]
+
+    def test_with_note_appends(self):
+        ir = simple_ir().with_note("hello")
+        assert "hello" in ir.notes

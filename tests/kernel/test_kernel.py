@@ -1,0 +1,103 @@
+"""Unit tests for KernelVariant / WorkRange / KernelSpec geometry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError, NDRangeError
+from repro.kernel import KernelSpec, KernelSignature, ArgSpec, WorkRange
+from tests.conftest import AXPY_UNIT, make_axpy_args, make_axpy_variant
+
+
+class TestWorkRange:
+    def test_length(self):
+        assert len(WorkRange(3, 10)) == 7
+        assert WorkRange(5, 5).empty
+
+    def test_invalid(self):
+        with pytest.raises(NDRangeError):
+            WorkRange(5, 3)
+        with pytest.raises(NDRangeError):
+            WorkRange(-1, 3)
+
+    def test_take_splits(self):
+        first, rest = WorkRange(0, 10).take(4)
+        assert (first.start, first.end) == (0, 4)
+        assert (rest.start, rest.end) == (4, 10)
+
+    def test_take_clamps(self):
+        first, rest = WorkRange(0, 3).take(100)
+        assert len(first) == 3
+        assert rest.empty
+
+    def test_take_negative_is_empty(self):
+        first, rest = WorkRange(2, 5).take(-1)
+        assert first.empty
+        assert (rest.start, rest.end) == (2, 5)
+
+    def test_intersect(self):
+        a = WorkRange(0, 10)
+        b = WorkRange(5, 20)
+        c = a.intersect(b)
+        assert (c.start, c.end) == (5, 10)
+        assert a.intersect(WorkRange(20, 30)).empty
+
+
+class TestVariantGeometry:
+    def test_num_groups_rounds_up(self):
+        variant = make_axpy_variant("v", wa_factor=4)
+        assert variant.num_groups(8) == 2
+        assert variant.num_groups(9) == 3
+        assert variant.num_groups(0) == 0
+
+    def test_units_for_groups_clamps_tail(self):
+        variant = make_axpy_variant("v", wa_factor=4)
+        units = variant.units_for_groups(2, 4, workload_units=10)
+        assert (units.start, units.end) == (8, 10)
+
+    def test_groups_for_units_alignment(self):
+        variant = make_axpy_variant("v", wa_factor=4)
+        assert variant.groups_for_units(WorkRange(4, 12)) == (1, 3)
+        with pytest.raises(KernelError, match="aligned"):
+            variant.groups_for_units(WorkRange(2, 12))
+
+    def test_unaligned_tail_allowed(self):
+        variant = make_axpy_variant("v", wa_factor=4)
+        assert variant.groups_for_units(WorkRange(8, 10)) == (2, 3)
+
+    def test_invalid_construction(self):
+        with pytest.raises(KernelError):
+            make_axpy_variant("v", wa_factor=0)
+        with pytest.raises(KernelError):
+            make_axpy_variant("")
+
+
+class TestExecution:
+    def test_execute_writes_range(self, config):
+        variant = make_axpy_variant("v")
+        args = make_axpy_args(4, config)
+        variant.execute(args, WorkRange(1, 3))
+        y = args["y"].data
+        assert (y[:AXPY_UNIT] == 0).all()
+        assert np.allclose(
+            y[AXPY_UNIT : 3 * AXPY_UNIT],
+            2.0 * args["x"].data[AXPY_UNIT : 3 * AXPY_UNIT],
+        )
+        assert (y[3 * AXPY_UNIT :] == 0).all()
+
+    def test_execute_empty_range_is_noop(self, config):
+        variant = make_axpy_variant("v")
+        args = make_axpy_args(2, config)
+        variant.execute(args, WorkRange(1, 1))
+        assert (args["y"].data == 0).all()
+
+
+class TestKernelSpec:
+    def test_sandbox_outputs_default_to_declared(self, axpy_spec):
+        assert axpy_spec.effective_sandbox_outputs == ("y",)
+
+    def test_explicit_sandbox_outputs_validated(self):
+        sig = KernelSignature("k", (ArgSpec("a"), ArgSpec("b", is_output=True)))
+        spec = KernelSpec(signature=sig, sandbox_outputs=("b",))
+        assert spec.effective_sandbox_outputs == ("b",)
+        with pytest.raises(KernelError):
+            KernelSpec(signature=sig, sandbox_outputs=("a",))

@@ -1,0 +1,36 @@
+"""Unit tests for LaunchConfig."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LaunchError, SignatureError
+from repro.kernel.buffers import Buffer
+from repro.kernel.launch import LaunchConfig
+from tests.conftest import axpy_signature, make_axpy_args
+
+
+class TestLaunchConfig:
+    def test_create_validates(self, config):
+        launch = LaunchConfig.create(axpy_signature(), make_axpy_args(4, config), 4)
+        assert launch.workload_units == 4
+
+    def test_rejects_negative_units(self, config):
+        with pytest.raises(LaunchError):
+            LaunchConfig.create(axpy_signature(), make_axpy_args(1, config), -1)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(SignatureError):
+            LaunchConfig.create(axpy_signature(), {"x": 1, "y": 2}, 4)
+
+    def test_output_buffers(self, config):
+        launch = LaunchConfig.create(axpy_signature(), make_axpy_args(2, config), 2)
+        outputs = launch.output_buffers()
+        assert set(outputs) == {"y"}
+        assert isinstance(outputs["y"], Buffer)
+
+    def test_with_args_rebinds(self, config):
+        launch = LaunchConfig.create(axpy_signature(), make_axpy_args(2, config), 2)
+        replacement = Buffer("y2", np.zeros_like(launch.args["y"].data))
+        rebound = launch.with_args({"y": replacement})
+        assert rebound.args["y"] is replacement
+        assert launch.args["y"] is not replacement

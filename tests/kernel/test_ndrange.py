@@ -1,0 +1,66 @@
+"""Unit tests for NDRange and work-group decomposition."""
+
+import pytest
+
+from repro.errors import NDRangeError
+from repro.kernel import NDRange
+
+
+class TestConstruction:
+    def test_linear(self):
+        nd = NDRange.linear(100, 64)
+        assert nd.total_groups == 100
+        assert nd.work_group_size == 64
+        assert nd.total_work_items == 6400
+
+    def test_grid2d(self):
+        nd = NDRange.grid2d(8, 4, 16, 16)
+        assert nd.total_groups == 32
+        assert nd.work_group_size == 256
+
+    def test_full_3d(self):
+        nd = NDRange(groups=(4, 3, 2), local_size=(8, 8, 1))
+        assert nd.total_groups == 24
+        assert nd.work_group_size == 64
+
+    def test_rejects_zero_groups(self):
+        with pytest.raises(NDRangeError):
+            NDRange(groups=(0, 1, 1))
+
+    def test_rejects_zero_local(self):
+        with pytest.raises(NDRangeError):
+            NDRange(groups=(1, 1, 1), local_size=(0, 1, 1))
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(NDRangeError):
+            NDRange(groups=(1, 1))  # type: ignore[arg-type]
+
+
+class TestIndexing:
+    def test_roundtrip_all_ids(self):
+        nd = NDRange(groups=(3, 4, 2))
+        for gid in nd.iter_group_ids():
+            x, y, z = nd.group_coords(gid)
+            assert nd.linear_id(x, y, z) == gid
+
+    def test_x_fastest(self):
+        nd = NDRange(groups=(4, 2, 1))
+        assert nd.group_coords(0) == (0, 0, 0)
+        assert nd.group_coords(1) == (1, 0, 0)
+        assert nd.group_coords(4) == (0, 1, 0)
+
+    def test_out_of_range_id(self):
+        nd = NDRange.linear(10)
+        with pytest.raises(NDRangeError):
+            nd.group_coords(10)
+
+    def test_out_of_range_coords(self):
+        nd = NDRange(groups=(2, 2, 2))
+        with pytest.raises(NDRangeError):
+            nd.linear_id(2, 0, 0)
+
+    def test_with_groups_relinearizes(self):
+        nd = NDRange(groups=(4, 4, 1), local_size=(8, 8, 1))
+        flat = nd.with_groups(5)
+        assert flat.total_groups == 5
+        assert flat.work_group_size == 64

@@ -1,0 +1,78 @@
+"""Unit tests for kernel signatures and argument validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignatureError
+from repro.kernel import ArgSpec, KernelSignature
+from repro.kernel.buffers import Buffer
+
+
+def sig():
+    return KernelSignature(
+        "k",
+        (
+            ArgSpec("n", is_buffer=False),
+            ArgSpec("x"),
+            ArgSpec("y", is_output=True),
+        ),
+    )
+
+
+class TestDeclaration:
+    def test_output_names(self):
+        assert sig().output_names == ("y",)
+
+    def test_buffer_names(self):
+        assert sig().buffer_names == ("x", "y")
+
+    def test_scalar_output_rejected(self):
+        with pytest.raises(SignatureError):
+            ArgSpec("n", is_buffer=False, is_output=True)
+
+    def test_duplicate_args_rejected(self):
+        with pytest.raises(SignatureError):
+            KernelSignature("k", (ArgSpec("x"), ArgSpec("x")))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SignatureError):
+            KernelSignature("", ())
+
+    def test_arg_lookup(self):
+        assert sig().arg("y").is_output
+        with pytest.raises(SignatureError):
+            sig().arg("missing")
+
+
+class TestValidation:
+    def _args(self, **overrides):
+        args = {
+            "n": 4,
+            "x": Buffer("x", np.zeros(4), writable=False),
+            "y": Buffer("y", np.zeros(4)),
+        }
+        args.update(overrides)
+        return args
+
+    def test_valid(self):
+        validated = sig().validate(self._args())
+        assert set(validated) == {"n", "x", "y"}
+
+    def test_missing_argument(self):
+        args = self._args()
+        del args["x"]
+        with pytest.raises(SignatureError, match="missing argument"):
+            sig().validate(args)
+
+    def test_unknown_argument(self):
+        with pytest.raises(SignatureError, match="unknown"):
+            sig().validate(self._args(extra=1))
+
+    def test_buffer_type_enforced(self):
+        with pytest.raises(SignatureError, match="must be a Buffer"):
+            sig().validate(self._args(x=np.zeros(4)))
+
+    def test_readonly_output_rejected(self):
+        bad = Buffer("y", np.zeros(4), writable=False)
+        with pytest.raises(SignatureError, match="read-only"):
+            sig().validate(self._args(y=bad))

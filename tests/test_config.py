@@ -1,0 +1,85 @@
+"""Unit tests for configuration and the error hierarchy."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, NoiseModel, ReproConfig
+from repro.errors import (
+    ConfigurationError,
+    DySelError,
+    KernelError,
+    ReproError,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        config = ReproConfig()
+        assert config.seed == DEFAULT_CONFIG.seed
+        assert config.small_workload_threshold == 128
+
+    def test_negative_seed(self):
+        with pytest.raises(ConfigurationError):
+            ReproConfig(seed=-1)
+
+    def test_bad_multiplier(self):
+        with pytest.raises(ConfigurationError):
+            ReproConfig(safe_point_multiplier=0)
+
+    def test_bad_chunk_units(self):
+        with pytest.raises(ConfigurationError):
+            ReproConfig(eager_chunk_units=0)
+
+    def test_bad_noise(self):
+        with pytest.raises(ConfigurationError):
+            NoiseModel(execution_jitter=-0.1)
+        with pytest.raises(ConfigurationError):
+            NoiseModel(timer_quantum=0.0)
+
+
+class TestConfigHelpers:
+    def test_with_noise(self):
+        config = ReproConfig().with_noise(execution_jitter=0.5)
+        assert config.noise.execution_jitter == 0.5
+        assert ReproConfig().noise.execution_jitter != 0.5  # original intact
+
+    def test_without_noise(self):
+        quiet = ReproConfig().without_noise()
+        assert quiet.noise.execution_jitter == 0.0
+        assert quiet.noise.timer_quantum < 1e-6
+
+    def test_rng_streams_independent(self):
+        config = ReproConfig()
+        a = config.rng("a").standard_normal(8)
+        b = config.rng("b").standard_normal(8)
+        assert not (a == b).all()
+
+    def test_rng_label_types(self):
+        config = ReproConfig()
+        # Tuples, ints, strings all work as stream labels.
+        config.rng("x", 3, (1, 2), "y").standard_normal(1)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        import inspect
+
+        import repro.errors as errors_module
+
+        for _name, obj in inspect.getmembers(errors_module, inspect.isclass):
+            if obj.__module__ == "repro.errors":
+                assert issubclass(obj, ReproError), obj
+
+    def test_subsystem_bases(self):
+        from repro.errors import LaunchError, ProfilingError, SignatureError
+
+        assert issubclass(LaunchError, DySelError)
+        assert issubclass(ProfilingError, DySelError)
+        assert issubclass(SignatureError, KernelError)
+
+    def test_catchable_at_boundary(self):
+        from repro.core import DySelRuntime
+        from repro.device import make_cpu
+
+        runtime = DySelRuntime(make_cpu(ReproConfig()))
+        with pytest.raises(ReproError):
+            runtime.launch_kernel("nope", {}, 10)

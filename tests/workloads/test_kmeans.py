@@ -1,0 +1,51 @@
+"""Tests for the kmeans workload."""
+
+import pytest
+
+from repro.config import ReproConfig
+from repro.compiler.heuristics.lc import lc_select_schedule
+from repro.device import make_cpu
+from repro.harness.runner import run_pure
+from repro.workloads import kmeans
+
+POINTS = 4096
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ReproConfig()
+
+
+class TestFunctional:
+    def test_all_variants_correct(self, config):
+        case = kmeans.schedule_case(POINTS, config)
+        cpu = make_cpu(config)
+        for name in case.pool.variant_names:
+            assert run_pure(case, cpu, name, config).valid, name
+
+    def test_three_schedules(self, config):
+        assert len(kmeans.schedule_case(POINTS, config).pool.variants) == 3
+
+
+class TestPaperShapes:
+    def test_points_innermost_is_worst(self, config):
+        case = kmeans.schedule_case(POINTS, config)
+        cpu = make_cpu(config)
+        times = {
+            name: run_pure(case, cpu, name, config).elapsed_cycles
+            for name in case.pool.variant_names
+        }
+        worst = max(times, key=times.get)
+        assert worst.endswith("wi_p")
+        spread = max(times.values()) / min(times.values())
+        assert spread > 2.0  # paper's worst bar ~2.95
+
+    def test_lc_near_optimal(self, config):
+        case = kmeans.schedule_case(POINTS, config)
+        cpu = make_cpu(config)
+        times = {
+            name: run_pure(case, cpu, name, config).elapsed_cycles
+            for name in case.pool.variant_names
+        }
+        pick = lc_select_schedule(kmeans.schedule_family(POINTS)).name
+        assert times[pick] / min(times.values()) < 1.1

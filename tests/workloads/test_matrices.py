@@ -1,0 +1,106 @@
+"""Unit tests for the sparse-matrix substrate (CSR, JDS, inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ReproConfig
+from repro.errors import WorkloadError
+from repro.workloads.matrices import (
+    CsrMatrix,
+    csr_to_jds,
+    diagonal_csr,
+    random_csr,
+)
+
+
+@pytest.fixture(scope="module")
+def small_random():
+    return random_csr(256, 256, 0.02, ReproConfig())
+
+
+class TestCsr:
+    def test_random_shape_and_density(self, small_random):
+        assert small_random.shape == (256, 256)
+        density = small_random.nnz / (256 * 256)
+        assert 0.01 < density < 0.04
+        assert (small_random.row_nnz >= 1).all()
+
+    def test_diagonal_structure(self):
+        m = diagonal_csr(64)
+        assert m.nnz == 64
+        assert (m.row_nnz == 1).all()
+        assert (m.indices == np.arange(64)).all()
+
+    def test_multiply_matches_dense(self, small_random):
+        x = np.ones(256, dtype=np.float32)
+        dense = np.zeros((256, 256), dtype=np.float32)
+        for r in range(256):
+            lo, hi = small_random.indptr[r], small_random.indptr[r + 1]
+            dense[r, small_random.indices[lo:hi]] = small_random.data[lo:hi]
+        assert np.allclose(small_random.multiply(x), dense @ x, atol=1e-3)
+
+    def test_deterministic_generation(self):
+        a = random_csr(64, 64, 0.05, ReproConfig())
+        b = random_csr(64, 64, 0.05, ReproConfig())
+        assert (a.data == b.data).all()
+        assert (a.indices == b.indices).all()
+
+    def test_invalid_density(self):
+        with pytest.raises(WorkloadError):
+            random_csr(16, 16, 0.0)
+
+    def test_malformed_matrix_rejected(self):
+        with pytest.raises(WorkloadError):
+            CsrMatrix(
+                indptr=np.array([0, 1]),
+                indices=np.array([0, 1]),
+                data=np.array([1.0, 2.0], dtype=np.float32),
+                shape=(2, 2),
+            )
+
+
+class TestBlockStats:
+    def test_sums_and_maxima(self, small_random):
+        stats = small_random.block_stats(16)
+        assert stats.nnz_sum.sum() == small_random.nnz
+        row_nnz = small_random.row_nnz
+        assert stats.nnz_max[0] == row_nnz[:16].max()
+
+    def test_diagonal_block_span_is_tight(self):
+        m = diagonal_csr(128)
+        stats = m.block_stats(4)
+        # Each 4-row block touches 4 adjacent columns: a 16-byte span.
+        assert (stats.x_span_bytes == 16.0).all()
+
+    def test_random_block_span_is_wide(self, small_random):
+        stats = small_random.block_stats(16)
+        assert stats.x_span_bytes.mean() > 256 * 4 * 0.5
+
+    def test_cached(self, small_random):
+        assert small_random.block_stats(8) is small_random.block_stats(8)
+
+    def test_invalid_block(self, small_random):
+        with pytest.raises(WorkloadError):
+            small_random.block_stats(0)
+
+
+class TestJds:
+    def test_conversion_preserves_product(self, small_random):
+        jds = csr_to_jds(small_random)
+        x = ReproConfig().rng("x").standard_normal(256).astype(np.float32)
+        assert np.allclose(
+            jds.multiply(x), small_random.multiply(x), atol=1e-3
+        )
+
+    def test_rows_sorted_by_length(self, small_random):
+        jds = csr_to_jds(small_random)
+        assert (np.diff(jds.row_nnz) <= 0).all()
+        assert jds.max_row_nnz == small_random.row_nnz.max()
+
+    def test_diag_rows_non_increasing(self, small_random):
+        jds = csr_to_jds(small_random)
+        assert (np.diff(jds.diag_rows) <= 0).all()
+
+    def test_total_nnz_preserved(self, small_random):
+        jds = csr_to_jds(small_random)
+        assert len(jds.data) == small_random.nnz

@@ -1,0 +1,59 @@
+"""Tests for the particle-filter workload."""
+
+import pytest
+
+from repro.config import ReproConfig
+from repro.device import make_gpu
+from repro.harness.runner import run_pure
+from repro.modes import ProfilingMode
+from repro.workloads import particle_filter
+
+PARTICLES = 4096
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ReproConfig()
+
+
+class TestFunctional:
+    def test_all_variants_correct(self, config):
+        case = particle_filter.placement_case(PARTICLES, config)
+        gpu = make_gpu(config)
+        for name in case.pool.variant_names:
+            assert run_pure(case, gpu, name, config).valid, name
+
+    def test_early_exit_loop_is_hybrid(self, config):
+        case = particle_filter.placement_case(PARTICLES, config)
+        assert case.pool.mode is ProfilingMode.HYBRID
+
+    def test_four_policies(self, config):
+        case = particle_filter.placement_case(PARTICLES, config)
+        assert len(case.pool.variants) == 4
+        names = " ".join(case.pool.variant_names)
+        assert "rodinia" in names and "jang" in names
+
+    def test_search_trips_grow_with_stratified_thresholds(self, config):
+        import numpy as np
+        from repro.workloads.particle_filter import _search_trips
+
+        args = particle_filter.make_args_factory(PARTICLES, config)()
+        units = np.array([0, particle_filter.workload_units(PARTICLES) - 1])
+        trips = _search_trips(args, units)
+        assert trips[1] > trips[0]  # non-uniform workload, by construction
+
+
+class TestPaperShapes:
+    def test_rodinia_original_is_worst(self, config):
+        """Fig 9: the baselines all pick right; Rodinia's original
+        placement trails."""
+        case = particle_filter.placement_case(32000, config)
+        gpu = make_gpu(config)
+        times = {
+            name: run_pure(case, gpu, name, config).elapsed_cycles
+            for name in case.pool.variant_names
+        }
+        worst = max(times, key=times.get)
+        assert "rodinia" in worst
+        best = min(times, key=times.get)
+        assert times[worst] / times[best] > 1.1

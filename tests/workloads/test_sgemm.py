@@ -1,0 +1,85 @@
+"""Tests for the sgemm workload: correctness and paper-shape checks."""
+
+import pytest
+
+from repro.config import ReproConfig
+from repro.device import make_cpu, make_gpu
+from repro.harness.runner import run_pure
+from repro.modes import ProfilingMode
+from repro.workloads import sgemm
+
+N = 128  # small but multi-tile
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ReproConfig()
+
+
+class TestFunctional:
+    def test_all_schedule_variants_correct(self, config):
+        case = sgemm.schedule_case(N, config)
+        cpu = make_cpu(config)
+        for name in case.pool.variant_names:
+            assert run_pure(case, cpu, name, config).valid, name
+
+    @pytest.mark.parametrize("device_kind", ["cpu", "gpu"])
+    def test_mixed_variants_correct(self, device_kind, config):
+        case = sgemm.mixed_case(device_kind, N, config)
+        device = make_cpu(config) if device_kind == "cpu" else make_gpu(config)
+        for name in case.pool.variant_names:
+            assert run_pure(case, device, name, config).valid, name
+
+    def test_fully_productive_mode(self, config):
+        case = sgemm.schedule_case(N, config)
+        assert case.pool.mode is ProfilingMode.FULLY
+
+    def test_workload_units(self):
+        assert sgemm.workload_units(128) == 64
+
+
+class TestPaperShapes:
+    def test_fig1_ordering(self, config):
+        """8-way > 4-way > scalar, and the heuristic picks 4-way."""
+        case = sgemm.vectorization_case(256, config)
+        cpu = make_cpu(config)
+        times = {
+            name.split(",")[-1]: run_pure(case, cpu, name, config).elapsed_cycles
+            for name in case.pool.variant_names
+        }
+        assert times["8-way"] < times["4-way"] < times["scalar"]
+        assert sgemm.heuristic_width(256) == 4
+
+    def test_schedule_spread_is_large(self, config):
+        """Fig 8: bad schedules are many times slower than good ones."""
+        case = sgemm.schedule_case(256, config)
+        cpu = make_cpu(config)
+        times = [
+            run_pure(case, cpu, name, config).elapsed_cycles
+            for name in case.pool.variant_names
+        ]
+        assert max(times) / min(times) > 5.0
+
+    def test_six_schedules(self, config):
+        assert len(sgemm.schedule_case(N, config).pool.variants) == 6
+
+    def test_tiling_asymmetry(self, config):
+        """Fig 10: the tiled version wins on GPU and loses on CPU."""
+        # Sizes large enough that the 16x-coarsened variant still fills
+        # the 13-SM device (tail effects dominate at toy sizes).
+        cpu, gpu = make_cpu(config), make_gpu(config)
+        cpu_case = sgemm.mixed_case("cpu", 384, config)
+        gpu_case = sgemm.mixed_case("gpu", 384, config)
+        cpu_times = {
+            name: run_pure(cpu_case, cpu, name, config).elapsed_cycles
+            for name in cpu_case.pool.variant_names
+        }
+        gpu_times = {
+            name: run_pure(gpu_case, gpu, name, config).elapsed_cycles
+            for name in gpu_case.pool.variant_names
+        }
+        cpu_base = min(n for n in cpu_times if "tiled" not in n)
+        cpu_tiled = [n for n in cpu_times if "tiled" in n][0]
+        gpu_tiled = [n for n in gpu_times if "tiled" in n][0]
+        assert cpu_times[cpu_base] < cpu_times[cpu_tiled]
+        assert gpu_times[gpu_tiled] < gpu_times["base"]

@@ -1,0 +1,81 @@
+"""Tests for the spmv-jds workload."""
+
+import pytest
+
+from repro.config import ReproConfig
+from repro.compiler.heuristics.lc import lc_select_schedule
+from repro.device import make_cpu, make_gpu
+from repro.harness.runner import run_pure
+from repro.modes import ProfilingMode
+from repro.workloads import spmv_jds
+
+SIZE = 1024
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ReproConfig()
+
+
+class TestFunctional:
+    def test_schedule_variants_correct(self, config):
+        case = spmv_jds.schedule_case(SIZE, config)
+        cpu = make_cpu(config)
+        for name in case.pool.variant_names:
+            assert run_pure(case, cpu, name, config).valid, name
+
+    @pytest.mark.parametrize("device_kind", ["cpu", "gpu"])
+    def test_mixed_variants_correct(self, device_kind, config):
+        case = spmv_jds.mixed_case(device_kind, SIZE, config)
+        device = make_cpu(config) if device_kind == "cpu" else make_gpu(config)
+        for name in case.pool.variant_names:
+            assert run_pure(case, device, name, config).valid, name
+
+    def test_irregular_kernel_is_hybrid(self, config):
+        assert (
+            spmv_jds.schedule_case(SIZE, config).pool.mode
+            is ProfilingMode.HYBRID
+        )
+
+    def test_version_counts_match_paper(self, config):
+        assert len(spmv_jds.mixed_case("cpu", SIZE, config).pool.variants) == 2
+        assert len(spmv_jds.mixed_case("gpu", SIZE, config).pool.variants) == 4
+
+
+class TestPaperShapes:
+    def test_bfo_wins_and_lc_agrees(self, config):
+        """JDS is built for row-major streaming: BFO wins, LC knows it."""
+        case = spmv_jds.schedule_case(SIZE, config)
+        cpu = make_cpu(config)
+        times = {
+            name: run_pure(case, cpu, name, config).elapsed_cycles
+            for name in case.pool.variant_names
+        }
+        assert times["base,BFO"] < times["base,DFO"]
+        assert lc_select_schedule(
+            spmv_jds.schedule_family(SIZE, config)
+        ).name.endswith("BFO")
+
+    def test_gpu_texture_best_up_redundant(self, config):
+        """Fig 10b's spmv-jds: texture-only best; unroll+prefetch on top
+        slightly worse; base worst."""
+        case = spmv_jds.mixed_case("gpu", 2048, config)
+        gpu = make_gpu(config)
+        times = {
+            name: run_pure(case, gpu, name, config).elapsed_cycles
+            for name in case.pool.variant_names
+        }
+        assert min(times, key=times.get) == "base,texture"
+        combo = times["base,unroll2,prefetch,texture"]
+        assert combo / times["base,texture"] < 1.05  # near-tie (paper 0.8%)
+        assert times["base"] == max(times.values())
+
+    def test_cpu_base_beats_gpu_port(self, config):
+        case = spmv_jds.mixed_case("cpu", SIZE, config)
+        cpu = make_cpu(config)
+        times = {
+            name: run_pure(case, cpu, name, config).elapsed_cycles
+            for name in case.pool.variant_names
+        }
+        assert times["base"] < times["gpu-port"]
+        assert times["gpu-port"] / times["base"] > 3.0

@@ -1,0 +1,79 @@
+"""Tests for the stencil workload."""
+
+import pytest
+
+from repro.config import ReproConfig
+from repro.device import make_cpu, make_gpu
+from repro.harness.runner import run_pure
+from repro.modes import ProfilingMode
+from repro.workloads import stencil
+
+GRID = (64, 64, 8)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ReproConfig()
+
+
+class TestFunctional:
+    def test_all_schedule_variants_correct(self, config):
+        case = stencil.schedule_case(GRID, config)
+        cpu = make_cpu(config)
+        for name in case.pool.variant_names:
+            assert run_pure(case, cpu, name, config).valid, name
+
+    @pytest.mark.parametrize("device_kind", ["cpu", "gpu"])
+    def test_mixed_variants_correct(self, device_kind, config):
+        case = stencil.mixed_case(device_kind, GRID, config)
+        device = make_cpu(config) if device_kind == "cpu" else make_gpu(config)
+        for name in case.pool.variant_names:
+            assert run_pure(case, device, name, config).valid, name
+
+    def test_boundaries_copied_through(self, config):
+        import numpy as np
+        from repro.kernel import WorkRange
+
+        args = stencil.make_args_factory(GRID, config)()
+        variant = stencil.base_variant(GRID, "cpu")
+        variant.execute(args, WorkRange(0, stencil.workload_units(GRID)))
+        src = args["a_in"].data
+        dst = args["a_out"].data
+        assert np.array_equal(dst[0], src[0])
+        assert np.array_equal(dst[:, 0, :], src[:, 0, :])
+
+    def test_regular_kernel_fully_productive(self, config):
+        assert stencil.schedule_case(GRID, config).pool.mode is ProfilingMode.FULLY
+
+
+class TestPaperShapes:
+    def test_x_innermost_schedules_win(self, config):
+        case = stencil.schedule_case(GRID, config)
+        cpu = make_cpu(config)
+        times = {
+            name: run_pure(case, cpu, name, config).elapsed_cycles
+            for name in case.pool.variant_names
+        }
+        best = min(times, key=times.get)
+        assert best.endswith("wi_x")
+
+    def test_mixed_winner_per_device(self, config):
+        """Fig 10: base wins CPU; z-coarsening wins GPU; tiling adds
+        nothing on top of z-coarsening on GPU.  Uses a grid large enough
+        that the coarsened variant still fills the device (as in the
+        paper's inputs).
+        """
+        shape_grid = stencil.DEFAULT_GRID
+        cpu, gpu = make_cpu(config), make_gpu(config)
+        cpu_case = stencil.mixed_case("cpu", shape_grid, config)
+        cpu_times = {
+            name: run_pure(cpu_case, cpu, name, config).elapsed_cycles
+            for name in cpu_case.pool.variant_names
+        }
+        assert min(cpu_times, key=cpu_times.get) == "base"
+        gpu_case = stencil.mixed_case("gpu", shape_grid, config)
+        gpu_times = {
+            name: run_pure(gpu_case, gpu, name, config).elapsed_cycles
+            for name in gpu_case.pool.variant_names
+        }
+        assert "coarsen-z" in min(gpu_times, key=gpu_times.get)
