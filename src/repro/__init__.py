@@ -25,6 +25,14 @@ heuristics), :mod:`repro.core` (the DySel runtime), :mod:`repro.workloads`
 regenerating every table and figure).
 """
 
+from .analyze import (
+    Diagnostic,
+    PoolVerifier,
+    Severity,
+    VerificationReport,
+    VerifyOverrides,
+    verify_pool,
+)
 from .config import DEFAULT_CONFIG, NoiseModel, ReproConfig
 from .core import (
     DySelContext,
@@ -33,13 +41,14 @@ from .core import (
     LaunchResult,
 )
 from .device import ExecutionEngine, make_cpu, make_gpu
-from .errors import ReproError
+from .errors import ReproError, VerificationError
 from .modes import OrchestrationFlow, ProfilingMode
 
 __version__ = "1.0.0"
 
 __all__ = [
     "DEFAULT_CONFIG",
+    "Diagnostic",
     "DySelContext",
     "DySelKernelRegistry",
     "DySelRuntime",
@@ -47,10 +56,16 @@ __all__ = [
     "LaunchResult",
     "NoiseModel",
     "OrchestrationFlow",
+    "PoolVerifier",
     "ProfilingMode",
     "ReproConfig",
     "ReproError",
+    "Severity",
+    "VerificationError",
+    "VerificationReport",
+    "VerifyOverrides",
     "__version__",
     "make_cpu",
     "make_gpu",
+    "verify_pool",
 ]

@@ -1,0 +1,54 @@
+"""Static kernel-pool verification (the repo's correctness-tooling layer).
+
+DySel's safety rests on static facts the paper states but never checks
+end-to-end: fully-productive profiling needs regular workloads with
+disjoint per-slice outputs, hybrid mode needs enough declared sandboxes,
+and global atomics or overlapping output ranges force swap-based
+profiling, which cannot run asynchronously (paper §2.2–§2.3, Table 1).
+This package lints a registered pool **before any launch**:
+
+* :mod:`~repro.analyze.passes` — the rules (mode eligibility, sandbox
+  capacity, async legality, signature/footprint consistency, safe-point
+  feasibility, write-set races), each yielding structured findings;
+* :mod:`~repro.analyze.diagnostics` — rule ids, severities, fix hints,
+  and the per-(mode, flow) legality matrix;
+* :mod:`~repro.analyze.manager` — the pass manager and the cached
+  :class:`PoolVerifier` the runtime's launch gate uses;
+* :mod:`~repro.analyze.gate` — strict/warn/off gating and auto-demotion
+  to the cheapest legal mode (``ReproConfig.verify``);
+* :mod:`~repro.analyze.cli` — ``python -m repro.analyze``.
+"""
+
+from .diagnostics import (
+    ALL_COMBOS,
+    Diagnostic,
+    Severity,
+    VerificationReport,
+    combos,
+)
+from .gate import GateDecision, VerificationWarning, gate_launch
+from .manager import PassManager, PoolVerifier, verify_pool
+from .passes import (
+    DEFAULT_PASSES,
+    PoolContext,
+    VerifierPass,
+    VerifyOverrides,
+)
+
+__all__ = [
+    "ALL_COMBOS",
+    "DEFAULT_PASSES",
+    "Diagnostic",
+    "GateDecision",
+    "PassManager",
+    "PoolContext",
+    "PoolVerifier",
+    "Severity",
+    "VerificationReport",
+    "VerificationWarning",
+    "VerifierPass",
+    "VerifyOverrides",
+    "combos",
+    "gate_launch",
+    "verify_pool",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.analyze`` — static kernel-pool verification CLI."""
+
+from .cli import main
+
+main()

@@ -1,0 +1,99 @@
+"""Catalog of the example/workload pools the CLI verifies.
+
+``python -m repro.analyze --all-examples`` walks this catalog: every
+benchmark family contributes its case-study pools at reduced sizes (the
+verifier only reads IR and geometry, so small inputs verify the same
+facts the full-size experiments run with).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from ..config import DEFAULT_CONFIG, ReproConfig
+from ..device.cpu import make_cpu
+from ..device.gpu import make_gpu
+from ..workloads import (
+    cutcp,
+    histogram,
+    kmeans,
+    particle_filter,
+    sgemm,
+    spmv_csr,
+    spmv_jds,
+    stencil,
+)
+from ..workloads.base import BenchmarkCase
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One verifiable pool: the case plus its device parallelism."""
+
+    case: BenchmarkCase
+    compute_units: int
+
+    @property
+    def label(self) -> str:
+        """Report label (the case name)."""
+        return self.case.name
+
+
+#: Case builders, deferred so a single broken workload doesn't prevent
+#: verifying the rest.  Each returns (case, device kind).
+_BUILDERS: Tuple[Tuple[str, Callable[[ReproConfig], Tuple[BenchmarkCase, str]]], ...] = (
+    ("sgemm/vectorization", lambda c: (sgemm.vectorization_case(128, c), "cpu")),
+    ("sgemm/schedules", lambda c: (sgemm.schedule_case(128, c), "cpu")),
+    ("sgemm/mixed", lambda c: (sgemm.mixed_case("cpu", 128, c), "cpu")),
+    (
+        "spmv-csr/input-dependent",
+        lambda c: (spmv_csr.input_dependent_case("cpu", "random", 2048, c), "cpu"),
+    ),
+    (
+        "spmv-csr/placement",
+        lambda c: (spmv_csr.placement_case(2048, c), "gpu"),
+    ),
+    (
+        "spmv-jds/vectorization",
+        lambda c: (spmv_jds.vectorization_case(2048, c), "cpu"),
+    ),
+    (
+        "stencil/schedules",
+        lambda c: (stencil.schedule_case((64, 64, 8), c), "cpu"),
+    ),
+    (
+        "stencil/mixed",
+        lambda c: (stencil.mixed_case("cpu", (64, 64, 8), c), "cpu"),
+    ),
+    ("kmeans/schedules", lambda c: (kmeans.schedule_case(8192, c), "cpu")),
+    (
+        "cutcp/mixed",
+        lambda c: (cutcp.mixed_case("cpu", (16, 16, 8), 2000, c), "cpu"),
+    ),
+    (
+        "histogram/swap",
+        lambda c: (histogram.swap_case("uniform", 1 << 17, c), "gpu"),
+    ),
+    (
+        "particle-filter/placement",
+        lambda c: (particle_filter.placement_case(4000, c), "gpu"),
+    ),
+)
+
+
+def example_entries(
+    config: ReproConfig = DEFAULT_CONFIG,
+) -> List[Tuple[str, CatalogEntry]]:
+    """Build every example pool (label, entry), small sizes throughout."""
+    devices = {
+        "cpu": make_cpu(config).spec.compute_units,
+        "gpu": make_gpu(config).spec.compute_units,
+    }
+    entries: List[Tuple[str, CatalogEntry]] = []
+    for label, build in _BUILDERS:
+        case, device_kind = build(config)
+        entries.append(
+            (label, CatalogEntry(case=case, compute_units=devices[device_kind]))
+        )
+    return entries

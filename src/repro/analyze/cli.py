@@ -1,0 +1,160 @@
+"""Command line interface: ``python -m repro.analyze``.
+
+Verifies kernel pools before any launch and renders the legality matrix
+with structured rule-id diagnostics.  Exit status:
+
+* ``0`` — every verified pool can launch with its defaults (and with the
+  explicitly requested ``--mode``/``--flow`` combination, when given);
+* ``1`` — at least one pool has blocking ERROR findings for the checked
+  combination(s);
+* ``2`` — usage error.
+
+Per-combination ERROR findings on combinations a pool does not launch by
+default (e.g. a global-atomic kernel under ``fully``) are *flagged* in
+the matrix but do not fail the run — they are exactly what the verifier
+exists to surface, and the runtime gate demotes or refuses them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from ..config import ReproConfig
+from ..modes import OrchestrationFlow, ProfilingMode
+from .catalog import CatalogEntry, example_entries
+from .manager import PoolVerifier
+from .passes import VerifyOverrides
+
+
+def _parse_combo(
+    mode: Optional[str], flow: Optional[str]
+) -> Optional[Tuple[ProfilingMode, OrchestrationFlow]]:
+    if mode is None and flow is None:
+        return None
+    if mode is None or flow is None:
+        print("--mode and --flow must be given together", file=sys.stderr)
+        raise SystemExit(2)
+    try:
+        return ProfilingMode(mode), OrchestrationFlow(flow)
+    except ValueError:
+        print(
+            f"unknown mode/flow {mode!r}/{flow!r}; modes: "
+            f"{[m.value for m in ProfilingMode]}, flows: "
+            f"{[f.value for f in OrchestrationFlow]}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="Statically verify DySel kernel pools before launch.",
+    )
+    parser.add_argument(
+        "--all-examples",
+        action="store_true",
+        help="verify every example/workload pool (default when no filter "
+        "is given)",
+    )
+    parser.add_argument(
+        "--pool",
+        action="append",
+        default=[],
+        metavar="SUBSTRING",
+        help="verify only pools whose label contains SUBSTRING "
+        "(repeatable)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=[m.value for m in ProfilingMode],
+        help="additionally require this profiling mode to be legal",
+    )
+    parser.add_argument(
+        "--flow",
+        choices=[f.value for f in OrchestrationFlow],
+        help="orchestration flow for --mode",
+    )
+    parser.add_argument(
+        "--override-atomics",
+        action="store_true",
+        help="apply the programmer override: assert global atomics are "
+        "race-free across work-groups (downgrades DYSEL-MODE-001)",
+    )
+    parser.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="include INFO findings in the output",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list catalog pool labels and exit",
+    )
+    return parser
+
+
+def run(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    config = ReproConfig()
+    entries = example_entries(config)
+    if args.list:
+        for label, entry in entries:
+            print(f"{label}  ({entry.case.pool.name}, "
+                  f"{len(entry.case.pool.variants)} variants)")
+        return 0
+    if args.pool:
+        entries = [
+            (label, entry)
+            for label, entry in entries
+            if any(sub in label for sub in args.pool)
+        ]
+        if not entries:
+            print(f"no pools match {args.pool}", file=sys.stderr)
+            return 2
+
+    combo = _parse_combo(args.mode, args.flow)
+    overrides = VerifyOverrides(atomics_race_free=args.override_atomics)
+    verifier = PoolVerifier()
+    failures: List[str] = []
+
+    for label, entry in entries:
+        report = verifier.verify(
+            entry.case.pool,
+            compute_units=entry.compute_units,
+            workload_units=entry.case.workload_units,
+            overrides=overrides,
+        )
+        print(f"== {label} ==")
+        print(report.format(verbose=args.verbose))
+        if not report.ok:
+            failures.append(f"{label}: no legal launch with pool defaults")
+        if combo is not None and not report.is_legal(*combo):
+            rules = ",".join(
+                sorted({d.rule_id for d in report.blocking(*combo)})
+            )
+            failures.append(
+                f"{label}: {combo[0].value}_{combo[1].value} is illegal "
+                f"({rules})"
+            )
+        print()
+
+    checked = len(entries)
+    if failures:
+        print(f"FAIL: {len(failures)} blocking finding(s) over "
+              f"{checked} pool(s)")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"OK: {checked} pool(s) verified")
+    return 0
+
+
+def main() -> None:
+    """Console entry (exits the process)."""
+    raise SystemExit(run())

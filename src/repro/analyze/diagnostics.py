@@ -1,0 +1,272 @@
+"""Structured diagnostics for the static kernel-pool verifier.
+
+Every finding a verifier pass emits is a :class:`Diagnostic`: a stable
+rule id (``DYSEL-MODE-001`` style), a severity, the source variant (when
+attributable), a human-readable message, and a fix hint.  A diagnostic may
+be scoped to specific (profiling mode, orchestration flow) combinations —
+"global atomics" only outlaws fully/hybrid profiling, not swap — or apply
+pool-wide (scope ``None``).
+
+:class:`VerificationReport` aggregates a pool's diagnostics into a
+legality matrix over all (mode, flow) combinations, which is what the
+launch gate and the CLI consume: a combination is illegal iff at least one
+ERROR-severity diagnostic covers it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+
+from ..modes import OrchestrationFlow, ProfilingMode
+
+#: One (profiling mode, orchestration flow) combination.
+Combo = Tuple[ProfilingMode, OrchestrationFlow]
+
+#: Every launchable combination, cheapest profiling mode first (Table 1's
+#: space column: fully = 0 copies, hybrid = K−1, swap = K).
+ALL_COMBOS: Tuple[Combo, ...] = tuple(
+    (mode, flow)
+    for mode in (ProfilingMode.FULLY, ProfilingMode.HYBRID, ProfilingMode.SWAP)
+    for flow in (OrchestrationFlow.ASYNC, OrchestrationFlow.SYNC)
+)
+
+
+def combos(
+    modes: Optional[Sequence[ProfilingMode]] = None,
+    flows: Optional[Sequence[OrchestrationFlow]] = None,
+) -> FrozenSet[Combo]:
+    """The combination set covering the given modes × flows.
+
+    ``None`` means "all" on that axis; ``combos()`` is the full matrix.
+    """
+    mode_set = tuple(modes) if modes is not None else tuple(ProfilingMode)
+    flow_set = tuple(flows) if flows is not None else tuple(OrchestrationFlow)
+    return frozenset((m, f) for m in mode_set for f in flow_set)
+
+
+class Severity(enum.Enum):
+    """How serious a finding is for launch legality."""
+
+    ERROR = "error"  # the covered (mode, flow) combos must not launch
+    WARNING = "warning"  # legal but risky / conservative-override territory
+    INFO = "info"  # observability only
+
+    @property
+    def rank(self) -> int:
+        """Sort key: most severe first."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured finding about a kernel pool.
+
+    Parameters
+    ----------
+    rule_id:
+        Stable identifier (``DYSEL-<PASS>-<NNN>``); tests and tooling key
+        on it, so it never changes meaning across releases.
+    severity:
+        :class:`Severity`; only ERROR affects legality.
+    message:
+        What is wrong, naming the offending objects.
+    variant:
+        Source variant name, or ``None`` for pool-level findings.
+    hint:
+        Actionable fix suggestion ("use mode 'swap_sync'", ...).
+    scope:
+        The (mode, flow) combinations the finding covers; ``None`` means
+        the whole matrix (pool-wide).
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    variant: Optional[str] = None
+    hint: str = ""
+    scope: Optional[FrozenSet[Combo]] = None
+
+    def covers(self, mode: ProfilingMode, flow: OrchestrationFlow) -> bool:
+        """Whether this finding applies to the given combination."""
+        return self.scope is None or (mode, flow) in self.scope
+
+    def downgraded(self, note: str) -> "Diagnostic":
+        """A WARNING copy of this diagnostic (programmer override path)."""
+        return replace(
+            self,
+            severity=Severity.WARNING,
+            message=f"{self.message} [overridden: {note}]",
+        )
+
+    def format(self) -> str:
+        """One-line rendering: ``ERROR DYSEL-MODE-001 [variant] message``."""
+        where = f" [{self.variant}]" if self.variant else ""
+        hint = f" (hint: {self.hint})" if self.hint else ""
+        return (
+            f"{self.severity.value.upper():7s} {self.rule_id}{where}: "
+            f"{self.message}{hint}"
+        )
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Verdict of the pass manager for one kernel pool."""
+
+    pool: str
+    diagnostics: Tuple[Diagnostic, ...] = ()
+    #: The pool's compiler-recommended profiling mode (for demotion and
+    #: the CLI's default verdict).
+    recommended_mode: Optional[ProfilingMode] = None
+
+    # ------------------------------------------------------------------
+    # Severity slices
+    # ------------------------------------------------------------------
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        """ERROR findings only."""
+        return tuple(
+            d for d in self.diagnostics if d.severity is Severity.ERROR
+        )
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        """WARNING findings only."""
+        return tuple(
+            d for d in self.diagnostics if d.severity is Severity.WARNING
+        )
+
+    def by_rule(self, rule_id: str) -> Tuple[Diagnostic, ...]:
+        """Findings with a given rule id."""
+        return tuple(d for d in self.diagnostics if d.rule_id == rule_id)
+
+    # ------------------------------------------------------------------
+    # Legality matrix
+    # ------------------------------------------------------------------
+
+    def blocking(
+        self, mode: ProfilingMode, flow: OrchestrationFlow
+    ) -> Tuple[Diagnostic, ...]:
+        """ERROR findings that outlaw a (mode, flow) combination."""
+        return tuple(d for d in self.errors if d.covers(mode, flow))
+
+    def is_legal(self, mode: ProfilingMode, flow: OrchestrationFlow) -> bool:
+        """Whether a combination may launch."""
+        return not self.blocking(mode, flow)
+
+    def legal_combos(self) -> Tuple[Combo, ...]:
+        """All legal combinations, cheapest mode first."""
+        return tuple(c for c in ALL_COMBOS if self.is_legal(*c))
+
+    def cheapest_legal(
+        self, flow: Optional[OrchestrationFlow] = None
+    ) -> Optional[Combo]:
+        """Cheapest legal combination, optionally pinned to one flow."""
+        for mode, combo_flow in ALL_COMBOS:
+            if flow is not None and combo_flow is not flow:
+                continue
+            if self.is_legal(mode, combo_flow):
+                return (mode, combo_flow)
+        return None
+
+    def demote(
+        self, mode: ProfilingMode, flow: OrchestrationFlow
+    ) -> Optional[Combo]:
+        """Nearest legal combination for an illegal request.
+
+        Preference order: keep the requested mode and fall back to the
+        synchronous flow (the paper's Table 1 swap fallback); then the
+        cheapest legal mode under the requested flow; then the cheapest
+        legal mode under any flow.  ``None`` when nothing is legal.
+        """
+        if self.is_legal(mode, flow):
+            return (mode, flow)
+        if flow is OrchestrationFlow.ASYNC and self.is_legal(
+            mode, OrchestrationFlow.SYNC
+        ):
+            return (mode, OrchestrationFlow.SYNC)
+        return self.cheapest_legal(flow) or self.cheapest_legal()
+
+    @property
+    def default_combo(self) -> Optional[Combo]:
+        """What launching with pool defaults resolves to.
+
+        The runtime's defaults are the recommended mode under the
+        asynchronous flow, demoted if illegal — the verdict the CLI
+        reports per pool.
+        """
+        if self.recommended_mode is None:
+            return self.cheapest_legal()
+        return self.demote(self.recommended_mode, OrchestrationFlow.ASYNC)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the pool can launch at all with its defaults."""
+        return self.default_combo is not None
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def explain(self, mode: ProfilingMode, flow: OrchestrationFlow) -> str:
+        """Full refusal text for one combination (gate error message)."""
+        blocking = self.blocking(mode, flow)
+        header = (
+            f"kernel {self.pool!r}: illegal launch "
+            f"(mode={mode.value}, flow={flow.value}); "
+            f"{len(blocking)} blocking finding(s)"
+        )
+        lines = [header]
+        lines += [f"  {d.format()}" for d in blocking]
+        legal = self.legal_combos()
+        if legal:
+            lines.append(
+                "  legal combinations: "
+                + ", ".join(f"{m.value}_{f.value}" for m, f in legal)
+            )
+        else:
+            lines.append("  no legal combination exists for this pool")
+        return "\n".join(lines)
+
+    def format(self, verbose: bool = False) -> str:
+        """Render the whole report (CLI output).
+
+        The matrix marks each (mode, flow) cell legal/illegal with the
+        blocking rule ids; diagnostics follow, most severe first.
+        """
+        lines = [f"pool {self.pool!r}:"]
+        for mode, flow in ALL_COMBOS:
+            blocking = self.blocking(mode, flow)
+            cell = f"  {mode.value}_{flow.value:5s} "
+            if blocking:
+                rules = ",".join(sorted({d.rule_id for d in blocking}))
+                lines.append(f"{cell} ILLEGAL ({rules})")
+            else:
+                lines.append(f"{cell} ok")
+        shown = sorted(
+            self.diagnostics,
+            key=lambda d: (d.severity.rank, d.rule_id, d.variant or ""),
+        )
+        if not verbose:
+            shown = [d for d in shown if d.severity is not Severity.INFO]
+        lines += [f"  {d.format()}" for d in shown]
+        combo = self.default_combo
+        if combo is not None:
+            lines.append(
+                f"  default launch: {combo[0].value}_{combo[1].value}"
+            )
+        else:
+            lines.append("  default launch: NONE (pool cannot profile)")
+        return "\n".join(lines)
+
+
+def merge_reports(
+    reports: Sequence[VerificationReport],
+) -> Dict[str, VerificationReport]:
+    """Index reports by pool name (CLI convenience)."""
+    indexed: Dict[str, VerificationReport] = {}
+    for report in reports:
+        indexed[report.pool] = report
+    return indexed

@@ -1,17 +1,27 @@
 """Static analyses feeding the DySel runtime (paper §3.4)."""
 
 from .access import classify_access, schedule_locality_cost
-from .safe_point import SafePointPlan, safe_point_plan
-from .side_effect import SideEffectReport, analyze_side_effects
+from .safe_point import SafePointPlan, lcm_of, safe_point_plan
+from .side_effect import (
+    SideEffectFinding,
+    SideEffectKind,
+    SideEffectReport,
+    analyze_side_effects,
+    find_ir_side_effects,
+)
 from .uniform import UniformityReport, analyze_uniformity
 
 __all__ = [
     "SafePointPlan",
+    "SideEffectFinding",
+    "SideEffectKind",
     "SideEffectReport",
     "UniformityReport",
     "analyze_side_effects",
     "analyze_uniformity",
     "classify_access",
+    "find_ir_side_effects",
+    "lcm_of",
     "safe_point_plan",
     "schedule_locality_cost",
 ]

@@ -14,15 +14,58 @@ cannot be guaranteed:
 Either finding restricts micro-profiling to the swap-based mode, which
 keeps a fully private output per candidate (paper §2.3).  The analysis is
 conservative — atomics do not prove actual cross-work-group contention —
-so the launch API lets programmers override the decision.
+so the launch API lets programmers override the decision; the pool
+verifier (:mod:`repro.analyze`) downgrades atomic findings to warnings
+when that override is asserted.
+
+Findings are structured (:class:`SideEffectFinding`: kind, variant,
+buffer) so downstream consumers — the mode recommender here, and the
+static verifier's diagnostics engine — share one analysis instead of
+re-deriving the facts from the IR.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
-from ...kernel.ir import AtomicKind, KernelIR
+from ...kernel.ir import KernelIR
+
+
+class SideEffectKind(enum.Enum):
+    """Why a variant's writes may escape its own workload slice."""
+
+    GLOBAL_ATOMIC = "global_atomic"
+    OUTPUT_OVERLAP = "output_overlap"
+    OUTPUT_VARIES = "output_varies"
+
+
+@dataclass(frozen=True)
+class SideEffectFinding:
+    """One swap-forcing fact about one variant's IR."""
+
+    kind: SideEffectKind
+    variant: str
+    buffer: Optional[str] = None
+
+    @property
+    def overridable(self) -> bool:
+        """Whether the programmer override applies (atomics only).
+
+        Atomics are a conservative proxy for cross-work-group races; a
+        declared overlapping/varying output range is a stated fact, not a
+        guess, so the override does not reach it.
+        """
+        return self.kind is SideEffectKind.GLOBAL_ATOMIC
+
+    def describe(self) -> str:
+        """Human-readable reason string."""
+        if self.kind is SideEffectKind.GLOBAL_ATOMIC:
+            return f"{self.variant}: global atomic on buffer {self.buffer!r}"
+        if self.kind is SideEffectKind.OUTPUT_OVERLAP:
+            return f"{self.variant}: work-group output ranges may overlap"
+        return f"{self.variant}: output range varies across kernel variants"
 
 
 @dataclass(frozen=True)
@@ -31,23 +74,28 @@ class SideEffectReport:
 
     requires_swap: bool
     reasons: Tuple[str, ...] = ()
+    findings: Tuple[SideEffectFinding, ...] = ()
+
+
+def find_ir_side_effects(
+    ir: KernelIR, label: str = "kernel"
+) -> Tuple[SideEffectFinding, ...]:
+    """Structured swap-forcing findings for one variant's IR."""
+    findings = []
+    for buffer in ir.global_atomic_buffers:
+        findings.append(
+            SideEffectFinding(SideEffectKind.GLOBAL_ATOMIC, label, buffer)
+        )
+    if ir.output_ranges_overlap:
+        findings.append(SideEffectFinding(SideEffectKind.OUTPUT_OVERLAP, label))
+    if ir.output_range_varies:
+        findings.append(SideEffectFinding(SideEffectKind.OUTPUT_VARIES, label))
+    return tuple(findings)
 
 
 def analyze_ir_side_effects(ir: KernelIR, label: str = "kernel") -> Tuple[str, ...]:
     """Swap-forcing reasons for one variant's IR (empty if none)."""
-    reasons = []
-    for access in ir.accesses:
-        if access.atomic is AtomicKind.GLOBAL:
-            reasons.append(
-                f"{label}: global atomic on buffer {access.buffer!r}"
-            )
-    if ir.output_ranges_overlap:
-        reasons.append(f"{label}: work-group output ranges may overlap")
-    if ir.output_range_varies:
-        reasons.append(
-            f"{label}: output range varies across kernel variants"
-        )
-    return tuple(reasons)
+    return tuple(f.describe() for f in find_ir_side_effects(ir, label))
 
 
 def analyze_side_effects(
@@ -58,7 +106,11 @@ def analyze_side_effects(
     One offending variant restricts the whole pool: profiling runs all
     candidates, so the weakest safety guarantee governs the mode.
     """
-    reasons: Tuple[str, ...] = ()
+    findings: Tuple[SideEffectFinding, ...] = ()
     for name, ir in irs:
-        reasons += analyze_ir_side_effects(ir, label=name)
-    return SideEffectReport(requires_swap=bool(reasons), reasons=reasons)
+        findings += find_ir_side_effects(ir, label=name)
+    return SideEffectReport(
+        requires_swap=bool(findings),
+        reasons=tuple(f.describe() for f in findings),
+        findings=findings,
+    )

@@ -70,6 +70,12 @@ class ReproConfig:
     #: (paper §2.4: eager execution is "a series of chunks").  Expressed as a
     #: multiple of the device's compute-unit count.
     eager_chunk_units: int = 1
+    #: Static kernel-pool verification level (:mod:`repro.analyze`):
+    #: ``"strict"`` refuses illegal (mode, flow) launches with the full
+    #: diagnostic, ``"warn"`` emits a warning and auto-demotes to the
+    #: cheapest legal combination, ``"off"`` skips verification entirely
+    #: (pre-verifier behaviour).
+    verify: str = "warn"
 
     def __post_init__(self) -> None:
         if self.seed < 0:
@@ -87,6 +93,11 @@ class ReproConfig:
         if self.eager_chunk_units < 1:
             raise ConfigurationError(
                 f"eager_chunk_units must be >= 1, got {self.eager_chunk_units}"
+            )
+        if self.verify not in ("strict", "warn", "off"):
+            raise ConfigurationError(
+                "verify must be one of 'strict', 'warn', 'off', got "
+                f"{self.verify!r}"
             )
 
     def rng(self, *stream: object) -> np.random.Generator:

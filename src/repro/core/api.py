@@ -15,6 +15,7 @@ examples and tests can exercise the interface exactly as published.
 
 from __future__ import annotations
 
+import difflib
 from typing import Mapping, Optional, Sequence, Tuple
 
 from ..device.base import Device
@@ -36,13 +37,44 @@ _MODE_TABLE = {
 
 
 def parse_mode(mode: str) -> Tuple[ProfilingMode, OrchestrationFlow]:
-    """Parse a combined mode string into (profiling mode, flow)."""
+    """Parse a combined mode string into (profiling mode, flow).
+
+    Rejections are diagnostic, not generic: a structurally valid but
+    illegal combination (``"swap_async"``) names the Table 1 rule it
+    violates and the nearest legal mode; an unrecognized string suggests
+    the closest accepted spelling.
+    """
     try:
         return _MODE_TABLE[mode]
     except KeyError:
+        pass
+    modes = {m.value: m for m in ProfilingMode}
+    flows = {f.value: f for f in OrchestrationFlow}
+    parts = mode.rsplit("_", 1) if isinstance(mode, str) else []
+    if len(parts) == 2 and parts[0] in modes and parts[1] in flows:
+        profiling_mode, flow = modes[parts[0]], flows[parts[1]]
+        assert (
+            flow is OrchestrationFlow.ASYNC
+            and not profiling_mode.supports_async
+        )
+        nearest = f"{profiling_mode.value}_{OrchestrationFlow.SYNC.value}"
         raise LaunchError(
-            f"unknown mode {mode!r}; expected one of {sorted(_MODE_TABLE)}"
-        ) from None
+            f"illegal mode {mode!r}: {profiling_mode.value}-based "
+            "profiling cannot run asynchronously — every candidate "
+            "writes a private output, so the final output space is "
+            "unknown until profiling completes (paper Table 1, rule "
+            f"DYSEL-ASYNC-001); nearest legal mode: {nearest!r}"
+        )
+    suggestions = difflib.get_close_matches(
+        str(mode), sorted(_MODE_TABLE), n=1
+    )
+    did_you_mean = (
+        f"; did you mean {suggestions[0]!r}?" if suggestions else ""
+    )
+    raise LaunchError(
+        f"unknown mode {mode!r}; expected one of "
+        f"{sorted(_MODE_TABLE)}{did_you_mean}"
+    ) from None
 
 
 class DySelContext:
@@ -95,8 +127,15 @@ class DySelContext:
         workload_units: int,
         profiling: bool = True,
         mode: str = "fully_async",
+        override_side_effects: bool = False,
     ) -> LaunchResult:
-        """Launch a kernel (paper Fig 6b)."""
+        """Launch a kernel (paper Fig 6b).
+
+        ``override_side_effects`` is the paper's §3.4 programmer
+        override: it asserts the kernel's global atomics are race-free
+        across work-groups, so the verifier downgrades its conservative
+        atomics findings and keeps fully/hybrid profiling available.
+        """
         profiling_mode, flow = parse_mode(mode)
         return self.runtime.launch_kernel(
             kernel_sig,
@@ -105,4 +144,5 @@ class DySelContext:
             profiling=profiling,
             mode=profiling_mode,
             flow=flow,
+            override_side_effects=override_side_effects,
         )

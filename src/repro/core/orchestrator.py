@@ -151,7 +151,8 @@ def run_async(
         raise ProfilingError(
             f"profiling mode {plan.mode.value!r} cannot run asynchronously: "
             "the final output space is unknown until profiling completes "
-            "(paper Table 1)"
+            "(paper Table 1, rule DYSEL-ASYNC-001); the launch gate should "
+            "have demoted or refused this flow"
         )
     start = engine.now
     record = SelectionRecord(

@@ -31,7 +31,7 @@ from ..kernel.buffers import Buffer
 from ..kernel.kernel import KernelVariant, WorkRange
 from ..kernel.launch import LaunchConfig
 from ..modes import ProfilingMode
-from .sandbox import SandboxAllocator
+from .sandbox import SandboxAllocator, required_copies
 
 
 @dataclass(frozen=True)
@@ -110,7 +110,7 @@ def plan_profiling(
     span = safe_plan.units_per_variant
     total = launch.workload_units
     variants = pool.variants
-    allocator = SandboxAllocator()
+    allocator = SandboxAllocator(max_copies=0)
 
     if mode is ProfilingMode.FULLY:
         needed = span * len(variants)
@@ -139,6 +139,11 @@ def plan_profiling(
     shared = WorkRange(0, span)
     remainder = WorkRange(span, total)
     outputs = _sandboxed_outputs(pool, launch)
+    # Enforce the Table 1 space bound: K−1 (hybrid) / K (swap) copies of
+    # each sandboxed output, never more.
+    allocator = SandboxAllocator(
+        max_copies=required_copies(mode, len(variants)) * len(outputs)
+    )
 
     if mode is ProfilingMode.HYBRID:
         tasks = []

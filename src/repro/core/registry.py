@@ -25,6 +25,11 @@ class DySelKernelRegistry:
         self._variants: Dict[str, List[KernelVariant]] = {}
         self._modes: Dict[str, Optional[ProfilingMode]] = {}
         self._defaults: Dict[str, Optional[str]] = {}
+        #: Materialized pools, invalidated whenever the registration
+        #: changes.  A stable pool object per signature means the mode
+        #: recommendation analyses run once, and the launch verifier's
+        #: identity-keyed verdict cache actually hits across launches.
+        self._pools: Dict[str, VariantPool] = {}
 
     def declare(self, spec: KernelSpec) -> None:
         """Declare a kernel signature before registering implementations."""
@@ -62,12 +67,14 @@ class DySelKernelRegistry:
         existing.append(implementation)
         if initial_default:
             self._defaults[kernel_sig] = implementation.name
+        self._pools.pop(kernel_sig, None)
 
     def set_mode(self, kernel_sig: str, mode: ProfilingMode) -> None:
         """Override the compiler-recommended profiling mode (paper §3.4)."""
         if kernel_sig not in self._specs:
             raise RegistrationError(f"kernel {kernel_sig!r} not declared")
         self._modes[kernel_sig] = mode
+        self._pools.pop(kernel_sig, None)
 
     def register_pool(self, pool: VariantPool) -> None:
         """Register a pre-built pool in one call (compiler entry point)."""
@@ -76,22 +83,28 @@ class DySelKernelRegistry:
             self.add_kernel(pool.name, variant)
         self._modes[pool.name] = pool.mode
         self._defaults[pool.name] = pool.initial_default
+        self._pools[pool.name] = pool
 
     def pool(self, kernel_sig: str) -> VariantPool:
-        """Materialize the current pool for a signature."""
+        """Materialize the current pool for a signature (memoized)."""
         if kernel_sig not in self._specs:
             raise RegistrationError(f"kernel {kernel_sig!r} not declared")
+        cached = self._pools.get(kernel_sig)
+        if cached is not None:
+            return cached
         variants = tuple(self._variants[kernel_sig])
         if not variants:
             raise RegistrationError(
                 f"kernel {kernel_sig!r} has no registered implementations"
             )
-        return VariantPool(
+        pool = VariantPool(
             spec=self._specs[kernel_sig],
             variants=variants,
             mode=self._modes[kernel_sig],
             initial_default=self._defaults[kernel_sig],
         )
+        self._pools[kernel_sig] = pool
+        return pool
 
     def __contains__(self, kernel_sig: str) -> bool:
         return kernel_sig in self._specs

@@ -1,9 +1,11 @@
 """DySelRuntime: the launch-facing runtime (paper Fig 6b).
 
 ``launch_kernel`` resolves the kernel pool, applies the launch policy
-(small-workload deactivation, activation flag, cached selections), runs
-safe point analysis, lays out the productive profiling plan, and drives
-the requested orchestration flow on the device's execution engine.  One
+(small-workload deactivation, activation flag, cached selections), gates
+the requested (mode, flow) through the static pool verifier
+(:mod:`repro.analyze`, level set by ``ReproConfig.verify``), runs safe
+point analysis, lays out the productive profiling plan, and drives the
+requested orchestration flow on the device's execution engine.  One
 runtime owns one engine, so simulated time accumulates across launches —
 which is how iterative experiments (profile the first iteration, reuse the
 selection) measure amortized overhead.
@@ -14,6 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
+from ..analyze.gate import gate_launch
+from ..analyze.manager import PoolVerifier
+from ..analyze.passes import VerifyOverrides
 from ..compiler.analyses.safe_point import safe_point_plan
 from ..compiler.variants import VariantPool
 from ..config import ReproConfig
@@ -72,6 +77,9 @@ class DySelRuntime:
         self.registry = registry if registry is not None else DySelKernelRegistry()
         self.engine = ExecutionEngine(device, self.config)
         self.cache = SelectionCache()
+        #: Static pool verifier; verdicts are cached per pool, so gating
+        #: costs one pass-manager run per (pool, overrides) lifetime.
+        self.verifier = PoolVerifier()
 
     # ------------------------------------------------------------------
     # Registration facade
@@ -107,6 +115,7 @@ class DySelRuntime:
         mode: Optional[ProfilingMode] = None,
         flow: OrchestrationFlow = OrchestrationFlow.ASYNC,
         initial_variant: Optional[str] = None,
+        override_side_effects: bool = False,
     ) -> LaunchResult:
         """Launch a kernel (``DySelLaunchKernel``, Fig 6b).
 
@@ -129,6 +138,11 @@ class DySelRuntime:
             Swap-mode pools fall back to synchronous (Table 1).
         initial_variant:
             Async-flow initial default override (``Kdefault``).
+        override_side_effects:
+            The paper's programmer override (§3.4): asserts that global
+            atomics are race-free across work-groups, downgrading the
+            verifier's conservative atomics findings from ERROR to
+            WARNING so fully/hybrid profiling stays available.
         """
         if kernel_sig not in self.registry:
             raise LaunchError(f"kernel {kernel_sig!r} is not registered")
@@ -147,7 +161,26 @@ class DySelRuntime:
         assert effective_mode is not None
         effective_flow = flow
         reason = decision.reason
-        if flow is OrchestrationFlow.ASYNC and not effective_mode.supports_async:
+        if self.config.verify != "off":
+            report = self.verifier.verify(
+                pool,
+                compute_units=self.device.spec.compute_units,
+                overrides=VerifyOverrides(
+                    atomics_race_free=override_side_effects
+                ),
+            )
+            gate = gate_launch(
+                report, effective_mode, effective_flow, self.config.verify
+            )
+            effective_mode, effective_flow = gate.mode, gate.flow
+            if gate.note:
+                reason += "; " + gate.note
+        elif (
+            flow is OrchestrationFlow.ASYNC
+            and not effective_mode.supports_async
+        ):
+            # Pre-verifier fallback (verify="off"): Table 1's silent
+            # swap → synchronous demotion.
             effective_flow = OrchestrationFlow.SYNC
             reason += "; swap mode forced synchronous flow"
 

@@ -14,19 +14,45 @@ Table 1 space accounting is observable in tests and benchmarks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional
 
 from ..errors import SandboxError
 from ..kernel.buffers import Buffer
 from ..kernel.launch import LaunchConfig
+from ..modes import ProfilingMode
+
+
+def required_copies(mode: ProfilingMode, num_variants: int) -> int:
+    """Table 1's extra-space bound: output copies a mode needs for K variants.
+
+    Fully-productive profiling needs none (all slices commit in place);
+    hybrid sandboxes every non-committing candidate (K−1); swap gives every
+    candidate a private output (K).  The pool verifier compares this bound
+    against the declared sandbox index before any launch.
+    """
+    if num_variants < 0:
+        raise SandboxError(f"num_variants must be >= 0, got {num_variants}")
+    if mode is ProfilingMode.FULLY:
+        return 0
+    if mode is ProfilingMode.HYBRID:
+        return max(0, num_variants - 1)
+    return num_variants
 
 
 class SandboxAllocator:
-    """Creates and accounts for sandbox / private-output buffers."""
+    """Creates and accounts for sandbox / private-output buffers.
 
-    def __init__(self) -> None:
+    ``max_copies`` optionally enforces the Table 1 bound: exceeding it
+    raises :class:`SandboxError` instead of silently over-allocating,
+    which keeps the space accounting honest in tests and the verifier.
+    """
+
+    def __init__(self, max_copies: Optional[int] = None) -> None:
+        if max_copies is not None and max_copies < 0:
+            raise SandboxError(f"max_copies must be >= 0, got {max_copies}")
         self._allocated_bytes = 0
         self._live: List[Buffer] = []
+        self._max_copies = max_copies
 
     @property
     def allocated_bytes(self) -> int:
@@ -38,6 +64,18 @@ class SandboxAllocator:
         """Number of copies currently alive."""
         return len(self._live)
 
+    def _track(self, copy: Buffer, label: str) -> None:
+        if (
+            self._max_copies is not None
+            and len(self._live) >= self._max_copies
+        ):
+            raise SandboxError(
+                f"sandbox allocation {label!r} exceeds the declared "
+                f"capacity of {self._max_copies} copies (Table 1 bound)"
+            )
+        self._allocated_bytes += copy.nbytes
+        self._live.append(copy)
+
     def sandbox_args(
         self, launch: LaunchConfig, outputs: Mapping[str, Buffer], label: str
     ) -> Dict[str, object]:
@@ -45,8 +83,7 @@ class SandboxAllocator:
         overrides: Dict[str, object] = {}
         for name, buffer in outputs.items():
             copy = buffer.sandbox_copy(label)
-            self._allocated_bytes += copy.nbytes
-            self._live.append(copy)
+            self._track(copy, label)
             overrides[name] = copy
         return dict(launch.with_args(overrides).args)
 
@@ -57,8 +94,7 @@ class SandboxAllocator:
         privates: Dict[str, Buffer] = {}
         for name, buffer in outputs.items():
             copy = buffer.sandbox_copy(label)
-            self._allocated_bytes += copy.nbytes
-            self._live.append(copy)
+            self._track(copy, label)
             privates[name] = copy
         return privates
 

@@ -78,6 +78,22 @@ class LaunchError(DySelError):
     """Invalid kernel launch (unknown signature, empty pool, bad mode)."""
 
 
+class VerificationError(LaunchError):
+    """A kernel pool failed static verification (``repro.analyze``).
+
+    Raised by the launch gate when ``ReproConfig.verify == "strict"`` and
+    the requested (mode, flow) combination is illegal for the pool, and by
+    the pass manager for pools that cannot be profiled at all.  Carries
+    the structured diagnostics that justify the refusal so callers (and
+    the CLI) can render rule ids and fix hints, not just a message.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()) -> None:
+        super().__init__(message)
+        #: The blocking :class:`repro.analyze.Diagnostic` objects.
+        self.diagnostics = tuple(diagnostics)
+
+
 class ProfilingError(DySelError):
     """Micro-profiling failed or was configured inconsistently."""
 

@@ -351,6 +351,28 @@ class KernelIR:
         return any(a.atomic is AtomicKind.GLOBAL for a in self.accesses)
 
     @property
+    def written_buffers(self) -> Tuple[str, ...]:
+        """Buffer arguments this variant writes (its static write set).
+
+        Order follows first write site; used by the pool verifier to check
+        write sets against declared signature outputs and sandbox indices.
+        """
+        seen = []
+        for access in self.accesses:
+            if access.is_write and access.buffer not in seen:
+                seen.append(access.buffer)
+        return tuple(seen)
+
+    @property
+    def global_atomic_buffers(self) -> Tuple[str, ...]:
+        """Buffers touched through global atomics (side-effect facts)."""
+        seen = []
+        for access in self.accesses:
+            if access.atomic is AtomicKind.GLOBAL and access.buffer not in seen:
+                seen.append(access.buffer)
+        return tuple(seen)
+
+    @property
     def has_data_dependent_bounds(self) -> bool:
         """True when any loop bound is only known at runtime."""
         return any(l.bound.is_data_dependent for l in self.loops)

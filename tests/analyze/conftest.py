@@ -1,0 +1,96 @@
+"""Fixtures for the static pool verifier: pools that break known rules.
+
+Each builder produces a small synthetic pool violating exactly one family
+of legality rules, so pass tests can assert rule ids precisely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.variants import VariantPool
+from repro.kernel import (
+    AccessPattern,
+    ArgSpec,
+    AtomicKind,
+    KernelIR,
+    KernelSignature,
+    KernelSpec,
+    KernelVariant,
+    Loop,
+    LoopBound,
+    MemoryAccess,
+)
+from tests.conftest import AXPY_UNIT, axpy_executor, make_axpy_variant
+
+
+def atomic_axpy_variant(name: str) -> KernelVariant:
+    """An axpy variant whose output commit is a *global atomic*."""
+    ir = KernelIR(
+        loops=(Loop("k", LoopBound(static_trips=16)),),
+        accesses=(
+            MemoryAccess(
+                "x",
+                False,
+                AccessPattern.UNIT_STRIDE,
+                4.0 * AXPY_UNIT / 16,
+                loop="k",
+            ),
+            MemoryAccess(
+                "y",
+                True,
+                AccessPattern.UNIT_STRIDE,
+                4.0 * AXPY_UNIT / 16,
+                loop="k",
+                atomic=AtomicKind.GLOBAL,
+            ),
+        ),
+        flops_per_trip=32.0,
+        work_group_threads=AXPY_UNIT,
+    )
+    return KernelVariant(
+        name=name,
+        ir=ir,
+        executor=axpy_executor,
+        wa_factor=1,
+        work_group_size=AXPY_UNIT,
+    )
+
+
+def make_pool(*variants: KernelVariant, spec: KernelSpec = None) -> VariantPool:
+    """Pool over the axpy signature (or a custom spec)."""
+    if spec is None:
+        spec = KernelSpec(
+            signature=KernelSignature(
+                "axpy", (ArgSpec("x"), ArgSpec("y", is_output=True))
+            )
+        )
+    return VariantPool(spec=spec, variants=tuple(variants))
+
+
+@pytest.fixture
+def clean_pool() -> VariantPool:
+    """Two regular variants; every mode except swap_async is legal."""
+    return make_pool(
+        make_axpy_variant("fast"),
+        make_axpy_variant("slow", AccessPattern.STRIDED),
+    )
+
+
+@pytest.fixture
+def atomic_pool() -> VariantPool:
+    """Both variants commit through global atomics (forces swap)."""
+    return make_pool(
+        atomic_axpy_variant("atomic_a"), atomic_axpy_variant("atomic_b")
+    )
+
+
+@pytest.fixture
+def no_output_pool() -> VariantPool:
+    """Signature declares no outputs; partial modes cannot sandbox."""
+    spec = KernelSpec(
+        signature=KernelSignature("sink", (ArgSpec("x"), ArgSpec("y")))
+    )
+    return make_pool(
+        make_axpy_variant("a"), make_axpy_variant("b"), spec=spec
+    )

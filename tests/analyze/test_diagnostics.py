@@ -1,0 +1,228 @@
+"""Unit tests for the diagnostics engine and the legality matrix."""
+
+from repro.analyze.diagnostics import (
+    ALL_COMBOS,
+    Diagnostic,
+    Severity,
+    VerificationReport,
+    combos,
+    merge_reports,
+)
+from repro.modes import OrchestrationFlow, ProfilingMode
+
+FULLY, HYBRID, SWAP = (
+    ProfilingMode.FULLY,
+    ProfilingMode.HYBRID,
+    ProfilingMode.SWAP,
+)
+SYNC, ASYNC = OrchestrationFlow.SYNC, OrchestrationFlow.ASYNC
+
+
+def error(rule="DYSEL-TEST-001", scope=None, **kwargs):
+    return Diagnostic(
+        rule_id=rule,
+        severity=Severity.ERROR,
+        message="boom",
+        scope=scope,
+        **kwargs,
+    )
+
+
+class TestCombos:
+    def test_full_matrix(self):
+        assert combos() == frozenset(ALL_COMBOS)
+        assert len(ALL_COMBOS) == 6
+
+    def test_cheapest_mode_first(self):
+        assert ALL_COMBOS[0][0] is FULLY
+        assert ALL_COMBOS[-1][0] is SWAP
+
+    def test_axis_restriction(self):
+        only_swap_async = combos(modes=[SWAP], flows=[ASYNC])
+        assert only_swap_async == {(SWAP, ASYNC)}
+        committing = combos(modes=[FULLY, HYBRID])
+        assert (FULLY, SYNC) in committing
+        assert (SWAP, SYNC) not in committing
+
+
+class TestDiagnostic:
+    def test_covers_pool_wide_by_default(self):
+        d = error()
+        for mode, flow in ALL_COMBOS:
+            assert d.covers(mode, flow)
+
+    def test_covers_respects_scope(self):
+        d = error(scope=combos(modes=[SWAP], flows=[ASYNC]))
+        assert d.covers(SWAP, ASYNC)
+        assert not d.covers(SWAP, SYNC)
+        assert not d.covers(FULLY, ASYNC)
+
+    def test_downgraded_keeps_rule_and_scope(self):
+        d = error(scope=combos(modes=[FULLY]))
+        down = d.downgraded("programmer asserted race-free atomics")
+        assert down.severity is Severity.WARNING
+        assert down.rule_id == d.rule_id
+        assert down.scope == d.scope
+        assert "overridden" in down.message
+
+    def test_format_includes_severity_rule_variant_hint(self):
+        d = Diagnostic(
+            rule_id="DYSEL-MODE-001",
+            severity=Severity.ERROR,
+            message="global atomic on 'hist'",
+            variant="atomic",
+            hint="use mode 'swap_sync'",
+        )
+        line = d.format()
+        assert "ERROR" in line
+        assert "DYSEL-MODE-001" in line
+        assert "[atomic]" in line
+        assert "hint: use mode 'swap_sync'" in line
+
+
+class TestLegalityMatrix:
+    def test_empty_report_all_legal(self):
+        report = VerificationReport(pool="p")
+        assert report.legal_combos() == ALL_COMBOS
+        assert report.ok
+
+    def test_error_blocks_only_its_scope(self):
+        report = VerificationReport(
+            pool="p",
+            diagnostics=(error(scope=combos(modes=[SWAP], flows=[ASYNC])),),
+        )
+        assert not report.is_legal(SWAP, ASYNC)
+        assert report.is_legal(SWAP, SYNC)
+        assert report.is_legal(FULLY, ASYNC)
+
+    def test_warning_never_blocks(self):
+        warning = Diagnostic(
+            rule_id="DYSEL-TEST-002",
+            severity=Severity.WARNING,
+            message="meh",
+        )
+        report = VerificationReport(pool="p", diagnostics=(warning,))
+        assert report.legal_combos() == ALL_COMBOS
+
+    def test_blocking_lists_covering_errors(self):
+        scoped = error(rule="DYSEL-A-001", scope=combos(modes=[FULLY]))
+        everywhere = error(rule="DYSEL-B-001")
+        report = VerificationReport(pool="p", diagnostics=(scoped, everywhere))
+        assert {d.rule_id for d in report.blocking(FULLY, SYNC)} == {
+            "DYSEL-A-001",
+            "DYSEL-B-001",
+        }
+        assert {d.rule_id for d in report.blocking(SWAP, SYNC)} == {
+            "DYSEL-B-001"
+        }
+
+    def test_by_rule(self):
+        report = VerificationReport(
+            pool="p", diagnostics=(error(rule="DYSEL-A-001"),)
+        )
+        assert len(report.by_rule("DYSEL-A-001")) == 1
+        assert report.by_rule("DYSEL-NOPE-001") == ()
+
+
+class TestDemotion:
+    def test_legal_request_unchanged(self):
+        report = VerificationReport(pool="p")
+        assert report.demote(FULLY, ASYNC) == (FULLY, ASYNC)
+
+    def test_prefers_same_mode_sync_fallback(self):
+        # The paper's Table 1 swap fallback: keep the mode, drop async.
+        report = VerificationReport(
+            pool="p",
+            diagnostics=(error(scope=combos(flows=[ASYNC])),),
+        )
+        assert report.demote(SWAP, ASYNC) == (SWAP, SYNC)
+        assert report.demote(FULLY, ASYNC) == (FULLY, SYNC)
+
+    def test_falls_back_to_cheapest_mode_under_flow(self):
+        # fully/hybrid blocked everywhere; swap_sync is the only way out.
+        report = VerificationReport(
+            pool="p",
+            diagnostics=(
+                error(scope=combos(modes=[FULLY, HYBRID])),
+                error(
+                    rule="DYSEL-ASYNC-001",
+                    scope=combos(modes=[SWAP], flows=[ASYNC]),
+                ),
+            ),
+        )
+        assert report.demote(FULLY, ASYNC) == (SWAP, SYNC)
+
+    def test_nothing_legal_returns_none(self):
+        report = VerificationReport(pool="p", diagnostics=(error(),))
+        assert report.demote(FULLY, ASYNC) is None
+        assert not report.ok
+
+    def test_default_combo_demotes_recommended_mode(self):
+        report = VerificationReport(
+            pool="p",
+            diagnostics=(
+                error(
+                    rule="DYSEL-ASYNC-001",
+                    scope=combos(modes=[SWAP], flows=[ASYNC]),
+                ),
+            ),
+            recommended_mode=SWAP,
+        )
+        assert report.default_combo == (SWAP, SYNC)
+
+
+class TestRendering:
+    def test_explain_names_rules_and_legal_combos(self):
+        report = VerificationReport(
+            pool="hist",
+            diagnostics=(
+                error(
+                    rule="DYSEL-MODE-001",
+                    scope=combos(modes=[FULLY, HYBRID]),
+                ),
+            ),
+        )
+        text = report.explain(FULLY, ASYNC)
+        assert "illegal launch" in text
+        assert "DYSEL-MODE-001" in text
+        assert "swap_sync" in text  # listed among the legal combinations
+
+    def test_format_matrix_marks_illegal_cells(self):
+        report = VerificationReport(
+            pool="hist",
+            diagnostics=(
+                error(
+                    rule="DYSEL-MODE-001",
+                    scope=combos(modes=[FULLY, HYBRID]),
+                ),
+                error(
+                    rule="DYSEL-ASYNC-001",
+                    scope=combos(modes=[SWAP], flows=[ASYNC]),
+                ),
+            ),
+            recommended_mode=SWAP,
+        )
+        text = report.format()
+        assert "ILLEGAL (DYSEL-MODE-001)" in text
+        assert "swap_sync" in text
+        assert "default launch: swap_sync" in text
+
+    def test_format_hides_info_unless_verbose(self):
+        info = Diagnostic(
+            rule_id="DYSEL-SANDBOX-003",
+            severity=Severity.INFO,
+            message="accounting",
+        )
+        report = VerificationReport(pool="p", diagnostics=(info,))
+        assert "DYSEL-SANDBOX-003" not in report.format()
+        assert "DYSEL-SANDBOX-003" in report.format(verbose=True)
+
+    def test_format_reports_unlaunchable_pool(self):
+        report = VerificationReport(pool="p", diagnostics=(error(),))
+        assert "default launch: NONE" in report.format()
+
+
+def test_merge_reports_indexes_by_pool():
+    a = VerificationReport(pool="a")
+    b = VerificationReport(pool="b")
+    assert merge_reports([a, b]) == {"a": a, "b": b}

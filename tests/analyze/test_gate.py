@@ -1,0 +1,198 @@
+"""Gate tests: strict/warn/off behaviour and the runtime integration."""
+
+import warnings
+
+import pytest
+
+from repro.analyze.diagnostics import (
+    Diagnostic,
+    Severity,
+    VerificationReport,
+    combos,
+)
+from repro.analyze.gate import VerificationWarning, gate_launch
+from repro.analyze.manager import verify_pool
+from repro.config import ReproConfig
+from repro.core.runtime import DySelRuntime
+from repro.device import make_cpu
+from repro.errors import ConfigurationError, VerificationError
+from repro.modes import OrchestrationFlow, ProfilingMode
+from tests.conftest import make_axpy_args
+
+FULLY, HYBRID, SWAP = (
+    ProfilingMode.FULLY,
+    ProfilingMode.HYBRID,
+    ProfilingMode.SWAP,
+)
+SYNC, ASYNC = OrchestrationFlow.SYNC, OrchestrationFlow.ASYNC
+
+
+def swap_async_report(pool="p", recommended=SWAP):
+    return VerificationReport(
+        pool=pool,
+        diagnostics=(
+            Diagnostic(
+                rule_id="DYSEL-ASYNC-001",
+                severity=Severity.ERROR,
+                message="swap cannot run asynchronously",
+                hint="use mode 'swap_sync'",
+                scope=combos(modes=[SWAP], flows=[ASYNC]),
+            ),
+        ),
+        recommended_mode=recommended,
+    )
+
+
+class TestGateLevels:
+    def test_legal_request_passes_unchanged(self):
+        decision = gate_launch(swap_async_report(), SWAP, SYNC, "strict")
+        assert (decision.mode, decision.flow) == (SWAP, SYNC)
+        assert not decision.demoted
+
+    def test_off_bypasses_even_illegal_requests(self):
+        decision = gate_launch(swap_async_report(), SWAP, ASYNC, "off")
+        assert (decision.mode, decision.flow) == (SWAP, ASYNC)
+
+    def test_strict_raises_with_structured_diagnostics(self):
+        with pytest.raises(VerificationError) as excinfo:
+            gate_launch(swap_async_report(), SWAP, ASYNC, "strict")
+        error = excinfo.value
+        assert "DYSEL-ASYNC-001" in str(error)
+        assert "swap_sync" in str(error)  # legal alternative listed
+        assert error.diagnostics
+        assert error.diagnostics[0].rule_id == "DYSEL-ASYNC-001"
+
+    def test_warn_demotes_and_warns(self):
+        with pytest.warns(VerificationWarning, match="DYSEL-ASYNC-001"):
+            decision = gate_launch(swap_async_report(), SWAP, ASYNC, "warn")
+        assert (decision.mode, decision.flow) == (SWAP, SYNC)
+        assert "forced synchronous" in decision.note
+        assert decision.demoted
+
+    def test_warn_with_nothing_legal_still_raises(self):
+        hopeless = VerificationReport(
+            pool="p",
+            diagnostics=(
+                Diagnostic(
+                    rule_id="DYSEL-SAFEPOINT-001",
+                    severity=Severity.ERROR,
+                    message="no fair slice fits",
+                ),
+            ),
+        )
+        with pytest.raises(VerificationError):
+            gate_launch(hopeless, FULLY, ASYNC, "warn")
+
+    def test_warn_mode_demotion_note_names_rules(self):
+        report = VerificationReport(
+            pool="p",
+            diagnostics=(
+                Diagnostic(
+                    rule_id="DYSEL-MODE-001",
+                    severity=Severity.ERROR,
+                    message="atomics",
+                    scope=combos(modes=[FULLY, HYBRID]),
+                ),
+                swap_async_report().diagnostics[0],
+            ),
+        )
+        with pytest.warns(VerificationWarning):
+            decision = gate_launch(report, FULLY, ASYNC, "warn")
+        assert (decision.mode, decision.flow) == (SWAP, SYNC)
+        assert "demoted" in decision.note
+        assert "DYSEL-MODE-001" in decision.note
+
+
+class TestConfigValidation:
+    def test_verify_levels_accepted(self):
+        for level in ("strict", "warn", "off"):
+            assert ReproConfig(verify=level).verify == level
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ConfigurationError, match="verify"):
+            ReproConfig(verify="maybe")
+
+
+class TestRuntimeGating:
+    """End-to-end: the gate decides what launch_kernel may run."""
+
+    def _runtime(self, atomic_pool, verify):
+        config = ReproConfig(verify=verify)
+        runtime = DySelRuntime(make_cpu(config), config)
+        runtime.register_pool(atomic_pool)
+        return runtime
+
+    def test_strict_refuses_fully_on_atomic_pool(self, atomic_pool, config):
+        runtime = self._runtime(atomic_pool, "strict")
+        args = make_axpy_args(512, config)
+        with pytest.raises(VerificationError) as excinfo:
+            runtime.launch_kernel(
+                "axpy", args, 512, mode=FULLY, flow=SYNC
+            )
+        assert "DYSEL-MODE-001" in str(excinfo.value)
+        assert excinfo.value.diagnostics
+
+    def test_strict_diagnostic_matches_static_report(self, atomic_pool, config):
+        # The CLI's verdict and the runtime's refusal are the same facts.
+        static = verify_pool(atomic_pool)
+        runtime = self._runtime(atomic_pool, "strict")
+        args = make_axpy_args(512, config)
+        with pytest.raises(VerificationError) as excinfo:
+            runtime.launch_kernel("axpy", args, 512, mode=FULLY, flow=SYNC)
+        assert {d.rule_id for d in excinfo.value.diagnostics} == {
+            d.rule_id for d in static.blocking(FULLY, SYNC)
+        }
+
+    def test_strict_allows_legal_swap_sync(self, atomic_pool, config):
+        runtime = self._runtime(atomic_pool, "strict")
+        args = make_axpy_args(512, config)
+        result = runtime.launch_kernel("axpy", args, 512, mode=SWAP, flow=SYNC)
+        assert result.profiled
+        assert result.mode is SWAP
+
+    def test_strict_override_permits_fully(self, atomic_pool, config):
+        # Satellite: the programmer override downgrades the atomics ERROR
+        # to WARNING, so the previously refused launch goes through.
+        runtime = self._runtime(atomic_pool, "strict")
+        args = make_axpy_args(512, config)
+        result = runtime.launch_kernel(
+            "axpy",
+            args,
+            512,
+            mode=FULLY,
+            flow=SYNC,
+            override_side_effects=True,
+        )
+        assert result.profiled
+        assert result.mode is FULLY
+
+    def test_warn_demotes_fully_to_swap_sync(self, atomic_pool, config):
+        runtime = self._runtime(atomic_pool, "warn")
+        args = make_axpy_args(512, config)
+        with pytest.warns(VerificationWarning):
+            result = runtime.launch_kernel(
+                "axpy", args, 512, mode=FULLY, flow=SYNC
+            )
+        assert result.mode is SWAP
+        assert result.flow is SYNC
+        assert "demoted" in result.reason
+
+    def test_off_keeps_legacy_swap_fallback(self, clean_pool, config):
+        runtime_config = ReproConfig(verify="off")
+        runtime = DySelRuntime(make_cpu(runtime_config), runtime_config)
+        runtime.register_pool(clean_pool)
+        args = make_axpy_args(512, config)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no VerificationWarning allowed
+            result = runtime.launch_kernel(
+                "axpy", args, 512, mode=SWAP, flow=ASYNC
+            )
+        assert result.flow is SYNC
+        assert "forced synchronous" in result.reason
+
+    def test_gate_verdict_is_cached_across_launches(self, clean_pool, config):
+        runtime = self._runtime(clean_pool, "warn")
+        args = make_axpy_args(512, config)
+        runtime.launch_kernel("axpy", args, 512)
+        runtime.launch_kernel("axpy", args, 512)
+        assert runtime.verifier.cached_verdicts == 1

@@ -1,0 +1,352 @@
+"""Pass-level tests: each rule family against a pool built to trip it."""
+
+import dataclasses
+
+from repro.analyze.manager import PoolVerifier, verify_pool
+from repro.analyze.passes import VerifyOverrides
+from repro.kernel import (
+    ArgSpec,
+    KernelSignature,
+    KernelSpec,
+)
+from repro.modes import OrchestrationFlow, ProfilingMode
+from tests.analyze.conftest import atomic_axpy_variant, make_pool
+from tests.conftest import make_axpy_variant
+
+FULLY, HYBRID, SWAP = (
+    ProfilingMode.FULLY,
+    ProfilingMode.HYBRID,
+    ProfilingMode.SWAP,
+)
+SYNC, ASYNC = OrchestrationFlow.SYNC, OrchestrationFlow.ASYNC
+
+
+def error_rules(report):
+    return {d.rule_id for d in report.errors}
+
+
+class TestCleanPool:
+    def test_only_swap_async_is_illegal(self, clean_pool):
+        report = verify_pool(clean_pool)
+        assert error_rules(report) == {"DYSEL-ASYNC-001"}
+        illegal = [c for c in report.legal_combos()]
+        assert (SWAP, ASYNC) not in illegal
+        assert report.is_legal(FULLY, ASYNC)
+        assert report.is_legal(SWAP, SYNC)
+
+    def test_default_combo_is_recommended_mode_async(self, clean_pool):
+        report = verify_pool(clean_pool)
+        assert report.recommended_mode is FULLY
+        assert report.default_combo == (FULLY, ASYNC)
+
+
+class TestModeEligibility:
+    def test_global_atomics_block_committing_modes(self, atomic_pool):
+        report = verify_pool(atomic_pool)
+        mode_errors = [
+            d for d in report.errors if d.rule_id == "DYSEL-MODE-001"
+        ]
+        assert {d.variant for d in mode_errors} == {"atomic_a", "atomic_b"}
+        for mode in (FULLY, HYBRID):
+            for flow in (SYNC, ASYNC):
+                assert not report.is_legal(mode, flow)
+        assert report.is_legal(SWAP, SYNC)
+        assert report.default_combo == (SWAP, SYNC)
+
+    def test_hints_name_the_fix(self, atomic_pool):
+        report = verify_pool(atomic_pool)
+        finding = report.by_rule("DYSEL-MODE-001")[0]
+        assert "swap_sync" in finding.hint
+        assert "override" in finding.hint
+
+    def test_override_downgrades_atomics_to_warning(self, atomic_pool):
+        report = verify_pool(
+            atomic_pool, overrides=VerifyOverrides(atomics_race_free=True)
+        )
+        assert "DYSEL-MODE-001" not in error_rules(report)
+        downgraded = report.by_rule("DYSEL-MODE-001")
+        assert downgraded  # still visible, as WARNINGs
+        assert all(d.severity.value == "warning" for d in downgraded)
+        assert all("overridden" in d.message for d in downgraded)
+        assert report.is_legal(FULLY, SYNC)
+
+    def test_override_does_not_erase_non_atomic_findings(self):
+        overlapping = dataclasses.replace(
+            make_axpy_variant("overlap"),
+            ir=make_axpy_variant("overlap").ir.with_(
+                output_ranges_overlap=True
+            ),
+        )
+        pool = make_pool(overlapping, make_axpy_variant("plain"))
+        report = verify_pool(
+            pool, overrides=VerifyOverrides(atomics_race_free=True)
+        )
+        assert "DYSEL-MODE-002" in error_rules(report)
+        assert not report.is_legal(FULLY, SYNC)
+
+    def test_data_dependent_bound_blocks_fully_only(self):
+        from repro.kernel import KernelIR, Loop, LoopBound
+
+        base = make_axpy_variant("dd")
+        dd_ir = KernelIR(
+            loops=(
+                Loop(
+                    "k",
+                    LoopBound(
+                        evaluator=lambda args, ids: ids * 0.0 + 4.0,
+                        description="row length",
+                    ),
+                ),
+            ),
+            accesses=base.ir.accesses,
+            flops_per_trip=base.ir.flops_per_trip,
+            work_group_threads=base.ir.work_group_threads,
+        )
+        pool = make_pool(
+            dataclasses.replace(base, ir=dd_ir), make_axpy_variant("plain")
+        )
+        report = verify_pool(pool)
+        assert "DYSEL-MODE-004" in error_rules(report)
+        assert not report.is_legal(FULLY, SYNC)
+        assert report.is_legal(HYBRID, SYNC)
+        relaxed = verify_pool(
+            pool, overrides=VerifyOverrides(uniform_workload=True)
+        )
+        assert "DYSEL-MODE-004" not in error_rules(relaxed)
+        assert relaxed.is_legal(FULLY, SYNC)
+
+
+class TestAsyncLegality:
+    def test_swap_async_always_flagged(self, clean_pool):
+        report = verify_pool(clean_pool)
+        (finding,) = report.by_rule("DYSEL-ASYNC-001")
+        assert finding.covers(SWAP, ASYNC)
+        assert not finding.covers(SWAP, SYNC)
+        assert not finding.covers(FULLY, ASYNC)
+
+    def test_atomics_warn_under_async_commit(self, atomic_pool):
+        report = verify_pool(atomic_pool)
+        (finding,) = report.by_rule("DYSEL-ASYNC-002")
+        assert finding.severity.value == "warning"
+        assert finding.covers(FULLY, ASYNC)
+        assert not finding.covers(FULLY, SYNC)
+
+
+class TestSandboxCapacity:
+    def test_no_outputs_blocks_partial_modes(self, no_output_pool):
+        report = verify_pool(no_output_pool)
+        (finding,) = report.by_rule("DYSEL-SANDBOX-001")
+        assert finding.severity.value == "error"
+        assert finding.covers(HYBRID, SYNC)
+        assert finding.covers(SWAP, SYNC)
+        assert not finding.covers(FULLY, SYNC)
+
+    def test_written_output_missing_from_sandbox_index(self):
+        spec = KernelSpec(
+            signature=KernelSignature(
+                "two_out",
+                (
+                    ArgSpec("x"),
+                    ArgSpec("y", is_output=True),
+                    ArgSpec("z", is_output=True),
+                ),
+            ),
+            sandbox_outputs=("z",),  # 'y' is written but not sandboxed
+        )
+        pool = make_pool(
+            make_axpy_variant("a"), make_axpy_variant("b"), spec=spec
+        )
+        report = verify_pool(pool)
+        (finding,) = report.by_rule("DYSEL-SANDBOX-002")
+        assert "'y'" in finding.message
+        assert finding.covers(HYBRID, SYNC)
+        assert not finding.covers(FULLY, SYNC)
+
+    def test_space_accounting_info(self, clean_pool):
+        report = verify_pool(clean_pool)
+        (info,) = report.by_rule("DYSEL-SANDBOX-003")
+        assert info.severity.value == "info"
+        assert "K=2" in info.message
+
+
+class TestSignatureConsistency:
+    def test_write_to_undeclared_buffer_is_pool_wide_error(self):
+        rogue = make_axpy_variant("rogue")
+        rogue_ir = rogue.ir.with_(
+            accesses=rogue.ir.accesses
+            + (
+                dataclasses.replace(
+                    rogue.ir.accesses[1], buffer="scratch"
+                ),
+            )
+        )
+        pool = make_pool(
+            dataclasses.replace(rogue, ir=rogue_ir),
+            make_axpy_variant("plain"),
+        )
+        report = verify_pool(pool)
+        (finding,) = report.by_rule("DYSEL-SIG-001")
+        assert finding.variant == "rogue"
+        assert "scratch" in finding.message
+        assert finding.scope is None  # pool-wide: blocks every combo
+        assert not report.is_legal(SWAP, SYNC)
+
+    def test_divergent_write_sets_block_fully(self):
+        spec = KernelSpec(
+            signature=KernelSignature(
+                "two_out",
+                (
+                    ArgSpec("x"),
+                    ArgSpec("y", is_output=True),
+                    ArgSpec("z", is_output=True),
+                ),
+            ),
+        )
+        narrow = make_axpy_variant("narrow")
+        wide = make_axpy_variant("wide")
+        wide_ir = wide.ir.with_(
+            accesses=wide.ir.accesses
+            + (dataclasses.replace(wide.ir.accesses[1], buffer="z"),)
+        )
+        pool = make_pool(
+            narrow, dataclasses.replace(wide, ir=wide_ir), spec=spec
+        )
+        report = verify_pool(pool)
+        assert "DYSEL-SIG-002" in error_rules(report)
+        (finding,) = report.by_rule("DYSEL-SIG-002")
+        assert finding.covers(FULLY, SYNC)
+        assert not finding.covers(HYBRID, SYNC)
+        # 'z' written only by 'wide' → also the never-written warning is
+        # *not* raised ('z' is written by at least one variant).
+        assert not report.by_rule("DYSEL-SIG-003")
+
+    def test_never_written_output_warns(self):
+        spec = KernelSpec(
+            signature=KernelSignature(
+                "two_out",
+                (
+                    ArgSpec("x"),
+                    ArgSpec("y", is_output=True),
+                    ArgSpec("ghost", is_output=True),
+                ),
+            ),
+        )
+        pool = make_pool(
+            make_axpy_variant("a"), make_axpy_variant("b"), spec=spec
+        )
+        report = verify_pool(pool)
+        (finding,) = report.by_rule("DYSEL-SIG-003")
+        assert finding.severity.value == "warning"
+        assert "ghost" in finding.message
+
+    def test_footprint_divergence_warns(self):
+        fat = make_axpy_variant("fat")
+        fat_ir = fat.ir.with_(
+            accesses=(
+                fat.ir.accesses[0],
+                dataclasses.replace(
+                    fat.ir.accesses[1],
+                    bytes_per_trip=fat.ir.accesses[1].bytes_per_trip * 4,
+                ),
+            )
+        )
+        pool = make_pool(
+            dataclasses.replace(fat, ir=fat_ir), make_axpy_variant("thin")
+        )
+        report = verify_pool(pool)
+        (finding,) = report.by_rule("DYSEL-SIG-005")
+        assert finding.severity.value == "warning"
+        assert "fat" in finding.message and "thin" in finding.message
+
+
+class TestSafePoint:
+    def test_single_variant_pool_is_informational(self):
+        report = verify_pool(make_pool(make_axpy_variant("only")))
+        (info,) = report.by_rule("DYSEL-SAFEPOINT-003")
+        assert info.severity.value == "info"
+
+    def test_huge_lcm_warns(self):
+        pool = make_pool(
+            make_axpy_variant("a", wa_factor=(1 << 20) - 1),
+            make_axpy_variant("b", wa_factor=2),
+        )
+        report = verify_pool(pool)
+        (finding,) = report.by_rule("DYSEL-SAFEPOINT-002")
+        assert finding.severity.value == "warning"
+
+    def test_workload_too_small_for_any_slice(self):
+        pool = make_pool(
+            make_axpy_variant("a", wa_factor=8),
+            make_axpy_variant("b", wa_factor=8),
+        )
+        report = verify_pool(pool, workload_units=4)
+        (finding,) = report.by_rule("DYSEL-SAFEPOINT-001")
+        assert finding.severity.value == "error"
+        assert finding.scope is None
+        assert not report.ok
+
+    def test_fully_needs_k_slices(self, clean_pool):
+        report = verify_pool(clean_pool, compute_units=1, workload_units=1)
+        (finding,) = report.by_rule("DYSEL-SAFEPOINT-004")
+        assert finding.covers(FULLY, SYNC)
+        assert not finding.covers(HYBRID, SYNC)
+
+    def test_workload_independent_run_skips_plan_checks(self, clean_pool):
+        report = verify_pool(clean_pool)  # workload_units=None
+        assert not report.by_rule("DYSEL-SAFEPOINT-001")
+        assert not report.by_rule("DYSEL-SAFEPOINT-004")
+
+
+class TestWriteSetRace:
+    def test_atomic_pool_races_under_async_commit(self, atomic_pool):
+        report = verify_pool(atomic_pool, compute_units=4)
+        (finding,) = report.by_rule("DYSEL-RACE-001")
+        assert finding.severity.value == "error"
+        assert finding.covers(FULLY, ASYNC)
+        assert finding.covers(HYBRID, ASYNC)
+        assert not finding.covers(FULLY, SYNC)
+        assert not finding.covers(SWAP, ASYNC)
+        assert "eager chunks" in finding.message
+
+    def test_clean_pool_has_no_race_finding(self, clean_pool):
+        report = verify_pool(clean_pool)
+        assert not report.by_rule("DYSEL-RACE-001")
+
+    def test_atomic_only_race_downgrades_under_override(self, atomic_pool):
+        report = verify_pool(
+            atomic_pool, overrides=VerifyOverrides(atomics_race_free=True)
+        )
+        (finding,) = report.by_rule("DYSEL-RACE-001")
+        assert finding.severity.value == "warning"
+
+
+class TestPoolVerifierCache:
+    def test_same_request_hits_cache(self, clean_pool):
+        verifier = PoolVerifier()
+        first = verifier.verify(clean_pool)
+        second = verifier.verify(clean_pool)
+        assert first is second
+        assert verifier.cached_verdicts == 1
+
+    def test_overrides_key_the_cache(self, atomic_pool):
+        verifier = PoolVerifier()
+        plain = verifier.verify(atomic_pool)
+        relaxed = verifier.verify(
+            atomic_pool, overrides=VerifyOverrides(atomics_race_free=True)
+        )
+        assert plain is not relaxed
+        assert verifier.cached_verdicts == 2
+
+    def test_clear_drops_verdicts(self, clean_pool):
+        verifier = PoolVerifier()
+        verifier.verify(clean_pool)
+        verifier.clear()
+        assert verifier.cached_verdicts == 0
+
+    def test_distinct_pools_do_not_alias(self):
+        verifier = PoolVerifier()
+        pool_a = make_pool(make_axpy_variant("a"), make_axpy_variant("b"))
+        report_a = verifier.verify(pool_a)
+        pool_b = make_pool(atomic_axpy_variant("c"), atomic_axpy_variant("d"))
+        report_b = verifier.verify(pool_b)
+        assert error_rules(report_a) != error_rules(report_b)

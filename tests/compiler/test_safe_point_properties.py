@@ -1,0 +1,159 @@
+"""Property tests for safe point analysis (paper §3.4).
+
+The guarantees under test are the ones the rest of the runtime leans on:
+
+* *fairness* — the profiling slice is an exact multiple of every
+  variant's work assignment factor, so each variant profiles the same
+  number of workload units with whole work-groups;
+* *clamping* — even K fully-productive slices never exceed the allowed
+  workload fraction (when a fair slice fits it at all), and a slice never
+  exceeds the workload;
+* *degeneracy* — pools/workloads that cannot host a fair slice raise
+  :class:`AnalysisError` instead of silently mis-sizing.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.analyses.safe_point import lcm_of, safe_point_plan
+from repro.errors import AnalysisError
+from tests.conftest import make_axpy_variant
+
+#: Work assignment factors as coarsening/tiling produce them: small
+#: positive integers, frequently powers of two, occasionally odd.
+wa_factors = st.lists(
+    st.integers(min_value=1, max_value=64), min_size=1, max_size=6
+)
+
+
+def make_pool_variants(factors):
+    return [
+        make_axpy_variant(f"v{i}", wa_factor=f)
+        for i, f in enumerate(factors)
+    ]
+
+
+class TestLcmProperties:
+    @given(values=wa_factors)
+    def test_lcm_is_a_common_multiple(self, values):
+        result = lcm_of(values)
+        assert all(result % v == 0 for v in values)
+
+    @given(values=wa_factors)
+    def test_lcm_matches_stdlib(self, values):
+        assert lcm_of(values) == math.lcm(*values)
+
+    @given(values=wa_factors)
+    def test_lcm_divides_product(self, values):
+        product = math.prod(values)
+        assert product % lcm_of(values) == 0
+
+    def test_empty_input_raises(self):
+        with pytest.raises(AnalysisError, match="at least one"):
+            lcm_of([])
+
+    @given(bad=st.integers(max_value=0))
+    def test_nonpositive_values_raise(self, bad):
+        with pytest.raises(AnalysisError, match="positive"):
+            lcm_of([2, bad, 4])
+
+
+class TestSafePointProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        factors=wa_factors,
+        compute_units=st.integers(min_value=1, max_value=128),
+        workload_scale=st.integers(min_value=2, max_value=64),
+        multiplier=st.integers(min_value=1, max_value=4),
+    )
+    def test_slice_is_exact_multiple_of_every_factor(
+        self, factors, compute_units, workload_scale, multiplier
+    ):
+        variants = make_pool_variants(factors)
+        # Workload large enough that a fair slice always fits.
+        workload = lcm_of(factors) * len(factors) * workload_scale * 2
+        plan = safe_point_plan(
+            variants,
+            compute_units=compute_units,
+            workload_units=workload,
+            multiplier=multiplier,
+        )
+        for factor in factors:
+            assert plan.units_per_variant % factor == 0
+        # Group counts are whole by the same token.
+        for variant in variants:
+            groups = plan.groups_per_variant[variant.name]
+            assert groups * variant.wa_factor == plan.units_per_variant
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        factors=wa_factors,
+        compute_units=st.integers(min_value=1, max_value=128),
+        workload=st.integers(min_value=1, max_value=1 << 16),
+        fraction=st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_clamping_respects_workload_fraction(
+        self, factors, compute_units, workload, fraction
+    ):
+        variants = make_pool_variants(factors)
+        base = lcm_of(factors)
+        try:
+            plan = safe_point_plan(
+                variants,
+                compute_units=compute_units,
+                workload_units=workload,
+                max_workload_fraction=fraction,
+            )
+        except AnalysisError:
+            # Legal only when no fair slice fits this workload at all.
+            assert base > workload
+            return
+        units = plan.units_per_variant
+        assert base <= units <= workload
+        budget = int(workload * fraction) // len(factors)
+        if budget >= base:
+            # All K fully-productive slices fit the allowed fraction.
+            assert units * len(factors) <= workload * fraction
+        else:
+            # Degenerate small launch: at most one LCM block.
+            assert units == base
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        factors=st.lists(
+            st.integers(min_value=2, max_value=64), min_size=2, max_size=6
+        ),
+        workload=st.integers(min_value=1, max_value=8),
+    )
+    def test_infeasible_workloads_always_raise(self, factors, workload):
+        variants = make_pool_variants(factors)
+        assume(lcm_of(factors) > workload)
+        with pytest.raises(AnalysisError, match="cannot host"):
+            safe_point_plan(
+                variants, compute_units=4, workload_units=workload
+            )
+
+    def test_empty_pool_raises(self):
+        with pytest.raises(AnalysisError, match="non-empty"):
+            safe_point_plan([], compute_units=1, workload_units=100)
+
+    def test_bad_compute_units_raise(self):
+        with pytest.raises(AnalysisError, match="compute_units"):
+            safe_point_plan(
+                make_pool_variants([1]),
+                compute_units=0,
+                workload_units=100,
+            )
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.5, 1.5])
+    def test_bad_fraction_raises(self, fraction):
+        with pytest.raises(AnalysisError, match="max_workload_fraction"):
+            safe_point_plan(
+                make_pool_variants([1]),
+                compute_units=1,
+                workload_units=100,
+                max_workload_fraction=fraction,
+            )

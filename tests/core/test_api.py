@@ -15,20 +15,37 @@ from repro.kernel import AccessPattern
 
 
 class TestParseMode:
-    def test_known_modes(self):
-        assert parse_mode("fully_async") == (
-            ProfilingMode.FULLY,
-            OrchestrationFlow.ASYNC,
-        )
-        assert parse_mode("swap_sync") == (
-            ProfilingMode.SWAP,
-            OrchestrationFlow.SYNC,
-        )
+    @pytest.mark.parametrize(
+        "spelling, expected",
+        [
+            ("fully_sync", (ProfilingMode.FULLY, OrchestrationFlow.SYNC)),
+            ("fully_async", (ProfilingMode.FULLY, OrchestrationFlow.ASYNC)),
+            ("hybrid_sync", (ProfilingMode.HYBRID, OrchestrationFlow.SYNC)),
+            ("hybrid_async", (ProfilingMode.HYBRID, OrchestrationFlow.ASYNC)),
+            ("swap_sync", (ProfilingMode.SWAP, OrchestrationFlow.SYNC)),
+        ],
+    )
+    def test_known_modes(self, spelling, expected):
+        assert parse_mode(spelling) == expected
 
-    def test_unknown_mode(self):
-        with pytest.raises(LaunchError):
-            parse_mode("swap_async")  # Table 1: not a thing
-        with pytest.raises(LaunchError):
+    def test_swap_async_names_rule_and_nearest_legal_mode(self):
+        # Table 1: swap×async is structurally well-formed but illegal;
+        # the rejection must teach, not just refuse.
+        with pytest.raises(LaunchError) as excinfo:
+            parse_mode("swap_async")
+        message = str(excinfo.value)
+        assert "DYSEL-ASYNC-001" in message
+        assert "Table 1" in message
+        assert "'swap_sync'" in message  # nearest legal mode
+
+    def test_typo_gets_a_suggestion(self):
+        with pytest.raises(LaunchError, match="did you mean 'fully_async'"):
+            parse_mode("fully_asink")
+        with pytest.raises(LaunchError, match="did you mean 'hybrid_sync'"):
+            parse_mode("hybrid-sync")
+
+    def test_garbage_lists_accepted_spellings(self):
+        with pytest.raises(LaunchError, match="expected one of"):
             parse_mode("???")
 
 
