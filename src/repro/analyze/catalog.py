@@ -33,11 +33,20 @@ class CatalogEntry:
 
     case: BenchmarkCase
     compute_units: int
+    #: Which simulated device the case targets (``"cpu"`` or ``"gpu"``) —
+    #: consumers that *run* the pool (``python -m repro.obs``) rebuild
+    #: the matching device from this.
+    device_kind: str = "cpu"
 
     @property
     def label(self) -> str:
         """Report label (the case name)."""
         return self.case.name
+
+    def make_device(self, config: ReproConfig):
+        """Build the device this entry's case targets."""
+        factory = make_gpu if self.device_kind == "gpu" else make_cpu
+        return factory(config)
 
 
 #: Case builders, deferred so a single broken workload doesn't prevent
@@ -94,6 +103,13 @@ def example_entries(
     for label, build in _BUILDERS:
         case, device_kind = build(config)
         entries.append(
-            (label, CatalogEntry(case=case, compute_units=devices[device_kind]))
+            (
+                label,
+                CatalogEntry(
+                    case=case,
+                    compute_units=devices[device_kind],
+                    device_kind=device_kind,
+                ),
+            )
         )
     return entries

@@ -76,6 +76,12 @@ class ReproConfig:
     #: cheapest legal combination, ``"off"`` skips verification entirely
     #: (pre-verifier behaviour).
     verify: str = "warn"
+    #: Runtime tracing (:mod:`repro.obs`): when set, runtimes and engines
+    #: record structured launch events (profile spans, eager chunks,
+    #: selection updates, cache traffic) for export to Chrome trace JSON
+    #: / text timelines.  Off by default: the disabled path costs one
+    #: branch per instrumentation site.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.seed < 0:

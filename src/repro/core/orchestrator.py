@@ -30,6 +30,7 @@ from ..device.stream import Stream
 from ..errors import ProfilingError
 from ..kernel.launch import LaunchConfig
 from ..modes import OrchestrationFlow
+from ..obs.events import EventKind
 from .productive import ProfilingPlan
 from .selection import SelectionRecord, VariantMeasurement
 
@@ -107,14 +108,34 @@ def run_sync(
 ) -> OrchestrationResult:
     """Synchronous flow: profile, barrier, select, batch the remainder."""
     start = engine.now
+    tracer = engine.tracer
     record = SelectionRecord(
-        kernel=pool.name, mode=plan.mode, flow=OrchestrationFlow.SYNC
+        kernel=pool.name,
+        mode=plan.mode,
+        flow=OrchestrationFlow.SYNC,
+        variant_order=pool.variant_names,
     )
     handles = _submit_profiling(engine, plan)
     engine.wait_all(list(handles.values()))
     for name, handle in handles.items():
         engine.host_compute(SELECTION_COMPARE_CYCLES)
-        record.observe(_measurement(plan, name, handle))
+        measurement = _measurement(plan, name, handle)
+        record.observe(measurement)
+        if tracer.enabled:
+            tracer.task_span(
+                EventKind.PROFILE_SPAN,
+                name,
+                handle,
+                productive=measurement.productive,
+                measured_cycles=measurement.measured_cycles,
+            )
+            tracer.instant(
+                EventKind.SELECTION_UPDATE,
+                name,
+                engine.now,
+                selected=record.selected,
+                measured_cycles=measurement.measured_cycles,
+            )
     assert record.selected is not None
     plan.finalize(record.selected, launch)
     profiling_done = engine.now
@@ -125,6 +146,10 @@ def run_sync(
             winner, launch.args, plan.remainder, priority=Priority.BATCH
         )
         engine.wait(remainder_task)
+        if tracer.enabled:
+            tracer.task_span(
+                EventKind.REMAINDER_BATCH, winner.name, remainder_task
+            )
     return OrchestrationResult(
         record=record,
         start_cycles=start,
@@ -155,8 +180,12 @@ def run_async(
             "have demoted or refused this flow"
         )
     start = engine.now
+    tracer = engine.tracer
     record = SelectionRecord(
-        kernel=pool.name, mode=plan.mode, flow=OrchestrationFlow.ASYNC
+        kernel=pool.name,
+        mode=plan.mode,
+        flow=OrchestrationFlow.ASYNC,
+        variant_order=pool.variant_names,
     )
     handles = _submit_profiling(engine, plan)
 
@@ -177,6 +206,7 @@ def run_async(
     remaining = plan.remainder
     eager_chunks = 0
     eager_units = 0
+    eager_tasks: List[tuple] = []
     outstanding: List[TaskHandle] = []
     pending: List[str] = [name for name in handles]
     while pending:
@@ -187,9 +217,25 @@ def run_async(
         for name in finished_now:
             pending.remove(name)
             engine.host_compute(SELECTION_COMPARE_CYCLES)
-            record.observe(_measurement(plan, name, handles[name]))
+            measurement = _measurement(plan, name, handles[name])
+            record.observe(measurement)
             assert record.selected is not None
             current_best = record.selected
+            if tracer.enabled:
+                tracer.task_span(
+                    EventKind.PROFILE_SPAN,
+                    name,
+                    handles[name],
+                    productive=measurement.productive,
+                    measured_cycles=measurement.measured_cycles,
+                )
+                tracer.instant(
+                    EventKind.SELECTION_UPDATE,
+                    name,
+                    engine.now,
+                    selected=record.selected,
+                    measured_cycles=measurement.measured_cycles,
+                )
         # Eager dispatch is paced: keep a small number of chunks in
         # flight so the workload can switch to a better variant as soon
         # as profiling finds one (paper §2.4's "careful workload
@@ -213,6 +259,7 @@ def run_async(
                 priority=Priority.EAGER,
             )
             outstanding.append(task)
+            eager_tasks.append((eager_chunks, current_best, task))
             eager_chunks += 1
             eager_units += len(chunk)
 
@@ -220,6 +267,7 @@ def run_async(
     plan.finalize(record.selected, launch)
     profiling_done = engine.now
 
+    remainder_task = None
     if not remaining.empty:
         remainder_task = engine.submit(
             pool.variant(record.selected),
@@ -229,6 +277,22 @@ def run_async(
         )
         engine.wait(remainder_task)
     engine.barrier()
+    if tracer.enabled:
+        # Eager chunks finish out of order with profiling polls; after
+        # the barrier every handle is final, so their spans are exact.
+        for index, variant_name, task in eager_tasks:
+            tracer.task_span(
+                EventKind.EAGER_CHUNK,
+                variant_name,
+                task,
+                chunk_index=index,
+            )
+        if remainder_task is not None:
+            tracer.task_span(
+                EventKind.REMAINDER_BATCH,
+                record.selected,
+                remainder_task,
+            )
     return OrchestrationResult(
         record=record,
         start_cycles=start,

@@ -6,6 +6,13 @@ the optimization level to matter, while profiling overhead would be
 proportionally large.  Paper §3.1: the *profiling activation flag* lets
 iterative applications profile only their first iteration; later launches
 reuse the cached selection.
+
+A cached selection is only trusted after validation against the *current*
+pool: re-registration can replace or extend a pool after a selection was
+cached, and a stale winner must never be launched (it may not exist any
+more) nor silently preferred over newly registered variants.  Stale
+entries are evicted here and the launch falls back to the pool default
+with an explicit reason.
 """
 
 from __future__ import annotations
@@ -15,7 +22,9 @@ from typing import Optional
 
 from ..compiler.variants import VariantPool
 from ..config import ReproConfig
-from .selection import SelectionCache
+from ..obs.events import EventKind
+from ..obs.tracer import NULL_TRACER, Tracer
+from .selection import SelectionCache, SelectionRecord
 
 
 @dataclass(frozen=True)
@@ -27,24 +36,69 @@ class LaunchDecision:
     reason: str = ""
 
 
+def _validated_cached(
+    pool: VariantPool,
+    cache: SelectionCache,
+    tracer: Tracer,
+    now: float,
+) -> tuple:
+    """The cached selection if it names a current variant, else evict it.
+
+    Returns ``(record or None, stale_note)``; ``stale_note`` is non-empty
+    when a stale entry was found and evicted.
+    """
+    cached: Optional[SelectionRecord] = cache.lookup(pool.name)
+    if cached is None:
+        return None, ""
+    if cached.selected in pool.variant_names:
+        return cached, ""
+    stale_note = (
+        f"cached selection {cached.selected!r} is not in the current pool "
+        f"(variants: {list(pool.variant_names)}); "
+    )
+    cache.invalidate(pool.name)
+    if tracer.enabled:
+        tracer.instant(
+            EventKind.CACHE_INVALIDATE,
+            pool.name,
+            now,
+            stale_variant=cached.selected,
+            reason="cached variant no longer in pool",
+        )
+    return None, stale_note
+
+
 def decide(
     pool: VariantPool,
     workload_units: int,
     profiling_requested: bool,
     cache: SelectionCache,
     config: ReproConfig,
+    tracer: Tracer = NULL_TRACER,
+    now: float = 0.0,
 ) -> LaunchDecision:
     """Resolve the profiling decision for one launch.
 
     Precedence: an explicit ``profiling=False`` wins (use the cached
-    selection if one exists, else the pool's default); a cached selection
-    is reused only when the caller deactivated profiling — re-requesting
-    profiling re-profiles, which is how callers handle changed inputs; a
-    small workload deactivates profiling regardless.
+    selection if one exists *and still names a pool variant*, else the
+    pool's default); a cached selection is reused only when the caller
+    deactivated profiling — re-requesting profiling re-profiles, which is
+    how callers handle changed inputs; a small workload deactivates
+    profiling regardless.
+
+    ``tracer``/``now`` report cache traffic to :mod:`repro.obs` when
+    tracing is on (``now`` is the engine clock at decision time).
     """
-    cached = cache.lookup(pool.name)
+    cached, stale_note = _validated_cached(pool, cache, tracer, now)
     if not profiling_requested:
         if cached is not None:
+            if tracer.enabled:
+                tracer.instant(
+                    EventKind.CACHE_HIT,
+                    pool.name,
+                    now,
+                    selected=cached.selected,
+                )
             return LaunchDecision(
                 profile=False,
                 variant_name=cached.selected,
@@ -53,13 +107,20 @@ def decide(
         return LaunchDecision(
             profile=False,
             variant_name=pool.initial_default,
-            reason="profiling deactivated; no cached selection, using default",
+            reason=(
+                f"profiling deactivated; {stale_note}no cached selection, "
+                "using default"
+            ),
         )
 
     base_groups = workload_units // max(
         1, min(v.wa_factor for v in pool.variants)
     )
     if base_groups < config.small_workload_threshold:
+        if cached is not None and tracer.enabled:
+            tracer.instant(
+                EventKind.CACHE_HIT, pool.name, now, selected=cached.selected
+            )
         name = cached.selected if cached is not None else pool.initial_default
         return LaunchDecision(
             profile=False,

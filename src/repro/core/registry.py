@@ -77,13 +77,32 @@ class DySelKernelRegistry:
         self._pools.pop(kernel_sig, None)
 
     def register_pool(self, pool: VariantPool) -> None:
-        """Register a pre-built pool in one call (compiler entry point)."""
+        """Register a pre-built pool in one call (compiler entry point).
+
+        Re-registering a signature *replaces* the previous pool wholesale
+        (a recompile shipping a new variant set).  Callers holding
+        derived per-pool state — most importantly the runtime's selection
+        cache — must invalidate it; :meth:`DySelRuntime.register_pool`
+        does so, and :func:`repro.core.policy.decide` additionally
+        validates any cached selection against the current pool so stale
+        winners can never launch even through a bare registry.
+        """
+        if pool.name in self._specs:
+            self._forget(pool.name)
         self.declare(pool.spec)
         for variant in pool.variants:
             self.add_kernel(pool.name, variant)
         self._modes[pool.name] = pool.mode
         self._defaults[pool.name] = pool.initial_default
         self._pools[pool.name] = pool
+
+    def _forget(self, kernel_sig: str) -> None:
+        """Drop every record of a signature (re-registration support)."""
+        self._specs.pop(kernel_sig, None)
+        self._variants.pop(kernel_sig, None)
+        self._modes.pop(kernel_sig, None)
+        self._defaults.pop(kernel_sig, None)
+        self._pools.pop(kernel_sig, None)
 
     def pool(self, kernel_sig: str) -> VariantPool:
         """Materialize the current pool for a signature (memoized)."""

@@ -9,30 +9,51 @@ requested orchestration flow on the device's execution engine.  One
 runtime owns one engine, so simulated time accumulates across launches —
 which is how iterative experiments (profile the first iteration, reuse the
 selection) measure amortized overhead.
+
+Failure philosophy: a launch that *could* run productively never dies on
+a profiling-layout technicality.  An infeasible profiling plan (the fair
+slice does not fit the workload) demotes — fully-productive falls back to
+hybrid when the verifier allows it, otherwise profiling is switched off
+and the pool default runs — with the demotion recorded in
+``LaunchResult.reason`` and a :class:`ProfilingDemotionWarning`, matching
+the verification gate's warn-level behaviour.
+
+With ``ReproConfig.trace`` set, every launch emits structured events
+(:mod:`repro.obs`): ``LaunchBegin``/``LaunchEnd`` brackets, gate and plan
+demotions, cache traffic, per-variant profile spans, eager chunks, and
+the remainder batch — enough to reconstruct the paper's Fig 4 timelines
+from a recorded trace.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Tuple
 
+from ..analyze.diagnostics import VerificationReport
 from ..analyze.gate import gate_launch
 from ..analyze.manager import PoolVerifier
 from ..analyze.passes import VerifyOverrides
-from ..compiler.analyses.safe_point import safe_point_plan
+from ..compiler.analyses.safe_point import SafePointPlan, safe_point_plan
 from ..compiler.variants import VariantPool
 from ..config import ReproConfig
 from ..device.base import Device
 from ..device.engine import ExecutionEngine, Priority
-from ..errors import LaunchError
+from ..errors import AnalysisError, LaunchError, ProfilingError
 from ..kernel.kernel import KernelSpec, KernelVariant, WorkRange
 from ..kernel.launch import LaunchConfig
 from ..modes import OrchestrationFlow, ProfilingMode
+from ..obs.events import EventKind
 from . import policy
 from .orchestrator import run_async, run_sync
-from .productive import plan_profiling
+from .productive import ProfilingPlan, plan_profiling
 from .registry import DySelKernelRegistry
 from .selection import SelectionCache, SelectionRecord
+
+
+class ProfilingDemotionWarning(UserWarning):
+    """A profiling plan was infeasible and the launch was demoted."""
 
 
 @dataclass(frozen=True)
@@ -80,6 +101,9 @@ class DySelRuntime:
         #: Static pool verifier; verdicts are cached per pool, so gating
         #: costs one pass-manager run per (pool, overrides) lifetime.
         self.verifier = PoolVerifier()
+        #: Observability hook: shared with the engine, so launch-level
+        #: and engine-level events land on one timeline.
+        self.tracer = self.engine.tracer
 
     # ------------------------------------------------------------------
     # Registration facade
@@ -95,12 +119,40 @@ class DySelRuntime:
         implementation: KernelVariant,
         initial_default: bool = False,
     ) -> None:
-        """Register one implementation (``DySelAddKernel``, Fig 6a)."""
+        """Register one implementation (``DySelAddKernel``, Fig 6a).
+
+        Extending a pool invalidates any cached selection for it: the
+        cached winner was chosen against the *old* candidate set, and a
+        ``profiling=False`` launch must not silently ignore the new
+        variant (nor crash on a name that a replacement removed).
+        """
         self.registry.add_kernel(kernel_sig, implementation, initial_default)
+        self._invalidate_selection(kernel_sig, "pool extended by add_kernel")
 
     def register_pool(self, pool: VariantPool) -> None:
-        """Register a compiler-built pool in one call."""
+        """Register a compiler-built pool in one call.
+
+        Re-registering a signature replaces the previous pool (see
+        :meth:`DySelKernelRegistry.register_pool`) and invalidates its
+        cached selection.
+        """
         self.registry.register_pool(pool)
+        self._invalidate_selection(pool.name, "pool re-registered")
+
+    def _invalidate_selection(self, kernel_sig: str, why: str) -> None:
+        """Evict a kernel's cached selection after a registration change."""
+        if kernel_sig not in self.cache:
+            return
+        stale = self.cache.lookup(kernel_sig)
+        self.cache.invalidate(kernel_sig)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                EventKind.CACHE_INVALIDATE,
+                kernel_sig,
+                self.engine.now,
+                stale_variant=stale.selected if stale else None,
+                reason=why,
+            )
 
     # ------------------------------------------------------------------
     # Launch
@@ -150,9 +202,27 @@ class DySelRuntime:
         launch = LaunchConfig.create(
             pool.spec.signature, args, workload_units
         )
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(
+                EventKind.LAUNCH_BEGIN,
+                kernel_sig,
+                self.engine.now,
+                workload_units=workload_units,
+                profiling_requested=profiling,
+                requested_flow=flow.value,
+                requested_mode=mode.value if mode is not None else None,
+                launch_index=self.engine.launch_count,
+            )
 
         decision = policy.decide(
-            pool, workload_units, profiling, self.cache, self.config
+            pool,
+            workload_units,
+            profiling,
+            self.cache,
+            self.config,
+            tracer,
+            self.engine.now,
         )
         if not decision.profile:
             return self._launch_without_profiling(pool, launch, decision)
@@ -161,6 +231,7 @@ class DySelRuntime:
         assert effective_mode is not None
         effective_flow = flow
         reason = decision.reason
+        report: Optional[VerificationReport] = None
         if self.config.verify != "off":
             report = self.verifier.verify(
                 pool,
@@ -172,6 +243,16 @@ class DySelRuntime:
             gate = gate_launch(
                 report, effective_mode, effective_flow, self.config.verify
             )
+            if tracer.enabled:
+                tracer.instant(
+                    EventKind.GATE_DECISION,
+                    kernel_sig,
+                    self.engine.now,
+                    requested=f"{effective_mode.value}_{effective_flow.value}",
+                    resolved=f"{gate.mode.value}_{gate.flow.value}",
+                    demoted=gate.demoted,
+                    note=gate.note,
+                )
             effective_mode, effective_flow = gate.mode, gate.flow
             if gate.note:
                 reason += "; " + gate.note
@@ -184,13 +265,54 @@ class DySelRuntime:
             effective_flow = OrchestrationFlow.SYNC
             reason += "; swap mode forced synchronous flow"
 
-        safe = safe_point_plan(
-            pool.variants,
-            compute_units=self.device.spec.compute_units,
-            workload_units=workload_units,
-            multiplier=self.config.safe_point_multiplier,
-        )
-        plan = plan_profiling(pool, effective_mode, launch, safe)
+        try:
+            safe = safe_point_plan(
+                pool.variants,
+                compute_units=self.device.spec.compute_units,
+                workload_units=workload_units,
+                multiplier=self.config.safe_point_multiplier,
+            )
+        except AnalysisError as exc:
+            # The workload passed the small-workload policy yet cannot
+            # host one fair slice (huge LCM of work assignment factors):
+            # demote to profiling-off rather than failing the launch.
+            planned = None
+            note = f"safe point analysis infeasible ({exc})"
+            self._warn_demotion(
+                pool.name, f"{note}; demoted to profiling-off (pool default)"
+            )
+            if tracer.enabled:
+                tracer.instant(
+                    EventKind.PLAN_DEMOTION,
+                    pool.name,
+                    self.engine.now,
+                    from_mode=effective_mode.value,
+                    to="profiling-off",
+                    error=str(exc),
+                )
+        else:
+            planned = self._plan_with_demotion(
+                pool, effective_mode, effective_flow, launch, safe, report
+            )
+        if planned is None:
+            # Nothing profilable fits this launch: run the pool default
+            # without profiling instead of failing the launch.
+            note = (
+                "profiling plan infeasible; demoted to profiling-off with "
+                "the pool default"
+            )
+            return self._launch_without_profiling(
+                pool,
+                launch,
+                policy.LaunchDecision(
+                    profile=False,
+                    variant_name=pool.initial_default,
+                    reason=reason + "; " + note,
+                ),
+            )
+        plan, effective_mode, effective_flow, demotion_note = planned
+        if demotion_note:
+            reason += "; " + demotion_note
 
         if effective_flow is OrchestrationFlow.SYNC:
             outcome = run_sync(self.engine, pool, plan, launch, self.config)
@@ -205,7 +327,7 @@ class DySelRuntime:
             )
         self.cache.record(outcome.record)
         assert outcome.record.selected is not None
-        return LaunchResult(
+        result = LaunchResult(
             kernel=kernel_sig,
             selected=outcome.record.selected,
             profiled=True,
@@ -219,6 +341,113 @@ class DySelRuntime:
             eager_units=outcome.eager_units,
             profiling_latency_cycles=outcome.profiling_latency_cycles,
         )
+        if tracer.enabled:
+            tracer.instant(
+                EventKind.LAUNCH_END,
+                kernel_sig,
+                result.end_cycles,
+                selected=result.selected,
+                profiled=True,
+                mode=effective_mode.value,
+                flow=effective_flow.value,
+                elapsed_cycles=result.elapsed_cycles,
+                profiling_latency_cycles=result.profiling_latency_cycles,
+                eager_chunks=result.eager_chunks,
+                eager_units=result.eager_units,
+                reason=reason,
+            )
+        return result
+
+    def _plan_with_demotion(
+        self,
+        pool: VariantPool,
+        mode: ProfilingMode,
+        flow: OrchestrationFlow,
+        launch: LaunchConfig,
+        safe: SafePointPlan,
+        report: Optional[VerificationReport],
+    ) -> Optional[
+        Tuple[ProfilingPlan, ProfilingMode, OrchestrationFlow, str]
+    ]:
+        """Lay out the profiling plan, demoting when it does not fit.
+
+        The workload passed the small-workload policy, yet the fair slice
+        from safe point analysis can still exceed what the launch has
+        (fully-productive needs K slices; a huge LCM of work assignment
+        factors can outgrow even one).  Raising here would fail a launch
+        that plain execution handles fine, so instead:
+
+        * fully-productive retries as hybrid (one shared slice, K−1
+          sandboxes) when the verifier deems hybrid legal for this pool —
+          or unconditionally when verification is off;
+        * anything still infeasible demotes to profiling-off (``None``),
+          and the caller runs the pool default.
+
+        Every demotion warns (:class:`ProfilingDemotionWarning`) and is
+        recorded in the trace and the launch reason — the gate's
+        warn-level philosophy, applied to plan layout.
+        """
+        try:
+            return plan_profiling(pool, mode, launch, safe), mode, flow, ""
+        except ProfilingError as exc:
+            first_error = exc
+
+        note = f"profiling plan infeasible for {mode.value} ({first_error})"
+        if mode is ProfilingMode.FULLY:
+            hybrid_flow = flow
+            legal = True
+            if report is not None:
+                if report.is_legal(ProfilingMode.HYBRID, flow):
+                    pass
+                elif report.is_legal(
+                    ProfilingMode.HYBRID, OrchestrationFlow.SYNC
+                ):
+                    hybrid_flow = OrchestrationFlow.SYNC
+                else:
+                    legal = False
+            if legal:
+                try:
+                    plan = plan_profiling(
+                        pool, ProfilingMode.HYBRID, launch, safe
+                    )
+                except ProfilingError:
+                    pass
+                else:
+                    demotion = f"{note}; demoted to hybrid"
+                    self._warn_demotion(pool.name, demotion)
+                    if self.tracer.enabled:
+                        self.tracer.instant(
+                            EventKind.PLAN_DEMOTION,
+                            pool.name,
+                            self.engine.now,
+                            from_mode=mode.value,
+                            to=f"hybrid_{hybrid_flow.value}",
+                            error=str(first_error),
+                        )
+                    return plan, ProfilingMode.HYBRID, hybrid_flow, demotion
+
+        self._warn_demotion(
+            pool.name, f"{note}; demoted to profiling-off (pool default)"
+        )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                EventKind.PLAN_DEMOTION,
+                pool.name,
+                self.engine.now,
+                from_mode=mode.value,
+                to="profiling-off",
+                error=str(first_error),
+            )
+        return None
+
+    def _warn_demotion(self, kernel: str, note: str) -> None:
+        warnings.warn(
+            f"kernel {kernel!r}: {note}. The launch continues; set a "
+            "larger workload or a smaller safe_point_multiplier to keep "
+            "profiling active.",
+            ProfilingDemotionWarning,
+            stacklevel=4,
+        )
 
     def _launch_without_profiling(
         self,
@@ -229,6 +458,7 @@ class DySelRuntime:
         assert decision.variant_name is not None
         variant = pool.variant(decision.variant_name)
         start = self.engine.now
+        task = None
         if launch.workload_units > 0:
             task = self.engine.submit(
                 variant,
@@ -237,7 +467,7 @@ class DySelRuntime:
                 priority=Priority.BATCH,
             )
             self.engine.wait(task)
-        return LaunchResult(
+        result = LaunchResult(
             kernel=pool.name,
             selected=variant.name,
             profiled=False,
@@ -247,3 +477,23 @@ class DySelRuntime:
             end_cycles=self.engine.now,
             reason=decision.reason,
         )
+        if self.tracer.enabled:
+            if task is not None:
+                self.tracer.task_span(
+                    EventKind.REMAINDER_BATCH, variant.name, task
+                )
+            self.tracer.instant(
+                EventKind.LAUNCH_END,
+                pool.name,
+                result.end_cycles,
+                selected=result.selected,
+                profiled=False,
+                mode=None,
+                flow=None,
+                elapsed_cycles=result.elapsed_cycles,
+                profiling_latency_cycles=0.0,
+                eager_chunks=0,
+                eager_units=0,
+                reason=decision.reason,
+            )
+        return result

@@ -49,13 +49,21 @@ class SelectionRecord:
     flow: OrchestrationFlow
     measurements: Tuple[VariantMeasurement, ...] = ()
     selected: Optional[str] = None
+    #: Variant names in pool registration order, used to break ties.  An
+    #: empty tuple (legacy callers) falls back to first-observed-wins.
+    variant_order: Tuple[str, ...] = ()
 
     def observe(self, measurement: VariantMeasurement) -> None:
         """Fold in one candidate's measurement, keeping the running best.
 
         Mirrors the atomic-min update of the reference implementation:
         the first observation seeds the best; later ones replace it only
-        when strictly faster.
+        when strictly faster.  Exact ties are broken by *registration
+        order* (earliest-registered variant wins), not observation order:
+        in the asynchronous flow, which candidate's poll completes first
+        is scheduling-dependent, and the quantized timer makes exact ties
+        common — a first-observed-wins rule would make the selection
+        nondeterministic across otherwise identical runs.
         """
         self.measurements = self.measurements + (measurement,)
         if self.selected is None:
@@ -64,6 +72,18 @@ class SelectionRecord:
         current = self.best_measurement()
         if measurement.measured_cycles < current.measured_cycles:
             self.selected = measurement.variant
+        elif measurement.measured_cycles == current.measured_cycles and (
+            self._order_index(measurement.variant)
+            < self._order_index(current.variant)
+        ):
+            self.selected = measurement.variant
+
+    def _order_index(self, variant: str) -> int:
+        """Registration rank of a variant (unknown names rank last)."""
+        try:
+            return self.variant_order.index(variant)
+        except ValueError:
+            return len(self.variant_order)
 
     def best_measurement(self) -> VariantMeasurement:
         """The measurement backing the current selection."""

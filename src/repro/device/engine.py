@@ -38,6 +38,8 @@ import numpy as np
 from ..config import ReproConfig
 from ..errors import EngineError
 from ..kernel.kernel import KernelVariant, WorkRange
+from ..obs.events import EventKind
+from ..obs.tracer import make_tracer
 from .base import Device
 from .clock import MeasuredInterval, NoisyClock
 from .cost import CostModel
@@ -114,6 +116,11 @@ class ExecutionEngine:
         # device was built.
         self.clock = NoisyClock(self.config, device.spec.name)
         self.cost_model = CostModel(device)
+        #: Observability hook (:mod:`repro.obs`): recording when
+        #: ``config.trace`` is set, the shared no-op otherwise.  Hot paths
+        #: guard on ``tracer.enabled`` so the disabled configuration pays
+        #: one branch per call.
+        self.tracer = make_tracer(self.config)
         self._now = 0.0
         units = device.spec.compute_units
         #: Heap of (free_time, unit_id).
@@ -194,6 +201,19 @@ class ExecutionEngine:
             self._finalize(task)
         else:
             heapq.heappush(self._arrivals, (arrival, next(self._seq), task))
+        if self.tracer.enabled:
+            self.tracer.instant(
+                EventKind.TASK_SUBMIT,
+                variant.name,
+                self._now,
+                task_id=task.task_id,
+                units=len(units),
+                start_unit=units.start,
+                end_unit=units.end,
+                priority=priority.name.lower(),
+                stream=stream,
+                work_groups=task.total_work_groups,
+            )
         return task
 
     def poll(self, task: TaskHandle) -> bool:
@@ -205,27 +225,59 @@ class ExecutionEngine:
         """
         self._now += self.device.spec.host_query_latency
         self._advance_to(self._now)
-        return task.finished and task.last_end <= self._now
+        done = task.finished and task.last_end <= self._now
+        if self.tracer.enabled:
+            self.tracer.instant(
+                EventKind.HOST_POLL,
+                task.variant.name,
+                self._now,
+                task_id=task.task_id,
+                finished=done,
+                latency_cycles=self.device.spec.host_query_latency,
+            )
+        return done
 
     def wait(self, task: TaskHandle) -> float:
         """Block the host until a task completes; returns completion time."""
+        blocked_at = self._now
         self._drain_task(task)
         self._now = max(self._now, task.last_end)
+        if self.tracer.enabled:
+            self.tracer.span(
+                EventKind.HOST_WAIT,
+                task.variant.name,
+                blocked_at,
+                self._now,
+                task_id=task.task_id,
+            )
         return task.last_end
 
     def wait_all(self, tasks: List[TaskHandle]) -> float:
         """Block the host until all tasks complete (device synchronize)."""
+        blocked_at = self._now
         end = self._now
         for task in tasks:
             self._drain_task(task)
             end = max(end, task.last_end)
         self._now = max(self._now, end)
+        if self.tracer.enabled:
+            self.tracer.span(
+                EventKind.HOST_WAIT,
+                f"{len(tasks)} task(s)",
+                blocked_at,
+                self._now,
+            )
         return self._now
 
     def barrier(self) -> float:
         """Drain every outstanding work-group (``cudaDeviceSynchronize``)."""
+        blocked_at = self._now
         self._advance_to(float("inf"))
         self._now = max(self._now, self._device_horizon())
+        if self.tracer.enabled:
+            self.tracer.span(
+                EventKind.BARRIER, "device", blocked_at, self._now
+            )
         return self._now
 
     def host_compute(self, cycles: float) -> None:

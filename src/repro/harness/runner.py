@@ -15,8 +15,9 @@ only the first launch (activation flag, §3.1) unless
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..config import ReproConfig
 from ..core.runtime import DySelRuntime
@@ -25,6 +26,8 @@ from ..device.engine import ExecutionEngine, Priority
 from ..errors import HarnessError
 from ..kernel.kernel import WorkRange
 from ..modes import OrchestrationFlow, ProfilingMode
+from ..obs.events import TraceEvent
+from ..obs.export import write_chrome_trace
 from ..workloads.base import BenchmarkCase
 
 
@@ -39,6 +42,11 @@ class RunResult:
     selected: Optional[str] = None
     eager_chunks: int = 0
     profiled_launches: int = 0
+    #: Recorded trace events (empty unless the run's config set
+    #: ``ReproConfig.trace``); export with
+    #: :func:`repro.obs.export.write_chrome_trace` or
+    #: :func:`export_traces`.
+    trace: Tuple[TraceEvent, ...] = ()
 
     def relative_to(self, oracle_cycles: float) -> float:
         """Relative execution time over the oracle (lower is better)."""
@@ -71,6 +79,7 @@ def run_pure(
         elapsed_cycles=engine.now,
         valid=case.validate(args),
         selected=variant_name,
+        trace=engine.tracer.events,
     )
 
 
@@ -113,7 +122,33 @@ def run_dysel(
         selected=selected,
         eager_chunks=eager,
         profiled_launches=profiled,
+        trace=runtime.tracer.events,
     )
+
+
+def export_traces(
+    results: Mapping[str, RunResult], directory: str
+) -> Dict[str, str]:
+    """Write each traced result's Chrome trace under ``directory``.
+
+    Returns ``{strategy label: written path}``; results without recorded
+    events (tracing was off) are skipped.  This is how experiments
+    (fig8/fig9/overhead) emit per-strategy timelines: run them with a
+    config where ``trace=True``, then hand the results here — the Fig 4b
+    sync-vs-async pictures become renderable from the files.
+    """
+    os.makedirs(directory, exist_ok=True)
+    written: Dict[str, str] = {}
+    for label, result in results.items():
+        if not result.trace:
+            continue
+        safe = "".join(
+            c if c.isalnum() or c in "-_." else "_" for c in label
+        )
+        path = os.path.join(directory, f"{safe}.trace.json")
+        write_chrome_trace(result.trace, path, process_name=result.case)
+        written[label] = path
+    return written
 
 
 @dataclass

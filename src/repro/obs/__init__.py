@@ -1,0 +1,50 @@
+"""Runtime observability: structured launch events, tracing, exporters.
+
+The paper's central claim is a *timeline* claim — micro-profiling overlaps
+productive work so its overhead stays under ~5% (§2.4, §5.1) — yet
+aggregate numbers like :class:`~repro.core.runtime.LaunchResult` cannot
+show *where* cycles went inside one launch.  This package records what
+actually happened on the engine timeline:
+
+* :mod:`repro.obs.events` — the event vocabulary (``LaunchBegin``,
+  ``GateDecision``, per-variant ``ProfileSpan``, ``SelectionUpdate``,
+  ``EagerChunk``, ``RemainderBatch``, ``CacheHit``/``CacheInvalidate``,
+  plus engine-level submit/poll/wait events);
+* :mod:`repro.obs.tracer` — the :class:`Tracer` interface, a recording
+  implementation, and the zero-overhead no-op default every hot path is
+  wired to when ``ReproConfig.trace`` is off;
+* :mod:`repro.obs.export` — exporters: Chrome trace-event JSON (loadable
+  in ``chrome://tracing`` / Perfetto), a plain-text timeline, a counters
+  summary, and the :func:`~repro.obs.export.reconcile` audit that checks
+  traced cycles against a launch's ``elapsed_cycles``;
+* ``python -m repro.obs`` — trace any example pool end to end and write
+  ``trace.json`` (see :mod:`repro.obs.cli`).
+"""
+
+from .events import SPAN_KINDS, EventKind, TraceEvent
+from .export import (
+    TraceSummary,
+    chrome_trace,
+    reconcile,
+    summarize,
+    text_timeline,
+    write_chrome_trace,
+)
+from .tracer import NULL_TRACER, NullTracer, RecordingTracer, Tracer, make_tracer
+
+__all__ = [
+    "EventKind",
+    "SPAN_KINDS",
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "RecordingTracer",
+    "NULL_TRACER",
+    "make_tracer",
+    "TraceSummary",
+    "chrome_trace",
+    "write_chrome_trace",
+    "text_timeline",
+    "summarize",
+    "reconcile",
+]

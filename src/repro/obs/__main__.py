@@ -1,0 +1,5 @@
+"""``python -m repro.obs`` — trace a launch, export a Chrome trace."""
+
+from .cli import main
+
+main()

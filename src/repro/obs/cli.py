@@ -1,0 +1,180 @@
+"""Command line interface: ``python -m repro.obs``.
+
+Traces one example pool end to end: builds the pool's device, launches it
+through :class:`~repro.core.runtime.DySelRuntime` with tracing enabled,
+audits the recorded events against the launch result
+(:func:`~repro.obs.export.reconcile`), and writes a Chrome trace-event
+JSON file loadable in ``chrome://tracing`` / Perfetto.
+
+Exit status:
+
+* ``0`` — traced, reconciled, and exported;
+* ``1`` — the trace failed reconciliation (a runtime bug: traced cycles
+  or workload units do not add up to what the launch reported);
+* ``2`` — usage error (unknown pool, oversized ``--units``, ...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import Optional, Sequence
+
+from ..analyze.catalog import example_entries
+from ..config import ReproConfig
+from ..core.runtime import DySelRuntime
+from ..modes import OrchestrationFlow, ProfilingMode
+from .export import reconcile, summarize, text_timeline, write_chrome_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Trace a DySel launch and export a Chrome trace.",
+    )
+    parser.add_argument(
+        "--pool",
+        metavar="SUBSTRING",
+        help="trace the first example pool whose label contains SUBSTRING",
+    )
+    parser.add_argument(
+        "--units",
+        type=int,
+        metavar="N",
+        help="workload units to launch (default: the example's own size)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=1,
+        metavar="K",
+        help="launches to trace; iterations after the first reuse the "
+        "cached selection (profiling activation flag, paper §3.1)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=[m.value for m in ProfilingMode],
+        help="profiling mode override (default: compiler recommendation)",
+    )
+    parser.add_argument(
+        "--flow",
+        choices=[f.value for f in OrchestrationFlow],
+        default=OrchestrationFlow.ASYNC.value,
+        help="orchestration flow (default: async, the paper's default)",
+    )
+    parser.add_argument(
+        "--no-profiling",
+        action="store_true",
+        help="launch with the profiling activation flag off",
+    )
+    parser.add_argument(
+        "--out",
+        default="trace.json",
+        metavar="PATH",
+        help="Chrome trace output path (default: trace.json)",
+    )
+    parser.add_argument(
+        "--text",
+        action="store_true",
+        help="also print an ASCII timeline of the trace",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list traceable pool labels and exit",
+    )
+    return parser
+
+
+def run(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    config = dataclasses.replace(ReproConfig(), trace=True)
+    entries = example_entries(config)
+    if args.list:
+        for label, entry in entries:
+            print(
+                f"{label}  ({entry.case.pool.name}, "
+                f"{len(entry.case.pool.variants)} variants, "
+                f"{entry.case.workload_units} units, {entry.device_kind})"
+            )
+        return 0
+    if not args.pool:
+        print("--pool SUBSTRING is required (see --list)", file=sys.stderr)
+        return 2
+    matches = [
+        (label, entry) for label, entry in entries if args.pool in label
+    ]
+    if not matches:
+        print(f"no pool label contains {args.pool!r}", file=sys.stderr)
+        return 2
+    label, entry = matches[0]
+    if len(matches) > 1:
+        others = ", ".join(m[0] for m in matches[1:])
+        print(f"note: {args.pool!r} also matches {others}; tracing {label}")
+    case = entry.case
+
+    units = args.units if args.units is not None else case.workload_units
+    if units < 1:
+        print(f"--units must be >= 1, got {units}", file=sys.stderr)
+        return 2
+    if units > case.workload_units:
+        print(
+            f"--units {units} exceeds the example's buffers "
+            f"({case.workload_units} units)",
+            file=sys.stderr,
+        )
+        return 2
+
+    device = entry.make_device(config)
+    runtime = DySelRuntime(device, config)
+    runtime.register_pool(case.pool)
+    launch_args = case.fresh_args()
+    mode = ProfilingMode(args.mode) if args.mode else None
+    flow = OrchestrationFlow(args.flow)
+    result = None
+    for iteration in range(max(1, args.iterations)):
+        profiling = not args.no_profiling and iteration == 0
+        result = runtime.launch_kernel(
+            case.pool.name,
+            launch_args,
+            units,
+            profiling=profiling,
+            mode=mode,
+            flow=flow,
+        )
+    assert result is not None
+
+    events = runtime.tracer.events
+    print(f"== {label} on {device.spec.name} ==")
+    print(
+        f"selected {result.selected!r} "
+        f"({'profiled' if result.profiled else 'not profiled'}); "
+        f"{result.reason}"
+    )
+    print(summarize(events).format())
+    if args.text:
+        print()
+        print(text_timeline(events))
+
+    problems = reconcile(
+        events,
+        elapsed_cycles=result.elapsed_cycles,
+        workload_units=units,
+    )
+    write_chrome_trace(events, args.out, process_name=label)
+    print(f"\nwrote {len(events)} event(s) to {args.out}")
+    if problems:
+        print(f"FAIL: trace does not reconcile ({len(problems)} problem(s))")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("OK: trace reconciles with the launch result")
+    return 0
+
+
+def main() -> None:
+    """Console entry (exits the process)."""
+    raise SystemExit(run())

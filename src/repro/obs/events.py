@@ -1,0 +1,116 @@
+"""The trace-event vocabulary of the DySel runtime.
+
+Every event carries device-clock timestamps (cycles, the unit the whole
+simulator speaks).  Span events cover an interval on the timeline
+(``ProfileSpan``, ``EagerChunk``, ``RemainderBatch``, host waits);
+instant events mark a point (``LaunchBegin``, ``SelectionUpdate``,
+cache traffic).  ``args`` holds kind-specific structured payload — the
+exporters pass it through verbatim, so anything JSON-representable a
+call site records is visible in ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..errors import ReproError
+
+
+class TraceError(ReproError):
+    """Malformed trace event or inconsistent trace stream."""
+
+
+class EventKind(enum.Enum):
+    """What one :class:`TraceEvent` describes.
+
+    Launch-level (emitted by :class:`~repro.core.runtime.DySelRuntime`):
+
+    * ``LAUNCH_BEGIN`` / ``LAUNCH_END`` — instants bracketing one
+      ``launch_kernel`` call; ``LAUNCH_END.args`` carries the outcome.
+    * ``GATE_DECISION`` — the verifier gate resolved the requested
+      (mode, flow), possibly demoting it.
+    * ``PLAN_DEMOTION`` — an infeasible profiling plan was demoted
+      (fully → hybrid, or profiling switched off) instead of raising.
+    * ``CACHE_HIT`` / ``CACHE_INVALIDATE`` — selection-cache traffic.
+
+    Orchestration-level (emitted by :mod:`repro.core.orchestrator`):
+
+    * ``PROFILE_SPAN`` — one candidate's micro-profile, first work-group
+      start to last work-group end.
+    * ``SELECTION_UPDATE`` — the running best changed hands (or was
+      seeded) after observing one measurement.
+    * ``EAGER_CHUNK`` — one asynchronous eager chunk's execution span.
+    * ``REMAINDER_BATCH`` — the remaining workload's batch span (also
+      used for the whole-workload batch of profiling-off launches).
+
+    Engine-level (emitted by :class:`~repro.device.engine.ExecutionEngine`):
+
+    * ``TASK_SUBMIT`` — a kernel launch hit the driver.
+    * ``HOST_POLL`` — one completion query (costs host query latency).
+    * ``HOST_WAIT`` — the host blocked on a task / set of tasks.
+    * ``BARRIER`` — a device-wide synchronize.
+    """
+
+    LAUNCH_BEGIN = "launch_begin"
+    LAUNCH_END = "launch_end"
+    GATE_DECISION = "gate_decision"
+    PLAN_DEMOTION = "plan_demotion"
+    CACHE_HIT = "cache_hit"
+    CACHE_INVALIDATE = "cache_invalidate"
+    PROFILE_SPAN = "profile_span"
+    SELECTION_UPDATE = "selection_update"
+    EAGER_CHUNK = "eager_chunk"
+    REMAINDER_BATCH = "remainder_batch"
+    TASK_SUBMIT = "task_submit"
+    HOST_POLL = "host_poll"
+    HOST_WAIT = "host_wait"
+    BARRIER = "barrier"
+
+
+#: Kinds that are always spans (the rest are instants).
+SPAN_KINDS = frozenset(
+    {
+        EventKind.PROFILE_SPAN,
+        EventKind.EAGER_CHUNK,
+        EventKind.REMAINDER_BATCH,
+        EventKind.HOST_WAIT,
+        EventKind.BARRIER,
+    }
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped observation of the runtime.
+
+    ``name`` identifies the subject (kernel signature for launch-level
+    events, variant name for profiling/execution spans).  A ``None``
+    ``end_cycles`` marks an instant event.
+    """
+
+    kind: EventKind
+    name: str
+    start_cycles: float
+    end_cycles: Optional[float] = None
+    args: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.end_cycles is not None and self.end_cycles < self.start_cycles:
+            raise TraceError(
+                f"{self.kind.value} event {self.name!r} ends before it "
+                f"starts ({self.end_cycles} < {self.start_cycles})"
+            )
+
+    @property
+    def is_span(self) -> bool:
+        """Whether this event covers an interval (vs. an instant)."""
+        return self.end_cycles is not None
+
+    @property
+    def duration_cycles(self) -> float:
+        """Span length in cycles (0 for instants)."""
+        if self.end_cycles is None:
+            return 0.0
+        return self.end_cycles - self.start_cycles

@@ -1,0 +1,487 @@
+"""Exporters and audits for recorded trace events.
+
+Three renderings of the same event list:
+
+* :func:`chrome_trace` — the Chrome trace-event format (a JSON object
+  with a ``traceEvents`` array of ``B``/``E`` duration pairs and ``i``
+  instants), loadable in ``chrome://tracing`` and Perfetto.  One device
+  cycle maps to one microsecond of trace time, so zooming reads directly
+  in cycles.  Spans are packed onto non-overlapping lanes (one lane per
+  profiled variant, as many eager lanes as chunks ever overlap), which
+  keeps every lane's begin/end events properly nested.
+* :func:`text_timeline` — a fixed-width ASCII timeline for terminals and
+  logs; the Fig 4 sync-vs-async pictures, rendered from data.
+* :func:`summarize` — counters: profiling-overhead fraction, eager-chunk
+  utilization, cache hit rate, gate/plan demotions.
+
+:func:`reconcile` is the audit the CLI and tests run: it checks that a
+trace is internally consistent and that traced cycles and workload units
+sum-reconcile with what the launch reported (``LaunchResult``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .events import EventKind, TraceEvent
+
+#: Relative slack for float comparisons between event timestamps and
+#: engine clock readings.
+_REL_EPS = 1e-9
+_ABS_EPS = 1e-6
+
+
+def _close(a: float, b: float) -> bool:
+    scale = max(abs(a), abs(b), 1.0)
+    return abs(a - b) <= _ABS_EPS + _REL_EPS * scale
+
+
+# ----------------------------------------------------------------------
+# Lane layout (shared by the Chrome exporter and the text timeline)
+# ----------------------------------------------------------------------
+
+
+def _lane_group(event: TraceEvent) -> str:
+    """Which lane family an event belongs to."""
+    if event.kind is EventKind.PROFILE_SPAN:
+        return f"profile {event.name}"
+    if event.kind is EventKind.EAGER_CHUNK:
+        return "eager"
+    if event.kind is EventKind.REMAINDER_BATCH:
+        return "batch"
+    return "host"
+
+
+def assign_lanes(events: Sequence[TraceEvent]) -> List[Tuple[TraceEvent, str]]:
+    """Pack events onto named lanes so spans on one lane never overlap.
+
+    Greedy interval partitioning per lane family: a span goes to the
+    first lane of its family whose previous span has ended.  Instants all
+    share their family's first lane (they cannot overlap anything).
+    """
+    ordered = sorted(
+        events, key=lambda e: (e.start_cycles, e.end_cycles or e.start_cycles)
+    )
+    #: Per family: list of (lane name, busy-until).
+    lanes: Dict[str, List[Tuple[str, float]]] = {}
+    placed: List[Tuple[TraceEvent, str]] = []
+    for event in ordered:
+        family = _lane_group(event)
+        family_lanes = lanes.setdefault(family, [])
+        if not event.is_span:
+            if not family_lanes:
+                family_lanes.append((family, float("-inf")))
+            placed.append((event, family_lanes[0][0]))
+            continue
+        assert event.end_cycles is not None
+        for i, (name, busy_until) in enumerate(family_lanes):
+            if event.start_cycles >= busy_until - _ABS_EPS:
+                family_lanes[i] = (name, event.end_cycles)
+                placed.append((event, name))
+                break
+        else:
+            suffix = f" #{len(family_lanes)}" if family_lanes else ""
+            name = f"{family}{suffix}"
+            family_lanes.append((name, event.end_cycles))
+            placed.append((event, name))
+    return placed
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+
+
+def _json_safe(value: object) -> object:
+    """Coerce an event-args value to something JSON-serializable."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return repr(value)
+
+
+def chrome_trace(
+    events: Sequence[TraceEvent], process_name: str = "dysel"
+) -> Dict[str, object]:
+    """Render events as a Chrome trace-event JSON object.
+
+    Timestamps are device cycles, emitted as microseconds (the format's
+    native unit) so one trace-viewer microsecond is one cycle.
+    """
+    placed = assign_lanes(events)
+    lane_ids: Dict[str, int] = {}
+    trace_events: List[Dict[str, object]] = []
+    pid = 1
+    for event, lane in placed:
+        if lane not in lane_ids:
+            lane_ids[lane] = len(lane_ids)
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": lane_ids[lane],
+                    "name": "thread_name",
+                    "args": {"name": lane},
+                }
+            )
+        tid = lane_ids[lane]
+        common = {
+            "name": f"{event.kind.value}:{event.name}",
+            "cat": event.kind.value,
+            "pid": pid,
+            "tid": tid,
+        }
+        args = {k: _json_safe(v) for k, v in event.args.items()}
+        if event.is_span:
+            assert event.end_cycles is not None
+            trace_events.append(
+                {**common, "ph": "B", "ts": event.start_cycles, "args": args}
+            )
+            trace_events.append(
+                {**common, "ph": "E", "ts": event.end_cycles}
+            )
+        else:
+            trace_events.append(
+                {
+                    **common,
+                    "ph": "i",
+                    "ts": event.start_cycles,
+                    "s": "t",
+                    "args": args,
+                }
+            )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "process": process_name,
+            "time_unit": "device cycles (1 cycle = 1 us of trace time)",
+            "event_count": len(events),
+        },
+    }
+
+
+def write_chrome_trace(
+    events: Sequence[TraceEvent], path: str, process_name: str = "dysel"
+) -> None:
+    """Serialize :func:`chrome_trace` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(events, process_name), handle, indent=1)
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Text timeline
+# ----------------------------------------------------------------------
+
+
+def text_timeline(events: Sequence[TraceEvent], width: int = 72) -> str:
+    """Fixed-width ASCII rendering: one row per lane, time left to right.
+
+    Spans draw as ``[====]`` bars, instants as ``|`` ticks; the scale
+    line maps columns back to cycles.
+    """
+    if not events:
+        return "(no events)"
+    placed = assign_lanes(events)
+    t0 = min(e.start_cycles for e, _ in placed)
+    t1 = max(e.end_cycles or e.start_cycles for e, _ in placed)
+    span = max(t1 - t0, 1.0)
+
+    def col(t: float) -> int:
+        return min(width - 1, int((t - t0) / span * (width - 1)))
+
+    lanes: Dict[str, List[str]] = {}
+    order: List[str] = []
+    for event, lane in placed:
+        if lane not in lanes:
+            lanes[lane] = [" "] * width
+            order.append(lane)
+        row = lanes[lane]
+        if event.is_span:
+            assert event.end_cycles is not None
+            lo, hi = col(event.start_cycles), col(event.end_cycles)
+            row[lo] = "["
+            for i in range(lo + 1, hi):
+                row[i] = "="
+            row[hi] = "]" if hi > lo else row[lo]
+        else:
+            i = col(event.start_cycles)
+            row[i] = "|" if row[i] == " " else row[i]
+
+    label_width = max(len(name) for name in order)
+    lines = [
+        f"{name.ljust(label_width)} {''.join(lanes[name])}" for name in order
+    ]
+    lines.append(
+        f"{''.ljust(label_width)} {t0:.0f} cycles {'·' * max(0, width - 30)} "
+        f"{t1:.0f}"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Counters summary
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate counters over one trace."""
+
+    launches: int = 0
+    profiled_launches: int = 0
+    total_elapsed_cycles: float = 0.0
+    profiling_latency_cycles: float = 0.0
+    profile_spans: int = 0
+    eager_chunks: int = 0
+    eager_units: int = 0
+    remainder_units: int = 0
+    workload_units: int = 0
+    cache_hits: int = 0
+    cache_invalidations: int = 0
+    gate_demotions: int = 0
+    plan_demotions: int = 0
+    selection_updates: int = 0
+    host_polls: int = 0
+    events_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def profiling_overhead_fraction(self) -> float:
+        """Fraction of launch wall time spent before selection was final."""
+        if self.total_elapsed_cycles <= 0:
+            return 0.0
+        return self.profiling_latency_cycles / self.total_elapsed_cycles
+
+    @property
+    def eager_utilization(self) -> float:
+        """Share of the traced workload processed by eager chunks."""
+        if self.workload_units <= 0:
+            return 0.0
+        return self.eager_units / self.workload_units
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cache hits per launch."""
+        if self.launches <= 0:
+            return 0.0
+        return self.cache_hits / self.launches
+
+    def format(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"launches: {self.launches} "
+            f"({self.profiled_launches} profiled)",
+            f"elapsed: {self.total_elapsed_cycles:.0f} cycles, "
+            f"profiling latency: {self.profiling_latency_cycles:.0f} cycles "
+            f"({100 * self.profiling_overhead_fraction:.2f}% of wall)",
+            f"profile spans: {self.profile_spans}, "
+            f"selection updates: {self.selection_updates}",
+            f"eager: {self.eager_chunks} chunk(s), {self.eager_units} "
+            f"unit(s) ({100 * self.eager_utilization:.2f}% of workload)",
+            f"cache: {self.cache_hits} hit(s), "
+            f"{self.cache_invalidations} invalidation(s), hit rate "
+            f"{100 * self.cache_hit_rate:.1f}%",
+            f"demotions: {self.gate_demotions} gate, "
+            f"{self.plan_demotions} plan",
+            f"host polls: {self.host_polls}",
+        ]
+        return "\n".join(lines)
+
+
+def summarize(events: Sequence[TraceEvent]) -> TraceSummary:
+    """Fold a trace into :class:`TraceSummary` counters."""
+    summary = TraceSummary()
+    for event in events:
+        kind = event.kind
+        summary.events_by_kind[kind.value] = (
+            summary.events_by_kind.get(kind.value, 0) + 1
+        )
+        if kind is EventKind.LAUNCH_BEGIN:
+            summary.launches += 1
+            summary.workload_units += int(
+                event.args.get("workload_units", 0)  # type: ignore[arg-type]
+            )
+        elif kind is EventKind.LAUNCH_END:
+            summary.total_elapsed_cycles += float(
+                event.args.get("elapsed_cycles", 0.0)  # type: ignore[arg-type]
+            )
+            summary.profiling_latency_cycles += float(
+                event.args.get("profiling_latency_cycles", 0.0)  # type: ignore[arg-type]
+            )
+            if event.args.get("profiled"):
+                summary.profiled_launches += 1
+        elif kind is EventKind.PROFILE_SPAN:
+            summary.profile_spans += 1
+        elif kind is EventKind.EAGER_CHUNK:
+            summary.eager_chunks += 1
+            summary.eager_units += int(event.args.get("units", 0))  # type: ignore[arg-type]
+        elif kind is EventKind.REMAINDER_BATCH:
+            summary.remainder_units += int(event.args.get("units", 0))  # type: ignore[arg-type]
+        elif kind is EventKind.CACHE_HIT:
+            summary.cache_hits += 1
+        elif kind is EventKind.CACHE_INVALIDATE:
+            summary.cache_invalidations += 1
+        elif kind is EventKind.GATE_DECISION:
+            if event.args.get("demoted"):
+                summary.gate_demotions += 1
+        elif kind is EventKind.PLAN_DEMOTION:
+            summary.plan_demotions += 1
+        elif kind is EventKind.SELECTION_UPDATE:
+            summary.selection_updates += 1
+        elif kind is EventKind.HOST_POLL:
+            summary.host_polls += 1
+    return summary
+
+
+# ----------------------------------------------------------------------
+# Reconciliation audit
+# ----------------------------------------------------------------------
+
+
+def _launch_windows(
+    events: Sequence[TraceEvent],
+) -> Tuple[List[Tuple[TraceEvent, TraceEvent]], List[str]]:
+    """Pair LAUNCH_BEGIN/LAUNCH_END events, reporting mismatches."""
+    problems: List[str] = []
+    windows: List[Tuple[TraceEvent, TraceEvent]] = []
+    open_begin: Optional[TraceEvent] = None
+    for event in events:
+        if event.kind is EventKind.LAUNCH_BEGIN:
+            if open_begin is not None:
+                problems.append(
+                    f"launch {open_begin.name!r} at "
+                    f"{open_begin.start_cycles:.0f} has no LAUNCH_END before "
+                    "the next launch begins"
+                )
+            open_begin = event
+        elif event.kind is EventKind.LAUNCH_END:
+            if open_begin is None:
+                problems.append(
+                    f"LAUNCH_END for {event.name!r} at "
+                    f"{event.start_cycles:.0f} has no matching LAUNCH_BEGIN"
+                )
+                continue
+            windows.append((open_begin, event))
+            open_begin = None
+    if open_begin is not None:
+        problems.append(
+            f"launch {open_begin.name!r} at {open_begin.start_cycles:.0f} "
+            "never ended"
+        )
+    return windows, problems
+
+
+def reconcile(
+    events: Sequence[TraceEvent],
+    elapsed_cycles: Optional[float] = None,
+    workload_units: Optional[int] = None,
+) -> List[str]:
+    """Audit a trace for internal and external consistency.
+
+    Checks, per launch window (a LAUNCH_BEGIN/LAUNCH_END pair):
+
+    1. begin/end events pair up, and the window length matches the
+       ``elapsed_cycles`` the runtime reported in ``LAUNCH_END.args``;
+    2. every profile/eager/remainder span lies inside its window;
+    3. workload units sum-reconcile: productive profiling units + eager
+       units + remainder units == the launch's ``workload_units``
+       (fully-productive claims every profiled slice, the partial modes
+       claim one — paper Table 1).
+
+    With ``elapsed_cycles``/``workload_units`` given (e.g. from a
+    :class:`~repro.core.runtime.LaunchResult`), the *last* window is also
+    checked against those external numbers.  Returns a list of problem
+    strings; empty means the trace reconciles.
+    """
+    windows, problems = _launch_windows(events)
+    spans = [
+        e
+        for e in events
+        if e.kind
+        in (
+            EventKind.PROFILE_SPAN,
+            EventKind.EAGER_CHUNK,
+            EventKind.REMAINDER_BATCH,
+        )
+    ]
+    for begin, end in windows:
+        label = f"launch {begin.name!r} @{begin.start_cycles:.0f}"
+        window_elapsed = end.start_cycles - begin.start_cycles
+        reported = float(end.args.get("elapsed_cycles", window_elapsed))  # type: ignore[arg-type]
+        if not _close(window_elapsed, reported):
+            problems.append(
+                f"{label}: window spans {window_elapsed:.3f} cycles but "
+                f"LAUNCH_END reports elapsed_cycles={reported:.3f}"
+            )
+        inside = [
+            s
+            for s in spans
+            if begin.start_cycles - _ABS_EPS
+            <= s.start_cycles
+            <= end.start_cycles + _ABS_EPS
+        ]
+        for s in inside:
+            assert s.end_cycles is not None
+            if s.end_cycles > end.start_cycles + _ABS_EPS + _REL_EPS * max(
+                abs(s.end_cycles), 1.0
+            ):
+                problems.append(
+                    f"{label}: {s.kind.value} {s.name!r} ends at "
+                    f"{s.end_cycles:.3f}, after the launch end "
+                    f"{end.start_cycles:.3f}"
+                )
+
+        units = begin.args.get("workload_units")
+        if units is None:
+            continue
+        units = int(units)  # type: ignore[arg-type]
+        profile_spans = [s for s in inside if s.kind is EventKind.PROFILE_SPAN]
+        mode = end.args.get("mode")
+        if mode == "fully":
+            claimed = sum(int(s.args.get("units", 0)) for s in profile_spans)  # type: ignore[arg-type]
+        elif profile_spans:
+            # Hybrid/swap: all candidates share one slice; one contributes.
+            claimed = int(profile_spans[0].args.get("units", 0))  # type: ignore[arg-type]
+        else:
+            claimed = 0
+        eager = sum(
+            int(s.args.get("units", 0))  # type: ignore[arg-type]
+            for s in inside
+            if s.kind is EventKind.EAGER_CHUNK
+        )
+        remainder = sum(
+            int(s.args.get("units", 0))  # type: ignore[arg-type]
+            for s in inside
+            if s.kind is EventKind.REMAINDER_BATCH
+        )
+        total = claimed + eager + remainder
+        if total != units:
+            problems.append(
+                f"{label}: unit accounting mismatch — profiling claimed "
+                f"{claimed} + eager {eager} + remainder {remainder} = "
+                f"{total}, launch had {units}"
+            )
+
+    if windows and elapsed_cycles is not None:
+        begin, end = windows[-1]
+        window_elapsed = end.start_cycles - begin.start_cycles
+        if not _close(window_elapsed, elapsed_cycles):
+            problems.append(
+                f"last launch window spans {window_elapsed:.3f} cycles but "
+                f"the LaunchResult reports {elapsed_cycles:.3f}"
+            )
+    if windows and workload_units is not None:
+        begin, _ = windows[-1]
+        traced_units = begin.args.get("workload_units")
+        if traced_units is not None and int(traced_units) != workload_units:  # type: ignore[arg-type]
+            problems.append(
+                f"last launch traced workload_units={traced_units} but the "
+                f"LaunchResult covered {workload_units}"
+            )
+    return problems

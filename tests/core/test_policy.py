@@ -68,6 +68,52 @@ class TestDecide:
         assert not decision.profile
         assert decision.variant_name == "only"
 
+    def test_stale_cached_variant_falls_back_to_default(
+        self, fast_slow_pool, config
+    ):
+        """Regression: a cached winner that no longer names a pool variant
+        must not launch — fall back to the default, with the reason."""
+        cache = cached(selected="removed-by-reregistration")
+        decision = policy.decide(fast_slow_pool, 100000, False, cache, config)
+        assert not decision.profile
+        assert decision.variant_name == "fast"  # pool default
+        assert "not in the current pool" in decision.reason
+        # The stale entry is evicted, not merely ignored.
+        assert cache.lookup("axpy") is None
+
+    def test_stale_cache_small_workload_uses_default(
+        self, fast_slow_pool, config
+    ):
+        cache = cached(selected="gone")
+        decision = policy.decide(fast_slow_pool, 16, True, cache, config)
+        assert not decision.profile
+        assert decision.variant_name == "fast"
+        assert cache.lookup("axpy") is None
+
+    def test_stale_cache_emits_invalidate_event(self, fast_slow_pool, config):
+        from repro.obs import EventKind, RecordingTracer
+
+        tracer = RecordingTracer()
+        cache = cached(selected="gone")
+        policy.decide(
+            fast_slow_pool, 100000, False, cache, config, tracer, 7.0
+        )
+        (event,) = [
+            e for e in tracer.events if e.kind is EventKind.CACHE_INVALIDATE
+        ]
+        assert event.args["stale_variant"] == "gone"
+        assert event.start_cycles == 7.0
+
+    def test_cache_hit_emits_event(self, fast_slow_pool, config):
+        from repro.obs import EventKind, RecordingTracer
+
+        tracer = RecordingTracer()
+        policy.decide(fast_slow_pool, 100000, False, cached(), config, tracer)
+        (event,) = [
+            e for e in tracer.events if e.kind is EventKind.CACHE_HIT
+        ]
+        assert event.args["selected"] == "slow"
+
     def test_threshold_respects_coarsening(self, axpy_spec, config):
         """The threshold counts base work-groups (finest variant)."""
         from repro.compiler.variants import VariantPool

@@ -68,3 +68,48 @@ class TestRegistry:
         pool = registry.pool("axpy")
         assert pool.variant_names == ("fast", "slow")
         assert dict(registry.items())["axpy"].variant_names == ("fast", "slow")
+
+
+class TestReRegistration:
+    """Regression: re-registering a signature replaces the old pool."""
+
+    def test_register_pool_replaces_existing(self, axpy_spec, fast_slow_pool):
+        from repro.compiler.variants import VariantPool
+
+        registry = DySelKernelRegistry()
+        registry.register_pool(fast_slow_pool)
+        replacement = VariantPool(
+            spec=axpy_spec,
+            variants=(make_axpy_variant("v2a"), make_axpy_variant("v2b")),
+        )
+        registry.register_pool(replacement)
+        pool = registry.pool("axpy")
+        assert pool.variant_names == ("v2a", "v2b")
+        assert list(registry) == ["axpy"]
+
+    def test_replacement_resets_defaults_and_modes(self, axpy_spec, fast_slow_pool):
+        from repro.compiler.variants import VariantPool
+
+        registry = DySelKernelRegistry()
+        registry.register_pool(fast_slow_pool)
+        registry.set_mode("axpy", ProfilingMode.SWAP)
+        replacement = VariantPool(
+            spec=axpy_spec, variants=(make_axpy_variant("v2a"),)
+        )
+        registry.register_pool(replacement)
+        pool = registry.pool("axpy")
+        assert pool.initial_default == "v2a"
+        assert pool.mode is not ProfilingMode.SWAP
+
+    def test_replaced_pool_accepts_new_variants(self, axpy_spec, fast_slow_pool):
+        """The old pool's names no longer collide after replacement."""
+        from repro.compiler.variants import VariantPool
+
+        registry = DySelKernelRegistry()
+        registry.register_pool(fast_slow_pool)
+        replacement = VariantPool(
+            spec=axpy_spec, variants=(make_axpy_variant("v2a"),)
+        )
+        registry.register_pool(replacement)
+        registry.add_kernel("axpy", make_axpy_variant("fast"))
+        assert registry.pool("axpy").variant_names == ("v2a", "fast")

@@ -62,6 +62,50 @@ class TestSelectionRecord:
         assert empty.cycles_per_unit == float("inf")
 
 
+class TestTieBreaking:
+    """Regression: ties resolve by registration order, not arrival order."""
+
+    def order_record(self, order=("a", "b", "c")):
+        return SelectionRecord(
+            kernel="k",
+            mode=ProfilingMode.FULLY,
+            flow=OrchestrationFlow.SYNC,
+            variant_order=order,
+        )
+
+    def test_tie_prefers_earlier_registered_variant(self):
+        rec = self.order_record()
+        rec.observe(measurement("c", 100.0))
+        rec.observe(measurement("a", 100.0))
+        assert rec.selected == "a"
+
+    def test_tie_break_is_order_independent(self):
+        """Async completion order must not change the winner."""
+        import itertools
+
+        ties = [measurement(name, 100.0) for name in ("a", "b", "c")]
+        winners = set()
+        for perm in itertools.permutations(ties):
+            rec = self.order_record()
+            for m in perm:
+                rec.observe(m)
+            winners.add(rec.selected)
+        assert winners == {"a"}
+
+    def test_strictly_faster_still_wins(self):
+        rec = self.order_record()
+        rec.observe(measurement("a", 100.0))
+        rec.observe(measurement("c", 50.0))
+        assert rec.selected == "c"
+
+    def test_without_order_first_observation_wins(self):
+        """Legacy behaviour when no registration order is attached."""
+        rec = record()
+        rec.observe(measurement("c", 100.0))
+        rec.observe(measurement("a", 100.0))
+        assert rec.selected == "c"
+
+
 class TestSelectionCache:
     def test_record_and_lookup(self):
         cache = SelectionCache()

@@ -1,0 +1,1 @@
+"""Tests for the runtime observability subsystem (repro.obs)."""

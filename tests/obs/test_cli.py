@@ -1,0 +1,58 @@
+"""CLI tests: ``python -m repro.obs`` traces, reconciles, and exports."""
+
+import json
+
+from repro.obs.cli import run
+
+POOL = "spmv-csr/input-dependent"
+
+
+class TestRun:
+    def test_traces_example_pool_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        status = run(["--pool", POOL, "--out", str(out)])
+        assert status == 0
+        captured = capsys.readouterr().out
+        assert "OK: trace reconciles" in captured
+        loaded = json.loads(out.read_text())
+        assert loaded["traceEvents"]
+        assert loaded["otherData"]["process"] == POOL
+
+    def test_iterations_reuse_cached_selection(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        status = run(
+            ["--pool", POOL, "--iterations", "3", "--out", str(out)]
+        )
+        assert status == 0
+        captured = capsys.readouterr().out
+        assert "cache: 2 hit(s)" in captured
+
+    def test_units_override(self, tmp_path):
+        out = tmp_path / "trace.json"
+        status = run(["--pool", POOL, "--units", "256", "--out", str(out)])
+        assert status == 0
+        assert out.exists()
+
+    def test_text_timeline_printed(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        status = run(["--pool", POOL, "--text", "--out", str(out)])
+        assert status == 0
+        assert "host" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert run(["--list"]) == 0
+        assert POOL in capsys.readouterr().out
+
+
+class TestUsageErrors:
+    def test_unknown_pool(self, capsys):
+        assert run(["--pool", "no-such-pool"]) == 2
+        assert "no pool label" in capsys.readouterr().err
+
+    def test_missing_pool_flag(self, capsys):
+        assert run([]) == 2
+        assert "--pool" in capsys.readouterr().err
+
+    def test_oversized_units(self, capsys):
+        assert run(["--pool", POOL, "--units", "999999"]) == 2
+        assert "exceeds" in capsys.readouterr().err

@@ -1,0 +1,179 @@
+"""End-to-end traces of real launches reconcile with their results."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import ReproConfig
+from repro.core.runtime import DySelRuntime
+from repro.device import make_cpu
+from repro.harness.runner import RunResult, export_traces
+from repro.modes import OrchestrationFlow, ProfilingMode
+from repro.obs import NULL_TRACER, EventKind, reconcile
+from tests.conftest import make_axpy_args
+
+UNITS = 256
+
+
+@pytest.fixture
+def traced_runtime(fast_slow_pool):
+    config = dataclasses.replace(ReproConfig(), trace=True)
+    runtime = DySelRuntime(make_cpu(config), config)
+    runtime.register_pool(fast_slow_pool)
+    return runtime
+
+
+def launch(runtime, **kwargs):
+    config = runtime.config
+    args = make_axpy_args(UNITS, config)
+    return runtime.launch_kernel("axpy", args, UNITS, **kwargs)
+
+
+class TestSyncFully:
+    def test_trace_reconciles_with_result(self, traced_runtime):
+        result = launch(
+            traced_runtime,
+            mode=ProfilingMode.FULLY,
+            flow=OrchestrationFlow.SYNC,
+        )
+        assert result.profiled
+        events = traced_runtime.tracer.events
+        problems = reconcile(
+            events,
+            elapsed_cycles=result.elapsed_cycles,
+            workload_units=UNITS,
+        )
+        assert problems == []
+
+    def test_expected_event_kinds_present(self, traced_runtime, fast_slow_pool):
+        result = launch(
+            traced_runtime,
+            mode=ProfilingMode.FULLY,
+            flow=OrchestrationFlow.SYNC,
+        )
+        events = traced_runtime.tracer.events
+        kinds = {e.kind for e in events}
+        assert {
+            EventKind.LAUNCH_BEGIN,
+            EventKind.GATE_DECISION,
+            EventKind.PROFILE_SPAN,
+            EventKind.SELECTION_UPDATE,
+            EventKind.REMAINDER_BATCH,
+            EventKind.LAUNCH_END,
+        } <= kinds
+        profiled = {
+            e.name for e in events if e.kind is EventKind.PROFILE_SPAN
+        }
+        assert profiled == set(fast_slow_pool.variant_names)
+        begin = next(e for e in events if e.kind is EventKind.LAUNCH_BEGIN)
+        end = next(e for e in events if e.kind is EventKind.LAUNCH_END)
+        assert begin.start_cycles == result.start_cycles
+        assert end.start_cycles == result.end_cycles
+        assert end.args["selected"] == result.selected
+
+    def test_profile_spans_carry_measurements(self, traced_runtime):
+        launch(
+            traced_runtime,
+            mode=ProfilingMode.FULLY,
+            flow=OrchestrationFlow.SYNC,
+        )
+        spans = [
+            e
+            for e in traced_runtime.tracer.events
+            if e.kind is EventKind.PROFILE_SPAN
+        ]
+        for span in spans:
+            assert span.args["measured_cycles"] > 0
+            assert span.args["units"] > 0
+            assert span.duration_cycles > 0
+
+
+class TestAsync:
+    @pytest.mark.parametrize(
+        "mode", [ProfilingMode.FULLY, ProfilingMode.HYBRID]
+    )
+    def test_trace_reconciles_with_result(self, traced_runtime, mode):
+        result = launch(
+            traced_runtime, mode=mode, flow=OrchestrationFlow.ASYNC
+        )
+        assert result.profiled
+        events = traced_runtime.tracer.events
+        problems = reconcile(
+            events,
+            elapsed_cycles=result.elapsed_cycles,
+            workload_units=UNITS,
+        )
+        assert problems == []
+        eager_events = [
+            e for e in events if e.kind is EventKind.EAGER_CHUNK
+        ]
+        assert len(eager_events) == result.eager_chunks
+        assert (
+            sum(e.args["units"] for e in eager_events) == result.eager_units
+        )
+
+
+class TestCachedLaunches:
+    def test_second_launch_hits_cache(self, traced_runtime):
+        first = launch(traced_runtime, flow=OrchestrationFlow.SYNC)
+        second = launch(
+            traced_runtime, profiling=False, flow=OrchestrationFlow.SYNC
+        )
+        assert not second.profiled
+        assert second.selected == first.selected
+        events = traced_runtime.tracer.events
+        hits = [e for e in events if e.kind is EventKind.CACHE_HIT]
+        assert len(hits) == 1
+        assert hits[0].args["selected"] == first.selected
+        # Both windows (profiled + cached) must still reconcile.
+        problems = reconcile(
+            events,
+            elapsed_cycles=second.elapsed_cycles,
+            workload_units=UNITS,
+        )
+        assert problems == []
+
+    def test_unprofiled_launch_traces_whole_batch(self, traced_runtime):
+        result = launch(
+            traced_runtime, profiling=False, flow=OrchestrationFlow.SYNC
+        )
+        assert not result.profiled
+        events = traced_runtime.tracer.events
+        batches = [
+            e for e in events if e.kind is EventKind.REMAINDER_BATCH
+        ]
+        assert len(batches) == 1
+        assert batches[0].args["units"] == UNITS
+        assert reconcile(events, result.elapsed_cycles, UNITS) == []
+
+
+class TestTraceOff:
+    def test_no_events_recorded(self, cpu, config, fast_slow_pool):
+        runtime = DySelRuntime(cpu, config)
+        runtime.register_pool(fast_slow_pool)
+        result = launch(runtime, flow=OrchestrationFlow.SYNC)
+        assert result.profiled
+        assert runtime.tracer is NULL_TRACER
+        assert runtime.tracer.events == ()
+
+
+class TestHarnessExport:
+    def test_export_traces_writes_traced_results(
+        self, traced_runtime, tmp_path
+    ):
+        launch(traced_runtime, flow=OrchestrationFlow.SYNC)
+        traced = RunResult(
+            case="axpy",
+            strategy="dysel:sync",
+            elapsed_cycles=traced_runtime.engine.now,
+            valid=True,
+            trace=traced_runtime.tracer.events,
+        )
+        untraced = RunResult(
+            case="axpy", strategy="pure:fast", elapsed_cycles=1.0, valid=True
+        )
+        written = export_traces(
+            {"dysel:sync": traced, "pure:fast": untraced}, str(tmp_path)
+        )
+        assert set(written) == {"dysel:sync"}
+        assert (tmp_path / "dysel_sync.trace.json").exists()

@@ -1,0 +1,110 @@
+"""Unit tests for tracer plumbing: no-op default, recording, engine wiring."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import ReproConfig
+from repro.device import make_cpu
+from repro.device.engine import ExecutionEngine, Priority
+from repro.kernel.kernel import WorkRange
+from repro.obs import (
+    NULL_TRACER,
+    EventKind,
+    NullTracer,
+    RecordingTracer,
+    TraceEvent,
+    make_tracer,
+)
+from repro.obs.events import TraceError
+from tests.conftest import make_axpy_args, make_axpy_variant
+
+
+@pytest.fixture
+def traced_config() -> ReproConfig:
+    return dataclasses.replace(ReproConfig(), trace=True)
+
+
+class TestEvents:
+    def test_instant_and_span_properties(self):
+        instant = TraceEvent(EventKind.LAUNCH_BEGIN, "k", 10.0)
+        assert not instant.is_span
+        assert instant.duration_cycles == 0.0
+        span = TraceEvent(EventKind.PROFILE_SPAN, "v", 10.0, 35.0)
+        assert span.is_span
+        assert span.duration_cycles == 25.0
+
+    def test_backwards_span_rejected(self):
+        with pytest.raises(TraceError):
+            TraceEvent(EventKind.PROFILE_SPAN, "v", 10.0, 5.0)
+
+
+class TestTracers:
+    def test_null_tracer_drops_everything(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        tracer.instant(EventKind.LAUNCH_BEGIN, "k", 0.0)
+        tracer.span(EventKind.PROFILE_SPAN, "v", 0.0, 1.0)
+        assert tracer.events == ()
+
+    def test_recording_tracer_collects_in_order(self):
+        tracer = RecordingTracer()
+        assert tracer.enabled
+        tracer.instant(EventKind.LAUNCH_BEGIN, "k", 0.0, workload_units=8)
+        tracer.span(EventKind.PROFILE_SPAN, "v", 1.0, 2.0, units=4)
+        events = tracer.events
+        assert [e.kind for e in events] == [
+            EventKind.LAUNCH_BEGIN,
+            EventKind.PROFILE_SPAN,
+        ]
+        assert events[0].args["workload_units"] == 8
+        assert events[1].args["units"] == 4
+        tracer.clear()
+        assert tracer.events == ()
+
+    def test_make_tracer_follows_config(self, config, traced_config):
+        assert make_tracer(config) is NULL_TRACER
+        assert isinstance(make_tracer(traced_config), RecordingTracer)
+        assert make_tracer(None) is NULL_TRACER
+
+
+class TestEngineWiring:
+    def test_trace_off_uses_shared_null_tracer(self, cpu):
+        engine = ExecutionEngine(cpu)
+        assert engine.tracer is NULL_TRACER
+
+    def test_submit_poll_wait_emit_events(self, traced_config):
+        cpu = make_cpu(traced_config)
+        engine = ExecutionEngine(cpu, traced_config)
+        args = make_axpy_args(32, traced_config)
+        variant = make_axpy_variant("v")
+        task = engine.submit(
+            variant, args, WorkRange(0, 32), priority=Priority.BATCH
+        )
+        engine.poll(task)
+        engine.wait(task)
+        engine.barrier()
+        kinds = [e.kind for e in engine.tracer.events]
+        assert kinds[0] == EventKind.TASK_SUBMIT
+        assert EventKind.HOST_POLL in kinds
+        assert EventKind.HOST_WAIT in kinds
+        assert kinds[-1] == EventKind.BARRIER
+        submit = engine.tracer.events[0]
+        assert submit.name == "v"
+        assert submit.args["units"] == 32
+        assert submit.args["priority"] == "batch"
+
+    def test_task_span_records_execution_interval(self, traced_config):
+        cpu = make_cpu(traced_config)
+        engine = ExecutionEngine(cpu, traced_config)
+        args = make_axpy_args(16, traced_config)
+        task = engine.submit(make_axpy_variant("v"), args, WorkRange(0, 16))
+        engine.wait(task)
+        tracer = engine.tracer
+        tracer.clear()
+        tracer.task_span(EventKind.REMAINDER_BATCH, "v", task)
+        (event,) = tracer.events
+        assert event.start_cycles == task.first_start
+        assert event.end_cycles == task.last_end
+        assert event.args["units"] == 16
+        assert event.args["work_groups"] == task.total_work_groups
