@@ -1,0 +1,224 @@
+"""Serving benchmark: concurrent throughput and warm-start profiling cost.
+
+Measures the two headline serving claims on the simulated substrate and
+writes them to ``BENCH_serve.json``:
+
+1. **Concurrent throughput** — a batch of mixed spmv requests served by 8
+   client threads over a 4-device fleet vs the same batch serialized
+   through a single device.  Time is *simulated cycles* (the fleet
+   makespan: the furthest-advanced device clock), so the speedup reflects
+   the scheduler's multi-device multiplexing, not host thread scheduling.
+2. **Warm persistent cache** — the same traffic replayed against a store
+   saved by the cold run.  Warm serving pins the persisted winner per
+   workload class, so micro-profiling cycles should all but vanish.
+
+Run ``python benchmarks/bench_serve.py --quick`` for CI-sized inputs, or
+without ``--quick`` for the calibrated sizes recorded in EXPERIMENTS.md.
+Exits non-zero when an acceptance threshold (3x throughput, 90% profiling
+reduction) is missed, so CI fails loudly instead of shipping a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from typing import Dict, List
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.config import ReproConfig  # noqa: E402
+from repro.device import make_cpu  # noqa: E402
+from repro.serve import (  # noqa: E402
+    LaunchScheduler,
+    SelectionStore,
+    ServeRequest,
+)
+from repro.workloads import spmv_csr  # noqa: E402
+
+#: Acceptance thresholds (mirrored in EXPERIMENTS.md).
+MIN_SPEEDUP = 3.0
+MIN_PROFILING_REDUCTION = 0.90
+
+FLEET_DEVICES = 4
+CLIENTS = 8
+
+
+def build_traffic(size: int, requests: int, config: ReproConfig):
+    """Mixed-class spmv traffic: half random-matrix, half diagonal.
+
+    The two matrix kinds land in different input-aware workload classes
+    (density/regularity buckets), so a correct scheduler profiles each
+    class once and reuses the winner for the rest — the paper's Fig 11
+    crossover replayed as serving traffic.
+    """
+    cases = [
+        spmv_csr.input_dependent_case("cpu", kind, size, config)
+        for kind in ("random", "diagonal")
+    ]
+    batch: List[ServeRequest] = []
+    checks = []
+    for i in range(requests):
+        case = cases[i % len(cases)]
+        args = case.fresh_args()
+        batch.append(
+            ServeRequest(
+                kernel=case.pool.name,
+                args=args,
+                workload_units=case.workload_units,
+            )
+        )
+        checks.append((case, args))
+    return cases, batch, checks
+
+
+def serve(cases, batch, checks, devices: int, clients: int, store=None):
+    """Serve one batch and return the scheduler (validating every output)."""
+    fleet = tuple(make_cpu() for _ in range(devices))
+    scheduler = LaunchScheduler(fleet, store=store)
+    # Both matrix kinds share one kernel signature; register its pool
+    # once (a second registration is a replacement and would — correctly
+    # — invalidate the warm store).
+    registered = set()
+    for case in cases:
+        if case.pool.name not in registered:
+            scheduler.register_pool(case.pool)
+            registered.add(case.pool.name)
+    scheduler.serve_all(batch, clients=clients)
+    for case, args in checks:
+        if not case.validate(args):
+            raise SystemExit(f"served output failed validation: {case.name}")
+    return scheduler
+
+
+def run_benchmark(quick: bool) -> Dict[str, object]:
+    """Run both scenarios and return the BENCH_serve.json document."""
+    config = ReproConfig()
+    size = 2048 if quick else 8192
+    requests = 32 if quick else 64
+
+    # Scenario 1: serialized single device vs concurrent fleet.
+    cases, batch, checks = build_traffic(size, requests, config)
+    serial = serve(cases, batch, checks, devices=1, clients=1)
+    serial_cycles = serial.makespan_cycles()
+
+    cases, batch, checks = build_traffic(size, requests, config)
+    fleet = serve(cases, batch, checks, devices=FLEET_DEVICES, clients=CLIENTS)
+    fleet_cycles = fleet.makespan_cycles()
+    speedup = serial_cycles / fleet_cycles if fleet_cycles > 0 else 0.0
+
+    # Scenario 2: cold store vs a warm store persisted by the cold run.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "selections.json")
+        fleet.store.save(path)
+        cases, batch, checks = build_traffic(size, requests, config)
+        warm = serve(
+            cases,
+            batch,
+            checks,
+            devices=FLEET_DEVICES,
+            clients=CLIENTS,
+            store=SelectionStore.load(path),
+        )
+
+    cold_profile_cycles = fleet.stats.profiling_latency_cycles
+    warm_profile_cycles = warm.stats.profiling_latency_cycles
+    reduction = (
+        1.0 - warm_profile_cycles / cold_profile_cycles
+        if cold_profile_cycles > 0
+        else 0.0
+    )
+
+    return {
+        "benchmark": "serve",
+        "quick": quick,
+        "workload": {
+            "kernel": "spmv-csr (scalar/vector x DFO/BFO)",
+            "matrix_size": size,
+            "matrix_kinds": ["random", "diagonal"],
+            "requests": requests,
+            "workload_classes": len(fleet.store),
+        },
+        "throughput": {
+            "serialized_devices": 1,
+            "serialized_clients": 1,
+            "serialized_cycles": serial_cycles,
+            "fleet_devices": FLEET_DEVICES,
+            "fleet_clients": CLIENTS,
+            "fleet_makespan_cycles": fleet_cycles,
+            "speedup": speedup,
+            "per_device_requests": fleet.stats.per_device,
+        },
+        "warm_cache": {
+            "cold_profiled_launches": fleet.stats.profiled_launches,
+            "warm_profiled_launches": warm.stats.profiled_launches,
+            "cold_profiling_cycles": cold_profile_cycles,
+            "warm_profiling_cycles": warm_profile_cycles,
+            "profiling_cycle_reduction": reduction,
+            "cold_store_hits": fleet.stats.store_hits,
+            "warm_store_hits": warm.stats.store_hits,
+            "warm_profile_rate": warm.stats.profile_rate,
+        },
+        "acceptance": {
+            "throughput_speedup_min": MIN_SPEEDUP,
+            "throughput_speedup_ok": speedup >= MIN_SPEEDUP,
+            "profiling_reduction_min": MIN_PROFILING_REDUCTION,
+            "profiling_reduction_ok": reduction >= MIN_PROFILING_REDUCTION,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized inputs (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_serve.json",
+        help="where to write the results document",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_benchmark(quick=args.quick)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    throughput = doc["throughput"]
+    warm = doc["warm_cache"]
+    print(f"serve benchmark ({'quick' if args.quick else 'full'} inputs)")
+    print(
+        f"  throughput : {throughput['serialized_cycles']:.0f} cycles "
+        f"serialized -> {throughput['fleet_makespan_cycles']:.0f} fleet "
+        f"makespan = {throughput['speedup']:.2f}x "
+        f"({throughput['fleet_clients']} clients, "
+        f"{throughput['fleet_devices']} devices)"
+    )
+    print(
+        f"  warm cache : profiling {warm['cold_profiling_cycles']:.0f} -> "
+        f"{warm['warm_profiling_cycles']:.0f} cycles "
+        f"({100 * warm['profiling_cycle_reduction']:.1f}% reduction, "
+        f"{warm['warm_store_hits']} store hits)"
+    )
+    print(f"  written    : {args.output}")
+
+    acceptance = doc["acceptance"]
+    ok = (
+        acceptance["throughput_speedup_ok"]
+        and acceptance["profiling_reduction_ok"]
+    )
+    if not ok:
+        print("  ACCEPTANCE FAILED", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

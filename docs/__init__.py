@@ -1,0 +1,6 @@
+"""Project documentation and its build/link checker.
+
+The markdown pages live next to this file (``api.md``,
+``architecture.md``, ``serving.md``); ``python -m docs.check`` validates
+them — see :mod:`docs.check`.
+"""

@@ -1,0 +1,140 @@
+"""Documentation build/link checker: ``python -m docs.check``.
+
+Validates the docs tree (and README.md) without a network connection:
+
+1. **Relative links resolve** — every ``[text](target)`` whose target is
+   not ``http(s)://`` must point at an existing file (anchors stripped).
+2. **Anchors exist** — in-page and cross-page ``#fragment`` links must
+   match a heading in the target markdown file (GitHub-style slugs).
+3. **Code references are live** — every backticked dotted name starting
+   with ``repro.`` must import (module) or resolve (attribute chain), so
+   the docs cannot drift from the API they describe.
+
+Exits non-zero listing every problem; CI runs this next to the test
+suite.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import re
+import sys
+from typing import Dict, List, Set, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOCS_DIR = os.path.join(REPO_ROOT, "docs")
+
+#: Markdown files checked, relative to the repository root.
+PAGES = (
+    "README.md",
+    "docs/api.md",
+    "docs/architecture.md",
+    "docs/serving.md",
+)
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$", re.MULTILINE)
+_CODE_REF_RE = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+)`")
+_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a markdown heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # code spans keep content
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(markdown: str) -> Set[str]:
+    """All anchor slugs a markdown document exposes."""
+    slugs: Dict[str, int] = {}
+    out: Set[str] = set()
+    for match in _HEADING_RE.finditer(_FENCE_RE.sub("", markdown)):
+        slug = github_slug(match.group(2))
+        n = slugs.get(slug, 0)
+        out.add(slug if n == 0 else f"{slug}-{n}")
+        slugs[slug] = n + 1
+    return out
+
+
+def check_links(page: str, text: str) -> List[str]:
+    """Problems with one page's markdown links."""
+    problems: List[str] = []
+    page_dir = os.path.dirname(os.path.join(REPO_ROOT, page))
+    for target in _LINK_RE.findall(_FENCE_RE.sub("", text)):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = os.path.normpath(os.path.join(page_dir, path_part))
+            if not os.path.exists(resolved):
+                problems.append(f"{page}: broken link -> {target}")
+                continue
+        else:
+            resolved = os.path.join(REPO_ROOT, page)
+        if anchor and resolved.endswith(".md"):
+            with open(resolved, encoding="utf-8") as handle:
+                if anchor not in heading_slugs(handle.read()):
+                    problems.append(f"{page}: missing anchor -> {target}")
+    return problems
+
+
+def check_code_refs(page: str, text: str) -> List[str]:
+    """Problems with one page's backticked ``repro.*`` references."""
+    problems: List[str] = []
+    for ref in sorted(set(_CODE_REF_RE.findall(text))):
+        if not _resolves(ref):
+            problems.append(f"{page}: dead code reference -> `{ref}`")
+    return problems
+
+
+def _resolves(dotted: str) -> bool:
+    """Whether a dotted name imports as a module or attribute chain."""
+    parts = dotted.split(".")
+    for split in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:split])
+        try:
+            obj = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        try:
+            for attr in parts[split:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def run() -> Tuple[int, List[str]]:
+    """Check every page; returns (pages checked, problems)."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    problems: List[str] = []
+    checked = 0
+    for page in PAGES:
+        path = os.path.join(REPO_ROOT, page)
+        if not os.path.exists(path):
+            problems.append(f"{page}: page missing")
+            continue
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        problems += check_links(page, text)
+        problems += check_code_refs(page, text)
+        checked += 1
+    return checked, problems
+
+
+def main() -> int:
+    """CLI entry point; returns a process exit code."""
+    checked, problems = run()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    status = "FAILED" if problems else "ok"
+    print(f"docs check: {checked} pages, {len(problems)} problems ({status})")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,6 +43,12 @@ from .core import (
 from .device import ExecutionEngine, make_cpu, make_gpu
 from .errors import ReproError, VerificationError
 from .modes import OrchestrationFlow, ProfilingMode
+from .serve import (
+    LaunchScheduler,
+    SelectionStore,
+    ServeRequest,
+    WorkloadSignature,
+)
 
 __version__ = "1.0.0"
 
@@ -54,13 +60,17 @@ __all__ = [
     "DySelRuntime",
     "ExecutionEngine",
     "LaunchResult",
+    "LaunchScheduler",
     "NoiseModel",
     "OrchestrationFlow",
     "PoolVerifier",
     "ProfilingMode",
     "ReproConfig",
     "ReproError",
+    "SelectionStore",
+    "ServeRequest",
     "Severity",
+    "WorkloadSignature",
     "VerificationError",
     "VerificationReport",
     "VerifyOverrides",

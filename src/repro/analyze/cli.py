@@ -31,6 +31,7 @@ from .passes import VerifyOverrides
 def _parse_combo(
     mode: Optional[str], flow: Optional[str]
 ) -> Optional[Tuple[ProfilingMode, OrchestrationFlow]]:
+    """Resolve --mode/--flow flags into one combo (both or neither)."""
     if mode is None and flow is None:
         return None
     if mode is None or flow is None:

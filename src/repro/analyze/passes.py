@@ -123,6 +123,7 @@ class ModeEligibilityPass(VerifierPass):
     name = "mode-eligibility"
 
     def run(self, ctx: PoolContext) -> Iterable[Diagnostic]:
+        """Emit side-effect and uniformity mode restrictions."""
         side = analyze_side_effects(ctx.irs)
         for finding in side.findings:
             rule, hint = {
@@ -182,6 +183,7 @@ class AsyncLegalityPass(VerifierPass):
     name = "async-legality"
 
     def run(self, ctx: PoolContext) -> Iterable[Diagnostic]:
+        """Emit the flow restrictions (swap is sync-only, &c)."""
         yield Diagnostic(
             rule_id="DYSEL-ASYNC-001",
             severity=Severity.ERROR,
@@ -217,6 +219,7 @@ class SandboxCapacityPass(VerifierPass):
     name = "sandbox-capacity"
 
     def run(self, ctx: PoolContext) -> Iterable[Diagnostic]:
+        """Check sandbox coverage against what the variants write."""
         pool = ctx.pool
         declared_outputs = set(pool.spec.signature.output_names)
         sandboxed = set(pool.spec.effective_sandbox_outputs)
@@ -265,6 +268,7 @@ class SignatureConsistencyPass(VerifierPass):
     name = "signature-consistency"
 
     def run(self, ctx: PoolContext) -> Iterable[Diagnostic]:
+        """Check cross-variant signature/footprint consistency."""
         pool = ctx.pool
         declared_outputs = set(pool.spec.signature.output_names)
         declared_args = {a.name for a in pool.spec.signature.args}
@@ -402,6 +406,7 @@ class SafePointPass(VerifierPass):
     name = "safe-point"
 
     def run(self, ctx: PoolContext) -> Iterable[Diagnostic]:
+        """Check fair-slice feasibility of the profiling plan."""
         pool = ctx.pool
         k = len(pool.variants)
         if k == 1:
@@ -469,6 +474,7 @@ class WriteSetRacePass(VerifierPass):
     name = "write-set-race"
 
     def run(self, ctx: PoolContext) -> Iterable[Diagnostic]:
+        """Flag cross-work-group write races between variants."""
         pool = ctx.pool
         k = len(pool.variants)
         triggers: List[Tuple[str, str, bool]] = []  # (variant, why, atomic?)

@@ -86,6 +86,7 @@ def _submit_profiling(
 def _measurement(
     plan: ProfilingPlan, name: str, handle: TaskHandle
 ) -> VariantMeasurement:
+    """Build a measurement from one finished profiling task."""
     if handle.measured is None:
         raise ProfilingError(
             f"profiling task for {name!r} finished without a measurement"

@@ -76,20 +76,38 @@ def decide(
     config: ReproConfig,
     tracer: Tracer = NULL_TRACER,
     now: float = 0.0,
+    pinned_variant: Optional[str] = None,
 ) -> LaunchDecision:
     """Resolve the profiling decision for one launch.
 
-    Precedence: an explicit ``profiling=False`` wins (use the cached
-    selection if one exists *and still names a pool variant*, else the
-    pool's default); a cached selection is reused only when the caller
-    deactivated profiling — re-requesting profiling re-profiles, which is
-    how callers handle changed inputs; a small workload deactivates
-    profiling regardless.
+    Precedence: an explicit ``profiling=False`` wins (use the pinned
+    variant if given, else the cached selection if one exists *and still
+    names a pool variant*, else the pool's default); a cached selection is
+    reused only when the caller deactivated profiling — re-requesting
+    profiling re-profiles, which is how callers handle changed inputs; a
+    small workload deactivates profiling regardless.
+
+    ``pinned_variant`` is the serving layer's instruction (persistent
+    selection store, :mod:`repro.serve`): run exactly this variant without
+    profiling.  It is validated against the current pool like a cached
+    selection — a pinned name the pool no longer contains is ignored with
+    an explicit reason rather than launched blind.
 
     ``tracer``/``now`` report cache traffic to :mod:`repro.obs` when
     tracing is on (``now`` is the engine clock at decision time).
     """
     cached, stale_note = _validated_cached(pool, cache, tracer, now)
+    if pinned_variant is not None and not profiling_requested:
+        if pinned_variant in pool.variant_names:
+            return LaunchDecision(
+                profile=False,
+                variant_name=pinned_variant,
+                reason="profiling deactivated; pinned selection reused",
+            )
+        stale_note += (
+            f"pinned selection {pinned_variant!r} is not in the current "
+            f"pool (variants: {list(pool.variant_names)}); "
+        )
     if not profiling_requested:
         if cached is not None:
             if tracer.enabled:

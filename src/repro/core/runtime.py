@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Mapping, Optional, Tuple
+from typing import Callable, List, Mapping, Optional, Tuple
 
 from ..analyze.diagnostics import VerificationReport
 from ..analyze.gate import gate_launch
@@ -104,6 +104,24 @@ class DySelRuntime:
         #: Observability hook: shared with the engine, so launch-level
         #: and engine-level events land on one timeline.
         self.tracer = self.engine.tracer
+        #: Callbacks fired whenever a registration change invalidates a
+        #: kernel's selection state (``callback(kernel_sig, why)``).  The
+        #: serving layer registers one per runtime so persistent-store
+        #: entries die together with the in-memory cache entry.
+        self._invalidation_hooks: List[Callable[[str, str], None]] = []
+
+    def add_invalidation_hook(
+        self, hook: Callable[[str, str], None]
+    ) -> None:
+        """Subscribe to selection invalidations (``hook(kernel, why)``).
+
+        Fired on every registration change that can stale derived
+        selection state — pool extension via :meth:`add_kernel` and
+        wholesale re-registration via :meth:`register_pool` — whether or
+        not this runtime's own in-memory cache held an entry (an external
+        store may hold selections this runtime never made).
+        """
+        self._invalidation_hooks.append(hook)
 
     # ------------------------------------------------------------------
     # Registration facade
@@ -134,13 +152,25 @@ class DySelRuntime:
 
         Re-registering a signature replaces the previous pool (see
         :meth:`DySelKernelRegistry.register_pool`) and invalidates its
-        cached selection.
+        cached selection.  A *first* registration invalidates nothing:
+        selections loaded from a persistent store must survive the
+        routine pool registration that every serving process performs at
+        startup.
         """
+        replacing = pool.name in self.registry
         self.registry.register_pool(pool)
-        self._invalidate_selection(pool.name, "pool re-registered")
+        if replacing:
+            self._invalidate_selection(pool.name, "pool re-registered")
 
     def _invalidate_selection(self, kernel_sig: str, why: str) -> None:
-        """Evict a kernel's cached selection after a registration change."""
+        """Evict a kernel's cached selection after a registration change.
+
+        Invalidation hooks fire unconditionally (external stores may hold
+        selections this runtime never cached); the in-memory eviction and
+        its trace event only happen when there was an entry to evict.
+        """
+        for hook in self._invalidation_hooks:
+            hook(kernel_sig, why)
         if kernel_sig not in self.cache:
             return
         stale = self.cache.lookup(kernel_sig)
@@ -168,6 +198,8 @@ class DySelRuntime:
         flow: OrchestrationFlow = OrchestrationFlow.ASYNC,
         initial_variant: Optional[str] = None,
         override_side_effects: bool = False,
+        pinned_variant: Optional[str] = None,
+        stream_name: Optional[str] = None,
     ) -> LaunchResult:
         """Launch a kernel (``DySelLaunchKernel``, Fig 6b).
 
@@ -195,6 +227,15 @@ class DySelRuntime:
             atomics are race-free across work-groups, downgrading the
             verifier's conservative atomics findings from ERROR to
             WARNING so fully/hybrid profiling stays available.
+        pinned_variant:
+            With ``profiling=False``, run exactly this variant (the
+            serving layer's persisted-selection replay); validated
+            against the current pool before use.
+        stream_name:
+            Stream to attribute a profiling-off batch submission to (the
+            serving layer tags each admitted request with its leased
+            stream so traces show per-request queues).  Profiled launches
+            manage their own per-candidate streams and ignore this.
         """
         if kernel_sig not in self.registry:
             raise LaunchError(f"kernel {kernel_sig!r} is not registered")
@@ -223,9 +264,12 @@ class DySelRuntime:
             self.config,
             tracer,
             self.engine.now,
+            pinned_variant=pinned_variant,
         )
         if not decision.profile:
-            return self._launch_without_profiling(pool, launch, decision)
+            return self._launch_without_profiling(
+                pool, launch, decision, stream_name=stream_name
+            )
 
         effective_mode = mode if mode is not None else pool.mode
         assert effective_mode is not None
@@ -309,6 +353,7 @@ class DySelRuntime:
                     variant_name=pool.initial_default,
                     reason=reason + "; " + note,
                 ),
+                stream_name=stream_name,
             )
         plan, effective_mode, effective_flow, demotion_note = planned
         if demotion_note:
@@ -441,6 +486,7 @@ class DySelRuntime:
         return None
 
     def _warn_demotion(self, kernel: str, note: str) -> None:
+        """Emit the profiling-demotion warning for one launch."""
         warnings.warn(
             f"kernel {kernel!r}: {note}. The launch continues; set a "
             "larger workload or a smaller safe_point_multiplier to keep "
@@ -454,7 +500,9 @@ class DySelRuntime:
         pool: VariantPool,
         launch: LaunchConfig,
         decision: policy.LaunchDecision,
+        stream_name: Optional[str] = None,
     ) -> LaunchResult:
+        """Run the decided variant over the whole workload in one batch."""
         assert decision.variant_name is not None
         variant = pool.variant(decision.variant_name)
         start = self.engine.now
@@ -465,6 +513,7 @@ class DySelRuntime:
                 launch.args,
                 WorkRange(0, launch.workload_units),
                 priority=Priority.BATCH,
+                stream=stream_name,
             )
             self.engine.wait(task)
         result = LaunchResult(

@@ -65,6 +65,7 @@ class SandboxAllocator:
         return len(self._live)
 
     def _track(self, copy: Buffer, label: str) -> None:
+        """Register a live sandbox copy, enforcing the copy budget."""
         if (
             self._max_copies is not None
             and len(self._live) >= self._max_copies

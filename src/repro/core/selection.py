@@ -40,6 +40,13 @@ class VariantMeasurement:
         return self.measured_cycles / self.profiled_units
 
 
+#: Default bound on how many measurements one record retains.  A pool has
+#: at most a handful of variants, so the bound never binds for one-shot
+#: launches; it exists for long-running serving processes that fold many
+#: re-profiles into one record and must not grow memory per launch.
+DEFAULT_HISTORY_LIMIT = 64
+
+
 @dataclass
 class SelectionRecord:
     """Outcome of one micro-profiled launch."""
@@ -52,6 +59,9 @@ class SelectionRecord:
     #: Variant names in pool registration order, used to break ties.  An
     #: empty tuple (legacy callers) falls back to first-observed-wins.
     variant_order: Tuple[str, ...] = ()
+    #: Ring-buffer capacity for ``measurements``: observing beyond this
+    #: bound drops the oldest entries (the best-backing one is pinned).
+    history_limit: int = DEFAULT_HISTORY_LIMIT
 
     def observe(self, measurement: VariantMeasurement) -> None:
         """Fold in one candidate's measurement, keeping the running best.
@@ -64,19 +74,42 @@ class SelectionRecord:
         is scheduling-dependent, and the quantized timer makes exact ties
         common — a first-observed-wins rule would make the selection
         nondeterministic across otherwise identical runs.
+
+        History is ring-buffered at ``history_limit`` entries: once the
+        bound is reached the oldest measurements are dropped first, except
+        the one backing the current selection, which is always retained so
+        :meth:`best_measurement` keeps working.  Long-running serving
+        processes re-profile the same kernel indefinitely; without the cap
+        every launch would grow this record.
         """
         self.measurements = self.measurements + (measurement,)
         if self.selected is None:
             self.selected = measurement.variant
+        else:
+            current = self.best_measurement()
+            if measurement.measured_cycles < current.measured_cycles:
+                self.selected = measurement.variant
+            elif measurement.measured_cycles == current.measured_cycles and (
+                self._order_index(measurement.variant)
+                < self._order_index(current.variant)
+            ):
+                self.selected = measurement.variant
+        self._trim_history()
+
+    def _trim_history(self) -> None:
+        """Enforce ``history_limit``, pinning the best-backing entry."""
+        limit = max(1, self.history_limit)
+        if len(self.measurements) <= limit:
             return
-        current = self.best_measurement()
-        if measurement.measured_cycles < current.measured_cycles:
-            self.selected = measurement.variant
-        elif measurement.measured_cycles == current.measured_cycles and (
-            self._order_index(measurement.variant)
-            < self._order_index(current.variant)
-        ):
-            self.selected = measurement.variant
+        keep = self.best_measurement()
+        kept: list = []
+        overflow = len(self.measurements) - limit
+        for measurement in self.measurements:
+            if overflow > 0 and measurement is not keep:
+                overflow -= 1
+                continue
+            kept.append(measurement)
+        self.measurements = tuple(kept)
 
     def _order_index(self, variant: str) -> int:
         """Registration rank of a variant (unknown names rank last)."""

@@ -25,7 +25,7 @@ from .cpu import CpuDevice, CpuSpec, make_cpu
 from .engine import ExecutionEngine, Priority, TaskHandle
 from .gpu import GpuDevice, GpuSpec, make_gpu
 from .memory import AccessCost, CacheLevel, MemoryModel
-from .stream import Stream
+from .stream import Stream, StreamPool
 
 __all__ = [
     "AccessCost",
@@ -43,6 +43,7 @@ __all__ = [
     "NoisyClock",
     "Priority",
     "Stream",
+    "StreamPool",
     "TaskHandle",
     "make_cpu",
     "make_gpu",

@@ -61,6 +61,7 @@ class CpuMemoryModel(MemoryModel):
         space: MemorySpace,
         dynamic_stride=None,
     ) -> AccessCost:
+        """Cycles one variant's access stream costs on this memory system."""
         useful_bytes = np.asarray(useful_bytes, dtype=float)
         count = useful_bytes.size
         pattern = access.pattern
@@ -138,6 +139,7 @@ class CpuDevice(Device):
     def compute_cycles(
         self, ir: KernelIR, flops: np.ndarray, work_group_size: int
     ) -> np.ndarray:
+        """Arithmetic cycles per work group for one variant's flops."""
         flops = np.asarray(flops, dtype=float)
         width = min(ir.vector_width, self.spec.max_vector_width)
         throughput = self.spec.flops_per_cycle * width
@@ -150,6 +152,7 @@ class CpuDevice(Device):
         return flops * penalty / throughput
 
     def scratchpad_cycles_per_group(self, ir: KernelIR) -> float:
+        """Staging + barrier cycles the scratchpad costs per work group."""
         if ir.scratchpad_bytes == 0:
             return 0.0
         # Scratchpad lowers to ordinary cached memory: the staging copies
@@ -161,6 +164,7 @@ class CpuDevice(Device):
         return copy + barrier
 
     def atomic_cycles_per_op(self) -> float:
+        """Cycles one global atomic operation costs."""
         # Locked cacheline round-trip between cores.
         return 25.0
 

@@ -311,9 +311,11 @@ class ExecutionEngine:
         return max(t for t, _ in self._unit_heap)
 
     def _ready_count(self) -> int:
+        """Work-groups currently queued across all priorities."""
         return sum(len(q) for q in self._ready.values())
 
     def _pop_ready(self) -> Tuple[TaskHandle, float]:
+        """Dequeue the highest-priority ready work-group."""
         for priority in Priority:
             queue = self._ready[priority]
             if queue:
@@ -321,6 +323,7 @@ class ExecutionEngine:
         raise EngineError("no ready work-group to pop")
 
     def _deliver_arrivals(self, up_to: float) -> None:
+        """Move tasks whose submit time has passed onto the ready queues."""
         while self._arrivals and self._arrivals[0][0] <= up_to:
             _, _, task = heapq.heappop(self._arrivals)
             queue = self._ready[task.priority]
@@ -417,6 +420,7 @@ class ExecutionEngine:
         return True
 
     def _finalize(self, task: TaskHandle) -> None:
+        """Complete a task: read its (noisy) measurement, emit its span."""
         if task.measure and task.measured is None:
             span = task.true_span_cycles
             task.measured = self.clock.read_interval(span)

@@ -100,6 +100,7 @@ class GpuMemoryModel(MemoryModel):
         space: MemorySpace,
         dynamic_stride=None,
     ) -> AccessCost:
+        """Cycles one variant's access stream costs on this memory system."""
         useful_bytes = np.asarray(useful_bytes, dtype=float)
         count = useful_bytes.size
         pattern = access.pattern
@@ -213,6 +214,7 @@ class GpuDevice(Device):
     def compute_cycles(
         self, ir: KernelIR, flops: np.ndarray, work_group_size: int
     ) -> np.ndarray:
+        """Arithmetic cycles per work group for one variant's flops."""
         flops = np.asarray(flops, dtype=float)
         spec = self._gpu_spec
         # A narrow work-group cannot fill the SM's datapaths.
@@ -223,6 +225,7 @@ class GpuDevice(Device):
         return flops * penalty / throughput
 
     def scratchpad_cycles_per_group(self, ir: KernelIR) -> float:
+        """Staging + barrier cycles the scratchpad costs per work group."""
         if ir.scratchpad_bytes == 0:
             return 0.0
         # Real on-chip storage: staging is cheap, barriers cost a pipeline
@@ -232,6 +235,7 @@ class GpuDevice(Device):
         return copy + barrier
 
     def atomic_cycles_per_op(self) -> float:
+        """Cycles one global atomic operation costs."""
         # L2-serialized read-modify-write.
         return 60.0
 

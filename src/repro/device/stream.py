@@ -5,11 +5,19 @@ candidates profile concurrently, then either synchronizes the device (sync
 flow) or polls stream status while eagerly dispatching (async flow, §3.3).
 A :class:`Stream` wraps the engine with per-stream task tracking and the
 query/synchronize operations those flows use.
+
+:class:`StreamPool` is the serving layer's admission substrate: a bounded,
+thread-safe set of reusable streams per device.  Each admitted request
+leases one stream for its lifetime, which (a) bounds how many requests can
+be in flight on one device at once and (b) tags every batch submission
+with the request's stream name, so a recorded trace shows per-request
+queues (:mod:`repro.serve`).
 """
 
 from __future__ import annotations
 
-from typing import List, Mapping
+import threading
+from typing import List, Mapping, Optional
 
 from ..errors import StreamError
 from ..kernel.kernel import KernelVariant, WorkRange
@@ -70,9 +78,73 @@ class Stream:
         self._destroyed = True
 
     def _check_alive(self) -> None:
+        """Refuse operations on a destroyed stream."""
         if self._destroyed:
             raise StreamError(f"stream {self.name!r} was destroyed")
 
     def __repr__(self) -> str:
         state = "destroyed" if self._destroyed else f"{len(self.tasks)} tasks"
         return f"Stream({self.name!r}, {state})"
+
+
+class StreamPool:
+    """A bounded, thread-safe pool of reusable streams on one device.
+
+    ``acquire`` blocks while all ``capacity`` streams are leased — that is
+    the serving layer's per-device admission control: at most ``capacity``
+    requests can be in flight on the device at once, the rest queue at the
+    pool.  Streams are recycled rather than destroyed; a released stream
+    keeps its name, so trace lanes stay stable across requests.
+    """
+
+    def __init__(
+        self, engine: ExecutionEngine, capacity: int, prefix: str = "serve"
+    ) -> None:
+        """Create ``capacity`` streams named ``{prefix}-0 .. {prefix}-N``."""
+        if capacity < 1:
+            raise StreamError(
+                f"stream pool capacity must be >= 1, got {capacity}"
+            )
+        self.engine = engine
+        self.capacity = capacity
+        self._free: List[Stream] = [
+            Stream(engine, f"{prefix}-{i}") for i in range(capacity)
+        ]
+        self._leased: int = 0
+        self._cond = threading.Condition()
+
+    def acquire(self, timeout: Optional[float] = None) -> Stream:
+        """Lease a stream, blocking until one frees up.
+
+        Raises :class:`StreamError` when ``timeout`` (seconds) elapses
+        first — serving callers surface that as an admission failure
+        rather than deadlocking the client thread.
+        """
+        with self._cond:
+            if not self._cond.wait_for(
+                lambda: bool(self._free), timeout=timeout
+            ):
+                raise StreamError(
+                    f"no stream available after {timeout}s "
+                    f"({self._leased}/{self.capacity} leased)"
+                )
+            stream = self._free.pop()
+            self._leased += 1
+            return stream
+
+    def release(self, stream: Stream) -> None:
+        """Return a leased stream to the pool (clearing its task list)."""
+        with self._cond:
+            stream.tasks.clear()
+            self._free.append(stream)
+            self._leased -= 1
+            self._cond.notify()
+
+    @property
+    def in_flight(self) -> int:
+        """How many streams are currently leased."""
+        with self._cond:
+            return self._leased
+
+    def __repr__(self) -> str:
+        return f"StreamPool({self._leased}/{self.capacity} leased)"

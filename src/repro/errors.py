@@ -102,6 +102,24 @@ class SandboxError(DySelError):
     """Sandbox / private-output management error."""
 
 
+class ServeError(DySelError):
+    """Base class for launch-scheduler / serving-layer errors."""
+
+
+class StoreError(ServeError):
+    """Persistent selection-store failure (I/O, format, schema)."""
+
+
+class StoreSchemaError(StoreError):
+    """A persisted selection store was written by an incompatible schema.
+
+    Raised on load when the on-disk ``schema_version`` does not match
+    :data:`repro.serve.store.SCHEMA_VERSION`; the store is rejected
+    wholesale rather than partially interpreted, so a serving fleet never
+    trusts selections whose key derivation rules it cannot reproduce.
+    """
+
+
 class WorkloadError(ReproError):
     """Benchmark workload construction or validation error."""
 

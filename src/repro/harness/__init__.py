@@ -14,6 +14,7 @@ from .runner import (
     evaluate_case,
     run_dysel,
     run_pure,
+    run_served,
 )
 
 __all__ = [
@@ -25,4 +26,5 @@ __all__ = [
     "format_table",
     "run_dysel",
     "run_pure",
+    "run_served",
 ]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..config import ReproConfig
 from ..core.runtime import DySelRuntime
@@ -28,6 +28,12 @@ from ..kernel.kernel import WorkRange
 from ..modes import OrchestrationFlow, ProfilingMode
 from ..obs.events import TraceEvent
 from ..obs.export import write_chrome_trace
+from ..serve import (
+    LaunchScheduler,
+    SelectionStore,
+    ServeOutcome,
+    ServeRequest,
+)
 from ..workloads.base import BenchmarkCase
 
 
@@ -149,6 +155,46 @@ def export_traces(
         write_chrome_trace(result.trace, path, process_name=result.case)
         written[label] = path
     return written
+
+
+def run_served(
+    case: BenchmarkCase,
+    devices: Tuple[Device, ...],
+    requests: int = 8,
+    clients: int = 8,
+    config: Optional[ReproConfig] = None,
+    store: Optional[SelectionStore] = None,
+    flow: OrchestrationFlow = OrchestrationFlow.ASYNC,
+) -> Tuple[List[ServeOutcome], LaunchScheduler]:
+    """Replay one benchmark case as concurrent serving traffic.
+
+    Builds ``requests`` identical-shape requests (fresh argument
+    mappings each, so outputs stay independently checkable), serves them
+    through a :class:`~repro.serve.LaunchScheduler` over ``devices``
+    with ``clients`` concurrent client threads, validates every output,
+    and returns the outcomes plus the scheduler (whose stats, store and
+    device traces the caller can inspect).  Pass a pre-loaded ``store``
+    to measure warm-start behaviour.
+    """
+    scheduler = LaunchScheduler(devices, config=config, store=store)
+    scheduler.register_pool(case.pool)
+    request_args = [case.fresh_args() for _ in range(requests)]
+    batch = [
+        ServeRequest(
+            kernel=case.pool.name,
+            args=args,
+            workload_units=case.workload_units,
+            flow=flow,
+        )
+        for args in request_args
+    ]
+    outcomes = scheduler.serve_all(batch, clients=clients)
+    for args in request_args:
+        if not case.validate(args):
+            raise HarnessError(
+                f"case {case.name!r}: served output failed validation"
+            )
+    return outcomes, scheduler
 
 
 @dataclass

@@ -51,6 +51,23 @@ class EventKind(enum.Enum):
     * ``HOST_POLL`` — one completion query (costs host query latency).
     * ``HOST_WAIT`` — the host blocked on a task / set of tasks.
     * ``BARRIER`` — a device-wide synchronize.
+
+    Serving-level (emitted by :class:`~repro.serve.scheduler.LaunchScheduler`
+    on its own scheduler timeline, where "time" is a monotonically
+    increasing admission sequence number, not device cycles):
+
+    * ``SERVE_ENQUEUE`` — a request entered the scheduler.
+    * ``SERVE_ADMIT`` — the request was admitted onto a device (it holds
+      a stream lease from that device's pool).
+    * ``PROFILE_LEASE_GRANT`` — this request won the right to micro-profile
+      its (pool, device-kind, workload-class); concurrent requests for the
+      same class run eagerly with the current best instead.
+    * ``PROFILE_LEASE_STEAL`` — a lease that outlived its timeout (holder
+      stalled or died) was reassigned to a new request.
+    * ``STORE_HIT`` — a persisted selection served this request without
+      profiling.
+    * ``STORE_EVICT`` — a persisted selection was dropped (TTL expiry or
+      registry invalidation).
     """
 
     LAUNCH_BEGIN = "launch_begin"
@@ -67,6 +84,12 @@ class EventKind(enum.Enum):
     HOST_POLL = "host_poll"
     HOST_WAIT = "host_wait"
     BARRIER = "barrier"
+    SERVE_ENQUEUE = "serve_enqueue"
+    SERVE_ADMIT = "serve_admit"
+    PROFILE_LEASE_GRANT = "profile_lease_grant"
+    PROFILE_LEASE_STEAL = "profile_lease_steal"
+    STORE_HIT = "store_hit"
+    STORE_EVICT = "store_evict"
 
 
 #: Kinds that are always spans (the rest are instants).

@@ -34,6 +34,7 @@ _ABS_EPS = 1e-6
 
 
 def _close(a: float, b: float) -> bool:
+    """Float equality with relative + absolute slack."""
     scale = max(abs(a), abs(b), 1.0)
     return abs(a - b) <= _ABS_EPS + _REL_EPS * scale
 
@@ -249,6 +250,12 @@ class TraceSummary:
     plan_demotions: int = 0
     selection_updates: int = 0
     host_polls: int = 0
+    serve_enqueued: int = 0
+    serve_admitted: int = 0
+    lease_grants: int = 0
+    lease_steals: int = 0
+    store_hits: int = 0
+    store_evictions: int = 0
     events_by_kind: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -291,6 +298,14 @@ class TraceSummary:
             f"{self.plan_demotions} plan",
             f"host polls: {self.host_polls}",
         ]
+        if self.serve_enqueued or self.serve_admitted:
+            lines.append(
+                f"serving: {self.serve_enqueued} enqueued, "
+                f"{self.serve_admitted} admitted; leases: "
+                f"{self.lease_grants} granted, {self.lease_steals} stolen; "
+                f"store: {self.store_hits} hit(s), "
+                f"{self.store_evictions} eviction(s)"
+            )
         return "\n".join(lines)
 
 
@@ -336,6 +351,18 @@ def summarize(events: Sequence[TraceEvent]) -> TraceSummary:
             summary.selection_updates += 1
         elif kind is EventKind.HOST_POLL:
             summary.host_polls += 1
+        elif kind is EventKind.SERVE_ENQUEUE:
+            summary.serve_enqueued += 1
+        elif kind is EventKind.SERVE_ADMIT:
+            summary.serve_admitted += 1
+        elif kind is EventKind.PROFILE_LEASE_GRANT:
+            summary.lease_grants += 1
+        elif kind is EventKind.PROFILE_LEASE_STEAL:
+            summary.lease_steals += 1
+        elif kind is EventKind.STORE_HIT:
+            summary.store_hits += 1
+        elif kind is EventKind.STORE_EVICT:
+            summary.store_evictions += 1
     return summary
 
 

@@ -79,11 +79,13 @@ class RecordingTracer(Tracer):
         self._events: List[TraceEvent] = []
 
     def emit(self, event: TraceEvent) -> None:
+        """Record one pre-built event."""
         self._events.append(event)
 
     def instant(
         self, kind: EventKind, name: str, at: float, **args: object
     ) -> None:
+        """Record a zero-duration event at one clock reading."""
         self._events.append(
             TraceEvent(kind=kind, name=name, start_cycles=at, args=args)
         )
@@ -96,6 +98,7 @@ class RecordingTracer(Tracer):
         end: float,
         **args: object,
     ) -> None:
+        """Record an event spanning ``[start, end]`` cycles."""
         self._events.append(
             TraceEvent(
                 kind=kind,
@@ -109,6 +112,7 @@ class RecordingTracer(Tracer):
     def task_span(
         self, kind: EventKind, name: str, task: "TaskHandle", **args: object
     ) -> None:
+        """Record a span covering one engine task's execution window."""
         self.span(
             kind,
             name,
@@ -123,6 +127,7 @@ class RecordingTracer(Tracer):
 
     @property
     def events(self) -> Tuple[TraceEvent, ...]:
+        """Everything recorded so far, in emission order."""
         return tuple(self._events)
 
     def clear(self) -> None:

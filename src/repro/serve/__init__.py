@@ -1,0 +1,48 @@
+"""Concurrent serving layer: scheduler, profile leases, persistent cache.
+
+This subpackage scales DySel from "one launch at a time on one device" to
+a serving fleet: a thread-safe :class:`LaunchScheduler` multiplexes
+concurrent launch requests onto per-device stream pools, coordinates
+micro-profiling so each (pool, device-kind, workload-class) profiles
+exactly once in flight (:class:`ProfileLeaseTable`), and persists
+selections across process restarts keyed by input-aware workload
+signatures (:class:`SelectionStore`, :class:`WorkloadSignature`).
+
+See ``docs/serving.md`` for the cold-cache → warm-cache walkthrough and
+``benchmarks/bench_serve.py`` for the throughput/latency benchmark.
+"""
+
+from .lease import ProfileLease, ProfileLeaseTable
+from .scheduler import (
+    DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_STREAMS_PER_DEVICE,
+    LaunchScheduler,
+    ServeOutcome,
+    ServeRequest,
+    ServeStats,
+)
+from .signature import WorkloadSignature, derive_signature, log2_bucket
+from .store import (
+    SCHEMA_VERSION,
+    SelectionStore,
+    StoreEntry,
+    StoreStats,
+)
+
+__all__ = [
+    "DEFAULT_LEASE_TIMEOUT",
+    "DEFAULT_STREAMS_PER_DEVICE",
+    "LaunchScheduler",
+    "ProfileLease",
+    "ProfileLeaseTable",
+    "SCHEMA_VERSION",
+    "SelectionStore",
+    "ServeOutcome",
+    "ServeRequest",
+    "ServeStats",
+    "StoreEntry",
+    "StoreStats",
+    "WorkloadSignature",
+    "derive_signature",
+    "log2_bucket",
+]

@@ -1,0 +1,514 @@
+"""The concurrent launch scheduler: many clients, many devices, one brain.
+
+:class:`LaunchScheduler` is the serving front-end over a fleet of
+simulated devices.  Each device gets its own :class:`DySelRuntime` (one
+engine, one clock, one trace timeline) plus a bounded
+:class:`~repro.device.stream.StreamPool`; client threads call
+:meth:`LaunchScheduler.launch` concurrently and the scheduler:
+
+1. **enqueues** the request (``SERVE_ENQUEUE``),
+2. **admits** it onto the least-loaded device by leasing a stream from
+   that device's pool (``SERVE_ADMIT``) — pool capacity is the per-device
+   admission limit,
+3. resolves the request's **workload class** (input-aware signature,
+   :mod:`repro.serve.signature`) and consults the persistent
+   :class:`~repro.serve.store.SelectionStore`:
+
+   * **warm** — a live entry pins the stored winner; the launch runs
+     profiling-off (``STORE_HIT``),
+   * **cold** — the request races for the class's *profile lease*
+     (:mod:`repro.serve.lease`); the winner micro-profiles
+     (``PROFILE_LEASE_GRANT``/``STEAL``) and publishes the selection,
+     everyone else runs eagerly with the current-best variant,
+
+4. serializes engine access per device (simulated engines are
+   single-clocked), runs the launch, releases stream and lease.
+
+This generalizes the paper's asynchronous flow (§2.4) from
+chunks-within-a-launch to launches-within-a-fleet: profiling happens once
+per (pool, device-kind, workload-class) while the rest of the traffic
+keeps flowing with the best answer known so far.
+
+Scheduler-level events land on the scheduler's own tracer, whose "time"
+axis is a monotonically increasing admission sequence number — request
+ordering, not device cycles (each device keeps its own cycle timeline, so
+a fleet has no single clock).  Per-device launch traces remain available
+from each runtime and reconcile with :func:`repro.obs.export.reconcile`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..compiler.variants import VariantPool
+from ..config import ReproConfig
+from ..core.runtime import DySelRuntime, LaunchResult
+from ..device.base import Device
+from ..device.stream import StreamPool
+from ..errors import ServeError
+from ..modes import OrchestrationFlow, ProfilingMode
+from ..obs.events import EventKind, TraceEvent
+from ..obs.tracer import NULL_TRACER, RecordingTracer
+from .lease import ProfileLeaseTable
+from .signature import WorkloadSignature, derive_signature
+from .store import SelectionStore
+
+#: Default streams (= concurrently admitted requests) per device.
+DEFAULT_STREAMS_PER_DEVICE = 4
+
+#: Default profile-lease steal timeout, in store-clock seconds.
+DEFAULT_LEASE_TIMEOUT = 30.0
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One client launch request.
+
+    ``args`` must be a fresh mapping per request (output buffers are
+    written); ``signature`` overrides the derived workload class when the
+    caller knows better than the feature extractor.
+    """
+
+    kernel: str
+    args: Mapping[str, object]
+    workload_units: int
+    mode: Optional[ProfilingMode] = None
+    flow: OrchestrationFlow = OrchestrationFlow.ASYNC
+    signature: Optional[WorkloadSignature] = None
+
+
+@dataclass(frozen=True)
+class ServeOutcome:
+    """What the scheduler did with one request."""
+
+    request: ServeRequest
+    #: Device the request was admitted to.
+    device: str
+    #: Workload-class key the selection was cached under.
+    workload_class: str
+    #: The underlying launch's result.
+    result: LaunchResult
+    #: Whether this request ran the micro-profile for its class.
+    profiled: bool
+    #: Whether a persisted selection served this request.
+    store_hit: bool
+    #: ``"granted"``/``"stolen"`` when this request held the profile
+    #: lease, else ``None``.
+    lease: Optional[str]
+    #: Admission sequence number (the scheduler-trace time axis).
+    sequence: int
+
+
+@dataclass
+class ServeStats:
+    """Aggregate counters over one scheduler's lifetime."""
+
+    requests: int = 0
+    profiled_launches: int = 0
+    store_hits: int = 0
+    eager_launches: int = 0
+    profiling_latency_cycles: float = 0.0
+    workload_units: int = 0
+    per_device: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def profile_rate(self) -> float:
+        """Fraction of requests that paid a micro-profile."""
+        if self.requests <= 0:
+            return 0.0
+        return self.profiled_launches / self.requests
+
+
+class _DeviceWorker:
+    """One device's serving state: runtime, stream pool, engine lock."""
+
+    def __init__(
+        self,
+        device: Device,
+        config: ReproConfig,
+        streams_per_device: int,
+        index: int,
+    ) -> None:
+        self.name = f"{device.kind}{index}"
+        self.runtime = DySelRuntime(device, config)
+        self.streams = StreamPool(
+            self.runtime.engine, streams_per_device, prefix=f"{self.name}"
+        )
+        #: Simulated engines advance one global clock per device; two
+        #: threads interleaving host calls would corrupt it.  The lock
+        #: serializes launches per device — cross-device launches still
+        #: overlap, which is where fleet throughput comes from.
+        self.lock = threading.Lock()
+        self._load_lock = threading.Lock()
+        self._pending_cycles = 0.0
+        self._completed_cycles = 0.0
+        self._completed_launches = 0
+
+    @property
+    def device_kind(self) -> str:
+        """The device's architecture kind (selections transfer within it)."""
+        return self.runtime.device.kind
+
+    def estimate_cost(self, known_cost: Optional[float]) -> float:
+        """Estimated cycles one request will cost on this device.
+
+        Prefers the caller's workload-class estimate (from the selection
+        store); falls back to this device's observed mean launch cost,
+        then to zero before any launch has completed.
+        """
+        if known_cost is not None:
+            return known_cost
+        with self._load_lock:
+            if self._completed_launches > 0:
+                return self._completed_cycles / self._completed_launches
+        return 0.0
+
+    def commit(self, estimated_cycles: float) -> None:
+        """Reserve one admitted request's estimated cycles."""
+        with self._load_lock:
+            self._pending_cycles += estimated_cycles
+
+    def complete(self, estimated_cycles: float, elapsed_cycles: float) -> None:
+        """Retire an admitted request: drop its reservation, log its cost."""
+        with self._load_lock:
+            self._pending_cycles = max(
+                0.0, self._pending_cycles - estimated_cycles
+            )
+            self._completed_cycles += elapsed_cycles
+            self._completed_launches += 1
+
+    def abort(self, estimated_cycles: float) -> None:
+        """Drop a reservation whose launch failed (cost stays unknown)."""
+        with self._load_lock:
+            self._pending_cycles = max(
+                0.0, self._pending_cycles - estimated_cycles
+            )
+
+    def projected_clock(self) -> float:
+        """Estimated device clock once current in-flight work finishes.
+
+        The engine clock only advances when a launch completes, so a
+        device with several admitted-but-unfinished requests looks idle
+        by clock alone; the pending reservations cover that gap.
+        """
+        with self._load_lock:
+            return self.runtime.engine.now + self._pending_cycles
+
+
+class LaunchScheduler:
+    """Thread-safe multi-device serving front-end (see module docstring)."""
+
+    def __init__(
+        self,
+        devices: Sequence[Device],
+        config: Optional[ReproConfig] = None,
+        store: Optional[SelectionStore] = None,
+        streams_per_device: int = DEFAULT_STREAMS_PER_DEVICE,
+        lease_timeout: Optional[float] = DEFAULT_LEASE_TIMEOUT,
+    ) -> None:
+        """Build a scheduler over a fleet of devices.
+
+        Parameters
+        ----------
+        devices:
+            The simulated fleet; one runtime + stream pool per device.
+        config:
+            Shared :class:`ReproConfig` (defaults to the first device's);
+            ``config.trace`` also enables the scheduler-level tracer.
+        store:
+            Persistent selection store; defaults to a fresh in-memory
+            store (no TTL).  Pass a loaded store for warm starts.
+        streams_per_device:
+            Stream-pool capacity = per-device admission limit.
+        lease_timeout:
+            Profile-lease steal timeout in store-clock seconds (``None``
+            disables stealing).
+        """
+        if not devices:
+            raise ServeError("a scheduler needs at least one device")
+        self.config = config if config is not None else devices[0].config
+        self.store = store if store is not None else SelectionStore()
+        self._workers = [
+            _DeviceWorker(device, self.config, streams_per_device, i)
+            for i, device in enumerate(devices)
+        ]
+        self.leases = ProfileLeaseTable(
+            timeout=lease_timeout, clock=self.store._clock
+        )
+        self.tracer = (
+            RecordingTracer() if self.config.trace else NULL_TRACER
+        )
+        self.stats = ServeStats()
+        self._seq = itertools.count()
+        self._stats_lock = threading.Lock()
+        self._dispatch_lock = threading.Lock()
+        for worker in self._workers:
+            worker.runtime.add_invalidation_hook(self._on_invalidate)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register_pool(self, pool: VariantPool) -> None:
+        """Register a kernel pool on every device in the fleet."""
+        for worker in self._workers:
+            worker.runtime.register_pool(pool)
+
+    def _on_invalidate(self, kernel: str, why: str) -> None:
+        """Runtime invalidation hook → evict persisted selections too."""
+        evicted = self.store.invalidate_kernel(kernel)
+        if evicted and self.tracer.enabled:
+            self.tracer.instant(
+                EventKind.STORE_EVICT,
+                kernel,
+                float(next(self._seq)),
+                evicted=evicted,
+                reason=why,
+            )
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def launch(self, request: ServeRequest) -> ServeOutcome:
+        """Serve one request (blocking; safe to call from many threads)."""
+        seq = next(self._seq)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                EventKind.SERVE_ENQUEUE,
+                request.kernel,
+                float(seq),
+                workload_units=request.workload_units,
+            )
+        worker, signature, estimate = self._dispatch(request)
+        stream = worker.streams.acquire()
+        try:
+            return self._serve_admitted(
+                request, worker, stream, seq, signature, estimate
+            )
+        finally:
+            worker.streams.release(stream)
+
+    def _dispatch(
+        self, request: ServeRequest
+    ) -> Tuple[_DeviceWorker, WorkloadSignature, float]:
+        """Cost-aware dispatch: the earliest projected finish wins.
+
+        The request is costed per device *kind* from the persistent store
+        (``cycles_per_unit × units`` for its workload class — signatures
+        embed the kind, so heterogeneous fleets cost independently); a
+        device with no class estimate falls back to its observed mean
+        launch cost.  The winner's estimate is reserved on its pending
+        load under the dispatch lock, so concurrent clients don't pile
+        onto the same momentarily-idle device.
+        """
+        signatures: Dict[str, WorkloadSignature] = {}
+        costs: Dict[str, Optional[float]] = {}
+        for kind in {w.device_kind for w in self._workers}:
+            sig = request.signature or derive_signature(
+                request.kernel, kind, request.args, request.workload_units
+            )
+            signatures[kind] = sig
+            entry = self.store.peek(sig.key)
+            costs[kind] = (
+                entry.cycles_per_unit * request.workload_units
+                if entry is not None
+                else None
+            )
+        with self._dispatch_lock:
+            worker = min(
+                self._workers,
+                key=lambda w: (
+                    w.projected_clock()
+                    + w.estimate_cost(costs[w.device_kind]),
+                    w.streams.in_flight,
+                ),
+            )
+            estimate = worker.estimate_cost(costs[worker.device_kind])
+            worker.commit(estimate)
+        return worker, signatures[worker.device_kind], estimate
+
+    def _serve_admitted(
+        self, request, worker, stream, seq, signature, estimate
+    ) -> ServeOutcome:
+        """Run an admitted request (stream leased, cost reserved)."""
+        if self.tracer.enabled:
+            self.tracer.instant(
+                EventKind.SERVE_ADMIT,
+                request.kernel,
+                float(seq),
+                device=worker.name,
+                stream=stream.name,
+            )
+        key = signature.key
+
+        entry = self.store.lookup(key)
+        lease: Optional[str] = None
+        pinned: Optional[str] = None
+        profiling = False
+        if entry is not None:
+            pinned = entry.selected
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    EventKind.STORE_HIT,
+                    request.kernel,
+                    float(seq),
+                    workload_class=key,
+                    selected=entry.selected,
+                    samples=entry.samples,
+                )
+        else:
+            lease = self.leases.acquire(key, seq)
+            profiling = lease is not None
+            if lease is not None and self.tracer.enabled:
+                kind = (
+                    EventKind.PROFILE_LEASE_GRANT
+                    if lease == ProfileLeaseTable.GRANTED
+                    else EventKind.PROFILE_LEASE_STEAL
+                )
+                self.tracer.instant(
+                    kind,
+                    request.kernel,
+                    float(seq),
+                    workload_class=key,
+                    device=worker.name,
+                )
+
+        result = None
+        try:
+            with worker.lock:
+                result = worker.runtime.launch_kernel(
+                    request.kernel,
+                    request.args,
+                    request.workload_units,
+                    profiling=profiling,
+                    mode=request.mode,
+                    flow=request.flow,
+                    pinned_variant=pinned,
+                    stream_name=stream.name,
+                )
+            worker.complete(estimate, result.elapsed_cycles)
+            if lease is not None:
+                self._publish(key, request, result)
+        finally:
+            if result is None:
+                worker.abort(estimate)
+            if lease is not None:
+                self.leases.release(key, seq)
+
+        self._account(request, worker, result, entry is not None)
+        return ServeOutcome(
+            request=request,
+            device=worker.name,
+            workload_class=key,
+            result=result,
+            profiled=result.profiled,
+            store_hit=entry is not None,
+            lease=lease,
+            sequence=seq,
+        )
+
+    def _publish(
+        self, key: str, request: ServeRequest, result: LaunchResult
+    ) -> None:
+        """Persist a lease holder's selection for future warm lookups.
+
+        Micro-profiled launches publish the winner's measured cycles per
+        unit; launches the runtime demoted to profiling-off (small
+        workload, single-variant pool, infeasible plan) publish the
+        variant that actually ran with a coarse elapsed-based estimate —
+        still worth persisting, because it stops every later request of
+        this class from re-racing for the lease.
+        """
+        if result.record is not None and result.record.selected is not None:
+            cycles = result.record.best_measurement().cycles_per_unit
+        elif request.workload_units > 0:
+            cycles = result.elapsed_cycles / request.workload_units
+        else:
+            return
+        self.store.publish(
+            key,
+            kernel=request.kernel,
+            selected=result.selected,
+            cycles_per_unit=cycles,
+            mode=result.mode.value if result.mode is not None else None,
+            flow=result.flow.value if result.flow is not None else None,
+        )
+
+    def _account(self, request, worker, result, store_hit: bool) -> None:
+        """Fold one served request into the aggregate counters."""
+        with self._stats_lock:
+            self.stats.requests += 1
+            self.stats.workload_units += request.workload_units
+            self.stats.profiled_launches += int(result.profiled)
+            self.stats.store_hits += int(store_hit)
+            self.stats.eager_launches += int(
+                not result.profiled and not store_hit
+            )
+            self.stats.profiling_latency_cycles += (
+                result.profiling_latency_cycles
+            )
+            self.stats.per_device[worker.name] = (
+                self.stats.per_device.get(worker.name, 0) + 1
+            )
+
+    def serve_all(
+        self, requests: Sequence[ServeRequest], clients: int = 8
+    ) -> List[ServeOutcome]:
+        """Serve many requests from a pool of ``clients`` threads.
+
+        Outcomes are returned in request order regardless of completion
+        order.  This is the benchmark's (and tests') entry point for
+        simulating concurrent traffic.
+        """
+        if clients < 1:
+            raise ServeError(f"clients must be >= 1, got {clients}")
+        if clients == 1:
+            return [self.launch(request) for request in requests]
+        with ThreadPoolExecutor(max_workers=clients) as executor:
+            return list(executor.map(self.launch, requests))
+
+    # ------------------------------------------------------------------
+    # Fleet introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def devices(self) -> Tuple[str, ...]:
+        """Names of the fleet's devices (``cpu0``, ``gpu1``, ...)."""
+        return tuple(worker.name for worker in self._workers)
+
+    def runtime(self, device: str) -> DySelRuntime:
+        """The runtime serving one named device."""
+        for worker in self._workers:
+            if worker.name == device:
+                return worker.runtime
+        raise ServeError(
+            f"unknown device {device!r} (fleet: {list(self.devices)})"
+        )
+
+    def makespan_cycles(self) -> float:
+        """Fleet makespan: the furthest-advanced device clock.
+
+        Device clocks are independent, so the fleet's simulated wall time
+        for a batch of requests is the maximum over devices — the number
+        throughput comparisons divide by.
+        """
+        return max(
+            worker.runtime.engine.now for worker in self._workers
+        )
+
+    def device_traces(self) -> Dict[str, Tuple[TraceEvent, ...]]:
+        """Each device's recorded launch trace (empty when tracing off).
+
+        Per-device traces are sequential (the engine lock serializes
+        launches per device) and therefore reconcile with
+        :func:`repro.obs.export.reconcile` individually.
+        """
+        return {
+            worker.name: worker.runtime.tracer.events
+            for worker in self._workers
+        }

@@ -1,0 +1,143 @@
+"""Input-aware workload signatures: the persistent cache's key space.
+
+A cached kernel selection is only reusable when the *workload shape* that
+produced it recurs — the paper's Case Study IV (§4.4) shows the winning
+variant flipping between a random and a diagonal matrix at the same size,
+so "same kernel" is not a sufficient key.  This module derives a compact
+:class:`WorkloadSignature` from a launch's arguments: coarse size buckets
+plus sparsity/regularity features for sparse inputs, quantized so that
+noise-level input variation maps to the same key while regime changes
+(cache-resident vs DRAM-resident, regular vs irregular) map to different
+keys.
+
+Feature extraction is duck-typed, not imported from :mod:`repro.workloads`
+— anything exposing the CSR-matrix surface (``rows``/``cols``/``nnz``/
+``row_nnz``) contributes sparsity features, anything exposing a buffer
+surface (``data`` ndarray) contributes footprint features — so user
+workloads outside the benchmark suite get input-aware keys for free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+import numpy as np
+
+#: Quantization step for the row-length coefficient of variation.  One
+#: step separates "perfectly regular" (banded/diagonal, cv ~ 0) from
+#: "mildly irregular" (uniform random, cv ~ 0.3) from "power-law" inputs.
+CV_BUCKET_STEP = 0.25
+
+
+def log2_bucket(value: float) -> int:
+    """Floor-of-log2 size bucket (values < 1 collapse to bucket 0).
+
+    Doubling the workload moves one bucket; same-regime sizes share one.
+    """
+    if value < 1:
+        return 0
+    return int(math.floor(math.log2(value)))
+
+
+@dataclass(frozen=True)
+class WorkloadSignature:
+    """One launch's workload class, as a stable hashable key.
+
+    ``features`` is a sorted tuple of ``(name, value)`` pairs — the
+    bucketed observations extracted from the arguments.  Two launches
+    with equal signatures are assumed interchangeable for selection
+    purposes: a variant measured as fastest for one is trusted for the
+    other without re-profiling.
+    """
+
+    kernel: str
+    device_kind: str
+    features: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def key(self) -> str:
+        """Canonical string form, used as the persistent store's key."""
+        parts = [self.kernel, self.device_kind]
+        parts.extend(f"{name}={value}" for name, value in self.features)
+        return "|".join(parts)
+
+    def __str__(self) -> str:
+        return self.key
+
+
+def _sparse_features(name: str, value: object) -> Tuple[Tuple[str, str], ...]:
+    """Sparsity/regularity features of one CSR-shaped argument."""
+    rows = int(value.rows)  # type: ignore[attr-defined]
+    cols = int(value.cols)  # type: ignore[attr-defined]
+    nnz = int(value.nnz)  # type: ignore[attr-defined]
+    row_nnz = np.asarray(value.row_nnz, dtype=float)  # type: ignore[attr-defined]
+    features = [
+        (f"{name}.rows^2", str(log2_bucket(rows))),
+        (f"{name}.nnz^2", str(log2_bucket(nnz))),
+    ]
+    if rows > 0 and cols > 0 and nnz > 0:
+        density = nnz / (float(rows) * float(cols))
+        # One bucket per decade of density: 1% and 0.8% share a key,
+        # 1% and 0.01% do not.
+        features.append(
+            (f"{name}.density^10", str(int(round(-math.log10(density)))))
+        )
+    if row_nnz.size:
+        mean = float(row_nnz.mean())
+        features.append((f"{name}.rownnz^2", str(log2_bucket(mean))))
+        # Regularity: coefficient of variation of row lengths, the
+        # feature behind the DFO/BFO crossover (short regular rows are
+        # loop-setup-dominated; long irregular rows are not).
+        cv = float(row_nnz.std() / mean) if mean > 0 else 0.0
+        features.append(
+            (f"{name}.cv", str(int(round(cv / CV_BUCKET_STEP))))
+        )
+    return tuple(features)
+
+
+def _buffer_features(name: str, value: object) -> Tuple[Tuple[str, str], ...]:
+    """Footprint bucket of one buffer-shaped argument."""
+    data = np.asarray(value.data)  # type: ignore[attr-defined]
+    return ((f"{name}.bytes^2", str(log2_bucket(float(data.nbytes)))),)
+
+
+def _is_sparse_like(value: object) -> bool:
+    """Duck-typed CSR shape: rows/cols/nnz/row_nnz attributes."""
+    return all(
+        hasattr(value, attr) for attr in ("rows", "cols", "nnz", "row_nnz")
+    )
+
+
+def _is_buffer_like(value: object) -> bool:
+    """Duck-typed dense buffer: a .data payload with .nbytes."""
+    data = getattr(value, "data", None)
+    return data is not None and hasattr(data, "nbytes")
+
+
+def derive_signature(
+    kernel: str,
+    device_kind: str,
+    args: Mapping[str, object],
+    workload_units: int,
+) -> WorkloadSignature:
+    """Derive the workload class of one launch.
+
+    The units bucket always contributes (size regime); each argument
+    contributes sparsity features (CSR-shaped), a footprint bucket
+    (buffer-shaped), or nothing (scalars and opaque objects).  Sparse
+    arguments suppress their redundant footprint feature.
+    """
+    features = [("units^2", str(log2_bucket(workload_units)))]
+    for name in sorted(args):
+        value = args[name]
+        if _is_sparse_like(value):
+            features.extend(_sparse_features(name, value))
+        elif _is_buffer_like(value):
+            features.extend(_buffer_features(name, value))
+    return WorkloadSignature(
+        kernel=kernel,
+        device_kind=device_kind,
+        features=tuple(sorted(features)),
+    )

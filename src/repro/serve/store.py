@@ -1,0 +1,357 @@
+"""Persistent, input-aware selection store (JSON on disk).
+
+Cross-run persistence is what amortizes micro-profiling in real pipelines:
+a serving process that restarts should not pay the warm-up again for
+workload classes it has already measured.  :class:`SelectionStore` keeps
+one :class:`StoreEntry` per workload-class key (see
+:mod:`repro.serve.signature`), supports atomic JSON save/load with an
+explicit schema version, ages entries out on a TTL so stale winners
+re-profile, and exposes the invalidation surface the runtime's
+registration hooks call into.
+
+Three decay/invalidation mechanisms, from cheapest to strongest:
+
+* **EWMA update** — re-profiles of a known class fold into the stored
+  cycles-per-unit estimate instead of overwriting it.
+* **TTL expiry** — entries older than ``ttl`` (seconds on the injected
+  clock) are evicted at lookup time; the next request for that class
+  acquires a profile lease and re-measures.
+* **Registry invalidation** — pool re-registration/extension drops every
+  entry of that kernel immediately (the candidate set changed; all bets
+  are off), via :meth:`SelectionStore.invalidate_kernel` wired to
+  :meth:`repro.core.runtime.DySelRuntime.add_invalidation_hook`.
+
+The store is thread-safe; every method may be called concurrently from
+serving threads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, Iterator, Optional
+
+from ..errors import StoreError, StoreSchemaError
+
+#: On-disk schema version.  Bump when the entry layout *or the key
+#: derivation rules* change incompatibly — a persisted key is only
+#: meaningful under the feature-bucketing rules that produced it.
+SCHEMA_VERSION = 2
+
+#: Default EWMA smoothing factor for repeated measurements of one class.
+DEFAULT_EWMA_ALPHA = 0.3
+
+
+@dataclass
+class StoreEntry:
+    """One workload class's persisted selection."""
+
+    #: Workload-class key (:attr:`WorkloadSignature.key`).
+    key: str
+    #: Kernel signature name (denormalized from the key for invalidation).
+    kernel: str
+    #: Winning variant name.
+    selected: str
+    #: Profiling mode / orchestration flow that produced the selection
+    #: (string values of the enums; informational).
+    mode: Optional[str]
+    flow: Optional[str]
+    #: EWMA of the winner's measured cycles per workload unit.
+    cycles_per_unit: float
+    #: How many profiled launches folded into the EWMA.
+    samples: int = 1
+    #: Store-clock timestamp of the last update (drives TTL).
+    recorded_at: float = 0.0
+    #: How many lookups this entry has served.
+    hits: int = 0
+
+    def observe(self, cycles_per_unit: float, alpha: float) -> None:
+        """Fold one fresh measurement into the EWMA."""
+        self.cycles_per_unit += alpha * (cycles_per_unit - self.cycles_per_unit)
+        self.samples += 1
+
+
+@dataclass
+class StoreStats:
+    """Lookup/update counters (monotonic over the store's lifetime)."""
+
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+    puts: int = 0
+
+
+#: Fields a persisted entry must carry, with their required types.
+_REQUIRED_FIELDS = (
+    ("key", str),
+    ("kernel", str),
+    ("selected", str),
+    ("cycles_per_unit", (int, float)),
+)
+
+
+class SelectionStore:
+    """Thread-safe persistent map: workload-class key → selection."""
+
+    def __init__(
+        self,
+        ttl: Optional[float] = None,
+        ewma_alpha: float = DEFAULT_EWMA_ALPHA,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        """Create an empty store.
+
+        Parameters
+        ----------
+        ttl:
+            Entry lifetime in clock seconds; ``None`` disables expiry.
+        ewma_alpha:
+            Smoothing factor for repeated measurements (0 < alpha <= 1).
+        clock:
+            Injectable time source (defaults to :func:`time.time`); tests
+            pass a fake clock to exercise TTL deterministically.
+        """
+        if ttl is not None and ttl <= 0:
+            raise StoreError(f"ttl must be positive or None, got {ttl}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise StoreError(
+                f"ewma_alpha must be in (0, 1], got {ewma_alpha}"
+            )
+        self.ttl = ttl
+        self.ewma_alpha = ewma_alpha
+        self._clock = clock if clock is not None else time.time
+        self._entries: Dict[str, StoreEntry] = {}
+        self._lock = threading.RLock()
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    # Lookup / update
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: str) -> Optional[StoreEntry]:
+        """The live entry for a workload class, or ``None``.
+
+        Expired entries are evicted here (lazy TTL): the miss the caller
+        sees is what sends the next launch back to micro-profiling.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if self._expired(entry):
+                del self._entries[key]
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return None
+            entry.hits += 1
+            self.stats.hits += 1
+            return entry
+
+    def peek(self, key: str) -> Optional[StoreEntry]:
+        """A side-effect-free read for load estimation.
+
+        Unlike :meth:`lookup`, peeking never counts a hit or miss and
+        never evicts: schedulers consult it when *costing* a request, not
+        when serving one, so it must not skew the serving statistics.
+        Expired entries still read as absent.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or self._expired(entry):
+                return None
+            return entry
+
+    def publish(
+        self,
+        key: str,
+        kernel: str,
+        selected: str,
+        cycles_per_unit: float,
+        mode: Optional[str] = None,
+        flow: Optional[str] = None,
+    ) -> StoreEntry:
+        """Record (or fold into) the selection for a workload class.
+
+        A repeat publication with the *same* winner updates the EWMA; a
+        different winner replaces the entry outright (the input regime
+        crossed a crossover point — old statistics no longer describe the
+        new champion).
+        """
+        with self._lock:
+            now = self._clock()
+            entry = self._entries.get(key)
+            if (
+                entry is not None
+                and entry.selected == selected
+                and not self._expired(entry)
+            ):
+                entry.observe(cycles_per_unit, self.ewma_alpha)
+                entry.recorded_at = now
+                entry.mode, entry.flow = mode, flow
+            else:
+                entry = StoreEntry(
+                    key=key,
+                    kernel=kernel,
+                    selected=selected,
+                    mode=mode,
+                    flow=flow,
+                    cycles_per_unit=float(cycles_per_unit),
+                    recorded_at=now,
+                )
+                self._entries[key] = entry
+            self.stats.puts += 1
+            return entry
+
+    def invalidate_kernel(self, kernel: str) -> int:
+        """Drop every entry of one kernel (registration changed).
+
+        Returns the number of entries evicted; wired to the runtime's
+        invalidation hooks so a pool re-registration anywhere in the
+        fleet kills persisted selections for that kernel.
+        """
+        with self._lock:
+            doomed = [
+                key
+                for key, entry in self._entries.items()
+                if entry.kernel == kernel
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
+
+    def _expired(self, entry: StoreEntry) -> bool:
+        """Whether an entry has outlived the store TTL."""
+        if self.ttl is None:
+            return False
+        return self._clock() - entry.recorded_at > self.ttl
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Serialize to JSON atomically (temp file + rename).
+
+        Entries are stored with their *age* rather than an absolute
+        timestamp, so TTL accounting survives process restarts on a
+        different clock origin.
+        """
+        with self._lock:
+            now = self._clock()
+            doc = {
+                "schema_version": SCHEMA_VERSION,
+                "entries": [
+                    {**asdict(entry), "age": max(0.0, now - entry.recorded_at)}
+                    for entry in self._entries.values()
+                ],
+            }
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, indent=1)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    @classmethod
+    def load(
+        cls,
+        path: str,
+        ttl: Optional[float] = None,
+        ewma_alpha: float = DEFAULT_EWMA_ALPHA,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> "SelectionStore":
+        """Deserialize a store written by :meth:`save`.
+
+        Raises :class:`StoreSchemaError` when the file's
+        ``schema_version`` does not match :data:`SCHEMA_VERSION` (a
+        serving fleet must not trust keys derived under different
+        bucketing rules), and :class:`StoreError` for unreadable or
+        structurally corrupt files.  Failure is all-or-nothing: a store
+        is never partially loaded.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except OSError as exc:
+            raise StoreError(f"cannot read selection store {path!r}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise StoreError(
+                f"selection store {path!r} is corrupt (invalid JSON: {exc})"
+            )
+        if not isinstance(doc, dict) or "schema_version" not in doc:
+            raise StoreSchemaError(
+                f"selection store {path!r} has no schema_version; refusing "
+                "to interpret it"
+            )
+        version = doc["schema_version"]
+        if version != SCHEMA_VERSION:
+            raise StoreSchemaError(
+                f"selection store {path!r} has schema_version={version!r}, "
+                f"this build speaks {SCHEMA_VERSION}; re-profile instead of "
+                "trusting selections keyed under different rules"
+            )
+        entries = doc.get("entries")
+        if not isinstance(entries, list):
+            raise StoreError(
+                f"selection store {path!r} is corrupt: 'entries' is "
+                f"{type(entries).__name__}, expected a list"
+            )
+        store = cls(ttl=ttl, ewma_alpha=ewma_alpha, clock=clock)
+        now = store._clock()
+        for raw in entries:
+            if not isinstance(raw, dict):
+                raise StoreError(
+                    f"selection store {path!r} is corrupt: entry {raw!r} "
+                    "is not an object"
+                )
+            for name, types in _REQUIRED_FIELDS:
+                if not isinstance(raw.get(name), types):
+                    raise StoreError(
+                        f"selection store {path!r} is corrupt: entry "
+                        f"{raw.get('key')!r} field {name!r} is "
+                        f"{raw.get(name)!r}"
+                    )
+            age = float(raw.get("age", 0.0))
+            entry = StoreEntry(
+                key=raw["key"],
+                kernel=raw["kernel"],
+                selected=raw["selected"],
+                mode=raw.get("mode"),
+                flow=raw.get("flow"),
+                cycles_per_unit=float(raw["cycles_per_unit"]),
+                samples=int(raw.get("samples", 1)),
+                recorded_at=now - age,
+                hits=int(raw.get("hits", 0)),
+            )
+            store._entries[entry.key] = entry
+        return store
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> Iterator[str]:
+        """Snapshot of the live keys (no TTL filtering)."""
+        with self._lock:
+            return iter(tuple(self._entries))

@@ -58,6 +58,47 @@ class TestSelectionRecord:
     def test_cycles_per_unit(self):
         m = measurement("a", 100.0, units=4)
         assert m.cycles_per_unit == 25.0
+
+
+class TestHistoryLimit:
+    """The serving-longevity bugfix: measurement history is bounded."""
+
+    def test_history_is_bounded(self):
+        rec = record()
+        rec.history_limit = 8
+        for i in range(1000):
+            rec.observe(measurement(f"v{i}", 1000.0 + i))
+        assert len(rec.measurements) == 8
+
+    def test_best_survives_trimming(self):
+        rec = record()
+        rec.history_limit = 4
+        rec.observe(measurement("champ", 1.0))
+        for i in range(100):
+            rec.observe(measurement(f"v{i}", 1000.0 + i))
+        assert rec.selected == "champ"
+        assert rec.best_measurement().measured_cycles == 1.0
+        assert len(rec.measurements) == 4
+
+    def test_oldest_dropped_first(self):
+        rec = record()
+        rec.history_limit = 3
+        for name, cycles in (
+            ("a", 40.0),
+            ("b", 30.0),
+            ("c", 20.0),
+            ("d", 10.0),
+        ):
+            rec.observe(measurement(name, cycles))
+        assert [m.variant for m in rec.measurements] == ["b", "c", "d"]
+        assert rec.selected == "d"
+
+    def test_limit_never_binds_for_normal_pools(self):
+        rec = record()
+        for name, cycles in (("a", 30.0), ("b", 10.0), ("c", 20.0)):
+            rec.observe(measurement(name, cycles))
+        assert len(rec.measurements) == 3
+        assert [m.variant for m in rec.ranking()] == ["b", "c", "a"]
         empty = VariantMeasurement("a", 100.0, 0, True)
         assert empty.cycles_per_unit == float("inf")
 

@@ -1,0 +1,99 @@
+"""Workload-signature derivation: input-aware keys with stable buckets."""
+
+import numpy as np
+
+from repro.config import ReproConfig
+from repro.kernel.buffers import Buffer
+from repro.serve.signature import (
+    WorkloadSignature,
+    derive_signature,
+    log2_bucket,
+)
+from repro.workloads.matrices import diagonal_csr, random_csr
+
+
+def _buffer_args(elements):
+    return {
+        "x": Buffer("x", np.zeros(elements, dtype=np.float32), writable=False),
+        "y": Buffer("y", np.zeros(elements, dtype=np.float32)),
+    }
+
+
+class TestBuckets:
+    def test_log2_bucket_doubles_per_bucket(self):
+        assert log2_bucket(1) == 0
+        assert log2_bucket(2) == 1
+        assert log2_bucket(1023) == 9
+        assert log2_bucket(1024) == 10
+
+    def test_small_values_collapse(self):
+        assert log2_bucket(0) == 0
+        assert log2_bucket(0.5) == 0
+
+
+class TestDerivation:
+    def test_key_is_deterministic(self):
+        args = _buffer_args(4096)
+        a = derive_signature("k", "cpu", args, 64)
+        b = derive_signature("k", "cpu", args, 64)
+        assert a == b
+        assert a.key == b.key
+
+    def test_key_separates_device_kinds(self):
+        args = _buffer_args(4096)
+        cpu = derive_signature("k", "cpu", args, 64)
+        gpu = derive_signature("k", "gpu", args, 64)
+        assert cpu.key != gpu.key
+
+    def test_key_separates_size_regimes(self):
+        small = derive_signature("k", "cpu", _buffer_args(1 << 10), 16)
+        large = derive_signature("k", "cpu", _buffer_args(1 << 20), 16384)
+        assert small.key != large.key
+
+    def test_nearby_sizes_share_a_key(self):
+        a = derive_signature("k", "cpu", _buffer_args(4096), 100)
+        b = derive_signature("k", "cpu", _buffer_args(4100), 101)
+        assert a.key == b.key
+
+    def test_scalar_args_are_ignored(self):
+        args = _buffer_args(4096)
+        a = derive_signature("k", "cpu", args, 64)
+        b = derive_signature("k", "cpu", {**args, "alpha": 2.0}, 64)
+        assert a.key == b.key
+
+
+class TestSparseFeatures:
+    """The §4.4 motivation: regularity must separate workload classes."""
+
+    def test_random_vs_diagonal_matrices_differ(self):
+        config = ReproConfig()
+        random = random_csr(2048, 2048, 0.01, config)
+        diagonal = diagonal_csr(2048)
+        a = derive_signature("spmv", "cpu", {"matrix": random}, 512)
+        b = derive_signature("spmv", "cpu", {"matrix": diagonal}, 512)
+        assert a.key != b.key
+
+    def test_same_distribution_shares_a_key(self):
+        config = ReproConfig()
+        a_mat = random_csr(2048, 2048, 0.01, config)
+        b_mat = random_csr(2048, 2048, 0.01, ReproConfig(seed=7))
+        a = derive_signature("spmv", "cpu", {"matrix": a_mat}, 512)
+        b = derive_signature("spmv", "cpu", {"matrix": b_mat}, 512)
+        assert a.key == b.key
+
+    def test_sparse_features_present_in_key(self):
+        matrix = diagonal_csr(2048)
+        sig = derive_signature("spmv", "cpu", {"matrix": matrix}, 512)
+        names = dict(sig.features)
+        assert "matrix.cv" in names
+        assert "matrix.density^10" in names
+        assert "matrix.rownnz^2" in names
+
+
+class TestExplicitSignature:
+    def test_key_round_trips_fields(self):
+        sig = WorkloadSignature(
+            kernel="k", device_kind="cpu", features=(("a", "1"),)
+        )
+        assert sig.key == "k|cpu|a=1"
+        assert str(sig) == sig.key

@@ -1,0 +1,185 @@
+"""Persistent selection store: round-trip, TTL, schema rejection."""
+
+import json
+
+import pytest
+
+from repro.errors import StoreError, StoreSchemaError
+from repro.serve.store import SCHEMA_VERSION, SelectionStore
+
+
+class FakeClock:
+    """Deterministic injectable time source."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_store(**kwargs):
+    clock = kwargs.pop("clock", FakeClock())
+    return SelectionStore(clock=clock, **kwargs), clock
+
+
+class TestLifecycle:
+    def test_publish_then_lookup(self):
+        store, _ = make_store()
+        store.publish("k|cpu|a=1", kernel="k", selected="fast",
+                      cycles_per_unit=12.5, mode="fully", flow="async")
+        entry = store.lookup("k|cpu|a=1")
+        assert entry is not None
+        assert entry.selected == "fast"
+        assert entry.cycles_per_unit == 12.5
+        assert store.stats.hits == 1
+
+    def test_miss_counts(self):
+        store, _ = make_store()
+        assert store.lookup("nope") is None
+        assert store.stats.misses == 1
+
+    def test_repeat_publication_folds_ewma(self):
+        store, _ = make_store(ewma_alpha=0.5)
+        store.publish("key", kernel="k", selected="fast", cycles_per_unit=10.0)
+        store.publish("key", kernel="k", selected="fast", cycles_per_unit=20.0)
+        entry = store.lookup("key")
+        assert entry.cycles_per_unit == 15.0
+        assert entry.samples == 2
+
+    def test_new_winner_replaces_entry(self):
+        store, _ = make_store()
+        store.publish("key", kernel="k", selected="fast", cycles_per_unit=10.0)
+        store.publish("key", kernel="k", selected="other", cycles_per_unit=8.0)
+        entry = store.lookup("key")
+        assert entry.selected == "other"
+        assert entry.cycles_per_unit == 8.0
+        assert entry.samples == 1
+
+    def test_invalidate_kernel_drops_all_classes(self):
+        store, _ = make_store()
+        store.publish("k|cpu|a=1", kernel="k", selected="x", cycles_per_unit=1)
+        store.publish("k|cpu|a=2", kernel="k", selected="y", cycles_per_unit=1)
+        store.publish("j|cpu|a=1", kernel="j", selected="z", cycles_per_unit=1)
+        assert store.invalidate_kernel("k") == 2
+        assert store.lookup("k|cpu|a=1") is None
+        assert store.lookup("j|cpu|a=1") is not None
+
+
+class TestTTL:
+    def test_fresh_entry_survives(self):
+        store, clock = make_store(ttl=60.0)
+        store.publish("key", kernel="k", selected="fast", cycles_per_unit=1.0)
+        clock.advance(59.0)
+        assert store.lookup("key") is not None
+
+    def test_expired_entry_evicts(self):
+        store, clock = make_store(ttl=60.0)
+        store.publish("key", kernel="k", selected="fast", cycles_per_unit=1.0)
+        clock.advance(61.0)
+        assert store.lookup("key") is None
+        assert store.stats.expirations == 1
+
+    def test_republication_renews_ttl(self):
+        store, clock = make_store(ttl=60.0)
+        store.publish("key", kernel="k", selected="fast", cycles_per_unit=1.0)
+        clock.advance(50.0)
+        store.publish("key", kernel="k", selected="fast", cycles_per_unit=2.0)
+        clock.advance(50.0)
+        assert store.lookup("key") is not None
+
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(StoreError):
+            SelectionStore(ttl=0)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(StoreError):
+            SelectionStore(ewma_alpha=0.0)
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        store, clock = make_store()
+        store.publish("k|cpu|a=1", kernel="k", selected="fast",
+                      cycles_per_unit=12.5, mode="fully", flow="async")
+        store.publish("k|cpu|a=2", kernel="k", selected="slow",
+                      cycles_per_unit=99.0)
+        store.save(path)
+        loaded = SelectionStore.load(path, clock=FakeClock(5000.0))
+        assert len(loaded) == 2
+        entry = loaded.lookup("k|cpu|a=1")
+        assert entry.selected == "fast"
+        assert entry.cycles_per_unit == 12.5
+        assert entry.mode == "fully"
+
+    def test_age_survives_restart(self, tmp_path):
+        """TTL accounting continues across a process boundary."""
+        path = str(tmp_path / "store.json")
+        store, clock = make_store(ttl=100.0)
+        store.publish("key", kernel="k", selected="fast", cycles_per_unit=1.0)
+        clock.advance(80.0)
+        store.save(path)
+        # New process: different clock origin, same TTL.
+        new_clock = FakeClock(123456.0)
+        loaded = SelectionStore.load(path, ttl=100.0, clock=new_clock)
+        assert loaded.lookup("key") is not None  # 80s old, under 100s.
+        new_clock.advance(30.0)
+        assert loaded.lookup("key") is None  # 110s old, over.
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        store, _ = make_store()
+        store.publish("key", kernel="k", selected="fast", cycles_per_unit=1.0)
+        store.save(path)
+        doc = json.loads(open(path).read())
+        doc["schema_version"] = SCHEMA_VERSION + 1
+        open(path, "w").write(json.dumps(doc))
+        with pytest.raises(StoreSchemaError):
+            SelectionStore.load(path)
+
+    def test_missing_version_rejected(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        open(path, "w").write(json.dumps({"entries": []}))
+        with pytest.raises(StoreSchemaError):
+            SelectionStore.load(path)
+
+    def test_corrupt_json_rejected(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        store, _ = make_store()
+        store.publish("key", kernel="k", selected="fast", cycles_per_unit=1.0)
+        store.save(path)
+        raw = open(path).read()
+        open(path, "w").write(raw[: len(raw) // 2])  # truncate mid-object
+        with pytest.raises(StoreError):
+            SelectionStore.load(path)
+
+    def test_corrupt_entry_rejected(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        doc = {
+            "schema_version": SCHEMA_VERSION,
+            "entries": [{"key": "k", "kernel": "k"}],  # missing fields
+        }
+        open(path, "w").write(json.dumps(doc))
+        with pytest.raises(StoreError):
+            SelectionStore.load(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            SelectionStore.load(str(tmp_path / "absent.json"))
+
+    def test_save_is_atomic(self, tmp_path):
+        """A save never leaves a half-written store at the target path."""
+        path = str(tmp_path / "store.json")
+        store, _ = make_store()
+        store.publish("key", kernel="k", selected="fast", cycles_per_unit=1.0)
+        store.save(path)
+        store.save(path)  # overwrite in place
+        loaded = SelectionStore.load(path)
+        assert len(loaded) == 1
+        assert not [
+            p for p in tmp_path.iterdir() if p.suffix == ".tmp"
+        ], "temp files must not survive a save"
