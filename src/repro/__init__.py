@@ -20,9 +20,10 @@ Quick start::
 
 Subpackages: :mod:`repro.kernel` (programming model), :mod:`repro.device`
 (simulated CPU/GPU), :mod:`repro.compiler` (variants, analyses, baseline
-heuristics), :mod:`repro.core` (the DySel runtime), :mod:`repro.workloads`
-(the evaluation's benchmarks) and :mod:`repro.harness` (experiments
-regenerating every table and figure).
+heuristics), :mod:`repro.core` (the DySel runtime), :mod:`repro.faults`
+(deterministic fault injection and variant quarantine),
+:mod:`repro.workloads` (the evaluation's benchmarks) and
+:mod:`repro.harness` (experiments regenerating every table and figure).
 """
 
 from .analyze import (
@@ -41,7 +42,13 @@ from .core import (
     LaunchResult,
 )
 from .device import ExecutionEngine, make_cpu, make_gpu
-from .errors import ReproError, VerificationError
+from .errors import (
+    LaunchAbortedError,
+    ReproError,
+    VariantFault,
+    VerificationError,
+)
+from .faults import FaultKind, FaultPlan, FaultRule, VariantQuarantine
 from .modes import OrchestrationFlow, ProfilingMode
 from .serve import (
     LaunchScheduler,
@@ -59,6 +66,10 @@ __all__ = [
     "DySelKernelRegistry",
     "DySelRuntime",
     "ExecutionEngine",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "LaunchAbortedError",
     "LaunchResult",
     "LaunchScheduler",
     "NoiseModel",
@@ -70,6 +81,8 @@ __all__ = [
     "SelectionStore",
     "ServeRequest",
     "Severity",
+    "VariantFault",
+    "VariantQuarantine",
     "WorkloadSignature",
     "VerificationError",
     "VerificationReport",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 import numpy as np
 
@@ -55,6 +56,67 @@ class NoiseModel:
 
 
 @dataclass(frozen=True)
+class FaultPolicy:
+    """Runtime fault-tolerance knobs (:mod:`repro.faults`, ``docs/faults.md``).
+
+    Controls how the hardened runtime reacts to :class:`~repro.errors.VariantFault`
+    failures: transient faults are retried with capped exponential backoff
+    (``backoff_base_cycles × 2^attempt``, capped at ``backoff_cap_cycles``),
+    hung tasks are declared dead once a profiling wait exceeds
+    ``hang_deadline_cycles`` on the device clock, and a variant that
+    accumulates ``quarantine_threshold`` faults is quarantined for
+    ``parole_ttl`` clock seconds before it may run again on parole.
+    """
+
+    #: Transient-fault resubmission attempts per submission (0 disables).
+    max_retries: int = 3
+    #: First retry's host-side backoff, in device cycles.
+    backoff_base_cycles: float = 500.0
+    #: Exponential backoff ceiling, in device cycles.
+    backoff_cap_cycles: float = 8_000.0
+    #: Device cycles a profiling wait may block before declaring a hang.
+    hang_deadline_cycles: float = 5_000_000.0
+    #: Faults (lifetime, per variant) that trigger quarantine.
+    quarantine_threshold: int = 2
+    #: Quarantine duration in ledger-clock seconds (``None`` = forever).
+    parole_ttl: Optional[float] = 600.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base_cycles < 0 or self.backoff_cap_cycles < 0:
+            raise ConfigurationError(
+                "backoff cycles must be >= 0, got "
+                f"{self.backoff_base_cycles}/{self.backoff_cap_cycles}"
+            )
+        if self.hang_deadline_cycles <= 0:
+            raise ConfigurationError(
+                "hang_deadline_cycles must be > 0, got "
+                f"{self.hang_deadline_cycles}"
+            )
+        if self.quarantine_threshold < 1:
+            raise ConfigurationError(
+                "quarantine_threshold must be >= 1, got "
+                f"{self.quarantine_threshold}"
+            )
+        if self.parole_ttl is not None and self.parole_ttl <= 0:
+            raise ConfigurationError(
+                f"parole_ttl must be positive or None, got {self.parole_ttl}"
+            )
+
+    def backoff_cycles(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based), capped."""
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        return min(
+            self.backoff_base_cycles * (2.0 ** (attempt - 1)),
+            self.backoff_cap_cycles,
+        )
+
+
+@dataclass(frozen=True)
 class ReproConfig:
     """Root configuration threaded through devices, workloads and harness."""
 
@@ -76,6 +138,9 @@ class ReproConfig:
     #: cheapest legal combination, ``"off"`` skips verification entirely
     #: (pre-verifier behaviour).
     verify: str = "warn"
+    #: Fault-tolerance policy (:mod:`repro.faults`): retry/backoff caps,
+    #: hang deadlines, and quarantine thresholds for the hardened runtime.
+    faults: FaultPolicy = field(default_factory=FaultPolicy)
     #: Runtime tracing (:mod:`repro.obs`): when set, runtimes and engines
     #: record structured launch events (profile spans, eager chunks,
     #: selection updates, cache traffic) for export to Chrome trace JSON

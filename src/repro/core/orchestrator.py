@@ -15,19 +15,34 @@ between:
   (the ¹–» steps of Fig 4b).  On the GPU the query latency exceeds the
   micro-profile time, so few or zero eager chunks dispatch and async
   degenerates to sync — the §5.1 observation, reproduced mechanically.
+
+Both flows are *hardened* against variant faults (:mod:`repro.faults`):
+when the engine carries a fault injector, every submission runs behind
+transient retries with capped backoff, waits carry hang deadlines, and a
+candidate that crashes / corrupts / hangs is dropped from selection with
+its productive slice queued for repair by a surviving variant.  When no
+injector is installed the pre-hardening code paths run bit-for-bit
+unchanged — clean launches pay nothing for the machinery.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..compiler.analyses.safe_point import lcm_of
 from ..compiler.variants import VariantPool
 from ..config import ReproConfig
 from ..device.engine import ExecutionEngine, Priority, TaskHandle
 from ..device.stream import Stream
-from ..errors import ProfilingError
+from ..errors import (
+    ProfilingError,
+    ProfilingFaultError,
+    TransientDeviceFault,
+    VariantFault,
+)
+from ..faults.plan import FaultRecord
+from ..kernel.kernel import WorkRange
 from ..kernel.launch import LaunchConfig
 from ..modes import OrchestrationFlow
 from ..obs.events import EventKind
@@ -54,6 +69,10 @@ class OrchestrationResult:
     end_cycles: float
     eager_chunks: int = 0
     eager_units: int = 0
+    #: Variant faults handled (and survived) during this launch.
+    faults: Tuple[FaultRecord, ...] = ()
+    #: Workload units re-run by a survivor after a productive-slice fault.
+    repaired_units: int = 0
 
     @property
     def elapsed_cycles(self) -> float:
@@ -66,21 +85,196 @@ class OrchestrationResult:
         return self.profiling_done_cycles - self.start_cycles
 
 
+def _note_fault(
+    engine: ExecutionEngine,
+    faults: List[FaultRecord],
+    kernel: str,
+    variant: str,
+    kind: str,
+    stage: str,
+    attempts: int = 1,
+    message: str = "",
+) -> None:
+    """Record one handled fault and emit its ``FAULT_INJECT`` event."""
+    faults.append(
+        FaultRecord(
+            kernel=kernel,
+            variant=variant,
+            kind=kind,
+            stage=stage,
+            at_cycles=engine.now,
+            attempts=attempts,
+            message=message,
+        )
+    )
+    if engine.tracer.enabled:
+        engine.tracer.instant(
+            EventKind.FAULT_INJECT,
+            variant,
+            engine.now,
+            fault_kind=kind,
+            stage=stage,
+            attempts=attempts,
+            message=message,
+        )
+
+
+def _note_fault_exc(
+    engine: ExecutionEngine,
+    faults: List[FaultRecord],
+    kernel: str,
+    exc: VariantFault,
+    stage: str,
+) -> None:
+    """Record a raised :class:`VariantFault` (see :func:`_note_fault`)."""
+    _note_fault(
+        engine,
+        faults,
+        kernel,
+        exc.variant,
+        exc.kind or type(exc).__name__,
+        stage,
+        attempts=getattr(exc, "attempts", 1),
+        message=str(exc),
+    )
+
+
+def _retry_transients(
+    engine: ExecutionEngine,
+    config: ReproConfig,
+    variant_name: str,
+    stage: str,
+    submit: Callable[[], TaskHandle],
+) -> TaskHandle:
+    """Run ``submit`` with capped exponential backoff on transient faults.
+
+    Retries up to ``config.faults.max_retries`` times, charging the
+    backoff as host time between attempts (the host really sits in a
+    retry loop).  A transient that outlives the retry budget re-raises
+    with its attempt count attached; other faults propagate untouched.
+    """
+    attempts = 1
+    while True:
+        try:
+            return submit()
+        except TransientDeviceFault as exc:
+            if attempts > config.faults.max_retries:
+                exc.attempts = attempts  # type: ignore[attr-defined]
+                raise
+            backoff = config.faults.backoff_cycles(attempts)
+            if engine.tracer.enabled:
+                engine.tracer.instant(
+                    EventKind.FAULT_RETRY,
+                    variant_name,
+                    engine.now,
+                    stage=stage,
+                    attempt=attempts,
+                    backoff_cycles=backoff,
+                )
+            engine.host_compute(backoff)
+            attempts += 1
+
+
 def _submit_profiling(
-    engine: ExecutionEngine, plan: ProfilingPlan
+    engine: ExecutionEngine,
+    plan: ProfilingPlan,
+    config: Optional[ReproConfig] = None,
+    faults: Optional[List[FaultRecord]] = None,
+    repairs: Optional[List[WorkRange]] = None,
+    kernel: str = "",
 ) -> Dict[str, TaskHandle]:
-    """Launch every candidate's micro-profile on its own stream."""
+    """Launch every candidate's micro-profile on its own stream.
+
+    With fault bookkeeping supplied (hardened callers), a candidate whose
+    submission faults permanently is skipped: its fault is recorded, and
+    a productive slice it owned is queued for repair.  Returned handles
+    may include hung tasks — callers must use deadline waits.
+    """
     handles: Dict[str, TaskHandle] = {}
     for task in plan.tasks:
         stream = Stream(engine, f"profile.{task.variant.name}")
-        handles[task.variant.name] = stream.submit(
-            task.variant,
-            task.args,
-            task.units,
-            priority=Priority.PROFILING,
-            measure=True,
-        )
+
+        def submit(task=task, stream=stream) -> TaskHandle:
+            return stream.submit(
+                task.variant,
+                task.args,
+                task.units,
+                priority=Priority.PROFILING,
+                measure=True,
+            )
+
+        if faults is None or config is None:
+            handles[task.variant.name] = submit()
+            continue
+        try:
+            handles[task.variant.name] = _retry_transients(
+                engine, config, task.variant.name, "profile", submit
+            )
+        except VariantFault as exc:
+            _note_fault_exc(engine, faults, kernel, exc, "profile")
+            if task.productive and repairs is not None:
+                repairs.append(task.units)
     return handles
+
+
+def _run_batch_with_fallback(
+    engine: ExecutionEngine,
+    pool: VariantPool,
+    candidates: List[str],
+    args,
+    units: WorkRange,
+    config: ReproConfig,
+    faults: List[FaultRecord],
+    stage: str,
+    priority: Priority = Priority.BATCH,
+    stream: Optional[str] = None,
+) -> Optional[str]:
+    """Run a unit range to completion on the first candidate that can.
+
+    The hardened batch primitive: each candidate gets transient retries
+    and a hang deadline; a candidate that faults permanently hands the
+    *whole* range to the next one (a corrupt attempt's garbage is simply
+    overwritten by the successor).  Returns the completing variant's
+    name; raises :class:`ProfilingFaultError` when every candidate
+    fails — the caller decides whether that degrades or aborts the
+    launch.
+    """
+    if units.empty:
+        return None
+    tracer = engine.tracer
+    for name in candidates:
+        variant = pool.variant(name)
+
+        def submit(variant=variant) -> TaskHandle:
+            return engine.submit(
+                variant, args, units, priority=priority, stream=stream
+            )
+
+        try:
+            task = _retry_transients(engine, config, name, stage, submit)
+        except VariantFault as exc:
+            _note_fault_exc(engine, faults, pool.name, exc, stage)
+            continue
+        deadline = engine.now + config.faults.hang_deadline_cycles
+        if engine.wait_deadline(task, deadline):
+            if tracer.enabled:
+                tracer.task_span(EventKind.REMAINDER_BATCH, name, task)
+            return name
+        engine.cancel(task)
+        _note_fault(
+            engine,
+            faults,
+            pool.name,
+            name,
+            "hang",
+            stage,
+            message=f"task exceeded the {stage} hang deadline",
+        )
+    raise ProfilingFaultError(
+        f"kernel {pool.name!r}: no candidate could complete the {stage} "
+        f"range {units} (tried {candidates})",
+        faults=tuple(faults),
+    )
 
 
 def _measurement(
@@ -107,17 +301,56 @@ def run_sync(
     launch: LaunchConfig,
     config: ReproConfig,
 ) -> OrchestrationResult:
-    """Synchronous flow: profile, barrier, select, batch the remainder."""
+    """Synchronous flow: profile, barrier, select, batch the remainder.
+
+    With a fault injector installed the flow hardens: faulted candidates
+    drop out of selection, their productive slices are repaired by a
+    survivor, and hung candidates are cancelled at the hang deadline.
+    Zero survivors raises :class:`ProfilingFaultError` (sandboxes
+    released first) so the runtime can degrade the launch.
+    """
     start = engine.now
     tracer = engine.tracer
+    hardened = engine.injector is not None
     record = SelectionRecord(
         kernel=pool.name,
         mode=plan.mode,
         flow=OrchestrationFlow.SYNC,
         variant_order=pool.variant_names,
     )
-    handles = _submit_profiling(engine, plan)
-    engine.wait_all(list(handles.values()))
+    faults: List[FaultRecord] = []
+    repairs: List[WorkRange] = []
+    if not hardened:
+        handles = _submit_profiling(engine, plan)
+        engine.wait_all(list(handles.values()))
+    else:
+        handles = _submit_profiling(
+            engine, plan, config, faults, repairs, kernel=pool.name
+        )
+        deadline = engine.now + config.faults.hang_deadline_cycles
+        for name in list(handles):
+            if engine.wait_deadline(handles[name], deadline):
+                continue
+            engine.cancel(handles.pop(name))
+            _note_fault(
+                engine,
+                faults,
+                pool.name,
+                name,
+                "hang",
+                "profile",
+                message="micro-profile exceeded the hang deadline",
+            )
+            task = plan.task_for(name)
+            if task.productive:
+                repairs.append(task.units)
+        if not handles:
+            plan.allocator.release_all()
+            raise ProfilingFaultError(
+                f"kernel {pool.name!r}: every profiling candidate faulted "
+                "in the synchronous flow",
+                faults=tuple(faults),
+            )
     for name, handle in handles.items():
         engine.host_compute(SELECTION_COMPARE_CYCLES)
         measurement = _measurement(plan, name, handle)
@@ -142,20 +375,48 @@ def run_sync(
     profiling_done = engine.now
 
     winner = pool.variant(record.selected)
-    if not plan.remainder.empty:
-        remainder_task = engine.submit(
-            winner, launch.args, plan.remainder, priority=Priority.BATCH
-        )
-        engine.wait(remainder_task)
-        if tracer.enabled:
-            tracer.task_span(
-                EventKind.REMAINDER_BATCH, winner.name, remainder_task
+    if not hardened:
+        if not plan.remainder.empty:
+            remainder_task = engine.submit(
+                winner, launch.args, plan.remainder, priority=Priority.BATCH
             )
+            engine.wait(remainder_task)
+            if tracer.enabled:
+                tracer.task_span(
+                    EventKind.REMAINDER_BATCH, winner.name, remainder_task
+                )
+        return OrchestrationResult(
+            record=record,
+            start_cycles=start,
+            profiling_done_cycles=profiling_done,
+            end_cycles=engine.now,
+        )
+
+    faulty = {fault.variant for fault in faults}
+    candidates = [record.selected] + [
+        name
+        for name in pool.variant_names
+        if name != record.selected and name not in faulty
+    ]
+    repaired_units = 0
+    for units in repairs:
+        _run_batch_with_fallback(
+            engine, pool, candidates, launch.args, units, config, faults,
+            stage="repair",
+        )
+        repaired_units += len(units)
+    if not plan.remainder.empty:
+        _run_batch_with_fallback(
+            engine, pool, candidates, launch.args, plan.remainder, config,
+            faults, stage="remainder",
+        )
     return OrchestrationResult(
         record=record,
         start_cycles=start,
         profiling_done_cycles=profiling_done,
         end_cycles=engine.now,
+        faults=tuple(faults),
+        repaired_units=repaired_units,
     )
 
 
@@ -182,13 +443,30 @@ def run_async(
         )
     start = engine.now
     tracer = engine.tracer
+    hardened = engine.injector is not None
     record = SelectionRecord(
         kernel=pool.name,
         mode=plan.mode,
         flow=OrchestrationFlow.ASYNC,
         variant_order=pool.variant_names,
     )
-    handles = _submit_profiling(engine, plan)
+    faults: List[FaultRecord] = []
+    repairs: List[WorkRange] = []
+    if not hardened:
+        handles = _submit_profiling(engine, plan)
+    else:
+        handles = _submit_profiling(
+            engine, plan, config, faults, repairs, kernel=pool.name
+        )
+        if not handles:
+            plan.allocator.release_all()
+            raise ProfilingFaultError(
+                f"kernel {pool.name!r}: every profiling candidate faulted "
+                "at submission in the asynchronous flow",
+                faults=tuple(faults),
+            )
+    #: Variants that faulted this launch; barred from eager dispatch.
+    blocklist: Set[str] = {fault.variant for fault in faults}
 
     current_best = initial_variant or pool.initial_default
     assert current_best is not None
@@ -204,6 +482,11 @@ def run_async(
         ),
     )
 
+    deadline = (
+        engine.now + config.faults.hang_deadline_cycles
+        if hardened
+        else float("inf")
+    )
     remaining = plan.remainder
     eager_chunks = 0
     eager_units = 0
@@ -211,6 +494,27 @@ def run_async(
     outstanding: List[TaskHandle] = []
     pending: List[str] = [name for name in handles]
     while pending:
+        if engine.now > deadline:
+            # Whatever is still pending is hung (or starved behind a
+            # hang): cancel it, queue productive slices for repair, and
+            # select from the candidates that did finish.
+            for name in pending:
+                engine.cancel(handles[name])
+                _note_fault(
+                    engine,
+                    faults,
+                    pool.name,
+                    name,
+                    "hang",
+                    "profile",
+                    message="micro-profile exceeded the hang deadline",
+                )
+                blocklist.add(name)
+                task = plan.task_for(name)
+                if task.productive:
+                    repairs.append(task.units)
+            pending = []
+            break
         finished_now: List[str] = []
         for name in pending:
             if engine.poll(handles[name]):
@@ -247,37 +551,115 @@ def run_async(
             for task in outstanding
             if not (task.finished and task.last_end <= engine.now)
         ]
+        eager_best = current_best
+        if eager_best in blocklist:
+            eager_best = next(
+                (n for n in pool.variant_names if n not in blocklist), None
+            )
         if (
             pending
+            and eager_best is not None
             and not remaining.empty
             and len(outstanding) < MAX_OUTSTANDING_EAGER_CHUNKS
         ):
-            chunk, remaining = remaining.take(chunk_units)
-            task = engine.submit(
-                pool.variant(current_best),
-                launch.args,
-                chunk,
-                priority=Priority.EAGER,
-            )
+            chunk, rest = remaining.take(chunk_units)
+            eager_variant = pool.variant(eager_best)
+
+            def submit_eager(
+                eager_variant=eager_variant, chunk=chunk
+            ) -> TaskHandle:
+                return engine.submit(
+                    eager_variant,
+                    launch.args,
+                    chunk,
+                    priority=Priority.EAGER,
+                )
+
+            if not hardened:
+                task = submit_eager()
+            else:
+                try:
+                    task = _retry_transients(
+                        engine, config, eager_best, "eager", submit_eager
+                    )
+                except VariantFault as exc:
+                    # Chunk untouched (or overwritten later): leave it at
+                    # the head of ``remaining`` for another variant.
+                    _note_fault_exc(engine, faults, pool.name, exc, "eager")
+                    blocklist.add(eager_best)
+                    continue
+            remaining = rest
             outstanding.append(task)
-            eager_tasks.append((eager_chunks, current_best, task))
+            eager_tasks.append((eager_chunks, eager_best, task))
             eager_chunks += 1
             eager_units += len(chunk)
 
-    assert record.selected is not None
+    if record.selected is None:
+        plan.allocator.release_all()
+        raise ProfilingFaultError(
+            f"kernel {pool.name!r}: every profiling candidate faulted in "
+            "the asynchronous flow",
+            faults=tuple(faults),
+        )
     plan.finalize(record.selected, launch)
     profiling_done = engine.now
 
     remainder_task = None
-    if not remaining.empty:
-        remainder_task = engine.submit(
-            pool.variant(record.selected),
-            launch.args,
-            remaining,
-            priority=Priority.BATCH,
-        )
-        engine.wait(remainder_task)
+    if not hardened:
+        if not remaining.empty:
+            remainder_task = engine.submit(
+                pool.variant(record.selected),
+                launch.args,
+                remaining,
+                priority=Priority.BATCH,
+            )
+            engine.wait(remainder_task)
+    else:
+        candidates = [record.selected] + [
+            name
+            for name in pool.variant_names
+            if name != record.selected and name not in blocklist
+        ]
+        if not remaining.empty:
+            _run_batch_with_fallback(
+                engine, pool, candidates, launch.args, remaining, config,
+                faults, stage="remainder",
+            )
     engine.barrier()
+    repaired_units = 0
+    if hardened:
+        # A hung eager chunk survives the barrier (it was never
+        # scheduled): cancel it and repair its range, which the winner
+        # re-runs below.
+        for index, variant_name, task in list(eager_tasks):
+            if task.finished:
+                continue
+            engine.cancel(task)
+            _note_fault(
+                engine,
+                faults,
+                pool.name,
+                variant_name,
+                "hang",
+                "eager",
+                message=f"eager chunk {index} never completed",
+            )
+            blocklist.add(variant_name)
+            eager_tasks = [t for t in eager_tasks if t[2] is not task]
+            eager_chunks -= 1
+            eager_units -= len(task.units)
+            repairs.append(task.units)
+        candidates = [record.selected] + [
+            name
+            for name in pool.variant_names
+            if name != record.selected and name not in blocklist
+        ]
+        for units in repairs:
+            _run_batch_with_fallback(
+                engine, pool, candidates, launch.args, units, config,
+                faults, stage="repair",
+            )
+            repaired_units += len(units)
     if tracer.enabled:
         # Eager chunks finish out of order with profiling polls; after
         # the barrier every handle is final, so their spans are exact.
@@ -301,4 +683,6 @@ def run_async(
         end_cycles=engine.now,
         eager_chunks=eager_chunks,
         eager_units=eager_units,
+        faults=tuple(faults),
+        repaired_units=repaired_units,
     )

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Callable, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..analyze.diagnostics import VerificationReport
 from ..analyze.gate import gate_launch
@@ -40,13 +40,22 @@ from ..compiler.variants import VariantPool
 from ..config import ReproConfig
 from ..device.base import Device
 from ..device.engine import ExecutionEngine, Priority
-from ..errors import AnalysisError, LaunchError, ProfilingError
+from ..errors import (
+    AnalysisError,
+    LaunchAbortedError,
+    LaunchError,
+    ProfilingError,
+    ProfilingFaultError,
+)
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan, FaultRecord
+from ..faults.quarantine import VariantQuarantine
 from ..kernel.kernel import KernelSpec, KernelVariant, WorkRange
 from ..kernel.launch import LaunchConfig
 from ..modes import OrchestrationFlow, ProfilingMode
 from ..obs.events import EventKind
 from . import policy
-from .orchestrator import run_async, run_sync
+from .orchestrator import _run_batch_with_fallback, run_async, run_sync
 from .productive import ProfilingPlan, plan_profiling
 from .registry import DySelKernelRegistry
 from .selection import SelectionCache, SelectionRecord
@@ -109,6 +118,38 @@ class DySelRuntime:
         #: serving layer registers one per runtime so persistent-store
         #: entries die together with the in-memory cache entry.
         self._invalidation_hooks: List[Callable[[str, str], None]] = []
+        #: Repeat-offender ledger: variants that keep faulting are barred
+        #: from selection until parole (see :mod:`repro.faults`).  The
+        #: serving layer may replace this with a store-shared ledger so
+        #: quarantines persist across worker runtimes.
+        self.quarantine = VariantQuarantine(self.config.faults)
+        #: Cache of quarantine-restricted pools, keyed by
+        #: ``(kernel, barred-names)`` so repeat launches under a stable
+        #: quarantine set do not rebuild the filtered pool each time.
+        self._restricted_pools: Dict[
+            Tuple[str, Tuple[str, ...]], VariantPool
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Fault injection (chaos testing)
+    # ------------------------------------------------------------------
+
+    def install_faults(self, plan: FaultPlan) -> FaultInjector:
+        """Install a :class:`FaultPlan` on this runtime's engine.
+
+        Installing an injector arms the hardened launch paths: transient
+        retries, hang deadlines, productive-slice repair, quarantine and
+        the degradation ladder (``docs/faults.md``).  Without an injector
+        the runtime behaves exactly as before — fault handling costs
+        nothing when chaos testing is off.
+        """
+        injector = FaultInjector(plan)
+        self.engine.injector = injector
+        return injector
+
+    def clear_faults(self) -> None:
+        """Remove any installed fault injector (back to clean runs)."""
+        self.engine.injector = None
 
     def add_invalidation_hook(
         self, hook: Callable[[str, str], None]
@@ -239,7 +280,9 @@ class DySelRuntime:
         """
         if kernel_sig not in self.registry:
             raise LaunchError(f"kernel {kernel_sig!r} is not registered")
-        pool = self.registry.pool(kernel_sig)
+        if self.engine.injector is not None:
+            self.engine.injector.kernel = kernel_sig
+        pool = self._active_pool(kernel_sig, self.registry.pool(kernel_sig))
         launch = LaunchConfig.create(
             pool.spec.signature, args, workload_units
         )
@@ -359,18 +402,27 @@ class DySelRuntime:
         if demotion_note:
             reason += "; " + demotion_note
 
-        if effective_flow is OrchestrationFlow.SYNC:
-            outcome = run_sync(self.engine, pool, plan, launch, self.config)
-        else:
-            outcome = run_async(
-                self.engine,
-                pool,
-                plan,
-                launch,
-                self.config,
-                initial_variant=initial_variant,
+        try:
+            if effective_flow is OrchestrationFlow.SYNC:
+                outcome = run_sync(
+                    self.engine, pool, plan, launch, self.config
+                )
+            else:
+                outcome = run_async(
+                    self.engine,
+                    pool,
+                    plan,
+                    launch,
+                    self.config,
+                    initial_variant=initial_variant,
+                )
+        except ProfilingFaultError as exc:
+            return self._degrade_after_faults(
+                kernel_sig, pool, launch, reason, exc, stream_name
             )
         self.cache.record(outcome.record)
+        if outcome.faults:
+            self._note_faults(kernel_sig, outcome.faults)
         assert outcome.record.selected is not None
         result = LaunchResult(
             kernel=kernel_sig,
@@ -495,6 +547,142 @@ class DySelRuntime:
             stacklevel=4,
         )
 
+    # ------------------------------------------------------------------
+    # Fault handling: quarantine filtering and the degradation ladder
+    # ------------------------------------------------------------------
+
+    def _active_pool(
+        self, kernel_sig: str, pool: VariantPool
+    ) -> VariantPool:
+        """Filter quarantined variants out of the registered pool.
+
+        A quarantined variant must not be profiled, selected eagerly, or
+        replayed from a cached selection; barring it from the pool the
+        policy sees covers all three (``policy.decide`` already evicts
+        cached winners that are no longer in the pool).  Raises
+        :class:`LaunchAbortedError` when every variant is barred —
+        nothing can run until parole.
+        """
+        barred = self.quarantine.quarantined(kernel_sig)
+        if not barred:
+            return pool
+        kept = tuple(v for v in pool.variants if v.name not in barred)
+        if not kept:
+            raise LaunchAbortedError(
+                f"kernel {kernel_sig!r}: every variant is quarantined "
+                f"({', '.join(barred)}); nothing can run until parole",
+                kernel=kernel_sig,
+                quarantined=barred,
+            )
+        key = (kernel_sig, barred)
+        cached = self._restricted_pools.get(key)
+        if cached is not None:
+            return cached
+        default = pool.initial_default
+        if default in barred:
+            default = kept[0].name
+        restricted = VariantPool(
+            spec=pool.spec,
+            variants=kept,
+            mode=pool.mode,
+            initial_default=default,
+        )
+        self._restricted_pools[key] = restricted
+        return restricted
+
+    def _note_faults(
+        self, kernel_sig: str, faults: Sequence[FaultRecord]
+    ) -> None:
+        """Book observed faults into the quarantine ledger.
+
+        Each record counts one strike against its variant; crossing the
+        policy threshold quarantines it, emits a trace event, and fires
+        the selection-invalidation hooks (a persisted selection pinning a
+        now-quarantined variant must not be replayed).
+        """
+        for record in faults:
+            newly = self.quarantine.note_fault(
+                kernel_sig, record.variant, record.kind
+            )
+            if not newly:
+                continue
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    EventKind.VARIANT_QUARANTINE,
+                    record.variant,
+                    self.engine.now,
+                    kernel=kernel_sig,
+                    fault_kind=record.kind,
+                    fault_count=self.quarantine.fault_count(
+                        kernel_sig, record.variant
+                    ),
+                )
+            self._invalidate_selection(
+                kernel_sig,
+                f"variant {record.variant!r} quarantined after repeated "
+                "faults",
+            )
+
+    def _degrade_after_faults(
+        self,
+        kernel_sig: str,
+        pool: VariantPool,
+        launch: LaunchConfig,
+        reason: str,
+        exc: ProfilingFaultError,
+        stream_name: Optional[str],
+    ) -> LaunchResult:
+        """Profiling lost every candidate: degrade to a profiling-off run.
+
+        The degraded run re-executes the *whole* workload (overwriting
+        any garbage a corrupt candidate scribbled into productive slices)
+        with the best remaining default: prefer variants that neither
+        faulted in this launch nor sit in quarantine, then fall back to
+        faulted-but-unquarantined ones.  When nothing remains the launch
+        aborts with :class:`LaunchAbortedError`.
+        """
+        self._note_faults(kernel_sig, exc.faults)
+        faulted = tuple(sorted({f.variant for f in exc.faults}))
+        if self.tracer.enabled:
+            self.tracer.instant(
+                EventKind.LAUNCH_DEGRADED,
+                kernel_sig,
+                self.engine.now,
+                faults=len(exc.faults),
+                faulted=list(faulted),
+                error=str(exc),
+            )
+        active = [
+            name
+            for name in pool.variant_names
+            if not self.quarantine.is_quarantined(kernel_sig, name)
+        ]
+        if not active:
+            raise LaunchAbortedError(
+                f"kernel {kernel_sig!r}: profiling faulted on every "
+                "candidate and no variant survives quarantine",
+                kernel=kernel_sig,
+                quarantined=self.quarantine.quarantined(kernel_sig),
+                faulted=faulted,
+            ) from exc
+        clean = [name for name in active if name not in faulted]
+        default = clean[0] if clean else active[0]
+        note = (
+            "profiling faulted on every candidate; degraded to "
+            f"profiling-off with {default!r}"
+        )
+        self._warn_demotion(kernel_sig, note)
+        return self._launch_without_profiling(
+            pool,
+            launch,
+            policy.LaunchDecision(
+                profile=False,
+                variant_name=default,
+                reason=reason + "; " + note,
+            ),
+            stream_name=stream_name,
+        )
+
     def _launch_without_profiling(
         self,
         pool: VariantPool,
@@ -502,34 +690,80 @@ class DySelRuntime:
         decision: policy.LaunchDecision,
         stream_name: Optional[str] = None,
     ) -> LaunchResult:
-        """Run the decided variant over the whole workload in one batch."""
+        """Run the decided variant over the whole workload in one batch.
+
+        With a fault injector installed the batch runs through the
+        orchestrator's fallback chain: the decided variant first, then
+        every non-quarantined sibling, until one finishes the whole range
+        cleanly.  Exhausting the chain aborts the launch.
+        """
         assert decision.variant_name is not None
-        variant = pool.variant(decision.variant_name)
         start = self.engine.now
+        selected = decision.variant_name
+        reason = decision.reason
         task = None
-        if launch.workload_units > 0:
-            task = self.engine.submit(
-                variant,
-                launch.args,
-                WorkRange(0, launch.workload_units),
-                priority=Priority.BATCH,
-                stream=stream_name,
-            )
-            self.engine.wait(task)
+        if self.engine.injector is None:
+            variant = pool.variant(selected)
+            if launch.workload_units > 0:
+                task = self.engine.submit(
+                    variant,
+                    launch.args,
+                    WorkRange(0, launch.workload_units),
+                    priority=Priority.BATCH,
+                    stream=stream_name,
+                )
+                self.engine.wait(task)
+        elif launch.workload_units > 0:
+            candidates = [selected] + [
+                name
+                for name in pool.variant_names
+                if name != selected
+                and not self.quarantine.is_quarantined(pool.name, name)
+            ]
+            faults: List[FaultRecord] = []
+            try:
+                completed = _run_batch_with_fallback(
+                    self.engine,
+                    pool,
+                    candidates,
+                    launch.args,
+                    WorkRange(0, launch.workload_units),
+                    self.config,
+                    faults,
+                    stage="batch",
+                    priority=Priority.BATCH,
+                    stream=stream_name,
+                )
+            except ProfilingFaultError as exc:
+                self._note_faults(pool.name, exc.faults)
+                raise LaunchAbortedError(
+                    f"kernel {pool.name!r}: every runnable variant "
+                    "faulted on the batch run",
+                    kernel=pool.name,
+                    quarantined=self.quarantine.quarantined(pool.name),
+                    faulted=tuple(sorted({f.variant for f in exc.faults})),
+                ) from exc
+            self._note_faults(pool.name, faults)
+            if completed is not None and completed != selected:
+                reason += (
+                    f"; default {selected!r} faulted, batch completed by "
+                    f"{completed!r}"
+                )
+                selected = completed
         result = LaunchResult(
             kernel=pool.name,
-            selected=variant.name,
+            selected=selected,
             profiled=False,
             mode=None,
             flow=None,
             start_cycles=start,
             end_cycles=self.engine.now,
-            reason=decision.reason,
+            reason=reason,
         )
         if self.tracer.enabled:
             if task is not None:
                 self.tracer.task_span(
-                    EventKind.REMAINDER_BATCH, variant.name, task
+                    EventKind.REMAINDER_BATCH, selected, task
                 )
             self.tracer.instant(
                 EventKind.LAUNCH_END,
@@ -543,6 +777,6 @@ class DySelRuntime:
                 profiling_latency_cycles=0.0,
                 eager_chunks=0,
                 eager_units=0,
-                reason=decision.reason,
+                reason=reason,
             )
         return result

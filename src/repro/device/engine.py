@@ -87,10 +87,16 @@ class TaskHandle:
     first_start: float = float("inf")
     last_end: float = 0.0
     measured: Optional[MeasuredInterval] = None
+    #: Injected hang: the task was accepted but will never be scheduled.
+    hung: bool = False
+    #: The host gave up on this task (deadline expiry / fault cleanup).
+    cancelled: bool = False
 
     @property
     def finished(self) -> bool:
-        """True once every work-group has completed."""
+        """True once every work-group has completed (never for a hang)."""
+        if self.hung or self.cancelled:
+            return False
         return self.completed_work_groups >= self.total_work_groups
 
     @property
@@ -135,6 +141,9 @@ class ExecutionEngine:
         self._seq = itertools.count()
         self._busy_cycles = 0.0
         self._launch_count = 0
+        #: Optional fault injector (:mod:`repro.faults`); when installed,
+        #: it owns functional execution and may sabotage submissions.
+        self.injector = None
 
     # ------------------------------------------------------------------
     # Host-side API
@@ -172,16 +181,31 @@ class ExecutionEngine:
         buffers); schedules its work-groups for timing.  The host clock
         advances by the host-side share of the launch overhead; the
         work-groups become dispatchable after the device-side share.
+
+        With a fault injector installed the injector owns functional
+        execution: it may raise a :class:`~repro.errors.VariantFault`
+        (the submission never becomes a task — a crashed kernel launch),
+        slow the task's work-groups, or hang it (the task is returned
+        but will never finish; use :meth:`wait_deadline`).
         """
         overhead = self.device.spec.kernel_launch_overhead
         self._now += overhead * HOST_LAUNCH_FRACTION
         arrival = self._now + overhead * (1.0 - HOST_LAUNCH_FRACTION)
         self._launch_count += 1
 
-        variant.execute(args, units)
+        if self.injector is None:
+            variant.execute(args, units)
+            hang = False
+            latency_scale = 1.0
+        else:
+            outcome = self.injector.intercept(variant, args, units)
+            hang = outcome.hang
+            latency_scale = outcome.latency_scale
 
         true_costs = self.cost_model.workgroup_cycles(variant, args, units)
         durations = self.clock.jitter_durations(true_costs)
+        if latency_scale != 1.0:
+            durations = [d * latency_scale for d in durations]
 
         task = TaskHandle(
             task_id=next(self._seq),
@@ -195,7 +219,12 @@ class ExecutionEngine:
             _durations=deque(float(d) for d in durations),
             total_work_groups=int(len(durations)),
         )
-        if task.total_work_groups == 0:
+        if hang:
+            # Accepted by the driver, never scheduled: the task sits
+            # outside the arrival queue so barriers still drain, and only
+            # a deadline wait (then ``cancel``) gets the host unstuck.
+            task.hung = True
+        elif task.total_work_groups == 0:
             task.first_start = arrival
             task.last_end = arrival
             self._finalize(task)
@@ -268,6 +297,66 @@ class ExecutionEngine:
                 self._now,
             )
         return self._now
+
+    def wait_deadline(self, task: TaskHandle, deadline: float) -> bool:
+        """Block until a task completes or the host clock hits ``deadline``.
+
+        Returns True if the task finished.  Unlike :meth:`wait`, a task
+        that cannot make progress (an injected hang) does not wedge the
+        host: the clock advances to the deadline, other work keeps
+        flowing, and the caller decides what to do with the straggler
+        (usually :meth:`cancel`).
+        """
+        blocked_at = self._now
+        deadline = max(deadline, self._now)
+        while not task.finished:
+            if not self._advance_to(deadline, stop_task=task):
+                break
+        finished = task.finished
+        if finished:
+            self._now = max(self._now, task.last_end)
+        else:
+            self._now = max(self._now, deadline)
+            self._advance_to(self._now)
+        if self.tracer.enabled:
+            self.tracer.span(
+                EventKind.HOST_WAIT,
+                task.variant.name,
+                blocked_at,
+                self._now,
+                task_id=task.task_id,
+                deadline=deadline,
+                timed_out=not finished,
+            )
+        return finished
+
+    def cancel(self, task: TaskHandle) -> None:
+        """Abandon a task the host has given up on (hang cleanup).
+
+        Undelivered work-groups are dropped; already-dispatched ones
+        complete (a real device cannot claw back in-flight blocks, and
+        their cycles stay in the utilization accounting).  The task is
+        marked ``cancelled`` and will never read as finished.
+        """
+        self._arrivals = [
+            entry for entry in self._arrivals if entry[2] is not task
+        ]
+        heapq.heapify(self._arrivals)
+        for queue in self._ready.values():
+            if any(item[0] is task for item in queue):
+                kept = [item for item in queue if item[0] is not task]
+                queue.clear()
+                queue.extend(kept)
+        task._durations.clear()
+        task.cancelled = True
+        if self.tracer.enabled:
+            self.tracer.instant(
+                EventKind.TASK_CANCEL,
+                task.variant.name,
+                self._now,
+                task_id=task.task_id,
+                completed_work_groups=task.completed_work_groups,
+            )
 
     def barrier(self) -> float:
         """Drain every outstanding work-group (``cudaDeviceSynchronize``)."""

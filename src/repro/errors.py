@@ -98,6 +98,85 @@ class ProfilingError(DySelError):
     """Micro-profiling failed or was configured inconsistently."""
 
 
+class VariantFault(DySelError):
+    """A variant (or the device running it) misbehaved during execution.
+
+    Raised by a fault injector (:mod:`repro.faults`) at functional
+    execution time, and caught by the runtime's hardening layer: the
+    faulty candidate is excluded from selection, its sandbox/private
+    output is discarded, any productive slice it owned is re-run by a
+    surviving variant, and repeat offenders are quarantined.
+
+    ``variant``/``kernel`` name the offender; ``kind`` is the injected
+    :class:`repro.faults.FaultKind` value string.
+    """
+
+    def __init__(self, message: str, variant: str = "", kernel: str = "",
+                 kind: str = "") -> None:
+        super().__init__(message)
+        self.variant = variant
+        self.kernel = kernel
+        self.kind = kind
+
+
+class VariantCrashFault(VariantFault):
+    """The variant aborted before writing any output (kernel crash)."""
+
+
+class VariantCorruptionFault(VariantFault):
+    """The variant wrote garbage into its output slice."""
+
+
+class VariantHangFault(VariantFault):
+    """The variant never completed; detected by a deadline timeout."""
+
+
+class TransientDeviceFault(VariantFault):
+    """A transient device failure; retrying the submission may succeed."""
+
+
+class ProfilingFaultError(ProfilingError):
+    """Every profiling candidate faulted; no selection could be made.
+
+    Raised by the orchestration flows when zero candidates survive
+    micro-profiling.  The runtime catches it and degrades the launch to
+    a profiling-off run of the best non-quarantined variant (or raises
+    :class:`LaunchAbortedError` when none remains).  Carries the
+    :class:`repro.faults.FaultRecord` objects describing what happened.
+    """
+
+    def __init__(self, message: str, faults: tuple = ()) -> None:
+        super().__init__(message)
+        #: The :class:`repro.faults.FaultRecord` objects of this launch.
+        self.faults = tuple(faults)
+
+
+class LaunchAbortedError(LaunchError):
+    """A launch could not run on any variant (all quarantined/faulted).
+
+    The structured terminal failure of the degradation ladder
+    (``docs/faults.md``): profiling fell back to the pool default, the
+    default fell back to the remaining candidates, and every candidate
+    is either quarantined or faulted within this launch.  Carries the
+    kernel name and the per-variant disposition so callers can render
+    *why* nothing was runnable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kernel: str = "",
+        quarantined: tuple = (),
+        faulted: tuple = (),
+    ) -> None:
+        super().__init__(message)
+        self.kernel = kernel
+        #: Variant names quarantined before/during the launch.
+        self.quarantined = tuple(quarantined)
+        #: Variant names that faulted within this launch.
+        self.faulted = tuple(faulted)
+
+
 class SandboxError(DySelError):
     """Sandbox / private-output management error."""
 

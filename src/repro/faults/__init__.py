@@ -1,0 +1,51 @@
+"""Fault injection and graceful degradation for the DySel runtime.
+
+DySel's profiling is *productive* — candidate outputs become real
+results — so a misbehaving variant corrupts user-visible data, not just
+a timing sample.  This package supplies both halves of the answer:
+
+* **Injection** (:class:`FaultPlan`, :class:`FaultInjector`): a
+  deterministic, seedable script of variant crashes, wrong-output
+  corruption, latency spikes, hangs, and transient device failures,
+  applied at the engine's functional-execution boundary.
+* **Containment** (:class:`VariantQuarantine`): a thread-safe ledger
+  that bars repeat offenders from selection, with TTL-based parole,
+  persisted alongside selections in :class:`repro.serve.SelectionStore`.
+
+The hardening that *reacts* to injected faults — transient retries with
+capped backoff, discarding faulty sandboxes, re-running corrupt
+productive slices with a surviving variant, degrading to the pool
+default, and the structured :class:`repro.errors.LaunchAbortedError`
+terminal failure — lives in :mod:`repro.core` and
+:mod:`repro.serve`; see ``docs/faults.md`` for the state machine.
+"""
+
+from .injector import CLEAN, FaultInjector, InjectionOutcome, count_by_variant
+from .plan import (
+    RAISING_KINDS,
+    FaultDecision,
+    FaultKind,
+    FaultPlan,
+    FaultRecord,
+    FaultRule,
+    corrupt_once,
+    crash_once,
+)
+from .quarantine import QuarantineEntry, VariantQuarantine
+
+__all__ = [
+    "CLEAN",
+    "RAISING_KINDS",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultRule",
+    "InjectionOutcome",
+    "QuarantineEntry",
+    "VariantQuarantine",
+    "corrupt_once",
+    "count_by_variant",
+    "crash_once",
+]

@@ -1,0 +1,192 @@
+"""Fault injection at the engine's functional-execution boundary.
+
+:class:`FaultInjector` sits where :class:`repro.device.ExecutionEngine`
+would normally call ``variant.execute``: the engine hands every
+submission to :meth:`FaultInjector.intercept`, which consults the
+:class:`~repro.faults.FaultPlan` and either runs the variant cleanly or
+makes it misbehave.  Fault semantics, per kind:
+
+* **CRASH / TRANSIENT** — raise *before* functional execution; the
+  variant writes nothing, exactly like a kernel that aborted on its
+  first instruction.
+* **CORRUPT** — run the variant, then scribble seeded garbage over the
+  elements it wrote (detected by snapshot/diff of the writable buffers),
+  and raise.  The corrupt bytes are really in the buffers — hardening
+  must discard sandboxes and repair productive slices, not just note
+  the error.
+* **HANG** — skip execution and report ``hang=True``; the engine
+  accepts the task but never schedules it, so only a deadline wait
+  (:meth:`repro.device.ExecutionEngine.wait_deadline`) gets the host
+  unstuck.
+* **LATENCY** — run cleanly but report a work-group slowdown factor;
+  no error is raised, the candidate just measures slower.
+
+The injector is pure policy: it never touches the simulated clock or
+the scheduler, so timing stays the engine's business.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import (
+    TransientDeviceFault,
+    VariantCorruptionFault,
+    VariantCrashFault,
+)
+from ..kernel.kernel import KernelVariant, WorkRange
+from .plan import FaultDecision, FaultKind, FaultPlan
+
+
+@dataclass(frozen=True)
+class InjectionOutcome:
+    """What happened to one intercepted submission."""
+
+    #: Whether the variant's executor actually ran (and wrote output).
+    executed: bool
+    #: The engine must accept the task but never schedule it.
+    hang: bool = False
+    #: Multiplier on every work-group duration (1.0 = nominal).
+    latency_scale: float = 1.0
+    #: The plan decision behind any misbehaviour (``None`` = clean run).
+    decision: Optional[FaultDecision] = None
+
+
+#: Clean outcome shared by all uninjected submissions.
+CLEAN = InjectionOutcome(executed=True)
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to engine submissions.
+
+    One injector is installed per engine
+    (:meth:`repro.core.runtime.DySelRuntime.install_faults`); serving
+    fleets install one per device worker, all sharing a thread-safe
+    plan.  ``kernel`` is launch context set by the runtime so
+    kernel-scoped rules match; a worker runtime is single-threaded, so
+    plain attribute assignment is safe.
+    """
+
+    def __init__(self, plan: FaultPlan, kernel: Optional[str] = None) -> None:
+        """Wrap ``plan``; ``kernel`` seeds the launch context."""
+        self.plan = plan
+        self.kernel = kernel
+        self._rng = plan.corruption_rng()
+
+    def intercept(
+        self,
+        variant: KernelVariant,
+        args: Mapping[str, object],
+        units: WorkRange,
+    ) -> InjectionOutcome:
+        """Run (or sabotage) one submission's functional execution.
+
+        Raises the matching :class:`~repro.errors.VariantFault` subclass
+        for CRASH / TRANSIENT / CORRUPT decisions; returns an
+        :class:`InjectionOutcome` otherwise.
+        """
+        decision = self.plan.decide(variant.name, self.kernel)
+        if decision is None:
+            variant.execute(args, units)
+            return CLEAN
+
+        kind = decision.kind
+        if kind is FaultKind.CRASH:
+            raise VariantCrashFault(
+                f"variant {variant.name!r} crashed over {units} "
+                "(injected)",
+                variant=variant.name,
+                kernel=self.kernel or "",
+                kind=kind.value,
+            )
+        if kind is FaultKind.TRANSIENT:
+            raise TransientDeviceFault(
+                f"transient device failure running {variant.name!r} over "
+                f"{units} (injected)",
+                variant=variant.name,
+                kernel=self.kernel or "",
+                kind=kind.value,
+            )
+        if kind is FaultKind.HANG:
+            return InjectionOutcome(
+                executed=False, hang=True, decision=decision
+            )
+        if kind is FaultKind.LATENCY:
+            variant.execute(args, units)
+            return InjectionOutcome(
+                executed=True,
+                latency_scale=decision.magnitude,
+                decision=decision,
+            )
+
+        # CORRUPT: execute, then scribble over what was written.
+        before = _snapshot(args)
+        variant.execute(args, units)
+        scribbled = _scribble(args, before, self._rng)
+        raise VariantCorruptionFault(
+            f"variant {variant.name!r} corrupted {scribbled} element(s) "
+            f"over {units} (injected)",
+            variant=variant.name,
+            kernel=self.kernel or "",
+            kind=kind.value,
+        )
+
+
+def _snapshot(args: Mapping[str, object]) -> Dict[str, np.ndarray]:
+    """Copy every writable buffer's contents before execution."""
+    before: Dict[str, np.ndarray] = {}
+    for name, value in args.items():
+        data = _writable_array(value)
+        if data is not None:
+            before[name] = data.copy()
+    return before
+
+
+def _scribble(
+    args: Mapping[str, object],
+    before: Mapping[str, np.ndarray],
+    rng: np.random.Generator,
+) -> int:
+    """Overwrite every element the execution changed with seeded noise.
+
+    Diffing against the snapshot confines the damage to buffers (and
+    elements) the variant actually wrote — shared inputs are never
+    touched, so corruption cannot leak into sibling candidates through
+    read-only arguments.  Returns the number of elements scribbled.
+    """
+    scribbled = 0
+    for name, value in args.items():
+        data = _writable_array(value)
+        if data is None or name not in before:
+            continue
+        flat = data.reshape(-1)
+        old = before[name].reshape(-1)
+        changed = np.flatnonzero(flat != old)
+        if changed.size == 0:
+            continue
+        noise = rng.standard_normal(changed.size) * 1e6 + 1e6
+        flat[changed] = noise.astype(flat.dtype, copy=False)
+        scribbled += int(changed.size)
+    return scribbled
+
+
+def _writable_array(value: object) -> Optional[np.ndarray]:
+    """The mutable ndarray behind an argument, if it has one."""
+    data = getattr(value, "data", None)
+    if isinstance(data, np.ndarray) and getattr(value, "writable", False):
+        return data
+    if isinstance(value, np.ndarray):
+        return value
+    return None
+
+
+def count_by_variant(plan: FaultPlan) -> Dict[Tuple[str, str], int]:
+    """Aggregate a plan's injections to (kernel, variant) -> count."""
+    totals: Dict[Tuple[str, str], int] = {}
+    for (kernel, variant, _kind), n in plan.injections.items():
+        key = (kernel, variant)
+        totals[key] = totals.get(key, 0) + n
+    return totals

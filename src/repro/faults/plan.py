@@ -1,0 +1,249 @@
+"""Deterministic, seedable fault plans.
+
+A :class:`FaultPlan` is a script of misbehaviour for one run: a list of
+:class:`FaultRule` objects, each describing *what* goes wrong (a
+:class:`FaultKind`), *where* (kernel/variant matchers and an execution
+stage), and *when* (skip the first ``after`` matching submissions, then
+fire ``count`` times, each firing gated by ``probability`` drawn from a
+seeded RNG stream).  Given the same plan, seed, and workload, the same
+submissions fault — chaos runs are replayable from their seed alone,
+which is what lets CI echo a failing seed for local reproduction.
+
+Plans are consumed by :class:`repro.faults.FaultInjector`, which sits
+between the execution engine and the variants' functional executors.
+The runtime side of the story — retries, slice repair, quarantine,
+degradation — lives in :mod:`repro.core` and is documented in
+``docs/faults.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class FaultKind(enum.Enum):
+    """What a fault rule injects into a matching submission.
+
+    * ``CRASH`` — the variant aborts before writing anything; the
+      submission raises :class:`~repro.errors.VariantCrashFault`.
+    * ``CORRUPT`` — the variant runs, then its written elements are
+      scribbled over; raises :class:`~repro.errors.VariantCorruptionFault`.
+    * ``LATENCY`` — every work-group of the submission is slowed by
+      ``magnitude``× (no error; the candidate simply loses the race).
+    * ``HANG`` — the submission is accepted but never completes; callers
+      detect it with deadline waits and cancel the task.
+    * ``TRANSIENT`` — a transient device failure; raises
+      :class:`~repro.errors.TransientDeviceFault`, and retrying the same
+      submission may succeed (the rule's budget depletes per firing).
+    """
+
+    CRASH = "crash"
+    CORRUPT = "corrupt"
+    LATENCY = "latency"
+    HANG = "hang"
+    TRANSIENT = "transient"
+
+
+#: Kinds that surface as raised :class:`~repro.errors.VariantFault`s.
+RAISING_KINDS = frozenset(
+    {FaultKind.CRASH, FaultKind.CORRUPT, FaultKind.TRANSIENT}
+)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One line of a fault plan: inject ``kind`` into matching submissions.
+
+    Parameters
+    ----------
+    kind:
+        What to inject (:class:`FaultKind`).
+    variant:
+        Variant-name matcher; ``None`` matches every variant.
+    kernel:
+        Kernel-signature matcher; ``None`` matches every kernel.
+    count:
+        How many times this rule may fire; ``None`` means no limit.
+    after:
+        Matching submissions to let through before the rule arms.
+    probability:
+        Chance a matching, armed submission actually faults (drawn from
+        the plan's seeded RNG; 1.0 = always).
+    magnitude:
+        ``LATENCY`` only: slowdown factor applied to work-group costs.
+    """
+
+    kind: FaultKind
+    variant: Optional[str] = None
+    kernel: Optional[str] = None
+    count: Optional[int] = 1
+    after: int = 0
+    probability: float = 1.0
+    magnitude: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.count is not None and self.count < 1:
+            raise ConfigurationError(
+                f"fault rule count must be >= 1 or None, got {self.count}"
+            )
+        if self.after < 0:
+            raise ConfigurationError(
+                f"fault rule after must be >= 0, got {self.after}"
+            )
+        if not 0.0 < self.probability <= 1.0:
+            raise ConfigurationError(
+                f"fault rule probability must be in (0, 1], got "
+                f"{self.probability}"
+            )
+        if self.magnitude <= 1.0 and self.kind is FaultKind.LATENCY:
+            raise ConfigurationError(
+                f"latency magnitude must be > 1, got {self.magnitude}"
+            )
+
+    def matches(self, variant: str, kernel: Optional[str]) -> bool:
+        """Whether this rule targets the given submission."""
+        if self.variant is not None and self.variant != variant:
+            return False
+        if (
+            self.kernel is not None
+            and kernel is not None
+            and self.kernel != kernel
+        ):
+            return False
+        return True
+
+
+@dataclass
+class _RuleState:
+    """Mutable firing state of one rule within a plan."""
+
+    rule: FaultRule
+    seen: int = 0
+    fired: int = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the rule's firing budget is spent."""
+        return self.rule.count is not None and self.fired >= self.rule.count
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the plan decided for one submission."""
+
+    kind: FaultKind
+    rule: FaultRule
+    #: LATENCY only: multiplicative slowdown for this submission.
+    magnitude: float = 1.0
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault the runtime observed (and survived, or not).
+
+    Collected by the orchestration flows and folded into the quarantine
+    ledger by the runtime; also the payload of ``FAULT_INJECT`` trace
+    events and of :class:`~repro.errors.ProfilingFaultError`.
+    """
+
+    kernel: str
+    variant: str
+    kind: str
+    #: Where the fault hit: ``"profile"``, ``"eager"``, ``"remainder"``,
+    #: ``"repair"``, or ``"batch"`` (profiling-off whole-workload run).
+    stage: str
+    #: Device clock when the fault was handled.
+    at_cycles: float
+    #: Submission attempts made (1 + transient retries).
+    attempts: int = 1
+    message: str = ""
+
+
+class FaultPlan:
+    """A seedable, deterministic schedule of injected faults.
+
+    Thread-safe: the serving layer shares one plan across device workers,
+    so rule state is updated under a lock.  ``reset()`` restores the
+    pristine state (and RNG stream) for replaying the same chaos run.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0) -> None:
+        """Build a plan from rules; ``seed`` drives probability draws."""
+        if seed < 0:
+            raise ConfigurationError(f"fault seed must be >= 0, got {seed}")
+        self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._states: List[_RuleState] = []
+        self._rng = np.random.default_rng(seed)
+        #: (kernel or "*", variant, kind value) -> injections performed.
+        self.injections: Dict[Tuple[str, str, str], int] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        """Restore pristine rule state and the RNG stream."""
+        with self._lock:
+            self._states = [_RuleState(rule) for rule in self.rules]
+            self._rng = np.random.default_rng(self.seed)
+            self.injections = {}
+
+    def decide(
+        self, variant: str, kernel: Optional[str] = None
+    ) -> Optional[FaultDecision]:
+        """The fault (if any) to inject into one submission.
+
+        The first armed, unexhausted, matching rule wins; its
+        probability draw consumes from the plan's RNG stream even when
+        it comes up clean, so runs with the same seed replay exactly.
+        """
+        with self._lock:
+            for state in self._states:
+                rule = state.rule
+                if not rule.matches(variant, kernel):
+                    continue
+                state.seen += 1
+                if state.exhausted or state.seen <= rule.after:
+                    continue
+                if rule.probability < 1.0:
+                    if self._rng.random() >= rule.probability:
+                        continue
+                state.fired += 1
+                key = (kernel or "*", variant, rule.kind.value)
+                self.injections[key] = self.injections.get(key, 0) + 1
+                return FaultDecision(
+                    kind=rule.kind, rule=rule, magnitude=rule.magnitude
+                )
+        return None
+
+    @property
+    def total_injected(self) -> int:
+        """Faults injected so far (across all rules)."""
+        with self._lock:
+            return sum(self.injections.values())
+
+    def corruption_rng(self) -> np.random.Generator:
+        """RNG used to scribble corrupted output (seed-derived)."""
+        return np.random.default_rng((self.seed, 0xC0FFEE))
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan({len(self.rules)} rule(s), seed={self.seed}, "
+            f"injected={self.total_injected})"
+        )
+
+
+def crash_once(variant: str, kernel: Optional[str] = None) -> FaultRule:
+    """Convenience: crash the named variant's next submission."""
+    return FaultRule(kind=FaultKind.CRASH, variant=variant, kernel=kernel)
+
+
+def corrupt_once(variant: str, kernel: Optional[str] = None) -> FaultRule:
+    """Convenience: corrupt the named variant's next submission."""
+    return FaultRule(kind=FaultKind.CORRUPT, variant=variant, kernel=kernel)

@@ -1,0 +1,218 @@
+"""Variant quarantine: keeping repeat offenders off the device.
+
+A :class:`VariantQuarantine` ledger counts lifetime faults per
+(kernel, variant).  When a variant reaches the policy's
+``quarantine_threshold`` it is *quarantined*: the runtime filters it out
+of every pool before selection, so neither profiling nor eager dispatch
+will touch it.  Quarantine is not forever — after ``parole_ttl``
+ledger-clock seconds the variant is *paroled*: its fault count resets
+and it may compete again, but a single further fault during parole
+re-quarantines it immediately (the count restarts against the same
+threshold).
+
+The ledger is shared infrastructure: a serving fleet keeps one ledger in
+its :class:`repro.serve.SelectionStore` so a variant that misbehaves for
+one client is off-limits for every client, and the ledger survives
+restarts via the store's JSON persistence (ages are stored relative so
+snapshots remain meaningful after a restart, matching the store's
+timestamp handling).  The clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..config import FaultPolicy
+from ..errors import StoreError
+
+
+@dataclass
+class QuarantineEntry:
+    """Ledger state for one (kernel, variant)."""
+
+    #: Lifetime faults since the last parole.
+    fault_count: int = 0
+    #: Ledger-clock time of quarantine, ``None`` while at liberty.
+    quarantined_at: Optional[float] = None
+    #: Fault-kind value strings observed, most recent last (capped).
+    kinds: List[str] = field(default_factory=list)
+    #: Times this variant has been quarantined (survives parole).
+    terms_served: int = 0
+
+
+#: Observed fault kinds kept per entry (diagnostic breadcrumbs only).
+_MAX_KINDS = 8
+
+
+class VariantQuarantine:
+    """Thread-safe fault ledger with threshold quarantine and TTL parole."""
+
+    def __init__(
+        self,
+        policy: Optional[FaultPolicy] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        """``policy`` sets threshold/TTL; ``clock`` is injectable."""
+        self.policy = policy if policy is not None else FaultPolicy()
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.RLock()
+        self._entries: Dict[Tuple[str, str], QuarantineEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Recording and querying
+    # ------------------------------------------------------------------
+
+    def note_fault(self, kernel: str, variant: str, kind: str = "") -> bool:
+        """Record one fault; returns True if this tips into quarantine."""
+        with self._lock:
+            entry = self._entries.setdefault(
+                (kernel, variant), QuarantineEntry()
+            )
+            self._parole_if_due(entry)
+            entry.fault_count += 1
+            if kind:
+                entry.kinds.append(kind)
+                del entry.kinds[:-_MAX_KINDS]
+            if (
+                entry.quarantined_at is None
+                and entry.fault_count >= self.policy.quarantine_threshold
+            ):
+                entry.quarantined_at = self._clock()
+                entry.terms_served += 1
+                return True
+            return False
+
+    def is_quarantined(self, kernel: str, variant: str) -> bool:
+        """Whether the variant is currently barred (parole applied lazily)."""
+        with self._lock:
+            entry = self._entries.get((kernel, variant))
+            if entry is None:
+                return False
+            self._parole_if_due(entry)
+            return entry.quarantined_at is not None
+
+    def quarantined(self, kernel: str) -> Tuple[str, ...]:
+        """Names of the kernel's currently quarantined variants, sorted."""
+        with self._lock:
+            names = [
+                variant
+                for (k, variant), entry in self._entries.items()
+                if k == kernel and not self._parole_if_due(entry)
+                and entry.quarantined_at is not None
+            ]
+            return tuple(sorted(names))
+
+    def fault_count(self, kernel: str, variant: str) -> int:
+        """Faults recorded since the variant's last parole."""
+        with self._lock:
+            entry = self._entries.get((kernel, variant))
+            return 0 if entry is None else entry.fault_count
+
+    def release(self, kernel: str, variant: str) -> bool:
+        """Manually parole a variant; returns True if it was quarantined."""
+        with self._lock:
+            entry = self._entries.get((kernel, variant))
+            if entry is None or entry.quarantined_at is None:
+                return False
+            entry.quarantined_at = None
+            entry.fault_count = 0
+            return True
+
+    def clear(self) -> None:
+        """Forget every entry (tests, store resets)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        """Number of (kernel, variant) pairs with ledger state."""
+        with self._lock:
+            return len(self._entries)
+
+    def _parole_if_due(self, entry: QuarantineEntry) -> bool:
+        """Apply TTL parole to one entry; returns True if paroled now."""
+        if entry.quarantined_at is None:
+            return False
+        ttl = self.policy.parole_ttl
+        if ttl is None:
+            return False
+        if self._clock() - entry.quarantined_at >= ttl:
+            entry.quarantined_at = None
+            entry.fault_count = 0
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Persistence (SelectionStore integration)
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Dict[str, object]]:
+        """Serialize to a JSON-safe mapping with *relative* quarantine ages.
+
+        Key is ``"kernel\\x1fvariant"`` (unit-separator join, matching
+        no legal kernel/variant name); ``quarantine_age`` is seconds
+        since quarantine so a persisted ledger stays meaningful across
+        process restarts with unrelated clock epochs.
+        """
+        now = self._clock()
+        with self._lock:
+            payload: Dict[str, Dict[str, object]] = {}
+            for (kernel, variant), entry in self._entries.items():
+                self._parole_if_due(entry)
+                item: Dict[str, object] = {
+                    "kernel": kernel,
+                    "variant": variant,
+                    "fault_count": entry.fault_count,
+                    "kinds": list(entry.kinds),
+                    "terms_served": entry.terms_served,
+                    "quarantine_age": (
+                        None
+                        if entry.quarantined_at is None
+                        else max(0.0, now - entry.quarantined_at)
+                    ),
+                }
+                payload["\x1f".join((kernel, variant))] = item
+            return payload
+
+    def load_payload(self, payload: Mapping[str, Mapping[str, object]]) -> None:
+        """Restore entries from :meth:`to_payload` output (replaces state)."""
+        now = self._clock()
+        entries: Dict[Tuple[str, str], QuarantineEntry] = {}
+        for key, item in payload.items():
+            if not isinstance(item, Mapping):
+                raise StoreError(
+                    f"quarantine entry {key!r} is not an object"
+                )
+            try:
+                kernel = str(item["kernel"])
+                variant = str(item["variant"])
+                fault_count = int(item["fault_count"])
+                age = item.get("quarantine_age")
+            except (KeyError, TypeError, ValueError) as exc:
+                raise StoreError(
+                    f"quarantine entry {key!r} is malformed: {exc}"
+                ) from exc
+            entry = QuarantineEntry(
+                fault_count=fault_count,
+                quarantined_at=None if age is None else now - float(age),
+                kinds=[str(k) for k in item.get("kinds", ())][-_MAX_KINDS:],
+                terms_served=int(item.get("terms_served", 0)),
+            )
+            entries[(kernel, variant)] = entry
+        with self._lock:
+            self._entries = entries
+
+    def __repr__(self) -> str:
+        with self._lock:
+            active = sum(
+                1
+                for entry in self._entries.values()
+                if entry.quarantined_at is not None
+            )
+            return (
+                f"VariantQuarantine({len(self._entries)} tracked, "
+                f"{active} quarantined, "
+                f"threshold={self.policy.quarantine_threshold})"
+            )

@@ -51,6 +51,18 @@ class EventKind(enum.Enum):
     * ``HOST_POLL`` — one completion query (costs host query latency).
     * ``HOST_WAIT`` — the host blocked on a task / set of tasks.
     * ``BARRIER`` — a device-wide synchronize.
+    * ``TASK_CANCEL`` — the host abandoned a task (hang cleanup).
+
+    Fault-handling (emitted by the hardened runtime and orchestration
+    flows; see :mod:`repro.faults` and ``docs/faults.md``):
+
+    * ``FAULT_INJECT`` — a variant fault was observed and handled;
+      ``args`` carries the fault kind, execution stage, and attempts.
+    * ``FAULT_RETRY`` — a transient fault is being retried after backoff.
+    * ``VARIANT_QUARANTINE`` — a variant crossed the fault threshold and
+      was quarantined (barred from selection until parole).
+    * ``LAUNCH_DEGRADED`` — profiling lost every candidate and the
+      launch fell back to a profiling-off run.
 
     Serving-level (emitted by :class:`~repro.serve.scheduler.LaunchScheduler`
     on its own scheduler timeline, where "time" is a monotonically
@@ -84,6 +96,11 @@ class EventKind(enum.Enum):
     HOST_POLL = "host_poll"
     HOST_WAIT = "host_wait"
     BARRIER = "barrier"
+    TASK_CANCEL = "task_cancel"
+    FAULT_INJECT = "fault_inject"
+    FAULT_RETRY = "fault_retry"
+    VARIANT_QUARANTINE = "variant_quarantine"
+    LAUNCH_DEGRADED = "launch_degraded"
     SERVE_ENQUEUE = "serve_enqueue"
     SERVE_ADMIT = "serve_admit"
     PROFILE_LEASE_GRANT = "profile_lease_grant"

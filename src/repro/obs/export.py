@@ -256,6 +256,11 @@ class TraceSummary:
     lease_steals: int = 0
     store_hits: int = 0
     store_evictions: int = 0
+    faults_injected: int = 0
+    fault_retries: int = 0
+    quarantines: int = 0
+    degraded_launches: int = 0
+    cancelled_tasks: int = 0
     events_by_kind: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -298,6 +303,14 @@ class TraceSummary:
             f"{self.plan_demotions} plan",
             f"host polls: {self.host_polls}",
         ]
+        if self.faults_injected or self.quarantines or self.degraded_launches:
+            lines.append(
+                f"faults: {self.faults_injected} handled, "
+                f"{self.fault_retries} retried, "
+                f"{self.cancelled_tasks} task(s) cancelled; "
+                f"{self.quarantines} quarantine(s), "
+                f"{self.degraded_launches} degraded launch(es)"
+            )
         if self.serve_enqueued or self.serve_admitted:
             lines.append(
                 f"serving: {self.serve_enqueued} enqueued, "
@@ -363,6 +376,16 @@ def summarize(events: Sequence[TraceEvent]) -> TraceSummary:
             summary.store_hits += 1
         elif kind is EventKind.STORE_EVICT:
             summary.store_evictions += 1
+        elif kind is EventKind.FAULT_INJECT:
+            summary.faults_injected += 1
+        elif kind is EventKind.FAULT_RETRY:
+            summary.fault_retries += 1
+        elif kind is EventKind.VARIANT_QUARANTINE:
+            summary.quarantines += 1
+        elif kind is EventKind.LAUNCH_DEGRADED:
+            summary.degraded_launches += 1
+        elif kind is EventKind.TASK_CANCEL:
+            summary.cancelled_tasks += 1
     return summary
 
 
@@ -472,9 +495,27 @@ def reconcile(
         mode = end.args.get("mode")
         if mode == "fully":
             claimed = sum(int(s.args.get("units", 0)) for s in profile_spans)  # type: ignore[arg-type]
-        elif profile_spans:
-            # Hybrid/swap: all candidates share one slice; one contributes.
+        elif mode == "swap" and profile_spans:
+            # Swap: all candidates share one slice privately; the winner's
+            # copy is swapped in, so exactly one span's units commit.
             claimed = int(profile_spans[0].args.get("units", 0))  # type: ignore[arg-type]
+        elif profile_spans:
+            # Hybrid: only the productive candidate's slice commits.  If
+            # it faulted (no productive span), the slice was re-run as a
+            # repair batch and is accounted under REMAINDER_BATCH.  Spans
+            # without a ``productive`` marker (hand-built or pre-fault
+            # traces) count as productive, preserving the legacy rule of
+            # claiming the first shared slice.
+            productive = [
+                s
+                for s in profile_spans
+                if bool(s.args.get("productive", True))
+            ]
+            claimed = (
+                int(productive[0].args.get("units", 0))  # type: ignore[arg-type]
+                if productive
+                else 0
+            )
         else:
             claimed = 0
         eager = sum(

@@ -19,10 +19,11 @@ the class does not starve unprofiled forever.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterator, Optional
 
 
 @dataclass
@@ -95,6 +96,25 @@ class ProfileLeaseTable:
                 return False
             del self._leases[key]
             return True
+
+    @contextlib.contextmanager
+    def holding(self, key: str, holder: int) -> Iterator[Optional[str]]:
+        """Acquire-and-always-release wrapper around one lease attempt.
+
+        Yields the :meth:`acquire` result (:data:`GRANTED`,
+        :data:`STOLEN`, or ``None`` when someone else holds a fresh
+        lease).  The release runs in a ``finally`` block, so a profiled
+        launch that *raises* — a fault-aborted launch, a verification
+        refusal, any bug in the holder — can never leave the class's
+        lease stuck until the steal timeout.  Releasing is a no-op when
+        nothing was granted or the lease was stolen meanwhile.
+        """
+        grant = self.acquire(key, holder)
+        try:
+            yield grant
+        finally:
+            if grant is not None:
+                self.release(key, holder)
 
     def held(self, key: str) -> bool:
         """Whether any (possibly stale) lease exists for this class."""

@@ -38,6 +38,7 @@ from each runtime and reconcile with :func:`repro.obs.export.reconcile`.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -50,6 +51,7 @@ from ..core.runtime import DySelRuntime, LaunchResult
 from ..device.base import Device
 from ..device.stream import StreamPool
 from ..errors import ServeError
+from ..faults.plan import FaultPlan
 from ..modes import OrchestrationFlow, ProfilingMode
 from ..obs.events import EventKind, TraceEvent
 from ..obs.tracer import NULL_TRACER, RecordingTracer
@@ -209,6 +211,7 @@ class LaunchScheduler:
         store: Optional[SelectionStore] = None,
         streams_per_device: int = DEFAULT_STREAMS_PER_DEVICE,
         lease_timeout: Optional[float] = DEFAULT_LEASE_TIMEOUT,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         """Build a scheduler over a fleet of devices.
 
@@ -227,6 +230,10 @@ class LaunchScheduler:
         lease_timeout:
             Profile-lease steal timeout in store-clock seconds (``None``
             disables stealing).
+        fault_plan:
+            Chaos-testing fault plan (:mod:`repro.faults`); installs one
+            injector per device runtime, arming the hardened launch
+            paths fleet-wide.  ``None`` (the default) serves clean.
         """
         if not devices:
             raise ServeError("a scheduler needs at least one device")
@@ -236,6 +243,16 @@ class LaunchScheduler:
             _DeviceWorker(device, self.config, streams_per_device, i)
             for i, device in enumerate(devices)
         ]
+        # One fleet, one fault ledger: a variant that misbehaves for one
+        # client is barred for every client, and the ledger rides along
+        # in the store's save/load snapshots.  The scheduler's config
+        # governs its thresholds (a loaded store carries entries, not
+        # policy).
+        self.store.quarantine.policy = self.config.faults
+        for worker in self._workers:
+            worker.runtime.quarantine = self.store.quarantine
+            if fault_plan is not None:
+                worker.runtime.install_faults(fault_plan)
         self.leases = ProfileLeaseTable(
             timeout=lease_timeout, clock=self.store._clock
         )
@@ -350,55 +367,57 @@ class LaunchScheduler:
         lease: Optional[str] = None
         pinned: Optional[str] = None
         profiling = False
-        if entry is not None:
-            pinned = entry.selected
-            if self.tracer.enabled:
-                self.tracer.instant(
-                    EventKind.STORE_HIT,
-                    request.kernel,
-                    float(seq),
-                    workload_class=key,
-                    selected=entry.selected,
-                    samples=entry.samples,
-                )
-        else:
-            lease = self.leases.acquire(key, seq)
-            profiling = lease is not None
-            if lease is not None and self.tracer.enabled:
-                kind = (
-                    EventKind.PROFILE_LEASE_GRANT
-                    if lease == ProfileLeaseTable.GRANTED
-                    else EventKind.PROFILE_LEASE_STEAL
-                )
-                self.tracer.instant(
-                    kind,
-                    request.kernel,
-                    float(seq),
-                    workload_class=key,
-                    device=worker.name,
-                )
+        with contextlib.ExitStack() as stack:
+            if entry is not None:
+                pinned = entry.selected
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        EventKind.STORE_HIT,
+                        request.kernel,
+                        float(seq),
+                        workload_class=key,
+                        selected=entry.selected,
+                        samples=entry.samples,
+                    )
+            else:
+                # ``holding`` releases in a finally, so a launch that
+                # raises (fault-aborted, verification refusal) cannot
+                # wedge the class's lease until the steal timeout.
+                lease = stack.enter_context(self.leases.holding(key, seq))
+                profiling = lease is not None
+                if lease is not None and self.tracer.enabled:
+                    kind = (
+                        EventKind.PROFILE_LEASE_GRANT
+                        if lease == ProfileLeaseTable.GRANTED
+                        else EventKind.PROFILE_LEASE_STEAL
+                    )
+                    self.tracer.instant(
+                        kind,
+                        request.kernel,
+                        float(seq),
+                        workload_class=key,
+                        device=worker.name,
+                    )
 
-        result = None
-        try:
-            with worker.lock:
-                result = worker.runtime.launch_kernel(
-                    request.kernel,
-                    request.args,
-                    request.workload_units,
-                    profiling=profiling,
-                    mode=request.mode,
-                    flow=request.flow,
-                    pinned_variant=pinned,
-                    stream_name=stream.name,
-                )
-            worker.complete(estimate, result.elapsed_cycles)
-            if lease is not None:
-                self._publish(key, request, result)
-        finally:
-            if result is None:
-                worker.abort(estimate)
-            if lease is not None:
-                self.leases.release(key, seq)
+            result = None
+            try:
+                with worker.lock:
+                    result = worker.runtime.launch_kernel(
+                        request.kernel,
+                        request.args,
+                        request.workload_units,
+                        profiling=profiling,
+                        mode=request.mode,
+                        flow=request.flow,
+                        pinned_variant=pinned,
+                        stream_name=stream.name,
+                    )
+                worker.complete(estimate, result.elapsed_cycles)
+                if lease is not None:
+                    self._publish(key, request, result)
+            finally:
+                if result is None:
+                    worker.abort(estimate)
 
         self._account(request, worker, result, entry is not None)
         return ServeOutcome(

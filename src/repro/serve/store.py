@@ -32,10 +32,12 @@ import os
 import tempfile
 import threading
 import time
+import warnings
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Iterator, Optional
 
 from ..errors import StoreError, StoreSchemaError
+from ..faults.quarantine import VariantQuarantine
 
 #: On-disk schema version.  Bump when the entry layout *or the key
 #: derivation rules* change incompatibly — a persisted key is only
@@ -128,6 +130,11 @@ class SelectionStore:
         self._entries: Dict[str, StoreEntry] = {}
         self._lock = threading.RLock()
         self.stats = StoreStats()
+        #: Fleet-wide fault ledger (see :mod:`repro.faults.quarantine`).
+        #: The scheduler shares this one ledger into every worker runtime
+        #: so a variant misbehaving for one client is barred for all, and
+        #: it rides along in :meth:`save`/:meth:`load` snapshots.
+        self.quarantine = VariantQuarantine(clock=self._clock)
 
     # ------------------------------------------------------------------
     # Lookup / update
@@ -252,6 +259,11 @@ class SelectionStore:
                     for entry in self._entries.values()
                 ],
             }
+            ledger = self.quarantine.to_payload()
+            if ledger:
+                # Optional section: absent in pre-fault snapshots, which
+                # still load fine under the same schema version.
+                doc["quarantine"] = ledger
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
@@ -278,9 +290,16 @@ class SelectionStore:
         Raises :class:`StoreSchemaError` when the file's
         ``schema_version`` does not match :data:`SCHEMA_VERSION` (a
         serving fleet must not trust keys derived under different
-        bucketing rules), and :class:`StoreError` for unreadable or
-        structurally corrupt files.  Failure is all-or-nothing: a store
-        is never partially loaded.
+        bucketing rules), and :class:`StoreError` for unreadable files or
+        structurally corrupt *JSON documents*.  Failure is all-or-nothing:
+        a store is never partially loaded.
+
+        A file that is empty or not parseable as JSON at all is treated
+        like a *missing* store — a fresh empty store is returned with a
+        warning.  That is the crash-mid-write case (power loss before the
+        atomic rename, an empty file from ``touch``): the selections are
+        gone either way, and a serving process that refuses to start over
+        a zero-byte file turns a lost cache into an outage.
         """
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -288,9 +307,12 @@ class SelectionStore:
         except OSError as exc:
             raise StoreError(f"cannot read selection store {path!r}: {exc}")
         except json.JSONDecodeError as exc:
-            raise StoreError(
-                f"selection store {path!r} is corrupt (invalid JSON: {exc})"
+            warnings.warn(
+                f"selection store {path!r} is empty or truncated "
+                f"({exc}); starting with a fresh store",
+                stacklevel=2,
             )
+            return cls(ttl=ttl, ewma_alpha=ewma_alpha, clock=clock)
         if not isinstance(doc, dict) or "schema_version" not in doc:
             raise StoreSchemaError(
                 f"selection store {path!r} has no schema_version; refusing "
@@ -337,6 +359,14 @@ class SelectionStore:
                 hits=int(raw.get("hits", 0)),
             )
             store._entries[entry.key] = entry
+        ledger = doc.get("quarantine")
+        if ledger is not None:
+            if not isinstance(ledger, dict):
+                raise StoreError(
+                    f"selection store {path!r} is corrupt: 'quarantine' is "
+                    f"{type(ledger).__name__}, expected an object"
+                )
+            store.quarantine.load_payload(ledger)
         return store
 
     # ------------------------------------------------------------------

@@ -136,9 +136,22 @@ def axpy_spec() -> KernelSpec:
     return KernelSpec(signature=axpy_signature())
 
 
+def fast_slow_pool_build():
+    """A two-variant pool where 'fast' beats 'slow' by construction."""
+    from repro.compiler.variants import VariantPool
+
+    return VariantPool(
+        spec=KernelSpec(signature=axpy_signature()),
+        variants=(
+            make_axpy_variant("fast", AccessPattern.UNIT_STRIDE),
+            make_axpy_variant("slow", AccessPattern.STRIDED),
+        ),
+    )
+
+
 @pytest.fixture
 def fast_slow_pool(axpy_spec):
-    """A two-variant pool where 'fast' beats 'slow' by construction."""
+    """Fixture form of :func:`fast_slow_pool_build`."""
     from repro.compiler.variants import VariantPool
 
     return VariantPool(

@@ -1,0 +1,1 @@
+"""Differential correctness suite (see ``catalog.py``)."""

@@ -1,0 +1,81 @@
+"""The differential suite's workload catalog.
+
+One entry per benchmark workload (plus the synthetic axpy family), sized
+small enough that the full cross-product — every case × all three
+profiling modes × both orchestration flows — stays in test-suite
+territory.  Each entry names the device kind the case targets, because a
+pool's IR is tuned per architecture even though the functional executors
+are device-independent.
+
+The catalog is the single source of truth for both test modules here:
+``test_differential.py`` (mode/flow cross-checks + goldens) and the
+variant sweep (every pool member vs. the sequential reference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.config import ReproConfig
+from repro.workloads import (
+    cutcp,
+    histogram,
+    kmeans,
+    particle_filter,
+    sgemm,
+    spmv_csr,
+    spmv_jds,
+    stencil,
+)
+from repro.workloads.base import BenchmarkCase
+
+from tests.conftest import axpy_output_ok, fast_slow_pool_build, make_axpy_args
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One differential-suite case: factory plus target device kind."""
+
+    build: Callable[[ReproConfig], BenchmarkCase]
+    device_kind: str = "cpu"
+
+
+def _axpy_case(config: ReproConfig) -> BenchmarkCase:
+    """The synthetic two-variant axpy family from the shared fixtures."""
+    units = 512
+    return BenchmarkCase(
+        name="axpy/differential",
+        pool=fast_slow_pool_build(),
+        make_args=lambda: make_axpy_args(units, config),
+        workload_units=units,
+        check=axpy_output_ok,
+    )
+
+
+#: case id → how to build it.  Sizes are the smallest that keep every
+#: pool's profiling plan feasible under the default safe-point rules.
+CATALOG: Dict[str, CatalogEntry] = {
+    "axpy": CatalogEntry(_axpy_case),
+    "sgemm": CatalogEntry(lambda cfg: sgemm.schedule_case(128, cfg)),
+    "spmv-csr": CatalogEntry(
+        lambda cfg: spmv_csr.schedule_case("random", 2048, cfg)
+    ),
+    "spmv-jds": CatalogEntry(
+        lambda cfg: spmv_jds.vectorization_case(2048, cfg)
+    ),
+    "stencil": CatalogEntry(
+        lambda cfg: stencil.schedule_case((64, 64, 16), cfg)
+    ),
+    "cutcp": CatalogEntry(
+        lambda cfg: cutcp.mixed_case("cpu", (32, 32, 16), 4000, cfg)
+    ),
+    "histogram": CatalogEntry(
+        lambda cfg: histogram.swap_case("uniform", 1 << 16, cfg)
+    ),
+    "kmeans": CatalogEntry(lambda cfg: kmeans.schedule_case(8192, cfg)),
+    "particle-filter": CatalogEntry(
+        lambda cfg: particle_filter.placement_case(4000, cfg),
+        device_kind="gpu",
+    ),
+}

@@ -1,0 +1,142 @@
+"""Differential correctness: every pool, every mode, every flow.
+
+Two layers of checking for each catalog case:
+
+1. **Element-wise reference** — after a DySel launch under each
+   (profiling mode × orchestration flow), the case's checker compares
+   the committed outputs against its sequential reference
+   implementation (tolerance-based, order-insensitive).
+2. **Golden checksums** — a SHA-256 of the output buffers is compared
+   against ``goldens.json``.  Launches are deterministic (seeded noise,
+   simulated clock), so a digest change means the *composition* of the
+   output changed — a different variant won, a slice boundary moved, a
+   commit leaked from a sandbox — even when the result is still within
+   the reference tolerance.  That is exactly the regression the
+   reference check alone cannot see.
+
+Regenerate goldens after an intentional behaviour change with::
+
+    REPRO_REGEN_GOLDENS=1 python -m pytest tests/differential -q
+
+Goldens are keyed per (case, mode, flow): profiling modes commit slices
+computed by *different* variants whose accumulation orders legitimately
+differ in the last ulps, so one digest per case would be wrong by
+design.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import ReproConfig
+from repro.core.runtime import DySelRuntime
+from repro.device import make_cpu, make_gpu
+from repro.harness.runner import run_pure
+from repro.modes import OrchestrationFlow, ProfilingMode
+
+from .catalog import CATALOG
+
+GOLDENS_PATH = Path(__file__).with_name("goldens.json")
+REGEN = os.environ.get("REPRO_REGEN_GOLDENS") == "1"
+
+MODES = (ProfilingMode.FULLY, ProfilingMode.HYBRID, ProfilingMode.SWAP)
+FLOWS = (OrchestrationFlow.SYNC, OrchestrationFlow.ASYNC)
+
+
+def build_case(case_id: str):
+    """Build one catalog case plus its device and config."""
+    config = ReproConfig()
+    entry = CATALOG[case_id]
+    device = (
+        make_gpu(config) if entry.device_kind == "gpu" else make_cpu(config)
+    )
+    return entry.build(config), device, config
+
+
+def _buffer_data(value) -> np.ndarray:
+    data = getattr(value, "data", value)
+    return np.asarray(data)
+
+
+def output_digest(case, args) -> str:
+    """SHA-256 over the case's declared output buffers, in spec order."""
+    digest = hashlib.sha256()
+    for arg in case.pool.spec.signature.args:
+        if not arg.is_output:
+            continue
+        data = _buffer_data(args[arg.name])
+        digest.update(arg.name.encode())
+        digest.update(np.ascontiguousarray(data).tobytes())
+    return digest.hexdigest()
+
+
+def _load_goldens() -> dict:
+    if not GOLDENS_PATH.exists():
+        return {}
+    return json.loads(GOLDENS_PATH.read_text())
+
+
+def _record_golden(key: str, digest: str) -> None:
+    goldens = _load_goldens()
+    goldens[key] = digest
+    GOLDENS_PATH.write_text(
+        json.dumps(goldens, indent=1, sort_keys=True) + "\n"
+    )
+
+
+@pytest.mark.parametrize("case_id", sorted(CATALOG))
+def test_every_variant_matches_reference(case_id):
+    """Pure runs: each pool member element-wise equals the reference."""
+    case, device, config = build_case(case_id)
+    for name in case.pool.variant_names:
+        result = run_pure(case, device, name, config)
+        assert result.valid, f"{case_id}: variant {name!r} diverges"
+
+
+@pytest.mark.parametrize("flow", FLOWS, ids=lambda f: f.value)
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+@pytest.mark.parametrize("case_id", sorted(CATALOG))
+def test_mode_flow_matches_reference_and_golden(case_id, mode, flow):
+    case, device, config = build_case(case_id)
+    runtime = DySelRuntime(device, config)
+    runtime.register_pool(case.pool)
+    args = case.fresh_args()
+    with warnings.catch_warnings():
+        # Mode/flow demotions (swap→sync, infeasible plans) are expected
+        # parts of the matrix, not failures.
+        warnings.simplefilter("ignore")
+        result = runtime.launch_kernel(
+            case.pool.name,
+            args,
+            case.workload_units,
+            mode=mode,
+            flow=flow,
+        )
+    assert result.selected in case.pool.variant_names
+    assert case.validate(args), (
+        f"{case_id} under {mode.value}/{flow.value} diverges from the "
+        "sequential reference"
+    )
+
+    key = f"{case_id}/{mode.value}/{flow.value}"
+    digest = output_digest(case, args)
+    if REGEN:
+        _record_golden(key, digest)
+        return
+    goldens = _load_goldens()
+    assert key in goldens, (
+        f"no golden for {key}; run REPRO_REGEN_GOLDENS=1 python -m "
+        "pytest tests/differential to record it"
+    )
+    assert digest == goldens[key], (
+        f"{key}: output digest {digest[:16]}… != golden "
+        f"{goldens[key][:16]}… — the committed output composition "
+        "changed; if intentional, regenerate with REPRO_REGEN_GOLDENS=1"
+    )

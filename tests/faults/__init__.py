@@ -1,0 +1,1 @@
+"""Fault injection, quarantine, and chaos tests."""

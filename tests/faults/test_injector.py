@@ -1,0 +1,125 @@
+"""FaultInjector unit tests: per-kind semantics at the execute boundary."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    TransientDeviceFault,
+    VariantCorruptionFault,
+    VariantCrashFault,
+)
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    count_by_variant,
+)
+from repro.kernel.kernel import WorkRange
+
+from tests.conftest import AXPY_UNIT, make_axpy_args, make_axpy_variant
+
+from repro.config import ReproConfig
+
+
+def fresh(units=4):
+    config = ReproConfig()
+    return make_axpy_variant("fast"), make_axpy_args(units, config)
+
+
+def test_clean_plan_executes_normally():
+    variant, args = fresh()
+    injector = FaultInjector(FaultPlan([]))
+    outcome = injector.intercept(variant, args, WorkRange(0, 4))
+    assert outcome.executed and not outcome.hang
+    assert np.array_equal(args["y"].data, 2.0 * args["x"].data)
+
+
+def test_crash_raises_before_writing():
+    variant, args = fresh()
+    injector = FaultInjector(FaultPlan([FaultRule(FaultKind.CRASH)]))
+    with pytest.raises(VariantCrashFault) as excinfo:
+        injector.intercept(variant, args, WorkRange(0, 4))
+    assert excinfo.value.variant == "fast"
+    assert not args["y"].data.any()  # nothing was written
+
+
+def test_transient_raises_before_writing():
+    variant, args = fresh()
+    injector = FaultInjector(FaultPlan([FaultRule(FaultKind.TRANSIENT)]))
+    with pytest.raises(TransientDeviceFault):
+        injector.intercept(variant, args, WorkRange(0, 4))
+    assert not args["y"].data.any()
+
+
+def test_corrupt_scribbles_written_elements_and_raises():
+    variant, args = fresh()
+    injector = FaultInjector(FaultPlan([FaultRule(FaultKind.CORRUPT)]))
+    with pytest.raises(VariantCorruptionFault):
+        injector.intercept(variant, args, WorkRange(0, 2))
+    written = args["y"].data[: 2 * AXPY_UNIT]
+    untouched = args["y"].data[2 * AXPY_UNIT :]
+    # The damage is really in the buffer, confined to the written range.
+    assert not np.allclose(written, 2.0 * args["x"].data[: 2 * AXPY_UNIT])
+    assert not untouched.any()
+
+
+def test_corrupt_never_touches_read_only_inputs():
+    variant, args = fresh()
+    x_before = args["x"].data.copy()
+    injector = FaultInjector(FaultPlan([FaultRule(FaultKind.CORRUPT)]))
+    with pytest.raises(VariantCorruptionFault):
+        injector.intercept(variant, args, WorkRange(0, 4))
+    assert np.array_equal(args["x"].data, x_before)
+
+
+def test_corruption_is_seed_deterministic():
+    def corrupted(seed):
+        variant, args = fresh()
+        injector = FaultInjector(
+            FaultPlan([FaultRule(FaultKind.CORRUPT)], seed=seed)
+        )
+        with pytest.raises(VariantCorruptionFault):
+            injector.intercept(variant, args, WorkRange(0, 4))
+        return args["y"].data.copy()
+
+    assert np.array_equal(corrupted(5), corrupted(5))
+    assert not np.array_equal(corrupted(5), corrupted(6))
+
+
+def test_hang_skips_execution():
+    variant, args = fresh()
+    injector = FaultInjector(FaultPlan([FaultRule(FaultKind.HANG)]))
+    outcome = injector.intercept(variant, args, WorkRange(0, 4))
+    assert outcome.hang and not outcome.executed
+    assert not args["y"].data.any()
+
+
+def test_latency_executes_with_slowdown():
+    variant, args = fresh()
+    injector = FaultInjector(
+        FaultPlan([FaultRule(FaultKind.LATENCY, magnitude=8.0)])
+    )
+    outcome = injector.intercept(variant, args, WorkRange(0, 4))
+    assert outcome.executed and outcome.latency_scale == 8.0
+    assert np.array_equal(args["y"].data, 2.0 * args["x"].data)
+
+
+def test_kernel_context_scopes_rules():
+    variant, args = fresh()
+    plan = FaultPlan([FaultRule(FaultKind.CRASH, kernel="other")])
+    injector = FaultInjector(plan, kernel="axpy")
+    outcome = injector.intercept(variant, args, WorkRange(0, 4))
+    assert outcome.executed  # rule scoped to a different kernel
+
+
+def test_count_by_variant_aggregates_kinds():
+    plan = FaultPlan(
+        [
+            FaultRule(FaultKind.CRASH, variant="fast"),
+            FaultRule(FaultKind.TRANSIENT, variant="fast"),
+        ]
+    )
+    plan.decide("fast")
+    plan.decide("fast")
+    assert count_by_variant(plan) == {("*", "fast"): 2}

@@ -1,0 +1,117 @@
+"""FaultPlan / FaultRule unit tests: matching, budgets, determinism."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    corrupt_once,
+    crash_once,
+)
+
+
+class TestRuleValidation:
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule(FaultKind.CRASH, count=0)
+
+    def test_negative_after_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule(FaultKind.CRASH, after=-1)
+
+    @pytest.mark.parametrize("p", [0.0, -0.1, 1.5])
+    def test_bad_probability_rejected(self, p):
+        with pytest.raises(ConfigurationError):
+            FaultRule(FaultKind.CRASH, probability=p)
+
+    def test_latency_magnitude_must_slow_down(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule(FaultKind.LATENCY, magnitude=1.0)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan([], seed=-1)
+
+
+class TestMatching:
+    def test_none_matchers_match_everything(self):
+        rule = FaultRule(FaultKind.CRASH)
+        assert rule.matches("any", "kernel")
+        assert rule.matches("other", None)
+
+    def test_variant_matcher(self):
+        rule = FaultRule(FaultKind.CRASH, variant="fast")
+        assert rule.matches("fast", None)
+        assert not rule.matches("slow", None)
+
+    def test_kernel_matcher_ignores_unknown_context(self):
+        # A kernel-scoped rule still fires when the injector has no
+        # launch context (None kernel): scoping narrows, never saves.
+        rule = FaultRule(FaultKind.CRASH, kernel="axpy")
+        assert rule.matches("fast", "axpy")
+        assert rule.matches("fast", None)
+        assert not rule.matches("fast", "sgemm")
+
+
+class TestFiring:
+    def test_count_budget_depletes(self):
+        plan = FaultPlan([FaultRule(FaultKind.CRASH, count=2)])
+        assert plan.decide("v") is not None
+        assert plan.decide("v") is not None
+        assert plan.decide("v") is None
+        assert plan.total_injected == 2
+
+    def test_after_skips_warmup_submissions(self):
+        plan = FaultPlan([FaultRule(FaultKind.CRASH, after=2)])
+        assert plan.decide("v") is None
+        assert plan.decide("v") is None
+        assert plan.decide("v") is not None
+
+    def test_unlimited_count(self):
+        plan = FaultPlan([FaultRule(FaultKind.CRASH, count=None)])
+        for _ in range(10):
+            assert plan.decide("v") is not None
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan(
+            [
+                FaultRule(FaultKind.LATENCY, variant="fast", magnitude=4.0),
+                FaultRule(FaultKind.CRASH, variant="fast"),
+            ]
+        )
+        decision = plan.decide("fast")
+        assert decision.kind is FaultKind.LATENCY
+        assert decision.magnitude == 4.0
+
+    def test_probability_draws_are_seed_deterministic(self):
+        def run(seed):
+            plan = FaultPlan(
+                [FaultRule(FaultKind.CRASH, probability=0.5, count=None)],
+                seed=seed,
+            )
+            return [plan.decide("v") is not None for _ in range(32)]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)  # astronomically unlikely to collide
+
+    def test_reset_replays_the_same_schedule(self):
+        plan = FaultPlan(
+            [FaultRule(FaultKind.CRASH, probability=0.5, count=None)],
+            seed=3,
+        )
+        first = [plan.decide("v") is not None for _ in range(16)]
+        plan.reset()
+        assert plan.total_injected == 0
+        second = [plan.decide("v") is not None for _ in range(16)]
+        assert first == second
+
+    def test_injection_ledger_keys(self):
+        plan = FaultPlan([crash_once("fast", kernel="axpy")])
+        plan.decide("fast", kernel="axpy")
+        assert plan.injections == {("axpy", "fast", "crash"): 1}
+
+    def test_helpers(self):
+        assert crash_once("v").kind is FaultKind.CRASH
+        assert corrupt_once("v").kind is FaultKind.CORRUPT

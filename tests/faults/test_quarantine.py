@@ -1,0 +1,136 @@
+"""VariantQuarantine unit tests: thresholds, parole, persistence."""
+
+import pytest
+
+from repro.config import FaultPolicy
+from repro.errors import StoreError
+from repro.faults import VariantQuarantine
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def make_ledger(threshold=2, ttl=100.0, now=0.0):
+    clock = FakeClock(now)
+    policy = FaultPolicy(quarantine_threshold=threshold, parole_ttl=ttl)
+    return VariantQuarantine(policy, clock=clock), clock
+
+
+class TestThreshold:
+    def test_quarantines_at_threshold(self):
+        ledger, _ = make_ledger(threshold=2)
+        assert not ledger.note_fault("k", "v", "crash")
+        assert not ledger.is_quarantined("k", "v")
+        assert ledger.note_fault("k", "v", "corrupt")
+        assert ledger.is_quarantined("k", "v")
+
+    def test_kernels_are_independent(self):
+        ledger, _ = make_ledger(threshold=1)
+        ledger.note_fault("k1", "v")
+        assert ledger.is_quarantined("k1", "v")
+        assert not ledger.is_quarantined("k2", "v")
+
+    def test_quarantined_listing_sorted(self):
+        ledger, _ = make_ledger(threshold=1)
+        ledger.note_fault("k", "zeta")
+        ledger.note_fault("k", "alpha")
+        assert ledger.quarantined("k") == ("alpha", "zeta")
+
+    def test_fault_count_and_len(self):
+        ledger, _ = make_ledger(threshold=5)
+        ledger.note_fault("k", "v")
+        ledger.note_fault("k", "v")
+        assert ledger.fault_count("k", "v") == 2
+        assert ledger.fault_count("k", "other") == 0
+        assert len(ledger) == 1
+
+
+class TestParole:
+    def test_ttl_paroles_and_resets_count(self):
+        ledger, clock = make_ledger(threshold=1, ttl=50.0)
+        ledger.note_fault("k", "v")
+        assert ledger.is_quarantined("k", "v")
+        clock.now = 49.0
+        assert ledger.is_quarantined("k", "v")
+        clock.now = 50.0
+        assert not ledger.is_quarantined("k", "v")
+        assert ledger.fault_count("k", "v") == 0
+
+    def test_fault_during_parole_requarantines(self):
+        ledger, clock = make_ledger(threshold=1, ttl=50.0)
+        ledger.note_fault("k", "v")
+        clock.now = 60.0
+        assert not ledger.is_quarantined("k", "v")
+        assert ledger.note_fault("k", "v")  # newly quarantined again
+        assert ledger.is_quarantined("k", "v")
+
+    def test_none_ttl_means_no_parole(self):
+        ledger, clock = make_ledger(threshold=1, ttl=None)
+        ledger.note_fault("k", "v")
+        clock.now = 1e9
+        assert ledger.is_quarantined("k", "v")
+
+    def test_manual_release(self):
+        ledger, _ = make_ledger(threshold=1)
+        ledger.note_fault("k", "v")
+        assert ledger.release("k", "v")
+        assert not ledger.is_quarantined("k", "v")
+        assert not ledger.release("k", "v")  # already free
+
+
+class TestPersistence:
+    def test_payload_round_trip(self):
+        ledger, clock = make_ledger(threshold=2, ttl=100.0, now=10.0)
+        ledger.note_fault("k", "bad", "crash")
+        ledger.note_fault("k", "bad", "corrupt")
+        ledger.note_fault("k", "meh")  # tracked but not quarantined
+
+        clock.now = 30.0
+        payload = ledger.to_payload()
+
+        restored = VariantQuarantine(
+            FaultPolicy(quarantine_threshold=2, parole_ttl=100.0),
+            clock=FakeClock(1000.0),  # unrelated clock epoch
+        )
+        restored.load_payload(payload)
+        assert restored.is_quarantined("k", "bad")
+        assert not restored.is_quarantined("k", "meh")
+        assert restored.fault_count("k", "meh") == 1
+
+    def test_relative_age_survives_epoch_change(self):
+        # Quarantined 20s ago with a 100s TTL: after restore on a new
+        # clock the variant paroles 80s later, not 100s.
+        ledger, clock = make_ledger(threshold=1, ttl=100.0, now=0.0)
+        ledger.note_fault("k", "v")
+        clock.now = 20.0
+        payload = ledger.to_payload()
+
+        new_clock = FakeClock(5000.0)
+        restored = VariantQuarantine(
+            FaultPolicy(quarantine_threshold=1, parole_ttl=100.0),
+            clock=new_clock,
+        )
+        restored.load_payload(payload)
+        new_clock.now = 5000.0 + 79.0
+        assert restored.is_quarantined("k", "v")
+        new_clock.now = 5000.0 + 81.0
+        assert not restored.is_quarantined("k", "v")
+
+    def test_malformed_payload_rejected(self):
+        ledger, _ = make_ledger()
+        with pytest.raises(StoreError):
+            ledger.load_payload({"key": "not-an-object"})
+        with pytest.raises(StoreError):
+            ledger.load_payload({"key": {"kernel": "k"}})  # missing fields
+
+    def test_clear(self):
+        ledger, _ = make_ledger(threshold=1)
+        ledger.note_fault("k", "v")
+        ledger.clear()
+        assert len(ledger) == 0
+        assert not ledger.is_quarantined("k", "v")

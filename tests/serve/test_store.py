@@ -147,15 +147,26 @@ class TestPersistence:
         with pytest.raises(StoreSchemaError):
             SelectionStore.load(path)
 
-    def test_corrupt_json_rejected(self, tmp_path):
+    def test_truncated_json_starts_fresh(self, tmp_path):
+        # Crash-mid-write recovery: a truncated file is treated like a
+        # missing store (fresh + warning), not a fatal error.
         path = str(tmp_path / "store.json")
         store, _ = make_store()
         store.publish("key", kernel="k", selected="fast", cycles_per_unit=1.0)
         store.save(path)
         raw = open(path).read()
         open(path, "w").write(raw[: len(raw) // 2])  # truncate mid-object
-        with pytest.raises(StoreError):
-            SelectionStore.load(path)
+        with pytest.warns(UserWarning, match="empty or truncated"):
+            loaded = SelectionStore.load(path)
+        assert len(loaded) == 0
+
+    def test_empty_file_starts_fresh(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        open(path, "w").close()
+        with pytest.warns(UserWarning, match="empty or truncated"):
+            loaded = SelectionStore.load(path)
+        assert len(loaded) == 0
+        assert loaded.lookup("anything") is None
 
     def test_corrupt_entry_rejected(self, tmp_path):
         path = str(tmp_path / "store.json")
