@@ -1,0 +1,277 @@
+"""Drift benchmark: mid-run input shift, automatic re-selection.
+
+Serves one workload class whose input regime shifts halfway through —
+spmv-csr traffic moves from the random matrix to the diagonal one while
+the workload-class key is pinned, so the persisted selection silently
+goes stale.  Three runs over the same traffic measure what the drift
+detector buys (written to ``BENCH_drift.json``):
+
+1. **drift**    — store armed with a :class:`DriftConfig`: the detector
+   confirms the shift from served measurements, the stale entry decays,
+   exactly one launch re-profiles, and the new winner serves the tail.
+2. **pinned**   — the same store without drift: the stale pre-shift
+   winner keeps serving post-shift traffic (the failure mode).
+3. **oracle**   — post-shift traffic served from a cold store: the best
+   selection the re-profile could possibly recover.
+
+Acceptance: the drift run's post-shift tail must recover at least 80% of
+the oracle's tail throughput, with exactly one reselection episode, and
+the drift run's Chrome trace must pass ``python -m repro.obs reconcile``
+(it is written next to the JSON for exactly that).
+
+Run with ``--quick`` for CI-sized inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Tuple
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.config import ReproConfig  # noqa: E402
+from repro.device import make_cpu  # noqa: E402
+from repro.drift import DriftConfig  # noqa: E402
+from repro.obs.export import reconcile, write_chrome_trace  # noqa: E402
+from repro.serve import (  # noqa: E402
+    LaunchScheduler,
+    SelectionStore,
+    ServeRequest,
+    WorkloadSignature,
+)
+from repro.workloads import spmv_csr  # noqa: E402
+
+#: Acceptance thresholds (mirrored in EXPERIMENTS.md).
+MIN_ORACLE_RECOVERY = 0.80
+
+#: Detector tuning: a short warmup so the pre-shift phase freezes a
+#: baseline, two confirming exceedances so one noisy read cannot fire.
+DRIFT = DriftConfig(warmup=4, confirm=2, cooldown=4)
+
+
+def pinned_signature(kernel: str) -> WorkloadSignature:
+    """One fixed workload class for all traffic.
+
+    The shift is only *drift* if the class key cannot see it — this
+    models a deployment whose feature extractor does not capture the
+    property that changed (here: matrix regularity).
+    """
+    return WorkloadSignature(
+        kernel=kernel, device_kind="cpu", features=(("class", "pinned"),)
+    )
+
+
+def build_traffic(
+    size: int, per_phase: int, config: ReproConfig
+) -> Tuple[list, List[ServeRequest], list]:
+    """Pre-shift random-matrix requests, then diagonal-matrix requests,
+    all pinned to one workload class."""
+    cases = [
+        spmv_csr.input_dependent_case("cpu", kind, size, config)
+        for kind in ("random", "diagonal")
+    ]
+    signature = pinned_signature(cases[0].pool.name)
+    batch: List[ServeRequest] = []
+    checks = []
+    for case in cases:
+        for _ in range(per_phase):
+            args = case.fresh_args()
+            batch.append(
+                ServeRequest(
+                    kernel=case.pool.name,
+                    args=args,
+                    workload_units=case.workload_units,
+                    signature=signature,
+                )
+            )
+            checks.append((case, args))
+    return cases, batch, checks
+
+
+def serve(cases, batch, checks, store, config) -> Tuple[LaunchScheduler, list]:
+    """Serve the batch serially (one device, in order) so each run sees
+    the same request sequence; validate every output."""
+    scheduler = LaunchScheduler((make_cpu(config),), config=config, store=store)
+    scheduler.register_pool(cases[0].pool)
+    outcomes = [scheduler.launch(request) for request in batch]
+    for case, args in checks:
+        if not case.validate(args):
+            raise SystemExit(f"served output failed validation: {case.name}")
+    return scheduler, outcomes
+
+
+def tail_cycles_per_unit(outcomes, tail: int) -> float:
+    """Mean per-unit cost of the last ``tail`` requests."""
+    window = outcomes[-tail:]
+    total = sum(o.result.elapsed_cycles for o in window)
+    units = sum(o.request.workload_units for o in window)
+    return total / units
+
+
+def run_benchmark(quick: bool, trace_path: str) -> Dict[str, object]:
+    """Run all three scenarios and return the BENCH_drift.json document."""
+    config = ReproConfig()
+    size = 2048 if quick else 8192
+    per_phase = 10 if quick else 20
+    tail = per_phase // 2
+
+    # Scenario 1: drift-armed store, traced end to end.
+    traced = ReproConfig(trace=True)
+    cases, batch, checks = build_traffic(size, per_phase, traced)
+    drift_run, drift_outcomes = serve(
+        cases, batch, checks, SelectionStore(drift=DRIFT), traced
+    )
+    controller = drift_run.store.drift
+    reselections = controller.reselections
+    episodes = [
+        {
+            "key": episode.key,
+            "stale_variant": episode.stale_variant,
+            "new_variant": episode.new_variant,
+            "reselected": episode.reselected,
+            "completed": episode.completed,
+        }
+        for episode in controller.episodes
+    ]
+    write_chrome_trace(drift_run.tracer.events, trace_path)
+    trace_problems = reconcile(drift_run.tracer.events)
+
+    # Scenario 2: the same store shape without drift — the stale winner
+    # keeps serving the post-shift phase.
+    cases, batch, checks = build_traffic(size, per_phase, config)
+    pinned_run, pinned_outcomes = serve(
+        cases, batch, checks, SelectionStore(), config
+    )
+
+    # Scenario 3: the oracle — post-shift traffic served from cold, so
+    # the selection is learned on the post-shift input itself.
+    cases, batch, checks = build_traffic(size, per_phase, config)
+    post_shift = batch[per_phase:]
+    post_checks = checks[per_phase:]
+    oracle_run, oracle_outcomes = serve(
+        cases, post_shift, post_checks, SelectionStore(), config
+    )
+
+    drift_tail = tail_cycles_per_unit(drift_outcomes, tail)
+    pinned_tail = tail_cycles_per_unit(pinned_outcomes, tail)
+    oracle_tail = tail_cycles_per_unit(oracle_outcomes, tail)
+    recovery = oracle_tail / drift_tail if drift_tail > 0 else 0.0
+    # The failure mode must actually occur: without drift, the post-shift
+    # tail is still served by the pre-shift winner.
+    pinned_tail_variant = pinned_outcomes[-1].result.selected
+    stale_variant = episodes[0]["stale_variant"] if episodes else None
+    pinned_stays_stale = (
+        stale_variant is not None and pinned_tail_variant == stale_variant
+    )
+
+    return {
+        "benchmark": "drift",
+        "quick": quick,
+        "workload": {
+            "kernel": cases[0].pool.name,
+            "matrix_size": size,
+            "shift": "random -> diagonal at request %d" % per_phase,
+            "requests": 2 * per_phase,
+            "tail_requests": tail,
+            "drift_config": {
+                "warmup": DRIFT.warmup,
+                "confirm": DRIFT.confirm,
+                "cooldown": DRIFT.cooldown,
+                "delta": DRIFT.delta,
+                "threshold": DRIFT.threshold,
+            },
+        },
+        "tail_cycles_per_unit": {
+            "drift": drift_tail,
+            "pinned": pinned_tail,
+            "oracle": oracle_tail,
+        },
+        "drift_run": {
+            "reselections": reselections,
+            "confirmations": controller.confirmations,
+            "episodes": episodes,
+            "store_decays": drift_run.store.stats.decays,
+            "profiled_launches": drift_run.stats.profiled_launches,
+            "pinned_profiled_launches": pinned_run.stats.profiled_launches,
+            "oracle_profiled_launches": oracle_run.stats.profiled_launches,
+            "trace_events": len(drift_run.tracer.events),
+            "trace_problems": trace_problems,
+        },
+        "acceptance": {
+            "oracle_recovery": recovery,
+            "oracle_recovery_min": MIN_ORACLE_RECOVERY,
+            "oracle_recovery_ok": recovery >= MIN_ORACLE_RECOVERY,
+            "one_reselection_ok": reselections == 1,
+            "pinned_tail_variant": pinned_tail_variant,
+            "pinned_stays_stale_ok": pinned_stays_stale,
+            "trace_reconciles_ok": not trace_problems,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized inputs (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_drift.json",
+        help="where to write the results document",
+    )
+    parser.add_argument(
+        "--trace",
+        default="TRACE_drift.json",
+        help="where to write the drift run's Chrome trace",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_benchmark(quick=args.quick, trace_path=args.trace)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    tails = doc["tail_cycles_per_unit"]
+    acceptance = doc["acceptance"]
+    drift_info = doc["drift_run"]
+    print(f"drift benchmark ({'quick' if doc['quick'] else 'full'} inputs)")
+    print(
+        f"  tail cost  : drift {tails['drift']:.3f} / pinned "
+        f"{tails['pinned']:.3f} / oracle {tails['oracle']:.3f} "
+        f"cycles per unit"
+    )
+    print(
+        f"  recovery   : {100 * acceptance['oracle_recovery']:.1f}% of "
+        f"oracle throughput "
+        f"({drift_info['reselections']} reselection(s), "
+        f"{drift_info['store_decays']} store decay(s))"
+    )
+    for episode in drift_info["episodes"]:
+        print(
+            f"  episode    : {episode['stale_variant']} -> "
+            f"{episode['new_variant']}"
+        )
+    print(f"  trace      : {args.trace} ({drift_info['trace_events']} events)")
+    print(f"  written    : {args.output}")
+
+    ok = (
+        acceptance["oracle_recovery_ok"]
+        and acceptance["one_reselection_ok"]
+        and acceptance["pinned_stays_stale_ok"]
+        and acceptance["trace_reconciles_ok"]
+    )
+    if not ok:
+        print("  ACCEPTANCE FAILED", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

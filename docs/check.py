@@ -30,6 +30,7 @@ PAGES = (
     "README.md",
     "docs/api.md",
     "docs/architecture.md",
+    "docs/drift.md",
     "docs/faults.md",
     "docs/serving.md",
 )

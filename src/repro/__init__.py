@@ -22,6 +22,7 @@ Subpackages: :mod:`repro.kernel` (programming model), :mod:`repro.device`
 (simulated CPU/GPU), :mod:`repro.compiler` (variants, analyses, baseline
 heuristics), :mod:`repro.core` (the DySel runtime), :mod:`repro.faults`
 (deterministic fault injection and variant quarantine),
+:mod:`repro.drift` (online drift detection and re-selection),
 :mod:`repro.workloads` (the evaluation's benchmarks) and
 :mod:`repro.harness` (experiments regenerating every table and figure).
 """
@@ -42,6 +43,7 @@ from .core import (
     LaunchResult,
 )
 from .device import ExecutionEngine, make_cpu, make_gpu
+from .drift import DriftConfig, DriftDetector, ReselectionController
 from .errors import (
     LaunchAbortedError,
     ReproError,
@@ -62,6 +64,8 @@ __version__ = "1.0.0"
 __all__ = [
     "DEFAULT_CONFIG",
     "Diagnostic",
+    "DriftConfig",
+    "DriftDetector",
     "DySelContext",
     "DySelKernelRegistry",
     "DySelRuntime",
@@ -78,6 +82,7 @@ __all__ = [
     "ProfilingMode",
     "ReproConfig",
     "ReproError",
+    "ReselectionController",
     "SelectionStore",
     "ServeRequest",
     "Severity",

@@ -68,6 +68,11 @@ def _validated_cached(
     return None, stale_note
 
 
+def _base_groups(pool: VariantPool, workload_units: int) -> int:
+    """Work-groups of the finest-grained variant (the §2.1 size proxy)."""
+    return workload_units // max(1, min(v.wa_factor for v in pool.variants))
+
+
 def decide(
     pool: VariantPool,
     workload_units: int,
@@ -77,6 +82,7 @@ def decide(
     tracer: Tracer = NULL_TRACER,
     now: float = 0.0,
     pinned_variant: Optional[str] = None,
+    drift_rearm: bool = False,
 ) -> LaunchDecision:
     """Resolve the profiling decision for one launch.
 
@@ -86,6 +92,13 @@ def decide(
     reused only when the caller deactivated profiling — re-requesting
     profiling re-profiles, which is how callers handle changed inputs; a
     small workload deactivates profiling regardless.
+
+    ``drift_rearm`` is the drift loop's override (:mod:`repro.drift`):
+    a confirmed throughput drift re-arms profiling for exactly this
+    launch even though the caller deactivated it, *unless* the workload
+    is too small to profile or the pool has nothing to select — then the
+    re-arm is moot and the normal profiling-off path runs (the caller's
+    claim should be released so a later, larger launch retries).
 
     ``pinned_variant`` is the serving layer's instruction (persistent
     selection store, :mod:`repro.serve`): run exactly this variant without
@@ -97,6 +110,14 @@ def decide(
     tracing is on (``now`` is the engine clock at decision time).
     """
     cached, stale_note = _validated_cached(pool, cache, tracer, now)
+    if (
+        drift_rearm
+        and not profiling_requested
+        and len(pool.variants) > 1
+        and _base_groups(pool, workload_units)
+        >= config.small_workload_threshold
+    ):
+        return LaunchDecision(profile=True, reason="drift re-activation")
     if pinned_variant is not None and not profiling_requested:
         if pinned_variant in pool.variant_names:
             return LaunchDecision(
@@ -131,9 +152,7 @@ def decide(
             ),
         )
 
-    base_groups = workload_units // max(
-        1, min(v.wa_factor for v in pool.variants)
-    )
+    base_groups = _base_groups(pool, workload_units)
     if base_groups < config.small_workload_threshold:
         if cached is not None and tracer.enabled:
             tracer.instant(

@@ -40,6 +40,7 @@ from ..compiler.variants import VariantPool
 from ..config import ReproConfig
 from ..device.base import Device
 from ..device.engine import ExecutionEngine, Priority
+from ..drift import DriftConfig, DriftSignal, ReselectionController
 from ..errors import (
     AnalysisError,
     LaunchAbortedError,
@@ -129,6 +130,14 @@ class DySelRuntime:
         self._restricted_pools: Dict[
             Tuple[str, Tuple[str, ...]], VariantPool
         ] = {}
+        #: Optional drift feedback loop (:mod:`repro.drift`): when armed
+        #: via :meth:`enable_drift`, profiling-off launches feed their
+        #: measured cycles per unit into the detector and a confirmed
+        #: drift re-arms profiling for the next launch of that kernel.
+        #: ``None`` (the default) keeps the runtime's behaviour exactly
+        #: as before — the serving layer drives its own controller per
+        #: workload class instead.
+        self.drift: Optional[ReselectionController] = None
 
     # ------------------------------------------------------------------
     # Fault injection (chaos testing)
@@ -150,6 +159,62 @@ class DySelRuntime:
     def clear_faults(self) -> None:
         """Remove any installed fault injector (back to clean runs)."""
         self.engine.injector = None
+
+    # ------------------------------------------------------------------
+    # Drift adaptation
+    # ------------------------------------------------------------------
+
+    def enable_drift(
+        self,
+        config: Optional[DriftConfig] = None,
+        controller: Optional[ReselectionController] = None,
+    ) -> ReselectionController:
+        """Arm the drift → re-profile feedback loop on this runtime.
+
+        With drift enabled, every profiling-off launch feeds its measured
+        cycles per workload unit into a per-kernel
+        :class:`~repro.drift.DriftDetector`; a confirmed throughput
+        change re-arms the profiling activation flag for the next launch
+        of that kernel (``policy.decide`` reason
+        ``"drift re-activation"``), and the re-selection episode is
+        recorded on the returned controller.  Pass ``controller`` to
+        share one across runtimes (the serving layer does its own wiring
+        through the selection store instead).
+        """
+        if controller is not None:
+            self.drift = controller
+        else:
+            self.drift = ReselectionController(config)
+        return self.drift
+
+    def _observe_drift(
+        self, kernel_sig: str, result: LaunchResult, workload_units: int
+    ) -> None:
+        """Feed one profiling-off launch into the drift loop (if armed)."""
+        if (
+            self.drift is None
+            or workload_units <= 0
+            or result.elapsed_cycles <= 0.0
+        ):
+            return
+        cycles_per_unit = result.elapsed_cycles / workload_units
+        signal = self.drift.observe(
+            kernel_sig, kernel_sig, result.selected, cycles_per_unit
+        )
+        if signal is DriftSignal.NONE or not self.tracer.enabled:
+            return
+        kind = (
+            EventKind.DRIFT_SUSPECT
+            if signal is DriftSignal.SUSPECT
+            else EventKind.DRIFT_CONFIRMED
+        )
+        self.tracer.instant(
+            kind,
+            kernel_sig,
+            self.engine.now,
+            variant=result.selected,
+            cycles_per_unit=cycles_per_unit,
+        )
 
     def add_invalidation_hook(
         self, hook: Callable[[str, str], None]
@@ -241,6 +306,7 @@ class DySelRuntime:
         override_side_effects: bool = False,
         pinned_variant: Optional[str] = None,
         stream_name: Optional[str] = None,
+        drift_rearm: bool = False,
     ) -> LaunchResult:
         """Launch a kernel (``DySelLaunchKernel``, Fig 6b).
 
@@ -277,6 +343,14 @@ class DySelRuntime:
             serving layer tags each admitted request with its leased
             stream so traces show per-request queues).  Profiled launches
             manage their own per-candidate streams and ignore this.
+        drift_rearm:
+            External drift override (the serving layer's
+            :class:`~repro.drift.ReselectionController` confirmed a
+            throughput change for this request's workload class): with
+            ``profiling=False``, re-arm profiling for exactly this
+            launch.  When the runtime's own drift loop is armed
+            (:meth:`enable_drift`) the flag is raised internally and
+            callers never need to pass it.
         """
         if kernel_sig not in self.registry:
             raise LaunchError(f"kernel {kernel_sig!r} is not registered")
@@ -299,6 +373,14 @@ class DySelRuntime:
                 launch_index=self.engine.launch_count,
             )
 
+        claimed_drift = False
+        if (
+            not profiling
+            and not drift_rearm
+            and self.drift is not None
+            and self.drift.should_rearm(kernel_sig)
+        ):
+            claimed_drift = self.drift.claim(kernel_sig)
         decision = policy.decide(
             pool,
             workload_units,
@@ -308,11 +390,18 @@ class DySelRuntime:
             tracer,
             self.engine.now,
             pinned_variant=pinned_variant,
+            drift_rearm=drift_rearm or claimed_drift,
         )
         if not decision.profile:
-            return self._launch_without_profiling(
+            if claimed_drift:
+                # The re-arm was moot for this launch (too small to
+                # profile, nothing to select); let a later launch retry.
+                self.drift.release(kernel_sig)
+            result = self._launch_without_profiling(
                 pool, launch, decision, stream_name=stream_name
             )
+            self._observe_drift(kernel_sig, result, workload_units)
+            return result
 
         effective_mode = mode if mode is not None else pool.mode
         assert effective_mode is not None
@@ -384,6 +473,8 @@ class DySelRuntime:
         if planned is None:
             # Nothing profilable fits this launch: run the pool default
             # without profiling instead of failing the launch.
+            if claimed_drift:
+                self.drift.release(kernel_sig)
             note = (
                 "profiling plan infeasible; demoted to profiling-off with "
                 "the pool default"
@@ -417,6 +508,8 @@ class DySelRuntime:
                     initial_variant=initial_variant,
                 )
         except ProfilingFaultError as exc:
+            if claimed_drift:
+                self.drift.release(kernel_sig)
             return self._degrade_after_faults(
                 kernel_sig, pool, launch, reason, exc, stream_name
             )
@@ -438,6 +531,17 @@ class DySelRuntime:
             eager_units=outcome.eager_units,
             profiling_latency_cycles=outcome.profiling_latency_cycles,
         )
+        if claimed_drift:
+            episode = self.drift.complete(kernel_sig, result.selected)
+            if episode is not None and tracer.enabled:
+                tracer.instant(
+                    EventKind.RESELECTION,
+                    kernel_sig,
+                    self.engine.now,
+                    stale_variant=episode.stale_variant,
+                    new_variant=result.selected,
+                    reselected=episode.reselected,
+                )
         if tracer.enabled:
             tracer.instant(
                 EventKind.LAUNCH_END,

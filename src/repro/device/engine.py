@@ -33,8 +33,6 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Mapping, Optional, Tuple
 
-import numpy as np
-
 from ..config import ReproConfig
 from ..errors import EngineError
 from ..kernel.kernel import KernelVariant, WorkRange
@@ -466,13 +464,16 @@ class ExecutionEngine:
             progressed = True
 
     def _try_fast_batch(self, horizon: float) -> bool:
-        """Analytic fast path for a large uncontended batch.
+        """Greedy fast path for a large uncontended batch.
 
         When exactly one task's work-groups are ready, nothing else is in
-        flight or arriving, and the batch is large, its makespan is
-        computed analytically (list scheduling on identical units) instead
-        of event by event.  Keeps iterative whole-workload launches cheap
-        to simulate without changing comparative timing.
+        flight or arriving, and the batch is large, the per-group event
+        machinery (priority scans, arrival delivery, horizon checks) is
+        skipped and the same greedy list schedule — each group goes to
+        the earliest-free unit — runs as a tight heap loop.  The
+        resulting unit free times, task intervals, and busy cycles are
+        *identical* to the per-group event path on the same inputs; only
+        the simulation cost differs.
         """
         if self._arrivals:
             return False
@@ -487,23 +488,29 @@ class ExecutionEngine:
         tasks = {id(task): task for task, _ in queue}
         if len(tasks) != 1:
             return False
-        free_times = sorted(t for t, _ in self._unit_heap)
         task = next(iter(tasks.values()))
 
-        durations = np.fromiter((d for _, d in queue), dtype=float, count=len(queue))
-        queue.clear()
-        units = len(free_times)
-        start0 = max(free_times[0], task.arrival_time)
-        total = float(np.sum(durations))
-        # List-scheduling makespan bounds: mean load plus one straggler.
-        makespan = total / units + float(np.max(durations)) * (1.0 - 1.0 / units)
-        end = start0 + makespan
+        unit_heap = self._unit_heap
+        arrival = task.arrival_time
+        first_start = task.first_start
+        last_end = task.last_end
+        total = 0.0
+        heapreplace = heapq.heapreplace
+        for _, duration in queue:
+            free_time, unit = unit_heap[0]
+            start = free_time if free_time > arrival else arrival
+            end = start + duration
+            heapreplace(unit_heap, (end, unit))
+            if start < first_start:
+                first_start = start
+            if end > last_end:
+                last_end = end
+            total += duration
         self._busy_cycles += total
-        task.first_start = min(task.first_start, start0)
-        task.last_end = max(task.last_end, end)
-        task.completed_work_groups += len(durations)
-        self._unit_heap = [(end, i) for i in range(units)]
-        heapq.heapify(self._unit_heap)
+        task.first_start = first_start
+        task.last_end = last_end
+        task.completed_work_groups += len(queue)
+        queue.clear()
         if task.finished:
             self._finalize(task)
         return True

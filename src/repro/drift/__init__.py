@@ -1,0 +1,41 @@
+"""Online drift detection and automatic re-selection.
+
+This subpackage closes the feedback loop the paper leaves to the
+programmer: instead of waiting for the application to re-arm the
+profiling activation flag (§3.1) when inputs change, the runtime watches
+each workload class's measured throughput
+(:class:`DriftMonitor` / :class:`DriftDetector`, a two-sided
+Page–Hinkley test with hysteresis and a cooldown window) and, on a
+confirmed change, a :class:`ReselectionController` demotes the stale
+persisted selection and arms exactly one re-profile for the class.
+
+See ``docs/drift.md`` for the detector math, tuning, and how drift
+interacts with quarantine and the activation flag, and
+``benchmarks/bench_drift.py`` for the recovered-throughput benchmark.
+"""
+
+from .controller import (
+    MAX_EPISODE_HISTORY,
+    DriftEpisode,
+    ReselectionController,
+)
+from .detector import (
+    DEFAULT_EWMA_ALPHA,
+    DriftConfig,
+    DriftDetector,
+    DriftSignal,
+    DriftState,
+)
+from .monitor import DriftMonitor
+
+__all__ = [
+    "DEFAULT_EWMA_ALPHA",
+    "MAX_EPISODE_HISTORY",
+    "DriftConfig",
+    "DriftDetector",
+    "DriftEpisode",
+    "DriftMonitor",
+    "DriftSignal",
+    "DriftState",
+    "ReselectionController",
+]

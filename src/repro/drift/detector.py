@@ -1,0 +1,316 @@
+"""Online change detection over chunk-throughput observations.
+
+A cached selection is a bet that the traffic that produced it keeps
+arriving.  When the input regime shifts (a sparse matrix becomes dense,
+a batch size distribution moves), the pinned winner's measured cycles
+per workload unit drift away from the baseline the selection was made
+under — and the fleet keeps replaying a stale answer (Lawson 2020 shows
+selection quality decays exactly this way; Seer reacts per input for the
+same reason).  :class:`DriftDetector` watches that stream of
+measurements and raises a confirmed drift signal when the throughput of
+the pinned variant has durably changed.
+
+Detector design (one detector per workload-class key):
+
+* **EWMA mean + variance** — every observation folds into an
+  exponentially weighted mean/variance pair (alpha ``ewma_alpha``);
+  these are reported for introspection and normalize the test statistic.
+* **Two-sided Page–Hinkley test** — after a ``warmup`` baseline is
+  frozen, each observation contributes its *relative deviation*
+  ``r = (x - baseline) / baseline`` to two cumulative sums (one per
+  direction), each slack-discounted by ``delta``.  The gap between a
+  cumulative sum and its running extremum is the PH score; crossing
+  ``threshold`` flags the observation.
+* **Hysteresis** — one flagged observation makes the detector
+  *suspect*; only ``confirm`` consecutive flagged observations confirm
+  drift.  A single noisy spike (an unlucky clock read, one odd input)
+  de-escalates back to stable.
+* **Cooldown** — after a confirmation the detector discards the next
+  ``cooldown`` observations, then re-enters warmup to rebuild its
+  baseline from post-shift traffic.  Re-selection and baseline
+  rebuilding therefore cannot oscillate against each other.
+
+The detector is deterministic and clock-free: state advances only on
+:meth:`DriftDetector.observe` calls, so tests replay exact traces.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..errors import DriftError
+
+#: Default EWMA smoothing for the running mean/variance.
+DEFAULT_EWMA_ALPHA = 0.2
+
+
+class DriftSignal(enum.Enum):
+    """What one observation did to the detector's view of the world."""
+
+    #: Nothing notable: warming up, cooling down, or stable.
+    NONE = "none"
+    #: The PH score crossed the threshold; awaiting confirmation.
+    SUSPECT = "suspect"
+    #: ``confirm`` consecutive exceedances: drift is real.
+    CONFIRMED = "confirmed"
+
+
+class DriftState(enum.Enum):
+    """The detector's lifecycle phase."""
+
+    #: Accumulating the baseline; no detection yet.
+    WARMUP = "warmup"
+    #: Baseline frozen; watching for change.
+    STABLE = "stable"
+    #: At least one recent exceedance; counting confirmations.
+    SUSPECT = "suspect"
+    #: Post-confirmation quiet period; observations are discarded.
+    COOLDOWN = "cooldown"
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Tuning knobs for :class:`DriftDetector` (see ``docs/drift.md``).
+
+    The defaults are sized for the simulator's clock noise (2% lognormal
+    execution jitter): a sustained ~15% throughput change confirms
+    within a handful of observations, while stationary noise never
+    accumulates past the slack.
+    """
+
+    #: EWMA smoothing factor for the running mean/variance (0 < a <= 1).
+    ewma_alpha: float = DEFAULT_EWMA_ALPHA
+    #: Page–Hinkley slack: per-observation relative deviation that is
+    #: tolerated for free.  Must exceed typical clock noise.
+    delta: float = 0.05
+    #: PH score threshold (accumulated relative deviation beyond slack).
+    threshold: float = 0.6
+    #: Observations used to freeze the baseline mean.
+    warmup: int = 8
+    #: Consecutive exceedances required to confirm drift.
+    confirm: int = 3
+    #: Observations discarded after a confirmation before re-warming.
+    cooldown: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise DriftError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        if self.delta < 0.0:
+            raise DriftError(f"delta must be >= 0, got {self.delta}")
+        if self.threshold <= 0.0:
+            raise DriftError(
+                f"threshold must be positive, got {self.threshold}"
+            )
+        if self.warmup < 1:
+            raise DriftError(f"warmup must be >= 1, got {self.warmup}")
+        if self.confirm < 1:
+            raise DriftError(f"confirm must be >= 1, got {self.confirm}")
+        if self.cooldown < 0:
+            raise DriftError(f"cooldown must be >= 0, got {self.cooldown}")
+
+
+class DriftDetector:
+    """Two-sided Page–Hinkley change detector with hysteresis + cooldown.
+
+    Feed it one positive measurement per chunk/launch (cycles per
+    workload unit); it returns a :class:`DriftSignal` per observation.
+    Not thread-safe on its own — :class:`~repro.drift.monitor.DriftMonitor`
+    adds the locking for concurrent feeders.
+    """
+
+    def __init__(self, config: Optional[DriftConfig] = None) -> None:
+        self.config = config if config is not None else DriftConfig()
+        self.samples = 0
+        self.confirmations = 0
+        self._reset_tracking()
+
+    def _reset_tracking(self) -> None:
+        """Forget the baseline and all cumulative statistics."""
+        self.state = DriftState.WARMUP
+        self.mean = 0.0
+        self.variance = 0.0
+        self._warmup_seen = 0
+        self._warmup_sum = 0.0
+        self.baseline: Optional[float] = None
+        self._inc_sum = 0.0
+        self._inc_min = 0.0
+        self._dec_sum = 0.0
+        self._dec_max = 0.0
+        self._consecutive = 0
+        self._cooldown_left = 0
+
+    def reset(self) -> None:
+        """Re-enter warmup (e.g. after the selection itself changed)."""
+        self._reset_tracking()
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def observe(self, value: float) -> DriftSignal:
+        """Fold one measurement in; report what it revealed."""
+        if not math.isfinite(value) or value <= 0.0:
+            raise DriftError(
+                f"drift observations must be positive and finite, "
+                f"got {value!r}"
+            )
+        self.samples += 1
+        self._update_ewma(value)
+
+        if self.state is DriftState.COOLDOWN:
+            self._cooldown_left -= 1
+            if self._cooldown_left <= 0:
+                # Cooldown over: rebuild the baseline from scratch.
+                confirmations = self.confirmations
+                samples = self.samples
+                mean, variance = self.mean, self.variance
+                self._reset_tracking()
+                self.confirmations = confirmations
+                self.samples = samples
+                self.mean, self.variance = mean, variance
+            return DriftSignal.NONE
+
+        if self.state is DriftState.WARMUP:
+            self._warmup_seen += 1
+            self._warmup_sum += value
+            if self._warmup_seen >= self.config.warmup:
+                self.baseline = self._warmup_sum / self._warmup_seen
+                self.state = DriftState.STABLE
+            return DriftSignal.NONE
+
+        assert self.baseline is not None and self.baseline > 0.0
+        relative = (value - self.baseline) / self.baseline
+        exceeded = self._page_hinkley(relative)
+        if not exceeded:
+            if self.state is DriftState.SUSPECT:
+                self.state = DriftState.STABLE
+            self._consecutive = 0
+            return DriftSignal.NONE
+
+        self._consecutive += 1
+        if self._consecutive >= self.config.confirm:
+            self.confirmations += 1
+            self.state = DriftState.COOLDOWN
+            self._cooldown_left = self.config.cooldown
+            self._consecutive = 0
+            if self.config.cooldown == 0:
+                # Degenerate config: skip straight to re-warming.
+                confirmations = self.confirmations
+                samples = self.samples
+                mean, variance = self.mean, self.variance
+                self._reset_tracking()
+                self.confirmations = confirmations
+                self.samples = samples
+                self.mean, self.variance = mean, variance
+            return DriftSignal.CONFIRMED
+        self.state = DriftState.SUSPECT
+        return DriftSignal.SUSPECT
+
+    def _update_ewma(self, value: float) -> None:
+        """Standard EWMA mean/variance recursion."""
+        if self.samples == 1:
+            self.mean = value
+            self.variance = 0.0
+            return
+        alpha = self.config.ewma_alpha
+        deviation = value - self.mean
+        self.mean += alpha * deviation
+        self.variance = (1.0 - alpha) * (
+            self.variance + alpha * deviation * deviation
+        )
+
+    def _page_hinkley(self, relative: float) -> bool:
+        """Advance both one-sided PH sums; True when either score alarms.
+
+        ``relative`` is the slack-free deviation from the frozen
+        baseline.  The increasing test catches throughput regressions
+        (cycles per unit going up); the decreasing test catches
+        improvements — either way the regime moved and the old selection
+        evidence is stale.
+        """
+        delta = self.config.delta
+        self._inc_sum += relative - delta
+        self._inc_min = min(self._inc_min, self._inc_sum)
+        self._dec_sum += relative + delta
+        self._dec_max = max(self._dec_max, self._dec_sum)
+        score = max(
+            self._inc_sum - self._inc_min, self._dec_max - self._dec_sum
+        )
+        return score > self.config.threshold
+
+    @property
+    def score(self) -> float:
+        """The current PH score (0 while warming or cooling)."""
+        if self.state in (DriftState.WARMUP, DriftState.COOLDOWN):
+            return 0.0
+        return max(
+            self._inc_sum - self._inc_min, self._dec_max - self._dec_sum
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe snapshot of the detector's full state."""
+        return {
+            "state": self.state.value,
+            "samples": self.samples,
+            "confirmations": self.confirmations,
+            "mean": self.mean,
+            "variance": self.variance,
+            "warmup_seen": self._warmup_seen,
+            "warmup_sum": self._warmup_sum,
+            "baseline": self.baseline,
+            "inc_sum": self._inc_sum,
+            "inc_min": self._inc_min,
+            "dec_sum": self._dec_sum,
+            "dec_max": self._dec_max,
+            "consecutive": self._consecutive,
+            "cooldown_left": self._cooldown_left,
+        }
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: Mapping[str, object],
+        config: Optional[DriftConfig] = None,
+    ) -> "DriftDetector":
+        """Rebuild a detector saved by :meth:`to_payload`."""
+        detector = cls(config)
+        try:
+            detector.state = DriftState(str(payload["state"]))
+            detector.samples = int(payload["samples"])  # type: ignore[arg-type]
+            detector.confirmations = int(payload["confirmations"])  # type: ignore[arg-type]
+            detector.mean = float(payload["mean"])  # type: ignore[arg-type]
+            detector.variance = float(payload["variance"])  # type: ignore[arg-type]
+            detector._warmup_seen = int(payload["warmup_seen"])  # type: ignore[arg-type]
+            detector._warmup_sum = float(payload["warmup_sum"])  # type: ignore[arg-type]
+            baseline = payload.get("baseline")
+            detector.baseline = (
+                None if baseline is None else float(baseline)  # type: ignore[arg-type]
+            )
+            detector._inc_sum = float(payload["inc_sum"])  # type: ignore[arg-type]
+            detector._inc_min = float(payload["inc_min"])  # type: ignore[arg-type]
+            detector._dec_sum = float(payload["dec_sum"])  # type: ignore[arg-type]
+            detector._dec_max = float(payload["dec_max"])  # type: ignore[arg-type]
+            detector._consecutive = int(payload["consecutive"])  # type: ignore[arg-type]
+            detector._cooldown_left = int(payload["cooldown_left"])  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DriftError(
+                f"drift detector payload is malformed: {exc}"
+            ) from exc
+        return detector
+
+    def __repr__(self) -> str:
+        return (
+            f"DriftDetector(state={self.state.value}, "
+            f"samples={self.samples}, mean={self.mean:.3g}, "
+            f"score={self.score:.3f}, "
+            f"confirmations={self.confirmations})"
+        )

@@ -1,0 +1,100 @@
+"""Fleet-wide drift monitoring: one detector per workload class.
+
+:class:`DriftMonitor` is the thread-safe map from workload-class key
+(``(pool, device-kind, workload-class)``, flattened to the same string
+key the :class:`~repro.serve.store.SelectionStore` uses) to the
+:class:`~repro.drift.detector.DriftDetector` watching that class's
+chunk throughput.  Serving threads feed measurements concurrently; the
+monitor serializes detector updates per key and hands back the signal.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Mapping, Optional, Tuple
+
+from .detector import DriftConfig, DriftDetector, DriftSignal
+
+
+class DriftMonitor:
+    """Thread-safe keyed collection of drift detectors."""
+
+    def __init__(self, config: Optional[DriftConfig] = None) -> None:
+        """All detectors share one ``config`` (per-key tuning would make
+        persisted state ambiguous)."""
+        self.config = config if config is not None else DriftConfig()
+        self._detectors: Dict[str, DriftDetector] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, key: str, value: float) -> DriftSignal:
+        """Feed one measurement for a workload class; get its signal."""
+        with self._lock:
+            detector = self._detectors.get(key)
+            if detector is None:
+                detector = DriftDetector(self.config)
+                self._detectors[key] = detector
+            return detector.observe(value)
+
+    def detector(self, key: str) -> Optional[DriftDetector]:
+        """The detector watching one class, or ``None`` if never fed.
+
+        The returned detector is shared, not a copy — callers must not
+        mutate it concurrently with :meth:`observe`; use it for
+        read-only introspection (state, mean, score).
+        """
+        with self._lock:
+            return self._detectors.get(key)
+
+    def reset(self, key: str) -> bool:
+        """Re-warm one class's detector (selection changed hands)."""
+        with self._lock:
+            detector = self._detectors.get(key)
+            if detector is None:
+                return False
+            detector.reset()
+            return True
+
+    def drop(self, key: str) -> bool:
+        """Forget one class entirely (entry evicted from the store)."""
+        with self._lock:
+            return self._detectors.pop(key, None) is not None
+
+    def keys(self) -> Tuple[str, ...]:
+        """Snapshot of the tracked class keys."""
+        with self._lock:
+            return tuple(self._detectors)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._detectors)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._detectors
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Dict[str, object]]:
+        """JSON-safe snapshot: key → detector payload."""
+        with self._lock:
+            return {
+                key: detector.to_payload()
+                for key, detector in self._detectors.items()
+            }
+
+    def load_payload(
+        self, payload: Mapping[str, Mapping[str, object]]
+    ) -> None:
+        """Restore detectors saved by :meth:`to_payload` (replaces state)."""
+        detectors = {
+            str(key): DriftDetector.from_payload(item, self.config)
+            for key, item in payload.items()
+        }
+        with self._lock:
+            self._detectors = detectors
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return f"DriftMonitor({len(self._detectors)} class(es) tracked)"

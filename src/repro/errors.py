@@ -199,6 +199,15 @@ class StoreSchemaError(StoreError):
     """
 
 
+class DriftError(DySelError):
+    """Drift-detection configuration or state error.
+
+    Raised for invalid :class:`repro.drift.DriftConfig` parameters,
+    non-positive/non-finite observations, and malformed persisted drift
+    payloads (:mod:`repro.drift`).
+    """
+
+
 class WorkloadError(ReproError):
     """Benchmark workload construction or validation error."""
 

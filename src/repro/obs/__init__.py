@@ -25,6 +25,7 @@ from .events import SPAN_KINDS, EventKind, TraceEvent
 from .export import (
     TraceSummary,
     chrome_trace,
+    load_chrome_trace,
     reconcile,
     summarize,
     text_timeline,
@@ -43,6 +44,7 @@ __all__ = [
     "make_tracer",
     "TraceSummary",
     "chrome_trace",
+    "load_chrome_trace",
     "write_chrome_trace",
     "text_timeline",
     "summarize",

@@ -24,8 +24,15 @@ from typing import Optional, Sequence
 from ..analyze.catalog import example_entries
 from ..config import ReproConfig
 from ..core.runtime import DySelRuntime
+from ..errors import ReproError
 from ..modes import OrchestrationFlow, ProfilingMode
-from .export import reconcile, summarize, text_timeline, write_chrome_trace
+from .export import (
+    load_chrome_trace,
+    reconcile,
+    summarize,
+    text_timeline,
+    write_chrome_trace,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,8 +95,52 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def run_reconcile(argv: Sequence[str]) -> int:
+    """``python -m repro.obs reconcile TRACE.json [--text]``.
+
+    Re-audits a previously written Chrome trace: loads the events back
+    (:func:`~repro.obs.export.load_chrome_trace`), prints the summary,
+    and runs the same :func:`~repro.obs.export.reconcile` checks the
+    live tracing path runs — so CI can assert a benchmark's saved trace
+    is internally consistent without re-running the benchmark.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs reconcile",
+        description="Audit a written Chrome trace for consistency.",
+    )
+    parser.add_argument("trace", help="trace JSON written by repro.obs")
+    parser.add_argument(
+        "--text",
+        action="store_true",
+        help="also print an ASCII timeline of the trace",
+    )
+    args = parser.parse_args(argv)
+    try:
+        events = load_chrome_trace(args.trace)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"== {args.trace}: {len(events)} event(s) ==")
+    print(summarize(events).format())
+    if args.text:
+        print()
+        print(text_timeline(events))
+    problems = reconcile(events)
+    if problems:
+        print(f"FAIL: trace does not reconcile ({len(problems)} problem(s))")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("OK: trace reconciles")
+    return 0
+
+
 def run(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit status."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "reconcile":
+        return run_reconcile(argv[1:])
     args = build_parser().parse_args(argv)
     config = dataclasses.replace(ReproConfig(), trace=True)
     entries = example_entries(config)

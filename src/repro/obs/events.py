@@ -80,6 +80,19 @@ class EventKind(enum.Enum):
       profiling.
     * ``STORE_EVICT`` — a persisted selection was dropped (TTL expiry or
       registry invalidation).
+
+    Drift-adaptation (emitted by whoever drives the
+    :mod:`repro.drift` feedback loop — the scheduler on its sequence
+    timeline, a standalone runtime on device cycles).  All three are
+    instants, so a drifting trace still reconciles cleanly:
+
+    * ``DRIFT_SUSPECT`` — a workload class's throughput crossed the
+      Page–Hinkley threshold once; awaiting confirmation.
+    * ``DRIFT_CONFIRMED`` — hysteresis confirmed the change; the stale
+      selection was demoted and a re-profile is armed.
+    * ``RESELECTION`` — a drift-armed re-profile published a fresh
+      winner, closing the episode; ``args`` carries the stale and new
+      variants.
     """
 
     LAUNCH_BEGIN = "launch_begin"
@@ -107,6 +120,9 @@ class EventKind(enum.Enum):
     PROFILE_LEASE_STEAL = "profile_lease_steal"
     STORE_HIT = "store_hit"
     STORE_EVICT = "store_evict"
+    DRIFT_SUSPECT = "drift_suspect"
+    DRIFT_CONFIRMED = "drift_confirmed"
+    RESELECTION = "reselection"
 
 
 #: Kinds that are always spans (the rest are instants).

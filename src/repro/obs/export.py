@@ -176,6 +176,113 @@ def write_chrome_trace(
         handle.write("\n")
 
 
+def load_chrome_trace(path: str) -> List[TraceEvent]:
+    """Rebuild :class:`TraceEvent` objects from a written Chrome trace.
+
+    The inverse of :func:`write_chrome_trace`, good enough to re-run
+    :func:`reconcile` and :func:`summarize` on a trace file after the
+    process that recorded it is gone (``python -m repro.obs reconcile``).
+    ``B``/``E`` pairs are re-joined per lane (the exporter keeps each
+    lane's spans non-overlapping, so a per-lane stack suffices); events
+    come back sorted by start time with window boundaries ordered so
+    launch windows re-pair exactly.
+    """
+    from .events import TraceError
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as exc:
+        raise TraceError(f"cannot read trace {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"trace {path!r} is not valid JSON: {exc}") from exc
+    raw_events = doc.get("traceEvents") if isinstance(doc, dict) else None
+    if not isinstance(raw_events, list):
+        raise TraceError(
+            f"trace {path!r} has no 'traceEvents' array; not a Chrome "
+            "trace written by repro.obs"
+        )
+
+    def parse(record: Mapping[str, object]) -> Tuple[EventKind, str]:
+        cat = str(record.get("cat", ""))
+        try:
+            kind = EventKind(cat)
+        except ValueError:
+            raise TraceError(
+                f"trace {path!r} contains unknown event kind {cat!r}"
+            ) from None
+        name = str(record.get("name", ""))
+        prefix = f"{kind.value}:"
+        if name.startswith(prefix):
+            name = name[len(prefix):]
+        return kind, name
+
+    events: List[TraceEvent] = []
+    open_spans: Dict[Tuple[object, object], List[Dict[str, object]]] = {}
+    for record in raw_events:
+        if not isinstance(record, dict):
+            raise TraceError(f"trace {path!r}: event {record!r} not an object")
+        phase = record.get("ph")
+        if phase == "M":
+            continue
+        lane = (record.get("pid"), record.get("tid"))
+        if phase == "i":
+            kind, name = parse(record)
+            events.append(
+                TraceEvent(
+                    kind,
+                    name,
+                    float(record.get("ts", 0.0)),  # type: ignore[arg-type]
+                    args=record.get("args", {}),  # type: ignore[arg-type]
+                )
+            )
+        elif phase == "B":
+            open_spans.setdefault(lane, []).append(record)
+        elif phase == "E":
+            stack = open_spans.get(lane)
+            if not stack:
+                raise TraceError(
+                    f"trace {path!r}: 'E' event at ts="
+                    f"{record.get('ts')} closes nothing on lane {lane}"
+                )
+            begin = stack.pop()
+            kind, name = parse(begin)
+            events.append(
+                TraceEvent(
+                    kind,
+                    name,
+                    float(begin.get("ts", 0.0)),  # type: ignore[arg-type]
+                    float(record.get("ts", 0.0)),  # type: ignore[arg-type]
+                    args=begin.get("args", {}),  # type: ignore[arg-type]
+                )
+            )
+        else:
+            raise TraceError(
+                f"trace {path!r}: unsupported phase {phase!r}"
+            )
+    for lane, stack in open_spans.items():
+        if stack:
+            raise TraceError(
+                f"trace {path!r}: {len(stack)} unclosed span(s) on lane "
+                f"{lane}"
+            )
+
+    def order(event: TraceEvent) -> Tuple[float, int]:
+        # At equal timestamps a LAUNCH_END closes the earlier window
+        # before the next LAUNCH_BEGIN opens, and a window's spans sort
+        # inside its boundaries — the ordering reconcile() pairs by.
+        if event.kind is EventKind.LAUNCH_END:
+            rank = 0
+        elif event.kind is EventKind.LAUNCH_BEGIN:
+            rank = 1
+        else:
+            rank = 2
+        return (event.start_cycles, rank)
+
+    events.sort(key=order)
+    return events
+
+
 # ----------------------------------------------------------------------
 # Text timeline
 # ----------------------------------------------------------------------
@@ -256,6 +363,9 @@ class TraceSummary:
     lease_steals: int = 0
     store_hits: int = 0
     store_evictions: int = 0
+    drift_suspects: int = 0
+    drift_confirmations: int = 0
+    reselections: int = 0
     faults_injected: int = 0
     fault_retries: int = 0
     quarantines: int = 0
@@ -319,6 +429,16 @@ class TraceSummary:
                 f"store: {self.store_hits} hit(s), "
                 f"{self.store_evictions} eviction(s)"
             )
+        if (
+            self.drift_suspects
+            or self.drift_confirmations
+            or self.reselections
+        ):
+            lines.append(
+                f"drift: {self.drift_suspects} suspect(s), "
+                f"{self.drift_confirmations} confirmed, "
+                f"{self.reselections} reselection(s)"
+            )
         return "\n".join(lines)
 
 
@@ -376,6 +496,12 @@ def summarize(events: Sequence[TraceEvent]) -> TraceSummary:
             summary.store_hits += 1
         elif kind is EventKind.STORE_EVICT:
             summary.store_evictions += 1
+        elif kind is EventKind.DRIFT_SUSPECT:
+            summary.drift_suspects += 1
+        elif kind is EventKind.DRIFT_CONFIRMED:
+            summary.drift_confirmations += 1
+        elif kind is EventKind.RESELECTION:
+            summary.reselections += 1
         elif kind is EventKind.FAULT_INJECT:
             summary.faults_injected += 1
         elif kind is EventKind.FAULT_RETRY:

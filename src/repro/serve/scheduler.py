@@ -50,6 +50,7 @@ from ..config import ReproConfig
 from ..core.runtime import DySelRuntime, LaunchResult
 from ..device.base import Device
 from ..device.stream import StreamPool
+from ..drift import DriftSignal
 from ..errors import ServeError
 from ..faults.plan import FaultPlan
 from ..modes import OrchestrationFlow, ProfilingMode
@@ -367,18 +368,34 @@ class LaunchScheduler:
         lease: Optional[str] = None
         pinned: Optional[str] = None
         profiling = False
+        drift = self.store.drift
+        drift_rearm = False
         with contextlib.ExitStack() as stack:
             if entry is not None:
-                pinned = entry.selected
-                if self.tracer.enabled:
-                    self.tracer.instant(
-                        EventKind.STORE_HIT,
-                        request.kernel,
-                        float(seq),
-                        workload_class=key,
-                        selected=entry.selected,
-                        samples=entry.samples,
-                    )
+                if drift is not None and drift.should_rearm(key):
+                    # A confirmed drift wants this class re-profiled.
+                    # Claim is consume-once and the profile lease rides
+                    # along, so concurrent launches of a drifting class
+                    # produce exactly one re-profile per episode.
+                    if drift.claim(key):
+                        lease = stack.enter_context(
+                            self.leases.holding(key, seq)
+                        )
+                        if lease is not None:
+                            drift_rearm = True
+                        else:
+                            drift.release(key)
+                if not drift_rearm:
+                    pinned = entry.selected
+                    if self.tracer.enabled:
+                        self.tracer.instant(
+                            EventKind.STORE_HIT,
+                            request.kernel,
+                            float(seq),
+                            workload_class=key,
+                            selected=entry.selected,
+                            samples=entry.samples,
+                        )
             else:
                 # ``holding`` releases in a finally, so a launch that
                 # raises (fault-aborted, verification refusal) cannot
@@ -411,22 +428,34 @@ class LaunchScheduler:
                         flow=request.flow,
                         pinned_variant=pinned,
                         stream_name=stream.name,
+                        drift_rearm=drift_rearm,
                     )
                 worker.complete(estimate, result.elapsed_cycles)
                 if lease is not None:
                     self._publish(key, request, result)
+                    if result.profiled:
+                        self._close_drift_episode(key, request, result, seq)
+                    elif drift_rearm:
+                        # The runtime demoted the re-armed launch to
+                        # profiling-off; the episode stays open for the
+                        # next launch to retry.
+                        drift.release(key)
             finally:
                 if result is None:
                     worker.abort(estimate)
+                    if drift_rearm:
+                        drift.release(key)
 
-        self._account(request, worker, result, entry is not None)
+        served_from_store = entry is not None and not drift_rearm
+        self._observe_drift(key, request, result, served_from_store, seq)
+        self._account(request, worker, result, served_from_store)
         return ServeOutcome(
             request=request,
             device=worker.name,
             workload_class=key,
             result=result,
             profiled=result.profiled,
-            store_hit=entry is not None,
+            store_hit=served_from_store,
             lease=lease,
             sequence=seq,
         )
@@ -457,6 +486,76 @@ class LaunchScheduler:
             mode=result.mode.value if result.mode is not None else None,
             flow=result.flow.value if result.flow is not None else None,
         )
+
+    def _observe_drift(
+        self,
+        key: str,
+        request: ServeRequest,
+        result: LaunchResult,
+        served_from_store: bool,
+        seq: int,
+    ) -> None:
+        """Feed one pinned-replay launch into the fleet's drift loop.
+
+        Only store-served (pinned, profiling-off) launches feed the
+        detector: they replay one fixed variant, so their cycles per
+        unit track the *selection's* throughput under live traffic.
+        Cold eager launches and profiled launches mix variant churn and
+        profiling overhead into the measurement and are skipped.
+        """
+        drift = self.store.drift
+        if (
+            drift is None
+            or not served_from_store
+            or result.profiled
+            or request.workload_units <= 0
+            or result.elapsed_cycles <= 0.0
+        ):
+            return
+        cycles_per_unit = result.elapsed_cycles / request.workload_units
+        signal = drift.observe(
+            key, request.kernel, result.selected, cycles_per_unit
+        )
+        if signal is DriftSignal.NONE or not self.tracer.enabled:
+            return
+        kind = (
+            EventKind.DRIFT_SUSPECT
+            if signal is DriftSignal.SUSPECT
+            else EventKind.DRIFT_CONFIRMED
+        )
+        self.tracer.instant(
+            kind,
+            request.kernel,
+            float(seq),
+            workload_class=key,
+            variant=result.selected,
+            cycles_per_unit=cycles_per_unit,
+        )
+
+    def _close_drift_episode(
+        self, key: str, request: ServeRequest, result: LaunchResult, seq: int
+    ) -> None:
+        """Close the class's open drift episode with the fresh winner.
+
+        Called for every lease-held publish (drift re-profiles *and*
+        cold re-profiles of a class whose decayed entry already
+        expired), so an episode cannot be left dangling by whichever
+        path re-measured first.  A no-op when no episode is open.
+        """
+        drift = self.store.drift
+        if drift is None:
+            return
+        episode = drift.complete(key, result.selected)
+        if episode is not None and self.tracer.enabled:
+            self.tracer.instant(
+                EventKind.RESELECTION,
+                request.kernel,
+                float(seq),
+                workload_class=key,
+                stale_variant=episode.stale_variant,
+                new_variant=result.selected,
+                reselected=episode.reselected,
+            )
 
     def _account(self, request, worker, result, store_hit: bool) -> None:
         """Fold one served request into the aggregate counters."""

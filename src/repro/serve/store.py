@@ -9,13 +9,17 @@ explicit schema version, ages entries out on a TTL so stale winners
 re-profile, and exposes the invalidation surface the runtime's
 registration hooks call into.
 
-Three decay/invalidation mechanisms, from cheapest to strongest:
+Four decay/invalidation mechanisms, from cheapest to strongest:
 
 * **EWMA update** — re-profiles of a known class fold into the stored
   cycles-per-unit estimate instead of overwriting it.
 * **TTL expiry** — entries older than ``ttl`` (seconds on the injected
   clock) are evicted at lookup time; the next request for that class
   acquires a profile lease and re-measures.
+* **Drift decay** — a confirmed throughput drift (:mod:`repro.drift`)
+  demotes the stale entry via :meth:`SelectionStore.decay`: it keeps
+  serving for a grace period while one armed re-profile replaces it,
+  but stops being immortal.
 * **Registry invalidation** — pool re-registration/extension drops every
   entry of that kernel immediately (the candidate set changed; all bets
   are off), via :meth:`SelectionStore.invalidate_kernel` wired to
@@ -36,7 +40,8 @@ import warnings
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Iterator, Optional
 
-from ..errors import StoreError, StoreSchemaError
+from ..drift import DriftConfig, ReselectionController
+from ..errors import DriftError, StoreError, StoreSchemaError
 from ..faults.quarantine import VariantQuarantine
 
 #: On-disk schema version.  Bump when the entry layout *or the key
@@ -46,6 +51,12 @@ SCHEMA_VERSION = 2
 
 #: Default EWMA smoothing factor for repeated measurements of one class.
 DEFAULT_EWMA_ALPHA = 0.3
+
+#: Default grace period (clock seconds) a drift-demoted entry keeps
+#: serving before it expires outright.  Long enough for the armed
+#: re-profile to land on the next launch; short enough that a class with
+#: no further traffic does not pin a stale winner forever.
+DEFAULT_DECAY_GRACE = 300.0
 
 
 @dataclass
@@ -70,6 +81,11 @@ class StoreEntry:
     recorded_at: float = 0.0
     #: How many lookups this entry has served.
     hits: int = 0
+    #: Drift demotion deadline: absolute store-clock time after which the
+    #: entry expires regardless of TTL (``None`` = not demoted).  Set by
+    #: :meth:`SelectionStore.decay` when drift confirms the selection is
+    #: stale; cleared by the next :meth:`SelectionStore.publish`.
+    decay_at: Optional[float] = None
 
     def observe(self, cycles_per_unit: float, alpha: float) -> None:
         """Fold one fresh measurement into the EWMA."""
@@ -86,6 +102,7 @@ class StoreStats:
     expirations: int = 0
     invalidations: int = 0
     puts: int = 0
+    decays: int = 0
 
 
 #: Fields a persisted entry must carry, with their required types.
@@ -105,6 +122,8 @@ class SelectionStore:
         ttl: Optional[float] = None,
         ewma_alpha: float = DEFAULT_EWMA_ALPHA,
         clock: Optional[Callable[[], float]] = None,
+        drift: Optional[DriftConfig] = None,
+        decay_grace: float = DEFAULT_DECAY_GRACE,
     ) -> None:
         """Create an empty store.
 
@@ -117,6 +136,14 @@ class SelectionStore:
         clock:
             Injectable time source (defaults to :func:`time.time`); tests
             pass a fake clock to exercise TTL deterministically.
+        drift:
+            Arm the fleet-wide drift loop with this detector tuning
+            (:class:`repro.drift.DriftConfig`); ``None`` (the default)
+            leaves drift detection off and the store behaves exactly as
+            before.
+        decay_grace:
+            How long (clock seconds) a drift-demoted entry keeps serving
+            before expiring outright (see :meth:`decay`).
         """
         if ttl is not None and ttl <= 0:
             raise StoreError(f"ttl must be positive or None, got {ttl}")
@@ -124,8 +151,13 @@ class SelectionStore:
             raise StoreError(
                 f"ewma_alpha must be in (0, 1], got {ewma_alpha}"
             )
+        if decay_grace <= 0:
+            raise StoreError(
+                f"decay_grace must be positive, got {decay_grace}"
+            )
         self.ttl = ttl
         self.ewma_alpha = ewma_alpha
+        self.decay_grace = decay_grace
         self._clock = clock if clock is not None else time.time
         self._entries: Dict[str, StoreEntry] = {}
         self._lock = threading.RLock()
@@ -135,6 +167,16 @@ class SelectionStore:
         #: so a variant misbehaving for one client is barred for all, and
         #: it rides along in :meth:`save`/:meth:`load` snapshots.
         self.quarantine = VariantQuarantine(clock=self._clock)
+        #: Fleet-wide drift loop (see :mod:`repro.drift`), ``None`` when
+        #: drift detection is off.  Like the quarantine ledger it is
+        #: owned here so the whole fleet shares one view and the state
+        #: rides along in :meth:`save`/:meth:`load` snapshots; confirmed
+        #: drift demotes the stale entry via :meth:`decay`.
+        self.drift: Optional[ReselectionController] = (
+            ReselectionController(drift, decay_hook=self.decay)
+            if drift is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Lookup / update
@@ -201,6 +243,8 @@ class SelectionStore:
                 entry.observe(cycles_per_unit, self.ewma_alpha)
                 entry.recorded_at = now
                 entry.mode, entry.flow = mode, flow
+                # Fresh evidence for this winner lifts any drift demotion.
+                entry.decay_at = None
             else:
                 entry = StoreEntry(
                     key=key,
@@ -214,6 +258,31 @@ class SelectionStore:
                 self._entries[key] = entry
             self.stats.puts += 1
             return entry
+
+    def decay(self, key: str, grace: Optional[float] = None) -> bool:
+        """Demote one entry: expire it ``grace`` seconds from now.
+
+        This is drift's TTL-style demotion (softer than eviction): the
+        stale selection keeps serving — it is still the best *known*
+        answer, and yanking it would stampede every client of the class
+        into the profile lease — but its remaining lifetime is capped,
+        so even a class whose armed re-profile never lands (traffic
+        stopped, every re-profile faults) eventually falls back to a
+        cold lookup.  A subsequent :meth:`publish` (the re-profiled
+        winner) clears the deadline.  Returns False when the key has no
+        live entry.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or self._expired(entry):
+                return False
+            deadline = self._clock() + (
+                grace if grace is not None else self.decay_grace
+            )
+            if entry.decay_at is None or deadline < entry.decay_at:
+                entry.decay_at = deadline
+            self.stats.decays += 1
+            return True
 
     def invalidate_kernel(self, kernel: str) -> int:
         """Drop every entry of one kernel (registration changed).
@@ -231,13 +300,21 @@ class SelectionStore:
             for key in doomed:
                 del self._entries[key]
             self.stats.invalidations += len(doomed)
-            return len(doomed)
+        if self.drift is not None:
+            # The candidate set changed: the per-class throughput history
+            # describes variants that may no longer exist.
+            for key in doomed:
+                self.drift.monitor.drop(key)
+        return len(doomed)
 
     def _expired(self, entry: StoreEntry) -> bool:
-        """Whether an entry has outlived the store TTL."""
+        """Whether an entry has outlived the store TTL or its decay."""
+        now = self._clock()
+        if entry.decay_at is not None and now > entry.decay_at:
+            return True
         if self.ttl is None:
             return False
-        return self._clock() - entry.recorded_at > self.ttl
+        return now - entry.recorded_at > self.ttl
 
     # ------------------------------------------------------------------
     # Persistence
@@ -252,18 +329,30 @@ class SelectionStore:
         """
         with self._lock:
             now = self._clock()
+            entries = []
+            for entry in self._entries.values():
+                raw = asdict(entry)
+                # Timestamps are persisted relative (age, remaining decay
+                # grace) so they survive restarts on a new clock origin.
+                raw.pop("decay_at")
+                raw["age"] = max(0.0, now - entry.recorded_at)
+                if entry.decay_at is not None:
+                    raw["decay_in"] = max(0.0, entry.decay_at - now)
+                entries.append(raw)
             doc = {
                 "schema_version": SCHEMA_VERSION,
-                "entries": [
-                    {**asdict(entry), "age": max(0.0, now - entry.recorded_at)}
-                    for entry in self._entries.values()
-                ],
+                "entries": entries,
             }
             ledger = self.quarantine.to_payload()
             if ledger:
                 # Optional section: absent in pre-fault snapshots, which
                 # still load fine under the same schema version.
                 doc["quarantine"] = ledger
+            if self.drift is not None:
+                # Optional like the quarantine ledger: detector baselines
+                # and episode history survive restarts so a fleet does
+                # not re-learn every class's throughput from scratch.
+                doc["drift"] = self.drift.to_payload()
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
@@ -284,6 +373,7 @@ class SelectionStore:
         ttl: Optional[float] = None,
         ewma_alpha: float = DEFAULT_EWMA_ALPHA,
         clock: Optional[Callable[[], float]] = None,
+        drift: Optional[DriftConfig] = None,
     ) -> "SelectionStore":
         """Deserialize a store written by :meth:`save`.
 
@@ -312,7 +402,7 @@ class SelectionStore:
                 f"({exc}); starting with a fresh store",
                 stacklevel=2,
             )
-            return cls(ttl=ttl, ewma_alpha=ewma_alpha, clock=clock)
+            return cls(ttl=ttl, ewma_alpha=ewma_alpha, clock=clock, drift=drift)
         if not isinstance(doc, dict) or "schema_version" not in doc:
             raise StoreSchemaError(
                 f"selection store {path!r} has no schema_version; refusing "
@@ -331,7 +421,12 @@ class SelectionStore:
                 f"selection store {path!r} is corrupt: 'entries' is "
                 f"{type(entries).__name__}, expected a list"
             )
-        store = cls(ttl=ttl, ewma_alpha=ewma_alpha, clock=clock)
+        if drift is None and isinstance(doc.get("drift"), dict):
+            # The snapshot carries drift state but the caller did not ask
+            # for a specific tuning: arm the loop with defaults rather
+            # than silently dropping persisted baselines and episodes.
+            drift = DriftConfig()
+        store = cls(ttl=ttl, ewma_alpha=ewma_alpha, clock=clock, drift=drift)
         now = store._clock()
         for raw in entries:
             if not isinstance(raw, dict):
@@ -347,6 +442,7 @@ class SelectionStore:
                         f"{raw.get(name)!r}"
                     )
             age = float(raw.get("age", 0.0))
+            decay_in = raw.get("decay_in")
             entry = StoreEntry(
                 key=raw["key"],
                 kernel=raw["kernel"],
@@ -357,6 +453,7 @@ class SelectionStore:
                 samples=int(raw.get("samples", 1)),
                 recorded_at=now - age,
                 hits=int(raw.get("hits", 0)),
+                decay_at=None if decay_in is None else now + float(decay_in),
             )
             store._entries[entry.key] = entry
         ledger = doc.get("quarantine")
@@ -367,6 +464,20 @@ class SelectionStore:
                     f"{type(ledger).__name__}, expected an object"
                 )
             store.quarantine.load_payload(ledger)
+        drift_doc = doc.get("drift")
+        if drift_doc is not None:
+            if not isinstance(drift_doc, dict):
+                raise StoreError(
+                    f"selection store {path!r} is corrupt: 'drift' is "
+                    f"{type(drift_doc).__name__}, expected an object"
+                )
+            assert store.drift is not None
+            try:
+                store.drift.load_payload(drift_doc)
+            except DriftError as exc:
+                raise StoreError(
+                    f"selection store {path!r} is corrupt: {exc}"
+                ) from exc
         return store
 
     # ------------------------------------------------------------------

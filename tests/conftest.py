@@ -161,3 +161,36 @@ def fast_slow_pool(axpy_spec):
             make_axpy_variant("slow", AccessPattern.STRIDED),
         ),
     )
+
+
+@pytest.fixture(autouse=True)
+def _no_global_state_leaks():
+    """Fail any test that leaves shared module state mutated.
+
+    Cross-test pollution through these globals is the classic source of
+    order-dependent flakiness, so the suite polices them instead of
+    trusting every test to clean up:
+
+    - ``repro.config.DEFAULT_CONFIG`` must stay the pristine defaults,
+    - the shared ``NULL_TRACER`` must never be switched on,
+    - ``engine.FAST_BATCH_THRESHOLD`` patches must be undone.
+    """
+    import repro.config as config_mod
+    from repro.device import engine as engine_mod
+    from repro.obs.tracer import NULL_TRACER
+
+    default_before = config_mod.DEFAULT_CONFIG
+    threshold_before = engine_mod.FAST_BATCH_THRESHOLD
+    yield
+    assert config_mod.DEFAULT_CONFIG is default_before, (
+        "test rebound repro.config.DEFAULT_CONFIG"
+    )
+    assert config_mod.DEFAULT_CONFIG == ReproConfig(), (
+        "test mutated repro.config.DEFAULT_CONFIG in place"
+    )
+    assert NULL_TRACER.enabled is False, (
+        "test enabled the shared NULL_TRACER"
+    )
+    assert engine_mod.FAST_BATCH_THRESHOLD == threshold_before, (
+        "test left engine.FAST_BATCH_THRESHOLD patched"
+    )

@@ -1,0 +1,299 @@
+"""Exhaustive matrix over ``policy.decide``'s inputs.
+
+Every combination of (activation flag x cache state x workload size x
+pinned selection x drift re-arm x pool shape) is checked against an
+independent oracle of the documented precedence, proving each
+``LaunchDecision.reason`` branch reachable and the mapping stable.  A
+directed section covers the quarantine interaction (the runtime filters
+barred variants *before* ``decide`` sees the pool).
+"""
+
+import itertools
+
+import pytest
+
+from repro.compiler.variants import VariantPool
+from repro.core import policy
+from repro.core.runtime import DySelRuntime
+from repro.core.selection import (
+    SelectionCache,
+    SelectionRecord,
+    VariantMeasurement,
+)
+from repro.modes import OrchestrationFlow, ProfilingMode
+from tests.conftest import axpy_signature, make_axpy_args, make_axpy_variant
+
+# ----------------------------------------------------------------------
+# The matrix axes
+# ----------------------------------------------------------------------
+
+FLAG = (True, False)
+CACHE = ("empty", "cached", "stale")
+SIZE = ("small", "large")
+PINNED = (None, "slow", "gone")
+DRIFT = (False, True)
+POOL = ("multi", "single")
+
+MATRIX = tuple(itertools.product(FLAG, CACHE, SIZE, PINNED, DRIFT, POOL))
+
+#: Every reason category ``decide`` can produce.
+CATEGORIES = (
+    "drift re-activation",
+    "profiling activated",
+    "pinned reused",
+    "cached reused",
+    "default fallback",
+    "small workload",
+    "single variant",
+)
+
+
+def build_pool(shape):
+    from repro.kernel import KernelSpec
+
+    variants = (make_axpy_variant("fast"),)
+    if shape == "multi":
+        variants += (make_axpy_variant("slow"),)
+    return VariantPool(
+        spec=KernelSpec(signature=axpy_signature()), variants=variants
+    )
+
+
+def build_cache(state):
+    cache = SelectionCache()
+    if state == "empty":
+        return cache
+    selected = "fast" if state == "cached" else "evicted-variant"
+    record = SelectionRecord(
+        kernel="axpy", mode=ProfilingMode.FULLY, flow=OrchestrationFlow.SYNC
+    )
+    record.observe(
+        VariantMeasurement(
+            variant=selected,
+            measured_cycles=10.0,
+            profiled_units=4,
+            productive=True,
+        )
+    )
+    cache.record(record)
+    return cache
+
+
+def units_for(size, config):
+    if size == "small":
+        return max(1, config.small_workload_threshold // 4)
+    return config.small_workload_threshold * 4
+
+
+def categorize(reason):
+    """Map a concrete reason string onto its category."""
+    if reason == "drift re-activation":
+        return "drift re-activation"
+    if reason == "profiling activated":
+        return "profiling activated"
+    if reason == "profiling deactivated; pinned selection reused":
+        return "pinned reused"
+    if reason == "profiling deactivated; cached selection reused":
+        return "cached reused"
+    if reason.startswith("profiling deactivated;") and reason.endswith(
+        "using default"
+    ):
+        return "default fallback"
+    if reason.startswith("small workload ("):
+        return "small workload"
+    if reason == "single-variant pool; nothing to select":
+        return "single variant"
+    raise AssertionError(f"unrecognized reason {reason!r}")
+
+
+def oracle(flag, cache_state, size, pinned, drift, pool_shape):
+    """Independent restatement of the documented precedence order."""
+    multi = pool_shape == "multi"
+    large = size == "large"
+    cached_valid = cache_state == "cached"
+    # "slow" only exists in the multi pool; "gone" never does.
+    pinned_valid = pinned == "slow" and multi
+    if drift and not flag and multi and large:
+        return "drift re-activation"
+    if pinned is not None and not flag and pinned_valid:
+        return "pinned reused"
+    if not flag:
+        return "cached reused" if cached_valid else "default fallback"
+    if not large:
+        return "small workload"
+    if not multi:
+        return "single variant"
+    return "profiling activated"
+
+
+@pytest.mark.parametrize(
+    "flag,cache_state,size,pinned,drift,pool_shape", MATRIX
+)
+def test_matrix_cell(flag, cache_state, size, pinned, drift, pool_shape, config):
+    pool = build_pool(pool_shape)
+    units = units_for(size, config)
+    decision = policy.decide(
+        pool,
+        units,
+        flag,
+        build_cache(cache_state),
+        config,
+        pinned_variant=pinned,
+        drift_rearm=drift,
+    )
+    expected = oracle(flag, cache_state, size, pinned, drift, pool_shape)
+    assert categorize(decision.reason) == expected
+
+    # Structural invariants of every decision.
+    if decision.profile:
+        assert decision.variant_name is None
+    else:
+        assert decision.variant_name in pool.variant_names
+    assert decision.profile == (
+        expected in ("drift re-activation", "profiling activated")
+    )
+
+    # Stability: the same inputs produce the same decision (fresh cache,
+    # because a stale entry is evicted on first sight by design).
+    again = policy.decide(
+        pool,
+        units,
+        flag,
+        build_cache(cache_state),
+        config,
+        pinned_variant=pinned,
+        drift_rearm=drift,
+    )
+    assert again == decision
+
+
+def test_matrix_reaches_every_reason_category(config):
+    reached = set()
+    for flag, cache_state, size, pinned, drift, pool_shape in MATRIX:
+        decision = policy.decide(
+            build_pool(pool_shape),
+            units_for(size, config),
+            flag,
+            build_cache(cache_state),
+            config,
+            pinned_variant=pinned,
+            drift_rearm=drift,
+        )
+        reached.add(categorize(decision.reason))
+    assert reached == set(CATEGORIES)
+
+
+class TestPrecedenceEdges:
+    """Directed checks of the orderings the matrix oracle encodes."""
+
+    def test_drift_rearm_beats_pinned_and_cache(self, fast_slow_pool, config):
+        decision = policy.decide(
+            fast_slow_pool,
+            config.small_workload_threshold * 4,
+            False,
+            build_cache("cached"),
+            config,
+            pinned_variant="slow",
+            drift_rearm=True,
+        )
+        assert decision.profile
+        assert decision.reason == "drift re-activation"
+
+    def test_drift_rearm_never_overrides_small_workload(
+        self, fast_slow_pool, config
+    ):
+        decision = policy.decide(
+            fast_slow_pool,
+            max(1, config.small_workload_threshold // 4),
+            False,
+            SelectionCache(),
+            config,
+            drift_rearm=True,
+        )
+        assert not decision.profile
+
+    def test_drift_rearm_moot_on_single_variant(self, config):
+        pool = build_pool("single")
+        decision = policy.decide(
+            pool,
+            config.small_workload_threshold * 4,
+            False,
+            SelectionCache(),
+            config,
+            drift_rearm=True,
+        )
+        assert not decision.profile
+        assert decision.variant_name == "fast"
+
+    def test_explicit_profiling_ignores_drift_flag(
+        self, fast_slow_pool, config
+    ):
+        """profiling=True already re-profiles; drift adds nothing."""
+        decision = policy.decide(
+            fast_slow_pool,
+            config.small_workload_threshold * 4,
+            True,
+            SelectionCache(),
+            config,
+            drift_rearm=True,
+        )
+        assert decision.profile
+        assert decision.reason == "profiling activated"
+
+    def test_stale_pinned_and_stale_cache_both_noted(
+        self, fast_slow_pool, config
+    ):
+        cache = build_cache("stale")
+        decision = policy.decide(
+            fast_slow_pool,
+            config.small_workload_threshold * 4,
+            False,
+            cache,
+            config,
+            pinned_variant="gone",
+        )
+        assert not decision.profile
+        assert decision.variant_name == "fast"  # pool default
+        assert "evicted-variant" in decision.reason
+        assert "'gone'" in decision.reason
+        assert cache.lookup("axpy") is None  # stale entry evicted
+
+
+class TestQuarantineInteraction:
+    """The runtime bars quarantined variants before ``decide`` runs, so
+    the policy sees a restricted pool (and stale winners self-evict)."""
+
+    def quarantine(self, runtime, variant):
+        for _ in range(runtime.config.faults.quarantine_threshold):
+            runtime.quarantine.note_fault("axpy", variant, "test")
+        assert runtime.quarantine.is_quarantined("axpy", variant)
+
+    def test_quarantined_winner_is_not_replayed(
+        self, cpu, config, fast_slow_pool
+    ):
+        runtime = DySelRuntime(cpu, config)
+        runtime.register_pool(fast_slow_pool)
+        units = config.small_workload_threshold * 4
+        first = runtime.launch_kernel(
+            "axpy", make_axpy_args(units, config), units
+        )
+        assert first.profiled
+        self.quarantine(runtime, first.selected)
+        replay = runtime.launch_kernel(
+            "axpy", make_axpy_args(units, config), units, profiling=False
+        )
+        assert replay.selected != first.selected
+
+    def test_quarantine_to_single_variant_stops_profiling(
+        self, cpu, config, fast_slow_pool
+    ):
+        runtime = DySelRuntime(cpu, config)
+        runtime.register_pool(fast_slow_pool)
+        self.quarantine(runtime, "slow")
+        units = config.small_workload_threshold * 4
+        result = runtime.launch_kernel(
+            "axpy", make_axpy_args(units, config), units
+        )
+        assert not result.profiled
+        assert result.selected == "fast"
+        assert "single-variant pool" in result.reason

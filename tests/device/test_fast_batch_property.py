@@ -1,0 +1,158 @@
+"""Property: the fast-batch path is *exactly* the event path, cheaper.
+
+``ExecutionEngine._try_fast_batch`` claims bit-identical unit free
+times, task intervals, busy cycles, and measurements — not an
+approximation.  This suite forces both paths over the same seeded
+workload by shrinking/raising ``FAST_BATCH_THRESHOLD`` and asserts
+equality down to the float.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, seed, settings, strategies as st  # noqa: E402
+
+#: Replay locally with ``REPRO_CHAOS_SEED=<seed>`` (same convention as
+#: the chaos suite; the CI flakiness job randomizes it).
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+chaos_seed = seed(CHAOS_SEED)
+
+from repro.config import ReproConfig  # noqa: E402
+from repro.device import engine as engine_mod  # noqa: E402
+from repro.device import make_cpu  # noqa: E402
+from repro.device.engine import ExecutionEngine  # noqa: E402
+from repro.kernel import AccessPattern, WorkRange  # noqa: E402
+from tests.conftest import (  # noqa: E402
+    make_axpy_args,
+    make_axpy_variant,
+)
+
+
+def run_batch(config, units, trips, pattern, threshold):
+    """One seeded single-task batch under a given fast-batch threshold.
+
+    Returns ``(task, engine, y)``: the finished task, its engine (for
+    clock/busy accounting), and the committed output vector.
+    """
+    variant = make_axpy_variant("v", pattern, trips=trips)
+    args = make_axpy_args(units, config)
+    engine = ExecutionEngine(make_cpu(config), config)
+    original = engine_mod.FAST_BATCH_THRESHOLD
+    engine_mod.FAST_BATCH_THRESHOLD = threshold
+    try:
+        task = engine.submit(variant, args, WorkRange(0, units), measure=True)
+        engine.wait(task)
+    finally:
+        engine_mod.FAST_BATCH_THRESHOLD = original
+    return task, engine, np.array(args["y"].data, copy=True)
+
+
+@chaos_seed
+@settings(max_examples=20, deadline=None)
+@given(
+    units=st.integers(min_value=12, max_value=160),
+    trips=st.integers(min_value=8, max_value=64),
+    strided=st.booleans(),
+    noisy=st.booleans(),
+    root_seed=st.integers(min_value=0, max_value=2**20),
+)
+def test_fast_batch_is_exact(units, trips, strided, noisy, root_seed):
+    """Identical intervals, busy cycles, measurement, clock, and output."""
+    config = ReproConfig(seed=root_seed)
+    if not noisy:
+        config = config.without_noise()
+    pattern = AccessPattern.STRIDED if strided else AccessPattern.UNIT_STRIDE
+    # Threshold 1 forces the fast path for the whole batch; an oversized
+    # threshold forces the per-work-group event path.
+    fast_task, fast_engine, fast_y = run_batch(
+        config, units, trips, pattern, threshold=1
+    )
+    event_task, event_engine, event_y = run_batch(
+        config, units, trips, pattern, threshold=10**9
+    )
+
+    assert fast_task.finished and event_task.finished
+    assert fast_task.completed_work_groups == event_task.completed_work_groups
+    assert fast_task.first_start == event_task.first_start
+    assert fast_task.last_end == event_task.last_end
+    assert fast_task.true_span_cycles == event_task.true_span_cycles
+    assert fast_task.measured is not None and event_task.measured is not None
+    assert (
+        fast_task.measured.measured_cycles
+        == event_task.measured.measured_cycles
+    )
+    assert fast_engine.now == event_engine.now
+    assert fast_engine.utilization() == event_engine.utilization()
+    assert np.array_equal(fast_y, event_y)
+
+
+def test_fast_path_actually_engages(quiet_config):
+    """Guard against vacuity: the shrunk threshold must take the fast
+    path, and the oversized one must not."""
+    taken = []
+
+    class Probe(ExecutionEngine):
+        def _try_fast_batch(self, horizon):
+            result = super()._try_fast_batch(horizon)
+            taken.append(result)
+            return result
+
+    variant = make_axpy_variant("v", trips=16)
+    units = 64
+    original = engine_mod.FAST_BATCH_THRESHOLD
+    try:
+        engine_mod.FAST_BATCH_THRESHOLD = 1
+        engine = Probe(make_cpu(quiet_config), quiet_config)
+        task = engine.submit(
+            variant, make_axpy_args(units, quiet_config), WorkRange(0, units)
+        )
+        engine.wait(task)
+        assert any(taken)
+
+        taken.clear()
+        engine_mod.FAST_BATCH_THRESHOLD = 10**9
+        engine = Probe(make_cpu(quiet_config), quiet_config)
+        task = engine.submit(
+            variant, make_axpy_args(units, quiet_config), WorkRange(0, units)
+        )
+        engine.wait(task)
+        assert not any(taken)
+    finally:
+        engine_mod.FAST_BATCH_THRESHOLD = original
+
+
+def test_threshold_shrinks_via_monkeypatch(monkeypatch, quiet_config):
+    """The documented test hook: monkeypatching the module constant is
+    enough to steer the path (no engine-construction argument needed)."""
+    monkeypatch.setattr(engine_mod, "FAST_BATCH_THRESHOLD", 2)
+    variant = make_axpy_variant("v", trips=16)
+    args = make_axpy_args(32, quiet_config)
+    engine = ExecutionEngine(make_cpu(quiet_config), quiet_config)
+    task = engine.submit(variant, args, WorkRange(0, 32), measure=True)
+    engine.wait(task)
+    assert task.finished
+    assert task.measured is not None
+    assert np.allclose(args["y"].data, 2.0 * args["x"].data)
+
+
+def test_split_batches_never_take_the_fast_path(quiet_config):
+    """Two interleaved tasks disqualify the fast path yet still agree
+    with the engine's sequential accounting."""
+    original = engine_mod.FAST_BATCH_THRESHOLD
+    try:
+        engine_mod.FAST_BATCH_THRESHOLD = 1
+        engine = ExecutionEngine(make_cpu(quiet_config), quiet_config)
+        variant = make_axpy_variant("v", trips=16)
+        args = make_axpy_args(64, quiet_config)
+        first = engine.submit(variant, args, WorkRange(0, 32))
+        second = engine.submit(variant, args, WorkRange(32, 64))
+        engine.wait_all([first, second])
+        assert first.finished and second.finished
+        assert np.allclose(args["y"].data, 2.0 * args["x"].data)
+    finally:
+        engine_mod.FAST_BATCH_THRESHOLD = original

@@ -1,0 +1,233 @@
+"""Detector behaviour: no false alarms on clock noise, fast confirmation
+on real shifts, and cooldown hysteresis that cannot oscillate."""
+
+import json
+
+import pytest
+
+from repro.config import ReproConfig
+from repro.drift import DriftConfig, DriftDetector, DriftSignal, DriftState
+from repro.errors import DriftError
+
+#: Matches the simulator's execution-time jitter (NoisyClock's lognormal
+#: sigma), so the stationary test models exactly the noise the detector
+#: sees in production traces.
+CLOCK_NOISE_SIGMA = 0.02
+
+
+def noisy_stream(base, count, stream="drift-noise", sigma=CLOCK_NOISE_SIGMA):
+    """Stationary lognormal throughput samples around ``base``."""
+    rng = ReproConfig().rng(stream)
+    return base * rng.lognormal(mean=0.0, sigma=sigma, size=count)
+
+
+def feed(detector, values):
+    """Observe a whole stream; return the per-observation signals."""
+    return [detector.observe(float(value)) for value in values]
+
+
+class TestStationaryNoise:
+    def test_engine_level_noise_never_triggers(self):
+        """2% lognormal jitter (the engine's clock noise) must stay quiet."""
+        detector = DriftDetector()
+        signals = feed(detector, noisy_stream(100.0, 4000))
+        assert set(signals) == {DriftSignal.NONE}
+        assert detector.confirmations == 0
+        assert detector.state is DriftState.STABLE
+
+    @pytest.mark.parametrize("seed", ["a", "b", "c"])
+    def test_quiet_across_seeds(self, seed):
+        detector = DriftDetector()
+        signals = feed(detector, noisy_stream(250.0, 1000, stream=seed))
+        assert DriftSignal.CONFIRMED not in signals
+
+    def test_single_spike_deescalates(self):
+        """One bad clock read may suspect, but must not confirm."""
+        detector = DriftDetector()
+        feed(detector, [100.0] * 10)
+        assert detector.state is DriftState.STABLE
+        # A single +70% outlier crosses the threshold once...
+        assert detector.observe(170.0) is DriftSignal.SUSPECT
+        assert detector.state is DriftState.SUSPECT
+        # ...but the stream returning to baseline de-escalates before the
+        # confirmation count is reached.
+        signals = feed(detector, [100.0] * 20)
+        assert DriftSignal.CONFIRMED not in signals
+        assert detector.state is DriftState.STABLE
+
+
+class TestStepChange:
+    def test_step_confirms_within_a_handful_of_chunks(self):
+        """A sustained regression confirms within ``confirm + slack``."""
+        detector = DriftDetector()
+        feed(detector, noisy_stream(100.0, 20))
+        assert detector.state is DriftState.STABLE
+        signals = feed(detector, noisy_stream(140.0, 8, stream="post"))
+        assert DriftSignal.CONFIRMED in signals
+        confirmed_at = signals.index(DriftSignal.CONFIRMED)
+        assert confirmed_at < 6
+        assert detector.confirmations == 1
+
+    def test_improvement_also_confirms(self):
+        """The test is two-sided: a faster regime is still a regime."""
+        detector = DriftDetector()
+        feed(detector, [100.0] * 20)
+        signals = feed(detector, [60.0] * 8)
+        assert DriftSignal.CONFIRMED in signals
+
+    def test_suspect_precedes_confirmation(self):
+        detector = DriftDetector(DriftConfig(confirm=3))
+        feed(detector, [100.0] * 10)
+        # +50%: the PH score crosses the threshold on the second shifted
+        # sample, then needs three consecutive exceedances to confirm.
+        signals = feed(detector, [150.0] * 4)
+        assert signals == [
+            DriftSignal.NONE,
+            DriftSignal.SUSPECT,
+            DriftSignal.SUSPECT,
+            DriftSignal.CONFIRMED,
+        ]
+
+    def test_slow_creep_below_slack_stays_quiet(self):
+        """Per-observation drift under ``delta`` is tolerated for free."""
+        detector = DriftDetector(DriftConfig(delta=0.05, threshold=0.6))
+        feed(detector, [100.0] * 10)
+        # 2% above baseline forever: each observation contributes
+        # 0.02 - 0.05 < 0 to the increasing sum, so the score never grows.
+        signals = feed(detector, [102.0] * 500)
+        assert set(signals) == {DriftSignal.NONE}
+
+
+class TestCooldown:
+    def test_cooldown_suppresses_oscillation(self):
+        """After a confirmation the detector re-warms before it can fire
+        again, so a persistent shift yields one episode, not a storm."""
+        config = DriftConfig(warmup=4, confirm=2, cooldown=4)
+        detector = DriftDetector(config)
+        feed(detector, [100.0] * 6)
+        signals = feed(detector, [150.0] * 40)
+        assert signals.count(DriftSignal.CONFIRMED) == 1
+        # Post-cooldown the baseline re-froze at the *new* level, so the
+        # shifted regime reads as stable.
+        assert detector.state is DriftState.STABLE
+        assert detector.baseline == pytest.approx(150.0)
+
+    def test_cooldown_discards_observations(self):
+        config = DriftConfig(warmup=2, confirm=1, cooldown=3)
+        detector = DriftDetector(config)
+        feed(detector, [100.0, 100.0])
+        assert detector.observe(200.0) is DriftSignal.CONFIRMED
+        assert detector.state is DriftState.COOLDOWN
+        assert detector.score == 0.0
+        for _ in range(3):
+            assert detector.observe(500.0) is DriftSignal.NONE
+        assert detector.state is DriftState.WARMUP
+
+    def test_zero_cooldown_rewarms_immediately(self):
+        config = DriftConfig(warmup=2, confirm=1, cooldown=0)
+        detector = DriftDetector(config)
+        feed(detector, [100.0, 100.0])
+        assert detector.observe(200.0) is DriftSignal.CONFIRMED
+        assert detector.state is DriftState.WARMUP
+
+    def test_back_to_back_shifts_each_confirm_once(self):
+        config = DriftConfig(warmup=2, confirm=2, cooldown=2)
+        detector = DriftDetector(config)
+        signals = feed(detector, [100.0] * 4)
+        signals += feed(detector, [200.0] * 10)  # shift 1 + re-warm
+        signals += feed(detector, [400.0] * 10)  # shift 2 + re-warm
+        assert signals.count(DriftSignal.CONFIRMED) == 2
+        assert detector.confirmations == 2
+
+
+class TestLifecycle:
+    def test_warmup_freezes_the_baseline_mean(self):
+        detector = DriftDetector(DriftConfig(warmup=4))
+        feed(detector, [90.0, 100.0, 110.0])
+        assert detector.state is DriftState.WARMUP
+        assert detector.baseline is None
+        assert detector.score == 0.0
+        detector.observe(100.0)
+        assert detector.state is DriftState.STABLE
+        assert detector.baseline == pytest.approx(100.0)
+
+    def test_reset_rewarms_but_keeps_counters(self):
+        detector = DriftDetector(DriftConfig(warmup=2, confirm=1))
+        feed(detector, [100.0, 100.0, 200.0, 100.0])
+        samples, confirmations = detector.samples, detector.confirmations
+        detector.reset()
+        assert detector.state is DriftState.WARMUP
+        assert detector.baseline is None
+        assert detector.samples == samples
+        assert detector.confirmations == confirmations
+
+    def test_ewma_tracks_the_stream(self):
+        detector = DriftDetector()
+        feed(detector, [100.0] * 50)
+        assert detector.mean == pytest.approx(100.0)
+        assert detector.variance == pytest.approx(0.0)
+
+    def test_rejects_non_positive_and_non_finite(self):
+        detector = DriftDetector()
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(DriftError):
+                detector.observe(bad)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ewma_alpha": 0.0},
+            {"ewma_alpha": 1.5},
+            {"delta": -0.1},
+            {"threshold": 0.0},
+            {"warmup": 0},
+            {"confirm": 0},
+            {"cooldown": -1},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(DriftError):
+            DriftConfig(**kwargs)
+
+    def test_defaults_are_valid(self):
+        config = DriftConfig()
+        assert 0.0 < config.ewma_alpha <= 1.0
+        assert config.delta > CLOCK_NOISE_SIGMA  # slack exceeds clock noise
+
+
+class TestPersistence:
+    def test_payload_round_trips_through_json(self):
+        detector = DriftDetector(DriftConfig(warmup=4, confirm=2))
+        feed(detector, noisy_stream(100.0, 9))
+        detector.observe(140.0)  # leave the PH sums mid-accumulation
+        payload = json.loads(json.dumps(detector.to_payload()))
+        clone = DriftDetector.from_payload(
+            payload, DriftConfig(warmup=4, confirm=2)
+        )
+        assert clone.to_payload() == detector.to_payload()
+        # Both continue identically from the restored state.
+        stream = [150.0, 150.0, 150.0]
+        assert feed(clone, stream) == feed(detector, stream)
+
+    def test_round_trip_preserves_warmup_progress(self):
+        detector = DriftDetector(DriftConfig(warmup=8))
+        feed(detector, [100.0] * 3)
+        clone = DriftDetector.from_payload(detector.to_payload())
+        assert clone.state is DriftState.WARMUP
+        feed(clone, [100.0] * 5)
+        assert clone.state is DriftState.STABLE
+        assert clone.baseline == pytest.approx(100.0)
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            {},
+            {"state": "stable"},  # missing everything else
+            {"state": "no-such-state"},
+        ],
+    )
+    def test_malformed_payload_rejected(self, corrupt):
+        with pytest.raises(DriftError):
+            DriftDetector.from_payload(corrupt)
