@@ -28,6 +28,7 @@ DOCS_DIR = os.path.join(REPO_ROOT, "docs")
 #: Markdown files checked, relative to the repository root.
 PAGES = (
     "README.md",
+    "docs/analysis.md",
     "docs/api.md",
     "docs/architecture.md",
     "docs/drift.md",

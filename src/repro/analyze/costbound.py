@@ -1,0 +1,597 @@
+"""Static cost-bound analysis: sound cycle intervals per (variant, device).
+
+This module abstract-interprets a :class:`~repro.kernel.ir.KernelIR`
+against a device model and produces a **sound interval** ``[lo, hi]`` (in
+engine cycles) that is guaranteed to contain the true noise-free cost the
+mechanistic cost model (:mod:`repro.device.cost`) would charge:
+
+* quantities the IR states exactly — static loop trips, access patterns,
+  stride/placement facts, vector width, divergence, scratchpad bytes —
+  evaluate exactly, mirroring the device formulas term by term;
+* quantities only the *data* determines — data-dependent
+  :class:`~repro.kernel.ir.LoopBound` trips, gather working sets, buffer
+  sizes, dynamic strides — **widen** to configured worst/best-case bounds
+  (cache-hierarchy extremes, the :class:`WideningPolicy` trip bounds), so
+  the interval stays a superset of any runtime behaviour within those
+  bounds.
+
+The interval brackets :meth:`repro.device.cost.CostModel.launch_cycles` —
+the serialized work-group cycles the engine uses as its noise-free truth.
+Kernel-launch overhead, measurement jitter and the timer quantum sit on
+top of that in the engine and are *not* part of the interval; dominance
+comparisons between variants of one pool are unaffected because those
+terms are variant-independent.
+
+Soundness contract (checked by the hypothesis property suite):
+
+* the workload's data-dependent trip counts lie inside the policy's
+  ``data_trip_bounds``;
+* buffers are served from their IR-declared placement (or the default
+  global space) — re-binding a buffer into texture/constant space at
+  launch time without an IR placement is outside the contract.
+
+Results are cached module-wide, keyed by a structural IR hash plus the
+device kind and widening policy, so verifying many pools over shared IRs
+costs one evaluation each.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..device import make_cpu, make_gpu
+from ..device.base import Device
+from ..device.memory import ELEM_BYTES
+from ..kernel.buffers import MemorySpace
+from ..kernel.ir import AccessPattern, AtomicKind, KernelIR, MemoryAccess
+from ..kernel.kernel import KernelVariant
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` of nonnegative cycle counts.
+
+    ``hi`` may be ``inf`` (an unbounded analysis result); ``lo`` is always
+    finite.  Arithmetic is the standard interval arithmetic restricted to
+    the nonnegative operations the analysis needs.
+    """
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.lo) or self.lo < 0:
+            raise ValueError(f"interval lo must be finite and >= 0, got {self.lo}")
+        if self.hi < self.lo:
+            raise ValueError(f"interval needs lo <= hi, got [{self.lo}, {self.hi}]")
+
+    # -- arithmetic ----------------------------------------------------
+
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        """Product of nonnegative intervals (endpoints multiply)."""
+        return Interval(self.lo * other.lo, self.hi * other.hi)
+
+    def scale(self, factor: float) -> "Interval":
+        """Scale by a nonnegative constant."""
+        if factor < 0:
+            raise ValueError(f"scale factor must be >= 0, got {factor}")
+        return Interval(self.lo * factor, self.hi * factor)
+
+    def max_with(self, other: "Interval") -> "Interval":
+        """Interval extension of ``max`` (endpoint-wise for nonneg args)."""
+        return Interval(max(self.lo, other.lo), max(self.hi, other.hi))
+
+    def union(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both operands."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def midpoint(self) -> float:
+        """Center of the interval (``inf`` when unbounded)."""
+        return (self.lo + self.hi) / 2.0
+
+    @property
+    def width(self) -> float:
+        """``hi - lo`` (``inf`` when unbounded)."""
+        return self.hi - self.lo
+
+    @property
+    def is_bounded(self) -> bool:
+        """True when ``hi`` is finite."""
+        return bool(np.isfinite(self.hi))
+
+    @property
+    def is_point(self) -> bool:
+        """True when the interval is a single value (exact analysis)."""
+        return self.lo == self.hi
+
+    def contains(self, value: float, slack: float = 0.0) -> bool:
+        """Whether ``value`` lies inside, with relative float ``slack``."""
+        lo = self.lo * (1.0 - slack)
+        hi = self.hi * (1.0 + slack) if np.isfinite(self.hi) else self.hi
+        return lo <= value <= hi
+
+    def __contains__(self, value: float) -> bool:
+        return self.contains(value)
+
+    def __str__(self) -> str:
+        hi = "inf" if not np.isfinite(self.hi) else f"{self.hi:.1f}"
+        return f"[{self.lo:.1f}, {hi}]"
+
+
+#: The exact zero interval.
+ZERO = Interval(0.0, 0.0)
+
+#: The fully-unknown interval (analysis gave up).
+UNBOUNDED = Interval(0.0, float("inf"))
+
+
+def point(value: float) -> Interval:
+    """Exact (degenerate) interval for a statically-known quantity."""
+    return Interval(value, value)
+
+
+@dataclass(frozen=True)
+class WideningPolicy:
+    """Worst/best-case assumptions for statically-unknown quantities.
+
+    ``data_trip_bounds`` brackets any data-dependent loop's per-unit trip
+    count; workloads whose true trips exceed the upper bound void the
+    soundness guarantee (widen the policy, not the claim).
+    """
+
+    data_trip_bounds: Tuple[float, float] = (0.0, 4096.0)
+
+    def __post_init__(self) -> None:
+        lo, hi = self.data_trip_bounds
+        if lo < 0 or hi < lo:
+            raise ValueError(
+                f"data_trip_bounds must satisfy 0 <= lo <= hi, got {self.data_trip_bounds}"
+            )
+
+    @property
+    def trip_interval(self) -> Interval:
+        """The trip bounds as an :class:`Interval`."""
+        return Interval(*self.data_trip_bounds)
+
+
+@dataclass(frozen=True)
+class VariantCostBound:
+    """Sound cost interval of one variant on one device kind.
+
+    Component intervals are **per workload unit**; ``fixed_cycles`` is the
+    exact per-work-group overhead (scratchpad staging + dispatch).  The
+    derived intervals follow the cost model's aggregation: a work-group of
+    ``n`` units costs ``max(sum compute, sum bandwidth) + sum exposed +
+    fixed``, so a launch of ``U`` units in ``G`` groups is bracketed by
+    ``U * unit_interval + G * fixed``.
+    """
+
+    variant: str
+    device_kind: str
+    compute: Interval
+    bandwidth: Interval
+    exposed: Interval
+    fixed_cycles: float
+    wa_factor: int
+    widened: Tuple[str, ...] = ()
+
+    @property
+    def unit_interval(self) -> Interval:
+        """Per-unit roofline interval (excludes per-group fixed cost)."""
+        return self.compute.max_with(self.bandwidth) + self.exposed
+
+    def launch_interval(self, workload_units: int) -> Interval:
+        """Sound bracket of ``CostModel.launch_cycles`` for a launch."""
+        if workload_units < 1:
+            raise ValueError(f"workload_units must be >= 1, got {workload_units}")
+        groups = -(-workload_units // max(1, self.wa_factor))
+        return self.unit_interval.scale(workload_units) + point(
+            self.fixed_cycles * groups
+        )
+
+    @property
+    def per_unit_interval(self) -> Interval:
+        """Per-unit interval valid for *any* workload size.
+
+        The fixed cost amortizes to ``fixed / wa`` on full groups but a
+        ragged final group can pay up to one whole ``fixed`` per unit, so
+        the upper endpoint keeps the un-amortized term.
+        """
+        wa = max(1, self.wa_factor)
+        unit = self.unit_interval
+        return Interval(unit.lo + self.fixed_cycles / wa, unit.hi + self.fixed_cycles)
+
+
+# ----------------------------------------------------------------------
+# Device resolution and caching
+# ----------------------------------------------------------------------
+
+_DEVICE_FACTORIES = {"cpu": make_cpu, "gpu": make_gpu}
+_DEVICE_CACHE: Dict[str, Device] = {}
+_BOUND_CACHE: Dict[Tuple[str, str, WideningPolicy, str, int], VariantCostBound] = {}
+
+
+def device_for_kind(kind: str) -> Optional[Device]:
+    """Reference device model for a device kind (None when unknown).
+
+    Cost formulas depend only on the device's spec and memory hierarchy,
+    never on the runtime configuration, so one shared instance per kind
+    serves every analysis.
+    """
+    if kind not in _DEVICE_FACTORIES:
+        return None
+    if kind not in _DEVICE_CACHE:
+        _DEVICE_CACHE[kind] = _DEVICE_FACTORIES[kind]()
+    return _DEVICE_CACHE[kind]
+
+
+def clear_cache() -> None:
+    """Drop all memoized cost bounds (tests / policy hot-swaps)."""
+    _BOUND_CACHE.clear()
+
+
+def cache_size() -> int:
+    """Number of memoized (IR, device, policy) evaluations."""
+    return len(_BOUND_CACHE)
+
+
+def ir_hash(ir: KernelIR) -> str:
+    """Stable structural hash of an IR.
+
+    Callables (data-dependent evaluators) are replaced by a fixed marker:
+    the *bounds* never look through them, so two IRs differing only in
+    evaluator bodies have identical cost intervals and may share a cache
+    entry.
+    """
+    parts = []
+    for loop in ir.loops:
+        bound = (
+            f"static:{loop.bound.static_trips}"
+            if loop.bound.static_trips is not None
+            else "dynamic"
+        )
+        parts.append(
+            f"loop:{loop.name}:{bound}:{loop.is_work_item_loop}:{loop.has_early_exit}"
+        )
+    for access in ir.accesses:
+        parts.append(
+            "access:" + ":".join(
+                str(x)
+                for x in (
+                    access.buffer,
+                    access.is_write,
+                    access.pattern.value,
+                    access.bytes_per_trip,
+                    access.loop,
+                    access.scope,
+                    access.stride_bytes,
+                    access.atomic.value,
+                    access.working_set_hint,
+                    access.stride_evaluator is not None,
+                    access.footprint_hint is not None,
+                    access.strides_by_loop,
+                )
+            )
+        )
+    parts.append(
+        "scalars:" + ":".join(
+            str(x)
+            for x in (
+                ir.flops_per_trip,
+                ir.flops_fixed,
+                ir.vector_width,
+                ir.divergence,
+                ir.scratchpad_bytes,
+                ir.uses_barrier,
+                ir.unroll_factor,
+                ir.prefetch,
+                ir.placements,
+                ir.work_group_threads,
+            )
+        )
+    )
+    digest = hashlib.blake2b("\n".join(parts).encode(), digest_size=16)
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Interval evaluation
+# ----------------------------------------------------------------------
+
+
+def _loop_trip_interval(ir: KernelIR, name: str, policy: WideningPolicy) -> Interval:
+    """Trip-count interval of one loop."""
+    bound = ir.loop_named(name).bound
+    if bound.static_trips is not None:
+        return point(float(bound.static_trips))
+    return policy.trip_interval
+
+
+def _access_trip_interval(
+    ir: KernelIR, access: MemoryAccess, policy: WideningPolicy
+) -> Interval:
+    """Execution-count interval of an access site (mirrors ``access_trips``)."""
+    if access.scope is not None:
+        names = access.scope
+    else:
+        names = tuple(loop.name for loop in ir.enclosing_loops(access.loop))
+    counts = point(1.0)
+    for name in names:
+        counts = counts * _loop_trip_interval(ir, name, policy)
+    return counts
+
+
+def _innermost_trip_interval(ir: KernelIR, policy: WideningPolicy) -> Interval:
+    """Interval of total innermost-loop executions per unit."""
+    if not ir.loops:
+        return point(1.0)
+    counts = point(1.0)
+    for loop in ir.loops:
+        counts = counts * _loop_trip_interval(ir, loop.name, policy)
+    return counts
+
+
+def _bookkeeping_interval(
+    ir: KernelIR, device: Device, policy: WideningPolicy
+) -> Interval:
+    """Interval of per-unit loop setup/branch cycles (mirrors the model)."""
+    spec = device.spec
+    bookkeeping = ZERO
+    instances = point(1.0)
+    for index, loop in enumerate(ir.loops):
+        trips = _loop_trip_interval(ir, loop.name, policy)
+        iterations = instances * trips
+        per_trip = spec.loop_overhead_cycles
+        if index == len(ir.loops) - 1:
+            per_trip /= ir.unroll_factor * max(1, ir.vector_width)
+            if ir.prefetch:
+                per_trip += 0.6
+        bookkeeping = bookkeeping + instances.scale(spec.loop_setup_cycles)
+        bookkeeping = bookkeeping + iterations.scale(per_trip)
+        instances = iterations
+    return bookkeeping
+
+
+def _compute_interval(
+    ir: KernelIR, device: Device, policy: WideningPolicy
+) -> Interval:
+    """Interval of per-unit compute cycles.
+
+    Every device's ``compute_cycles`` is linear in flops with a
+    nonnegative coefficient, so evaluating it at the flop endpoints
+    yields the exact image of the flop interval.
+    """
+    trips = _innermost_trip_interval(ir, policy)
+    flops = Interval(
+        ir.flops_fixed + ir.flops_per_trip * trips.lo,
+        ir.flops_fixed + ir.flops_per_trip * trips.hi,
+    )
+    cycles = device.compute_cycles(
+        ir, np.array([flops.lo, flops.hi]), ir.work_group_threads
+    )
+    return Interval(float(cycles[0]), float(cycles[1]))
+
+
+def _memory_extremes(device: Device) -> Tuple[float, float, float, float]:
+    """(min_bw, max_bw, min_latency, max_latency) over the hierarchy.
+
+    ``stream_bandwidth`` always returns some level's (or DRAM's)
+    bandwidth and ``gather_latency``/``gather_latency_mixed`` are convex
+    combinations of level latencies, so the hierarchy extremes bound any
+    working set the data might produce.
+    """
+    levels = device.memory.levels + (device.memory.dram,)
+    bws = [level.bytes_per_cycle for level in levels]
+    lats = [level.latency_cycles for level in levels]
+    return min(bws), max(bws), min(lats), max(lats)
+
+
+def _resolved_space(ir: KernelIR, access: MemoryAccess) -> MemorySpace:
+    """Memory space after IR placements (default: global)."""
+    placements = dict(ir.placements)
+    return MemorySpace(placements.get(access.buffer, "global"))
+
+
+def _cpu_access_intervals(
+    access: MemoryAccess,
+    useful: Interval,
+    ir: KernelIR,
+    device: Device,
+) -> Tuple[Interval, Interval, Optional[str]]:
+    """(bandwidth, latency) intervals of one access site on the CPU."""
+    memory = device.memory
+    spec = memory._spec
+    min_bw, max_bw, min_lat, max_lat = _memory_extremes(device)
+    pattern = access.pattern
+    width = ir.vector_width
+    irregular = pattern is AccessPattern.GATHER or ir.divergence > 0
+    if width > 1 and irregular:
+        pack = 1.0 + spec.simd_pack_overhead * (width - 1) * (0.5 + ir.divergence)
+    else:
+        pack = 1.0
+    elems = useful.scale(1.0 / ELEM_BYTES)
+
+    if pattern in (AccessPattern.UNIT_STRIDE, AccessPattern.COALESCED):
+        bw = Interval(useful.lo * pack / max_bw, useful.hi * pack / min_bw)
+        return bw, ZERO, "stream working set unknown"
+
+    if pattern is AccessPattern.STRIDED:
+        amp = memory.stride_amplification(access.stride_bytes)
+        bw = Interval(
+            useful.lo * amp * pack / max_bw, useful.hi * amp * pack / min_bw
+        )
+        if access.stride_bytes >= memory.line_bytes:
+            scale = pack / (2.0 * spec.gather_mlp)
+            lat = Interval(elems.lo * min_lat * scale, elems.hi * max_lat * scale)
+        else:
+            lat = ZERO
+        return bw, lat, "strided working set unknown"
+
+    if pattern is AccessPattern.GATHER:
+        bw = Interval(useful.lo * pack / max_bw, useful.hi * pack / min_bw)
+        scale = pack / spec.gather_mlp
+        lat = Interval(elems.lo * min_lat * scale, elems.hi * max_lat * scale)
+        return bw, lat, "gather hit rates unknown"
+
+    if pattern is AccessPattern.BROADCAST:
+        bw = useful.scale(1.0 / (4.0 * memory.levels[0].bytes_per_cycle))
+        return bw, ZERO, None
+
+    raise AssertionError(f"unhandled access pattern {pattern!r}")
+
+
+def _gpu_access_intervals(
+    access: MemoryAccess,
+    useful: Interval,
+    ir: KernelIR,
+    device: Device,
+) -> Tuple[Interval, Interval, Optional[str]]:
+    """(bandwidth, latency) intervals of one access site on the GPU."""
+    memory = device.memory
+    spec = memory._spec
+    min_bw, max_bw, min_lat, max_lat = _memory_extremes(device)
+    pattern = access.pattern
+    space = _resolved_space(ir, access)
+    elems = useful.scale(1.0 / ELEM_BYTES)
+
+    if space is MemorySpace.TEXTURE:
+        stream_scale = 1.0 / spec.texture_stream_scale
+    elif space is MemorySpace.CONSTANT:
+        stream_scale = 8.0
+    else:
+        stream_scale = 1.0
+
+    def stream(amp_lo: float, amp_hi: float) -> Interval:
+        return Interval(
+            useful.lo * amp_lo * stream_scale / max_bw,
+            useful.hi * amp_hi * stream_scale / min_bw,
+        )
+
+    if pattern is AccessPattern.COALESCED:
+        return stream(1.0, 1.0), ZERO, "stream working set unknown"
+
+    if pattern is AccessPattern.UNIT_STRIDE:
+        max_amp = spec.uncoalesced_amplification
+        if access.stride_evaluator is not None:
+            return stream(1.0, max_amp), ZERO, "dynamic stride unknown"
+        return stream(max_amp, max_amp), ZERO, "stream working set unknown"
+
+    if pattern is AccessPattern.STRIDED:
+        amp = min(
+            memory.stride_amplification(access.stride_bytes),
+            spec.uncoalesced_amplification,
+        )
+        return stream(amp, amp), ZERO, "strided working set unknown"
+
+    if pattern is AccessPattern.GATHER:
+        if space is MemorySpace.TEXTURE:
+            hiding, amp = spec.texture_latency_hiding, 2.0
+        elif space is MemorySpace.CONSTANT:
+            hiding, amp = 4.0, 4.0
+        else:
+            hiding, amp = spec.latency_hiding, 4.0
+        hiding /= 1.0 + ir.divergence
+        if ir.prefetch:
+            hiding *= 1.5 if space is not MemorySpace.TEXTURE else 1.05
+        bw = Interval(useful.lo * amp / max_bw, useful.hi * amp / min_bw)
+        lat = Interval(elems.lo * min_lat / hiding, elems.hi * max_lat / hiding)
+        return bw, lat, "gather hit rates unknown"
+
+    if pattern is AccessPattern.BROADCAST:
+        if space is MemorySpace.CONSTANT:
+            return useful.scale(1.0 / 256.0), ZERO, None
+        clamp_bw = float(memory.stream_bandwidth(64.0 * 1024.0))
+        best_bw = memory.levels[0].bytes_per_cycle
+        bw = Interval(useful.lo / best_bw, useful.hi / clamp_bw)
+        return bw, ZERO, "broadcast working set unknown"
+
+    raise AssertionError(f"unhandled access pattern {pattern!r}")
+
+
+def variant_cost_bound(
+    variant: KernelVariant,
+    device_kind: str,
+    policy: WideningPolicy = WideningPolicy(),
+) -> VariantCostBound:
+    """Sound cost interval for one variant on one device kind.
+
+    Unknown device kinds degrade to the unbounded interval — still sound,
+    never able to prune.  Results are memoized by structural IR hash.
+    """
+    key = (
+        ir_hash(variant.ir),
+        device_kind,
+        policy,
+        variant.name,
+        variant.wa_factor,
+    )
+    hit = _BOUND_CACHE.get(key)
+    if hit is not None:
+        return hit
+
+    device = device_for_kind(device_kind)
+    if device is None:
+        bound = VariantCostBound(
+            variant=variant.name,
+            device_kind=device_kind,
+            compute=UNBOUNDED,
+            bandwidth=UNBOUNDED,
+            exposed=UNBOUNDED,
+            fixed_cycles=0.0,
+            wa_factor=variant.wa_factor,
+            widened=(f"unknown device kind {device_kind!r}",),
+        )
+        _BOUND_CACHE[key] = bound
+        return bound
+
+    ir = variant.ir
+    widened = []
+    if ir.has_data_dependent_bounds:
+        widened.append("data-dependent loop bounds")
+
+    access_fn = _cpu_access_intervals if device.kind == "cpu" else _gpu_access_intervals
+    bandwidth = ZERO
+    latency = ZERO
+    atomics = ZERO
+    for access in ir.accesses:
+        trips = _access_trip_interval(ir, access, policy)
+        useful = trips.scale(access.bytes_per_trip)
+        bw, lat, reason = access_fn(access, useful, ir, device)
+        bandwidth = bandwidth + bw
+        latency = latency + lat
+        if reason is not None and reason not in widened:
+            widened.append(reason)
+        if access.atomic is AtomicKind.GLOBAL:
+            atomics = atomics + useful.scale(
+                device.atomic_cycles_per_op() / ELEM_BYTES
+            )
+
+    bookkeeping = _bookkeeping_interval(ir, device, policy)
+    compute = _compute_interval(ir, device, policy)
+    exposed = latency + atomics + bookkeeping
+    fixed = (
+        device.scratchpad_cycles_per_group(ir)
+        + device.spec.workgroup_dispatch_overhead
+    )
+    bound = VariantCostBound(
+        variant=variant.name,
+        device_kind=device.kind,
+        compute=compute,
+        bandwidth=bandwidth,
+        exposed=exposed,
+        fixed_cycles=float(fixed),
+        wa_factor=variant.wa_factor,
+        widened=tuple(widened),
+    )
+    _BOUND_CACHE[key] = bound
+    return bound

@@ -2,39 +2,14 @@
 
 Each pass inspects one :class:`~repro.compiler.variants.VariantPool`
 through a :class:`PoolContext` and yields :class:`Diagnostic` findings.
-The rules encode the paper's Table 1 and §2.2–§3.4 requirements:
+The rules encode the paper's Table 1 and §2.2–§3.4 requirements.
 
-===================  ========================================================
-rule id              meaning
-===================  ========================================================
-DYSEL-MODE-001       global atomics outlaw fully/hybrid profiling (ERROR;
-                     downgraded to WARNING under the programmer override)
-DYSEL-MODE-002       overlapping work-group output ranges force swap (ERROR)
-DYSEL-MODE-003       output range varies across variants; swap only (ERROR)
-DYSEL-MODE-004       non-uniform workload outlaws fully-productive (ERROR;
-                     downgraded under the uniformity override)
-DYSEL-ASYNC-001      swap-based profiling cannot run asynchronously (ERROR)
-DYSEL-ASYNC-002      global atomics interleave with async eager chunks
-                     (WARNING)
-DYSEL-SANDBOX-001    partial modes need declared output buffers (ERROR)
-DYSEL-SANDBOX-002    written outputs missing from the sandbox index (ERROR)
-DYSEL-SANDBOX-003    sandbox space accounting (INFO)
-DYSEL-SIG-001        variant writes a buffer not declared as output (ERROR)
-DYSEL-SIG-002        variants disagree on output write sets; fully-productive
-                     stitching would leave gaps (ERROR for fully)
-DYSEL-SIG-003        declared output never written by any variant (WARNING)
-DYSEL-SIG-004        IR work-group threads disagree with the variant's
-                     work-group size (INFO)
-DYSEL-SIG-005        static output footprints diverge after wa-factor
-                     normalization (WARNING)
-DYSEL-SAFEPOINT-001  no fair profiling slice fits this workload (ERROR)
-DYSEL-SAFEPOINT-002  coprime wa-factors make the fair slice huge (WARNING)
-DYSEL-SAFEPOINT-003  single-variant pool; selection is trivial (INFO)
-DYSEL-SAFEPOINT-004  K fully-productive slices exceed the workload (ERROR
-                     for fully)
-DYSEL-RACE-001       profiled commit ranges race with async eager chunks
-                     (ERROR; atomic-only triggers downgrade under override)
-===================  ========================================================
+The authoritative rule catalog — every id, its default severity, summary
+and remedy — lives in :mod:`repro.analyze.registry` (rendered by
+``python -m repro.analyze --explain DYSEL-<PASS>-<NNN>``); the test suite
+asserts emissions match it, so this module carries no duplicate table to
+drift.  The cost-bound/dominance passes (``DYSEL-COST-*``,
+``DYSEL-DOM-*``) live in :mod:`repro.analyze.dominance`.
 """
 
 from __future__ import annotations
@@ -50,6 +25,7 @@ from ..compiler.analyses.side_effect import (
 )
 from ..compiler.analyses.uniform import analyze_ir_uniformity
 from ..compiler.variants import VariantPool
+from ..config import AnalyzeSettings
 from ..errors import AnalysisError
 from ..kernel.ir import KernelIR
 from ..modes import OrchestrationFlow, ProfilingMode
@@ -94,6 +70,12 @@ class PoolContext:
     #: ``None`` verifies workload-independent facts only.
     workload_units: Optional[int] = None
     overrides: VerifyOverrides = field(default_factory=VerifyOverrides)
+    #: Device kind the pool will launch on ("cpu"/"gpu"); drives the
+    #: cost-bound passes' device model selection.
+    device_kind: str = "cpu"
+    #: Analysis settings (dominance opt-in, widening bounds, configured
+    #: rule adjustments); defaults leave the cost passes inert.
+    settings: AnalyzeSettings = field(default_factory=AnalyzeSettings)
 
     @property
     def irs(self) -> Tuple[Tuple[str, KernelIR], ...]:

@@ -1,0 +1,281 @@
+"""Authoritative machine-readable catalog of every verifier rule.
+
+Single source of truth for rule ids: the CLI's ``--explain`` and JSON
+report render from here, the docs reference it, and the test suite
+asserts that every diagnostic a pass emits carries a registered id with
+the registered default severity — so the catalog cannot drift from the
+emissions the way a docstring table can.
+
+A rule's *default* severity is what the pass emits before programmer
+overrides (:class:`~repro.analyze.passes.VerifyOverrides`) or configured
+adjustments (``[tool.repro.analyze]``) downgrade it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .diagnostics import Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One stable verifier rule."""
+
+    rule_id: str
+    pass_name: str
+    severity: Severity
+    summary: str
+    remedy: str
+
+    def as_dict(self) -> Dict[str, str]:
+        """JSON-ready rendering (``--format json``)."""
+        return {
+            "id": self.rule_id,
+            "pass": self.pass_name,
+            "severity": self.severity.value,
+            "summary": self.summary,
+            "remedy": self.remedy,
+        }
+
+    def format(self) -> str:
+        """Multi-line human rendering (``--explain``)."""
+        return "\n".join(
+            (
+                f"{self.rule_id} ({self.severity.value.upper()}, "
+                f"pass {self.pass_name!r})",
+                f"  summary: {self.summary}",
+                f"  remedy:  {self.remedy or '—'}",
+            )
+        )
+
+
+#: Every rule the verifier can emit, grouped by pass, id order.
+RULES: Tuple[Rule, ...] = (
+    Rule(
+        "DYSEL-MODE-001",
+        "mode-eligibility",
+        Severity.ERROR,
+        "global atomics outlaw fully/hybrid profiling: profiled slices "
+        "would commit non-disjoint outputs (paper Table 1)",
+        "use mode 'swap_sync', or assert the atomics are race-free across "
+        "work-groups via the launch override",
+    ),
+    Rule(
+        "DYSEL-MODE-002",
+        "mode-eligibility",
+        Severity.ERROR,
+        "overlapping work-group output ranges force swap-based profiling",
+        "use mode 'swap_sync' (private per-candidate outputs)",
+    ),
+    Rule(
+        "DYSEL-MODE-003",
+        "mode-eligibility",
+        Severity.ERROR,
+        "output range varies across variants; only swap-based profiling "
+        "keeps candidates comparable",
+        "use mode 'swap_sync' (private per-candidate outputs)",
+    ),
+    Rule(
+        "DYSEL-MODE-004",
+        "mode-eligibility",
+        Severity.ERROR,
+        "non-uniform workload outlaws fully-productive profiling: slices "
+        "would be unequal work",
+        "use mode 'hybrid_async', or assert uniformity via the launch "
+        "override",
+    ),
+    Rule(
+        "DYSEL-ASYNC-001",
+        "async-legality",
+        Severity.ERROR,
+        "swap-based profiling cannot run asynchronously: the final output "
+        "space is unknown until profiling completes",
+        "use mode 'swap_sync'",
+    ),
+    Rule(
+        "DYSEL-ASYNC-002",
+        "async-legality",
+        Severity.WARNING,
+        "global atomic commits interleave with eager chunks dispatched "
+        "during asynchronous profiling; commit order becomes "
+        "timing-dependent",
+        "prefer the synchronous flow for atomic kernels",
+    ),
+    Rule(
+        "DYSEL-SANDBOX-001",
+        "sandbox-capacity",
+        Severity.ERROR,
+        "the kernel declares no output buffers; hybrid/swap profiling has "
+        "nothing to sandbox",
+        "declare outputs via ArgSpec(is_output=True), or use mode 'fully'",
+    ),
+    Rule(
+        "DYSEL-SANDBOX-002",
+        "sandbox-capacity",
+        Severity.ERROR,
+        "outputs written by variants are missing from the sandbox index; "
+        "non-committing candidates would corrupt them",
+        "extend sandbox_index in DySelAddKernel to cover every written "
+        "output",
+    ),
+    Rule(
+        "DYSEL-SANDBOX-003",
+        "sandbox-capacity",
+        Severity.INFO,
+        "sandbox space accounting: K variants need at most K-1 (hybrid) / "
+        "K (swap) private output copies",
+        "informational only; shrink the pool or the output footprint if "
+        "the copies exceed the device budget",
+    ),
+    Rule(
+        "DYSEL-SIG-001",
+        "signature-consistency",
+        Severity.ERROR,
+        "a variant writes a buffer the signature does not declare as an "
+        "output; sandboxing cannot isolate undeclared writes",
+        "declare the buffers as outputs (ArgSpec(is_output=True))",
+    ),
+    Rule(
+        "DYSEL-SIG-002",
+        "signature-consistency",
+        Severity.ERROR,
+        "variants write different output sets; stitching fully-productive "
+        "slices would leave outputs partially written",
+        "use a partial mode, or align the variants' outputs",
+    ),
+    Rule(
+        "DYSEL-SIG-003",
+        "signature-consistency",
+        Severity.WARNING,
+        "a declared output is never written in any variant's IR; the "
+        "analyzed write set may be incomplete",
+        "add the missing MemoryAccess(is_write=True) site or drop the "
+        "output declaration",
+    ),
+    Rule(
+        "DYSEL-SIG-004",
+        "signature-consistency",
+        Severity.INFO,
+        "IR work-group threads disagree with the variant's registered "
+        "work-group size; cost-model efficiency rules may misestimate",
+        "align KernelIR.work_group_threads with the variant's "
+        "work_group_size",
+    ),
+    Rule(
+        "DYSEL-SIG-005",
+        "signature-consistency",
+        Severity.WARNING,
+        "static per-unit output footprints diverge after wa-factor "
+        "normalization; variants may not compute the same output volume",
+        "check bytes_per_trip on the write sites, or the wa_factor "
+        "registered for the coarsened variants",
+    ),
+    Rule(
+        "DYSEL-SAFEPOINT-001",
+        "safe-point",
+        Severity.ERROR,
+        "no fair profiling slice fits this workload",
+        "grow the workload, reduce coprime wa_factors, or launch with "
+        "profiling=False",
+    ),
+    Rule(
+        "DYSEL-SAFEPOINT-002",
+        "safe-point",
+        Severity.WARNING,
+        "near-coprime work assignment factors make the fair profiling "
+        "slice huge",
+        "register wa_factors with small pairwise LCMs (powers of two)",
+    ),
+    Rule(
+        "DYSEL-SAFEPOINT-003",
+        "safe-point",
+        Severity.INFO,
+        "single-variant pool; the launch policy skips profiling entirely",
+        "informational only; add variants to the pool if dynamic "
+        "selection is wanted for this kernel",
+    ),
+    Rule(
+        "DYSEL-SAFEPOINT-004",
+        "safe-point",
+        Severity.ERROR,
+        "K fully-productive slices exceed the workload",
+        "use a partial mode (one shared slice), or grow the workload",
+    ),
+    Rule(
+        "DYSEL-RACE-001",
+        "write-set-race",
+        Severity.ERROR,
+        "write sets of profiled slices and async eager chunks may "
+        "overlap; safe-point geometry does not separate them",
+        "use the synchronous flow, or mode 'swap_sync'",
+    ),
+    Rule(
+        "DYSEL-COST-001",
+        "cost-bound",
+        Severity.INFO,
+        "static cost interval computed for a variant on the target device "
+        "kind (cycles per workload unit)",
+        "informational only; tighten [tool.repro.analyze] data_trip_bounds "
+        "if the interval is wider than the workload warrants",
+    ),
+    Rule(
+        "DYSEL-COST-002",
+        "cost-bound",
+        Severity.INFO,
+        "the cost interval was widened: data-dependent loop bounds, "
+        "gather hit rates or dynamic strides are unknown statically",
+        "tighten AnalyzeSettings.data_trip_bounds, or accept the "
+        "conservative interval",
+    ),
+    Rule(
+        "DYSEL-COST-003",
+        "cost-bound",
+        Severity.WARNING,
+        "the cost interval is unbounded (unknown device kind or unbounded "
+        "widening); dominance pruning cannot act on this variant",
+        "analyze on a known device kind ('cpu'/'gpu') and bound the "
+        "widening policy",
+    ),
+    Rule(
+        "DYSEL-DOM-001",
+        "dominance",
+        Severity.INFO,
+        "variant is statically dominated: its best case exceeds a rival's "
+        "worst case by the safety margin; pruned from the micro-profiling "
+        "candidate set (never from the correctness pool)",
+        "drop the variant from the pool, or keep it as a fallback only",
+    ),
+    Rule(
+        "DYSEL-DOM-002",
+        "dominance",
+        Severity.WARNING,
+        "dominance pruning left a single profiling candidate; selection "
+        "degenerates to the static choice and micro-profiling is skipped",
+        "raise AnalyzeSettings.dominance_margin if runtime measurement is "
+        "still wanted",
+    ),
+)
+
+_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in RULES}
+
+#: All registered rule ids, catalog order.
+RULE_IDS: Tuple[str, ...] = tuple(rule.rule_id for rule in RULES)
+
+
+def find_rule(rule_id: str) -> Optional[Rule]:
+    """Look up a rule by id (None when unregistered)."""
+    return _BY_ID.get(rule_id)
+
+
+def explain(rule_id: str) -> Rule:
+    """Look up a rule by id, raising ``KeyError`` with suggestions."""
+    rule = _BY_ID.get(rule_id)
+    if rule is None:
+        prefix = rule_id.rsplit("-", 1)[0]
+        near = [r for r in RULE_IDS if r.startswith(prefix)] or list(RULE_IDS)
+        raise KeyError(
+            f"unknown rule id {rule_id!r}; known ids include {near[:6]}"
+        )
+    return rule

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -117,6 +117,74 @@ class FaultPolicy:
 
 
 @dataclass(frozen=True)
+class RuleAdjustment:
+    """One configured severity adjustment of a verifier rule.
+
+    ``action`` is ``"suppress"`` (drop the diagnostic) or ``"downgrade"``
+    (ERROR → WARNING, keeping the finding visible).  ``pools`` restricts
+    the adjustment to pools whose label contains any of the given
+    substrings; empty means every pool.  Rule-id existence is validated by
+    the analyze layer against its registry (unknown ids are configuration
+    errors there — this module cannot import the registry without a
+    cycle).
+    """
+
+    rule_id: str
+    action: str = "suppress"
+    pools: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.action not in ("suppress", "downgrade"):
+            raise ConfigurationError(
+                "rule adjustment action must be 'suppress' or 'downgrade', "
+                f"got {self.action!r} for {self.rule_id!r}"
+            )
+        if not self.rule_id:
+            raise ConfigurationError("rule adjustment needs a rule_id")
+
+    def matches(self, pool_label: str) -> bool:
+        """Whether the adjustment applies to a pool label."""
+        return not self.pools or any(sub in pool_label for sub in self.pools)
+
+
+@dataclass(frozen=True)
+class AnalyzeSettings:
+    """Static cost-bound analysis knobs (:mod:`repro.analyze`).
+
+    ``dominance`` opts the runtime and serve scheduler into static
+    cost-interval features: dominance pruning of micro-profiling candidate
+    sets and cold-start load estimates from interval midpoints.  Off by
+    default — the analysis is sound but its pruning is a behaviour change
+    (fewer variants measured), so it is an explicit opt-in like tracing.
+
+    ``data_trip_bounds`` is the widening interval assumed for any
+    data-dependent loop's per-unit trip count; workloads outside it void
+    the interval-soundness guarantee.  ``dominance_margin`` (``>= 1``)
+    is the safety factor a variant's best case must exceed a rival's
+    worst case by before it is pruned.
+    """
+
+    dominance: bool = False
+    dominance_margin: float = 1.25
+    data_trip_bounds: Tuple[float, float] = (0.0, 4096.0)
+    #: Configured per-rule severity adjustments (``[tool.repro.analyze]``).
+    rules: Tuple[RuleAdjustment, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.dominance_margin < 1.0:
+            raise ConfigurationError(
+                "dominance_margin must be >= 1, got "
+                f"{self.dominance_margin}"
+            )
+        lo, hi = self.data_trip_bounds
+        if lo < 0 or hi < lo:
+            raise ConfigurationError(
+                "data_trip_bounds must satisfy 0 <= lo <= hi, got "
+                f"{self.data_trip_bounds}"
+            )
+
+
+@dataclass(frozen=True)
 class ReproConfig:
     """Root configuration threaded through devices, workloads and harness."""
 
@@ -147,6 +215,10 @@ class ReproConfig:
     #: / text timelines.  Off by default: the disabled path costs one
     #: branch per instrumentation site.
     trace: bool = False
+    #: Static cost-bound analysis settings (:mod:`repro.analyze`):
+    #: dominance pruning of profiling candidates, interval widening
+    #: bounds, and configured rule-severity adjustments.
+    analyze: AnalyzeSettings = field(default_factory=AnalyzeSettings)
 
     def __post_init__(self) -> None:
         if self.seed < 0:

@@ -18,7 +18,7 @@ with an explicit reason.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..compiler.variants import VariantPool
 from ..config import ReproConfig
@@ -83,6 +83,7 @@ def decide(
     now: float = 0.0,
     pinned_variant: Optional[str] = None,
     drift_rearm: bool = False,
+    dominated: Sequence[str] = (),
 ) -> LaunchDecision:
     """Resolve the profiling decision for one launch.
 
@@ -105,6 +106,14 @@ def decide(
     profiling.  It is validated against the current pool like a cached
     selection — a pinned name the pool no longer contains is ignored with
     an explicit reason rather than launched blind.
+
+    ``dominated`` names variants the static cost-bound analysis excluded
+    from the micro-profiling candidate set
+    (:mod:`repro.analyze.dominance`): they stay in the correctness pool,
+    but profiling plans are built over the survivors only, and when a
+    single candidate survives, profiling is skipped outright — its
+    outcome is statically known.  Each exclusion is recorded in the
+    decision reason as ``"statically dominated"``.
 
     ``tracer``/``now`` report cache traffic to :mod:`repro.obs` when
     tracing is on (``now`` is the engine clock at decision time).
@@ -173,6 +182,28 @@ def decide(
             profile=False,
             variant_name=pool.variants[0].name,
             reason="single-variant pool; nothing to select",
+        )
+
+    excluded = tuple(n for n in dominated if n in pool.variant_names)
+    if excluded:
+        survivors = tuple(
+            n for n in pool.variant_names if n not in excluded
+        )
+        note = (
+            f"{', '.join(repr(n) for n in excluded)} statically dominated"
+            " (excluded from profiling)"
+        )
+        if len(survivors) == 1:
+            return LaunchDecision(
+                profile=False,
+                variant_name=survivors[0],
+                reason=(
+                    f"single non-dominated candidate; {note}; "
+                    "profiling skipped"
+                ),
+            )
+        return LaunchDecision(
+            profile=True, reason=f"profiling activated; {note}"
         )
 
     return LaunchDecision(profile=True, reason="profiling activated")

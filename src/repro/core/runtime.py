@@ -32,6 +32,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..analyze.diagnostics import VerificationReport
+from ..analyze.dominance import (
+    policy_from_settings,
+    pool_cost_bounds,
+    prune_pool,
+)
 from ..analyze.gate import gate_launch
 from ..analyze.manager import PoolVerifier
 from ..analyze.passes import VerifyOverrides
@@ -129,6 +134,15 @@ class DySelRuntime:
         #: quarantine set do not rebuild the filtered pool each time.
         self._restricted_pools: Dict[
             Tuple[str, Tuple[str, ...]], VariantPool
+        ] = {}
+        #: Cache of dominance-pruned profiling candidate pools, keyed by
+        #: ``(kernel, active-variant-names)`` — the active set changes
+        #: with quarantine, and a replaced pool object fails the identity
+        #: check, so a stale pruned pool is never reused.  Only consulted
+        #: when ``ReproConfig.analyze.dominance`` is on.
+        self._dominance_pools: Dict[
+            Tuple[str, Tuple[str, ...]],
+            Tuple[VariantPool, VariantPool, Tuple[str, ...]],
         ] = {}
         #: Optional drift feedback loop (:mod:`repro.drift`): when armed
         #: via :meth:`enable_drift`, profiling-off launches feed their
@@ -357,6 +371,9 @@ class DySelRuntime:
         if self.engine.injector is not None:
             self.engine.injector.kernel = kernel_sig
         pool = self._active_pool(kernel_sig, self.registry.pool(kernel_sig))
+        profile_pool, dominated = self._dominance_candidates(
+            kernel_sig, pool
+        )
         launch = LaunchConfig.create(
             pool.spec.signature, args, workload_units
         )
@@ -372,6 +389,16 @@ class DySelRuntime:
                 requested_mode=mode.value if mode is not None else None,
                 launch_index=self.engine.launch_count,
             )
+            if dominated and profiling:
+                tracer.instant(
+                    EventKind.DOMINANCE_PRUNE,
+                    kernel_sig,
+                    self.engine.now,
+                    pruned=list(dominated),
+                    survivors=list(profile_pool.variant_names),
+                    margin=self.config.analyze.dominance_margin,
+                    device_kind=self.device.kind,
+                )
 
         claimed_drift = False
         if (
@@ -391,6 +418,7 @@ class DySelRuntime:
             self.engine.now,
             pinned_variant=pinned_variant,
             drift_rearm=drift_rearm or claimed_drift,
+            dominated=dominated,
         )
         if not decision.profile:
             if claimed_drift:
@@ -415,6 +443,8 @@ class DySelRuntime:
                 overrides=VerifyOverrides(
                     atomics_race_free=override_side_effects
                 ),
+                device_kind=self.device.kind,
+                settings=self.config.analyze,
             )
             gate = gate_launch(
                 report, effective_mode, effective_flow, self.config.verify
@@ -443,7 +473,7 @@ class DySelRuntime:
 
         try:
             safe = safe_point_plan(
-                pool.variants,
+                profile_pool.variants,
                 compute_units=self.device.spec.compute_units,
                 workload_units=workload_units,
                 multiplier=self.config.safe_point_multiplier,
@@ -468,7 +498,12 @@ class DySelRuntime:
                 )
         else:
             planned = self._plan_with_demotion(
-                pool, effective_mode, effective_flow, launch, safe, report
+                profile_pool,
+                effective_mode,
+                effective_flow,
+                launch,
+                safe,
+                report,
             )
         if planned is None:
             # Nothing profilable fits this launch: run the pool default
@@ -496,12 +531,12 @@ class DySelRuntime:
         try:
             if effective_flow is OrchestrationFlow.SYNC:
                 outcome = run_sync(
-                    self.engine, pool, plan, launch, self.config
+                    self.engine, profile_pool, plan, launch, self.config
                 )
             else:
                 outcome = run_async(
                     self.engine,
-                    pool,
+                    profile_pool,
                     plan,
                     launch,
                     self.config,
@@ -693,6 +728,39 @@ class DySelRuntime:
         )
         self._restricted_pools[key] = restricted
         return restricted
+
+    def _dominance_candidates(
+        self, kernel_sig: str, pool: VariantPool
+    ) -> Tuple[VariantPool, Tuple[str, ...]]:
+        """The micro-profiling candidate pool after dominance pruning.
+
+        With ``ReproConfig.analyze.dominance`` off (the default) the pool
+        passes through untouched.  On, each variant's static cost
+        interval (:mod:`repro.analyze.costbound`, per-unit bounds so the
+        verdict holds for every workload size) is compared against the
+        best upper bound; variants whose lower bound exceeds it by the
+        safety margin are excluded from *profiling only* — the returned
+        names never leave the correctness pool, so quarantine fallback,
+        pinning, and differential testing still see them.  Composes with
+        quarantine: ``pool`` here is already the quarantine-filtered
+        active pool, and the cache key includes its variant names.
+        """
+        settings = self.config.analyze
+        if not settings.dominance or len(pool.variants) <= 1:
+            return pool, ()
+        key = (kernel_sig, pool.variant_names)
+        hit = self._dominance_pools.get(key)
+        if hit is not None and hit[0] is pool:
+            return hit[1], hit[2]
+        verdict = pool_cost_bounds(
+            pool,
+            self.device.kind,
+            policy=policy_from_settings(settings),
+            margin=settings.dominance_margin,
+        )
+        pruned_pool, dominated = prune_pool(pool, verdict)
+        self._dominance_pools[key] = (pool, pruned_pool, dominated)
+        return pruned_pool, dominated
 
     def _note_faults(
         self, kernel_sig: str, faults: Sequence[FaultRecord]

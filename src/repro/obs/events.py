@@ -93,6 +93,16 @@ class EventKind(enum.Enum):
     * ``RESELECTION`` — a drift-armed re-profile published a fresh
       winner, closing the episode; ``args`` carries the stale and new
       variants.
+
+    Static-analysis (emitted by the runtime when
+    ``ReproConfig.analyze.dominance`` is on; an instant, so traces
+    with pruning enabled still reconcile cleanly):
+
+    * ``DOMINANCE_PRUNE`` — the static cost-bound analysis excluded
+      variants from the micro-profiling candidate set; ``args`` carries
+      the pruned and surviving variant names and the safety margin.
+      Pruned variants stay in the correctness pool (quarantine,
+      differential testing, and pinning still see them).
     """
 
     LAUNCH_BEGIN = "launch_begin"
@@ -123,6 +133,7 @@ class EventKind(enum.Enum):
     DRIFT_SUSPECT = "drift_suspect"
     DRIFT_CONFIRMED = "drift_confirmed"
     RESELECTION = "reselection"
+    DOMINANCE_PRUNE = "dominance_prune"
 
 
 #: Kinds that are always spans (the rest are instants).

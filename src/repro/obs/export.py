@@ -366,6 +366,7 @@ class TraceSummary:
     drift_suspects: int = 0
     drift_confirmations: int = 0
     reselections: int = 0
+    dominance_prunes: int = 0
     faults_injected: int = 0
     fault_retries: int = 0
     quarantines: int = 0
@@ -439,6 +440,11 @@ class TraceSummary:
                 f"{self.drift_confirmations} confirmed, "
                 f"{self.reselections} reselection(s)"
             )
+        if self.dominance_prunes:
+            lines.append(
+                f"dominance: {self.dominance_prunes} pool prune(s) "
+                "(statically dominated variants skipped profiling)"
+            )
         return "\n".join(lines)
 
 
@@ -502,6 +508,8 @@ def summarize(events: Sequence[TraceEvent]) -> TraceSummary:
             summary.drift_confirmations += 1
         elif kind is EventKind.RESELECTION:
             summary.reselections += 1
+        elif kind is EventKind.DOMINANCE_PRUNE:
+            summary.dominance_prunes += 1
         elif kind is EventKind.FAULT_INJECT:
             summary.faults_injected += 1
         elif kind is EventKind.FAULT_RETRY:

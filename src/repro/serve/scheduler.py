@@ -45,6 +45,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..analyze.dominance import cold_start_estimate, policy_from_settings
 from ..compiler.variants import VariantPool
 from ..config import ReproConfig
 from ..core.runtime import DySelRuntime, LaunchResult
@@ -156,15 +157,23 @@ class _DeviceWorker:
         """The device's architecture kind (selections transfer within it)."""
         return self.runtime.device.kind
 
-    def estimate_cost(self, known_cost: Optional[float]) -> float:
+    def estimate_cost(
+        self,
+        known_cost: Optional[float],
+        static_cost: Optional[float] = None,
+    ) -> float:
         """Estimated cycles one request will cost on this device.
 
         Prefers the caller's workload-class estimate (from the selection
-        store); falls back to this device's observed mean launch cost,
-        then to zero before any launch has completed.
+        store); then the static cost-bound midpoint for the kernel (the
+        cold-start prior from :mod:`repro.analyze.costbound`, available
+        before any store entry exists); then this device's observed mean
+        launch cost; then zero before any launch has completed.
         """
         if known_cost is not None:
             return known_cost
+        if static_cost is not None:
+            return static_cost
         with self._load_lock:
             if self._completed_launches > 0:
                 return self._completed_cycles / self._completed_launches
@@ -264,6 +273,12 @@ class LaunchScheduler:
         self._seq = itertools.count()
         self._stats_lock = threading.Lock()
         self._dispatch_lock = threading.Lock()
+        #: Cached static per-unit cost priors, keyed by (kernel, device
+        #: kind); ``None`` entries mean "no bounded prior" (dominance
+        #: off, unknown kernel/kind, or an unbounded interval).
+        self._static_estimates: Dict[
+            Tuple[str, str], Optional[float]
+        ] = {}
         for worker in self._workers:
             worker.runtime.add_invalidation_hook(self._on_invalidate)
 
@@ -276,8 +291,42 @@ class LaunchScheduler:
         for worker in self._workers:
             worker.runtime.register_pool(pool)
 
+    def _static_unit_cost(
+        self, kernel: str, device_kind: str
+    ) -> Optional[float]:
+        """The kernel's static per-unit cost prior on one device kind.
+
+        The midpoint of the pool default's static cost interval
+        (:func:`repro.analyze.dominance.cold_start_estimate`), cached per
+        (kernel, kind).  ``None`` when ``config.analyze.dominance`` is
+        off, the kernel is unknown on that kind, or the interval is
+        unbounded — dispatch then falls back to observed means exactly
+        as before.
+        """
+        settings = self.config.analyze
+        if not settings.dominance:
+            return None
+        key = (kernel, device_kind)
+        if key in self._static_estimates:
+            return self._static_estimates[key]
+        estimate: Optional[float] = None
+        for worker in self._workers:
+            if worker.device_kind != device_kind:
+                continue
+            if kernel in worker.runtime.registry:
+                estimate = cold_start_estimate(
+                    worker.runtime.registry.pool(kernel),
+                    device_kind,
+                    policy=policy_from_settings(settings),
+                )
+            break
+        self._static_estimates[key] = estimate
+        return estimate
+
     def _on_invalidate(self, kernel: str, why: str) -> None:
         """Runtime invalidation hook → evict persisted selections too."""
+        for key in [k for k in self._static_estimates if k[0] == kernel]:
+            del self._static_estimates[key]
         evicted = self.store.invalidate_kernel(kernel)
         if evicted and self.tracer.enabled:
             self.tracer.instant(
@@ -326,6 +375,7 @@ class LaunchScheduler:
         """
         signatures: Dict[str, WorkloadSignature] = {}
         costs: Dict[str, Optional[float]] = {}
+        statics: Dict[str, Optional[float]] = {}
         for kind in {w.device_kind for w in self._workers}:
             sig = request.signature or derive_signature(
                 request.kernel, kind, request.args, request.workload_units
@@ -337,16 +387,26 @@ class LaunchScheduler:
                 if entry is not None
                 else None
             )
+            unit_cost = self._static_unit_cost(request.kernel, kind)
+            statics[kind] = (
+                unit_cost * request.workload_units
+                if unit_cost is not None
+                else None
+            )
         with self._dispatch_lock:
             worker = min(
                 self._workers,
                 key=lambda w: (
                     w.projected_clock()
-                    + w.estimate_cost(costs[w.device_kind]),
+                    + w.estimate_cost(
+                        costs[w.device_kind], statics[w.device_kind]
+                    ),
                     w.streams.in_flight,
                 ),
             )
-            estimate = worker.estimate_cost(costs[worker.device_kind])
+            estimate = worker.estimate_cost(
+                costs[worker.device_kind], statics[worker.device_kind]
+            )
             worker.commit(estimate)
         return worker, signatures[worker.device_kind], estimate
 

@@ -1,8 +1,11 @@
 """CLI tests: ``python -m repro.analyze`` exit codes and rendering."""
 
+import json
+
 import pytest
 
 from repro.analyze.cli import run
+from repro.analyze.registry import RULES
 
 
 class TestCli:
@@ -55,6 +58,14 @@ class TestCli:
     def test_unmatched_filter_is_usage_error(self, capsys):
         assert run(["--pool", "no-such-pool"]) == 2
 
+    def test_unmatched_filter_named_even_when_others_match(self, capsys):
+        # A matching filter must not mask a typo'd one.
+        assert run(["--pool", "kmeans", "--pool", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "'nope'" in err
+        assert "kmeans" not in err
+        assert "--list" in err
+
     def test_verbose_includes_info_findings(self, capsys):
         run(["--pool", "kmeans", "--verbose"])
         out = capsys.readouterr().out
@@ -78,3 +89,55 @@ class TestCli:
         out = capsys.readouterr().out
         assert "overridden" in out  # downgraded findings stay visible
         assert "DYSEL-MODE-002" in out  # overlap still blocks hybrid
+
+
+class TestDominanceFlag:
+    def test_dominance_renders_interval_table(self, capsys):
+        assert run(["--pool", "sgemm", "--dominance"]) == 0
+        out = capsys.readouterr().out
+        assert "cost bounds" in out
+        assert "PRUNED" in out
+
+    def test_dominance_json_embeds_verdicts(self, capsys):
+        assert run(["--all-examples", "--dominance", "--strict",
+                    "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["dominance"] is True
+        verdicts = [p["dominance"] for p in doc["pools"]]
+        assert all("pruned" in v and "survivors" in v for v in verdicts)
+        # The synthetic catalog has at least one statically hopeless
+        # variant somewhere, or the flag is not exercising anything.
+        assert any(v["pruned"] for v in verdicts)
+
+
+class TestExplain:
+    def test_explain_known_rule(self, capsys):
+        assert run(["--explain", "DYSEL-DOM-001"]) == 0
+        out = capsys.readouterr().out
+        assert "DYSEL-DOM-001" in out
+        assert "remedy" in out
+
+    def test_explain_unknown_rule_is_usage_error(self, capsys):
+        assert run(["--explain", "DYSEL-DOM-999"]) == 2
+        # The error suggests nearby registered ids.
+        assert "DYSEL-DOM-001" in capsys.readouterr().err
+
+    def test_explain_json_round_trips(self, capsys):
+        assert run(["--explain", "DYSEL-COST-002", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["id"] == "DYSEL-COST-002"
+        assert set(doc) == {"id", "pass", "severity", "summary", "remedy"}
+
+
+class TestJsonReport:
+    def test_document_carries_the_rule_catalog(self, capsys):
+        assert run(["--all-examples", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["checked"] == len(doc["pools"])
+        assert len(doc["rules"]) == len(RULES)
+        ids = {r["id"] for r in doc["rules"]}
+        assert "DYSEL-DOM-001" in ids
+
+    def test_strict_run_is_clean(self, capsys):
+        assert run(["--all-examples", "--strict"]) == 0

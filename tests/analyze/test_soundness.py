@@ -1,0 +1,204 @@
+"""Property-based soundness of the static cost intervals.
+
+Two properties the whole dominance design rests on:
+
+1. **Containment** — for any synthesizable variant, the noise-free cost
+   model's measured launch cycles lie inside the static interval
+   computed by :func:`repro.analyze.costbound.variant_cost_bound`, on
+   every known device kind.
+2. **Winner survival** — in any pool, the variant the noise-free cost
+   model would pick is never in the dominance verdict's pruned set.
+
+The oracle is :meth:`repro.device.cost.CostModel.launch_cycles` rather
+than the engine because the engine adds a *variant-independent* launch
+overhead plus jitter on top of the model; both cancel when comparing
+variants, so they are deliberately out of the interval's scope (see
+``docs/analysis.md``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analyze.costbound import WideningPolicy, variant_cost_bound
+from repro.analyze.dominance import pool_cost_bounds
+from repro.config import ReproConfig
+from repro.device import make_cpu, make_gpu
+from repro.device.cost import CostModel
+from repro.kernel import (
+    AccessPattern,
+    KernelIR,
+    KernelVariant,
+    Loop,
+    LoopBound,
+    MemoryAccess,
+    WorkRange,
+)
+from repro.kernel.buffers import Buffer
+
+from .conftest import make_pool
+from tests.conftest import AXPY_UNIT, axpy_executor
+
+_QUIET = ReproConfig().without_noise()
+_MODELS = {
+    "cpu": CostModel(make_cpu(_QUIET)),
+    "gpu": CostModel(make_gpu(_QUIET)),
+}
+_PATTERNS = (
+    AccessPattern.UNIT_STRIDE,
+    AccessPattern.STRIDED,
+    AccessPattern.GATHER,
+    AccessPattern.BROADCAST,
+)
+
+
+@st.composite
+def synthetic_variants(draw) -> KernelVariant:
+    """A random but well-formed streaming variant."""
+    pattern = draw(st.sampled_from(_PATTERNS))
+    trips = draw(st.integers(min_value=1, max_value=64))
+    data_dependent = draw(st.booleans())
+    flops = draw(
+        st.floats(min_value=0.0, max_value=8192.0, allow_nan=False)
+    )
+    bytes_per_trip = draw(
+        st.floats(min_value=1.0, max_value=512.0, allow_nan=False)
+    )
+    stride = draw(st.sampled_from((32, 64, 256)))
+    wa_factor = draw(st.integers(min_value=1, max_value=4))
+
+    if data_dependent:
+        # The constant stays inside the default widening bounds
+        # (0, 4096), so the widened interval must still contain it.
+        bound = LoopBound(
+            evaluator=lambda args, ids, c=trips: np.full(len(ids), float(c)),
+            description=f"constant {trips} trips",
+        )
+    else:
+        bound = LoopBound(static_trips=trips)
+
+    ir = KernelIR(
+        loops=(Loop("k", bound),),
+        accesses=(
+            MemoryAccess(
+                "x",
+                False,
+                pattern,
+                bytes_per_trip,
+                loop="k",
+                stride_bytes=stride if pattern is AccessPattern.STRIDED else 0,
+            ),
+            MemoryAccess(
+                "y",
+                True,
+                AccessPattern.UNIT_STRIDE,
+                bytes_per_trip,
+                loop="k",
+            ),
+        ),
+        flops_per_trip=flops,
+        work_group_threads=AXPY_UNIT,
+    )
+    return KernelVariant(
+        name=f"synth_{draw(st.integers(min_value=0, max_value=10**9))}",
+        ir=ir,
+        executor=axpy_executor,
+        wa_factor=wa_factor,
+        work_group_size=AXPY_UNIT,
+    )
+
+
+def launch_args(units: int):
+    """Buffers large enough for any drawn launch."""
+    n = units * AXPY_UNIT
+    return {
+        "x": Buffer("x", np.zeros(n, dtype=np.float32)),
+        "y": Buffer("y", np.zeros(n, dtype=np.float32), writable=True),
+    }
+
+
+class TestContainment:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        variant=synthetic_variants(),
+        units=st.integers(min_value=1, max_value=32),
+    )
+    def test_measured_cost_inside_static_interval(self, variant, units):
+        args = launch_args(units)
+        work = WorkRange(0, units)
+        for kind, model in _MODELS.items():
+            measured = model.launch_cycles(variant, args, work)
+            interval = variant_cost_bound(variant, kind).launch_interval(
+                units
+            )
+            assert interval.contains(measured, slack=1e-6), (
+                f"{kind}: measured {measured} outside {interval} "
+                f"for {variant.name}"
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        variant=synthetic_variants(),
+        units=st.integers(min_value=1, max_value=32),
+    )
+    def test_per_unit_interval_brackets_any_launch(self, variant, units):
+        # The asymptotic per-unit interval is what dominance prunes
+        # with when the workload size is unknown; it must bracket the
+        # exact launch interval at every unit count.
+        bound = variant_cost_bound(variant, "cpu")
+        launch = bound.launch_interval(units)
+        per_unit = bound.per_unit_interval
+        assert launch.lo >= per_unit.lo * units - 1e-6 * max(1.0, launch.lo)
+        assert launch.hi <= per_unit.hi * units + 1e-6 * max(1.0, launch.hi)
+
+    @settings(max_examples=20, deadline=None)
+    @given(variant=synthetic_variants())
+    def test_custom_widening_still_contains_constant_trips(self, variant):
+        # A tighter-but-still-correct widening policy keeps soundness.
+        policy = WideningPolicy(data_trip_bounds=(0.0, 64.0))
+        args = launch_args(4)
+        measured = _MODELS["cpu"].launch_cycles(
+            variant, args, WorkRange(0, 4)
+        )
+        interval = variant_cost_bound(
+            variant, "cpu", policy=policy
+        ).launch_interval(4)
+        assert interval.contains(measured, slack=1e-6)
+
+
+class TestWinnerSurvival:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        variants=st.lists(
+            synthetic_variants(), min_size=2, max_size=6
+        ),
+        units=st.integers(min_value=1, max_value=32),
+    )
+    def test_pruned_variant_is_never_the_measured_winner(
+        self, variants, units
+    ):
+        named = tuple(
+            KernelVariant(
+                name=f"v{i}",
+                ir=v.ir,
+                executor=v.executor,
+                wa_factor=v.wa_factor,
+                work_group_size=v.work_group_size,
+            )
+            for i, v in enumerate(variants)
+        )
+        pool = make_pool(*named)
+        args = launch_args(units)
+        work = WorkRange(0, units)
+        for kind, model in _MODELS.items():
+            verdict = pool_cost_bounds(pool, kind)
+            costs = {
+                v.name: model.launch_cycles(v, args, work) for v in named
+            }
+            winner = min(costs, key=costs.get)
+            assert winner not in verdict.pruned, (
+                f"{kind}: measured winner {winner} "
+                f"({costs[winner]:.1f} cycles) was statically pruned; "
+                f"verdict={verdict.as_dict()}"
+            )
