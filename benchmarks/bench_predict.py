@@ -1,0 +1,307 @@
+"""Prediction benchmark: zero-profile serving of unseen workload classes.
+
+Trains the selection predictor by serving spmv-csr traffic over a grid
+of (matrix size x matrix kind) workload classes — every class pays its
+one micro-profile and the measured winner becomes training history —
+then serves *held-out* classes the store has never seen:
+
+1. **predicted** — the trained, predict-armed store: held-out classes
+   are served by the decision tree (``"predicted selection"``), paying
+   zero micro-profiles when the model is confident.
+2. **baseline**  — the identical held-out traffic on a cold store with
+   prediction off: every class pays its cold-start micro-profile (the
+   same cold path ``BENCH_serve.json`` measures).
+3. **oracle**    — each held-out class profiled directly under a
+   noise-free config: the ground-truth winner the prediction is graded
+   against.
+
+Acceptance (written to ``BENCH_predict.json``): at least 60% of the
+baseline's cold-start profiling cycles must be eliminated on the
+held-out classes, prediction accuracy against the noise-free oracle is
+reported, and the predicted run's serve trace must reconcile cleanly
+(``python -m repro.obs reconcile``; the Chrome trace is written next to
+the JSON for exactly that).
+
+Run with ``--quick`` for CI-sized inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Tuple
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.config import ReproConfig  # noqa: E402
+from repro.core.runtime import DySelRuntime  # noqa: E402
+from repro.device import make_cpu  # noqa: E402
+from repro.obs.export import reconcile, write_chrome_trace  # noqa: E402
+from repro.predict import PredictConfig  # noqa: E402
+from repro.serve import (  # noqa: E402
+    LaunchScheduler,
+    SelectionStore,
+    ServeRequest,
+)
+from repro.serve.signature import derive_signature  # noqa: E402
+from repro.workloads import spmv_csr  # noqa: E402
+
+#: Acceptance thresholds (mirrored in EXPERIMENTS.md).
+MIN_PROFILE_ELIMINATION = 0.60
+
+MATRIX_KINDS = ("random", "diagonal")
+
+
+def build_requests(
+    sizes, config: ReproConfig
+) -> Tuple[list, List[ServeRequest], list]:
+    """One request per (size, kind) workload class, plus output checks."""
+    cases, batch, checks = [], [], []
+    for size in sizes:
+        for kind in MATRIX_KINDS:
+            case = spmv_csr.input_dependent_case("cpu", kind, size, config)
+            args = case.fresh_args()
+            cases.append(case)
+            batch.append(
+                ServeRequest(
+                    kernel=case.pool.name,
+                    args=args,
+                    workload_units=case.workload_units,
+                )
+            )
+            checks.append((case, args))
+    return cases, batch, checks
+
+
+def serve(cases, batch, checks, store, config) -> LaunchScheduler:
+    """Serve the batch serially on one device; validate every output."""
+    scheduler = LaunchScheduler(
+        (make_cpu(config),), config=config, store=store
+    )
+    scheduler.register_pool(cases[0].pool)
+    for request in batch:
+        scheduler.launch(request)
+    for case, args in checks:
+        if not case.validate(args):
+            raise SystemExit(f"served output failed validation: {case.name}")
+    return scheduler
+
+
+def oracle_winners(sizes, config: ReproConfig) -> Dict[str, str]:
+    """Noise-free ground truth: the measured winner per held-out class,
+    keyed by ``{size}:{kind}``."""
+    quiet = config.without_noise()
+    winners: Dict[str, str] = {}
+    for size in sizes:
+        for kind in MATRIX_KINDS:
+            case = spmv_csr.input_dependent_case("cpu", kind, size, quiet)
+            runtime = DySelRuntime(make_cpu(quiet), quiet)
+            runtime.register_pool(case.pool)
+            result = runtime.launch_kernel(
+                case.pool.name,
+                case.fresh_args(),
+                case.workload_units,
+            )
+            winners[f"{size}:{kind}"] = result.selected
+    return winners
+
+
+def run_benchmark(quick: bool, trace_path: str) -> Dict[str, object]:
+    """Run all three scenarios and return the BENCH_predict.json doc."""
+    config = ReproConfig()
+    train_sizes = (1024, 2048, 8192) if quick else (1024, 2048, 8192, 16384)
+    held_out_sizes = (4096,)
+    predict = PredictConfig(
+        min_examples=len(train_sizes) * len(MATRIX_KINDS),
+        confidence_threshold=0.6,
+    )
+
+    # Phase 1: train by serving — every training class micro-profiles
+    # once and its measured winner becomes predictor history.
+    traced = ReproConfig(trace=True)
+    store = SelectionStore(predict=predict)
+    cases, batch, checks = build_requests(train_sizes, traced)
+    train_run = serve(cases, batch, checks, store, traced)
+
+    # Phase 2: the held-out classes must be genuinely unseen.
+    cases, batch, checks = build_requests(held_out_sizes, traced)
+    held_out_keys = []
+    for request in batch:
+        key = derive_signature(
+            request.kernel, "cpu", request.args, request.workload_units
+        ).key
+        if store.peek(key) is not None:
+            raise SystemExit(f"held-out class already in store: {key}")
+        held_out_keys.append(key)
+    predicted_run = serve(cases, batch, checks, store, traced)
+    predicted_profiles = predicted_run.stats.profiled_launches
+    predicted_cycles = predicted_run.stats.profiling_latency_cycles
+    predicted_entries = {
+        key: store.peek(key) for key in held_out_keys
+    }
+    write_chrome_trace(predicted_run.tracer.events, trace_path)
+    trace_problems = reconcile(predicted_run.tracer.events)
+    device_problems = [
+        problem
+        for events in predicted_run.device_traces().values()
+        for problem in reconcile(events)
+    ]
+
+    # Phase 3: the baseline — identical held-out traffic, cold store,
+    # prediction off: the cold-start cost prediction is claiming back.
+    cases, batch, checks = build_requests(held_out_sizes, config)
+    baseline_run = serve(cases, batch, checks, SelectionStore(), config)
+    baseline_profiles = baseline_run.stats.profiled_launches
+    baseline_cycles = baseline_run.stats.profiling_latency_cycles
+
+    # Phase 4: grade against the noise-free oracle.  ``held_out_keys``
+    # follows the same (size, kind) iteration order as the oracle map.
+    winners = oracle_winners(held_out_sizes, config)
+    class_ids = [
+        f"{size}:{kind}"
+        for size in held_out_sizes
+        for kind in MATRIX_KINDS
+    ]
+    graded = []
+    for key, class_id in zip(held_out_keys, class_ids):
+        entry = predicted_entries[key]
+        oracle = winners[class_id]
+        graded.append(
+            {
+                "workload_class": key,
+                "held_out": class_id,
+                "predicted": entry.selected if entry else None,
+                "was_predicted": bool(entry and entry.predicted),
+                "oracle": oracle,
+                "correct": bool(entry and entry.selected == oracle),
+            }
+        )
+    accuracy = (
+        sum(g["correct"] for g in graded) / len(graded) if graded else 0.0
+    )
+    elimination = (
+        1.0 - predicted_cycles / baseline_cycles
+        if baseline_cycles > 0
+        else 0.0
+    )
+
+    return {
+        "benchmark": "predict",
+        "quick": quick,
+        "workload": {
+            "kernel": cases[0].pool.name,
+            "matrix_kinds": list(MATRIX_KINDS),
+            "train_sizes": list(train_sizes),
+            "held_out_sizes": list(held_out_sizes),
+            "train_classes": len(train_sizes) * len(MATRIX_KINDS),
+            "held_out_classes": len(held_out_keys),
+            "predict_config": {
+                "confidence_threshold": predict.confidence_threshold,
+                "min_examples": predict.min_examples,
+                "max_depth": predict.max_depth,
+            },
+        },
+        "train_run": {
+            "profiled_launches": train_run.stats.profiled_launches,
+            "profiling_cycles": train_run.stats.profiling_latency_cycles,
+            "prediction_fallbacks": train_run.stats.prediction_fallbacks,
+        },
+        "predicted_run": {
+            "profiled_launches": predicted_profiles,
+            "profiling_cycles": predicted_cycles,
+            "predicted_launches": predicted_run.stats.predicted_launches,
+            "trace_events": len(predicted_run.tracer.events),
+            "trace_problems": trace_problems,
+            "device_trace_problems": device_problems,
+        },
+        "baseline_run": {
+            "profiled_launches": baseline_profiles,
+            "profiling_cycles": baseline_cycles,
+        },
+        "held_out": graded,
+        "acceptance": {
+            "profile_elimination": elimination,
+            "profile_elimination_min": MIN_PROFILE_ELIMINATION,
+            "profile_elimination_ok": (
+                elimination >= MIN_PROFILE_ELIMINATION
+            ),
+            "oracle_accuracy": accuracy,
+            "all_held_out_predicted_ok": all(
+                g["was_predicted"] for g in graded
+            ),
+            "trace_reconciles_ok": (
+                not trace_problems and not device_problems
+            ),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized inputs (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_predict.json",
+        help="where to write the results document",
+    )
+    parser.add_argument(
+        "--trace",
+        default="TRACE_predict.json",
+        help="where to write the predicted run's Chrome trace",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_benchmark(quick=args.quick, trace_path=args.trace)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    acceptance = doc["acceptance"]
+    predicted = doc["predicted_run"]
+    baseline = doc["baseline_run"]
+    print(f"predict benchmark ({'quick' if doc['quick'] else 'full'} inputs)")
+    print(
+        f"  cold-start : baseline {baseline['profiled_launches']} "
+        f"profile(s), {baseline['profiling_cycles']:.0f} cycles; "
+        f"predicted {predicted['profiled_launches']} profile(s), "
+        f"{predicted['profiling_cycles']:.0f} cycles"
+    )
+    print(
+        f"  eliminated : {100 * acceptance['profile_elimination']:.1f}% "
+        f"of cold-start profiling cycles "
+        f"({predicted['predicted_launches']} predicted launch(es))"
+    )
+    print(
+        f"  accuracy   : {100 * acceptance['oracle_accuracy']:.1f}% vs "
+        "the noise-free oracle"
+    )
+    for grade in doc["held_out"]:
+        marker = "ok" if grade["correct"] else "MISS"
+        print(
+            f"  held-out   : {grade['held_out']} -> "
+            f"{grade['predicted']} (oracle {grade['oracle']}) [{marker}]"
+        )
+    print(f"  trace      : {args.trace} ({predicted['trace_events']} events)")
+    print(f"  written    : {args.output}")
+
+    ok = (
+        acceptance["profile_elimination_ok"]
+        and acceptance["all_held_out_predicted_ok"]
+        and acceptance["trace_reconciles_ok"]
+    )
+    if not ok:
+        print("  ACCEPTANCE FAILED", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

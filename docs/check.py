@@ -33,6 +33,7 @@ PAGES = (
     "docs/architecture.md",
     "docs/drift.md",
     "docs/faults.md",
+    "docs/prediction.md",
     "docs/serving.md",
 )
 

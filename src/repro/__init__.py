@@ -23,6 +23,7 @@ Subpackages: :mod:`repro.kernel` (programming model), :mod:`repro.device`
 heuristics), :mod:`repro.core` (the DySel runtime), :mod:`repro.faults`
 (deterministic fault injection and variant quarantine),
 :mod:`repro.drift` (online drift detection and re-selection),
+:mod:`repro.predict` (predictive zero-profile selection),
 :mod:`repro.workloads` (the evaluation's benchmarks) and
 :mod:`repro.harness` (experiments regenerating every table and figure).
 """
@@ -52,6 +53,7 @@ from .errors import (
 )
 from .faults import FaultKind, FaultPlan, FaultRule, VariantQuarantine
 from .modes import OrchestrationFlow, ProfilingMode
+from .predict import PredictConfig, Prediction, SelectionPredictor
 from .serve import (
     LaunchScheduler,
     SelectionStore,
@@ -79,8 +81,11 @@ __all__ = [
     "NoiseModel",
     "OrchestrationFlow",
     "PoolVerifier",
+    "PredictConfig",
+    "Prediction",
     "ProfilingMode",
     "ReproConfig",
+    "SelectionPredictor",
     "ReproError",
     "ReselectionController",
     "SelectionStore",

@@ -24,6 +24,7 @@ from ..compiler.variants import VariantPool
 from ..config import ReproConfig
 from ..obs.events import EventKind
 from ..obs.tracer import NULL_TRACER, Tracer
+from ..predict import Prediction
 from .selection import SelectionCache, SelectionRecord
 
 
@@ -84,6 +85,7 @@ def decide(
     pinned_variant: Optional[str] = None,
     drift_rearm: bool = False,
     dominated: Sequence[str] = (),
+    predicted: Optional[Prediction] = None,
 ) -> LaunchDecision:
     """Resolve the profiling decision for one launch.
 
@@ -114,6 +116,18 @@ def decide(
     single candidate survives, profiling is skipped outright — its
     outcome is statically known.  Each exclusion is recorded in the
     decision reason as ``"statically dominated"``.
+
+    ``predicted`` is the serving layer's model guess
+    (:mod:`repro.predict`), already vetted against the confidence
+    threshold by the caller.  It is deliberately the *weakest* input:
+    it only converts a launch that would otherwise micro-profile into a
+    profiling-off run of the predicted variant (``"predicted
+    selection"``), so it can never override the small-workload,
+    single-variant, pinned, or quarantine gates (a quarantined variant
+    is not in ``pool`` at all), never applies to a drift re-arm (the
+    episode wants a real measurement), and only chooses among the
+    dominance survivors — a predicted variant the static analysis
+    excluded falls back to profiling with an explicit note.
 
     ``tracer``/``now`` report cache traffic to :mod:`repro.obs` when
     tracing is on (``now`` is the engine clock at decision time).
@@ -185,10 +199,9 @@ def decide(
         )
 
     excluded = tuple(n for n in dominated if n in pool.variant_names)
+    survivors = tuple(n for n in pool.variant_names if n not in excluded)
+    notes = ""
     if excluded:
-        survivors = tuple(
-            n for n in pool.variant_names if n not in excluded
-        )
         note = (
             f"{', '.join(repr(n) for n in excluded)} statically dominated"
             " (excluded from profiling)"
@@ -202,8 +215,22 @@ def decide(
                     "profiling skipped"
                 ),
             )
-        return LaunchDecision(
-            profile=True, reason=f"profiling activated; {note}"
+        notes = f"; {note}"
+
+    if predicted is not None and not drift_rearm:
+        if predicted.variant in survivors:
+            return LaunchDecision(
+                profile=False,
+                variant_name=predicted.variant,
+                reason=(
+                    f"predicted selection ({predicted.variant!r}, "
+                    f"confidence {predicted.confidence:.2f})"
+                    f"{notes}"
+                ),
+            )
+        notes += (
+            f"; predicted {predicted.variant!r} is not a profiling "
+            "candidate"
         )
 
-    return LaunchDecision(profile=True, reason="profiling activated")
+    return LaunchDecision(profile=True, reason=f"profiling activated{notes}")

@@ -60,6 +60,7 @@ from ..kernel.kernel import KernelSpec, KernelVariant, WorkRange
 from ..kernel.launch import LaunchConfig
 from ..modes import OrchestrationFlow, ProfilingMode
 from ..obs.events import EventKind
+from ..predict import Prediction
 from . import policy
 from .orchestrator import _run_batch_with_fallback, run_async, run_sync
 from .productive import ProfilingPlan, plan_profiling
@@ -321,6 +322,7 @@ class DySelRuntime:
         pinned_variant: Optional[str] = None,
         stream_name: Optional[str] = None,
         drift_rearm: bool = False,
+        predicted: Optional[Prediction] = None,
     ) -> LaunchResult:
         """Launch a kernel (``DySelLaunchKernel``, Fig 6b).
 
@@ -365,6 +367,14 @@ class DySelRuntime:
             launch.  When the runtime's own drift loop is armed
             (:meth:`enable_drift`) the flag is raised internally and
             callers never need to pass it.
+        predicted:
+            The serving layer's confident model guess
+            (:class:`repro.predict.Prediction`): with ``profiling=True``,
+            lets the policy skip the micro-profile and run the predicted
+            variant outright — but only when it survives every stronger
+            gate (small workload, single variant, quarantine filtering,
+            dominance exclusion, drift re-arm); otherwise the launch
+            profiles exactly as if no prediction existed.
         """
         if kernel_sig not in self.registry:
             raise LaunchError(f"kernel {kernel_sig!r} is not registered")
@@ -419,6 +429,7 @@ class DySelRuntime:
             pinned_variant=pinned_variant,
             drift_rearm=drift_rearm or claimed_drift,
             dominated=dominated,
+            predicted=predicted,
         )
         if not decision.profile:
             if claimed_drift:

@@ -208,6 +208,15 @@ class DriftError(DySelError):
     """
 
 
+class PredictError(DySelError):
+    """Selection-predictor configuration or state error.
+
+    Raised for invalid :class:`repro.predict.PredictConfig` parameters,
+    fitting a model on zero examples, and malformed persisted predictor
+    payloads (:mod:`repro.predict`).
+    """
+
+
 class WorkloadError(ReproError):
     """Benchmark workload construction or validation error."""
 

@@ -80,6 +80,16 @@ class EventKind(enum.Enum):
       profiling.
     * ``STORE_EVICT`` — a persisted selection was dropped (TTL expiry or
       registry invalidation).
+    * ``PREDICTION`` — a cold workload class skipped its micro-profile:
+      the selection predictor (:mod:`repro.predict`) chose the variant
+      with confidence above threshold; ``args`` carries the class,
+      variant, and confidence.  An instant, so predicted traces still
+      reconcile cleanly.
+    * ``PREDICTION_FALLBACK`` — the predictor was armed but this cold
+      class paid the micro-profile anyway (untrained model, confidence
+      below threshold, or the predicted variant rejected by a policy
+      gate); ``args`` carries the reason and the confidence when one
+      was computed.
 
     Drift-adaptation (emitted by whoever drives the
     :mod:`repro.drift` feedback loop — the scheduler on its sequence
@@ -130,6 +140,8 @@ class EventKind(enum.Enum):
     PROFILE_LEASE_STEAL = "profile_lease_steal"
     STORE_HIT = "store_hit"
     STORE_EVICT = "store_evict"
+    PREDICTION = "prediction"
+    PREDICTION_FALLBACK = "prediction_fallback"
     DRIFT_SUSPECT = "drift_suspect"
     DRIFT_CONFIRMED = "drift_confirmed"
     RESELECTION = "reselection"

@@ -363,6 +363,8 @@ class TraceSummary:
     lease_steals: int = 0
     store_hits: int = 0
     store_evictions: int = 0
+    predictions: int = 0
+    prediction_fallbacks: int = 0
     drift_suspects: int = 0
     drift_confirmations: int = 0
     reselections: int = 0
@@ -502,6 +504,10 @@ def summarize(events: Sequence[TraceEvent]) -> TraceSummary:
             summary.store_hits += 1
         elif kind is EventKind.STORE_EVICT:
             summary.store_evictions += 1
+        elif kind is EventKind.PREDICTION:
+            summary.predictions += 1
+        elif kind is EventKind.PREDICTION_FALLBACK:
+            summary.prediction_fallbacks += 1
         elif kind is EventKind.DRIFT_SUSPECT:
             summary.drift_suspects += 1
         elif kind is EventKind.DRIFT_CONFIRMED:

@@ -1,0 +1,34 @@
+"""Predictive zero-profile selection (Seer-style, dependency-free).
+
+DySel's remaining cold-start cost is the micro-profile every unseen
+(pool, device-kind, workload-class) key must pay.  This subpackage
+eliminates it for classes the accumulated
+:class:`~repro.serve.store.SelectionStore` history already explains: a
+small decision tree per (kernel, device-kind) is trained online from
+measured publishes (:mod:`repro.predict.predictor`), features are
+decoded straight from the persisted workload-class keys
+(:mod:`repro.predict.features`), and a confident prediction lets
+:func:`repro.core.policy.decide` skip profiling with an explicit
+``"predicted selection"`` reason.  Low confidence falls back to the
+lease-coordinated micro-profile; drift confirmations on predicted
+entries feed back as weighted training corrections.
+
+Opt in by arming a store: ``SelectionStore(predict=PredictConfig())``.
+See ``docs/prediction.md`` for the fallback ladder and tuning.
+"""
+
+from .features import FEATURE_NAMES, MISSING, ParsedKey, parse_key
+from .model import DecisionTree, Prediction
+from .predictor import PredictConfig, PredictStats, SelectionPredictor
+
+__all__ = [
+    "DecisionTree",
+    "FEATURE_NAMES",
+    "MISSING",
+    "ParsedKey",
+    "Prediction",
+    "PredictConfig",
+    "PredictStats",
+    "SelectionPredictor",
+    "parse_key",
+]

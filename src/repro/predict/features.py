@@ -1,0 +1,95 @@
+"""Numeric features behind the selection predictor.
+
+The predictor never sees raw kernel arguments.  It trains on the same
+workload-class keys the :class:`~repro.serve.store.SelectionStore`
+persists (``kernel|device_kind|name=value|...``, see
+:mod:`repro.serve.signature`), so every selection the store has already
+measured is trainable history for free — no second feature pipeline to
+keep in sync with the key-derivation rules.
+
+:func:`parse_key` decodes a key back into a fixed-width numeric vector.
+Each column is one bucketed observation the signature layer may have
+emitted (units/rows/nnz log2 buckets, density decade, row-length CV
+bucket, ...); a feature the key does not carry reads as :data:`MISSING`
+so sparse and dense workloads live in one feature space and the tree can
+split on absence itself.  Argument prefixes are dropped (``m.rows^2``
+and ``a.rows^2`` land in the same column); when a key carries several
+arguments with the same feature, the lexicographically first argument
+wins — keys list features sorted, so the choice is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Feature-vector column order.  Stable: persisted models index into it.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "units",
+    "rows",
+    "nnz",
+    "rownnz",
+    "density",
+    "cv",
+    "bytes",
+    "empty",
+)
+
+#: Column value for a feature the key does not carry.  Every emitted
+#: signature bucket is a non-negative integer, so -1 is unambiguous.
+MISSING = -1.0
+
+#: Key feature suffix (after the argument-name prefix) → vector column.
+_SUFFIXES = {
+    "units^2": "units",
+    "rows^2": "rows",
+    "nnz^2": "nnz",
+    "rownnz^2": "rownnz",
+    "density^10": "density",
+    "cv": "cv",
+    "bytes^2": "bytes",
+    "empty": "empty",
+}
+
+
+@dataclass(frozen=True)
+class ParsedKey:
+    """One workload-class key, decoded for the predictor."""
+
+    #: Kernel signature name (models are grouped per kernel).
+    kernel: str
+    #: Device kind the selection transfers within.
+    device_kind: str
+    #: Numeric feature vector, one column per :data:`FEATURE_NAMES`.
+    vector: Tuple[float, ...]
+
+
+def parse_key(key: str) -> Optional[ParsedKey]:
+    """Decode a workload-class key into a numeric feature vector.
+
+    Returns ``None`` for keys that do not look like
+    ``kernel|device_kind|...`` at all (hand-built signatures with empty
+    components); unknown or malformed feature parts are skipped rather
+    than fatal, so a predictor never chokes on a key written by a newer
+    feature extractor.
+    """
+    parts = key.split("|")
+    if len(parts) < 2 or not parts[0] or not parts[1]:
+        return None
+    columns = {name: MISSING for name in FEATURE_NAMES}
+    for part in parts[2:]:
+        name, sep, value = part.partition("=")
+        if not sep:
+            continue
+        column = _SUFFIXES.get(name.rsplit(".", 1)[-1])
+        if column is None or columns[column] != MISSING:
+            continue
+        try:
+            columns[column] = float(int(value))
+        except ValueError:
+            continue
+    return ParsedKey(
+        kernel=parts[0],
+        device_kind=parts[1],
+        vector=tuple(columns[name] for name in FEATURE_NAMES),
+    )

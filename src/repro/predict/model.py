@@ -1,0 +1,259 @@
+"""A tiny CART decision tree with calibrated leaf confidence.
+
+Dependency-free on purpose: the predictor must ride inside
+:class:`~repro.serve.store.SelectionStore` snapshots and serve from the
+launch path, so it cannot pull in a learning framework.  A weighted
+Gini-impurity tree over a handful of bucketed integer features is
+enough — the signature layer already quantized the input space, so the
+tree only has to carve bucket boundaries, and its JSON payload is small
+and human-auditable.
+
+Confidence is Laplace-smoothed leaf purity:
+``(weight(majority) + 1) / (weight(leaf) + n_classes)``.  A pure leaf
+backed by one example reads ~0.67 (two classes), a pure leaf backed by
+many reads → 1.0 — exactly the "trust grows with evidence" calibration
+the serving layer's confidence threshold wants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import PredictError
+
+#: One training row: (feature vector, winning variant, sample weight).
+Example = Tuple[Tuple[float, ...], str, float]
+
+#: Minimum Gini improvement for a split to be worth keeping.
+_MIN_GAIN = 1e-9
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A predicted winner and how much the model trusts it."""
+
+    #: Predicted winning variant name.
+    variant: str
+    #: Calibrated confidence in (0, 1); compare against
+    #: :attr:`repro.predict.PredictConfig.confidence_threshold`.
+    confidence: float
+
+
+def _gini(counts: Dict[str, float], total: float) -> float:
+    """Gini impurity of one weighted label distribution."""
+    if total <= 0:
+        return 0.0
+    return 1.0 - sum((w / total) ** 2 for w in counts.values())
+
+
+def _label_weights(rows: Sequence[Example]) -> Dict[str, float]:
+    """Total weight per label over a set of rows."""
+    counts: Dict[str, float] = {}
+    for _, label, weight in rows:
+        counts[label] = counts.get(label, 0.0) + weight
+    return counts
+
+
+class DecisionTree:
+    """A fitted CART classifier over fixed-width numeric vectors.
+
+    Nodes are plain JSON-representable dicts — a leaf is
+    ``{"counts": {label: weight}}``, a split is ``{"feature": i,
+    "threshold": t, "low": node, "high": node}`` — so
+    :meth:`to_payload` / :meth:`from_payload` round-trip the fitted
+    model byte-for-byte through store snapshots.
+    """
+
+    def __init__(
+        self, max_depth: int = 6, min_leaf_weight: float = 1.0
+    ) -> None:
+        if max_depth < 1:
+            raise PredictError(f"max_depth must be >= 1, got {max_depth}")
+        if min_leaf_weight <= 0:
+            raise PredictError(
+                f"min_leaf_weight must be positive, got {min_leaf_weight}"
+            )
+        self.max_depth = max_depth
+        self.min_leaf_weight = min_leaf_weight
+        self._root: Optional[dict] = None
+        self._classes: Tuple[str, ...] = ()
+
+    @property
+    def classes(self) -> Tuple[str, ...]:
+        """Labels seen at fit time (sorted; sizes the Laplace smoothing)."""
+        return self._classes
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def fit(self, examples: Sequence[Example]) -> "DecisionTree":
+        """Fit the tree on weighted examples (returns ``self``)."""
+        rows: List[Example] = [
+            (tuple(float(v) for v in vector), str(label), float(weight))
+            for vector, label, weight in examples
+        ]
+        if not rows:
+            raise PredictError("cannot fit a decision tree on zero examples")
+        if any(weight <= 0 for _, _, weight in rows):
+            raise PredictError("example weights must be positive")
+        widths = {len(vector) for vector, _, _ in rows}
+        if len(widths) != 1:
+            raise PredictError(
+                f"inconsistent feature-vector widths: {sorted(widths)}"
+            )
+        self._classes = tuple(sorted({label for _, label, _ in rows}))
+        self._root = self._build(rows, depth=0)
+        return self
+
+    def _build(self, rows: List[Example], depth: int) -> dict:
+        counts = _label_weights(rows)
+        if depth >= self.max_depth or len(counts) == 1:
+            return {"counts": counts}
+        split = self._best_split(rows, counts)
+        if split is None:
+            return {"counts": counts}
+        feature, threshold, low, high = split
+        return {
+            "feature": feature,
+            "threshold": threshold,
+            "low": self._build(low, depth + 1),
+            "high": self._build(high, depth + 1),
+        }
+
+    def _best_split(
+        self, rows: List[Example], counts: Dict[str, float]
+    ) -> Optional[Tuple[int, float, List[Example], List[Example]]]:
+        """Lowest-impurity (feature, threshold) partition, if any helps.
+
+        Candidate thresholds are midpoints between adjacent observed
+        values; ties break toward the lowest (feature, threshold) so a
+        refit over the same examples rebuilds the identical tree.
+        """
+        total = sum(counts.values())
+        parent = _gini(counts, total)
+        best: Optional[Tuple[int, float, List[Example], List[Example]]] = None
+        best_score = parent - _MIN_GAIN
+        for feature in range(len(rows[0][0])):
+            values = sorted({vector[feature] for vector, _, _ in rows})
+            for lo, hi in zip(values, values[1:]):
+                threshold = (lo + hi) / 2.0
+                low = [r for r in rows if r[0][feature] <= threshold]
+                high = [r for r in rows if r[0][feature] > threshold]
+                low_w = sum(w for _, _, w in low)
+                high_w = sum(w for _, _, w in high)
+                if (
+                    low_w < self.min_leaf_weight
+                    or high_w < self.min_leaf_weight
+                ):
+                    continue
+                score = (
+                    low_w * _gini(_label_weights(low), low_w)
+                    + high_w * _gini(_label_weights(high), high_w)
+                ) / total
+                if score < best_score:
+                    best_score = score
+                    best = (feature, threshold, low, high)
+        return best
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def predict(self, vector: Sequence[float]) -> Optional[Prediction]:
+        """The majority label of the vector's leaf, with confidence.
+
+        ``None`` before :meth:`fit`.  Ties break lexicographically so
+        prediction is deterministic.
+        """
+        if self._root is None:
+            return None
+        node = self._root
+        while "feature" in node:
+            branch = (
+                "low"
+                if vector[node["feature"]] <= node["threshold"]
+                else "high"
+            )
+            node = node[branch]
+        counts: Dict[str, float] = node["counts"]
+        label = max(sorted(counts), key=lambda name: counts[name])
+        total = sum(counts.values())
+        confidence = (counts[label] + 1.0) / (
+            total + max(1, len(self._classes))
+        )
+        return Prediction(variant=label, confidence=min(1.0, confidence))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-representable snapshot of the fitted model."""
+        return {
+            "max_depth": self.max_depth,
+            "min_leaf_weight": self.min_leaf_weight,
+            "classes": list(self._classes),
+            "root": self._root,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "DecisionTree":
+        """Rebuild a fitted tree; :class:`PredictError` when malformed."""
+        if not isinstance(payload, dict):
+            raise PredictError(
+                f"tree payload must be an object, got "
+                f"{type(payload).__name__}"
+            )
+        try:
+            tree = cls(
+                max_depth=int(payload["max_depth"]),
+                min_leaf_weight=float(payload["min_leaf_weight"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PredictError(f"malformed tree payload: {exc}") from exc
+        classes = payload.get("classes")
+        if not isinstance(classes, list) or not all(
+            isinstance(name, str) for name in classes
+        ):
+            raise PredictError(
+                f"tree payload 'classes' must be a list of strings, got "
+                f"{classes!r}"
+            )
+        root = payload.get("root")
+        if root is not None:
+            _check_node(root)
+        tree._classes = tuple(classes)
+        tree._root = root
+        return tree
+
+
+def _check_node(node: object) -> None:
+    """Validate one persisted tree node (recursively)."""
+    if not isinstance(node, dict):
+        raise PredictError(
+            f"tree node must be an object, got {type(node).__name__}"
+        )
+    if "counts" in node:
+        counts = node["counts"]
+        if (
+            not isinstance(counts, dict)
+            or not counts
+            or not all(
+                isinstance(label, str)
+                and isinstance(weight, (int, float))
+                and weight > 0
+                for label, weight in counts.items()
+            )
+        ):
+            raise PredictError(f"malformed leaf counts: {counts!r}")
+        return
+    if not isinstance(node.get("feature"), int) or node["feature"] < 0:
+        raise PredictError(f"malformed split feature: {node.get('feature')!r}")
+    if not isinstance(node.get("threshold"), (int, float)):
+        raise PredictError(
+            f"malformed split threshold: {node.get('threshold')!r}"
+        )
+    _check_node(node.get("low"))
+    _check_node(node.get("high"))

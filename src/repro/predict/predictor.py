@@ -1,0 +1,380 @@
+"""Online selection prediction from accumulated store history.
+
+:class:`SelectionPredictor` sits inside the
+:class:`~repro.serve.store.SelectionStore`: every *measured* publish
+(a micro-profiled winner — predicted publishes are excluded so the
+model cannot feed on its own guesses) becomes one training example, and
+the serving layer consults :meth:`SelectionPredictor.predict` before a
+cold workload class pays a micro-profile.  A confident prediction skips
+profiling outright (``"predicted selection"``,
+:func:`repro.core.policy.decide`); anything else falls back to the
+existing lease-coordinated micro-profile, so prediction can only remove
+cold-start cost, never correctness.
+
+Models are grouped per (kernel, device-kind) — the granularity at which
+selections transfer — and refit lazily from a bounded, deduplicated
+example set (one example per distinct feature vector; repeat evidence
+accumulates weight, contradicting evidence replaces the label).  Drift
+confirmations feed back through :meth:`SelectionPredictor.correct` with
+extra weight, so a class the model got wrong teaches the next refit.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import PredictError
+from .features import parse_key
+from .model import DecisionTree, Prediction
+
+
+@dataclass(frozen=True)
+class PredictConfig:
+    """Tuning for the selection predictor (all fields validated)."""
+
+    #: Minimum calibrated confidence for a prediction to skip the
+    #: micro-profile; lower-confidence classes fall back to the lease.
+    confidence_threshold: float = 0.7
+    #: Distinct workload classes a (kernel, device-kind) group must have
+    #: seen before it predicts at all.
+    min_examples: int = 6
+    #: Bounded per-group example set (oldest distinct class evicted).
+    max_examples: int = 256
+    #: Decision-tree depth cap.
+    max_depth: int = 6
+    #: Minimum total example weight on each side of a tree split.
+    min_leaf_weight: float = 1.0
+    #: Sample weight of a drift-correction example (vs 1.0 per measured
+    #: publish), so one confirmed mistake outweighs stale evidence.
+    correction_weight: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.confidence_threshold <= 1.0:
+            raise PredictError(
+                f"confidence_threshold must be in (0, 1], got "
+                f"{self.confidence_threshold}"
+            )
+        if self.min_examples < 1:
+            raise PredictError(
+                f"min_examples must be >= 1, got {self.min_examples}"
+            )
+        if self.max_examples < self.min_examples:
+            raise PredictError(
+                f"max_examples ({self.max_examples}) must be >= "
+                f"min_examples ({self.min_examples})"
+            )
+        if self.max_depth < 1:
+            raise PredictError(
+                f"max_depth must be >= 1, got {self.max_depth}"
+            )
+        if self.min_leaf_weight <= 0:
+            raise PredictError(
+                f"min_leaf_weight must be positive, got "
+                f"{self.min_leaf_weight}"
+            )
+        if self.correction_weight <= 0:
+            raise PredictError(
+                f"correction_weight must be positive, got "
+                f"{self.correction_weight}"
+            )
+
+
+@dataclass
+class PredictStats:
+    """Training/serving counters (monotonic over the predictor's life)."""
+
+    #: Measured publishes folded into the example sets.
+    examples: int = 0
+    #: Drift-confirmed corrections fed back into training.
+    corrections: int = 0
+    #: Lazy tree refits triggered by dirty example sets.
+    refits: int = 0
+
+
+class _Group:
+    """One (kernel, device-kind) model: examples + lazily fitted tree."""
+
+    __slots__ = ("examples", "tree", "dirty")
+
+    def __init__(self) -> None:
+        #: feature vector → (winning variant, accumulated weight);
+        #: insertion-ordered so eviction drops the oldest class.
+        self.examples: Dict[Tuple[float, ...], Tuple[str, float]] = {}
+        self.tree: Optional[DecisionTree] = None
+        self.dirty = False
+
+
+class SelectionPredictor:
+    """Thread-safe per-(kernel, device-kind) selection models."""
+
+    def __init__(self, config: Optional[PredictConfig] = None) -> None:
+        self.config = config if config is not None else PredictConfig()
+        self._groups: Dict[Tuple[str, str], _Group] = {}
+        self._lock = threading.RLock()
+        self.stats = PredictStats()
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def learn(self, key: str, selected: str, weight: float = 1.0) -> bool:
+        """Fold one measured selection into the training set.
+
+        Repeat evidence for the same (class, winner) accumulates weight;
+        a different winner for a known class *replaces* its label — the
+        newest measurement describes the current regime.  Returns False
+        for unparseable keys or non-positive weights (nothing learned).
+        """
+        parsed = parse_key(key)
+        if parsed is None or weight <= 0:
+            return False
+        with self._lock:
+            group = self._groups.setdefault(
+                (parsed.kernel, parsed.device_kind), _Group()
+            )
+            existing = group.examples.get(parsed.vector)
+            if existing is not None and existing[0] == selected:
+                group.examples[parsed.vector] = (
+                    selected,
+                    existing[1] + weight,
+                )
+            else:
+                if (
+                    existing is None
+                    and len(group.examples) >= self.config.max_examples
+                ):
+                    group.examples.pop(next(iter(group.examples)))
+                group.examples[parsed.vector] = (selected, weight)
+            group.dirty = True
+            self.stats.examples += 1
+        return True
+
+    def correct(self, key: str, selected: str) -> bool:
+        """Feed a drift-confirmed mistake back as a weighted correction.
+
+        Called when a re-profile overturns a *predicted* entry: the
+        fresh winner replaces the class's label with
+        :attr:`PredictConfig.correction_weight` behind it, so the next
+        refit stops repeating the mistake.
+        """
+        learned = self.learn(
+            key, selected, weight=self.config.correction_weight
+        )
+        if learned:
+            with self._lock:
+                self.stats.corrections += 1
+        return learned
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def predict(self, key: str) -> Optional[Prediction]:
+        """The model's best guess for a workload class, or ``None``.
+
+        ``None`` when the key is unparseable, the group has seen fewer
+        than :attr:`PredictConfig.min_examples` distinct classes, or the
+        model has nothing to say.  The caller decides whether the
+        returned confidence clears the threshold (:meth:`confident`).
+        """
+        parsed = parse_key(key)
+        if parsed is None:
+            return None
+        with self._lock:
+            group = self._groups.get((parsed.kernel, parsed.device_kind))
+            if (
+                group is None
+                or len(group.examples) < self.config.min_examples
+            ):
+                return None
+            tree = self._fitted(group)
+            return tree.predict(parsed.vector)
+
+    def confident(self, prediction: Optional[Prediction]) -> bool:
+        """Whether a prediction clears the configured threshold."""
+        return (
+            prediction is not None
+            and prediction.confidence >= self.config.confidence_threshold
+        )
+
+    def _fitted(self, group: _Group) -> DecisionTree:
+        """The group's tree, refit if examples changed since last fit."""
+        if group.tree is None or group.dirty:
+            tree = DecisionTree(
+                max_depth=self.config.max_depth,
+                min_leaf_weight=self.config.min_leaf_weight,
+            )
+            tree.fit(
+                [
+                    (vector, label, weight)
+                    for vector, (label, weight) in group.examples.items()
+                ]
+            )
+            group.tree = tree
+            group.dirty = False
+            self.stats.refits += 1
+        return group.tree
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Distinct training classes across all groups."""
+        with self._lock:
+            return sum(
+                len(group.examples) for group in self._groups.values()
+            )
+
+    def groups(self) -> Tuple[Tuple[str, str], ...]:
+        """The (kernel, device-kind) pairs with any training history."""
+        with self._lock:
+            return tuple(sorted(self._groups))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-representable snapshot (config, examples, fitted trees).
+
+        Dirty groups are refit first so the snapshot always carries the
+        model that matches its own example set.
+        """
+        with self._lock:
+            groups = []
+            for (kernel, device_kind), group in sorted(
+                self._groups.items()
+            ):
+                tree = self._fitted(group) if group.examples else None
+                groups.append(
+                    {
+                        "kernel": kernel,
+                        "device_kind": device_kind,
+                        "examples": [
+                            {
+                                "vector": list(vector),
+                                "label": label,
+                                "weight": weight,
+                            }
+                            for vector, (label, weight) in
+                            group.examples.items()
+                        ],
+                        "tree": (
+                            tree.to_payload() if tree is not None else None
+                        ),
+                    }
+                )
+            return {
+                "config": asdict(self.config),
+                "stats": asdict(self.stats),
+                "groups": groups,
+            }
+
+    def load_payload(self, payload: object) -> None:
+        """Restore examples and fitted trees written by :meth:`to_payload`.
+
+        All-or-nothing: the new state is staged and validated completely
+        before it replaces the current one, and :class:`PredictError` is
+        raised on any malformed shape.  The predictor's *own* config is
+        kept — a loaded snapshot carries history, not policy.
+        """
+        if not isinstance(payload, dict):
+            raise PredictError(
+                f"predictor payload must be an object, got "
+                f"{type(payload).__name__}"
+            )
+        raw_groups = payload.get("groups", [])
+        if not isinstance(raw_groups, list):
+            raise PredictError(
+                f"predictor payload 'groups' must be a list, got "
+                f"{type(raw_groups).__name__}"
+            )
+        staged: Dict[Tuple[str, str], _Group] = {}
+        for raw in raw_groups:
+            if not isinstance(raw, dict):
+                raise PredictError(f"malformed predictor group: {raw!r}")
+            kernel = raw.get("kernel")
+            device_kind = raw.get("device_kind")
+            if not isinstance(kernel, str) or not isinstance(
+                device_kind, str
+            ):
+                raise PredictError(
+                    f"malformed predictor group identity: "
+                    f"{kernel!r}/{device_kind!r}"
+                )
+            group = _Group()
+            examples = raw.get("examples", [])
+            if not isinstance(examples, list):
+                raise PredictError(
+                    f"group {kernel!r}/{device_kind!r} 'examples' must be "
+                    f"a list, got {type(examples).__name__}"
+                )
+            for example in examples:
+                if not isinstance(example, dict):
+                    raise PredictError(f"malformed example: {example!r}")
+                vector = example.get("vector")
+                label = example.get("label")
+                weight = example.get("weight")
+                if (
+                    not isinstance(vector, list)
+                    or not all(
+                        isinstance(v, (int, float)) for v in vector
+                    )
+                    or not isinstance(label, str)
+                    or not isinstance(weight, (int, float))
+                    or weight <= 0
+                ):
+                    raise PredictError(f"malformed example: {example!r}")
+                group.examples[tuple(float(v) for v in vector)] = (
+                    label,
+                    float(weight),
+                )
+            tree_doc = raw.get("tree")
+            if tree_doc is not None:
+                group.tree = DecisionTree.from_payload(tree_doc)
+            staged[(kernel, device_kind)] = group
+        raw_stats = payload.get("stats", {})
+        if not isinstance(raw_stats, dict):
+            raise PredictError(
+                f"predictor payload 'stats' must be an object, got "
+                f"{type(raw_stats).__name__}"
+            )
+        staged_stats = {}
+        for name in ("examples", "corrections", "refits"):
+            value = raw_stats.get(name, 0)
+            if not isinstance(value, int) or value < 0:
+                raise PredictError(
+                    f"malformed predictor stat {name!r}: {value!r}"
+                )
+            staged_stats[name] = value
+        with self._lock:
+            self._groups = staged
+            for name, value in staged_stats.items():
+                setattr(self.stats, name, value)
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "SelectionPredictor":
+        """Rebuild a predictor, taking its config from the snapshot."""
+        if not isinstance(payload, dict):
+            raise PredictError(
+                f"predictor payload must be an object, got "
+                f"{type(payload).__name__}"
+            )
+        raw_config = payload.get("config", {})
+        if not isinstance(raw_config, dict):
+            raise PredictError(
+                f"predictor payload 'config' must be an object, got "
+                f"{type(raw_config).__name__}"
+            )
+        try:
+            config = PredictConfig(**raw_config)
+        except TypeError as exc:
+            raise PredictError(
+                f"malformed predictor config: {exc}"
+            ) from exc
+        predictor = cls(config)
+        predictor.load_payload(payload)
+        return predictor

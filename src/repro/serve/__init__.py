@@ -12,6 +12,7 @@ See ``docs/serving.md`` for the cold-cache → warm-cache walkthrough and
 ``benchmarks/bench_serve.py`` for the throughput/latency benchmark.
 """
 
+from ..predict import PredictConfig, Prediction, SelectionPredictor
 from .lease import ProfileLease, ProfileLeaseTable
 from .scheduler import (
     DEFAULT_LEASE_TIMEOUT,
@@ -33,9 +34,12 @@ __all__ = [
     "DEFAULT_LEASE_TIMEOUT",
     "DEFAULT_STREAMS_PER_DEVICE",
     "LaunchScheduler",
+    "PredictConfig",
+    "Prediction",
     "ProfileLease",
     "ProfileLeaseTable",
     "SCHEMA_VERSION",
+    "SelectionPredictor",
     "SelectionStore",
     "ServeOutcome",
     "ServeRequest",

@@ -17,9 +17,12 @@ engine, one clock, one trace timeline) plus a bounded
    * **warm** — a live entry pins the stored winner; the launch runs
      profiling-off (``STORE_HIT``),
    * **cold** — the request races for the class's *profile lease*
-     (:mod:`repro.serve.lease`); the winner micro-profiles
-     (``PROFILE_LEASE_GRANT``/``STEAL``) and publishes the selection,
-     everyone else runs eagerly with the current-best variant,
+     (:mod:`repro.serve.lease`); the winner consults the armed
+     selection predictor (:mod:`repro.predict`) — a confident guess
+     skips the micro-profile outright (``PREDICTION``) — otherwise
+     micro-profiles (``PROFILE_LEASE_GRANT``/``STEAL``,
+     ``PREDICTION_FALLBACK``) and publishes the selection; everyone
+     else runs eagerly with the current-best variant,
 
 4. serializes engine access per device (simulated engines are
    single-clocked), runs the launch, releases stream and lease.
@@ -57,6 +60,7 @@ from ..faults.plan import FaultPlan
 from ..modes import OrchestrationFlow, ProfilingMode
 from ..obs.events import EventKind, TraceEvent
 from ..obs.tracer import NULL_TRACER, RecordingTracer
+from ..predict import Prediction
 from .lease import ProfileLeaseTable
 from .signature import WorkloadSignature, derive_signature
 from .store import SelectionStore
@@ -115,6 +119,11 @@ class ServeStats:
     profiled_launches: int = 0
     store_hits: int = 0
     eager_launches: int = 0
+    #: Cold classes served by the predictor without a micro-profile.
+    predicted_launches: int = 0
+    #: Cold classes that paid the micro-profile despite an armed
+    #: predictor (untrained, under-confident, or gated out).
+    prediction_fallbacks: int = 0
     profiling_latency_cycles: float = 0.0
     workload_units: int = 0
     per_device: Dict[str, int] = field(default_factory=dict)
@@ -275,10 +284,15 @@ class LaunchScheduler:
         self._dispatch_lock = threading.Lock()
         #: Cached static per-unit cost priors, keyed by (kernel, device
         #: kind); ``None`` entries mean "no bounded prior" (dominance
-        #: off, unknown kernel/kind, or an unbounded interval).
+        #: off, unknown kernel/kind, or an unbounded interval).  Guarded
+        #: by ``_static_lock``; invalidated both by the runtime hooks
+        #: (re-registration, extension) and by :meth:`register_pool`
+        #: itself — a *first* registration fires no hook, and a ``None``
+        #: cached before it must not outlive it.
         self._static_estimates: Dict[
             Tuple[str, str], Optional[float]
         ] = {}
+        self._static_lock = threading.Lock()
         for worker in self._workers:
             worker.runtime.add_invalidation_hook(self._on_invalidate)
 
@@ -287,9 +301,26 @@ class LaunchScheduler:
     # ------------------------------------------------------------------
 
     def register_pool(self, pool: VariantPool) -> None:
-        """Register a kernel pool on every device in the fleet."""
+        """Register a kernel pool on every device in the fleet.
+
+        Any cached static cost prior for the kernel is dropped here, not
+        just in the invalidation hook: the hook only fires when an
+        *existing* registration is replaced or extended, so a prior
+        (including a cached ``None`` = "no bounded prior") computed
+        before the first registration would otherwise stay stale
+        forever.
+        """
         for worker in self._workers:
             worker.runtime.register_pool(pool)
+        self._drop_static_estimates(pool.name)
+
+    def _drop_static_estimates(self, kernel: str) -> None:
+        """Forget every cached (kernel, device-kind) cost prior."""
+        with self._static_lock:
+            for key in [
+                k for k in self._static_estimates if k[0] == kernel
+            ]:
+                del self._static_estimates[key]
 
     def _static_unit_cost(
         self, kernel: str, device_kind: str
@@ -307,26 +338,26 @@ class LaunchScheduler:
         if not settings.dominance:
             return None
         key = (kernel, device_kind)
-        if key in self._static_estimates:
-            return self._static_estimates[key]
-        estimate: Optional[float] = None
-        for worker in self._workers:
-            if worker.device_kind != device_kind:
-                continue
-            if kernel in worker.runtime.registry:
-                estimate = cold_start_estimate(
-                    worker.runtime.registry.pool(kernel),
-                    device_kind,
-                    policy=policy_from_settings(settings),
-                )
-            break
-        self._static_estimates[key] = estimate
-        return estimate
+        with self._static_lock:
+            if key in self._static_estimates:
+                return self._static_estimates[key]
+            estimate: Optional[float] = None
+            for worker in self._workers:
+                if worker.device_kind != device_kind:
+                    continue
+                if kernel in worker.runtime.registry:
+                    estimate = cold_start_estimate(
+                        worker.runtime.registry.pool(kernel),
+                        device_kind,
+                        policy=policy_from_settings(settings),
+                    )
+                break
+            self._static_estimates[key] = estimate
+            return estimate
 
     def _on_invalidate(self, kernel: str, why: str) -> None:
         """Runtime invalidation hook → evict persisted selections too."""
-        for key in [k for k in self._static_estimates if k[0] == kernel]:
-            del self._static_estimates[key]
+        self._drop_static_estimates(kernel)
         evicted = self.store.invalidate_kernel(kernel)
         if evicted and self.tracer.enabled:
             self.tracer.instant(
@@ -430,6 +461,7 @@ class LaunchScheduler:
         profiling = False
         drift = self.store.drift
         drift_rearm = False
+        prediction: Optional[Prediction] = None
         with contextlib.ExitStack() as stack:
             if entry is not None:
                 if drift is not None and drift.should_rearm(key):
@@ -475,6 +507,8 @@ class LaunchScheduler:
                         workload_class=key,
                         device=worker.name,
                     )
+                if lease is not None:
+                    prediction = self._consult_predictor(request, key, seq)
 
             result = None
             try:
@@ -489,12 +523,27 @@ class LaunchScheduler:
                         pinned_variant=pinned,
                         stream_name=stream.name,
                         drift_rearm=drift_rearm,
+                        predicted=prediction,
                     )
                 worker.complete(estimate, result.elapsed_cycles)
                 if lease is not None:
-                    self._publish(key, request, result)
+                    predicted = self._prediction_applied(prediction, result)
+                    self._publish(
+                        key, request, result, predicted=predicted
+                    )
+                    self._trace_prediction(
+                        request, key, seq, prediction, predicted
+                    )
                     if result.profiled:
-                        self._close_drift_episode(key, request, result, seq)
+                        self._close_drift_episode(
+                            key,
+                            request,
+                            result,
+                            seq,
+                            stale_predicted=(
+                                entry is not None and entry.predicted
+                            ),
+                        )
                     elif drift_rearm:
                         # The runtime demoted the re-armed launch to
                         # profiling-off; the episode stays open for the
@@ -520,8 +569,102 @@ class LaunchScheduler:
             sequence=seq,
         )
 
+    def _consult_predictor(
+        self, request: ServeRequest, key: str, seq: int
+    ) -> Optional[Prediction]:
+        """The predictor's confident guess for a cold class, or ``None``.
+
+        Called only by the lease holder of a cold workload class — the
+        one launch that would otherwise micro-profile.  An untrained or
+        under-confident model falls back to that micro-profile and the
+        fallback is recorded (``PREDICTION_FALLBACK``), so predicted
+        serving is always auditable from the trace alone.
+        """
+        predictor = self.store.predictor
+        if predictor is None:
+            return None
+        candidate = predictor.predict(key)
+        if predictor.confident(candidate):
+            return candidate
+        with self._stats_lock:
+            self.stats.prediction_fallbacks += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                EventKind.PREDICTION_FALLBACK,
+                request.kernel,
+                float(seq),
+                workload_class=key,
+                reason=(
+                    "untrained" if candidate is None else "below threshold"
+                ),
+                confidence=(
+                    None if candidate is None else candidate.confidence
+                ),
+            )
+        return None
+
+    @staticmethod
+    def _prediction_applied(
+        prediction: Optional[Prediction], result: LaunchResult
+    ) -> bool:
+        """Whether the launch actually ran on the predicted selection.
+
+        The policy may reject a prediction (drift re-arm, dominance
+        exclusion, variant gone from the pool) or resolve the launch by
+        a stronger gate whose fallback variant merely coincides with the
+        guess — only an explicit ``"predicted selection"`` decision
+        counts.
+        """
+        return (
+            prediction is not None
+            and not result.profiled
+            and result.selected == prediction.variant
+            and result.reason.startswith("predicted selection")
+        )
+
+    def _trace_prediction(
+        self,
+        request: ServeRequest,
+        key: str,
+        seq: int,
+        prediction: Optional[Prediction],
+        applied: bool,
+    ) -> None:
+        """Account one lease-held launch's prediction outcome."""
+        if prediction is None:
+            return
+        with self._stats_lock:
+            if applied:
+                self.stats.predicted_launches += 1
+            else:
+                self.stats.prediction_fallbacks += 1
+        if not self.tracer.enabled:
+            return
+        if applied:
+            self.tracer.instant(
+                EventKind.PREDICTION,
+                request.kernel,
+                float(seq),
+                workload_class=key,
+                variant=prediction.variant,
+                confidence=prediction.confidence,
+            )
+        else:
+            self.tracer.instant(
+                EventKind.PREDICTION_FALLBACK,
+                request.kernel,
+                float(seq),
+                workload_class=key,
+                reason="rejected by policy",
+                confidence=prediction.confidence,
+            )
+
     def _publish(
-        self, key: str, request: ServeRequest, result: LaunchResult
+        self,
+        key: str,
+        request: ServeRequest,
+        result: LaunchResult,
+        predicted: bool = False,
     ) -> None:
         """Persist a lease holder's selection for future warm lookups.
 
@@ -530,7 +673,10 @@ class LaunchScheduler:
         workload, single-variant pool, infeasible plan) publish the
         variant that actually ran with a coarse elapsed-based estimate —
         still worth persisting, because it stops every later request of
-        this class from re-racing for the lease.
+        this class from re-racing for the lease.  Predicted launches
+        publish the same way but flagged ``predicted``: the entry serves
+        and drifts like a measured one without feeding the predictor's
+        own training set.
         """
         if result.record is not None and result.record.selected is not None:
             cycles = result.record.best_measurement().cycles_per_unit
@@ -545,6 +691,7 @@ class LaunchScheduler:
             cycles_per_unit=cycles,
             mode=result.mode.value if result.mode is not None else None,
             flow=result.flow.value if result.flow is not None else None,
+            predicted=predicted,
         )
 
     def _observe_drift(
@@ -593,7 +740,12 @@ class LaunchScheduler:
         )
 
     def _close_drift_episode(
-        self, key: str, request: ServeRequest, result: LaunchResult, seq: int
+        self,
+        key: str,
+        request: ServeRequest,
+        result: LaunchResult,
+        seq: int,
+        stale_predicted: bool = False,
     ) -> None:
         """Close the class's open drift episode with the fresh winner.
 
@@ -601,11 +753,23 @@ class LaunchScheduler:
         cold re-profiles of a class whose decayed entry already
         expired), so an episode cannot be left dangling by whichever
         path re-measured first.  A no-op when no episode is open.
+
+        ``stale_predicted`` marks an episode whose demoted entry came
+        from the predictor: the re-measured winner is fed back as a
+        weighted training correction
+        (:meth:`repro.predict.SelectionPredictor.correct`), so a model
+        that drifted wrong stops repeating the mistake.
         """
         drift = self.store.drift
         if drift is None:
             return
         episode = drift.complete(key, result.selected)
+        if (
+            episode is not None
+            and stale_predicted
+            and self.store.predictor is not None
+        ):
+            self.store.predictor.correct(key, result.selected)
         if episode is not None and self.tracer.enabled:
             self.tracer.instant(
                 EventKind.RESELECTION,

@@ -77,13 +77,24 @@ def _sparse_features(name: str, value: object) -> Tuple[Tuple[str, str], ...]:
         (f"{name}.rows^2", str(log2_bucket(rows))),
         (f"{name}.nnz^2", str(log2_bucket(nnz))),
     ]
+    if nnz <= 0 or row_nnz.size == 0:
+        # Degenerate sparsity (no stored entries, or no per-row shape
+        # information).  Without an explicit marker these inputs would
+        # silently drop the density/regularity features below and alias
+        # with dense-regime classes that share the same size buckets.
+        features.append((f"{name}.empty", "1"))
     if rows > 0 and cols > 0 and nnz > 0:
         density = nnz / (float(rows) * float(cols))
         # One bucket per decade of density: 1% and 0.8% share a key,
-        # 1% and 0.01% do not.
-        features.append(
-            (f"{name}.density^10", str(int(round(-math.log10(density)))))
+        # 1% and 0.01% do not.  Duplicate entries can push nnz past
+        # rows*cols (density > 1), which would produce a *negative*
+        # decade — clamp to bucket 0 ("dense"), same as density 1.0.
+        bucket = (
+            max(0, int(round(-math.log10(density))))
+            if math.isfinite(density) and density > 0
+            else 0
         )
+        features.append((f"{name}.density^10", str(bucket)))
     if row_nnz.size:
         mean = float(row_nnz.mean())
         features.append((f"{name}.rownnz^2", str(log2_bucket(mean))))
@@ -91,6 +102,8 @@ def _sparse_features(name: str, value: object) -> Tuple[Tuple[str, str], ...]:
         # feature behind the DFO/BFO crossover (short regular rows are
         # loop-setup-dominated; long irregular rows are not).
         cv = float(row_nnz.std() / mean) if mean > 0 else 0.0
+        if not math.isfinite(cv):
+            cv = 0.0
         features.append(
             (f"{name}.cv", str(int(round(cv / CV_BUCKET_STEP))))
         )

@@ -41,13 +41,17 @@ from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Iterator, Optional
 
 from ..drift import DriftConfig, ReselectionController
-from ..errors import DriftError, StoreError, StoreSchemaError
+from ..errors import DriftError, PredictError, StoreError, StoreSchemaError
 from ..faults.quarantine import VariantQuarantine
+from ..predict import PredictConfig, SelectionPredictor
 
 #: On-disk schema version.  Bump when the entry layout *or the key
 #: derivation rules* change incompatibly — a persisted key is only
 #: meaningful under the feature-bucketing rules that produced it.
-SCHEMA_VERSION = 2
+#: v3: signature degenerate-input features (``.empty``, clamped density
+#: decade) changed the key space, entries carry a ``predicted`` flag,
+#: and snapshots may carry a fitted selection predictor.
+SCHEMA_VERSION = 3
 
 #: Default EWMA smoothing factor for repeated measurements of one class.
 DEFAULT_EWMA_ALPHA = 0.3
@@ -81,6 +85,11 @@ class StoreEntry:
     recorded_at: float = 0.0
     #: How many lookups this entry has served.
     hits: int = 0
+    #: Whether the selection came from the predictor instead of a
+    #: micro-profile (:mod:`repro.predict`).  Predicted entries serve
+    #: and drift like measured ones but are excluded from training, and
+    #: a drift confirmation on one feeds back a training correction.
+    predicted: bool = False
     #: Drift demotion deadline: absolute store-clock time after which the
     #: entry expires regardless of TTL (``None`` = not demoted).  Set by
     #: :meth:`SelectionStore.decay` when drift confirms the selection is
@@ -124,6 +133,7 @@ class SelectionStore:
         clock: Optional[Callable[[], float]] = None,
         drift: Optional[DriftConfig] = None,
         decay_grace: float = DEFAULT_DECAY_GRACE,
+        predict: Optional[PredictConfig] = None,
     ) -> None:
         """Create an empty store.
 
@@ -144,6 +154,12 @@ class SelectionStore:
         decay_grace:
             How long (clock seconds) a drift-demoted entry keeps serving
             before expiring outright (see :meth:`decay`).
+        predict:
+            Arm the selection predictor with this tuning
+            (:class:`repro.predict.PredictConfig`): measured publishes
+            train it and the serving layer consults it before paying a
+            cold micro-profile.  ``None`` (the default) leaves
+            prediction off.
         """
         if ttl is not None and ttl <= 0:
             raise StoreError(f"ttl must be positive or None, got {ttl}")
@@ -177,6 +193,13 @@ class SelectionStore:
             if drift is not None
             else None
         )
+        #: Fleet-wide selection predictor (see :mod:`repro.predict`),
+        #: ``None`` when prediction is off.  Owned here like the drift
+        #: loop: measured publishes train it in-line and the fitted
+        #: models ride along in :meth:`save`/:meth:`load` snapshots.
+        self.predictor: Optional[SelectionPredictor] = (
+            SelectionPredictor(predict) if predict is not None else None
+        )
 
     # ------------------------------------------------------------------
     # Lookup / update
@@ -193,7 +216,7 @@ class SelectionStore:
             if entry is None:
                 self.stats.misses += 1
                 return None
-            if self._expired(entry):
+            if self._expired(entry, self._clock()):
                 del self._entries[key]
                 self.stats.expirations += 1
                 self.stats.misses += 1
@@ -212,7 +235,7 @@ class SelectionStore:
         """
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None or self._expired(entry):
+            if entry is None or self._expired(entry, self._clock()):
                 return None
             return entry
 
@@ -224,13 +247,25 @@ class SelectionStore:
         cycles_per_unit: float,
         mode: Optional[str] = None,
         flow: Optional[str] = None,
+        predicted: bool = False,
     ) -> StoreEntry:
         """Record (or fold into) the selection for a workload class.
 
         A repeat publication with the *same* winner updates the EWMA; a
         different winner replaces the entry outright (the input regime
         crossed a crossover point — old statistics no longer describe the
-        new champion).
+        new champion).  A winner matching an entry past its TTL or
+        ``decay_at`` deadline also starts fresh: expired history must
+        not be resurrected into the new entry's EWMA (the whole point of
+        expiry is that those statistics are no longer trusted).  Expiry
+        is judged against one clock read per publish, so a deadline
+        cannot fall between two reads within a single operation.
+
+        ``predicted`` marks a selection the predictor chose without a
+        micro-profile (:mod:`repro.predict`); measured publishes
+        (``predicted=False``) additionally train the armed predictor —
+        predicted ones never do, so the model cannot reinforce its own
+        guesses.
         """
         with self._lock:
             now = self._clock()
@@ -238,11 +273,12 @@ class SelectionStore:
             if (
                 entry is not None
                 and entry.selected == selected
-                and not self._expired(entry)
+                and not self._expired(entry, now)
             ):
                 entry.observe(cycles_per_unit, self.ewma_alpha)
                 entry.recorded_at = now
                 entry.mode, entry.flow = mode, flow
+                entry.predicted = predicted
                 # Fresh evidence for this winner lifts any drift demotion.
                 entry.decay_at = None
             else:
@@ -254,10 +290,14 @@ class SelectionStore:
                     flow=flow,
                     cycles_per_unit=float(cycles_per_unit),
                     recorded_at=now,
+                    predicted=predicted,
                 )
                 self._entries[key] = entry
             self.stats.puts += 1
-            return entry
+            predictor = self.predictor
+        if predictor is not None and not predicted:
+            predictor.learn(key, selected)
+        return entry
 
     def decay(self, key: str, grace: Optional[float] = None) -> bool:
         """Demote one entry: expire it ``grace`` seconds from now.
@@ -273,10 +313,11 @@ class SelectionStore:
         live entry.
         """
         with self._lock:
+            now = self._clock()
             entry = self._entries.get(key)
-            if entry is None or self._expired(entry):
+            if entry is None or self._expired(entry, now):
                 return False
-            deadline = self._clock() + (
+            deadline = now + (
                 grace if grace is not None else self.decay_grace
             )
             if entry.decay_at is None or deadline < entry.decay_at:
@@ -307,9 +348,15 @@ class SelectionStore:
                 self.drift.monitor.drop(key)
         return len(doomed)
 
-    def _expired(self, entry: StoreEntry) -> bool:
-        """Whether an entry has outlived the store TTL or its decay."""
-        now = self._clock()
+    def _expired(self, entry: StoreEntry, now: float) -> bool:
+        """Whether an entry has outlived the store TTL or its decay.
+
+        ``now`` is the caller's single clock read for the whole
+        operation — reading the clock here again would let a deadline
+        slip between "not expired" and "expired" inside one lookup or
+        publish, which is exactly the ordering bug threaded serving
+        must not have.
+        """
         if entry.decay_at is not None and now > entry.decay_at:
             return True
         if self.ttl is None:
@@ -353,6 +400,11 @@ class SelectionStore:
                 # and episode history survive restarts so a fleet does
                 # not re-learn every class's throughput from scratch.
                 doc["drift"] = self.drift.to_payload()
+            if self.predictor is not None:
+                # Optional like drift: the fitted selection models ride
+                # along so a restarted fleet predicts from its first
+                # cold request instead of re-learning the history.
+                doc["predict"] = self.predictor.to_payload()
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
@@ -374,8 +426,15 @@ class SelectionStore:
         ewma_alpha: float = DEFAULT_EWMA_ALPHA,
         clock: Optional[Callable[[], float]] = None,
         drift: Optional[DriftConfig] = None,
+        predict: Optional[PredictConfig] = None,
     ) -> "SelectionStore":
         """Deserialize a store written by :meth:`save`.
+
+        ``drift``/``predict`` re-arm those subsystems with the caller's
+        tuning; when either is ``None`` but the snapshot carries that
+        section, the subsystem is armed anyway (drift with default
+        tuning, the predictor with the snapshot's own config) so
+        persisted state is never silently dropped.
 
         Raises :class:`StoreSchemaError` when the file's
         ``schema_version`` does not match :data:`SCHEMA_VERSION` (a
@@ -426,7 +485,13 @@ class SelectionStore:
             # for a specific tuning: arm the loop with defaults rather
             # than silently dropping persisted baselines and episodes.
             drift = DriftConfig()
-        store = cls(ttl=ttl, ewma_alpha=ewma_alpha, clock=clock, drift=drift)
+        store = cls(
+            ttl=ttl,
+            ewma_alpha=ewma_alpha,
+            clock=clock,
+            drift=drift,
+            predict=predict,
+        )
         now = store._clock()
         for raw in entries:
             if not isinstance(raw, dict):
@@ -453,6 +518,7 @@ class SelectionStore:
                 samples=int(raw.get("samples", 1)),
                 recorded_at=now - age,
                 hits=int(raw.get("hits", 0)),
+                predicted=bool(raw.get("predicted", False)),
                 decay_at=None if decay_in is None else now + float(decay_in),
             )
             store._entries[entry.key] = entry
@@ -475,6 +541,30 @@ class SelectionStore:
             try:
                 store.drift.load_payload(drift_doc)
             except DriftError as exc:
+                raise StoreError(
+                    f"selection store {path!r} is corrupt: {exc}"
+                ) from exc
+        predict_doc = doc.get("predict")
+        if predict_doc is not None:
+            if not isinstance(predict_doc, dict):
+                raise StoreError(
+                    f"selection store {path!r} is corrupt: 'predict' is "
+                    f"{type(predict_doc).__name__}, expected an object"
+                )
+            try:
+                if store.predictor is not None:
+                    # The caller's tuning wins; the snapshot contributes
+                    # history (examples + fitted trees) only.
+                    store.predictor.load_payload(predict_doc)
+                else:
+                    # The snapshot carries a trained predictor but the
+                    # caller did not ask for one: arm it with the
+                    # snapshot's own config rather than silently
+                    # dropping the fitted models.
+                    store.predictor = SelectionPredictor.from_payload(
+                        predict_doc
+                    )
+            except PredictError as exc:
                 raise StoreError(
                     f"selection store {path!r} is corrupt: {exc}"
                 ) from exc

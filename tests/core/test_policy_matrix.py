@@ -21,6 +21,7 @@ from repro.core.selection import (
     VariantMeasurement,
 )
 from repro.modes import OrchestrationFlow, ProfilingMode
+from repro.predict import Prediction
 from tests.conftest import axpy_signature, make_axpy_args, make_axpy_variant
 
 # ----------------------------------------------------------------------
@@ -257,6 +258,139 @@ class TestPrecedenceEdges:
         assert "evicted-variant" in decision.reason
         assert "'gone'" in decision.reason
         assert cache.lookup("axpy") is None  # stale entry evicted
+
+
+class TestPredictionAxis:
+    """The prediction input is the weakest in the precedence order: over
+    the whole matrix it may only convert a would-be micro-profile into a
+    profiling-off predicted run — every other gate's decision must be
+    byte-identical with and without it."""
+
+    PREDICTED = Prediction(variant="fast", confidence=0.91)
+
+    def decide(self, cell, config, predicted):
+        flag, cache_state, size, pinned, drift, pool_shape = cell
+        return policy.decide(
+            build_pool(pool_shape),
+            units_for(size, config),
+            flag,
+            build_cache(cache_state),
+            config,
+            pinned_variant=pinned,
+            drift_rearm=drift,
+            predicted=predicted,
+        )
+
+    @pytest.mark.parametrize(
+        "flag,cache_state,size,pinned,drift,pool_shape", MATRIX
+    )
+    def test_matrix_cell_with_prediction(
+        self, flag, cache_state, size, pinned, drift, pool_shape, config
+    ):
+        cell = (flag, cache_state, size, pinned, drift, pool_shape)
+        baseline = self.decide(cell, config, None)
+        decision = self.decide(cell, config, self.PREDICTED)
+        if (
+            categorize(baseline.reason) == "profiling activated"
+            and not drift
+        ):
+            assert not decision.profile
+            assert decision.variant_name == "fast"
+            assert decision.reason.startswith(
+                "predicted selection ('fast', confidence 0.91)"
+            )
+        else:
+            # Every other gate — small workload, single variant, pinned,
+            # cached, drift re-arm — is untouched by the prediction.
+            assert decision == baseline
+
+    def test_prediction_never_overrides_drift_rearm(self, config):
+        decision = self.decide(
+            (True, "empty", "large", None, True, "multi"),
+            config,
+            self.PREDICTED,
+        )
+        assert decision.profile
+        assert decision.reason == "profiling activated"
+
+    def test_predicted_variant_missing_from_pool_falls_back(
+        self, fast_slow_pool, config
+    ):
+        decision = policy.decide(
+            fast_slow_pool,
+            config.small_workload_threshold * 4,
+            True,
+            SelectionCache(),
+            config,
+            predicted=Prediction(variant="gone", confidence=0.99),
+        )
+        assert decision.profile
+        assert "predicted 'gone' is not a profiling candidate" in (
+            decision.reason
+        )
+
+    def test_prediction_only_chooses_among_dominance_survivors(
+        self, config
+    ):
+        pool = build_pool("multi")  # fast + slow
+        predicted_dominated = policy.decide(
+            pool,
+            config.small_workload_threshold * 4,
+            True,
+            SelectionCache(),
+            config,
+            dominated=("fast",),
+            predicted=Prediction(variant="fast", confidence=0.99),
+        )
+        # Excluding 'fast' leaves a single survivor, which wins before
+        # the prediction is even consulted.
+        assert not predicted_dominated.profile
+        assert predicted_dominated.variant_name == "slow"
+        assert "statically dominated" in predicted_dominated.reason
+
+    def test_prediction_notes_ride_along_with_dominance(self, config):
+        from repro.kernel import KernelSpec
+
+        pool = VariantPool(
+            spec=KernelSpec(signature=axpy_signature()),
+            variants=(
+                make_axpy_variant("fast"),
+                make_axpy_variant("slow"),
+                make_axpy_variant("mid"),
+            ),
+        )
+        decision = policy.decide(
+            pool,
+            config.small_workload_threshold * 4,
+            True,
+            SelectionCache(),
+            config,
+            dominated=("slow",),
+            predicted=Prediction(variant="mid", confidence=0.88),
+        )
+        assert not decision.profile
+        assert decision.variant_name == "mid"
+        assert decision.reason.startswith("predicted selection ('mid'")
+        assert "'slow' statically dominated" in decision.reason
+
+    def test_quarantine_gate_beats_prediction(
+        self, cpu, config, fast_slow_pool
+    ):
+        """A quarantined variant is filtered from the pool before
+        ``decide`` runs, so predicting it falls back to profiling."""
+        runtime = DySelRuntime(cpu, config)
+        runtime.register_pool(fast_slow_pool)
+        for _ in range(config.faults.quarantine_threshold):
+            runtime.quarantine.note_fault("axpy", "slow", "test")
+        units = config.small_workload_threshold * 4
+        result = runtime.launch_kernel(
+            "axpy",
+            make_axpy_args(units, config),
+            units,
+            predicted=Prediction(variant="slow", confidence=0.99),
+        )
+        assert result.selected != "slow"
+        assert not result.reason.startswith("predicted selection")
 
 
 class TestQuarantineInteraction:

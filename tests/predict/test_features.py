@@ -1,0 +1,85 @@
+"""Key parsing: workload-class keys → fixed-width numeric vectors."""
+
+import numpy as np
+
+from repro.predict import FEATURE_NAMES, MISSING, parse_key
+from repro.serve.signature import derive_signature
+from tests.conftest import make_axpy_args
+from repro.config import ReproConfig
+
+
+def column(name: str) -> int:
+    return FEATURE_NAMES.index(name)
+
+
+class TestParseKey:
+    def test_decodes_kernel_kind_and_features(self):
+        parsed = parse_key("spmv|cpu|m.nnz^2=13|m.rows^2=11|units^2=9")
+        assert parsed is not None
+        assert parsed.kernel == "spmv"
+        assert parsed.device_kind == "cpu"
+        assert parsed.vector[column("units")] == 9.0
+        assert parsed.vector[column("rows")] == 11.0
+        assert parsed.vector[column("nnz")] == 13.0
+
+    def test_vector_width_is_stable(self):
+        parsed = parse_key("k|cpu|units^2=1")
+        assert len(parsed.vector) == len(FEATURE_NAMES)
+
+    def test_absent_features_read_missing(self):
+        parsed = parse_key("k|cpu|units^2=4")
+        assert parsed.vector[column("units")] == 4.0
+        assert parsed.vector[column("nnz")] == MISSING
+        assert parsed.vector[column("empty")] == MISSING
+
+    def test_argument_prefix_is_dropped(self):
+        a = parse_key("k|cpu|m.rows^2=7")
+        b = parse_key("k|cpu|a.rows^2=7")
+        assert a.vector == b.vector
+
+    def test_first_argument_wins_on_duplicate_features(self):
+        # Keys list features sorted, so "a." precedes "m.".
+        parsed = parse_key("k|cpu|a.rows^2=3|m.rows^2=9")
+        assert parsed.vector[column("rows")] == 3.0
+
+    def test_unknown_and_malformed_parts_are_skipped(self):
+        parsed = parse_key(
+            "k|cpu|units^2=5|mystery^3=1|noequals|m.cv=oops"
+        )
+        assert parsed is not None
+        assert parsed.vector[column("units")] == 5.0
+        assert parsed.vector[column("cv")] == MISSING
+
+    def test_empty_marker_maps_to_its_column(self):
+        parsed = parse_key("spmv|cpu|m.empty=1|m.rows^2=6")
+        assert parsed.vector[column("empty")] == 1.0
+
+    def test_keys_without_identity_are_rejected(self):
+        assert parse_key("") is None
+        assert parse_key("kernel-only") is None
+        assert parse_key("|cpu|units^2=1") is None
+        assert parse_key("k||units^2=1") is None
+
+
+class TestRealKeys:
+    def test_derived_axpy_key_parses(self):
+        config = ReproConfig()
+        sig = derive_signature(
+            "axpy", "cpu", make_axpy_args(512, config), 512
+        )
+        parsed = parse_key(sig.key)
+        assert parsed is not None
+        assert parsed.kernel == "axpy"
+        assert parsed.device_kind == "cpu"
+        assert parsed.vector[column("units")] == 9.0  # log2(512)
+        assert parsed.vector[column("bytes")] != MISSING
+
+    def test_degenerate_sparse_key_parses_with_empty_marker(self):
+        class EmptyCSR:
+            rows, cols, nnz = 0, 0, 0
+            row_nnz = np.zeros(0)
+
+        sig = derive_signature("spmv", "cpu", {"m": EmptyCSR()}, 256)
+        parsed = parse_key(sig.key)
+        assert parsed.vector[column("empty")] == 1.0
+        assert parsed.vector[column("density")] == MISSING

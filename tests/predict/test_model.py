@@ -1,0 +1,134 @@
+"""The CART tree: fitting, calibration, deterministic payload round-trips."""
+
+import pytest
+
+from repro.errors import PredictError
+from repro.predict import DecisionTree
+
+#: Linearly separable two-class toy set (feature 0 splits at 2.5).
+SEPARABLE = [
+    ((1.0, 7.0), "low", 1.0),
+    ((2.0, 3.0), "low", 1.0),
+    ((3.0, 9.0), "high", 1.0),
+    ((4.0, 1.0), "high", 1.0),
+]
+
+
+class TestFitValidation:
+    def test_zero_examples_rejected(self):
+        with pytest.raises(PredictError):
+            DecisionTree().fit([])
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(PredictError):
+            DecisionTree().fit([((1.0,), "a", 0.0)])
+
+    def test_inconsistent_widths_rejected(self):
+        with pytest.raises(PredictError):
+            DecisionTree().fit([((1.0,), "a", 1.0), ((1.0, 2.0), "b", 1.0)])
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(PredictError):
+            DecisionTree(max_depth=0)
+        with pytest.raises(PredictError):
+            DecisionTree(min_leaf_weight=0.0)
+
+
+class TestPrediction:
+    def test_unfitted_tree_predicts_none(self):
+        assert DecisionTree().predict((1.0,)) is None
+
+    def test_separable_data_is_learned_exactly(self):
+        tree = DecisionTree().fit(SEPARABLE)
+        for vector, label, _ in SEPARABLE:
+            assert tree.predict(vector).variant == label
+
+    def test_classes_are_sorted(self):
+        tree = DecisionTree().fit(SEPARABLE)
+        assert tree.classes == ("high", "low")
+
+    def test_tie_breaks_lexicographically(self):
+        tree = DecisionTree(max_depth=1, min_leaf_weight=2.0).fit(
+            [((1.0,), "b", 1.0), ((1.0,), "a", 1.0)]
+        )
+        assert tree.predict((1.0,)).variant == "a"
+
+    def test_confidence_grows_with_evidence(self):
+        thin = DecisionTree().fit(SEPARABLE)
+        fat = DecisionTree().fit(
+            [(v, label, 10.0) for v, label, _ in SEPARABLE]
+        )
+        lean = thin.predict((1.0, 7.0)).confidence
+        trusted = fat.predict((1.0, 7.0)).confidence
+        assert lean < trusted <= 1.0
+        # Laplace smoothing: a 2-weight pure leaf among 2 classes reads
+        # (2+1)/(2+2) = 0.75.
+        assert lean == pytest.approx(0.75)
+
+    def test_weight_steers_the_majority(self):
+        tree = DecisionTree(max_depth=1, min_leaf_weight=10.0).fit(
+            [((1.0,), "minority", 1.0), ((2.0,), "majority", 5.0)]
+        )
+        assert tree.predict((1.5,)).variant == "majority"
+
+
+class TestDeterminism:
+    def test_refit_rebuilds_the_identical_tree(self):
+        a = DecisionTree().fit(SEPARABLE)
+        b = DecisionTree().fit(list(reversed(SEPARABLE)))
+        assert a.to_payload() == b.to_payload()
+
+
+class TestPersistence:
+    def test_payload_round_trip(self):
+        tree = DecisionTree(max_depth=4, min_leaf_weight=1.0).fit(SEPARABLE)
+        clone = DecisionTree.from_payload(tree.to_payload())
+        assert clone.to_payload() == tree.to_payload()
+        for vector, _, _ in SEPARABLE:
+            assert clone.predict(vector) == tree.predict(vector)
+
+    def test_unfitted_round_trip(self):
+        clone = DecisionTree.from_payload(DecisionTree().to_payload())
+        assert clone.predict((0.0,)) is None
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not a dict",
+            {},  # missing max_depth
+            {"max_depth": 2, "min_leaf_weight": 1.0, "classes": "nope",
+             "root": None},
+            {"max_depth": 2, "min_leaf_weight": 1.0, "classes": [1],
+             "root": None},
+            {"max_depth": 0, "min_leaf_weight": 1.0, "classes": [],
+             "root": None},
+        ],
+    )
+    def test_malformed_payload_rejected(self, payload):
+        with pytest.raises(PredictError):
+            DecisionTree.from_payload(payload)
+
+    @pytest.mark.parametrize(
+        "root",
+        [
+            "leafish",
+            {"counts": {}},
+            {"counts": {"a": 0.0}},
+            {"counts": {1: 1.0}},
+            {"feature": -1, "threshold": 1.0,
+             "low": {"counts": {"a": 1.0}}, "high": {"counts": {"a": 1.0}}},
+            {"feature": 0, "threshold": "mid",
+             "low": {"counts": {"a": 1.0}}, "high": {"counts": {"a": 1.0}}},
+            {"feature": 0, "threshold": 1.0, "low": None,
+             "high": {"counts": {"a": 1.0}}},
+        ],
+    )
+    def test_malformed_node_rejected(self, root):
+        payload = {
+            "max_depth": 3,
+            "min_leaf_weight": 1.0,
+            "classes": ["a"],
+            "root": root,
+        }
+        with pytest.raises(PredictError):
+            DecisionTree.from_payload(payload)

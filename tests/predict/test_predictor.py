@@ -1,0 +1,264 @@
+"""The online predictor: training, gating, corrections, persistence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PredictError
+from repro.predict import PredictConfig, SelectionPredictor
+
+
+def key(units: int, kernel: str = "k", kind: str = "cpu") -> str:
+    """A minimal parseable workload-class key with one numeric feature."""
+    return f"{kernel}|{kind}|units^2={units}"
+
+
+def trained(config: PredictConfig, labels: dict) -> SelectionPredictor:
+    """A predictor taught ``{units bucket: winner}``."""
+    predictor = SelectionPredictor(config)
+    for units, label in labels.items():
+        assert predictor.learn(key(units), label)
+    return predictor
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"confidence_threshold": 0.0},
+            {"confidence_threshold": 1.5},
+            {"min_examples": 0},
+            {"max_examples": 2, "min_examples": 5},
+            {"max_depth": 0},
+            {"min_leaf_weight": 0.0},
+            {"correction_weight": -1.0},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(PredictError):
+            PredictConfig(**kwargs)
+
+    def test_defaults_are_valid(self):
+        PredictConfig()
+
+
+class TestTraining:
+    def test_unparseable_key_learns_nothing(self):
+        predictor = SelectionPredictor()
+        assert not predictor.learn("just-a-kernel", "fast")
+        assert len(predictor) == 0
+
+    def test_non_positive_weight_learns_nothing(self):
+        predictor = SelectionPredictor()
+        assert not predictor.learn(key(4), "fast", weight=0.0)
+        assert len(predictor) == 0
+
+    def test_repeat_evidence_accumulates_weight(self):
+        config = PredictConfig(min_examples=1)
+        predictor = trained(config, {4: "fast"})
+        predictor.learn(key(4), "fast")
+        predictor.learn(key(4), "fast")
+        assert len(predictor) == 1  # still one distinct class
+        assert predictor.stats.examples == 3
+        # 3 accumulated weight, one class: (3+1)/(3+1) = 1.0.
+        assert predictor.predict(key(4)).confidence == 1.0
+
+    def test_contradicting_evidence_replaces_the_label(self):
+        config = PredictConfig(min_examples=1)
+        predictor = trained(config, {4: "old"})
+        predictor.learn(key(4), "new")
+        assert predictor.predict(key(4)).variant == "new"
+
+    def test_bounded_example_set_evicts_oldest(self):
+        config = PredictConfig(min_examples=1, max_examples=3)
+        predictor = trained(config, {1: "a", 2: "a", 3: "a"})
+        predictor.learn(key(4), "a")
+        assert len(predictor) == 3
+        # The evicted class no longer matches any retained bucket; the
+        # group still predicts (it has examples), so check the roster.
+        assert predictor.stats.examples == 4
+
+    def test_groups_split_per_kernel_and_kind(self):
+        predictor = SelectionPredictor(PredictConfig(min_examples=1))
+        predictor.learn(key(4, kernel="a"), "x")
+        predictor.learn(key(4, kernel="b"), "y")
+        predictor.learn(key(4, kernel="a", kind="gpu"), "z")
+        assert predictor.groups() == (
+            ("a", "cpu"), ("a", "gpu"), ("b", "cpu")
+        )
+        assert predictor.predict(key(4, kernel="a")).variant == "x"
+        assert predictor.predict(key(4, kernel="b")).variant == "y"
+
+
+class TestServing:
+    def test_untrained_group_predicts_none(self):
+        predictor = SelectionPredictor()
+        assert predictor.predict(key(4)) is None
+
+    def test_unparseable_key_predicts_none(self):
+        predictor = trained(PredictConfig(min_examples=1), {4: "a"})
+        assert predictor.predict("nokey") is None
+
+    def test_min_examples_gates_prediction(self):
+        config = PredictConfig(min_examples=3)
+        predictor = trained(config, {1: "a", 2: "a"})
+        assert predictor.predict(key(1)) is None
+        predictor.learn(key(3), "a")
+        assert predictor.predict(key(1)) is not None
+
+    def test_confident_compares_against_threshold(self):
+        config = PredictConfig(min_examples=1, confidence_threshold=0.9)
+        predictor = trained(config, {4: "a"})
+        sure = predictor.predict(key(4))
+        assert sure.confidence == 1.0
+        assert predictor.confident(sure)
+        assert not predictor.confident(None)
+        low = PredictConfig(min_examples=1, confidence_threshold=0.7)
+        mixed = SelectionPredictor(low)
+        mixed.learn(key(1), "a")
+        mixed.learn(key(1000), "b")
+        guess = mixed.predict(key(500))
+        # A 1-weight pure leaf among 2 classes reads (1+1)/(1+2) ~ 0.67.
+        assert guess.confidence == pytest.approx(2.0 / 3.0)
+        assert not mixed.confident(guess)
+
+    def test_refits_are_lazy(self):
+        predictor = trained(
+            PredictConfig(min_examples=1), {1: "a", 2: "b"}
+        )
+        predictor.predict(key(1))
+        refits = predictor.stats.refits
+        predictor.predict(key(2))  # no new evidence: no refit
+        assert predictor.stats.refits == refits
+        predictor.learn(key(3), "b")
+        predictor.predict(key(3))
+        assert predictor.stats.refits == refits + 1
+
+
+class TestCorrections:
+    def test_correction_replaces_and_outweighs(self):
+        config = PredictConfig(min_examples=1, correction_weight=4.0)
+        predictor = trained(config, {4: "stale"})
+        assert predictor.correct(key(4), "fresh")
+        assert predictor.stats.corrections == 1
+        guess = predictor.predict(key(4))
+        assert guess.variant == "fresh"
+        # Correction weight drives calibration: (4+1)/(4+1) = 1.0.
+        assert guess.confidence == 1.0
+
+    def test_correction_on_unparseable_key_is_a_noop(self):
+        predictor = SelectionPredictor()
+        assert not predictor.correct("nokey", "fresh")
+        assert predictor.stats.corrections == 0
+
+
+class TestPersistence:
+    def test_payload_round_trip_preserves_predictions_and_stats(self):
+        config = PredictConfig(min_examples=2)
+        predictor = trained(config, {1: "a", 10: "b"})
+        predictor.correct(key(10), "b")
+        payload = predictor.to_payload()
+        clone = SelectionPredictor(config)
+        clone.load_payload(payload)
+        for units in (1, 10):
+            assert clone.predict(key(units)) == predictor.predict(key(units))
+        assert clone.stats.corrections == 1
+        assert len(clone) == 2
+
+    def test_from_payload_restores_the_snapshot_config(self):
+        config = PredictConfig(min_examples=2, confidence_threshold=0.55)
+        payload = trained(config, {1: "a", 10: "b"}).to_payload()
+        clone = SelectionPredictor.from_payload(payload)
+        assert clone.config == config
+
+    def test_load_payload_keeps_own_config(self):
+        snapshot = trained(
+            PredictConfig(min_examples=1), {1: "a"}
+        ).to_payload()
+        mine = PredictConfig(min_examples=5)
+        predictor = SelectionPredictor(mine)
+        predictor.load_payload(snapshot)
+        assert predictor.config == mine
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "nope",
+            {"groups": "nope"},
+            {"groups": [[]]},
+            {"groups": [{"kernel": 1, "device_kind": "cpu"}]},
+            {"groups": [{"kernel": "k", "device_kind": "cpu",
+                         "examples": "nope"}]},
+            {"groups": [{"kernel": "k", "device_kind": "cpu",
+                         "examples": [{"vector": [1.0], "label": "a",
+                                       "weight": -1.0}]}]},
+            {"groups": [{"kernel": "k", "device_kind": "cpu",
+                         "examples": [], "tree": "nope"}]},
+            {"groups": [], "stats": "nope"},
+            {"groups": [], "stats": {"examples": -3}},
+        ],
+    )
+    def test_malformed_payload_rejected(self, payload):
+        predictor = SelectionPredictor()
+        with pytest.raises(PredictError):
+            predictor.load_payload(payload)
+
+    def test_rejected_load_is_all_or_nothing(self):
+        predictor = trained(PredictConfig(min_examples=1), {4: "keep"})
+        with pytest.raises(PredictError):
+            predictor.load_payload(
+                {"groups": [], "stats": {"examples": -1}}
+            )
+        # The failed load must not have wiped the live state.
+        assert predictor.predict(key(4)).variant == "keep"
+
+    def test_from_payload_rejects_malformed_config(self):
+        with pytest.raises(PredictError):
+            SelectionPredictor.from_payload(
+                {"config": {"mystery_knob": 3}, "groups": []}
+            )
+        with pytest.raises(PredictError):
+            SelectionPredictor.from_payload(
+                {"config": {"min_examples": 0}, "groups": []}
+            )
+        with pytest.raises(PredictError):
+            SelectionPredictor.from_payload({"config": "nope"})
+
+
+class TestOracleAccuracy:
+    """Synthetic-history property: a predictor trained on a noise-free
+    threshold oracle must reproduce it exactly on its training classes —
+    the store's accumulated history is precisely such an oracle when the
+    regime boundary falls on a bucket edge."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=5, max_value=20),
+        st.sets(st.integers(min_value=0, max_value=63), min_size=2,
+                max_size=24),
+    )
+    def test_threshold_oracle_is_learned_exactly(self, boundary, buckets):
+        def oracle(units: int) -> str:
+            return "small-winner" if units < boundary else "large-winner"
+
+        predictor = SelectionPredictor(PredictConfig(min_examples=1))
+        for units in sorted(buckets):
+            predictor.learn(key(units), oracle(units))
+        correct = sum(
+            predictor.predict(key(units)).variant == oracle(units)
+            for units in buckets
+        )
+        assert correct == len(buckets)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=5, max_value=20))
+    def test_extremes_generalize(self, boundary):
+        def oracle(units: int) -> str:
+            return "small-winner" if units < boundary else "large-winner"
+
+        predictor = SelectionPredictor(PredictConfig(min_examples=1))
+        for units in (boundary - 2, boundary - 1, boundary, boundary + 1):
+            predictor.learn(key(units), oracle(units))
+        # Unseen classes far from the boundary fall in pure leaves.
+        assert predictor.predict(key(0)).variant == "small-winner"
+        assert predictor.predict(key(63)).variant == "large-winner"

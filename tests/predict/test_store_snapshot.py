@@ -1,0 +1,148 @@
+"""Predictor state riding inside SelectionStore snapshots."""
+
+import json
+
+import pytest
+
+from repro.errors import StoreError, StoreSchemaError
+from repro.predict import PredictConfig
+from repro.serve.store import SCHEMA_VERSION, SelectionStore
+
+KEY_A = "k|cpu|units^2=4"
+KEY_B = "k|cpu|units^2=12"
+
+
+def armed_store(**kwargs) -> SelectionStore:
+    predict = kwargs.pop("predict", PredictConfig(min_examples=2))
+    return SelectionStore(predict=predict, **kwargs)
+
+
+class TestTraining:
+    def test_measured_publish_trains(self):
+        store = armed_store()
+        store.publish(KEY_A, kernel="k", selected="fast",
+                      cycles_per_unit=1.0)
+        store.publish(KEY_B, kernel="k", selected="slow",
+                      cycles_per_unit=9.0)
+        assert len(store.predictor) == 2
+        assert store.predictor.predict(KEY_A).variant == "fast"
+
+    def test_predicted_publish_does_not_train(self):
+        store = armed_store()
+        store.publish(KEY_A, kernel="k", selected="fast",
+                      cycles_per_unit=1.0, predicted=True)
+        assert len(store.predictor) == 0
+        entry = store.lookup(KEY_A)
+        assert entry.predicted
+
+    def test_unarmed_store_has_no_predictor(self):
+        store = SelectionStore()
+        assert store.predictor is None
+        store.publish(KEY_A, kernel="k", selected="fast",
+                      cycles_per_unit=1.0)  # must not raise
+
+
+class TestSnapshotRoundTrip:
+    def publish_history(self, store):
+        store.publish(KEY_A, kernel="k", selected="fast",
+                      cycles_per_unit=1.0)
+        store.publish(KEY_B, kernel="k", selected="slow",
+                      cycles_per_unit=9.0, predicted=False)
+
+    def test_round_trip_restores_models_and_flags(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        store = armed_store()
+        self.publish_history(store)
+        store.publish("k|cpu|units^2=5", kernel="k", selected="fast",
+                      cycles_per_unit=1.1, predicted=True)
+        store.save(path)
+        loaded = SelectionStore.load(path)
+        # Auto-armed from the snapshot (caller passed no PredictConfig).
+        assert loaded.predictor is not None
+        assert loaded.predictor.config == store.predictor.config
+        assert len(loaded.predictor) == 2
+        assert loaded.predictor.predict(KEY_A).variant == "fast"
+        assert loaded.lookup("k|cpu|units^2=5").predicted
+        assert not loaded.lookup(KEY_A).predicted
+
+    def test_caller_config_wins_over_snapshot(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        store = armed_store()
+        self.publish_history(store)
+        store.save(path)
+        mine = PredictConfig(min_examples=7, confidence_threshold=0.95)
+        loaded = SelectionStore.load(path, predict=mine)
+        assert loaded.predictor.config == mine
+        # The snapshot still contributed its history.
+        assert len(loaded.predictor) == 2
+
+    def test_unarmed_snapshot_stays_unarmed(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        store = SelectionStore()
+        store.publish(KEY_A, kernel="k", selected="fast",
+                      cycles_per_unit=1.0)
+        store.save(path)
+        assert SelectionStore.load(path).predictor is None
+
+    def test_caller_can_arm_over_unarmed_snapshot(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        SelectionStore().save(path)
+        loaded = SelectionStore.load(
+            path, predict=PredictConfig(min_examples=1)
+        )
+        assert loaded.predictor is not None
+        assert len(loaded.predictor) == 0
+
+
+class TestSchemaRejection:
+    def test_old_schema_version_rejected(self, tmp_path):
+        """v2 snapshots predate the key-space change (degenerate-input
+        features) and the predictor payload; they must re-profile."""
+        path = str(tmp_path / "store.json")
+        store = armed_store()
+        store.publish(KEY_A, kernel="k", selected="fast",
+                      cycles_per_unit=1.0)
+        store.save(path)
+        doc = json.loads(open(path).read())
+        doc["schema_version"] = 2
+        open(path, "w").write(json.dumps(doc))
+        with pytest.raises(StoreSchemaError):
+            SelectionStore.load(path)
+
+    def test_current_schema_is_v3(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        armed_store().save(path)
+        doc = json.loads(open(path).read())
+        assert doc["schema_version"] == SCHEMA_VERSION == 3
+
+    @pytest.mark.parametrize(
+        "predict_section",
+        [
+            [],
+            {"groups": "nope"},
+            {"groups": [{"kernel": "k", "device_kind": "cpu",
+                         "examples": [{"vector": "x", "label": "a",
+                                       "weight": 1.0}]}]},
+            {"groups": [], "stats": {"examples": -1}},
+        ],
+    )
+    def test_malformed_predict_section_rejected(
+        self, tmp_path, predict_section
+    ):
+        path = str(tmp_path / "store.json")
+        armed_store().save(path)
+        doc = json.loads(open(path).read())
+        doc["predict"] = predict_section
+        open(path, "w").write(json.dumps(doc))
+        with pytest.raises(StoreError):
+            SelectionStore.load(path)
+
+    def test_malformed_predict_section_rejected_when_armed(self, tmp_path):
+        """All-or-nothing also when the caller supplies a config."""
+        path = str(tmp_path / "store.json")
+        armed_store().save(path)
+        doc = json.loads(open(path).read())
+        doc["predict"] = {"groups": [None]}
+        open(path, "w").write(json.dumps(doc))
+        with pytest.raises(StoreError):
+            SelectionStore.load(path, predict=PredictConfig())

@@ -1,0 +1,236 @@
+"""End-to-end predictive serving: train on profiled classes, skip the
+micro-profile for unseen ones, fall back when unsure, learn from drift."""
+
+from repro.config import ReproConfig
+from repro.device import make_cpu
+from repro.drift import DriftConfig
+from repro.obs.events import EventKind
+from repro.obs.export import reconcile
+from repro.predict import PredictConfig
+from repro.serve import (
+    LaunchScheduler,
+    SelectionStore,
+    ServeRequest,
+    WorkloadSignature,
+)
+from repro.workloads import spmv_csr
+from tests.conftest import (
+    axpy_output_ok,
+    fast_slow_pool_build,
+    make_axpy_args,
+)
+
+#: Distinct log2 buckets, all past the small-workload threshold.
+TRAIN_UNITS = (512, 1024, 2048, 4096)
+HELD_OUT_UNITS = 8192
+
+
+def make_scheduler(config, store):
+    scheduler = LaunchScheduler(
+        (make_cpu(config),), config=config, store=store
+    )
+    scheduler.register_pool(fast_slow_pool_build())
+    return scheduler
+
+
+def axpy_request(units, config):
+    return ServeRequest(
+        kernel="axpy",
+        args=make_axpy_args(units, config),
+        workload_units=units,
+    )
+
+
+def events_of(tracer, kind):
+    return [event for event in tracer.events if event.kind is kind]
+
+
+class TestPredictedServing:
+    def serve_trained(self, config, store):
+        """Profile the four training classes, then serve the held-out
+        one; returns (scheduler, training outcomes, held-out outcome)."""
+        scheduler = make_scheduler(config, store)
+        trained = [
+            scheduler.launch(axpy_request(units, config))
+            for units in TRAIN_UNITS
+        ]
+        held_out = scheduler.launch(
+            axpy_request(HELD_OUT_UNITS, config)
+        )
+        return scheduler, trained, held_out
+
+    def test_unseen_class_skips_the_microprofile(self):
+        config = ReproConfig(trace=True)
+        store = SelectionStore(predict=PredictConfig(min_examples=4))
+        scheduler, trained, held_out = self.serve_trained(config, store)
+
+        assert all(outcome.profiled for outcome in trained)
+        assert not held_out.profiled
+        assert not held_out.store_hit
+        assert held_out.lease is not None
+        assert held_out.result.reason.startswith(
+            "predicted selection ('fast'"
+        )
+        assert held_out.result.selected == "fast"
+        assert axpy_output_ok(held_out.request.args)
+
+        assert scheduler.stats.profiled_launches == len(TRAIN_UNITS)
+        assert scheduler.stats.predicted_launches == 1
+        assert scheduler.stats.prediction_fallbacks == len(TRAIN_UNITS)
+
+    def test_predicted_entry_is_flagged_and_serves_warm(self):
+        config = ReproConfig()
+        store = SelectionStore(predict=PredictConfig(min_examples=4))
+        scheduler, trained, held_out = self.serve_trained(config, store)
+
+        entry = store.peek(held_out.workload_class)
+        assert entry is not None and entry.predicted
+        for outcome in trained:
+            assert not store.peek(outcome.workload_class).predicted
+        # Predicted publishes never feed the training set.
+        assert len(store.predictor) == len(TRAIN_UNITS)
+
+        warm = scheduler.launch(axpy_request(HELD_OUT_UNITS, config))
+        assert warm.store_hit and not warm.profiled
+
+    def test_prediction_events_reconcile(self):
+        config = ReproConfig(trace=True)
+        store = SelectionStore(predict=PredictConfig(min_examples=4))
+        scheduler, _, held_out = self.serve_trained(config, store)
+
+        fallbacks = events_of(
+            scheduler.tracer, EventKind.PREDICTION_FALLBACK
+        )
+        predictions = events_of(scheduler.tracer, EventKind.PREDICTION)
+        assert len(fallbacks) == len(TRAIN_UNITS)
+        assert all(
+            event.args["reason"] == "untrained" for event in fallbacks
+        )
+        assert len(predictions) == 1
+        assert predictions[0].args["variant"] == "fast"
+        assert predictions[0].args["confidence"] >= 0.7
+        assert predictions[0].args["workload_class"] == (
+            held_out.workload_class
+        )
+
+        assert reconcile(scheduler.tracer.events) == []
+        for events in scheduler.device_traces().values():
+            assert reconcile(events) == []
+
+
+class TestFallbacks:
+    def test_below_threshold_falls_back_to_the_lease(self):
+        config = ReproConfig(trace=True)
+        store = SelectionStore(
+            predict=PredictConfig(
+                min_examples=2,
+                min_leaf_weight=5.0,  # an impure 2-example leaf
+                confidence_threshold=0.7,
+            )
+        )
+        store.predictor.learn("axpy|cpu|units^2=9", "fast")
+        store.predictor.learn("axpy|cpu|units^2=10", "slow")
+        scheduler = make_scheduler(config, store)
+        outcome = scheduler.launch(axpy_request(512, config))
+
+        assert outcome.profiled
+        assert scheduler.stats.prediction_fallbacks == 1
+        assert scheduler.stats.predicted_launches == 0
+        (event,) = events_of(
+            scheduler.tracer, EventKind.PREDICTION_FALLBACK
+        )
+        assert event.args["reason"] == "below threshold"
+        assert event.args["confidence"] < 0.7
+
+    def test_unarmed_store_serves_exactly_as_before(self):
+        config = ReproConfig(trace=True)
+        scheduler = make_scheduler(config, SelectionStore())
+        outcome = scheduler.launch(axpy_request(512, config))
+        assert outcome.profiled
+        assert scheduler.stats.predicted_launches == 0
+        assert scheduler.stats.prediction_fallbacks == 0
+        assert not events_of(
+            scheduler.tracer, EventKind.PREDICTION_FALLBACK
+        )
+
+
+class TestDriftCorrection:
+    """A drift confirmation on a *predicted* entry feeds the measured
+    winner back as a weighted training correction."""
+
+    SIZE = 2048
+    PER_PHASE = 10
+
+    def pinned_signature(self, kernel):
+        return WorkloadSignature(
+            kernel=kernel,
+            device_kind="cpu",
+            features=(("class", "pinned"),),
+        )
+
+    def traffic(self, config):
+        cases = [
+            spmv_csr.input_dependent_case("cpu", kind, self.SIZE, config)
+            for kind in ("random", "diagonal")
+        ]
+        signature = self.pinned_signature(cases[0].pool.name)
+        batch = [
+            ServeRequest(
+                kernel=case.pool.name,
+                args=case.fresh_args(),
+                workload_units=case.workload_units,
+                signature=signature,
+            )
+            for case in cases
+            for _ in range(self.PER_PHASE)
+        ]
+        return cases, batch, signature
+
+    def random_winner(self, config):
+        """The measured winner for the random matrix (the label the
+        predictor starts out believing)."""
+        cases, batch, _ = self.traffic(config)
+        scout = LaunchScheduler(
+            (make_cpu(config),), config=config, store=SelectionStore()
+        )
+        scout.register_pool(cases[0].pool)
+        return scout.launch(batch[0]).result.selected
+
+    def test_reselection_corrects_the_predictor(self):
+        config = ReproConfig()
+        stale_winner = self.random_winner(config)
+        store = SelectionStore(
+            drift=DriftConfig(warmup=4, confirm=2, cooldown=4),
+            predict=PredictConfig(
+                min_examples=1, confidence_threshold=0.6
+            ),
+        )
+        cases, batch, signature = self.traffic(config)
+        key = signature.key
+        store.predictor.learn(key, stale_winner)
+
+        scheduler = LaunchScheduler(
+            (make_cpu(config),), config=config, store=store
+        )
+        scheduler.register_pool(cases[0].pool)
+        outcomes = [scheduler.launch(request) for request in batch]
+
+        # The cold first request was served by the predictor, not a
+        # micro-profile.
+        first = outcomes[0]
+        assert not first.profiled
+        assert first.result.reason.startswith("predicted selection")
+        assert first.result.selected == stale_winner
+
+        # The diagonal phase drifted, one re-profile closed the episode
+        # with a different winner, and the mistake was fed back.
+        controller = store.drift
+        assert controller.reselections == 1
+        (episode,) = [e for e in controller.episodes if e.completed]
+        assert episode.stale_variant == stale_winner
+        assert episode.new_variant != stale_winner
+        assert store.predictor.stats.corrections == 1
+        corrected = store.predictor.predict(key)
+        assert corrected.variant == episode.new_variant
+        # The re-measured entry replaced the predicted one.
+        assert not store.peek(key).predicted

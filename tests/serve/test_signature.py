@@ -1,6 +1,8 @@
 """Workload-signature derivation: input-aware keys with stable buckets."""
 
 import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.config import ReproConfig
 from repro.kernel.buffers import Buffer
@@ -10,6 +12,17 @@ from repro.serve.signature import (
     log2_bucket,
 )
 from repro.workloads.matrices import diagonal_csr, random_csr
+
+
+class FakeCSR:
+    """Duck-typed CSR surface with arbitrary (possibly inconsistent)
+    shape statistics, for exercising degenerate inputs."""
+
+    def __init__(self, rows, cols, nnz, row_nnz):
+        self.rows = rows
+        self.cols = cols
+        self.nnz = nnz
+        self.row_nnz = np.asarray(row_nnz, dtype=float)
 
 
 def _buffer_args(elements):
@@ -88,6 +101,79 @@ class TestSparseFeatures:
         assert "matrix.cv" in names
         assert "matrix.density^10" in names
         assert "matrix.rownnz^2" in names
+
+
+class TestDegenerateSparseInputs:
+    """nnz == 0 / empty row_nnz / density >= 1 must neither raise nor
+    alias with well-formed classes (the satellite bugfix)."""
+
+    def test_zero_nnz_emits_explicit_empty_feature(self):
+        sig = derive_signature(
+            "spmv", "cpu", {"m": FakeCSR(64, 64, 0, np.zeros(64))}, 256
+        )
+        names = dict(sig.features)
+        assert names["m.empty"] == "1"
+        assert "m.density^10" not in names
+
+    def test_zero_rows_emits_explicit_empty_feature(self):
+        sig = derive_signature(
+            "spmv", "cpu", {"m": FakeCSR(0, 0, 0, [])}, 256
+        )
+        assert dict(sig.features)["m.empty"] == "1"
+
+    def test_empty_does_not_alias_with_one_entry(self):
+        empty = derive_signature(
+            "spmv", "cpu", {"m": FakeCSR(64, 64, 0, np.zeros(64))}, 256
+        )
+        one = derive_signature(
+            "spmv", "cpu",
+            {"m": FakeCSR(64, 64, 1, [1.0] + [0.0] * 63)}, 256,
+        )
+        assert empty.key != one.key
+
+    def test_full_density_buckets_at_zero(self):
+        sig = derive_signature(
+            "spmv", "cpu", {"m": FakeCSR(8, 8, 64, [8.0] * 8)}, 256
+        )
+        assert dict(sig.features)["m.density^10"] == "0"
+
+    def test_duplicate_entries_clamp_density_bucket(self):
+        # nnz > rows*cols (duplicate COO entries): the decade would be
+        # negative without the clamp.
+        sig = derive_signature(
+            "spmv", "cpu", {"m": FakeCSR(8, 8, 640, [80.0] * 8)}, 256
+        )
+        assert dict(sig.features)["m.density^10"] == "0"
+
+    def test_constant_rows_have_cv_bucket_zero(self):
+        sig = derive_signature(
+            "spmv", "cpu", {"m": FakeCSR(16, 16, 64, [4.0] * 16)}, 256
+        )
+        assert dict(sig.features)["m.cv"] == "0"
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        rows=st.integers(min_value=0, max_value=1 << 12),
+        cols=st.integers(min_value=0, max_value=1 << 12),
+        nnz=st.integers(min_value=0, max_value=1 << 24),
+        row_nnz=st.lists(
+            st.integers(min_value=0, max_value=1 << 16), max_size=64
+        ),
+        units=st.integers(min_value=0, max_value=1 << 20),
+    )
+    def test_never_raises_and_keys_are_stable(
+        self, rows, cols, nnz, row_nnz, units
+    ):
+        args = {"m": FakeCSR(rows, cols, nnz, row_nnz)}
+        first = derive_signature("spmv", "cpu", args, units)
+        again = derive_signature("spmv", "cpu", args, units)
+        assert first == again and first.key == again.key
+        # Every emitted bucket is a non-negative integer, so the key is
+        # parseable by the predictor's feature decoder.
+        for name, value in first.features:
+            assert value.isdigit(), (name, value)
+        if nnz <= 0 or not row_nnz:
+            assert dict(first.features).get("m.empty") == "1"
 
 
 class TestExplicitSignature:

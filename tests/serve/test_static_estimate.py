@@ -81,6 +81,45 @@ class TestStaticUnitCost:
         scheduler._on_invalidate("axpy", "test eviction")
         assert ("axpy", "cpu") not in scheduler._static_estimates
 
+    def test_cached_none_does_not_outlive_first_registration(self):
+        """Regression: a ``None`` prior cached before the kernel's
+        *first* registration (which fires no invalidation hook) used to
+        stay stale forever, hiding the static prior from dispatch."""
+        config = dominance_config()
+        scheduler = LaunchScheduler(
+            (make_cpu(config), make_cpu(config)), config=config
+        )
+        assert scheduler._static_unit_cost("axpy", "cpu") is None
+        assert scheduler._static_estimates[("axpy", "cpu")] is None
+        scheduler.register_pool(fast_slow_pool_build())
+        prior = scheduler._static_unit_cost("axpy", "cpu")
+        assert prior is not None and prior > 0
+
+    def test_reregistration_with_cheaper_default_updates_midpoint(self):
+        """Regression: re-registering a pool whose default got cheaper
+        must re-derive the cached midpoint, not keep serving the old
+        one."""
+        from repro.compiler.variants import VariantPool
+        from repro.kernel import AccessPattern, KernelSpec
+        from tests.conftest import axpy_signature, make_axpy_variant
+
+        scheduler = make_scheduler(dominance_config())
+        before = scheduler._static_unit_cost("axpy", "cpu")
+        assert before is not None
+        cheap = VariantPool(
+            spec=KernelSpec(signature=axpy_signature()),
+            variants=(
+                make_axpy_variant(
+                    "fast", AccessPattern.UNIT_STRIDE, flops_per_trip=1.0
+                ),
+                make_axpy_variant("slow", AccessPattern.STRIDED),
+            ),
+        )
+        scheduler.register_pool(cheap)
+        after = scheduler._static_unit_cost("axpy", "cpu")
+        assert after is not None
+        assert after < before
+
 
 class TestServedBatch:
     def test_batch_with_store_and_priors_serves_correctly(self):

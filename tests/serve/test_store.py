@@ -100,6 +100,89 @@ class TestTTL:
             SelectionStore(ewma_alpha=0.0)
 
 
+class TestDecayPublishOrdering:
+    """A publish landing after the decay deadline must start a fresh
+    entry — resurrecting the expired EWMA/history would trust exactly
+    the statistics the expiry said to distrust (satellite bugfix)."""
+
+    def make_decayed(self, clock):
+        store = SelectionStore(clock=clock)
+        store.publish("key", kernel="k", selected="fast",
+                      cycles_per_unit=10.0)
+        store.publish("key", kernel="k", selected="fast",
+                      cycles_per_unit=10.0)
+        assert store.decay("key", grace=5.0)
+        return store
+
+    def test_publish_before_deadline_folds_and_clears_decay(self):
+        clock = FakeClock()
+        store = self.make_decayed(clock)
+        clock.advance(4.0)
+        store.publish("key", kernel="k", selected="fast",
+                      cycles_per_unit=20.0)
+        entry = store.lookup("key")
+        assert entry.samples == 3
+        assert entry.decay_at is None
+
+    def test_publish_past_deadline_starts_fresh(self):
+        clock = FakeClock()
+        store = self.make_decayed(clock)
+        clock.advance(6.0)  # past the decay deadline
+        store.publish("key", kernel="k", selected="fast",
+                      cycles_per_unit=20.0)
+        entry = store.lookup("key")
+        assert entry.samples == 1
+        assert entry.cycles_per_unit == 20.0
+        assert entry.decay_at is None
+
+    def test_publish_past_ttl_starts_fresh(self):
+        store, clock = make_store(ttl=60.0)
+        store.publish("key", kernel="k", selected="fast",
+                      cycles_per_unit=10.0)
+        clock.advance(61.0)
+        store.publish("key", kernel="k", selected="fast",
+                      cycles_per_unit=20.0)
+        entry = store.lookup("key")
+        assert entry.samples == 1
+        assert entry.cycles_per_unit == 20.0
+
+    def test_concurrent_expired_lookup_and_publish(self):
+        """Two threads race an expired entry: whatever the interleaving,
+        the surviving entry is the freshly published one, never a
+        resurrection of the expired history."""
+        import threading
+
+        for _ in range(20):
+            clock = FakeClock()
+            store = self.make_decayed(clock)
+            clock.advance(6.0)
+            barrier = threading.Barrier(2)
+            seen = []
+
+            def expire_lookup():
+                barrier.wait()
+                seen.append(store.lookup("key"))
+
+            def publish_fresh():
+                barrier.wait()
+                store.publish("key", kernel="k", selected="fast",
+                              cycles_per_unit=20.0)
+
+            threads = [
+                threading.Thread(target=expire_lookup),
+                threading.Thread(target=publish_fresh),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            entry = store.lookup("key")
+            assert entry is not None
+            assert entry.samples == 1
+            assert entry.cycles_per_unit == 20.0
+            assert entry.decay_at is None
+
+
 class TestPersistence:
     def test_round_trip(self, tmp_path):
         path = str(tmp_path / "store.json")
