@@ -1,0 +1,447 @@
+"""Fleet benchmark: heterogeneous scaling, work splitting, store contention.
+
+Measures the three headline fleet claims on the simulated substrate and
+writes them to ``BENCH_fleet.json``:
+
+1. **Throughput scaling** — the same mixed spmv traffic served by mixed
+   CPU+GPU fleets of 1 (one CPU), 2, 4, 8 and 16 devices.  Time is
+   simulated cycles (the fleet makespan), so the curve reflects
+   cost-model placement spreading load across kinds, not host threading.
+   Acceptance: makespan is monotone non-increasing and the 16-device
+   mixed fleet beats the single CPU by >= 3x.
+2. **Work splitting** — one large launch split across the fleet
+   (:meth:`LaunchScheduler.launch_split`) vs the same launch whole on
+   one device; the stitched makespan (slowest part) should win.
+3. **Store contention** — 64 client threads hammering lookups/publishes
+   while the store checkpoints every round: the sharded store's
+   dirty-only per-shard saves must spend less wall-clock than the
+   single-file store's whole-map rewrites.
+
+A traced mixed-fleet run (including a split launch) is written as a
+Chrome trace to ``TRACE_fleet.json`` and every device timeline must
+reconcile cleanly.
+
+Run ``python benchmarks/bench_fleet.py --quick`` for CI-sized inputs.
+Exits non-zero when an acceptance threshold is missed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Dict, List
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.config import ReproConfig  # noqa: E402
+from repro.device import make_cpu, make_gpu  # noqa: E402
+from repro.obs.export import reconcile, write_chrome_trace  # noqa: E402
+from repro.serve import (  # noqa: E402
+    LaunchScheduler,
+    SelectionStore,
+    ServeRequest,
+    ShardedSelectionStore,
+)
+from repro.workloads import spmv_csr  # noqa: E402
+
+#: Acceptance thresholds (mirrored in EXPERIMENTS.md).
+MIN_FLEET_SPEEDUP = 3.0
+
+FLEET_SIZES = (1, 2, 4, 8, 16)
+CONTENTION_CLIENTS = 64
+CONTENTION_SHARDS = 32
+
+
+def make_fleet(size: int, config: ReproConfig):
+    """A mixed fleet: half CPUs, half GPUs (size 1 = one CPU)."""
+    cpus = max(1, size // 2)
+    gpus = size - cpus
+    return tuple(make_cpu(config) for _ in range(cpus)) + tuple(
+        make_gpu(config) for _ in range(gpus)
+    )
+
+
+def register_kind_pools(scheduler, size: int, config: ReproConfig):
+    """Register the kind-specific spmv pools under one kernel name."""
+    kinds = {"cpu"}
+    if any(name.startswith("gpu") for name in scheduler.devices):
+        kinds.add("gpu")
+    for kind in kinds:
+        for matrix_kind in ("random", "diagonal"):
+            case = spmv_csr.input_dependent_case(
+                kind, matrix_kind, size, config
+            )
+            scheduler.register_pool(case.pool, device_kind=kind)
+            break  # both matrix kinds share one pool per device kind
+
+
+def build_traffic(size: int, requests: int, config: ReproConfig):
+    """Mixed-class spmv traffic (random + diagonal matrices)."""
+    cases = [
+        spmv_csr.input_dependent_case("cpu", kind, size, config)
+        for kind in ("random", "diagonal")
+    ]
+    batch: List[ServeRequest] = []
+    checks = []
+    for i in range(requests):
+        case = cases[i % len(cases)]
+        args = case.fresh_args()
+        batch.append(
+            ServeRequest(
+                kernel=case.pool.name,
+                args=args,
+                workload_units=case.workload_units,
+            )
+        )
+        checks.append((case, args))
+    return batch, checks
+
+
+def serve_fleet(devices, batch, checks, config, size, clients=8, **kwargs):
+    """Serve one batch on one fleet (validating every output)."""
+    scheduler = LaunchScheduler(devices, **kwargs)
+    register_kind_pools(scheduler, size, config)
+    scheduler.serve_all(batch, clients=clients)
+    for case, args in checks:
+        if not case.validate(args):
+            raise SystemExit(f"served output failed validation: {case.name}")
+    return scheduler
+
+
+def warm_store(size: int, config: ReproConfig) -> SelectionStore:
+    """A store with every (device kind, matrix kind) class profiled.
+
+    Store keys carry the device *kind*, not the fleet size, so one warm
+    store serves every point on the scaling curve.  Paying the cold
+    micro-profiles once up front makes the curve steady-state: it
+    reflects placement and load spreading, not which fleet happened to
+    profile its classes on the slowest device.
+    """
+    store = SelectionStore()
+    scheduler = LaunchScheduler(make_fleet(2, config), store=store)
+    register_kind_pools(scheduler, size, config)
+    for kind in ("cpu", "gpu"):
+        for matrix_kind in ("random", "diagonal"):
+            case = spmv_csr.input_dependent_case(
+                "cpu", matrix_kind, size, config
+            )
+            scheduler.launch(
+                ServeRequest(
+                    kernel=case.pool.name,
+                    args=case.fresh_args(),
+                    workload_units=case.workload_units,
+                    device_kind=kind,
+                )
+            )
+    return store
+
+
+def run_scaling(size: int, requests: int, config: ReproConfig):
+    """Steady-state makespan of the same traffic over growing fleets."""
+    store = warm_store(size, config)
+    curve = []
+    for fleet_size in FLEET_SIZES:
+        batch, checks = build_traffic(size, requests, config)
+        scheduler = serve_fleet(
+            make_fleet(fleet_size, config),
+            batch,
+            checks,
+            config,
+            size,
+            clients=min(16, 2 * fleet_size),
+            store=store,
+        )
+        curve.append(
+            {
+                "devices": fleet_size,
+                "makespan_cycles": scheduler.makespan_cycles(),
+                "placements": scheduler.stats.placements,
+                "per_device_requests": scheduler.stats.per_device,
+            }
+        )
+    return curve
+
+
+def run_split(size: int, config: ReproConfig):
+    """One large launch: whole on one CPU vs split across 8 devices."""
+    case = spmv_csr.input_dependent_case("cpu", "random", size, config)
+
+    whole_batch, whole_checks = build_traffic(size, 1, config)
+    whole = serve_fleet(
+        make_fleet(1, config),
+        whole_batch,
+        whole_checks,
+        config,
+        size,
+        clients=1,
+    )
+    whole_cycles = whole.makespan_cycles()
+
+    scheduler = LaunchScheduler(make_fleet(8, config))
+    register_kind_pools(scheduler, size, config)
+    args = case.fresh_args()
+    outcome = scheduler.launch_split(
+        ServeRequest(
+            kernel=case.pool.name,
+            args=args,
+            workload_units=case.workload_units,
+        ),
+        parts=8,
+    )
+    if not case.validate(args):
+        raise SystemExit("split output failed validation")
+    return {
+        "workload_units": case.workload_units,
+        "whole_single_cpu_cycles": whole_cycles,
+        "split_parts": len(outcome.parts),
+        "split_ranges": list(outcome.ranges),
+        "split_devices": list(outcome.devices),
+        "split_stitched_cycles": outcome.elapsed_cycles,
+        "split_speedup": (
+            whole_cycles / outcome.elapsed_cycles
+            if outcome.elapsed_cycles > 0
+            else 0.0
+        ),
+    }
+
+
+def hammer_store(store, rounds: int, checkpoint_dir: str, single_file: bool):
+    """64 clients look up / publish while the store checkpoints each round.
+
+    Returns total checkpoint (save) wall-clock seconds.  Each round the
+    64 clients mostly *look up* warm classes and only republish a small
+    hot set — the realistic warm-fleet shape, where the sharded store's
+    dirty-only saves rewrite a handful of shard files while the
+    single-file store rewrites the whole map every checkpoint.  The
+    clients run concurrently with each timed save, so the numbers
+    include live lock contention, not just serialization cost.
+    """
+    from concurrent.futures import ThreadPoolExecutor, wait
+
+    keys = [
+        f"spmv_csr|{'cpu' if i % 2 else 'gpu'}|units^2={i % 24}|client={i}"
+        for i in range(CONTENTION_CLIENTS * 8)
+    ]
+    hot_keys = keys[:: len(keys) // 8][:8]
+    for i, key in enumerate(keys):
+        store.publish(
+            key, kernel="spmv_csr", selected="vector",
+            cycles_per_unit=1.0 + (i % 7),
+        )
+    target = (
+        os.path.join(checkpoint_dir, "store.json")
+        if single_file
+        else os.path.join(checkpoint_dir, "store")
+    )
+    store.save(target)
+
+    def client_round(index: int) -> None:
+        for key in keys[index::CONTENTION_CLIENTS]:
+            store.lookup(key)
+        store.publish(
+            hot_keys[index % len(hot_keys)],
+            kernel="spmv_csr",
+            selected="vector",
+            cycles_per_unit=2.0,
+        )
+
+    save_seconds = 0.0
+    with ThreadPoolExecutor(max_workers=CONTENTION_CLIENTS) as executor:
+        for _ in range(rounds):
+            futures = [
+                executor.submit(client_round, i)
+                for i in range(CONTENTION_CLIENTS)
+            ]
+            begin = time.perf_counter()
+            store.save(target)
+            save_seconds += time.perf_counter() - begin
+            wait(futures)
+    return save_seconds
+
+
+def run_contention(rounds: int):
+    """Checkpoint wall-clock: single-file store vs sharded store."""
+    with tempfile.TemporaryDirectory() as tmp:
+        single_seconds = hammer_store(
+            SelectionStore(), rounds, tmp, single_file=True
+        )
+    with tempfile.TemporaryDirectory() as tmp:
+        sharded = ShardedSelectionStore(shards=CONTENTION_SHARDS)
+        sharded_seconds = hammer_store(
+            sharded, rounds, tmp, single_file=False
+        )
+    return {
+        "clients": CONTENTION_CLIENTS,
+        "shards": CONTENTION_SHARDS,
+        "checkpoint_rounds": rounds,
+        "single_file_save_seconds": single_seconds,
+        "sharded_save_seconds": sharded_seconds,
+        "sharded_speedup": (
+            single_seconds / sharded_seconds if sharded_seconds > 0 else 0.0
+        ),
+    }
+
+
+def run_traced(size: int, config_seed: ReproConfig, trace_path: str):
+    """A traced mixed-fleet run (with one split) for TRACE_fleet.json."""
+    config = ReproConfig(seed=config_seed.seed, trace=True)
+    batch, checks = build_traffic(size, 8, config)
+    scheduler = serve_fleet(
+        make_fleet(4, config), batch, checks, config, size, clients=4,
+    )
+    case = spmv_csr.input_dependent_case("cpu", "random", size, config)
+    args = case.fresh_args()
+    scheduler.launch_split(
+        ServeRequest(
+            kernel=case.pool.name,
+            args=args,
+            workload_units=case.workload_units,
+        ),
+        parts=4,
+    )
+    write_chrome_trace(scheduler.tracer.events, trace_path)
+    device_problems = [
+        problem
+        for events in scheduler.device_traces().values()
+        for problem in reconcile(events)
+    ]
+    placements = sum(
+        1 for e in scheduler.tracer.events if e.kind.value == "placement"
+    )
+    splits = sum(
+        1 for e in scheduler.tracer.events if e.kind.value == "split_launch"
+    )
+    return {
+        "trace_events": len(scheduler.tracer.events),
+        "placement_events": placements,
+        "split_launch_events": splits,
+        "device_trace_problems": device_problems,
+    }
+
+
+def run_benchmark(quick: bool, trace_path: str) -> Dict[str, object]:
+    """Run every scenario and return the BENCH_fleet.json document."""
+    config = ReproConfig()
+    size = 2048 if quick else 8192
+    requests = 32 if quick else 64
+    rounds = 8 if quick else 24
+
+    curve = run_scaling(size, requests, config)
+    makespans = [point["makespan_cycles"] for point in curve]
+    monotone = all(
+        later <= earlier * 1.001  # tolerate float jitter only
+        for earlier, later in zip(makespans, makespans[1:])
+    )
+    speedup = makespans[0] / makespans[-1] if makespans[-1] > 0 else 0.0
+
+    split = run_split(size, config)
+    contention = run_contention(rounds)
+    trace = run_traced(size, config, trace_path)
+
+    return {
+        "benchmark": "fleet",
+        "quick": quick,
+        "workload": {
+            "kernel": "spmv-csr (kind-specific pools, one signature)",
+            "matrix_size": size,
+            "matrix_kinds": ["random", "diagonal"],
+            "requests": requests,
+            "fleet_sizes": list(FLEET_SIZES),
+            "fleet_mix": "half CPUs, half GPUs (size 1 = one CPU)",
+        },
+        "scaling": {
+            "curve": curve,
+            "monotone_makespan": monotone,
+            "speedup_16_vs_1cpu": speedup,
+        },
+        "split": split,
+        "contention": contention,
+        "trace": trace,
+        "acceptance": {
+            "scaling_monotone_ok": monotone,
+            "fleet_speedup_min": MIN_FLEET_SPEEDUP,
+            "fleet_speedup_ok": speedup >= MIN_FLEET_SPEEDUP,
+            "split_beats_whole_ok": split["split_speedup"] > 1.0,
+            "sharded_save_faster_ok": contention["sharded_speedup"] > 1.0,
+            "trace_reconciles_ok": not trace["device_trace_problems"],
+        },
+    }
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized inputs (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_fleet.json",
+        help="where to write the results document",
+    )
+    parser.add_argument(
+        "--trace",
+        default="TRACE_fleet.json",
+        help="where to write the traced mixed-fleet Chrome trace",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_benchmark(quick=args.quick, trace_path=args.trace)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    scaling = doc["scaling"]
+    contention = doc["contention"]
+    split = doc["split"]
+    print(f"fleet benchmark ({'quick' if args.quick else 'full'} inputs)")
+    for point in scaling["curve"]:
+        print(
+            f"  scaling    : {point['devices']:>2} device(s) -> "
+            f"{point['makespan_cycles']:.0f} cycles makespan"
+        )
+    print(
+        f"  speedup    : {scaling['speedup_16_vs_1cpu']:.2f}x at 16 mixed "
+        f"devices vs 1 CPU (monotone: {scaling['monotone_makespan']})"
+    )
+    print(
+        f"  split      : {split['whole_single_cpu_cycles']:.0f} whole -> "
+        f"{split['split_stitched_cycles']:.0f} stitched cycles "
+        f"({split['split_parts']} parts, "
+        f"{split['split_speedup']:.2f}x)"
+    )
+    print(
+        f"  contention : {contention['clients']} clients, "
+        f"{contention['checkpoint_rounds']} checkpoints — "
+        f"{contention['single_file_save_seconds'] * 1e3:.1f} ms single "
+        f"file vs {contention['sharded_save_seconds'] * 1e3:.1f} ms "
+        f"sharded ({contention['sharded_speedup']:.1f}x)"
+    )
+    print(f"  written    : {args.output} + {args.trace}")
+
+    acceptance = doc["acceptance"]
+    ok = all(
+        acceptance[key]
+        for key in (
+            "scaling_monotone_ok",
+            "fleet_speedup_ok",
+            "split_beats_whole_ok",
+            "sharded_save_faster_ok",
+            "trace_reconciles_ok",
+        )
+    )
+    if not ok:
+        print("  ACCEPTANCE FAILED", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,9 @@ Validates the docs tree (and README.md) without a network connection:
 3. **Code references are live** — every backticked dotted name starting
    with ``repro.`` must import (module) or resolve (attribute chain), so
    the docs cannot drift from the API they describe.
+4. **API coverage is strict** — every public name in the ``__all__`` of
+   the documented layer modules (``API_MODULES``) must appear in
+   ``docs/api.md``, so new public surface cannot ship undocumented.
 
 Exits non-zero listing every problem; CI runs this next to the test
 suite.
@@ -31,10 +34,23 @@ PAGES = (
     "docs/analysis.md",
     "docs/api.md",
     "docs/architecture.md",
+    "docs/benchmarks.md",
     "docs/drift.md",
     "docs/faults.md",
+    "docs/fleet.md",
     "docs/prediction.md",
     "docs/serving.md",
+)
+
+#: Modules whose entire ``__all__`` must appear in ``docs/api.md``.
+API_MODULES = (
+    "repro",
+    "repro.core",
+    "repro.analyze",
+    "repro.obs",
+    "repro.serve",
+    "repro.drift",
+    "repro.predict",
 )
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -112,6 +128,34 @@ def _resolves(dotted: str) -> bool:
     return False
 
 
+def check_api_coverage() -> List[str]:
+    """Public ``__all__`` names missing from ``docs/api.md``."""
+    problems: List[str] = []
+    path = os.path.join(REPO_ROOT, "docs", "api.md")
+    if not os.path.exists(path):
+        return ["docs/api.md: page missing (api coverage not checked)"]
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    for module_name in API_MODULES:
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            problems.append(
+                f"docs/api.md: cannot import {module_name} ({exc})"
+            )
+            continue
+        for name in getattr(module, "__all__", ()):
+            if name.startswith("_"):
+                continue  # dunders (e.g. __version__) need no docs row
+            pattern = rf"(?<![A-Za-z0-9_]){re.escape(name)}(?![A-Za-z0-9_])"
+            if not re.search(pattern, text):
+                problems.append(
+                    f"docs/api.md: public symbol undocumented -> "
+                    f"{module_name}.{name}"
+                )
+    return problems
+
+
 def run() -> Tuple[int, List[str]]:
     """Check every page; returns (pages checked, problems)."""
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
@@ -127,6 +171,7 @@ def run() -> Tuple[int, List[str]]:
         problems += check_links(page, text)
         problems += check_code_refs(page, text)
         checked += 1
+    problems += check_api_coverage()
     return checked, problems
 
 

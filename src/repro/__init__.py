@@ -58,6 +58,8 @@ from .serve import (
     LaunchScheduler,
     SelectionStore,
     ServeRequest,
+    ShardedSelectionStore,
+    SplitOutcome,
     WorkloadSignature,
 )
 
@@ -91,6 +93,8 @@ __all__ = [
     "SelectionStore",
     "ServeRequest",
     "Severity",
+    "ShardedSelectionStore",
+    "SplitOutcome",
     "VariantFault",
     "VariantQuarantine",
     "WorkloadSignature",

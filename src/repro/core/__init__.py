@@ -17,6 +17,7 @@ solvers profile once (:mod:`~repro.core.selection`,
 
 from ..modes import OrchestrationFlow, ProfilingMode
 from .api import DySelContext
+from .policy import PlacementCandidate, PlacementDecision, decide_placement
 from .registry import DySelKernelRegistry
 from .runtime import DySelRuntime, LaunchResult
 from .selection import SelectionCache, SelectionRecord, VariantMeasurement
@@ -27,8 +28,11 @@ __all__ = [
     "DySelRuntime",
     "LaunchResult",
     "OrchestrationFlow",
+    "PlacementCandidate",
+    "PlacementDecision",
     "ProfilingMode",
     "SelectionCache",
     "SelectionRecord",
     "VariantMeasurement",
+    "decide_placement",
 ]

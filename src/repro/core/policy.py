@@ -17,11 +17,12 @@ with an explicit reason.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
 
 from ..compiler.variants import VariantPool
 from ..config import ReproConfig
+from ..errors import LaunchError
 from ..obs.events import EventKind
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..predict import Prediction
@@ -234,3 +235,170 @@ def decide(
         )
 
     return LaunchDecision(profile=True, reason=f"profiling activated{notes}")
+
+
+# ----------------------------------------------------------------------
+# Placement: the device-kind dimension of the selection tuple
+# ----------------------------------------------------------------------
+
+#: Placement policies accepted by :func:`decide_placement`.
+PLACEMENT_POLICIES = ("cost-model", "dynamic-load")
+
+
+@dataclass(frozen=True)
+class PlacementCandidate:
+    """One device kind's bid for a launch, as seen by the scheduler.
+
+    ``load_cycles`` is the least-loaded same-kind worker's projected
+    clock (cycles of already-committed work).  ``measured_cycles`` is the
+    store's EWMA estimate for this (kernel, kind, class) scaled to the
+    request — ``None`` until the class has been profiled on this kind.
+    ``static_cycles`` is the static cost-bound interval midpoint from
+    :mod:`repro.analyze.costbound` scaled the same way — ``None`` when
+    the analysis could not bound the pool on this kind.  ``quarantined``
+    marks a kind whose *entire* pool is currently barred by
+    :class:`~repro.faults.quarantine.VariantQuarantine`; such kinds are
+    excluded from placement the way quarantined variants are excluded
+    from selection.
+    """
+
+    device_kind: str
+    load_cycles: float = 0.0
+    measured_cycles: Optional[float] = None
+    static_cycles: Optional[float] = None
+    quarantined: bool = False
+
+    @property
+    def cost_basis(self) -> str:
+        """Which estimate a cost-model placement would use for this kind."""
+        if self.measured_cycles is not None:
+            return "measured"
+        if self.static_cycles is not None:
+            return "static"
+        return "load"
+
+    @property
+    def projected_cycles(self) -> float:
+        """Projected finish time under the cost-model policy."""
+        cost = self.measured_cycles
+        if cost is None:
+            cost = self.static_cycles
+        if cost is None:
+            cost = 0.0
+        return self.load_cycles + cost
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Where one launch should run, and why.
+
+    The ``reason`` vocabulary mirrors the variant-selection reasons of
+    :func:`decide` so traces read uniformly: ``"pinned device kind"``
+    (caller forced the kind), ``"single eligible device kind"`` (nothing
+    to choose), ``"dynamic load placement"`` (least projected load wins),
+    ``"store-measured placement"`` / ``"static cost-bound placement"``
+    (cost-model policy; the winner's estimate came from warm EWMA state
+    or from the cold-start static interval midpoint).  Quarantine and
+    stale-pin notes are appended the same way :func:`decide` appends
+    dominance notes.
+    """
+
+    device_kind: str
+    reason: str
+    projected: Mapping[str, float] = field(default_factory=dict)
+
+
+def decide_placement(
+    kernel: str,
+    candidates: Sequence[PlacementCandidate],
+    policy: str = "cost-model",
+    pinned_kind: Optional[str] = None,
+) -> PlacementDecision:
+    """Resolve the device-kind dimension for one launch.
+
+    Pure function over the per-kind :class:`PlacementCandidate` bids the
+    scheduler assembled, so the precedence rules are testable the same
+    way :func:`decide` is.  Precedence, strongest first:
+
+    1. Kinds whose whole pool is quarantined are ineligible (noted).
+    2. ``pinned_kind`` wins when it is eligible; a pinned kind that is
+       unknown or quarantined is ignored with an explicit note and the
+       normal policy runs — mirroring how a stale pinned *variant* falls
+       through in :func:`decide`.
+    3. A single eligible kind is chosen outright.
+    4. ``policy="dynamic-load"`` picks the least projected load
+       (the oneDPL ``dynamic_load_policy`` rule).
+    5. ``policy="cost-model"`` picks the least *projected finish time*:
+       load plus the store-measured EWMA estimate when the class is warm
+       on that kind, else the static cost-bound midpoint, else load
+       alone.  The reason names the winner's basis, so a trace shows
+       cold-start placements flip from ``"static cost-bound placement"``
+       to ``"store-measured placement"`` as the store warms.
+
+    Raises :class:`~repro.errors.LaunchError` when no kind is eligible
+    or ``policy`` is unknown.
+    """
+    if policy not in PLACEMENT_POLICIES:
+        raise LaunchError(
+            f"unknown placement policy {policy!r} "
+            f"(expected one of {list(PLACEMENT_POLICIES)})"
+        )
+    if not candidates:
+        raise LaunchError(
+            f"kernel {kernel!r}: no device-kind candidates for placement"
+        )
+    eligible = [c for c in candidates if not c.quarantined]
+    barred = [c.device_kind for c in candidates if c.quarantined]
+    notes = ""
+    if barred:
+        notes = (
+            f"; {', '.join(repr(k) for k in sorted(barred))} quarantined "
+            "(excluded from placement)"
+        )
+    if not eligible:
+        raise LaunchError(
+            f"kernel {kernel!r}: every device kind is quarantined "
+            f"({', '.join(repr(k) for k in sorted(barred))}); "
+            "placement impossible"
+        )
+    projected = {c.device_kind: c.projected_cycles for c in eligible}
+    if pinned_kind is not None:
+        chosen = next(
+            (c for c in eligible if c.device_kind == pinned_kind), None
+        )
+        if chosen is not None:
+            return PlacementDecision(
+                device_kind=chosen.device_kind,
+                reason=f"pinned device kind{notes}",
+                projected=projected,
+            )
+        known = {c.device_kind for c in candidates}
+        why = "quarantined" if pinned_kind in known else "unknown"
+        notes = (
+            f"; pinned device kind {pinned_kind!r} is {why} (ignored)"
+            + notes
+        )
+    if len(eligible) == 1:
+        return PlacementDecision(
+            device_kind=eligible[0].device_kind,
+            reason=f"single eligible device kind{notes}",
+            projected=projected,
+        )
+    if policy == "dynamic-load":
+        winner = min(eligible, key=lambda c: (c.load_cycles, c.device_kind))
+        return PlacementDecision(
+            device_kind=winner.device_kind,
+            reason=f"dynamic load placement{notes}",
+            projected=projected,
+        )
+    winner = min(eligible, key=lambda c: (c.projected_cycles, c.device_kind))
+    basis_reason = {
+        "measured": "store-measured placement",
+        "static": "static cost-bound placement",
+        "load": "dynamic load placement",
+    }[winner.cost_basis]
+    return PlacementDecision(
+        device_kind=winner.device_kind,
+        reason=f"{basis_reason}{notes}",
+        projected=projected,
+    )

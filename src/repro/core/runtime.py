@@ -323,6 +323,7 @@ class DySelRuntime:
         stream_name: Optional[str] = None,
         drift_rearm: bool = False,
         predicted: Optional[Prediction] = None,
+        work_range: Optional[WorkRange] = None,
     ) -> LaunchResult:
         """Launch a kernel (``DySelLaunchKernel``, Fig 6b).
 
@@ -375,9 +376,36 @@ class DySelRuntime:
             gate (small workload, single variant, quarantine filtering,
             dominance exclusion, drift re-arm); otherwise the launch
             profiles exactly as if no prediction existed.
+        work_range:
+            Execute only this half-open sub-range of the workload's units
+            (the fleet scheduler's work splitting,
+            :mod:`repro.serve.scheduler`): output buffers receive exactly
+            the slice this range computes, so concurrent devices can each
+            run a disjoint part and the caller stitches nothing — the
+            parts already wrote disjoint slices.  ``workload_units`` must
+            equal ``len(work_range)`` (it is this call's unit count, and
+            what LAUNCH_BEGIN records, so ranged traces still reconcile).
+            A ranged launch never micro-profiles: profiling, drift
+            re-arms, and predictions are demoted to a profiling-off run
+            with an explicit reason — split parts ride the selection
+            their class already has; only whole launches pay or re-pay
+            the profile.
         """
         if kernel_sig not in self.registry:
             raise LaunchError(f"kernel {kernel_sig!r} is not registered")
+        ranged_note = ""
+        if work_range is not None:
+            if len(work_range) != workload_units:
+                raise LaunchError(
+                    f"kernel {kernel_sig!r}: work_range {work_range!r} "
+                    f"covers {len(work_range)} unit(s) but workload_units="
+                    f"{workload_units}; pass the range's own unit count"
+                )
+            if profiling or drift_rearm or predicted is not None:
+                ranged_note = "; ranged launch never profiles"
+            profiling = False
+            drift_rearm = False
+            predicted = None
         if self.engine.injector is not None:
             self.engine.injector.kernel = kernel_sig
         pool = self._active_pool(kernel_sig, self.registry.pool(kernel_sig))
@@ -398,6 +426,14 @@ class DySelRuntime:
                 requested_flow=flow.value,
                 requested_mode=mode.value if mode is not None else None,
                 launch_index=self.engine.launch_count,
+                **(
+                    {
+                        "work_start": work_range.start,
+                        "work_end": work_range.end,
+                    }
+                    if work_range is not None
+                    else {}
+                ),
             )
             if dominated and profiling:
                 tracer.instant(
@@ -414,6 +450,7 @@ class DySelRuntime:
         if (
             not profiling
             and not drift_rearm
+            and work_range is None
             and self.drift is not None
             and self.drift.should_rearm(kernel_sig)
         ):
@@ -436,8 +473,18 @@ class DySelRuntime:
                 # The re-arm was moot for this launch (too small to
                 # profile, nothing to select); let a later launch retry.
                 self.drift.release(kernel_sig)
+            if ranged_note:
+                decision = policy.LaunchDecision(
+                    profile=False,
+                    variant_name=decision.variant_name,
+                    reason=decision.reason + ranged_note,
+                )
             result = self._launch_without_profiling(
-                pool, launch, decision, stream_name=stream_name
+                pool,
+                launch,
+                decision,
+                stream_name=stream_name,
+                work_range=work_range,
             )
             self._observe_drift(kernel_sig, result, workload_units)
             return result
@@ -872,15 +919,23 @@ class DySelRuntime:
         launch: LaunchConfig,
         decision: policy.LaunchDecision,
         stream_name: Optional[str] = None,
+        work_range: Optional[WorkRange] = None,
     ) -> LaunchResult:
         """Run the decided variant over the whole workload in one batch.
 
-        With a fault injector installed the batch runs through the
-        orchestrator's fallback chain: the decided variant first, then
-        every non-quarantined sibling, until one finishes the whole range
-        cleanly.  Exhausting the chain aborts the launch.
+        ``work_range`` narrows the batch to a sub-range of units (the
+        fleet scheduler's split parts); the default covers the whole
+        workload.  With a fault injector installed the batch runs through
+        the orchestrator's fallback chain: the decided variant first,
+        then every non-quarantined sibling, until one finishes the whole
+        range cleanly.  Exhausting the chain aborts the launch.
         """
         assert decision.variant_name is not None
+        span = (
+            work_range
+            if work_range is not None
+            else WorkRange(0, launch.workload_units)
+        )
         start = self.engine.now
         selected = decision.variant_name
         reason = decision.reason
@@ -891,7 +946,7 @@ class DySelRuntime:
                 task = self.engine.submit(
                     variant,
                     launch.args,
-                    WorkRange(0, launch.workload_units),
+                    span,
                     priority=Priority.BATCH,
                     stream=stream_name,
                 )
@@ -910,7 +965,7 @@ class DySelRuntime:
                     pool,
                     candidates,
                     launch.args,
-                    WorkRange(0, launch.workload_units),
+                    span,
                     self.config,
                     faults,
                     stage="batch",

@@ -193,10 +193,22 @@ class StoreSchemaError(StoreError):
     """A persisted selection store was written by an incompatible schema.
 
     Raised on load when the on-disk ``schema_version`` does not match
-    :data:`repro.serve.store.SCHEMA_VERSION`; the store is rejected
-    wholesale rather than partially interpreted, so a serving fleet never
-    trusts selections whose key derivation rules it cannot reproduce.
+    :data:`repro.serve.store.SCHEMA_VERSION` (nor a migratable older
+    version); the store is rejected wholesale rather than partially
+    interpreted, so a serving fleet never trusts selections whose key
+    derivation rules it cannot reproduce.
+
+    ``versions`` maps each offending file (or shard) to the
+    ``schema_version`` it declared, so callers and operators can see
+    exactly which files disagree — a sharded store with *mixed* shard
+    versions is rejected with every shard's version listed rather than
+    partially loaded (:mod:`repro.serve.shards`).
     """
+
+    def __init__(self, message: str, versions: object = None) -> None:
+        super().__init__(message)
+        #: Mapping of file path → declared schema version (may be empty).
+        self.versions = dict(versions) if versions else {}
 
 
 class DriftError(DySelError):

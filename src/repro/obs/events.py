@@ -104,6 +104,19 @@ class EventKind(enum.Enum):
       winner, closing the episode; ``args`` carries the stale and new
       variants.
 
+    Fleet placement (emitted by :class:`~repro.serve.scheduler.LaunchScheduler`
+    on its scheduler timeline when the fleet mixes device kinds; both are
+    instants, so heterogeneous traces still reconcile cleanly):
+
+    * ``PLACEMENT`` — the scheduler resolved the *device-kind* dimension
+      of the selection tuple for one request; ``args`` carries the chosen
+      kind, the placement reason (pinned / single kind / dynamic load /
+      store-measured / static cost-bound), and the projected cost per
+      candidate kind.
+    * ``SPLIT_LAUNCH`` — one large launch was split into per-device
+      work ranges and stitched back together; ``args`` carries the part
+      ranges, the devices they ran on, and the unit partition.
+
     Static-analysis (emitted by the runtime when
     ``ReproConfig.analyze.dominance`` is on; an instant, so traces
     with pruning enabled still reconcile cleanly):
@@ -142,6 +155,8 @@ class EventKind(enum.Enum):
     STORE_EVICT = "store_evict"
     PREDICTION = "prediction"
     PREDICTION_FALLBACK = "prediction_fallback"
+    PLACEMENT = "placement"
+    SPLIT_LAUNCH = "split_launch"
     DRIFT_SUSPECT = "drift_suspect"
     DRIFT_CONFIRMED = "drift_confirmed"
     RESELECTION = "reselection"

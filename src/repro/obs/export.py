@@ -365,6 +365,8 @@ class TraceSummary:
     store_evictions: int = 0
     predictions: int = 0
     prediction_fallbacks: int = 0
+    placements: int = 0
+    split_launches: int = 0
     drift_suspects: int = 0
     drift_confirmations: int = 0
     reselections: int = 0
@@ -442,6 +444,11 @@ class TraceSummary:
                 f"{self.drift_confirmations} confirmed, "
                 f"{self.reselections} reselection(s)"
             )
+        if self.placements or self.split_launches:
+            lines.append(
+                f"fleet: {self.placements} placement decision(s), "
+                f"{self.split_launches} split launch(es)"
+            )
         if self.dominance_prunes:
             lines.append(
                 f"dominance: {self.dominance_prunes} pool prune(s) "
@@ -508,6 +515,10 @@ def summarize(events: Sequence[TraceEvent]) -> TraceSummary:
             summary.predictions += 1
         elif kind is EventKind.PREDICTION_FALLBACK:
             summary.prediction_fallbacks += 1
+        elif kind is EventKind.PLACEMENT:
+            summary.placements += 1
+        elif kind is EventKind.SPLIT_LAUNCH:
+            summary.split_launches += 1
         elif kind is EventKind.DRIFT_SUSPECT:
             summary.drift_suspects += 1
         elif kind is EventKind.DRIFT_CONFIRMED:

@@ -21,17 +21,22 @@ from .scheduler import (
     ServeOutcome,
     ServeRequest,
     ServeStats,
+    SplitOutcome,
+    partition_units,
 )
+from .shards import DEFAULT_SHARDS, ShardedSelectionStore
 from .signature import WorkloadSignature, derive_signature, log2_bucket
 from .store import (
     SCHEMA_VERSION,
     SelectionStore,
     StoreEntry,
     StoreStats,
+    device_kind_from_key,
 )
 
 __all__ = [
     "DEFAULT_LEASE_TIMEOUT",
+    "DEFAULT_SHARDS",
     "DEFAULT_STREAMS_PER_DEVICE",
     "LaunchScheduler",
     "PredictConfig",
@@ -44,9 +49,13 @@ __all__ = [
     "ServeOutcome",
     "ServeRequest",
     "ServeStats",
+    "ShardedSelectionStore",
+    "SplitOutcome",
     "StoreEntry",
     "StoreStats",
     "WorkloadSignature",
     "derive_signature",
+    "device_kind_from_key",
     "log2_bucket",
+    "partition_units",
 ]

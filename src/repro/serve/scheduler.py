@@ -45,18 +45,26 @@ import contextlib
 import itertools
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..analyze.dominance import cold_start_estimate, policy_from_settings
+from ..compiler.analyses.safe_point import lcm_of
 from ..compiler.variants import VariantPool
 from ..config import ReproConfig
+from ..core.policy import (
+    PLACEMENT_POLICIES,
+    PlacementCandidate,
+    PlacementDecision,
+    decide_placement,
+)
 from ..core.runtime import DySelRuntime, LaunchResult
 from ..device.base import Device
 from ..device.stream import StreamPool
 from ..drift import DriftSignal
 from ..errors import ServeError
 from ..faults.plan import FaultPlan
+from ..kernel.kernel import WorkRange
 from ..modes import OrchestrationFlow, ProfilingMode
 from ..obs.events import EventKind, TraceEvent
 from ..obs.tracer import NULL_TRACER, RecordingTracer
@@ -70,6 +78,39 @@ DEFAULT_STREAMS_PER_DEVICE = 4
 
 #: Default profile-lease steal timeout, in store-clock seconds.
 DEFAULT_LEASE_TIMEOUT = 30.0
+
+
+def partition_units(
+    units: int, weights: Sequence[float], align: int
+) -> List[Tuple[int, int]]:
+    """Split ``[0, units)`` into ``len(weights)`` aligned half-open parts.
+
+    Part sizes are proportional to ``weights`` (a faster device gets a
+    larger share), with every interior cut snapped to a multiple of
+    ``align`` — the LCM of the pools' work-assignment factors, so any
+    variant the policy later picks can start a part on a work-group
+    boundary.  The tail part absorbs the unaligned remainder.  Parts
+    may come back empty when rounding collapses a cut; callers skip
+    those (and their devices).
+    """
+    if units < 0:
+        raise ServeError(f"units must be >= 0, got {units}")
+    if align < 1:
+        raise ServeError(f"align must be >= 1, got {align}")
+    total = sum(weights)
+    if total <= 0 or len(weights) <= 1:
+        return [(0, units)]
+    ranges: List[Tuple[int, int]] = []
+    prev = 0
+    acc = 0.0
+    for weight in weights[:-1]:
+        acc += weight
+        cut = int(round(units * acc / total / align)) * align
+        cut = max(prev, min(cut, units))
+        ranges.append((prev, cut))
+        prev = cut
+    ranges.append((prev, units))
+    return ranges
 
 
 @dataclass(frozen=True)
@@ -87,6 +128,16 @@ class ServeRequest:
     mode: Optional[ProfilingMode] = None
     flow: OrchestrationFlow = OrchestrationFlow.ASYNC
     signature: Optional[WorkloadSignature] = None
+    #: Pin the placement dimension: run on this device kind (``"cpu"``,
+    #: ``"gpu"``), bypassing the placement policy the way a pinned
+    #: variant bypasses selection.  A pinned kind that is unknown or
+    #: fully quarantined is ignored with an explicit note.
+    device_kind: Optional[str] = None
+    #: Split this launch across up to this many devices
+    #: (:meth:`LaunchScheduler.launch_split`); ``None`` leaves the
+    #: request whole unless the scheduler's ``split_threshold`` says
+    #: otherwise.
+    split: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -109,6 +160,49 @@ class ServeOutcome:
     lease: Optional[str]
     #: Admission sequence number (the scheduler-trace time axis).
     sequence: int
+    #: Why the request landed on this device kind (the placement-
+    #: dimension reason, e.g. ``"store-measured placement"``); empty on
+    #: single-kind fleets where there was nothing to decide.
+    placement: str = ""
+
+
+@dataclass(frozen=True)
+class SplitOutcome:
+    """One large launch served as stitched per-device parts.
+
+    Each part ran a disjoint :class:`~repro.kernel.kernel.WorkRange` of
+    the original workload against the *same* argument buffers, so the
+    output needs no explicit stitching — part ``i`` wrote exactly the
+    output slice its range covers.  Parts never micro-profile (they ride
+    whatever selection their class already has), so splitting composes
+    with warm stores, prediction, and quarantine but never races the
+    profile lease.
+    """
+
+    request: ServeRequest
+    #: Per-part outcomes, in range order.
+    parts: Tuple[ServeOutcome, ...]
+    #: The half-open unit ranges the parts covered, in order.
+    ranges: Tuple[Tuple[int, int], ...]
+    #: Admission sequence number of the split itself.
+    sequence: int
+
+    @property
+    def devices(self) -> Tuple[str, ...]:
+        """Device each part ran on, in range order."""
+        return tuple(part.device for part in self.parts)
+
+    @property
+    def elapsed_cycles(self) -> float:
+        """Stitched makespan: the slowest part's elapsed cycles.
+
+        Parts run on independent device clocks, so the launch as a whole
+        is done when its slowest part is.
+        """
+        return max(
+            (part.result.elapsed_cycles for part in self.parts),
+            default=0.0,
+        )
 
 
 @dataclass
@@ -127,6 +221,10 @@ class ServeStats:
     profiling_latency_cycles: float = 0.0
     workload_units: int = 0
     per_device: Dict[str, int] = field(default_factory=dict)
+    #: Requests placed per device kind (the placement dimension).
+    placements: Dict[str, int] = field(default_factory=dict)
+    #: Launches served as stitched multi-device splits.
+    split_launches: int = 0
 
     @property
     def profile_rate(self) -> float:
@@ -231,6 +329,8 @@ class LaunchScheduler:
         streams_per_device: int = DEFAULT_STREAMS_PER_DEVICE,
         lease_timeout: Optional[float] = DEFAULT_LEASE_TIMEOUT,
         fault_plan: Optional[FaultPlan] = None,
+        placement_policy: str = "cost-model",
+        split_threshold: Optional[int] = None,
     ) -> None:
         """Build a scheduler over a fleet of devices.
 
@@ -238,6 +338,8 @@ class LaunchScheduler:
         ----------
         devices:
             The simulated fleet; one runtime + stream pool per device.
+            Kinds may mix (CPU + GPU): placement becomes part of the
+            selection tuple (:func:`repro.core.policy.decide_placement`).
         config:
             Shared :class:`ReproConfig` (defaults to the first device's);
             ``config.trace`` also enables the scheduler-level tracer.
@@ -253,15 +355,47 @@ class LaunchScheduler:
             Chaos-testing fault plan (:mod:`repro.faults`); installs one
             injector per device runtime, arming the hardened launch
             paths fleet-wide.  ``None`` (the default) serves clean.
+        placement_policy:
+            How the device-kind dimension is resolved on mixed fleets:
+            ``"cost-model"`` (default) picks the least projected finish
+            time — load plus the store-measured EWMA estimate when warm,
+            else the static cost-bound prior; ``"dynamic-load"`` picks
+            the least projected load alone (the oneDPL
+            ``dynamic_load_policy`` rule).
+        split_threshold:
+            Auto-split launches of at least this many workload units
+            across the fleet (:meth:`launch_split`); ``None`` (default)
+            splits only on explicit ``ServeRequest.split``.
         """
         if not devices:
             raise ServeError("a scheduler needs at least one device")
+        if placement_policy not in PLACEMENT_POLICIES:
+            raise ServeError(
+                f"unknown placement_policy {placement_policy!r} "
+                f"(expected one of {list(PLACEMENT_POLICIES)})"
+            )
+        if split_threshold is not None and split_threshold < 1:
+            raise ServeError(
+                f"split_threshold must be >= 1 or None, got {split_threshold}"
+            )
+        self.placement_policy = placement_policy
+        self.split_threshold = split_threshold
         self.config = config if config is not None else devices[0].config
         self.store = store if store is not None else SelectionStore()
         self._workers = [
             _DeviceWorker(device, self.config, streams_per_device, i)
             for i, device in enumerate(devices)
         ]
+        #: Device kinds in fleet order (first appearance wins), and the
+        #: workers serving each kind.
+        self._kinds: List[str] = list(
+            dict.fromkeys(w.device_kind for w in self._workers)
+        )
+        self._kind_workers: Dict[str, List[_DeviceWorker]] = {}
+        for worker in self._workers:
+            self._kind_workers.setdefault(worker.device_kind, []).append(
+                worker
+            )
         # One fleet, one fault ledger: a variant that misbehaves for one
         # client is barred for every client, and the ledger rides along
         # in the store's save/load snapshots.  The scheduler's config
@@ -300,8 +434,16 @@ class LaunchScheduler:
     # Registration
     # ------------------------------------------------------------------
 
-    def register_pool(self, pool: VariantPool) -> None:
-        """Register a kernel pool on every device in the fleet.
+    def register_pool(
+        self, pool: VariantPool, device_kind: Optional[str] = None
+    ) -> None:
+        """Register a kernel pool on the fleet.
+
+        ``device_kind`` restricts the registration to devices of one kind
+        — how heterogeneous fleets register kind-specific pools (the CPU
+        variants of a kernel on the CPUs, the GPU variants on the GPUs)
+        under one kernel signature name.  ``None`` (the default)
+        registers on every device, preserving the homogeneous behavior.
 
         Any cached static cost prior for the kernel is dropped here, not
         just in the invalidation hook: the hook only fires when an
@@ -310,7 +452,17 @@ class LaunchScheduler:
         before the first registration would otherwise stay stale
         forever.
         """
-        for worker in self._workers:
+        if device_kind is not None and device_kind not in self._kind_workers:
+            raise ServeError(
+                f"no {device_kind!r} devices in this fleet "
+                f"(kinds: {self._kinds})"
+            )
+        targets = (
+            self._workers
+            if device_kind is None
+            else self._kind_workers[device_kind]
+        )
+        for worker in targets:
             worker.runtime.register_pool(pool)
         self._drop_static_estimates(pool.name)
 
@@ -372,8 +524,15 @@ class LaunchScheduler:
     # Serving
     # ------------------------------------------------------------------
 
-    def launch(self, request: ServeRequest) -> ServeOutcome:
-        """Serve one request (blocking; safe to call from many threads)."""
+    def launch(self, request: ServeRequest):
+        """Serve one request (blocking; safe to call from many threads).
+
+        Returns a :class:`ServeOutcome` — or a :class:`SplitOutcome`
+        when the request asked to be split (``ServeRequest.split``) or
+        the scheduler's ``split_threshold`` promotes it.
+        """
+        if self._should_split(request):
+            return self.launch_split(request)
         seq = next(self._seq)
         if self.tracer.enabled:
             self.tracer.instant(
@@ -382,69 +541,353 @@ class LaunchScheduler:
                 float(seq),
                 workload_units=request.workload_units,
             )
-        worker, signature, estimate = self._dispatch(request)
+        worker, signature, estimate, placement = self._dispatch(request, seq)
         stream = worker.streams.acquire()
         try:
             return self._serve_admitted(
-                request, worker, stream, seq, signature, estimate
+                request,
+                worker,
+                stream,
+                seq,
+                signature,
+                estimate,
+                placement=placement.reason,
             )
         finally:
             worker.streams.release(stream)
 
-    def _dispatch(
-        self, request: ServeRequest
-    ) -> Tuple[_DeviceWorker, WorkloadSignature, float]:
-        """Cost-aware dispatch: the earliest projected finish wins.
+    def _should_split(self, request: ServeRequest) -> bool:
+        """Whether this request gets the multi-device split path."""
+        if request.split is not None:
+            return request.split > 1
+        return (
+            self.split_threshold is not None
+            and request.workload_units >= self.split_threshold
+            and len(self._workers) > 1
+        )
 
-        The request is costed per device *kind* from the persistent store
-        (``cycles_per_unit × units`` for its workload class — signatures
-        embed the kind, so heterogeneous fleets cost independently); a
-        device with no class estimate falls back to its observed mean
-        launch cost.  The winner's estimate is reserved on its pending
-        load under the dispatch lock, so concurrent clients don't pile
-        onto the same momentarily-idle device.
+    def _placement_candidates(
+        self, request: ServeRequest
+    ) -> Tuple[
+        List[PlacementCandidate],
+        Dict[str, WorkloadSignature],
+        Dict[str, List[_DeviceWorker]],
+        Dict[str, Optional[float]],
+        Dict[str, Optional[float]],
+    ]:
+        """Per-device-kind bids for one request.
+
+        For each kind that has the kernel registered: the workload-class
+        signature (kinds cost independently — the kind is part of the
+        key), the store-measured cost when the class is warm there, the
+        static cost-bound prior, the least-loaded same-kind worker's
+        projected clock, and whether the kind's whole pool is
+        quarantined.  Raises when no kind has the kernel.
         """
+        units = request.workload_units
+        candidates: List[PlacementCandidate] = []
         signatures: Dict[str, WorkloadSignature] = {}
+        kind_workers: Dict[str, List[_DeviceWorker]] = {}
         costs: Dict[str, Optional[float]] = {}
         statics: Dict[str, Optional[float]] = {}
-        for kind in {w.device_kind for w in self._workers}:
+        for kind in self._kinds:
+            workers = [
+                w
+                for w in self._kind_workers[kind]
+                if request.kernel in w.runtime.registry
+            ]
+            if not workers:
+                continue
+            kind_workers[kind] = workers
             sig = request.signature or derive_signature(
-                request.kernel, kind, request.args, request.workload_units
+                request.kernel, kind, request.args, units
             )
             signatures[kind] = sig
             entry = self.store.peek(sig.key)
             costs[kind] = (
-                entry.cycles_per_unit * request.workload_units
-                if entry is not None
-                else None
+                entry.cycles_per_unit * units if entry is not None else None
             )
             unit_cost = self._static_unit_cost(request.kernel, kind)
             statics[kind] = (
-                unit_cost * request.workload_units
-                if unit_cost is not None
-                else None
+                unit_cost * units if unit_cost is not None else None
             )
+            pool = workers[0].runtime.registry.pool(request.kernel)
+            barred = self.store.quarantine.quarantined(pool.name)
+            candidates.append(
+                PlacementCandidate(
+                    device_kind=kind,
+                    load_cycles=min(w.projected_clock() for w in workers),
+                    measured_cycles=costs[kind],
+                    static_cycles=statics[kind],
+                    quarantined=all(
+                        name in barred for name in pool.variant_names
+                    ),
+                )
+            )
+        if not candidates:
+            raise ServeError(
+                f"kernel {request.kernel!r} is not registered on any "
+                f"device (fleet kinds: {self._kinds})"
+            )
+        return candidates, signatures, kind_workers, costs, statics
+
+    def _dispatch(
+        self, request: ServeRequest, seq: int
+    ) -> Tuple[_DeviceWorker, WorkloadSignature, float, PlacementDecision]:
+        """Two-level cost-aware dispatch: pick a kind, then a device.
+
+        The *kind* is the placement dimension of the selection tuple,
+        resolved by :func:`repro.core.policy.decide_placement` under the
+        scheduler's placement policy (store-measured EWMA estimates once
+        the class is warm, static cost-bound priors cold, projected load
+        always).  Within the chosen kind the earliest projected finish
+        wins, and the winner's estimate is reserved on its pending load
+        under the dispatch lock, so concurrent clients don't pile onto
+        the same momentarily-idle device.
+
+        When every kind's pool is fully quarantined the quarantine flags
+        are ignored here: dispatch still picks a device and the runtime
+        raises its structured ``LaunchAbortedError`` (with the
+        quarantined-variant detail), exactly as before placement
+        existed.
+        """
+        candidates, signatures, kind_workers, costs, statics = (
+            self._placement_candidates(request)
+        )
+        if all(c.quarantined for c in candidates):
+            candidates = [
+                replace(c, quarantined=False) for c in candidates
+            ]
+        decision = decide_placement(
+            request.kernel,
+            candidates,
+            policy=self.placement_policy,
+            pinned_kind=request.device_kind,
+        )
+        kind = decision.device_kind
         with self._dispatch_lock:
             worker = min(
-                self._workers,
+                kind_workers[kind],
                 key=lambda w: (
                     w.projected_clock()
-                    + w.estimate_cost(
-                        costs[w.device_kind], statics[w.device_kind]
-                    ),
+                    + w.estimate_cost(costs[kind], statics[kind]),
                     w.streams.in_flight,
                 ),
             )
+            estimate = worker.estimate_cost(costs[kind], statics[kind])
+            worker.commit(estimate)
+        if self.tracer.enabled and (
+            len(candidates) > 1 or request.device_kind is not None
+        ):
+            self.tracer.instant(
+                EventKind.PLACEMENT,
+                request.kernel,
+                float(seq),
+                device=worker.name,
+                device_kind=kind,
+                reason=decision.reason,
+                projected={
+                    k: round(v, 3) for k, v in decision.projected.items()
+                },
+            )
+        return worker, signatures[kind], estimate, decision
+
+    # ------------------------------------------------------------------
+    # Work splitting
+    # ------------------------------------------------------------------
+
+    def _split_alignment(
+        self, kind_workers: Dict[str, List[_DeviceWorker]], kernel: str
+    ) -> int:
+        """Unit alignment every split cut must respect.
+
+        The LCM of the work-assignment factors across every eligible
+        kind's pool: any variant the per-part policy later picks can
+        then start its part on a work-group boundary (ranged launches
+        require aligned starts; see
+        :meth:`repro.kernel.kernel.KernelVariant.groups_for_units`).
+        """
+        factors: List[int] = []
+        for workers in kind_workers.values():
+            pool = workers[0].runtime.registry.pool(kernel)
+            factors.extend(v.wa_factor for v in pool.variants)
+        return lcm_of(factors) if factors else 1
+
+    def launch_split(
+        self, request: ServeRequest, parts: Optional[int] = None
+    ) -> SplitOutcome:
+        """Split one large launch across the fleet and stitch the parts.
+
+        The workload's unit range is partitioned into up to ``parts``
+        (default: ``request.split``, else one per eligible device)
+        contiguous aligned sub-ranges, sized inversely to each target
+        device kind's estimated cycles per unit (store-measured EWMA
+        when warm, static cost-bound prior cold, equal shares when
+        neither exists), and each part runs as a ranged profiling-off
+        launch on its own device — against the *same* argument buffers,
+        whose disjoint output slices stitch the result by construction.
+        Parts never micro-profile or publish; the class warms up through
+        whole launches only.
+
+        Quarantined kinds are excluded from splitting the way they are
+        excluded from placement; a fleet (or request) that cannot
+        sustain more than one part degrades to a normal
+        :meth:`launch`-style single-device serve, still wrapped in a
+        :class:`SplitOutcome`.
+        """
+        seq = next(self._seq)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                EventKind.SERVE_ENQUEUE,
+                request.kernel,
+                float(seq),
+                workload_units=request.workload_units,
+                split_requested=parts or request.split,
+            )
+        whole = replace(request, split=None)
+        candidates, _, kind_workers, costs, statics = (
+            self._placement_candidates(request)
+        )
+        eligible_kinds = [
+            c.device_kind for c in candidates if not c.quarantined
+        ] or [c.device_kind for c in candidates]
+        if request.device_kind is not None and (
+            request.device_kind in eligible_kinds
+        ):
+            eligible_kinds = [request.device_kind]
+        workers = [
+            w for kind in eligible_kinds for w in kind_workers[kind]
+        ]
+        align = self._split_alignment(
+            {k: kind_workers[k] for k in eligible_kinds}, request.kernel
+        )
+        units = request.workload_units
+        max_parts = min(
+            parts if parts is not None else (request.split or len(workers)),
+            len(workers),
+            max(1, units // align),
+        )
+        if max_parts <= 1:
+            outcome = self._serve_whole(whole)
+            return SplitOutcome(
+                request=request,
+                parts=(outcome,),
+                ranges=((0, units),),
+                sequence=seq,
+            )
+        # Least-loaded devices first; a part per chosen device.
+        chosen = sorted(workers, key=lambda w: w.projected_clock())[
+            :max_parts
+        ]
+
+        def unit_cost(worker: _DeviceWorker) -> Optional[float]:
+            kind = worker.device_kind
+            for basis in (costs[kind], statics[kind]):
+                if basis is not None and units > 0:
+                    return basis / units
+            return None
+
+        per_unit = [unit_cost(w) for w in chosen]
+        if any(c is None or c <= 0 for c in per_unit):
+            weights = [1.0] * len(chosen)
+        else:
+            weights = [1.0 / c for c in per_unit]
+        ranges = partition_units(units, weights, align)
+        assignments = [
+            (worker, WorkRange(start, end))
+            for worker, (start, end) in zip(chosen, ranges)
+            if end > start
+        ]
+        if self.tracer.enabled:
+            self.tracer.instant(
+                EventKind.SPLIT_LAUNCH,
+                request.kernel,
+                float(seq),
+                parts=len(assignments),
+                devices=[w.name for w, _ in assignments],
+                ranges=[(r.start, r.end) for _, r in assignments],
+                align=align,
+            )
+        outcomes: List[ServeOutcome] = []
+        for index, (worker, work_range) in enumerate(assignments):
+            part_seq = next(self._seq)
+            part_units = len(work_range)
+            part = replace(
+                whole,
+                workload_units=part_units,
+                device_kind=worker.device_kind,
+            )
+            part_sig = request.signature or derive_signature(
+                request.kernel, worker.device_kind, request.args, part_units
+            )
+            cost = unit_cost(worker)
             estimate = worker.estimate_cost(
-                costs[worker.device_kind], statics[worker.device_kind]
+                cost * part_units if cost is not None else None
             )
             worker.commit(estimate)
-        return worker, signatures[worker.device_kind], estimate
+            stream = worker.streams.acquire()
+            try:
+                outcomes.append(
+                    self._serve_admitted(
+                        part,
+                        worker,
+                        stream,
+                        part_seq,
+                        part_sig,
+                        estimate,
+                        placement=(
+                            f"split part {index + 1}/{len(assignments)}"
+                        ),
+                        work_range=work_range,
+                    )
+                )
+            finally:
+                worker.streams.release(stream)
+        with self._stats_lock:
+            self.stats.split_launches += 1
+        return SplitOutcome(
+            request=request,
+            parts=tuple(outcomes),
+            ranges=tuple((r.start, r.end) for _, r in assignments),
+            sequence=seq,
+        )
+
+    def _serve_whole(self, request: ServeRequest) -> ServeOutcome:
+        """Serve an unsplittable request on one device (no re-enqueue)."""
+        seq = next(self._seq)
+        worker, signature, estimate, placement = self._dispatch(request, seq)
+        stream = worker.streams.acquire()
+        try:
+            return self._serve_admitted(
+                request,
+                worker,
+                stream,
+                seq,
+                signature,
+                estimate,
+                placement=placement.reason,
+            )
+        finally:
+            worker.streams.release(stream)
 
     def _serve_admitted(
-        self, request, worker, stream, seq, signature, estimate
+        self,
+        request,
+        worker,
+        stream,
+        seq,
+        signature,
+        estimate,
+        placement: str = "",
+        work_range: Optional[WorkRange] = None,
     ) -> ServeOutcome:
-        """Run an admitted request (stream leased, cost reserved)."""
+        """Run an admitted request (stream leased, cost reserved).
+
+        ``work_range`` marks a split part: parts never race the profile
+        lease, never re-arm drift, and never publish — they ride the
+        selection their class already has (store entry, else pool
+        default) so splitting cannot perturb selection state.
+        """
         if self.tracer.enabled:
             self.tracer.instant(
                 EventKind.SERVE_ADMIT,
@@ -463,7 +906,19 @@ class LaunchScheduler:
         drift_rearm = False
         prediction: Optional[Prediction] = None
         with contextlib.ExitStack() as stack:
-            if entry is not None:
+            if work_range is not None:
+                if entry is not None:
+                    pinned = entry.selected
+                    if self.tracer.enabled:
+                        self.tracer.instant(
+                            EventKind.STORE_HIT,
+                            request.kernel,
+                            float(seq),
+                            workload_class=key,
+                            selected=entry.selected,
+                            samples=entry.samples,
+                        )
+            elif entry is not None:
                 if drift is not None and drift.should_rearm(key):
                     # A confirmed drift wants this class re-profiled.
                     # Claim is consume-once and the profile lease rides
@@ -524,6 +979,7 @@ class LaunchScheduler:
                         stream_name=stream.name,
                         drift_rearm=drift_rearm,
                         predicted=prediction,
+                        work_range=work_range,
                     )
                 worker.complete(estimate, result.elapsed_cycles)
                 if lease is not None:
@@ -567,6 +1023,7 @@ class LaunchScheduler:
             store_hit=served_from_store,
             lease=lease,
             sequence=seq,
+            placement=placement,
         )
 
     def _consult_predictor(
@@ -796,6 +1253,9 @@ class LaunchScheduler:
             )
             self.stats.per_device[worker.name] = (
                 self.stats.per_device.get(worker.name, 0) + 1
+            )
+            self.stats.placements[worker.device_kind] = (
+                self.stats.placements.get(worker.device_kind, 0) + 1
             )
 
     def serve_all(

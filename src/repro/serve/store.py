@@ -51,7 +51,18 @@ from ..predict import PredictConfig, SelectionPredictor
 #: v3: signature degenerate-input features (``.empty``, clamped density
 #: decade) changed the key space, entries carry a ``predicted`` flag,
 #: and snapshots may carry a fitted selection predictor.
-SCHEMA_VERSION = 3
+#: v4: entries carry an explicit ``device_kind`` (the placement dimension
+#: of the selection tuple, :mod:`repro.core.policy`), and stores may be
+#: sharded across per-shard files (:mod:`repro.serve.shards`).  The key
+#: derivation rules are unchanged from v3, so v3 files are *migrated* on
+#: load (``device_kind`` is recovered from the key) instead of rejected.
+SCHEMA_VERSION = 4
+
+#: Older schema versions :meth:`SelectionStore.load` migrates in place.
+#: Only versions whose key-derivation rules match the current build may
+#: appear here — migration recovers missing fields, never reinterprets
+#: keys.
+MIGRATABLE_VERSIONS = (3,)
 
 #: Default EWMA smoothing factor for repeated measurements of one class.
 DEFAULT_EWMA_ALPHA = 0.3
@@ -96,10 +107,28 @@ class StoreEntry:
     #: stale; cleared by the next :meth:`SelectionStore.publish`.
     decay_at: Optional[float] = None
 
+    #: Device kind the selection was measured on (the placement dimension
+    #: of the selection tuple).  Denormalized from the key — the second
+    #: ``|``-separated key field — so placement costing never re-parses
+    #: keys.  Empty only for hand-built entries with non-signature keys.
+    device_kind: str = ""
+
     def observe(self, cycles_per_unit: float, alpha: float) -> None:
         """Fold one fresh measurement into the EWMA."""
         self.cycles_per_unit += alpha * (cycles_per_unit - self.cycles_per_unit)
         self.samples += 1
+
+
+def device_kind_from_key(key: str) -> str:
+    """The device-kind field of a workload-class key.
+
+    Keys are ``kernel|device_kind|feature=value|...``
+    (:attr:`repro.serve.signature.WorkloadSignature.key`); a key without
+    a second field yields ``""``.  Used to populate
+    :attr:`StoreEntry.device_kind` and to migrate v3 snapshots.
+    """
+    parts = key.split("|")
+    return parts[1] if len(parts) > 1 else ""
 
 
 @dataclass
@@ -121,6 +150,62 @@ _REQUIRED_FIELDS = (
     ("selected", str),
     ("cycles_per_unit", (int, float)),
 )
+
+
+def parse_entry(raw: object, now: float, source: str) -> StoreEntry:
+    """Rehydrate one persisted entry dict into a :class:`StoreEntry`.
+
+    ``source`` names the file for error messages.  Entries written by a
+    migratable schema (v3) lack ``device_kind``; it is recovered from the
+    key — the key-derivation rules did not change between v3 and v4, so
+    the recovery is exact.  Raises :class:`StoreError` on corrupt shapes.
+    """
+    if not isinstance(raw, dict):
+        raise StoreError(
+            f"selection store {source!r} is corrupt: entry {raw!r} "
+            "is not an object"
+        )
+    for name, types in _REQUIRED_FIELDS:
+        if not isinstance(raw.get(name), types):
+            raise StoreError(
+                f"selection store {source!r} is corrupt: entry "
+                f"{raw.get('key')!r} field {name!r} is "
+                f"{raw.get(name)!r}"
+            )
+    age = float(raw.get("age", 0.0))
+    decay_in = raw.get("decay_in")
+    return StoreEntry(
+        key=raw["key"],
+        kernel=raw["kernel"],
+        selected=raw["selected"],
+        mode=raw.get("mode"),
+        flow=raw.get("flow"),
+        cycles_per_unit=float(raw["cycles_per_unit"]),
+        samples=int(raw.get("samples", 1)),
+        recorded_at=now - age,
+        hits=int(raw.get("hits", 0)),
+        predicted=bool(raw.get("predicted", False)),
+        decay_at=None if decay_in is None else now + float(decay_in),
+        device_kind=str(
+            raw.get("device_kind") or device_kind_from_key(raw["key"])
+        ),
+    )
+
+
+def _atomic_write_json(path: str, doc: Dict[str, object]) -> None:
+    """Write a JSON document atomically (temp file + rename)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=1)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
 
 
 class SelectionStore:
@@ -291,6 +376,7 @@ class SelectionStore:
                     cycles_per_unit=float(cycles_per_unit),
                     recorded_at=now,
                     predicted=predicted,
+                    device_kind=device_kind_from_key(key),
                 )
                 self._entries[key] = entry
             self.stats.puts += 1
@@ -367,56 +453,56 @@ class SelectionStore:
     # Persistence
     # ------------------------------------------------------------------
 
-    def save(self, path: str) -> None:
-        """Serialize to JSON atomically (temp file + rename).
+    def entry_payloads(self) -> list:
+        """JSON-ready entry dicts with *relative* timestamps.
 
-        Entries are stored with their *age* rather than an absolute
-        timestamp, so TTL accounting survives process restarts on a
-        different clock origin.
+        Timestamps are persisted as ages (``age``, remaining
+        ``decay_in``) rather than absolutes, so TTL accounting survives
+        process restarts on a different clock origin.  Shared by
+        :meth:`save` and the sharded store's per-shard writer
+        (:mod:`repro.serve.shards`).
         """
         with self._lock:
             now = self._clock()
             entries = []
             for entry in self._entries.values():
                 raw = asdict(entry)
-                # Timestamps are persisted relative (age, remaining decay
-                # grace) so they survive restarts on a new clock origin.
                 raw.pop("decay_at")
                 raw["age"] = max(0.0, now - entry.recorded_at)
                 if entry.decay_at is not None:
                     raw["decay_in"] = max(0.0, entry.decay_at - now)
                 entries.append(raw)
-            doc = {
-                "schema_version": SCHEMA_VERSION,
-                "entries": entries,
-            }
-            ledger = self.quarantine.to_payload()
-            if ledger:
-                # Optional section: absent in pre-fault snapshots, which
-                # still load fine under the same schema version.
-                doc["quarantine"] = ledger
-            if self.drift is not None:
-                # Optional like the quarantine ledger: detector baselines
-                # and episode history survive restarts so a fleet does
-                # not re-learn every class's throughput from scratch.
-                doc["drift"] = self.drift.to_payload()
-            if self.predictor is not None:
-                # Optional like drift: the fitted selection models ride
-                # along so a restarted fleet predicts from its first
-                # cold request instead of re-learning the history.
-                doc["predict"] = self.predictor.to_payload()
-        directory = os.path.dirname(os.path.abspath(path))
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(doc, handle, indent=1)
-                handle.write("\n")
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+            return entries
+
+    def side_payloads(self) -> Dict[str, object]:
+        """The non-entry snapshot sections (quarantine, drift, predict).
+
+        Each section is optional: absent in snapshots written before the
+        subsystem existed or while it is disarmed, and such snapshots
+        still load fine under the same schema version.
+        """
+        doc: Dict[str, object] = {}
+        ledger = self.quarantine.to_payload()
+        if ledger:
+            doc["quarantine"] = ledger
+        if self.drift is not None:
+            # Detector baselines and episode history survive restarts so
+            # a fleet does not re-learn every class from scratch.
+            doc["drift"] = self.drift.to_payload()
+        if self.predictor is not None:
+            # The fitted selection models ride along so a restarted
+            # fleet predicts from its first cold request.
+            doc["predict"] = self.predictor.to_payload()
+        return doc
+
+    def save(self, path: str) -> None:
+        """Serialize to JSON atomically (temp file + rename)."""
+        doc = {
+            "schema_version": SCHEMA_VERSION,
+            "entries": self.entry_payloads(),
+        }
+        doc.update(self.side_payloads())
+        _atomic_write_json(path, doc)
 
     @classmethod
     def load(
@@ -468,11 +554,12 @@ class SelectionStore:
                 "to interpret it"
             )
         version = doc["schema_version"]
-        if version != SCHEMA_VERSION:
+        if version != SCHEMA_VERSION and version not in MIGRATABLE_VERSIONS:
             raise StoreSchemaError(
                 f"selection store {path!r} has schema_version={version!r}, "
                 f"this build speaks {SCHEMA_VERSION}; re-profile instead of "
-                "trusting selections keyed under different rules"
+                "trusting selections keyed under different rules",
+                versions={path: version},
             )
         entries = doc.get("entries")
         if not isinstance(entries, list):
@@ -494,33 +581,7 @@ class SelectionStore:
         )
         now = store._clock()
         for raw in entries:
-            if not isinstance(raw, dict):
-                raise StoreError(
-                    f"selection store {path!r} is corrupt: entry {raw!r} "
-                    "is not an object"
-                )
-            for name, types in _REQUIRED_FIELDS:
-                if not isinstance(raw.get(name), types):
-                    raise StoreError(
-                        f"selection store {path!r} is corrupt: entry "
-                        f"{raw.get('key')!r} field {name!r} is "
-                        f"{raw.get(name)!r}"
-                    )
-            age = float(raw.get("age", 0.0))
-            decay_in = raw.get("decay_in")
-            entry = StoreEntry(
-                key=raw["key"],
-                kernel=raw["kernel"],
-                selected=raw["selected"],
-                mode=raw.get("mode"),
-                flow=raw.get("flow"),
-                cycles_per_unit=float(raw["cycles_per_unit"]),
-                samples=int(raw.get("samples", 1)),
-                recorded_at=now - age,
-                hits=int(raw.get("hits", 0)),
-                predicted=bool(raw.get("predicted", False)),
-                decay_at=None if decay_in is None else now + float(decay_in),
-            )
+            entry = parse_entry(raw, now, path)
             store._entries[entry.key] = entry
         ledger = doc.get("quarantine")
         if ledger is not None:

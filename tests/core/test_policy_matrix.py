@@ -393,6 +393,187 @@ class TestPredictionAxis:
         assert not result.reason.startswith("predicted selection")
 
 
+class TestPlacementAxis:
+    """Matrix over ``policy.decide_placement``'s device-kind dimension.
+
+    Fleet shape x placement policy x pinned kind x store warmth, checked
+    against an independent oracle of the documented precedence.  The
+    candidate loads/costs are chosen so the cold (static cost-bound) and
+    warm (store-measured EWMA) winners *differ*, proving the basis is
+    actually consulted rather than the reason merely relabelled.
+    """
+
+    FLEET = ("cpu-only", "gpu-only", "mixed", "gpu-quarantined")
+    POLICY = ("cost-model", "dynamic-load")
+    PIN = (None, "cpu", "gpu", "tpu")
+    WARMTH = ("bare", "cold", "warm")
+
+    PLACEMENT_MATRIX = tuple(
+        itertools.product(FLEET, POLICY, PIN, WARMTH)
+    )
+
+    PLACEMENT_CATEGORIES = (
+        "pinned", "single", "dynamic", "static", "measured"
+    )
+
+    def build_candidates(self, fleet, warmth):
+        def bid(kind, load, static, measured, quarantined=False):
+            return policy.PlacementCandidate(
+                device_kind=kind,
+                load_cycles=load,
+                static_cycles=static if warmth == "cold" else None,
+                measured_cycles=measured if warmth == "warm" else None,
+                quarantined=quarantined,
+            )
+
+        # gpu is least loaded; gpu wins cold (static), cpu wins warm
+        # (measured) — the EWMA contradicts the static prior on purpose.
+        cpu = bid("cpu", load=100.0, static=500.0, measured=50.0)
+        gpu = bid(
+            "gpu",
+            load=40.0,
+            static=200.0,
+            measured=300.0,
+            quarantined=fleet == "gpu-quarantined",
+        )
+        if fleet == "cpu-only":
+            return [cpu]
+        if fleet == "gpu-only":
+            return [gpu]
+        return [cpu, gpu]
+
+    @staticmethod
+    def categorize(reason):
+        for prefix, category in (
+            ("pinned device kind", "pinned"),
+            ("single eligible device kind", "single"),
+            ("dynamic load placement", "dynamic"),
+            ("static cost-bound placement", "static"),
+            ("store-measured placement", "measured"),
+        ):
+            if reason.startswith(prefix):
+                return category
+        raise AssertionError(f"unrecognized placement reason {reason!r}")
+
+    @staticmethod
+    def oracle(fleet, placement_policy, pinned, warmth):
+        """Independent restatement of the placement precedence."""
+        eligible = {
+            "cpu-only": {"cpu"},
+            "gpu-only": {"gpu"},
+            "mixed": {"cpu", "gpu"},
+            "gpu-quarantined": {"cpu"},
+        }[fleet]
+        if pinned in eligible:
+            return "pinned", pinned
+        if len(eligible) == 1:
+            return "single", next(iter(eligible))
+        if placement_policy == "dynamic-load":
+            return "dynamic", "gpu"  # load 40 < 100
+        if warmth == "bare":
+            return "dynamic", "gpu"  # cost-model degrades to load
+        if warmth == "cold":
+            return "static", "gpu"  # 40+200 < 100+500
+        return "measured", "cpu"  # 100+50 < 40+300
+
+    @pytest.mark.parametrize(
+        "fleet,placement_policy,pinned,warmth", PLACEMENT_MATRIX
+    )
+    def test_matrix_cell(self, fleet, placement_policy, pinned, warmth):
+        candidates = self.build_candidates(fleet, warmth)
+        decision = policy.decide_placement(
+            "axpy", candidates, policy=placement_policy, pinned_kind=pinned
+        )
+        category, kind = self.oracle(fleet, placement_policy, pinned, warmth)
+        assert self.categorize(decision.reason) == category
+        assert decision.device_kind == kind
+        # Projected map covers exactly the eligible kinds.
+        assert set(decision.projected) == {
+            c.device_kind for c in candidates if not c.quarantined
+        }
+        # Quarantined kinds are always noted, never chosen.
+        if fleet == "gpu-quarantined":
+            assert decision.device_kind != "gpu"
+            assert "'gpu' quarantined (excluded from placement)" in (
+                decision.reason
+            )
+        # Stability.
+        again = policy.decide_placement(
+            "axpy", candidates, policy=placement_policy, pinned_kind=pinned
+        )
+        assert again == decision
+
+    def test_matrix_reaches_every_reason_category(self):
+        reached = set()
+        for fleet, placement_policy, pinned, warmth in (
+            self.PLACEMENT_MATRIX
+        ):
+            decision = policy.decide_placement(
+                "axpy",
+                self.build_candidates(fleet, warmth),
+                policy=placement_policy,
+                pinned_kind=pinned,
+            )
+            reached.add(self.categorize(decision.reason))
+        assert reached == set(self.PLACEMENT_CATEGORIES)
+
+    def test_pinned_quarantined_kind_ignored_with_note(self):
+        decision = policy.decide_placement(
+            "axpy",
+            self.build_candidates("gpu-quarantined", "warm"),
+            pinned_kind="gpu",
+        )
+        assert decision.device_kind == "cpu"
+        assert "pinned device kind 'gpu' is quarantined (ignored)" in (
+            decision.reason
+        )
+
+    def test_pinned_unknown_kind_ignored_with_note(self):
+        decision = policy.decide_placement(
+            "axpy",
+            self.build_candidates("mixed", "warm"),
+            pinned_kind="tpu",
+        )
+        assert "pinned device kind 'tpu' is unknown (ignored)" in (
+            decision.reason
+        )
+        assert self.categorize(decision.reason) == "measured"
+
+    def test_all_kinds_quarantined_raises(self):
+        from repro.errors import LaunchError
+
+        candidates = [
+            policy.PlacementCandidate(device_kind=k, quarantined=True)
+            for k in ("cpu", "gpu")
+        ]
+        with pytest.raises(LaunchError, match="placement impossible"):
+            policy.decide_placement("axpy", candidates)
+
+    def test_no_candidates_raises(self):
+        from repro.errors import LaunchError
+
+        with pytest.raises(LaunchError, match="no device-kind candidates"):
+            policy.decide_placement("axpy", [])
+
+    def test_unknown_policy_raises(self):
+        from repro.errors import LaunchError
+
+        with pytest.raises(LaunchError, match="unknown placement policy"):
+            policy.decide_placement(
+                "axpy",
+                self.build_candidates("mixed", "warm"),
+                policy="round-robin",
+            )
+
+    def test_projected_tie_breaks_lexicographically(self):
+        candidates = [
+            policy.PlacementCandidate(device_kind=k, load_cycles=10.0)
+            for k in ("gpu", "cpu")
+        ]
+        decision = policy.decide_placement("axpy", candidates)
+        assert decision.device_kind == "cpu"
+
+
 class TestQuarantineInteraction:
     """The runtime bars quarantined variants before ``decide`` runs, so
     the policy sees a restricted pool (and stale winners self-evict)."""

@@ -109,11 +109,11 @@ class TestSchemaRejection:
         with pytest.raises(StoreSchemaError):
             SelectionStore.load(path)
 
-    def test_current_schema_is_v3(self, tmp_path):
+    def test_current_schema_is_v4(self, tmp_path):
         path = str(tmp_path / "store.json")
         armed_store().save(path)
         doc = json.loads(open(path).read())
-        assert doc["schema_version"] == SCHEMA_VERSION == 3
+        assert doc["schema_version"] == SCHEMA_VERSION == 4
 
     @pytest.mark.parametrize(
         "predict_section",

@@ -1,0 +1,359 @@
+"""Sharded selection store: routing, dirty-only saves, merge-on-load,
+and structured rejection of mixed-schema shard directories."""
+
+import json
+import os
+
+import pytest
+
+from repro.drift import DriftConfig
+from repro.errors import StoreError, StoreSchemaError
+from repro.predict import PredictConfig
+from repro.serve import (
+    SCHEMA_VERSION,
+    LaunchScheduler,
+    SelectionStore,
+    ServeRequest,
+    ShardedSelectionStore,
+)
+from repro.serve.shards import META_FILENAME, shard_filename
+
+KEYS = [f"k|cpu|units^2={i}" for i in range(16)]
+
+
+def publish_all(store, keys=KEYS):
+    for i, key in enumerate(keys):
+        store.publish(
+            key, kernel="k", selected="fast", cycles_per_unit=1.0 + i
+        )
+
+
+class TestRouting:
+    def test_routing_is_stable_and_total(self):
+        store = ShardedSelectionStore(shards=4)
+        for key in KEYS:
+            index = store.shard_index(key)
+            assert 0 <= index < 4
+            assert store.shard_index(key) == index
+
+    def test_surface_round_trip(self):
+        store = ShardedSelectionStore(shards=4)
+        publish_all(store)
+        assert len(store) == len(KEYS)
+        assert set(store.keys()) == set(KEYS)
+        for key in KEYS:
+            assert key in store
+            assert store.lookup(key).key == key
+        assert store.stats.puts == len(KEYS)
+        assert store.stats.hits == len(KEYS)
+
+    def test_entries_spread_across_shards(self):
+        store = ShardedSelectionStore(shards=4)
+        publish_all(store)
+        occupied = [len(shard) for shard in store._shards]
+        assert sum(occupied) == len(KEYS)
+        assert sum(1 for n in occupied if n) > 1
+
+    def test_publish_sets_device_kind(self):
+        store = ShardedSelectionStore(shards=2)
+        store.publish(
+            "k|gpu|units^2=4", kernel="k", selected="v", cycles_per_unit=1.0
+        )
+        assert store.lookup("k|gpu|units^2=4").device_kind == "gpu"
+
+    def test_invalidate_kernel_fans_out(self):
+        store = ShardedSelectionStore(shards=4)
+        publish_all(store)
+        assert store.invalidate_kernel("k") == len(KEYS)
+        assert len(store) == 0
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(StoreError, match="shards"):
+            ShardedSelectionStore(shards=0)
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = ShardedSelectionStore(shards=4)
+        publish_all(store)
+        store.save(path)
+        assert os.path.exists(os.path.join(path, META_FILENAME))
+        loaded = ShardedSelectionStore.load(path)
+        assert loaded.shard_count == 4
+        assert len(loaded) == len(KEYS)
+        for key in KEYS:
+            entry = loaded.lookup(key)
+            assert entry.cycles_per_unit == store.peek(key).cycles_per_unit
+            assert entry.device_kind == "cpu"
+
+    def test_rehash_into_different_layout(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = ShardedSelectionStore(shards=4)
+        publish_all(store)
+        store.save(path)
+        grown = ShardedSelectionStore.load(path, shards=7)
+        assert grown.shard_count == 7
+        assert set(grown.keys()) == set(KEYS)
+        # Layout changed: every shard is dirty so the next save rewrites
+        # the directory into the new layout.
+        assert grown.dirty_shards() == list(range(7))
+        grown.save(path, only_dirty=False)
+        assert ShardedSelectionStore.load(path).shard_count == 7
+
+    def test_dirty_only_save_skips_clean_shards(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = ShardedSelectionStore(shards=4)
+        publish_all(store)
+        store.save(path)
+        assert store.dirty_shards() == []
+        hot = KEYS[0]
+        store.publish(hot, kernel="k", selected="fast", cycles_per_unit=9.0)
+        assert store.dirty_shards() == [store.shard_index(hot)]
+        mtimes = {
+            i: os.path.getmtime(os.path.join(path, shard_filename(i)))
+            for i in range(4)
+        }
+        os.utime(
+            os.path.join(path, shard_filename(store.shard_index(hot))),
+            (0, 0),
+        )
+        for i in range(4):
+            if i != store.shard_index(hot):
+                os.utime(os.path.join(path, shard_filename(i)), (0, 0))
+        store.save(path)
+        for i in range(4):
+            rewritten = (
+                os.path.getmtime(os.path.join(path, shard_filename(i))) > 0
+            )
+            assert rewritten == (i == store.shard_index(hot)), (i, mtimes)
+
+    def test_missing_shard_file_rewritten_even_when_clean(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = ShardedSelectionStore(shards=2)
+        publish_all(store, KEYS[:4])
+        store.save(path)
+        os.remove(os.path.join(path, shard_filename(0)))
+        store.save(path)  # clean, but the file is gone
+        assert os.path.exists(os.path.join(path, shard_filename(0)))
+
+    def test_merge_keeps_freshest_duplicate(self, tmp_path):
+        """Duplicate keys across shard files (layout change interrupted
+        mid-save) resolve to the youngest copy."""
+        path = str(tmp_path / "store")
+        store = ShardedSelectionStore(shards=2)
+        store.publish(
+            KEYS[0], kernel="k", selected="old", cycles_per_unit=1.0
+        )
+        store.save(path)
+        owner = store.shard_index(KEYS[0])
+        doc = json.load(open(os.path.join(path, shard_filename(owner))))
+        stale = json.loads(json.dumps(doc))
+        stale["entries"][0]["selected"] = "stale"
+        stale["entries"][0]["age"] = 9999.0
+        stale["shard_index"] = 1 - owner
+        other = os.path.join(path, shard_filename(1 - owner))
+        json.dump(stale, open(other, "w"))
+        loaded = ShardedSelectionStore.load(path)
+        assert loaded.lookup(KEYS[0]).selected == "old"
+
+    def test_unreadable_directory_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="cannot read"):
+            ShardedSelectionStore.load(str(tmp_path / "missing"))
+
+
+class TestSchemaRejection:
+    def save_store(self, tmp_path, shards=4):
+        path = str(tmp_path / "store")
+        store = ShardedSelectionStore(shards=shards)
+        publish_all(store)
+        store.save(path)
+        return path
+
+    def rewrite_version(self, path, name, version):
+        full = os.path.join(path, name)
+        doc = json.load(open(full))
+        doc["schema_version"] = version
+        json.dump(doc, open(full, "w"))
+        return full
+
+    def test_mixed_shard_versions_rejected_structurally(self, tmp_path):
+        """The satellite fix: v3+v4 shards must be rejected wholesale
+        with every file's version listed — never partially loaded."""
+        path = self.save_store(tmp_path)
+        downgraded = self.rewrite_version(path, shard_filename(1), 3)
+        with pytest.raises(StoreSchemaError, match="mixes schema") as exc:
+            ShardedSelectionStore.load(path)
+        versions = exc.value.versions
+        assert versions[downgraded] == 3
+        assert len(versions) == 5  # meta + 4 shards, nothing else
+        assert sorted(set(versions.values())) == [3, SCHEMA_VERSION]
+
+    def test_uniform_migratable_version_loads(self, tmp_path):
+        """All-v3 directories migrate (key rules unchanged since v3)."""
+        path = self.save_store(tmp_path)
+        for i in range(4):
+            self.rewrite_version(path, shard_filename(i), 3)
+        self.rewrite_version(path, META_FILENAME, 3)
+        loaded = ShardedSelectionStore.load(path)
+        assert len(loaded) == len(KEYS)
+        assert loaded.lookup(KEYS[0]).device_kind == "cpu"  # backfilled
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = self.save_store(tmp_path)
+        bad = self.rewrite_version(path, shard_filename(2), 2)
+        with pytest.raises(StoreSchemaError, match="unsupported") as exc:
+            ShardedSelectionStore.load(path)
+        assert exc.value.versions[bad] == 2
+
+    def test_missing_schema_version_rejected(self, tmp_path):
+        path = self.save_store(tmp_path)
+        full = os.path.join(path, shard_filename(0))
+        doc = json.load(open(full))
+        del doc["schema_version"]
+        json.dump(doc, open(full, "w"))
+        with pytest.raises(StoreSchemaError, match="no schema_version"):
+            ShardedSelectionStore.load(path)
+
+    def test_torn_shard_skipped_with_warning(self, tmp_path):
+        path = self.save_store(tmp_path)
+        torn = os.path.join(path, shard_filename(1))
+        lost = sum(
+            1
+            for e in json.load(open(torn))["entries"]
+        )
+        open(torn, "w").write('{"schema_version": 4, "entr')
+        with pytest.warns(UserWarning, match="torn or truncated"):
+            loaded = ShardedSelectionStore.load(path)
+        assert len(loaded) == len(KEYS) - lost
+
+    def test_torn_meta_loses_side_state_keeps_entries(self, tmp_path):
+        path = self.save_store(tmp_path)
+        open(os.path.join(path, META_FILENAME), "w").write("")
+        with pytest.warns(UserWarning, match="empty or torn"):
+            loaded = ShardedSelectionStore.load(path)
+        assert len(loaded) == len(KEYS)
+
+
+class TestSharedSideState:
+    def test_one_quarantine_ledger(self, tmp_path):
+        store = ShardedSelectionStore(shards=4)
+        threshold = store.quarantine.policy.quarantine_threshold
+        for _ in range(threshold):
+            store.quarantine.note_fault("k", "bad", "test")
+        for shard in store._shards:
+            assert shard.quarantine.is_quarantined("k", "bad")
+        path = str(tmp_path / "store")
+        store.save(path)
+        loaded = ShardedSelectionStore.load(path)
+        assert loaded.quarantine.is_quarantined("k", "bad")
+
+    def test_one_predictor_trains_across_shards(self, tmp_path):
+        store = ShardedSelectionStore(
+            shards=4, predict=PredictConfig(min_examples=2)
+        )
+        publish_all(store)
+        assert len(store.predictor) == len(KEYS)
+        path = str(tmp_path / "store")
+        store.save(path)
+        loaded = ShardedSelectionStore.load(path)
+        assert loaded.predictor is not None
+        assert len(loaded.predictor) == len(KEYS)
+
+    def test_drift_decay_routes_to_owning_shard(self):
+        store = ShardedSelectionStore(shards=4, drift=DriftConfig())
+        publish_all(store)
+        key = KEYS[3]
+        assert store.decay(key, grace=0.0)
+        assert store.shard_index(key) in store.dirty_shards()
+
+    def test_drift_state_round_trips(self, tmp_path):
+        store = ShardedSelectionStore(shards=2, drift=DriftConfig())
+        publish_all(store, KEYS[:2])
+        for _ in range(4):
+            store.drift.observe(KEYS[0], "k", "fast", 1.0)
+        path = str(tmp_path / "store")
+        store.save(path)
+        loaded = ShardedSelectionStore.load(path)
+        assert loaded.drift is not None
+
+
+class TestSchedulerIntegration:
+    def test_scheduler_accepts_sharded_store(self, config, fast_slow_pool):
+        from repro.device import make_cpu
+        from tests.conftest import make_axpy_args
+
+        store = ShardedSelectionStore(shards=4)
+        scheduler = LaunchScheduler(
+            (make_cpu(config), make_cpu(config)), store=store
+        )
+        scheduler.register_pool(fast_slow_pool)
+        outcomes = [
+            scheduler.launch(
+                ServeRequest(
+                    kernel="axpy",
+                    args=make_axpy_args(512, config),
+                    workload_units=512,
+                )
+            )
+            for _ in range(4)
+        ]
+        assert sum(o.profiled for o in outcomes) == 1
+        assert len(store) == 1
+
+    def test_warm_restart_from_sharded_checkpoint(
+        self, config, fast_slow_pool, tmp_path
+    ):
+        from repro.device import make_cpu
+        from tests.conftest import make_axpy_args
+
+        path = str(tmp_path / "store")
+        cold = LaunchScheduler(
+            (make_cpu(config),), store=ShardedSelectionStore(shards=4)
+        )
+        cold.register_pool(fast_slow_pool)
+        cold.launch(
+            ServeRequest(
+                kernel="axpy",
+                args=make_axpy_args(512, config),
+                workload_units=512,
+            )
+        )
+        cold.store.save(path)
+
+        warm = LaunchScheduler(
+            (make_cpu(config),), store=ShardedSelectionStore.load(path)
+        )
+        warm.register_pool(fast_slow_pool)
+        outcome = warm.launch(
+            ServeRequest(
+                kernel="axpy",
+                args=make_axpy_args(512, config),
+                workload_units=512,
+            )
+        )
+        assert outcome.store_hit
+        assert not outcome.profiled
+
+    def test_single_file_and_sharded_store_agree(
+        self, config, fast_slow_pool
+    ):
+        """Same traffic, same selections, whichever store backs it."""
+        from repro.device import make_cpu
+        from tests.conftest import make_axpy_args
+
+        def serve(store):
+            scheduler = LaunchScheduler((make_cpu(config),), store=store)
+            scheduler.register_pool(fast_slow_pool)
+            outcome = scheduler.launch(
+                ServeRequest(
+                    kernel="axpy",
+                    args=make_axpy_args(512, config),
+                    workload_units=512,
+                )
+            )
+            return outcome.result.selected, outcome.workload_class
+
+        assert serve(SelectionStore()) == serve(
+            ShardedSelectionStore(shards=4)
+        )

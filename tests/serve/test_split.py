@@ -1,0 +1,242 @@
+"""Work splitting: one large launch, many devices, stitched output.
+
+Covers the pure partitioner, the scheduler's split path (explicit and
+threshold-promoted), the never-profile invariant of split parts, and the
+trace/reconcile story for ranged launches.
+"""
+
+import pytest
+
+from repro.config import ReproConfig
+from repro.device import make_cpu, make_gpu
+from repro.errors import ServeError
+from repro.obs.events import EventKind
+from repro.obs.export import reconcile, summarize
+from repro.serve import (
+    LaunchScheduler,
+    ServeRequest,
+    SplitOutcome,
+    partition_units,
+)
+from repro.workloads import spmv_csr
+
+SIZE = 1024  # -> 256 workload units; mixed-fleet alignment is 32
+
+
+def fleet_scheduler(config, cpus=2, gpus=2, **kwargs):
+    devices = tuple(make_cpu(config) for _ in range(cpus)) + tuple(
+        make_gpu(config) for _ in range(gpus)
+    )
+    scheduler = LaunchScheduler(devices, **kwargs)
+    if cpus:
+        scheduler.register_pool(
+            spmv_csr.input_dependent_case("cpu", "random", SIZE, config).pool,
+            device_kind="cpu",
+        )
+    if gpus:
+        scheduler.register_pool(
+            spmv_csr.input_dependent_case("gpu", "random", SIZE, config).pool,
+            device_kind="gpu",
+        )
+    return scheduler
+
+
+def spmv_case(config):
+    return spmv_csr.input_dependent_case("cpu", "random", SIZE, config)
+
+
+def spmv_request(config, **kwargs):
+    case = spmv_case(config)
+    return ServeRequest(
+        kernel=case.pool.name,
+        args=case.fresh_args(),
+        workload_units=case.workload_units,
+        **kwargs,
+    )
+
+
+class TestPartitionUnits:
+    def test_equal_weights_equal_parts(self):
+        assert partition_units(128, [1.0, 1.0], 32) == [(0, 64), (64, 128)]
+
+    def test_weights_skew_the_cut(self):
+        ranges = partition_units(128, [3.0, 1.0], 32)
+        assert ranges == [(0, 96), (96, 128)]
+
+    def test_cuts_are_aligned_tail_takes_remainder(self):
+        ranges = partition_units(100, [1.0, 1.0, 1.0], 16)
+        assert ranges[-1][1] == 100
+        for start, _ in ranges:
+            assert start % 16 == 0
+        # Contiguous, monotone cover of [0, units).
+        for (_, end), (start, _) in zip(ranges, ranges[1:]):
+            assert end == start
+
+    def test_single_weight_is_whole_range(self):
+        assert partition_units(50, [1.0], 8) == [(0, 50)]
+
+    def test_zero_total_weight_is_whole_range(self):
+        assert partition_units(50, [0.0, 0.0], 8) == [(0, 50)]
+
+    def test_rounding_may_collapse_a_part(self):
+        ranges = partition_units(32, [0.01, 1.0], 32)
+        assert (0, 0) in ranges  # callers skip empty parts
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ServeError, match="units"):
+            partition_units(-1, [1.0], 1)
+        with pytest.raises(ServeError, match="align"):
+            partition_units(8, [1.0], 0)
+
+
+class TestExplicitSplit:
+    def test_split_covers_range_and_validates(self, config):
+        scheduler = fleet_scheduler(config)
+        case = spmv_case(config)
+        request = spmv_request(config, split=4)
+        outcome = scheduler.launch(request)
+        assert isinstance(outcome, SplitOutcome)
+        assert len(outcome.parts) > 1
+        # Ranges are disjoint, contiguous, aligned, and cover the whole.
+        assert outcome.ranges[0][0] == 0
+        assert outcome.ranges[-1][1] == case.workload_units
+        for (_, end), (start, _) in zip(outcome.ranges, outcome.ranges[1:]):
+            assert end == start
+        for start, _ in outcome.ranges:
+            assert start % 32 == 0
+        assert case.check(request.args)
+
+    def test_split_output_matches_unsplit_output(self, config):
+        split_request = spmv_request(config, split=4)
+        whole_request = spmv_request(config)
+        fleet_scheduler(config).launch(split_request)
+        fleet_scheduler(config).launch(whole_request)
+        assert (
+            split_request.args["y"].data == whole_request.args["y"].data
+        ).all()
+
+    def test_parts_never_profile_or_publish(self, config):
+        scheduler = fleet_scheduler(config)
+        outcome = scheduler.launch(spmv_request(config, split=4))
+        assert all(not part.profiled for part in outcome.parts)
+        assert all(part.lease is None for part in outcome.parts)
+        assert len(scheduler.store) == 0
+        assert scheduler.stats.split_launches == 1
+
+    def test_part_placements_labelled(self, config):
+        outcome = fleet_scheduler(config).launch(
+            spmv_request(config, split=3)
+        )
+        for i, part in enumerate(outcome.parts):
+            assert part.placement == f"split part {i + 1}/{len(outcome.parts)}"
+
+    def test_stitched_elapsed_is_slowest_part(self, config):
+        outcome = fleet_scheduler(config).launch(
+            spmv_request(config, split=4)
+        )
+        assert outcome.elapsed_cycles == max(
+            part.result.elapsed_cycles for part in outcome.parts
+        )
+        assert outcome.devices == tuple(p.device for p in outcome.parts)
+
+    def test_pinned_kind_split_stays_on_kind(self, config):
+        outcome = fleet_scheduler(config).launch(
+            spmv_request(config, split=4, device_kind="gpu")
+        )
+        assert all(device.startswith("gpu") for device in outcome.devices)
+
+    def test_split_one_is_a_whole_launch(self, config):
+        scheduler = fleet_scheduler(config)
+        outcome = scheduler.launch(spmv_request(config, split=1))
+        assert not isinstance(outcome, SplitOutcome)
+        assert outcome.profiled  # the normal cold path still profiles
+
+
+class TestDegradation:
+    def test_single_device_fleet_degrades_to_one_part(self, config):
+        scheduler = fleet_scheduler(config, cpus=1, gpus=0)
+        outcome = scheduler.launch_split(spmv_request(config), parts=8)
+        assert isinstance(outcome, SplitOutcome)
+        assert len(outcome.parts) == 1
+        assert outcome.ranges == ((0, 256),)
+
+    def test_tiny_workload_degrades_to_one_part(self, config):
+        scheduler = fleet_scheduler(config)
+        case = spmv_csr.input_dependent_case("cpu", "random", 200, config)
+        request = ServeRequest(
+            kernel=case.pool.name,
+            args=case.fresh_args(),
+            workload_units=case.workload_units,  # 50 < 2 * align
+            split=4,
+        )
+        outcome = scheduler.launch(request)
+        assert len(outcome.parts) == 1
+        assert case.check(request.args)
+
+    def test_degraded_single_part_still_profiles(self, config):
+        """A degraded split is a whole launch, so the cold path keeps
+        its one-microprofile-per-class behavior."""
+        scheduler = fleet_scheduler(config, cpus=1, gpus=0)
+        outcome = scheduler.launch_split(spmv_request(config), parts=8)
+        assert outcome.parts[0].profiled
+        assert len(scheduler.store) == 1
+
+
+class TestAutoSplit:
+    def test_threshold_promotes_large_launches(self, config):
+        scheduler = fleet_scheduler(config, split_threshold=128)
+        outcome = scheduler.launch(spmv_request(config))
+        assert isinstance(outcome, SplitOutcome)
+        assert len(outcome.parts) > 1
+
+    def test_threshold_leaves_small_launches_whole(self, config):
+        scheduler = fleet_scheduler(config, split_threshold=1024)
+        outcome = scheduler.launch(spmv_request(config))
+        assert not isinstance(outcome, SplitOutcome)
+
+    def test_bad_threshold_rejected(self, config):
+        with pytest.raises(ServeError, match="split_threshold"):
+            LaunchScheduler((make_cpu(config),), split_threshold=0)
+
+
+class TestSplitTracing:
+    def test_split_launch_event_and_summary(self):
+        config = ReproConfig(trace=True)
+        scheduler = fleet_scheduler(config)
+        outcome = scheduler.launch(spmv_request(config, split=4))
+        event = next(
+            e
+            for e in scheduler.tracer.events
+            if e.kind is EventKind.SPLIT_LAUNCH
+        )
+        assert event.args["parts"] == len(outcome.parts)
+        assert tuple(tuple(r) for r in event.args["ranges"]) == (
+            outcome.ranges
+        )
+        summary = summarize(scheduler.tracer.events)
+        assert summary.split_launches == 1
+        assert "split launch(es)" in summary.format()
+
+    def test_ranged_launch_traces_reconcile(self):
+        config = ReproConfig(trace=True)
+        scheduler = fleet_scheduler(config)
+        scheduler.launch(spmv_request(config, split=4))
+        scheduler.launch(spmv_request(config))
+        for events in scheduler.device_traces().values():
+            assert reconcile(events) == []
+
+    def test_ranged_launch_begin_records_work_range(self):
+        config = ReproConfig(trace=True)
+        scheduler = fleet_scheduler(config)
+        outcome = scheduler.launch(spmv_request(config, split=4))
+        begins = [
+            e
+            for events in scheduler.device_traces().values()
+            for e in events
+            if e.kind is EventKind.LAUNCH_BEGIN and "work_start" in e.args
+        ]
+        assert len(begins) == len(outcome.parts)
+        spans = sorted(
+            (e.args["work_start"], e.args["work_end"]) for e in begins
+        )
+        assert tuple(spans) == outcome.ranges

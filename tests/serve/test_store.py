@@ -277,3 +277,56 @@ class TestPersistence:
         assert not [
             p for p in tmp_path.iterdir() if p.suffix == ".tmp"
         ], "temp files must not survive a save"
+
+
+class TestDeviceKindAndMigration:
+    """Schema v4: denormalized device_kind + v3 migration (key rules
+    unchanged since v3, so old snapshots recover it from the key)."""
+
+    def test_publish_denormalizes_device_kind(self):
+        store, _ = make_store()
+        store.publish(
+            "k|gpu|units^2=4", kernel="k", selected="v", cycles_per_unit=1.0
+        )
+        assert store.lookup("k|gpu|units^2=4").device_kind == "gpu"
+
+    def test_non_signature_key_yields_empty_kind(self):
+        store, _ = make_store()
+        store.publish("bare-key", kernel="k", selected="v",
+                      cycles_per_unit=1.0)
+        assert store.lookup("bare-key").device_kind == ""
+
+    def test_device_kind_from_key(self):
+        from repro.serve.store import device_kind_from_key
+
+        assert device_kind_from_key("k|cpu|units^2=4") == "cpu"
+        assert device_kind_from_key("k|gpu") == "gpu"
+        assert device_kind_from_key("bare") == ""
+
+    def test_v3_snapshot_migrates_and_backfills(self, tmp_path):
+        """A v3 snapshot (no device_kind field) loads and recovers the
+        kind from each key."""
+        path = str(tmp_path / "store.json")
+        store, _ = make_store()
+        store.publish("k|gpu|units^2=4", kernel="k", selected="v",
+                      cycles_per_unit=2.0)
+        store.save(path)
+        doc = json.loads(open(path).read())
+        doc["schema_version"] = 3
+        for entry in doc["entries"]:
+            entry.pop("device_kind", None)
+        open(path, "w").write(json.dumps(doc))
+        loaded = SelectionStore.load(path)
+        entry = loaded.lookup("k|gpu|units^2=4")
+        assert entry.selected == "v"
+        assert entry.device_kind == "gpu"
+
+    def test_v4_snapshot_persists_device_kind(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        store, _ = make_store()
+        store.publish("k|cpu|units^2=4", kernel="k", selected="v",
+                      cycles_per_unit=2.0)
+        store.save(path)
+        doc = json.loads(open(path).read())
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["entries"][0]["device_kind"] == "cpu"
