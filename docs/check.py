@@ -36,6 +36,7 @@ PAGES = (
     "docs/architecture.md",
     "docs/benchmarks.md",
     "docs/drift.md",
+    "docs/engine.md",
     "docs/faults.md",
     "docs/fleet.md",
     "docs/prediction.md",

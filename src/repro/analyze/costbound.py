@@ -37,7 +37,6 @@ costs one evaluation each.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -45,6 +44,7 @@ import numpy as np
 
 from ..device import make_cpu, make_gpu
 from ..device.base import Device
+from ..device.cost import ir_hash as _device_ir_hash
 from ..device.memory import ELEM_BYTES
 from ..kernel.buffers import MemorySpace
 from ..kernel.ir import AccessPattern, AtomicKind, KernelIR, MemoryAccess
@@ -252,56 +252,12 @@ def ir_hash(ir: KernelIR) -> str:
     the *bounds* never look through them, so two IRs differing only in
     evaluator bodies have identical cost intervals and may share a cache
     entry.
+
+    The hash itself lives in :func:`repro.device.cost.ir_hash` (the
+    engine's cost-kernel memo keys on it too); this module re-exports it
+    so analysis callers keep their import path.
     """
-    parts = []
-    for loop in ir.loops:
-        bound = (
-            f"static:{loop.bound.static_trips}"
-            if loop.bound.static_trips is not None
-            else "dynamic"
-        )
-        parts.append(
-            f"loop:{loop.name}:{bound}:{loop.is_work_item_loop}:{loop.has_early_exit}"
-        )
-    for access in ir.accesses:
-        parts.append(
-            "access:" + ":".join(
-                str(x)
-                for x in (
-                    access.buffer,
-                    access.is_write,
-                    access.pattern.value,
-                    access.bytes_per_trip,
-                    access.loop,
-                    access.scope,
-                    access.stride_bytes,
-                    access.atomic.value,
-                    access.working_set_hint,
-                    access.stride_evaluator is not None,
-                    access.footprint_hint is not None,
-                    access.strides_by_loop,
-                )
-            )
-        )
-    parts.append(
-        "scalars:" + ":".join(
-            str(x)
-            for x in (
-                ir.flops_per_trip,
-                ir.flops_fixed,
-                ir.vector_width,
-                ir.divergence,
-                ir.scratchpad_bytes,
-                ir.uses_barrier,
-                ir.unroll_factor,
-                ir.prefetch,
-                ir.placements,
-                ir.work_group_threads,
-            )
-        )
-    )
-    digest = hashlib.blake2b("\n".join(parts).encode(), digest_size=16)
-    return digest.hexdigest()
+    return _device_ir_hash(ir)
 
 
 # ----------------------------------------------------------------------

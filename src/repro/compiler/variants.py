@@ -15,6 +15,7 @@ from typing import Optional, Sequence, Tuple
 from ..errors import RegistrationError
 from ..kernel.kernel import KernelSpec, KernelVariant
 from ..modes import ProfilingMode
+from .analyses.safe_point import lcm_of
 from .analyses.side_effect import analyze_side_effects
 from .analyses.uniform import analyze_uniformity
 
@@ -83,6 +84,21 @@ class VariantPool:
     def variant_names(self) -> Tuple[str, ...]:
         """Registered variant names, in registration order."""
         return tuple(variant.name for variant in self.variants)
+
+    @property
+    def wa_lcm(self) -> int:
+        """LCM of the pool's work-assignment factors (memoized).
+
+        Eager chunking and mixed-plan slicing align every cut to this
+        base on every launch; the variant set is immutable after
+        construction, so the fold runs once per pool instead of once per
+        launch on the orchestration hot path.
+        """
+        cached = self.__dict__.get("_wa_lcm")
+        if cached is None:
+            cached = lcm_of([variant.wa_factor for variant in self.variants])
+            self.__dict__["_wa_lcm"] = cached
+        return cached
 
     def variant(self, name: str) -> KernelVariant:
         """Look up one variant by name."""

@@ -22,7 +22,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Mapping, Optional, Tuple
 
-from ..compiler.analyses.safe_point import lcm_of
 from ..compiler.variants import VariantPool
 from ..device.engine import ExecutionEngine, Priority, TaskHandle
 from ..errors import ProfilingError
@@ -79,7 +78,7 @@ def build_mixed_plan(
     """
     if num_slices < 1:
         raise ProfilingError("num_slices must be >= 1")
-    base = lcm_of([variant.wa_factor for variant in pool.variants])
+    base = pool.wa_lcm
     slice_units = max(base, (workload_units // num_slices) // base * base)
 
     boundaries: List[int] = list(range(0, workload_units, slice_units))

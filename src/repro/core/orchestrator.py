@@ -30,7 +30,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from ..compiler.analyses.safe_point import lcm_of
 from ..compiler.variants import VariantPool
 from ..config import ReproConfig
 from ..device.engine import ExecutionEngine, Priority, TaskHandle
@@ -472,7 +471,7 @@ def run_async(
     assert current_best is not None
     pool.variant(current_best)  # validate the name early
 
-    base = lcm_of([variant.wa_factor for variant in pool.variants])
+    base = pool.wa_lcm
     chunk_units = max(
         base,
         (

@@ -29,7 +29,16 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..analyze.diagnostics import VerificationReport
 from ..analyze.dominance import (
@@ -44,6 +53,7 @@ from ..compiler.analyses.safe_point import SafePointPlan, safe_point_plan
 from ..compiler.variants import VariantPool
 from ..config import ReproConfig
 from ..device.base import Device
+from ..device.cost import invalidate_cost_memo, ir_hash
 from ..device.engine import ExecutionEngine, Priority
 from ..drift import DriftConfig, DriftSignal, ReselectionController
 from ..errors import (
@@ -52,6 +62,7 @@ from ..errors import (
     LaunchError,
     ProfilingError,
     ProfilingFaultError,
+    RegistrationError,
 )
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan, FaultRecord
@@ -266,7 +277,11 @@ class DySelRuntime:
         variant (nor crash on a name that a replacement removed).
         """
         self.registry.add_kernel(kernel_sig, implementation, initial_default)
-        self._invalidate_selection(kernel_sig, "pool extended by add_kernel")
+        self._invalidate_selection(
+            kernel_sig,
+            "pool extended by add_kernel",
+            ir_hashes=self._pool_ir_hashes(kernel_sig),
+        )
 
     def register_pool(self, pool: VariantPool) -> None:
         """Register a compiler-built pool in one call.
@@ -279,19 +294,43 @@ class DySelRuntime:
         startup.
         """
         replacing = pool.name in self.registry
+        stale_hashes = self._pool_ir_hashes(pool.name) if replacing else ()
         self.registry.register_pool(pool)
         if replacing:
-            self._invalidate_selection(pool.name, "pool re-registered")
+            hashes = set(stale_hashes)
+            hashes.update(ir_hash(variant.ir) for variant in pool.variants)
+            self._invalidate_selection(
+                pool.name, "pool re-registered", ir_hashes=hashes
+            )
 
-    def _invalidate_selection(self, kernel_sig: str, why: str) -> None:
+    def _pool_ir_hashes(self, kernel_sig: str) -> Tuple[str, ...]:
+        """IR hashes of a signature's currently registered variants."""
+        try:
+            pool = self.registry.pool(kernel_sig)
+        except RegistrationError:
+            return ()
+        return tuple(ir_hash(variant.ir) for variant in pool.variants)
+
+    def _invalidate_selection(
+        self,
+        kernel_sig: str,
+        why: str,
+        ir_hashes: Optional[Iterable[str]] = None,
+    ) -> None:
         """Evict a kernel's cached selection after a registration change.
 
         Invalidation hooks fire unconditionally (external stores may hold
         selections this runtime never cached); the in-memory eviction and
         its trace event only happen when there was an entry to evict.
+        With ``ir_hashes`` given, the engine's cost-kernel memo entries
+        for those IRs are dropped too — a re-registered pool may ship a
+        structurally different variant under the same name, and stale
+        cost arrays must die with the stale selection.
         """
         for hook in self._invalidation_hooks:
             hook(kernel_sig, why)
+        if ir_hashes:
+            invalidate_cost_memo(ir_hashes)
         if kernel_sig not in self.cache:
             return
         stale = self.cache.lookup(kernel_sig)

@@ -20,7 +20,14 @@ observes measured times, exactly as on real hardware.
 
 from .base import Device, DeviceSpec
 from .clock import MeasuredInterval, NoisyClock
-from .cost import CostModel
+from .cost import (
+    CostModel,
+    clear_cost_memo,
+    cost_memo_stats,
+    invalidate_cost_memo,
+    ir_hash,
+    statically_priced,
+)
 from .cpu import CpuDevice, CpuSpec, make_cpu
 from .engine import ExecutionEngine, Priority, TaskHandle
 from .gpu import GpuDevice, GpuSpec, make_gpu
@@ -45,6 +52,11 @@ __all__ = [
     "Stream",
     "StreamPool",
     "TaskHandle",
+    "clear_cost_memo",
+    "cost_memo_stats",
+    "invalidate_cost_memo",
+    "ir_hash",
     "make_cpu",
     "make_gpu",
+    "statically_priced",
 ]

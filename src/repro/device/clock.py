@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import List
 
 import numpy as np
 
@@ -97,3 +98,49 @@ class NoisyClock:
         end_tick = math.floor((phase + true_cycles) / quantum)
         measured = (end_tick - start_tick) * quantum
         return MeasuredInterval(true_cycles=true_cycles, measured_cycles=measured)
+
+    def read_intervals(self, true_cycles) -> List[MeasuredInterval]:
+        """Measure several intervals through the quantized timer at once.
+
+        Bit-identical to calling :meth:`read_interval` once per entry in
+        order — including RNG consumption: entries on the exact branch
+        (interval far above the quantum) draw nothing, the rest draw one
+        phase each, and a numpy ``Generator`` produces the same stream
+        whether the uniforms are drawn one at a time or as a batch.  The
+        engine's vectorized drain uses this so measurement noise cannot
+        tell the paths apart.
+        """
+        values = np.asarray(true_cycles, dtype=float)
+        if values.size == 0:
+            return []
+        if np.any(values < 0):
+            bad = float(values[values < 0][0])
+            raise ValueError(f"interval cannot be negative: {bad}")
+        quantum = self._quantum
+        exact = values > quantum * 2**40
+        n_draws = int(np.count_nonzero(~exact))
+        phases = (
+            self._rng.uniform(0.0, quantum, size=n_draws)
+            if n_draws
+            else np.zeros(0)
+        )
+        out: List[MeasuredInterval] = []
+        draw = 0
+        for index, value in enumerate(values):
+            value = float(value)
+            if exact[index]:
+                out.append(
+                    MeasuredInterval(true_cycles=value, measured_cycles=value)
+                )
+                continue
+            phase = float(phases[draw])
+            draw += 1
+            start_tick = math.floor(phase / quantum)
+            end_tick = math.floor((phase + value) / quantum)
+            out.append(
+                MeasuredInterval(
+                    true_cycles=value,
+                    measured_cycles=(end_tick - start_tick) * quantum,
+                )
+            )
+        return out

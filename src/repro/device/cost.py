@@ -25,8 +25,11 @@ system has.
 
 from __future__ import annotations
 
+import hashlib
+import threading
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from functools import lru_cache
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -35,6 +38,149 @@ from ..kernel.ir import AtomicKind, KernelIR
 from ..kernel.kernel import KernelVariant, WorkRange
 from .base import Device
 from .memory import ELEM_BYTES, AccessCost
+
+
+@lru_cache(maxsize=4096)
+def ir_hash(ir: KernelIR) -> str:
+    """Stable structural hash of an IR.
+
+    Callables (data-dependent evaluators) are replaced by a fixed marker:
+    static analyses never look through them, so two IRs differing only in
+    evaluator bodies hash identically — which is exactly why the cost-kernel
+    memo below refuses to cache IRs that carry any evaluator at all
+    (:func:`statically_priced`).
+    """
+    parts = []
+    for loop in ir.loops:
+        bound = (
+            f"static:{loop.bound.static_trips}"
+            if loop.bound.static_trips is not None
+            else "dynamic"
+        )
+        parts.append(
+            f"loop:{loop.name}:{bound}:{loop.is_work_item_loop}:{loop.has_early_exit}"
+        )
+    for access in ir.accesses:
+        parts.append(
+            "access:" + ":".join(
+                str(x)
+                for x in (
+                    access.buffer,
+                    access.is_write,
+                    access.pattern.value,
+                    access.bytes_per_trip,
+                    access.loop,
+                    access.scope,
+                    access.stride_bytes,
+                    access.atomic.value,
+                    access.working_set_hint,
+                    access.stride_evaluator is not None,
+                    access.footprint_hint is not None,
+                    access.strides_by_loop,
+                )
+            )
+        )
+    parts.append(
+        "scalars:" + ":".join(
+            str(x)
+            for x in (
+                ir.flops_per_trip,
+                ir.flops_fixed,
+                ir.vector_width,
+                ir.divergence,
+                ir.scratchpad_bytes,
+                ir.uses_barrier,
+                ir.unroll_factor,
+                ir.prefetch,
+                ir.placements,
+                ir.work_group_threads,
+            )
+        )
+    )
+    digest = hashlib.blake2b("\n".join(parts).encode(), digest_size=16)
+    return digest.hexdigest()
+
+
+@lru_cache(maxsize=4096)
+def statically_priced(ir: KernelIR) -> bool:
+    """True when an IR's pricing cannot depend on runtime data.
+
+    An IR is statically priced when no loop bound, stride, or footprint is
+    evaluator-driven: every per-unit cost term is then a function of IR
+    constants and buffer shapes only, identical across units — the
+    precondition for the cost-kernel memo (and the reason ``ir_hash``'s
+    evaluator-blindness is safe there).
+    """
+    if any(loop.bound.evaluator is not None for loop in ir.loops):
+        return False
+    return all(
+        access.stride_evaluator is None and access.footprint_hint is None
+        for access in ir.accesses
+    )
+
+
+# ----------------------------------------------------------------------
+# Cost-kernel memo
+# ----------------------------------------------------------------------
+#
+# For a statically priced IR, ``workgroup_cycles`` depends only on the IR
+# structure, the device, the variant's packing factor, the *length* of the
+# unit range (starts are wa-aligned, so group partitioning is position
+# independent) and the shapes/placements of the buffers bound to each
+# access.  One entry therefore serves every launch of the same workload
+# class — repeated serving launches, profiling slices of equal length,
+# eager chunks — and the cached array is returned as-is (read-only), so a
+# warm launch derives nothing.
+
+_MEMO_LOCK = threading.Lock()
+_COST_MEMO: Dict[Tuple, np.ndarray] = {}
+_MEMO_HITS = 0
+_MEMO_MISSES = 0
+#: Invalidation generation: a computation begun under an older generation
+#: must not repopulate the memo after an invalidation raced past it.
+_MEMO_GEN = 0
+
+
+def cost_memo_stats() -> Dict[str, int]:
+    """Current memo size and hit/miss counters (monotonic until cleared)."""
+    with _MEMO_LOCK:
+        return {
+            "entries": len(_COST_MEMO),
+            "hits": _MEMO_HITS,
+            "misses": _MEMO_MISSES,
+        }
+
+
+def clear_cost_memo() -> None:
+    """Drop every memo entry and reset the hit/miss counters."""
+    global _MEMO_HITS, _MEMO_MISSES, _MEMO_GEN
+    with _MEMO_LOCK:
+        _COST_MEMO.clear()
+        _MEMO_HITS = 0
+        _MEMO_MISSES = 0
+        _MEMO_GEN += 1
+
+
+def invalidate_cost_memo(ir_hashes: Optional[Iterable[str]] = None) -> int:
+    """Drop memo entries for the given IR hashes (all entries when None).
+
+    Returns the number of entries dropped.  Runs under the memo lock and
+    bumps the generation counter, so a cost evaluation already in flight
+    on another thread cannot re-insert a doomed entry after this returns
+    (the pool re-registration race).
+    """
+    global _MEMO_GEN
+    with _MEMO_LOCK:
+        _MEMO_GEN += 1
+        if ir_hashes is None:
+            dropped = len(_COST_MEMO)
+            _COST_MEMO.clear()
+            return dropped
+        doomed_hashes = set(ir_hashes)
+        doomed = [key for key in _COST_MEMO if key[0] in doomed_hashes]
+        for key in doomed:
+            del _COST_MEMO[key]
+        return len(doomed)
 
 
 @dataclass(frozen=True)
@@ -51,6 +197,15 @@ class CostModel:
 
     def __init__(self, device: Device) -> None:
         self.device = device
+        #: Memo key component identifying the pricing-relevant device
+        #: state.  Specs, cache levels and DRAM rows are frozen
+        #: dataclasses, so equal devices (fleet replicas) share entries.
+        self._device_key = (
+            type(device).__qualname__,
+            device.spec,
+            device.memory.levels,
+            device.memory.dram,
+        )
 
     # ------------------------------------------------------------------
     # Public API
@@ -67,9 +222,87 @@ class CostModel:
         ``units`` must be aligned to the variant's ``wa_factor`` (safe
         point analysis guarantees this for profiling slices; whole-launch
         ranges start at zero and are trivially aligned).
+
+        Statically priced IRs (:func:`statically_priced`) are memoized per
+        (IR hash, device, packing factor, range length, buffer shapes):
+        repeated launches of the same workload class return the cached
+        (read-only) array without re-deriving anything.  The memo is a
+        pure cache — hits are bit-identical to the computation they skip.
         """
+        global _MEMO_HITS, _MEMO_MISSES
         if units.empty:
             return np.zeros(0)
+        key = self._memo_key(variant, args, units)
+        if key is not None:
+            with _MEMO_LOCK:
+                cached = _COST_MEMO.get(key)
+                if cached is not None:
+                    _MEMO_HITS += 1
+                    return cached
+                generation = _MEMO_GEN
+        result = self._workgroup_cycles_uncached(variant, args, units)
+        if key is not None:
+            result.setflags(write=False)
+            with _MEMO_LOCK:
+                _MEMO_MISSES += 1
+                if _MEMO_GEN == generation:
+                    _COST_MEMO.setdefault(key, result)
+        return result
+
+    def _memo_key(
+        self,
+        variant: KernelVariant,
+        args: Mapping[str, object],
+        units: WorkRange,
+    ) -> Optional[Tuple]:
+        """Memo key for a launch, or None when it must not be cached.
+
+        Only wa-aligned ranges qualify: alignment makes the group
+        partition (and therefore the cost array) a function of the range
+        *length* alone, so profiling slices at different offsets share
+        one entry.  A misaligned range falls through to the uncached path
+        (which rejects it the same way it always has).
+        """
+        ir = variant.ir
+        if not statically_priced(ir):
+            return None
+        if units.start % variant.wa_factor != 0:
+            return None
+        placements = dict(ir.placements)
+        fingerprint = []
+        for access in ir.accesses:
+            buffer = self._buffer_arg(args, access.buffer)
+            space = placements.get(
+                access.buffer,
+                buffer.space.value if buffer is not None else "global",
+            )
+            hint = (
+                self._buffer_arg(args, access.working_set_hint)
+                if access.working_set_hint
+                else None
+            )
+            fingerprint.append(
+                (
+                    float(buffer.nbytes) if buffer is not None else None,
+                    space,
+                    float(hint.nbytes) if hint is not None else None,
+                )
+            )
+        return (
+            ir_hash(ir),
+            self._device_key,
+            variant.wa_factor,
+            len(units),
+            tuple(fingerprint),
+        )
+
+    def _workgroup_cycles_uncached(
+        self,
+        variant: KernelVariant,
+        args: Mapping[str, object],
+        units: WorkRange,
+    ) -> np.ndarray:
+        """Full cost derivation (the memo's fill path)."""
         unit_ids = np.arange(units.start, units.end, dtype=np.int64)
         breakdown = self.unit_costs(variant.ir, args, unit_ids)
 

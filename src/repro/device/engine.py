@@ -33,6 +33,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 from ..config import ReproConfig
 from ..errors import EngineError
 from ..kernel.kernel import KernelVariant, WorkRange
@@ -47,9 +49,45 @@ from .cost import CostModel
 #: device-side setup before the first work-group starts.
 HOST_LAUNCH_FRACTION = 0.25
 
-#: Above this many work-groups, an uncontended batch task is scheduled with
-#: the analytic makespan instead of per-work-group events.
+#: Above this many *total queued* work-groups, a drain to an unbounded
+#: horizon skips the per-work-group event machinery and runs the analytic
+#: schedule (see :meth:`ExecutionEngine._try_fast_batch`).  Contended and
+#: mixed-priority queues qualify: with no pending arrivals the event loop
+#: is provably a priority-ordered greedy list schedule, so draining it in
+#: one pass is exact, not an approximation.
 FAST_BATCH_THRESHOLD = 4096
+
+#: When True, the analytic drain additionally collapses equal-duration
+#: batches (noise off, statically priced kernels) into a numpy
+#: closed-form round-robin schedule instead of a per-group heap loop.
+#: The closed form is only taken when it is provably bit-identical to the
+#: heap loop; tests monkeypatch this flag to force each path.
+VECTORIZED_BATCH = True
+
+#: Shared empty duration array for finalized/cancelled tasks.
+_NO_DURATIONS = np.zeros(0)
+
+
+class _Batch:
+    """Queued work-groups of one task: a duration array and a cursor.
+
+    The event loop consumes groups by advancing ``index``; the analytic
+    drain consumes the remaining suffix at once.  Keeping the array whole
+    (instead of a deque of floats) is what makes the vectorized schedule
+    possible without changing delivery order.
+    """
+
+    __slots__ = ("task", "durations", "index")
+
+    def __init__(self, task: "TaskHandle") -> None:
+        self.task = task
+        self.durations = task._durations
+        self.index = 0
+
+    @property
+    def remaining(self) -> int:
+        """Work-groups not yet dispatched from this batch."""
+        return len(self.durations) - self.index
 
 
 class Priority(enum.IntEnum):
@@ -78,8 +116,13 @@ class TaskHandle:
     measure: bool
     submit_time: float
     arrival_time: float
-    #: Work-group durations (jittered), consumed front-first at dispatch.
-    _durations: Deque[float] = field(default_factory=deque, repr=False)
+    #: Work-group durations (jittered), dispatched in index order.  The
+    #: array may be a read-only view shared with the cost-kernel memo;
+    #: the engine never writes through it (consumption state lives on the
+    #: ready-queue :class:`_Batch`, not here).
+    _durations: np.ndarray = field(
+        default_factory=lambda: _NO_DURATIONS, repr=False
+    )
     total_work_groups: int = 0
     completed_work_groups: int = 0
     first_start: float = float("inf")
@@ -132,13 +175,16 @@ class ExecutionEngine:
         heapq.heapify(self._unit_heap)
         #: Pending device-side arrivals: (arrival_time, seq, task).
         self._arrivals: List[Tuple[float, int, TaskHandle]] = []
-        #: Ready work-groups by priority: deque of (task, duration).
-        self._ready: Dict[Priority, Deque[Tuple[TaskHandle, float]]] = {
+        #: Ready work by priority: deque of per-task :class:`_Batch`es.
+        self._ready: Dict[Priority, Deque[_Batch]] = {
             p: deque() for p in Priority
         }
         self._seq = itertools.count()
         self._busy_cycles = 0.0
         self._launch_count = 0
+        #: Task the current ``_advance_to`` must stop after (plumbed to
+        #: the analytic drain, whose signature tests subclass).
+        self._stop_task: Optional[TaskHandle] = None
         #: Optional fault injector (:mod:`repro.faults`); when installed,
         #: it owns functional execution and may sabotage submissions.
         self.injector = None
@@ -203,7 +249,11 @@ class ExecutionEngine:
         true_costs = self.cost_model.workgroup_cycles(variant, args, units)
         durations = self.clock.jitter_durations(true_costs)
         if latency_scale != 1.0:
-            durations = [d * latency_scale for d in durations]
+            # Elementwise multiply: bit-identical to scaling each float.
+            durations = durations * latency_scale
+        # No copy when the costs came back from the memo unscaled: the
+        # read-only cached array flows straight onto the ready queue.
+        durations = np.ascontiguousarray(durations, dtype=np.float64)
 
         task = TaskHandle(
             task_id=next(self._seq),
@@ -214,8 +264,8 @@ class ExecutionEngine:
             measure=measure,
             submit_time=self._now,
             arrival_time=arrival,
-            _durations=deque(float(d) for d in durations),
-            total_work_groups=int(len(durations)),
+            _durations=durations,
+            total_work_groups=int(durations.size),
         )
         if hang:
             # Accepted by the driver, never scheduled: the task sits
@@ -341,11 +391,11 @@ class ExecutionEngine:
         ]
         heapq.heapify(self._arrivals)
         for queue in self._ready.values():
-            if any(item[0] is task for item in queue):
-                kept = [item for item in queue if item[0] is not task]
+            if any(batch.task is task for batch in queue):
+                kept = [batch for batch in queue if batch.task is not task]
                 queue.clear()
                 queue.extend(kept)
-        task._durations.clear()
+        task._durations = _NO_DURATIONS
         task.cancelled = True
         if self.tracer.enabled:
             self.tracer.instant(
@@ -399,23 +449,25 @@ class ExecutionEngine:
 
     def _ready_count(self) -> int:
         """Work-groups currently queued across all priorities."""
-        return sum(len(q) for q in self._ready.values())
+        return sum(
+            batch.remaining
+            for queue in self._ready.values()
+            for batch in queue
+        )
 
-    def _pop_ready(self) -> Tuple[TaskHandle, float]:
-        """Dequeue the highest-priority ready work-group."""
+    def _peek_ready(self) -> _Batch:
+        """The highest-priority ready batch (queues must not be empty)."""
         for priority in Priority:
             queue = self._ready[priority]
             if queue:
-                return queue.popleft()
+                return queue[0]
         raise EngineError("no ready work-group to pop")
 
     def _deliver_arrivals(self, up_to: float) -> None:
         """Move tasks whose submit time has passed onto the ready queues."""
         while self._arrivals and self._arrivals[0][0] <= up_to:
             _, _, task = heapq.heappop(self._arrivals)
-            queue = self._ready[task.priority]
-            while task._durations:
-                queue.append((task, task._durations.popleft()))
+            self._ready[task.priority].append(_Batch(task))
 
     def _advance_to(
         self, horizon: float, stop_task: Optional[TaskHandle] = None
@@ -426,94 +478,209 @@ class ExecutionEngine:
         returns as soon as that task finishes.
         """
         progressed = False
-        while True:
-            if stop_task is not None and stop_task.finished:
-                return progressed
-            if self._ready_count() == 0:
-                if not self._arrivals:
+        previous_stop = self._stop_task
+        self._stop_task = stop_task
+        try:
+            while True:
+                if stop_task is not None and stop_task.finished:
                     return progressed
-                next_arrival = self._arrivals[0][0]
-                if next_arrival > horizon:
-                    return progressed
-                self._deliver_arrivals(next_arrival)
-                continue
+                ready = self._ready
+                if not (
+                    ready[Priority.PROFILING]
+                    or ready[Priority.EAGER]
+                    or ready[Priority.BATCH]
+                ):
+                    if not self._arrivals:
+                        return progressed
+                    next_arrival = self._arrivals[0][0]
+                    if next_arrival > horizon:
+                        return progressed
+                    self._deliver_arrivals(next_arrival)
+                    continue
 
-            if self._try_fast_batch(horizon):
+                if self._try_fast_batch(horizon):
+                    progressed = True
+                    continue
+
+                free_time, unit = self._unit_heap[0]
+                # Deliver anything arriving by the dispatch instant so
+                # higher priority work can claim the unit.
+                self._deliver_arrivals(free_time)
+                batch = self._peek_ready()
+                task = batch.task
+                start = max(free_time, task.arrival_time)
+                if start > horizon:
+                    # Nothing can start inside the horizon yet.
+                    return progressed
+                duration = float(batch.durations[batch.index])
+                batch.index += 1
+                if batch.index == len(batch.durations):
+                    self._ready[task.priority].popleft()
+                heapq.heappop(self._unit_heap)
+                end = start + duration
+                heapq.heappush(self._unit_heap, (end, unit))
+                self._busy_cycles += duration
+                task.first_start = min(task.first_start, start)
+                task.last_end = max(task.last_end, end)
+                task.completed_work_groups += 1
+                if task.finished:
+                    self._finalize(task)
                 progressed = True
-                continue
-
-            free_time, unit = self._unit_heap[0]
-            # Deliver anything arriving by the dispatch instant so higher
-            # priority work can claim the unit.
-            self._deliver_arrivals(free_time)
-            task, duration = self._pop_ready()
-            start = max(free_time, task.arrival_time)
-            if start > horizon:
-                # Undo the pop; nothing can start inside the horizon yet.
-                self._ready[task.priority].appendleft((task, duration))
-                return progressed
-            heapq.heappop(self._unit_heap)
-            end = start + duration
-            heapq.heappush(self._unit_heap, (end, unit))
-            self._busy_cycles += duration
-            task.first_start = min(task.first_start, start)
-            task.last_end = max(task.last_end, end)
-            task.completed_work_groups += 1
-            if task.finished:
-                self._finalize(task)
-            progressed = True
+        finally:
+            self._stop_task = previous_stop
 
     def _try_fast_batch(self, horizon: float) -> bool:
-        """Greedy fast path for a large uncontended batch.
+        """Analytic drain of the ready queues (exact, never approximate).
 
-        When exactly one task's work-groups are ready, nothing else is in
-        flight or arriving, and the batch is large, the per-group event
-        machinery (priority scans, arrival delivery, horizon checks) is
-        skipped and the same greedy list schedule — each group goes to
-        the earliest-free unit — runs as a tight heap loop.  The
-        resulting unit free times, task intervals, and busy cycles are
-        *identical* to the per-group event path on the same inputs; only
-        the simulation cost differs.
+        With no pending arrivals and an unbounded horizon, the event loop
+        degenerates to a fixed iteration order: for each queued work-group
+        in priority-then-FIFO order, pop the earliest-free unit, start at
+        ``max(free_time, arrival)``, run, push back.  Nothing can preempt
+        — arrivals are empty and priorities are fixed — so running that
+        schedule as a tight loop over whole batches (contended,
+        mixed-priority, and preempted queues included) produces *bit
+        identical* unit free times, intervals, busy cycles, and
+        measurement-RNG consumption; only the simulation cost differs.
+
+        When every remaining duration in a batch is the same value ``d``
+        and all units are free at the same instant (the uncontended
+        noise-free case), the greedy schedule is a round-robin with round
+        ends ``a, a+d, a+2d, …`` — a sequential fold that
+        ``np.add.accumulate`` reproduces exactly, so the heap loop
+        collapses to a handful of array ops (gated by
+        :data:`VECTORIZED_BATCH`).
+
+        A ``stop_task`` (plumbed via ``_advance_to``) stops the drain
+        right after the batch that finishes it; later batches stay queued
+        because work submitted afterwards could still preempt them.
         """
-        if self._arrivals:
+        if self._arrivals or horizon != float("inf"):
             return False
-        if horizon != float("inf"):
+        if self._ready_count() < FAST_BATCH_THRESHOLD:
             return False
-        ready = [(p, q) for p, q in self._ready.items() if q]
-        if len(ready) != 1:
-            return False
-        _, queue = ready[0]
-        if len(queue) < FAST_BATCH_THRESHOLD:
-            return False
-        tasks = {id(task): task for task, _ in queue}
-        if len(tasks) != 1:
-            return False
-        task = next(iter(tasks.values()))
 
+        stop_task = self._stop_task
         unit_heap = self._unit_heap
-        arrival = task.arrival_time
-        first_start = task.first_start
-        last_end = task.last_end
-        total = 0.0
         heapreplace = heapq.heapreplace
-        for _, duration in queue:
-            free_time, unit = unit_heap[0]
-            start = free_time if free_time > arrival else arrival
-            end = start + duration
-            heapreplace(unit_heap, (end, unit))
-            if start < first_start:
-                first_start = start
-            if end > last_end:
-                last_end = end
-            total += duration
-        self._busy_cycles += total
-        task.first_start = first_start
-        task.last_end = last_end
-        task.completed_work_groups += len(queue)
-        queue.clear()
-        if task.finished:
-            self._finalize(task)
+        busy = self._busy_cycles
+        finished: List[TaskHandle] = []
+        stopped = False
+        for priority in Priority:
+            queue = self._ready[priority]
+            while queue and not stopped:
+                batch = queue[0]
+                task = batch.task
+                durations = batch.durations
+                index = batch.index
+                count = len(durations) - index
+                arrival = task.arrival_time
+                first_start = task.first_start
+                last_end = task.last_end
+
+                vectorized = False
+                if VECTORIZED_BATCH:
+                    d = float(durations[index])
+                    f0 = unit_heap[0][0]
+                    if (
+                        d > 0.0
+                        and all(t == f0 for t, _ in unit_heap)
+                        and bool(np.all(durations[index:] == d))
+                    ):
+                        busy, start0, end_last = self._vector_rounds(
+                            arrival, d, count, busy
+                        )
+                        if start0 < first_start:
+                            first_start = start0
+                        if end_last > last_end:
+                            last_end = end_last
+                        vectorized = True
+
+                if not vectorized:
+                    while index < len(durations):
+                        free_time, unit = unit_heap[0]
+                        start = (
+                            free_time if free_time > arrival else arrival
+                        )
+                        duration = float(durations[index])
+                        end = start + duration
+                        heapreplace(unit_heap, (end, unit))
+                        if start < first_start:
+                            first_start = start
+                        if end > last_end:
+                            last_end = end
+                        busy += duration
+                        index += 1
+
+                batch.index = len(durations)
+                queue.popleft()
+                task.first_start = first_start
+                task.last_end = last_end
+                task.completed_work_groups += count
+                if task.finished:
+                    finished.append(task)
+                    if task is stop_task:
+                        stopped = True
+            if stopped:
+                break
+        self._busy_cycles = busy
+        self._measure_finished(finished)
         return True
+
+    def _vector_rounds(
+        self, arrival: float, d: float, count: int, busy: float
+    ) -> Tuple[float, float, float]:
+        """Closed-form round-robin schedule for an equal-duration batch.
+
+        Preconditions (checked by the caller): every unit free at the
+        same instant ``f0``, every remaining duration equal to ``d > 0``.
+        The event path then pops units in id order (heap ties break on
+        the id) and every unit walks the same end sequence
+        ``a, a+d, a+2d, …`` with ``a = max(f0, arrival)`` — computed here
+        with ``np.add.accumulate``, whose sequential left fold matches
+        the event path's repeated ``end = start + d`` bit for bit.
+        Returns the new busy-cycle fold and the batch's first start and
+        last end.
+        """
+        unit_heap = self._unit_heap
+        f0 = unit_heap[0][0]
+        m = len(unit_heap)
+        a = f0 if f0 > arrival else arrival
+        rounds = -(-count // m)
+        ends = np.add.accumulate(
+            np.concatenate(([a], np.full(rounds, d)))
+        )
+        ids = sorted(unit for _, unit in unit_heap)
+        rebuilt = []
+        for position, unit in enumerate(ids):
+            groups = (count - position + m - 1) // m if position < count else 0
+            free = float(ends[groups]) if groups > 0 else f0
+            rebuilt.append((free, unit))
+        unit_heap[:] = rebuilt
+        heapq.heapify(unit_heap)
+        busy = float(
+            np.add.accumulate(np.concatenate(([busy], np.full(count, d))))[-1]
+        )
+        return busy, float(ends[0]), float(ends[(count - 1) // m + 1])
+
+    def _measure_finished(self, tasks: List[TaskHandle]) -> None:
+        """Read measurements for drained tasks, in completion order.
+
+        Uses the clock's batched read so one RNG call serves the whole
+        drain; bit-identical to per-task :meth:`_finalize` calls because
+        nothing else consumes the clock's RNG between the completions.
+        """
+        pending = [
+            task
+            for task in tasks
+            if task.measure and task.measured is None
+        ]
+        if not pending:
+            return
+        intervals = self.clock.read_intervals(
+            [task.true_span_cycles for task in pending]
+        )
+        for task, interval in zip(pending, intervals):
+            task.measured = interval
 
     def _finalize(self, task: TaskHandle) -> None:
         """Complete a task: read its (noisy) measurement, emit its span."""

@@ -173,15 +173,24 @@ def _no_global_state_leaks():
 
     - ``repro.config.DEFAULT_CONFIG`` must stay the pristine defaults,
     - the shared ``NULL_TRACER`` must never be switched on,
-    - ``engine.FAST_BATCH_THRESHOLD`` patches must be undone.
+    - ``engine.FAST_BATCH_THRESHOLD`` patches must be undone,
+    - ``engine.VECTORIZED_BATCH`` patches must be undone,
+    - the process-wide cost-kernel memo must be empty when a test starts
+      (each test sees cold caches; the memo is cleared after every test).
     """
     import repro.config as config_mod
     from repro.device import engine as engine_mod
+    from repro.device.cost import clear_cost_memo, cost_memo_stats
     from repro.obs.tracer import NULL_TRACER
 
+    assert cost_memo_stats()["entries"] == 0, (
+        "cost-kernel memo not empty at test start"
+    )
     default_before = config_mod.DEFAULT_CONFIG
     threshold_before = engine_mod.FAST_BATCH_THRESHOLD
+    vectorized_before = engine_mod.VECTORIZED_BATCH
     yield
+    clear_cost_memo()
     assert config_mod.DEFAULT_CONFIG is default_before, (
         "test rebound repro.config.DEFAULT_CONFIG"
     )
@@ -193,4 +202,7 @@ def _no_global_state_leaks():
     )
     assert engine_mod.FAST_BATCH_THRESHOLD == threshold_before, (
         "test left engine.FAST_BATCH_THRESHOLD patched"
+    )
+    assert engine_mod.VECTORIZED_BATCH == vectorized_before, (
+        "test left engine.VECTORIZED_BATCH patched"
     )

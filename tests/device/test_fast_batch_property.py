@@ -140,19 +140,43 @@ def test_threshold_shrinks_via_monkeypatch(monkeypatch, quiet_config):
     assert np.allclose(args["y"].data, 2.0 * args["x"].data)
 
 
-def test_split_batches_never_take_the_fast_path(quiet_config):
-    """Two interleaved tasks disqualify the fast path yet still agree
-    with the engine's sequential accounting."""
-    original = engine_mod.FAST_BATCH_THRESHOLD
-    try:
-        engine_mod.FAST_BATCH_THRESHOLD = 1
-        engine = ExecutionEngine(make_cpu(quiet_config), quiet_config)
-        variant = make_axpy_variant("v", trips=16)
-        args = make_axpy_args(64, quiet_config)
-        first = engine.submit(variant, args, WorkRange(0, 32))
-        second = engine.submit(variant, args, WorkRange(32, 64))
-        engine.wait_all([first, second])
-        assert first.finished and second.finished
-        assert np.allclose(args["y"].data, 2.0 * args["x"].data)
-    finally:
-        engine_mod.FAST_BATCH_THRESHOLD = original
+def test_split_batches_take_the_generalized_fast_path(quiet_config):
+    """Two interleaved tasks now drain through the fast path *and* agree
+    exactly with the event path.
+
+    The original fast path bailed out on multi-task queues; the
+    generalized drain handles any ready mix (an unconditional greedy
+    list schedule once arrivals are empty), so a shrunk threshold must
+    engage it — and the result must still be bit-identical."""
+    taken = []
+
+    class Probe(ExecutionEngine):
+        def _try_fast_batch(self, horizon):
+            result = super()._try_fast_batch(horizon)
+            taken.append(result)
+            return result
+
+    def run(engine_cls, threshold):
+        original = engine_mod.FAST_BATCH_THRESHOLD
+        try:
+            engine_mod.FAST_BATCH_THRESHOLD = threshold
+            engine = engine_cls(make_cpu(quiet_config), quiet_config)
+            variant = make_axpy_variant("v", trips=16)
+            args = make_axpy_args(64, quiet_config)
+            first = engine.submit(variant, args, WorkRange(0, 32))
+            second = engine.submit(variant, args, WorkRange(32, 64))
+            engine.wait_all([first, second])
+            return engine, first, second, args
+        finally:
+            engine_mod.FAST_BATCH_THRESHOLD = original
+
+    fast = run(Probe, threshold=1)
+    assert any(taken), "split batches no longer reach the fast path"
+    event = run(ExecutionEngine, threshold=10**9)
+    for fast_task, event_task in zip(fast[1:3], event[1:3]):
+        assert fast_task.finished and event_task.finished
+        assert fast_task.first_start == event_task.first_start
+        assert fast_task.last_end == event_task.last_end
+    assert fast[0].now == event[0].now
+    assert fast[0].utilization() == event[0].utilization()
+    assert np.allclose(fast[3]["y"].data, 2.0 * fast[3]["x"].data)

@@ -1,0 +1,94 @@
+"""Golden refresh guard: the vectorized hot path changes no output.
+
+``test_differential`` checks each launch against ``goldens.json`` under
+whatever path the engine picks by default.  This guard removes the
+"whatever the engine picks": every catalog case × mode × flow runs twice
+— once with the analytic/vectorized drain forced *on* for all batch
+sizes, once with it forced *off* (pure event machinery) — and the two
+output digests must agree with each other and with the recorded golden.
+A divergence here is the exact regression the vectorization work could
+introduce: a schedule change that moves a slice boundary or flips a
+winner while each individual run still looks self-consistent.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.runtime import DySelRuntime
+from repro.device import engine as engine_mod
+
+from .catalog import CATALOG
+from .test_differential import (
+    FLOWS,
+    MODES,
+    REGEN,
+    _load_goldens,
+    build_case,
+    output_digest,
+)
+
+#: (FAST_BATCH_THRESHOLD, VECTORIZED_BATCH) forcings under test.
+FORCINGS = {
+    "vectorized-on": (1, True),
+    "vectorized-off": (10**9, False),
+}
+
+
+def _launch_digest(case_id, mode, flow, threshold, vectorized):
+    saved = (engine_mod.FAST_BATCH_THRESHOLD, engine_mod.VECTORIZED_BATCH)
+    engine_mod.FAST_BATCH_THRESHOLD = threshold
+    engine_mod.VECTORIZED_BATCH = vectorized
+    try:
+        case, device, config = build_case(case_id)
+        runtime = DySelRuntime(device, config)
+        runtime.register_pool(case.pool)
+        args = case.fresh_args()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = runtime.launch_kernel(
+                case.pool.name,
+                args,
+                case.workload_units,
+                mode=mode,
+                flow=flow,
+            )
+        assert case.validate(args), (
+            f"{case_id} diverges from its reference with "
+            f"threshold={threshold}, vectorized={vectorized}"
+        )
+        return output_digest(case, args), result.selected
+    finally:
+        engine_mod.FAST_BATCH_THRESHOLD, engine_mod.VECTORIZED_BATCH = saved
+
+
+@pytest.mark.parametrize("flow", FLOWS, ids=lambda f: f.value)
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+@pytest.mark.parametrize("case_id", sorted(CATALOG))
+def test_forced_paths_agree_with_each_other_and_the_golden(
+    case_id, mode, flow
+):
+    if REGEN:
+        pytest.skip("golden regeneration runs the primary suite only")
+    digests = {
+        label: _launch_digest(case_id, mode, flow, threshold, vectorized)
+        for label, (threshold, vectorized) in FORCINGS.items()
+    }
+    on_digest, on_selected = digests["vectorized-on"]
+    off_digest, off_selected = digests["vectorized-off"]
+    assert on_digest == off_digest, (
+        f"{case_id}/{mode.value}/{flow.value}: vectorized drain changed "
+        "the committed output composition"
+    )
+    assert on_selected == off_selected, (
+        f"{case_id}/{mode.value}/{flow.value}: vectorized drain changed "
+        f"the selection ({on_selected!r} vs {off_selected!r})"
+    )
+    key = f"{case_id}/{mode.value}/{flow.value}"
+    goldens = _load_goldens()
+    assert key in goldens, f"no golden for {key}"
+    assert on_digest == goldens[key], (
+        f"{key}: forced-path digest disagrees with the recorded golden"
+    )
