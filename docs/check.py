@@ -41,6 +41,7 @@ PAGES = (
     "docs/fleet.md",
     "docs/prediction.md",
     "docs/serving.md",
+    "docs/traffic.md",
 )
 
 #: Modules whose entire ``__all__`` must appear in ``docs/api.md``.
@@ -52,6 +53,7 @@ API_MODULES = (
     "repro.serve",
     "repro.drift",
     "repro.predict",
+    "repro.traffic",
 )
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

@@ -87,6 +87,7 @@ def decide(
     drift_rearm: bool = False,
     dominated: Sequence[str] = (),
     predicted: Optional[Prediction] = None,
+    deferred: bool = False,
 ) -> LaunchDecision:
     """Resolve the profiling decision for one launch.
 
@@ -130,6 +131,16 @@ def decide(
     dominance survivors — a predicted variant the static analysis
     excluded falls back to profiling with an explicit note.
 
+    ``deferred`` is the serving layer's profiling *backpressure* flag
+    (:mod:`repro.serve.qos`): the fleet is overloaded, so a launch that
+    would micro-profile (or re-profile for drift) runs profiling-off on
+    the best variant already known — cached selection if valid, else the
+    pool default — with an explicit ``"deferred by backpressure"``
+    reason.  Deferral is *weaker than prediction* (a confident predicted
+    variant still serves; it costs no profiling) and irrelevant to every
+    branch that was not going to profile anyway (pinned, cached,
+    small-workload, single-variant, profiling-off).
+
     ``tracer``/``now`` report cache traffic to :mod:`repro.obs` when
     tracing is on (``now`` is the engine clock at decision time).
     """
@@ -141,6 +152,10 @@ def decide(
         and _base_groups(pool, workload_units)
         >= config.small_workload_threshold
     ):
+        if deferred:
+            return _deferred_decision(
+                pool, cached, stale_note, kind="drift re-profile"
+            )
         return LaunchDecision(profile=True, reason="drift re-activation")
     if pinned_variant is not None and not profiling_requested:
         if pinned_variant in pool.variant_names:
@@ -234,7 +249,43 @@ def decide(
             "candidate"
         )
 
+    if deferred:
+        return _deferred_decision(
+            pool, cached, stale_note, kind="micro-profile", notes=notes
+        )
     return LaunchDecision(profile=True, reason=f"profiling activated{notes}")
+
+
+def _deferred_decision(
+    pool: VariantPool,
+    cached: Optional[SelectionRecord],
+    stale_note: str,
+    kind: str,
+    notes: str = "",
+) -> LaunchDecision:
+    """A backpressure-deferred launch: profiling-off on the known best.
+
+    ``kind`` names what was postponed (``"micro-profile"`` for a cold
+    class, ``"drift re-profile"`` for a confirmed-drift re-arm) so
+    deferral accounting can tell the two apart from the reason alone.
+    """
+    if cached is not None:
+        return LaunchDecision(
+            profile=False,
+            variant_name=cached.selected,
+            reason=(
+                f"{kind} deferred by backpressure; "
+                f"using cached selection{notes}"
+            ),
+        )
+    return LaunchDecision(
+        profile=False,
+        variant_name=pool.initial_default,
+        reason=(
+            f"{kind} deferred by backpressure; "
+            f"{stale_note}using pool default{notes}"
+        ),
+    )
 
 
 # ----------------------------------------------------------------------

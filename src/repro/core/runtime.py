@@ -363,6 +363,7 @@ class DySelRuntime:
         drift_rearm: bool = False,
         predicted: Optional[Prediction] = None,
         work_range: Optional[WorkRange] = None,
+        deferred: bool = False,
     ) -> LaunchResult:
         """Launch a kernel (``DySelLaunchKernel``, Fig 6b).
 
@@ -429,6 +430,14 @@ class DySelRuntime:
             with an explicit reason — split parts ride the selection
             their class already has; only whole launches pay or re-pay
             the profile.
+        deferred:
+            The serving layer's profiling-backpressure flag
+            (:mod:`repro.serve.qos`): the fleet is overloaded, so any
+            branch that would micro-profile (or drift-re-profile) runs
+            profiling-off on the cached selection or pool default with a
+            ``"deferred by backpressure"`` reason instead.  Confident
+            predictions still serve (they cost no profiling); branches
+            that were not going to profile are unaffected.
         """
         if kernel_sig not in self.registry:
             raise LaunchError(f"kernel {kernel_sig!r} is not registered")
@@ -506,6 +515,7 @@ class DySelRuntime:
             drift_rearm=drift_rearm or claimed_drift,
             dominated=dominated,
             predicted=predicted,
+            deferred=deferred,
         )
         if not decision.profile:
             if claimed_drift:

@@ -229,6 +229,35 @@ class PredictError(DySelError):
     """
 
 
+class AdmissionRejected(ServeError):
+    """The admission queue was full; the request was refused, not queued.
+
+    Structured so clients can implement load-shedding policies: the
+    tenant that was refused, the queue depth observed, and the
+    configured bound (:class:`repro.serve.QoSConfig.max_queue_depth`).
+    """
+
+    def __init__(
+        self, message: str, tenant: str, queue_depth: int, limit: int
+    ) -> None:
+        super().__init__(message)
+        #: Tenant whose request was refused.
+        self.tenant = tenant
+        #: Waiting requests at refusal time.
+        self.queue_depth = queue_depth
+        #: The configured queue bound that was hit.
+        self.limit = limit
+
+
+class TrafficError(ReproError):
+    """Invalid traffic-generator configuration or schedule payload.
+
+    Raised for non-positive rates/horizons, malformed size
+    distributions, and schedule files whose schema or fields cannot be
+    interpreted (:mod:`repro.traffic`).
+    """
+
+
 class WorkloadError(ReproError):
     """Benchmark workload construction or validation error."""
 

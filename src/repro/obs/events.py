@@ -117,6 +117,23 @@ class EventKind(enum.Enum):
       work ranges and stitched back together; ``args`` carries the part
       ranges, the devices they ran on, and the unit partition.
 
+    Serve QoS (emitted by :class:`~repro.serve.scheduler.LaunchScheduler`
+    on its scheduler timeline when a :class:`~repro.serve.QoSConfig` is
+    installed; all three are instants, so QoS traces still reconcile
+    cleanly):
+
+    * ``ADMISSION`` — the admission controller resolved one request:
+      ``args`` carries the tenant, priority, queue depth, and whether it
+      was admitted (``admitted=False`` rows are refusals that raised
+      :class:`~repro.errors.AdmissionRejected`).
+    * ``DEADLINE_MISS`` — a served request's fleet-cycle latency
+      exceeded its deadline budget; ``args`` carries the tenant, the
+      budget, and the observed latency.
+    * ``PROFILE_DEFERRED`` — profiling backpressure postponed a
+      micro-profile (or drift re-profile) lease for a cold class under
+      overload; ``args`` carries the class, the queue pressure, and
+      what was deferred.
+
     Static-analysis (emitted by the runtime when
     ``ReproConfig.analyze.dominance`` is on; an instant, so traces
     with pruning enabled still reconcile cleanly):
@@ -161,6 +178,9 @@ class EventKind(enum.Enum):
     DRIFT_CONFIRMED = "drift_confirmed"
     RESELECTION = "reselection"
     DOMINANCE_PRUNE = "dominance_prune"
+    ADMISSION = "admission"
+    DEADLINE_MISS = "deadline_miss"
+    PROFILE_DEFERRED = "profile_deferred"
 
 
 #: Kinds that are always spans (the rest are instants).

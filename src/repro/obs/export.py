@@ -367,6 +367,10 @@ class TraceSummary:
     prediction_fallbacks: int = 0
     placements: int = 0
     split_launches: int = 0
+    admissions: int = 0
+    admission_rejects: int = 0
+    deadline_misses: int = 0
+    profile_deferrals: int = 0
     drift_suspects: int = 0
     drift_confirmations: int = 0
     reselections: int = 0
@@ -454,6 +458,18 @@ class TraceSummary:
                 f"dominance: {self.dominance_prunes} pool prune(s) "
                 "(statically dominated variants skipped profiling)"
             )
+        if (
+            self.admissions
+            or self.admission_rejects
+            or self.deadline_misses
+            or self.profile_deferrals
+        ):
+            lines.append(
+                f"qos: {self.admissions} admission(s), "
+                f"{self.admission_rejects} reject(s), "
+                f"{self.deadline_misses} deadline miss(es), "
+                f"{self.profile_deferrals} profile(s) deferred"
+            )
         return "\n".join(lines)
 
 
@@ -527,6 +543,15 @@ def summarize(events: Sequence[TraceEvent]) -> TraceSummary:
             summary.reselections += 1
         elif kind is EventKind.DOMINANCE_PRUNE:
             summary.dominance_prunes += 1
+        elif kind is EventKind.ADMISSION:
+            if event.args.get("admitted", True):
+                summary.admissions += 1
+            else:
+                summary.admission_rejects += 1
+        elif kind is EventKind.DEADLINE_MISS:
+            summary.deadline_misses += 1
+        elif kind is EventKind.PROFILE_DEFERRED:
+            summary.profile_deferrals += 1
         elif kind is EventKind.FAULT_INJECT:
             summary.faults_injected += 1
         elif kind is EventKind.FAULT_RETRY:

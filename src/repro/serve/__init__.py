@@ -14,6 +14,13 @@ See ``docs/serving.md`` for the cold-cache → warm-cache walkthrough and
 
 from ..predict import PredictConfig, Prediction, SelectionPredictor
 from .lease import ProfileLease, ProfileLeaseTable
+from .qos import (
+    DEFAULT_MAX_BYPASS,
+    DEFAULT_QUEUE_DEPTH,
+    AdmissionController,
+    QoSConfig,
+    TenantSpec,
+)
 from .scheduler import (
     DEFAULT_LEASE_TIMEOUT,
     DEFAULT_STREAMS_PER_DEVICE,
@@ -22,6 +29,7 @@ from .scheduler import (
     ServeRequest,
     ServeStats,
     SplitOutcome,
+    TenantStats,
     partition_units,
 )
 from .shards import DEFAULT_SHARDS, ShardedSelectionStore
@@ -35,10 +43,14 @@ from .store import (
 )
 
 __all__ = [
+    "AdmissionController",
     "DEFAULT_LEASE_TIMEOUT",
+    "DEFAULT_MAX_BYPASS",
+    "DEFAULT_QUEUE_DEPTH",
     "DEFAULT_SHARDS",
     "DEFAULT_STREAMS_PER_DEVICE",
     "LaunchScheduler",
+    "QoSConfig",
     "PredictConfig",
     "Prediction",
     "ProfileLease",
@@ -53,6 +65,8 @@ __all__ = [
     "SplitOutcome",
     "StoreEntry",
     "StoreStats",
+    "TenantSpec",
+    "TenantStats",
     "WorkloadSignature",
     "derive_signature",
     "device_kind_from_key",

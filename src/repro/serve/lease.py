@@ -42,6 +42,14 @@ class ProfileLeaseTable:
     #: else and still fresh — the caller should run eagerly instead).
     GRANTED = "granted"
     STOLEN = "stolen"
+    #: :meth:`defer` result: the class *would* have profiled but
+    #: backpressure postponed the lease.  No lease entry is created —
+    #: the class stays cold and the next requester after pressure
+    #: clears races for a real grant — but the deferral is accounted,
+    #: so "never profiled because untrained/eager" and "never profiled
+    #: because deferred by backpressure" stay distinguishable (the same
+    #: distinction ``PREDICTION_FALLBACK`` reasons draw).
+    DEFERRED = "deferred"
 
     def __init__(
         self,
@@ -60,6 +68,9 @@ class ProfileLeaseTable:
         self._lock = threading.Lock()
         self.steals = 0
         self.grants = 0
+        #: Total micro-profiles postponed by backpressure.
+        self.deferrals = 0
+        self._deferred_keys: Dict[str, int] = {}
 
     def acquire(self, key: str, holder: int) -> Optional[str]:
         """Try to take the profiling lease for a workload class.
@@ -115,6 +126,27 @@ class ProfileLeaseTable:
         finally:
             if grant is not None:
                 self.release(key, holder)
+
+    def defer(self, key: str) -> str:
+        """Record one backpressure deferral for a cold class.
+
+        Returns :data:`DEFERRED`.  Deliberately creates *no* lease entry:
+        a deferred request runs profiling-off and publishes nothing, so
+        the class must stay open for a real :meth:`acquire` once
+        pressure clears — a lease entry here would wedge the class until
+        the steal timeout.
+        """
+        with self._lock:
+            self.deferrals += 1
+            self._deferred_keys[key] = self._deferred_keys.get(key, 0) + 1
+            return self.DEFERRED
+
+    def deferred_count(self, key: Optional[str] = None) -> int:
+        """Deferrals recorded for one class (or in total)."""
+        with self._lock:
+            if key is None:
+                return self.deferrals
+            return self._deferred_keys.get(key, 0)
 
     def held(self, key: str) -> bool:
         """Whether any (possibly stale) lease exists for this class."""

@@ -62,7 +62,7 @@ from ..core.runtime import DySelRuntime, LaunchResult
 from ..device.base import Device
 from ..device.stream import StreamPool
 from ..drift import DriftSignal
-from ..errors import ServeError
+from ..errors import AdmissionRejected, ServeError
 from ..faults.plan import FaultPlan
 from ..kernel.kernel import WorkRange
 from ..modes import OrchestrationFlow, ProfilingMode
@@ -70,6 +70,7 @@ from ..obs.events import EventKind, TraceEvent
 from ..obs.tracer import NULL_TRACER, RecordingTracer
 from ..predict import Prediction
 from .lease import ProfileLeaseTable
+from .qos import AdmissionController, QoSConfig, TenantSpec
 from .signature import WorkloadSignature, derive_signature
 from .store import SelectionStore
 
@@ -138,6 +139,15 @@ class ServeRequest:
     #: request whole unless the scheduler's ``split_threshold`` says
     #: otherwise.
     split: Optional[int] = None
+    #: Tenant identity for QoS accounting and admission fairness;
+    #: ``None`` serves under the scheduler's default tenant contract.
+    tenant: Optional[str] = None
+    #: Admission priority class override (0 is highest); ``None``
+    #: inherits the tenant's configured class.
+    priority: Optional[int] = None
+    #: Per-request latency budget in fleet cycles; ``None`` inherits
+    #: the tenant's configured deadline (or no deadline at all).
+    deadline_cycles: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -164,6 +174,24 @@ class ServeOutcome:
     #: dimension reason, e.g. ``"store-measured placement"``); empty on
     #: single-kind fleets where there was nothing to decide.
     placement: str = ""
+    #: Tenant the request was accounted to (``"default"`` when the
+    #: request carried none).
+    tenant: str = "default"
+    #: Fleet-cycle sojourn of this request: total cycles the fleet's
+    #: device clocks advanced between enqueue and completion.  On an
+    #: otherwise-idle fleet this is the launch's own elapsed cycles;
+    #: under load it also counts the work the request waited behind,
+    #: which is what tail-latency percentiles must see.
+    latency_cycles: float = 0.0
+    #: The latency budget this request was held to (``None`` = none).
+    deadline_cycles: Optional[float] = None
+    #: Whether ``latency_cycles`` exceeded the budget.
+    deadline_missed: bool = False
+
+    @property
+    def deferred(self) -> bool:
+        """Whether profiling backpressure deferred this class's lease."""
+        return self.lease == ProfileLeaseTable.DEFERRED
 
 
 @dataclass(frozen=True)
@@ -186,6 +214,14 @@ class SplitOutcome:
     ranges: Tuple[Tuple[int, int], ...]
     #: Admission sequence number of the split itself.
     sequence: int
+    #: Tenant the split was accounted to (see :class:`ServeOutcome`).
+    tenant: str = "default"
+    #: Fleet-cycle sojourn of the whole split (see :class:`ServeOutcome`).
+    latency_cycles: float = 0.0
+    #: The latency budget the split was held to (``None`` = none).
+    deadline_cycles: Optional[float] = None
+    #: Whether ``latency_cycles`` exceeded the budget.
+    deadline_missed: bool = False
 
     @property
     def devices(self) -> Tuple[str, ...]:
@@ -203,6 +239,52 @@ class SplitOutcome:
             (part.result.elapsed_cycles for part in self.parts),
             default=0.0,
         )
+
+
+@dataclass
+class TenantStats:
+    """One tenant's service record over a scheduler's lifetime.
+
+    ``latencies`` holds every served request's fleet-cycle sojourn
+    (:attr:`ServeOutcome.latency_cycles`), so tail percentiles are exact
+    over the run rather than approximated from a sketch — serving runs
+    here are bounded benchmark/test traffic, not unbounded production
+    streams.
+    """
+
+    requests: int = 0
+    deadline_misses: int = 0
+    admission_rejects: int = 0
+    profiles_deferred: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated latency percentile (``q`` in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ServeError(f"percentile must be in [0, 100], got {q}")
+        if not self.latencies:
+            return 0.0
+        data = sorted(self.latencies)
+        pos = (len(data) - 1) * q / 100.0
+        lo = int(pos)
+        hi = min(lo + 1, len(data) - 1)
+        frac = pos - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    @property
+    def p50(self) -> float:
+        """Median latency, in fleet cycles."""
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile latency, in fleet cycles."""
+        return self.percentile(99.0)
+
+    @property
+    def p999(self) -> float:
+        """99.9th-percentile latency, in fleet cycles."""
+        return self.percentile(99.9)
 
 
 @dataclass
@@ -225,6 +307,20 @@ class ServeStats:
     placements: Dict[str, int] = field(default_factory=dict)
     #: Launches served as stitched multi-device splits.
     split_launches: int = 0
+    #: Requests refused by the bounded admission queue.
+    admission_rejects: int = 0
+    #: Served requests whose latency exceeded their deadline budget.
+    deadline_misses: int = 0
+    #: Cold-class micro-profiles postponed by backpressure.
+    profiles_deferred: int = 0
+    #: Per-tenant service records (latency percentiles live here).
+    tenants: Dict[str, TenantStats] = field(default_factory=dict)
+
+    def tenant(self, name: str) -> TenantStats:
+        """Get-or-create one tenant's record (callers hold the lock)."""
+        if name not in self.tenants:
+            self.tenants[name] = TenantStats()
+        return self.tenants[name]
 
     @property
     def profile_rate(self) -> float:
@@ -331,6 +427,7 @@ class LaunchScheduler:
         fault_plan: Optional[FaultPlan] = None,
         placement_policy: str = "cost-model",
         split_threshold: Optional[int] = None,
+        qos: Optional[QoSConfig] = None,
     ) -> None:
         """Build a scheduler over a fleet of devices.
 
@@ -366,6 +463,12 @@ class LaunchScheduler:
             Auto-split launches of at least this many workload units
             across the fleet (:meth:`launch_split`); ``None`` (default)
             splits only on explicit ``ServeRequest.split``.
+        qos:
+            Admission control, per-tenant fairness, deadlines, and
+            profiling backpressure (:class:`~repro.serve.qos.QoSConfig`).
+            ``None`` (the default) serves exactly as before: unbounded
+            admission, no tenant ordering, no deferral — per-request
+            deadlines are still honored for latency accounting.
         """
         if not devices:
             raise ServeError("a scheduler needs at least one device")
@@ -413,6 +516,15 @@ class LaunchScheduler:
             RecordingTracer() if self.config.trace else NULL_TRACER
         )
         self.stats = ServeStats()
+        self.qos = qos
+        self.admission: Optional[AdmissionController] = None
+        if qos is not None:
+            capacity = (
+                qos.max_inflight
+                if qos.max_inflight is not None
+                else streams_per_device * len(self._workers)
+            )
+            self.admission = AdmissionController(qos, capacity)
         self._seq = itertools.count()
         self._stats_lock = threading.Lock()
         self._dispatch_lock = threading.Lock()
@@ -524,37 +636,153 @@ class LaunchScheduler:
     # Serving
     # ------------------------------------------------------------------
 
+    def _fleet_cycles(self) -> float:
+        """Sum of every device clock: the fleet's total-work axis.
+
+        A fleet has no single clock, but the *sum* of device clocks
+        advances exactly by the cycles executed anywhere, so the delta
+        between two reads is "fleet work done meanwhile" — a
+        deterministic, queueing-sensitive latency axis.  On an idle
+        fleet a request's delta is its own elapsed cycles; under load it
+        also counts everything the request waited behind.
+        """
+        return sum(worker.runtime.engine.now for worker in self._workers)
+
+    def _tenant_spec(self, request: ServeRequest) -> Optional[TenantSpec]:
+        """The request's QoS contract (``None`` when QoS is off)."""
+        if self.qos is None:
+            return None
+        return self.qos.spec(request.tenant)
+
+    def _deadline_for(
+        self, request: ServeRequest, spec: Optional[TenantSpec]
+    ) -> Optional[float]:
+        """Resolve the latency budget: request override, else contract."""
+        if request.deadline_cycles is not None:
+            return request.deadline_cycles
+        return spec.deadline_cycles if spec is not None else None
+
+    def _defer_profiling(self) -> bool:
+        """Whether profiling backpressure is currently engaged."""
+        return self.admission is not None and self.admission.deferring
+
+    def _record_deferral(
+        self, request: ServeRequest, key: str, seq: int, what: str
+    ) -> None:
+        """Account one backpressure-deferred profile lease."""
+        tenant = request.tenant if request.tenant is not None else "default"
+        with self._stats_lock:
+            self.stats.profiles_deferred += 1
+            self.stats.tenant(tenant).profiles_deferred += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                EventKind.PROFILE_DEFERRED,
+                request.kernel,
+                float(seq),
+                workload_class=key,
+                tenant=tenant,
+                what=what,
+                pressure=self.admission.pressure(),
+            )
+
     def launch(self, request: ServeRequest):
         """Serve one request (blocking; safe to call from many threads).
 
         Returns a :class:`ServeOutcome` — or a :class:`SplitOutcome`
         when the request asked to be split (``ServeRequest.split``) or
-        the scheduler's ``split_threshold`` promotes it.
+        the scheduler's ``split_threshold`` promotes it.  With a QoS
+        config installed the request first passes admission control,
+        which may block (queue) or raise
+        :class:`~repro.errors.AdmissionRejected` (bounded queue full).
         """
-        if self._should_split(request):
-            return self.launch_split(request)
-        seq = next(self._seq)
-        if self.tracer.enabled:
-            self.tracer.instant(
-                EventKind.SERVE_ENQUEUE,
-                request.kernel,
-                float(seq),
-                workload_units=request.workload_units,
+        spec = self._tenant_spec(request)
+        tenant = request.tenant if request.tenant is not None else (
+            spec.name if spec is not None else "default"
+        )
+        deadline = self._deadline_for(request, spec)
+        enq_cycles = self._fleet_cycles()
+        admitted = False
+        if self.admission is not None:
+            assert spec is not None
+            priority = (
+                request.priority
+                if request.priority is not None
+                else spec.priority
             )
-        worker, signature, estimate, placement = self._dispatch(request, seq)
-        stream = worker.streams.acquire()
+            try:
+                bypasses = self.admission.admit(
+                    tenant, priority, spec.weight, deadline
+                )
+            except AdmissionRejected as exc:
+                with self._stats_lock:
+                    self.stats.admission_rejects += 1
+                    self.stats.tenant(tenant).admission_rejects += 1
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        EventKind.ADMISSION,
+                        request.kernel,
+                        float(next(self._seq)),
+                        tenant=tenant,
+                        admitted=False,
+                        queue_depth=exc.queue_depth,
+                        limit=exc.limit,
+                    )
+                raise
+            admitted = True
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    EventKind.ADMISSION,
+                    request.kernel,
+                    float(next(self._seq)),
+                    tenant=tenant,
+                    admitted=True,
+                    priority=priority,
+                    bypasses=bypasses,
+                )
         try:
-            return self._serve_admitted(
-                request,
-                worker,
-                stream,
-                seq,
-                signature,
-                estimate,
-                placement=placement.reason,
-            )
+            if self._should_split(request):
+                outcome = self.launch_split(request)
+            else:
+                outcome = self._serve_whole(request, enqueue=True)
         finally:
-            worker.streams.release(stream)
+            if admitted:
+                self.admission.release(tenant)
+        return self._finalize(request, outcome, tenant, deadline, enq_cycles)
+
+    def _finalize(
+        self,
+        request: ServeRequest,
+        outcome,
+        tenant: str,
+        deadline: Optional[float],
+        enq_cycles: float,
+    ):
+        """Stamp latency and deadline accounting onto a served outcome."""
+        latency = max(0.0, self._fleet_cycles() - enq_cycles)
+        missed = deadline is not None and latency > deadline
+        with self._stats_lock:
+            record = self.stats.tenant(tenant)
+            record.requests += 1
+            record.latencies.append(latency)
+            if missed:
+                record.deadline_misses += 1
+                self.stats.deadline_misses += 1
+        if missed and self.tracer.enabled:
+            self.tracer.instant(
+                EventKind.DEADLINE_MISS,
+                request.kernel,
+                float(next(self._seq)),
+                tenant=tenant,
+                deadline_cycles=deadline,
+                latency_cycles=latency,
+            )
+        return replace(
+            outcome,
+            tenant=tenant,
+            latency_cycles=latency,
+            deadline_cycles=deadline,
+            deadline_missed=missed,
+        )
 
     def _should_split(self, request: ServeRequest) -> bool:
         """Whether this request gets the multi-device split path."""
@@ -852,9 +1080,28 @@ class LaunchScheduler:
             sequence=seq,
         )
 
-    def _serve_whole(self, request: ServeRequest) -> ServeOutcome:
-        """Serve an unsplittable request on one device (no re-enqueue)."""
+    def _serve_whole(
+        self, request: ServeRequest, enqueue: bool = False
+    ) -> ServeOutcome:
+        """Serve one whole request on one device.
+
+        ``enqueue`` traces the ``SERVE_ENQUEUE`` instant — the plain
+        :meth:`launch` path; the split path traces its own enqueue for
+        the parent request and serves degraded singletons silently.
+        """
         seq = next(self._seq)
+        if enqueue and self.tracer.enabled:
+            self.tracer.instant(
+                EventKind.SERVE_ENQUEUE,
+                request.kernel,
+                float(seq),
+                workload_units=request.workload_units,
+                **(
+                    {"tenant": request.tenant}
+                    if request.tenant is not None
+                    else {}
+                ),
+            )
         worker, signature, estimate, placement = self._dispatch(request, seq)
         stream = worker.streams.acquire()
         try:
@@ -902,6 +1149,7 @@ class LaunchScheduler:
         lease: Optional[str] = None
         pinned: Optional[str] = None
         profiling = False
+        deferred = False
         drift = self.store.drift
         drift_rearm = False
         prediction: Optional[Prediction] = None
@@ -920,11 +1168,18 @@ class LaunchScheduler:
                         )
             elif entry is not None:
                 if drift is not None and drift.should_rearm(key):
+                    if self._defer_profiling():
+                        # Backpressure: leave the drift episode open (no
+                        # claim consumed) and serve pinned; a launch
+                        # after pressure clears re-profiles the class.
+                        self._record_deferral(
+                            request, key, seq, what="drift re-profile"
+                        )
                     # A confirmed drift wants this class re-profiled.
                     # Claim is consume-once and the profile lease rides
                     # along, so concurrent launches of a drifting class
                     # produce exactly one re-profile per episode.
-                    if drift.claim(key):
+                    elif drift.claim(key):
                         lease = stack.enter_context(
                             self.leases.holding(key, seq)
                         )
@@ -943,6 +1198,17 @@ class LaunchScheduler:
                             selected=entry.selected,
                             samples=entry.samples,
                         )
+            elif self._defer_profiling():
+                # Overload: run this cold class on the policy's best
+                # known variant without racing for the lease, publishing
+                # nothing — the class stays cold, so profiling resumes
+                # (and the store still converges to the measured oracle)
+                # once pressure clears.
+                lease = self.leases.defer(key)
+                deferred = True
+                self._record_deferral(
+                    request, key, seq, what="micro-profile"
+                )
             else:
                 # ``holding`` releases in a finally, so a launch that
                 # raises (fault-aborted, verification refusal) cannot
@@ -965,6 +1231,10 @@ class LaunchScheduler:
                 if lease is not None:
                     prediction = self._consult_predictor(request, key, seq)
 
+            held = lease in (
+                ProfileLeaseTable.GRANTED,
+                ProfileLeaseTable.STOLEN,
+            )
             result = None
             try:
                 with worker.lock:
@@ -972,7 +1242,7 @@ class LaunchScheduler:
                         request.kernel,
                         request.args,
                         request.workload_units,
-                        profiling=profiling,
+                        profiling=profiling or deferred,
                         mode=request.mode,
                         flow=request.flow,
                         pinned_variant=pinned,
@@ -980,9 +1250,10 @@ class LaunchScheduler:
                         drift_rearm=drift_rearm,
                         predicted=prediction,
                         work_range=work_range,
+                        deferred=deferred,
                     )
                 worker.complete(estimate, result.elapsed_cycles)
-                if lease is not None:
+                if held:
                     predicted = self._prediction_applied(prediction, result)
                     self._publish(
                         key, request, result, predicted=predicted

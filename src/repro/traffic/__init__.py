@@ -1,0 +1,73 @@
+"""Deterministic multi-tenant traffic generation for the serve layer.
+
+Every benchmark before this package drove :class:`repro.serve.LaunchScheduler`
+with uniform request streams.  Real selection services see nothing of the
+sort: arrivals are bursty or diurnal, workload sizes are heavy-tailed, and
+several tenants with different priorities and deadlines share one fleet.
+This package generates such traffic *deterministically* — a schedule is a
+pure function of its seed and tenant profiles, serializable to JSON so
+benches and tests replay the identical trace.
+
+Layout
+------
+
+- :mod:`repro.traffic.arrivals` — arrival processes: Poisson,
+  bursty (MMPP on/off), and diurnal (non-homogeneous Poisson).
+- :mod:`repro.traffic.sizes` — workload-size distributions: fixed,
+  lognormal, Pareto; heavy tails bucketed to powers of two so the
+  workload-class universe stays bounded.
+- :mod:`repro.traffic.generator` — tenant profiles, the schedule record,
+  and the generator that merges per-tenant streams.
+- :mod:`repro.traffic.replay` — mapping scheduled requests onto the real
+  workloads in :mod:`repro.workloads` as serve-layer requests.
+
+See ``docs/traffic.md`` for the model definitions and
+``benchmarks/bench_traffic.py`` for the tail-latency benchmark this
+package feeds.
+"""
+
+from .arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+)
+from .generator import (
+    SCHEDULE_SCHEMA_VERSION,
+    ScheduledRequest,
+    TenantProfile,
+    TrafficGenerator,
+    TrafficSchedule,
+)
+from .replay import (
+    DEFAULT_WORKLOADS,
+    TrafficReplayer,
+    default_catalog,
+)
+from .sizes import (
+    FixedSizes,
+    LognormalSizes,
+    ParetoSizes,
+    SizeDistribution,
+    bucket_units,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "DEFAULT_WORKLOADS",
+    "DiurnalArrivals",
+    "FixedSizes",
+    "LognormalSizes",
+    "ParetoSizes",
+    "PoissonArrivals",
+    "SCHEDULE_SCHEMA_VERSION",
+    "ScheduledRequest",
+    "SizeDistribution",
+    "TenantProfile",
+    "TrafficGenerator",
+    "TrafficReplayer",
+    "TrafficSchedule",
+    "bucket_units",
+    "default_catalog",
+]

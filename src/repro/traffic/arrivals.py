@@ -1,0 +1,179 @@
+"""Arrival processes: when requests hit the scheduler.
+
+All three models produce arrival *times* on a continuous axis of
+"traffic seconds" over a finite horizon.  The axis is abstract — the
+serve layer is a discrete-event simulation with per-device cycle clocks,
+so schedules use arrival order and burst structure rather than wall
+time — but keeping real-valued times makes the models exact (Poisson
+thinning, exponential state holding times) and lets a replayer bucket or
+pace them however it likes.
+
+Determinism contract: ``times(rng, horizon)`` consumes randomness only
+from the ``numpy`` generator it is handed, so one seeded generator per
+tenant reproduces the identical schedule on every platform.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..errors import TrafficError
+
+
+@runtime_checkable
+class ArrivalProcess(Protocol):
+    """Anything that can draw arrival times over a horizon."""
+
+    def times(self, rng: np.random.Generator, horizon: float) -> List[float]:
+        """Strictly increasing arrival times in ``[0, horizon)``."""
+        ...
+
+    def mean_rate(self) -> float:
+        """Long-run arrivals per traffic second (for rate assertions)."""
+        ...
+
+
+def _check_horizon(horizon: float) -> None:
+    if not math.isfinite(horizon) or horizon <= 0:
+        raise TrafficError(f"horizon must be finite and > 0, got {horizon}")
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Homogeneous Poisson process: i.i.d. exponential inter-arrivals."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.rate) or self.rate <= 0:
+            raise TrafficError(
+                f"Poisson rate must be finite and > 0, got {self.rate}"
+            )
+
+    def times(self, rng: np.random.Generator, horizon: float) -> List[float]:
+        _check_horizon(horizon)
+        out: List[float] = []
+        t = float(rng.exponential(1.0 / self.rate))
+        while t < horizon:
+            out.append(t)
+            t += float(rng.exponential(1.0 / self.rate))
+        return out
+
+    def mean_rate(self) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True)
+class BurstyArrivals:
+    """Two-state MMPP (Markov-modulated Poisson process): on/off bursts.
+
+    The process alternates between a *burst* state emitting at
+    ``burst_rate`` and a *gap* state emitting at ``base_rate`` (often 0).
+    State holding times are exponential with means ``mean_burst`` and
+    ``mean_gap`` — the classic on/off traffic model whose arrival counts
+    are overdispersed relative to Poisson (index of dispersion > 1),
+    which is exactly the property that stresses admission queues.
+    """
+
+    burst_rate: float
+    mean_burst: float
+    mean_gap: float
+    base_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.burst_rate) or self.burst_rate <= 0:
+            raise TrafficError(
+                f"burst_rate must be finite and > 0, got {self.burst_rate}"
+            )
+        if self.base_rate < 0 or not math.isfinite(self.base_rate):
+            raise TrafficError(
+                f"base_rate must be finite and >= 0, got {self.base_rate}"
+            )
+        for label, mean in (
+            ("mean_burst", self.mean_burst),
+            ("mean_gap", self.mean_gap),
+        ):
+            if not math.isfinite(mean) or mean <= 0:
+                raise TrafficError(
+                    f"{label} must be finite and > 0, got {mean}"
+                )
+
+    def times(self, rng: np.random.Generator, horizon: float) -> List[float]:
+        _check_horizon(horizon)
+        out: List[float] = []
+        t = 0.0
+        in_burst = True  # schedules open hot; the gap state follows
+        while t < horizon:
+            mean = self.mean_burst if in_burst else self.mean_gap
+            rate = self.burst_rate if in_burst else self.base_rate
+            state_end = min(horizon, t + float(rng.exponential(mean)))
+            if rate > 0:
+                s = t + float(rng.exponential(1.0 / rate))
+                while s < state_end:
+                    out.append(s)
+                    s += float(rng.exponential(1.0 / rate))
+            t = state_end
+            in_burst = not in_burst
+        return out
+
+    def mean_rate(self) -> float:
+        total = self.mean_burst + self.mean_gap
+        return (
+            self.burst_rate * self.mean_burst + self.base_rate * self.mean_gap
+        ) / total
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals:
+    """Non-homogeneous Poisson with a sinusoidal day/night rate.
+
+    Instantaneous rate ``base_rate * (1 + amplitude * sin(2*pi*t/period))``,
+    sampled exactly with Lewis–Shedler thinning against the peak rate.
+    ``amplitude`` in ``[0, 1]`` keeps the rate non-negative.
+    """
+
+    base_rate: float
+    amplitude: float = 0.5
+    period: float = 60.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.base_rate) or self.base_rate <= 0:
+            raise TrafficError(
+                f"base_rate must be finite and > 0, got {self.base_rate}"
+            )
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise TrafficError(
+                f"amplitude must be in [0, 1], got {self.amplitude}"
+            )
+        if not math.isfinite(self.period) or self.period <= 0:
+            raise TrafficError(
+                f"period must be finite and > 0, got {self.period}"
+            )
+
+    def rate_at(self, t: float) -> float:
+        """The instantaneous arrival rate at traffic time ``t``."""
+        return self.base_rate * (
+            1.0
+            + self.amplitude
+            * math.sin(2.0 * math.pi * (t + self.phase) / self.period)
+        )
+
+    def times(self, rng: np.random.Generator, horizon: float) -> List[float]:
+        _check_horizon(horizon)
+        peak = self.base_rate * (1.0 + self.amplitude)
+        out: List[float] = []
+        t = float(rng.exponential(1.0 / peak))
+        while t < horizon:
+            if float(rng.random()) * peak <= self.rate_at(t):
+                out.append(t)
+            t += float(rng.exponential(1.0 / peak))
+        return out
+
+    def mean_rate(self) -> float:
+        # The sinusoid integrates to zero over whole periods.
+        return self.base_rate

@@ -1,0 +1,246 @@
+"""Tenant profiles, schedule records, and the traffic generator.
+
+A :class:`TrafficSchedule` is the replayable artifact: an ordered tuple
+of :class:`ScheduledRequest` rows plus the seed and horizon that
+produced it, serializable to JSON so a bench and its regression test
+drive the serve layer with byte-identical traffic.
+
+Determinism contract: each tenant draws from its own ``numpy``
+generator seeded by ``(schedule seed, crc32(tenant name))``, and draws
+are interleaved per arrival (time, then size, then workload pick).
+Tenants are therefore independent streams — adding a tenant, or
+reordering the profile tuple, never perturbs another tenant's arrivals —
+and the merged schedule is a pure function of ``(seed, horizon,
+profiles)``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+import zlib
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import TrafficError
+from .arrivals import ArrivalProcess
+from .sizes import SizeDistribution
+
+#: Schema stamp written into (and demanded from) schedule files.
+SCHEDULE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TenantProfile:
+    """One tenant's traffic shape and service-level contract.
+
+    ``workloads`` names entries of a replay catalog
+    (:mod:`repro.traffic.replay`); ``weights`` biases the per-arrival
+    workload pick (uniform when omitted).  ``priority`` is a strict
+    admission class (0 is highest), ``weight`` the fair-share weight
+    among same-priority tenants, and ``deadline_cycles`` the per-request
+    latency budget (``None`` = no deadline) — the three fields the
+    serve-layer QoS config consumes.
+    """
+
+    name: str
+    arrivals: ArrivalProcess
+    sizes: SizeDistribution
+    workloads: Tuple[str, ...] = ("spmv-csr/random",)
+    weights: Optional[Tuple[float, ...]] = None
+    priority: int = 1
+    weight: float = 1.0
+    deadline_cycles: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TrafficError("tenant name must be non-empty")
+        if not self.workloads:
+            raise TrafficError(
+                f"tenant {self.name!r} declares no workloads"
+            )
+        if self.weights is not None:
+            if len(self.weights) != len(self.workloads):
+                raise TrafficError(
+                    f"tenant {self.name!r}: {len(self.weights)} weights "
+                    f"for {len(self.workloads)} workloads"
+                )
+            if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+                raise TrafficError(
+                    f"tenant {self.name!r}: workload weights must be "
+                    ">= 0 and sum > 0"
+                )
+        if self.priority < 0:
+            raise TrafficError(
+                f"tenant {self.name!r}: priority must be >= 0, "
+                f"got {self.priority}"
+            )
+        if not math.isfinite(self.weight) or self.weight <= 0:
+            raise TrafficError(
+                f"tenant {self.name!r}: weight must be finite and > 0, "
+                f"got {self.weight}"
+            )
+        if self.deadline_cycles is not None and self.deadline_cycles <= 0:
+            raise TrafficError(
+                f"tenant {self.name!r}: deadline_cycles must be > 0, "
+                f"got {self.deadline_cycles}"
+            )
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One generated arrival, fully resolved.
+
+    ``time`` is abstract traffic seconds (arrival order and burst
+    structure; the discrete-event serve layer has no wall clock to pace
+    against).  ``index`` is the arrival's ordinal within its tenant's
+    own stream — ``(tenant, index)`` is a stable identity that survives
+    merging.
+    """
+
+    time: float
+    tenant: str
+    workload: str
+    units: int
+    priority: int = 1
+    deadline_cycles: Optional[float] = None
+    index: int = 0
+
+
+@dataclass(frozen=True)
+class TrafficSchedule:
+    """A replayable, merge-sorted multi-tenant request schedule."""
+
+    seed: int
+    horizon: float
+    requests: Tuple[ScheduledRequest, ...] = ()
+
+    def tenants(self) -> Tuple[str, ...]:
+        """Tenant names present, in first-arrival order."""
+        return tuple(dict.fromkeys(r.tenant for r in self.requests))
+
+    def count(self, tenant: Optional[str] = None) -> int:
+        """Arrivals in the schedule (optionally one tenant's)."""
+        if tenant is None:
+            return len(self.requests)
+        return sum(1 for r in self.requests if r.tenant == tenant)
+
+    def observed_rate(self, tenant: Optional[str] = None) -> float:
+        """Arrivals per traffic second actually generated."""
+        if self.horizon <= 0:
+            return 0.0
+        return self.count(tenant) / self.horizon
+
+    def save(self, path: str) -> None:
+        """Write the schedule as JSON (atomic rename, like the store)."""
+        doc = {
+            "schema_version": SCHEDULE_SCHEMA_VERSION,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "requests": [asdict(r) for r in self.requests],
+        }
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, indent=1)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    @classmethod
+    def load(cls, path: str) -> "TrafficSchedule":
+        """Read a schedule written by :meth:`save`."""
+        try:
+            with open(path, encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise TrafficError(
+                f"cannot read schedule {path!r}: {exc}"
+            ) from exc
+        if not isinstance(doc, dict):
+            raise TrafficError(
+                f"schedule {path!r}: expected a JSON object"
+            )
+        version = doc.get("schema_version")
+        if version != SCHEDULE_SCHEMA_VERSION:
+            raise TrafficError(
+                f"schedule {path!r}: schema_version {version!r} != "
+                f"{SCHEDULE_SCHEMA_VERSION}"
+            )
+        try:
+            requests = tuple(
+                ScheduledRequest(**row) for row in doc["requests"]
+            )
+            return cls(
+                seed=int(doc["seed"]),
+                horizon=float(doc["horizon"]),
+                requests=requests,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TrafficError(
+                f"schedule {path!r}: malformed payload ({exc})"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class TrafficGenerator:
+    """Generate a merged multi-tenant schedule from tenant profiles."""
+
+    tenants: Tuple[TenantProfile, ...]
+    seed: int = 0
+    horizon: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise TrafficError("a generator needs at least one tenant")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise TrafficError(f"duplicate tenant names: {names}")
+        if not math.isfinite(self.horizon) or self.horizon <= 0:
+            raise TrafficError(
+                f"horizon must be finite and > 0, got {self.horizon}"
+            )
+
+    def _tenant_rng(self, name: str) -> np.random.Generator:
+        """The tenant's independent substream (order-insensitive)."""
+        return np.random.default_rng(
+            [self.seed & 0xFFFFFFFF, zlib.crc32(name.encode("utf-8"))]
+        )
+
+    def generate(self) -> TrafficSchedule:
+        """Draw every tenant's stream and merge by arrival time."""
+        rows: List[ScheduledRequest] = []
+        for tenant in self.tenants:
+            rng = self._tenant_rng(tenant.name)
+            weights = None
+            if tenant.weights is not None:
+                total = sum(tenant.weights)
+                weights = [w / total for w in tenant.weights]
+            for index, time in enumerate(
+                tenant.arrivals.times(rng, self.horizon)
+            ):
+                units = int(tenant.sizes.draw(rng))
+                pick = int(rng.choice(len(tenant.workloads), p=weights))
+                rows.append(
+                    ScheduledRequest(
+                        time=float(time),
+                        tenant=tenant.name,
+                        workload=tenant.workloads[pick],
+                        units=units,
+                        priority=tenant.priority,
+                        deadline_cycles=tenant.deadline_cycles,
+                        index=index,
+                    )
+                )
+        rows.sort(key=lambda r: (r.time, r.tenant, r.index))
+        return TrafficSchedule(
+            seed=self.seed, horizon=self.horizon, requests=tuple(rows)
+        )

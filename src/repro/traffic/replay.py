@@ -1,0 +1,210 @@
+"""Replay a generated schedule against the real workload suite.
+
+A schedule names workloads abstractly (``"spmv-csr/random"``); this
+module resolves each ``(workload, units)`` pair to a concrete
+:class:`~repro.workloads.base.BenchmarkCase` — pool, argument factory,
+output checker — and turns schedule rows into serve-layer
+:class:`~repro.serve.ServeRequest` objects.
+
+Cases are cached per ``(workload, resolved size)``: heavy-tailed size
+draws are already power-of-two bucketed (:mod:`repro.traffic.sizes`),
+so a long schedule touches a bounded set of cases, and every request
+for the same case gets *fresh* argument buffers (outputs are written).
+
+The default catalog covers the 10 workload configurations of
+:mod:`repro.workloads`; tests that only need cheap classes pass a
+trimmed mapping instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..config import ReproConfig
+from ..errors import TrafficError
+from ..workloads import (
+    cutcp,
+    histogram,
+    kmeans,
+    particle_filter,
+    sgemm,
+    spmv_csr,
+    spmv_jds,
+    stencil,
+)
+from ..workloads.base import BenchmarkCase
+from .generator import ScheduledRequest, TrafficSchedule
+
+#: A catalog entry: ``(units, config) -> BenchmarkCase``.
+CaseBuilder = Callable[[int, ReproConfig], BenchmarkCase]
+
+
+def _clamp(value: int, lo: int, hi: int) -> int:
+    return max(lo, min(hi, value))
+
+
+def _spmv_csr_case(kind: str) -> CaseBuilder:
+    def build(units: int, config: ReproConfig) -> BenchmarkCase:
+        return spmv_csr.input_dependent_case(
+            "cpu", kind, _clamp(units, 512, 16384), config
+        )
+
+    return build
+
+
+def _spmv_jds_case(units: int, config: ReproConfig) -> BenchmarkCase:
+    return spmv_jds.vectorization_case(_clamp(units, 512, 8192), config)
+
+
+def _spmv_jds_schedule_case(
+    units: int, config: ReproConfig
+) -> BenchmarkCase:
+    return spmv_jds.schedule_case(_clamp(units, 512, 8192), config)
+
+
+def _sgemm_case(units: int, config: ReproConfig) -> BenchmarkCase:
+    # units are C tiles ((n / TILE)^2); invert and snap n to a tile grid.
+    n = _clamp(int(round(units**0.5)) * sgemm.TILE, 32, 96)
+    return sgemm.schedule_case(n, config)
+
+
+def _stencil_case(units: int, config: ReproConfig) -> BenchmarkCase:
+    depth = _clamp(units // 256, 4, 16)
+    return stencil.schedule_case((32, 32, depth), config)
+
+
+def _histogram_case(units: int, config: ReproConfig) -> BenchmarkCase:
+    elems = _clamp(units, 8, 512) * histogram.ELEMS_PER_UNIT
+    return histogram.swap_case("uniform", elems, config)
+
+
+def _kmeans_case(units: int, config: ReproConfig) -> BenchmarkCase:
+    points = _clamp(units, 8, 256) * kmeans.POINTS_PER_UNIT
+    return kmeans.schedule_case(points, config)
+
+
+def _cutcp_case(units: int, config: ReproConfig) -> BenchmarkCase:
+    return cutcp.mixed_case(
+        "cpu", (32, 32, _clamp(units // 64, 8, 32)), 2000, config
+    )
+
+
+def _particle_filter_case(
+    units: int, config: ReproConfig
+) -> BenchmarkCase:
+    particles = (
+        _clamp(units, 8, 128) * particle_filter.PARTICLES_PER_UNIT
+    )
+    return particle_filter.placement_case(particles, config)
+
+
+def default_catalog() -> Dict[str, CaseBuilder]:
+    """The 10-workload replay catalog over :mod:`repro.workloads`.
+
+    Each builder maps a (bucketed) unit draw onto the workload's own
+    size parameter, clamped into a range the simulator serves quickly;
+    the resulting case's ``workload_units`` — not the raw draw — is what
+    the serve request carries, so request sizes always match the
+    buffers behind them.
+    """
+    return {
+        "spmv-csr/random": _spmv_csr_case("random"),
+        "spmv-csr/diagonal": _spmv_csr_case("diagonal"),
+        "spmv-jds": _spmv_jds_case,
+        "spmv-jds/schedule": _spmv_jds_schedule_case,
+        "sgemm": _sgemm_case,
+        "stencil": _stencil_case,
+        "histogram": _histogram_case,
+        "kmeans": _kmeans_case,
+        "cutcp": _cutcp_case,
+        "particle-filter": _particle_filter_case,
+    }
+
+
+#: Workload names the default catalog resolves.
+DEFAULT_WORKLOADS: Tuple[str, ...] = (
+    "spmv-csr/random",
+    "spmv-csr/diagonal",
+    "spmv-jds",
+    "spmv-jds/schedule",
+    "sgemm",
+    "stencil",
+    "histogram",
+    "kmeans",
+    "cutcp",
+    "particle-filter",
+)
+
+
+class TrafficReplayer:
+    """Resolve schedule rows to cached benchmark cases and serve requests.
+
+    Not thread-safe by design: replay happens once, up front, before the
+    concurrent serve phase — the requests it returns are immutable and
+    each carries fresh argument buffers.
+    """
+
+    def __init__(
+        self,
+        config: ReproConfig,
+        catalog: Optional[Mapping[str, CaseBuilder]] = None,
+    ) -> None:
+        self.config = config
+        self.catalog: Dict[str, CaseBuilder] = dict(
+            catalog if catalog is not None else default_catalog()
+        )
+        self._cases: Dict[Tuple[str, int], BenchmarkCase] = {}
+
+    def case_for(self, workload: str, units: int) -> BenchmarkCase:
+        """The cached case serving one ``(workload, units)`` bucket."""
+        builder = self.catalog.get(workload)
+        if builder is None:
+            raise TrafficError(
+                f"workload {workload!r} is not in the replay catalog "
+                f"(known: {sorted(self.catalog)})"
+            )
+        key = (workload, units)
+        if key not in self._cases:
+            self._cases[key] = builder(units, self.config)
+        return self._cases[key]
+
+    def pools(self, schedule: TrafficSchedule):
+        """The distinct variant pools the schedule needs, by kernel name.
+
+        Register each on the scheduler before serving.  One workload's
+        buckets share a pool object (builders construct identical pools
+        per call; the first bucket's instance wins), so re-registration
+        churn — which would evict store entries — never happens.
+        """
+        pools = {}
+        for row in schedule.requests:
+            case = self.case_for(row.workload, row.units)
+            pools.setdefault(case.pool.name, case.pool)
+        return pools
+
+    def serve_requests(self, schedule: TrafficSchedule) -> List:
+        """Schedule rows as serve-layer requests, in schedule order.
+
+        Imported lazily to keep :mod:`repro.traffic` usable without the
+        serving layer (schedule generation is dependency-free).
+        """
+        from ..serve import ServeRequest
+
+        requests: List[ServeRequest] = []
+        for row in schedule.requests:
+            case = self.case_for(row.workload, row.units)
+            requests.append(
+                ServeRequest(
+                    kernel=case.pool.name,
+                    args=case.fresh_args(),
+                    workload_units=case.workload_units,
+                    tenant=row.tenant,
+                    priority=row.priority,
+                    deadline_cycles=row.deadline_cycles,
+                )
+            )
+        return requests
+
+    def checker(self, row: ScheduledRequest):
+        """The output validator for one schedule row (may be ``None``)."""
+        return self.case_for(row.workload, row.units).check

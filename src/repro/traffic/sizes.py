@@ -1,0 +1,144 @@
+"""Workload-size distributions: how many units one request carries.
+
+Production request sizes are heavy-tailed — most launches are small, a
+few are enormous — which is exactly the regime where selection caching
+pays (tiny launches skip profiling; rare huge launches amortize it).
+Two heavy-tailed families are provided (lognormal and Pareto) plus a
+degenerate fixed size for controlled tests.
+
+Drawn sizes are *bucketed to powers of two* by default
+(:func:`bucket_units`).  The serve layer's workload signatures already
+log2-bucket their size features (:func:`repro.serve.log2_bucket`), so
+un-bucketed heavy tails would explode the workload-class universe into
+one class per distinct draw — every request cold, nothing cacheable.
+Bucketing keeps the class count logarithmic in the size range while
+preserving the tail shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..errors import TrafficError
+
+
+@runtime_checkable
+class SizeDistribution(Protocol):
+    """Anything that can draw one request's workload units."""
+
+    def draw(self, rng: np.random.Generator) -> int:
+        """One size draw, in workload units (>= 1)."""
+        ...
+
+
+def bucket_units(units: float) -> int:
+    """Snap a raw size draw to the nearest power of two (>= 1).
+
+    "Nearest" in log space: 3 -> 4, 5 -> 4, 6 -> 8 — the same geometry
+    the serve layer's signature features use, so one bucket maps to one
+    workload class.
+    """
+    if units <= 1:
+        return 1
+    return 1 << int(round(math.log2(units)))
+
+
+def _clamp(value: float, lo: int, hi: Optional[int]) -> float:
+    if value < lo:
+        return float(lo)
+    if hi is not None and value > hi:
+        return float(hi)
+    return value
+
+
+@dataclass(frozen=True)
+class FixedSizes:
+    """Every request carries exactly ``units`` workload units."""
+
+    units: int
+
+    def __post_init__(self) -> None:
+        if self.units < 1:
+            raise TrafficError(f"units must be >= 1, got {self.units}")
+
+    def draw(self, rng: np.random.Generator) -> int:
+        return self.units
+
+
+@dataclass(frozen=True)
+class LognormalSizes:
+    """Lognormal sizes: ``median * exp(sigma * N(0, 1))``.
+
+    ``sigma`` controls the tail weight (0.5 is mild, 1.5 is heavy).
+    Draws are clamped into ``[min_units, max_units]`` and bucketed to
+    powers of two unless ``bucketed=False``.
+    """
+
+    median: float
+    sigma: float = 1.0
+    min_units: int = 1
+    max_units: Optional[int] = None
+    bucketed: bool = True
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.median) or self.median < 1:
+            raise TrafficError(
+                f"median must be finite and >= 1, got {self.median}"
+            )
+        if not math.isfinite(self.sigma) or self.sigma < 0:
+            raise TrafficError(
+                f"sigma must be finite and >= 0, got {self.sigma}"
+            )
+        if self.min_units < 1:
+            raise TrafficError(
+                f"min_units must be >= 1, got {self.min_units}"
+            )
+        if self.max_units is not None and self.max_units < self.min_units:
+            raise TrafficError(
+                f"max_units {self.max_units} < min_units {self.min_units}"
+            )
+
+    def draw(self, rng: np.random.Generator) -> int:
+        raw = self.median * math.exp(
+            self.sigma * float(rng.standard_normal())
+        )
+        raw = _clamp(raw, self.min_units, self.max_units)
+        return bucket_units(raw) if self.bucketed else max(1, int(raw))
+
+
+@dataclass(frozen=True)
+class ParetoSizes:
+    """Pareto (power-law) sizes: the classic heavy-tail model.
+
+    ``P(size > x) ~ (min_units / x) ** alpha``; smaller ``alpha`` means a
+    heavier tail (alpha <= 2 has infinite variance — cap it with
+    ``max_units`` for bounded benches).
+    """
+
+    alpha: float
+    min_units: int = 1
+    max_units: Optional[int] = None
+    bucketed: bool = True
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.alpha) or self.alpha <= 0:
+            raise TrafficError(
+                f"alpha must be finite and > 0, got {self.alpha}"
+            )
+        if self.min_units < 1:
+            raise TrafficError(
+                f"min_units must be >= 1, got {self.min_units}"
+            )
+        if self.max_units is not None and self.max_units < self.min_units:
+            raise TrafficError(
+                f"max_units {self.max_units} < min_units {self.min_units}"
+            )
+
+    def draw(self, rng: np.random.Generator) -> int:
+        raw = self.min_units * (1.0 + float(rng.pareto(self.alpha)))
+        raw = _clamp(raw, self.min_units, self.max_units)
+        return bucket_units(raw) if self.bucketed else max(1, int(raw))

@@ -612,3 +612,145 @@ class TestQuarantineInteraction:
         assert not result.profiled
         assert result.selected == "fast"
         assert "single-variant pool" in result.reason
+
+
+class TestBackpressureAxis:
+    """The serving layer's ``deferred`` flag (profiling backpressure,
+    :mod:`repro.serve.qos`) may only convert a would-be profile — a cold
+    micro-profile or a drift re-profile — into a profiling-off launch on
+    the best-known variant.  Every branch that was not going to profile
+    anyway must be byte-identical with and without it."""
+
+    DEFERRED_CATEGORIES = (
+        "micro-profile deferred",
+        "drift re-profile deferred",
+    )
+
+    @staticmethod
+    def categorize_deferred(reason):
+        """``categorize`` extended with the two backpressure reasons."""
+        if reason.startswith("micro-profile deferred by backpressure;"):
+            return "micro-profile deferred"
+        if reason.startswith("drift re-profile deferred by backpressure;"):
+            return "drift re-profile deferred"
+        return categorize(reason)
+
+    def decide(self, cell, config, deferred):
+        flag, cache_state, size, pinned, drift, pool_shape = cell
+        return policy.decide(
+            build_pool(pool_shape),
+            units_for(size, config),
+            flag,
+            build_cache(cache_state),
+            config,
+            pinned_variant=pinned,
+            drift_rearm=drift,
+            deferred=deferred,
+        )
+
+    @pytest.mark.parametrize(
+        "flag,cache_state,size,pinned,drift,pool_shape", MATRIX
+    )
+    def test_matrix_cell_with_backpressure(
+        self, flag, cache_state, size, pinned, drift, pool_shape, config
+    ):
+        cell = (flag, cache_state, size, pinned, drift, pool_shape)
+        baseline = self.decide(cell, config, False)
+        decision = self.decide(cell, config, True)
+        base_category = categorize(baseline.reason)
+        if base_category == "profiling activated":
+            expected = "micro-profile deferred"
+        elif base_category == "drift re-activation":
+            expected = "drift re-profile deferred"
+        else:
+            # Small workload, single variant, pinned, cached, default:
+            # none of these profile, so backpressure changes nothing.
+            assert decision == baseline
+            return
+        assert not decision.profile
+        assert self.categorize_deferred(decision.reason) == expected
+        # The fallback basis is oracle-checked, not just relabelled:
+        # a valid cached selection serves; anything else (empty or
+        # stale cache) drops to the pool default.
+        if cache_state == "cached":
+            assert "using cached selection" in decision.reason
+        else:
+            assert "using pool default" in decision.reason
+        if cache_state == "stale":
+            assert "evicted-variant" in decision.reason
+        pool = build_pool(pool_shape)
+        assert decision.variant_name in pool.variant_names
+
+    def test_matrix_reaches_both_deferred_categories(self, config):
+        reached = set()
+        for cell in MATRIX:
+            decision = self.decide(cell, config, True)
+            reached.add(self.categorize_deferred(decision.reason))
+        assert set(self.DEFERRED_CATEGORIES) <= reached
+
+    def test_prediction_beats_deferral(self, config):
+        """A confident prediction costs no profiling, so backpressure
+        has nothing to defer — the predicted serve goes through."""
+        predicted = Prediction(variant="fast", confidence=0.93)
+        decision = policy.decide(
+            build_pool("multi"),
+            units_for("large", config),
+            True,
+            SelectionCache(),
+            config,
+            predicted=predicted,
+            deferred=True,
+        )
+        assert not decision.profile
+        assert decision.reason.startswith("predicted selection ('fast'")
+        assert "deferred" not in decision.reason
+
+    def test_deferral_unused_when_dominance_leaves_one_survivor(
+        self, config
+    ):
+        decision = policy.decide(
+            build_pool("multi"),
+            units_for("large", config),
+            True,
+            SelectionCache(),
+            config,
+            dominated=("fast",),
+            deferred=True,
+        )
+        assert not decision.profile
+        assert decision.variant_name == "slow"
+        assert "statically dominated" in decision.reason
+        assert "deferred" not in decision.reason
+
+    def test_deferred_drift_rearm_leaves_cached_serving(self, config):
+        """A deferred drift re-profile keeps serving the (possibly
+        drifted) cached selection — stale-but-correct beats unprofiled."""
+        decision = policy.decide(
+            build_pool("multi"),
+            units_for("large", config),
+            False,
+            build_cache("cached"),
+            config,
+            drift_rearm=True,
+            deferred=True,
+        )
+        assert not decision.profile
+        assert decision.reason == (
+            "drift re-profile deferred by backpressure; "
+            "using cached selection"
+        )
+        assert decision.variant_name == "fast"
+
+    def test_deferred_cold_class_exact_reason(self, config):
+        decision = policy.decide(
+            build_pool("multi"),
+            units_for("large", config),
+            True,
+            SelectionCache(),
+            config,
+            deferred=True,
+        )
+        assert decision.reason == (
+            "micro-profile deferred by backpressure; using pool default"
+        )
+        assert decision.variant_name == "fast"

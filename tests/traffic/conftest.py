@@ -1,0 +1,41 @@
+"""Traffic-test helpers: a cheap axpy-backed replay catalog.
+
+The real :func:`repro.traffic.replay.default_catalog` resolves the 10
+paper workloads, which is what the bench exercises; tests that serve
+hundreds of requests concurrently use this synthetic catalog instead —
+one shared two-variant axpy pool where ``fast`` beats ``slow`` by
+construction, so the warm-store oracle is known without profiling.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import BenchmarkCase
+
+from tests.conftest import (
+    axpy_output_ok,
+    fast_slow_pool_build,
+    make_axpy_args,
+)
+
+
+def axpy_catalog(names=("axpy",), lo: int = 8, hi: int = 64):
+    """A replay catalog mapping each name onto the shared axpy pool.
+
+    All names share one pool *instance* (the replayer dedupes pools by
+    kernel name, so re-registration churn never happens); distinct unit
+    draws still produce distinct workload classes because the class
+    signature includes the unit count.
+    """
+    pool = fast_slow_pool_build()
+
+    def build(units: int, config) -> BenchmarkCase:
+        n = max(lo, min(hi, units))
+        return BenchmarkCase(
+            name=f"axpy/{n}",
+            pool=pool,
+            make_args=lambda: make_axpy_args(n, config),
+            workload_units=n,
+            check=axpy_output_ok,
+        )
+
+    return {name: build for name in names}

@@ -1,0 +1,144 @@
+"""Arrival-process properties: determinism, bounds, and rate accuracy."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrafficError
+from repro.traffic import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+)
+
+rates = st.floats(min_value=0.1, max_value=20.0)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+horizons = st.floats(min_value=1.0, max_value=50.0)
+
+processes = st.one_of(
+    st.builds(PoissonArrivals, rate=rates),
+    st.builds(
+        BurstyArrivals,
+        burst_rate=rates,
+        mean_burst=st.floats(min_value=0.5, max_value=5.0),
+        mean_gap=st.floats(min_value=0.5, max_value=5.0),
+        base_rate=st.floats(min_value=0.0, max_value=2.0),
+    ),
+    st.builds(
+        DiurnalArrivals,
+        base_rate=rates,
+        amplitude=st.floats(min_value=0.0, max_value=1.0),
+        period=st.floats(min_value=5.0, max_value=100.0),
+    ),
+)
+
+
+@given(processes, seeds, horizons)
+def test_times_deterministic_per_seed(process, seed, horizon):
+    """One seeded generator reproduces the identical arrival stream."""
+    a = process.times(np.random.default_rng(seed), horizon)
+    b = process.times(np.random.default_rng(seed), horizon)
+    assert a == b
+    assert isinstance(process, ArrivalProcess)
+
+
+@given(processes, seeds, horizons)
+def test_times_increasing_and_bounded(process, seed, horizon):
+    times = process.times(np.random.default_rng(seed), horizon)
+    assert all(0.0 <= t < horizon for t in times)
+    assert all(b > a for a, b in zip(times, times[1:]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(processes, seeds)
+@example(
+    process=BurstyArrivals(
+        burst_rate=18.5, mean_burst=1.0, mean_gap=3.0, base_rate=1.0
+    ),
+    seed=0,
+)
+@example(
+    process=DiurnalArrivals(base_rate=17.0, amplitude=1.0, period=73.0),
+    seed=0,
+)
+def test_observed_rate_matches_mean_rate(process, seed):
+    """Law of large numbers: long-horizon count tracks ``mean_rate``.
+
+    The horizon targets ~2000 expected arrivals — and, for the MMPP,
+    ~500 on/off state cycles, since burst-count variance is governed by
+    how many cycles fit in the horizon rather than by the arrival
+    count.  Either way the relative standard error lands under ~5%, so
+    the 20% tolerance is many sigmas out even under hypothesis's
+    adversarial search.  The diurnal horizon snaps to whole periods:
+    over a fractional period the sinusoid does not integrate away, so
+    the observed rate would be biased by the partial cycle rather than
+    scattered by sampling noise (the pinned example sits 1.6 periods
+    out and fails without the snap).
+    """
+    horizon = 2000.0 / process.mean_rate()
+    if isinstance(process, BurstyArrivals):
+        horizon = max(
+            horizon, 500.0 * (process.mean_burst + process.mean_gap)
+        )
+    if isinstance(process, DiurnalArrivals):
+        horizon = math.ceil(horizon / process.period) * process.period
+    times = process.times(np.random.default_rng(seed), horizon)
+    observed = len(times) / horizon
+    assert observed == pytest.approx(process.mean_rate(), rel=0.2)
+
+
+def test_bursty_is_overdispersed():
+    """MMPP arrival counts disperse more than Poisson (that's the point)."""
+    process = BurstyArrivals(burst_rate=20.0, mean_burst=1.0, mean_gap=4.0)
+    times = process.times(np.random.default_rng(7), 2000.0)
+    counts = np.bincount(
+        np.floor(np.asarray(times)).astype(int), minlength=2000
+    )
+    dispersion = counts.var() / counts.mean()
+    assert dispersion > 1.5
+
+
+def test_bursty_mean_rate_blends_states():
+    process = BurstyArrivals(
+        burst_rate=12.0, mean_burst=1.0, mean_gap=3.0, base_rate=2.0
+    )
+    assert process.mean_rate() == pytest.approx((12.0 + 3 * 2.0) / 4.0)
+
+
+def test_diurnal_rate_bounds():
+    process = DiurnalArrivals(base_rate=4.0, amplitude=0.5, period=10.0)
+    rates_seen = [process.rate_at(t / 10.0) for t in range(200)]
+    assert min(rates_seen) >= 4.0 * 0.5 - 1e-9
+    assert max(rates_seen) <= 4.0 * 1.5 + 1e-9
+
+
+@pytest.mark.parametrize(
+    "build",
+    [
+        lambda: PoissonArrivals(0.0),
+        lambda: PoissonArrivals(float("inf")),
+        lambda: BurstyArrivals(0.0, 1.0, 1.0),
+        lambda: BurstyArrivals(1.0, 0.0, 1.0),
+        lambda: BurstyArrivals(1.0, 1.0, -1.0),
+        lambda: BurstyArrivals(1.0, 1.0, 1.0, base_rate=-0.5),
+        lambda: DiurnalArrivals(0.0),
+        lambda: DiurnalArrivals(1.0, amplitude=1.5),
+        lambda: DiurnalArrivals(1.0, period=0.0),
+    ],
+)
+def test_invalid_parameters_raise(build):
+    with pytest.raises(TrafficError):
+        build()
+
+
+def test_invalid_horizon_raises():
+    process = PoissonArrivals(1.0)
+    for horizon in (0.0, -1.0, float("nan"), float("inf")):
+        with pytest.raises(TrafficError):
+            process.times(np.random.default_rng(0), horizon)

@@ -1,0 +1,188 @@
+"""Traffic chaos: random fault plans under bursty multi-client load.
+
+The serving invariant, now with QoS in front: whatever a fault plan and
+a bursty traffic mix do, every *committed* output is element-wise equal
+to the sequential reference — the only legal failures are a structured
+admission refusal or ``LaunchAbortedError`` — and the scheduler ends
+clean: no leaked profile leases, and the fleet still serves (and can
+still converge its selection store) after the storm.
+
+Seed convention matches ``tests/faults/test_chaos.py``: the CI chaos job
+replays the fixed default seed plus one randomized seed per run; replay
+locally with ``REPRO_CHAOS_SEED=<seed>``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, seed, settings, strategies as st  # noqa: E402
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+chaos_seed = seed(CHAOS_SEED)
+
+from repro.compiler.variants import VariantPool  # noqa: E402
+from repro.config import FaultPolicy, ReproConfig  # noqa: E402
+from repro.device import make_cpu  # noqa: E402
+from repro.errors import AdmissionRejected, LaunchAbortedError  # noqa: E402
+from repro.faults import FaultKind, FaultPlan, FaultRule  # noqa: E402
+from repro.kernel import AccessPattern, KernelSpec  # noqa: E402
+from repro.serve import LaunchScheduler, QoSConfig  # noqa: E402
+from repro.traffic import (  # noqa: E402
+    BurstyArrivals,
+    ParetoSizes,
+    TenantProfile,
+    TrafficGenerator,
+    TrafficReplayer,
+)
+from repro.workloads.base import BenchmarkCase  # noqa: E402
+
+from tests.conftest import (  # noqa: E402
+    axpy_output_ok,
+    axpy_signature,
+    make_axpy_args,
+    make_axpy_variant,
+)
+
+VARIANTS = ("fast", "mid", "slow")
+
+
+def chaos_pool():
+    return VariantPool(
+        spec=KernelSpec(signature=axpy_signature()),
+        variants=(
+            make_axpy_variant("fast", AccessPattern.UNIT_STRIDE),
+            make_axpy_variant("mid", AccessPattern.STRIDED, stride_bytes=32),
+            make_axpy_variant(
+                "slow", AccessPattern.STRIDED, stride_bytes=128
+            ),
+        ),
+    )
+
+
+def chaos_catalog(pool):
+    def build(units: int, config) -> BenchmarkCase:
+        n = max(128, min(512, units))
+        return BenchmarkCase(
+            name=f"axpy/{n}",
+            pool=pool,
+            make_args=lambda: make_axpy_args(n, config),
+            workload_units=n,
+            check=axpy_output_ok,
+        )
+
+    return {"axpy": build}
+
+
+rule_strategy = st.builds(
+    FaultRule,
+    kind=st.sampled_from(list(FaultKind)),
+    variant=st.sampled_from(VARIANTS + (None,) * 2),
+    count=st.one_of(st.none(), st.integers(min_value=1, max_value=4)),
+    after=st.integers(min_value=0, max_value=3),
+    probability=st.floats(min_value=0.25, max_value=1.0),
+    magnitude=st.floats(min_value=2.0, max_value=16.0),
+)
+
+plan_strategy = st.builds(
+    FaultPlan,
+    rules=st.lists(rule_strategy, min_size=0, max_size=3),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+
+
+@chaos_seed
+@settings(max_examples=5, deadline=None)
+@given(
+    plan=plan_strategy,
+    traffic_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_bursty_chaos_commits_reference_or_aborts(plan, traffic_seed):
+    config = replace(
+        ReproConfig(), faults=FaultPolicy(quarantine_threshold=2)
+    )
+    profile = TenantProfile(
+        "storm",
+        BurstyArrivals(burst_rate=10.0, mean_burst=1.0, mean_gap=1.0),
+        ParetoSizes(1.2, min_units=128, max_units=512),
+        workloads=("axpy",),
+    )
+    schedule = TrafficGenerator(
+        (profile,), seed=traffic_seed, horizon=3.0
+    ).generate()
+    pool = chaos_pool()
+    replayer = TrafficReplayer(config, catalog=chaos_catalog(pool))
+    requests = replayer.serve_requests(schedule)
+
+    scheduler = LaunchScheduler(
+        (make_cpu(config), make_cpu(config)),
+        config=config,
+        fault_plan=plan,
+        qos=QoSConfig(
+            max_queue_depth=8,
+            defer_watermark=0.5,
+            resume_watermark=0.25,
+        ),
+    )
+    scheduler.register_pool(pool)
+
+    served = []
+    lock = threading.Lock()
+    work = list(requests)
+
+    def client():
+        while True:
+            with lock:
+                if not work:
+                    return
+                request = work.pop()
+            try:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore")
+                    scheduler.launch(request)
+            except (AdmissionRejected, LaunchAbortedError):
+                continue
+            with lock:
+                served.append(request)
+
+    threads = [threading.Thread(target=client) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120.0)
+    assert not any(t.is_alive() for t in threads)
+
+    # No silent corruption: every committed output equals the exact
+    # reference (2*x is exact in float32 — any scribble shows up).
+    for request in served:
+        x = request.args["x"].data
+        y = request.args["y"].data
+        assert np.array_equal(y, 2.0 * x)
+
+    # No lease leaks: aborted, deferred, and completed launches all
+    # released (or never created) their profile-lease entries.
+    assert len(scheduler.leases) == 0
+
+    # The fleet still serves after the storm — quarantine converged on
+    # surviving variants rather than wedging the pool — and any
+    # published selection names a real variant.
+    args = make_axpy_args(256, config)
+    from repro.serve import ServeRequest
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        try:
+            scheduler.launch(ServeRequest("axpy", args, 256))
+        except LaunchAbortedError:
+            pass
+        else:
+            assert axpy_output_ok(args)
+    for key in scheduler.store.keys():
+        assert scheduler.store.lookup(key).selected in VARIANTS

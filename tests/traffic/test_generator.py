@@ -1,0 +1,317 @@
+"""Generator properties: determinism, tenant independence, replay files."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrafficError
+from repro.traffic import (
+    BurstyArrivals,
+    FixedSizes,
+    LognormalSizes,
+    ParetoSizes,
+    PoissonArrivals,
+    SCHEDULE_SCHEMA_VERSION,
+    ScheduledRequest,
+    TenantProfile,
+    TrafficGenerator,
+    TrafficSchedule,
+    bucket_units,
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def make_profiles(names=("alpha", "beta")):
+    return tuple(
+        TenantProfile(
+            name,
+            PoissonArrivals(3.0 + i),
+            LognormalSizes(64, sigma=0.8, max_units=1024),
+            workloads=("wl-a", "wl-b"),
+            weights=(0.7, 0.3),
+            priority=i,
+        )
+        for i, name in enumerate(names)
+    )
+
+
+# ----------------------------------------------------------------------
+# Size distributions
+# ----------------------------------------------------------------------
+
+
+@given(st.floats(min_value=1.0, max_value=2**20))
+def test_bucket_units_is_power_of_two(raw):
+    bucket = bucket_units(raw)
+    assert bucket >= 1
+    assert bucket & (bucket - 1) == 0
+    # Nearest in log space: off by at most one octave.
+    assert 0.5 < bucket / raw < 2.0
+
+
+@given(
+    st.one_of(
+        st.builds(
+            LognormalSizes,
+            median=st.floats(min_value=1.0, max_value=4096.0),
+            sigma=st.floats(min_value=0.0, max_value=2.0),
+            max_units=st.just(1 << 16),
+        ),
+        st.builds(
+            ParetoSizes,
+            alpha=st.floats(min_value=0.5, max_value=4.0),
+            min_units=st.integers(min_value=1, max_value=64),
+            max_units=st.just(1 << 16),
+        ),
+    ),
+    seeds,
+)
+def test_size_draws_bucketed_and_bounded(dist, seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(50):
+        draw = dist.draw(rng)
+        assert draw >= 1
+        assert draw & (draw - 1) == 0
+        assert draw <= 2 * (1 << 16)  # bucketing may round the cap up once
+
+
+def test_unbucketed_draws_pass_through():
+    dist = LognormalSizes(100, sigma=0.0, bucketed=False)
+    assert dist.draw(np.random.default_rng(0)) == 100
+
+
+def test_fixed_sizes_and_validation():
+    assert FixedSizes(7).draw(np.random.default_rng(0)) == 7
+    for build in (
+        lambda: FixedSizes(0),
+        lambda: LognormalSizes(0.5),
+        lambda: LognormalSizes(10, sigma=-1),
+        lambda: LognormalSizes(10, min_units=8, max_units=4),
+        lambda: ParetoSizes(0.0),
+        lambda: ParetoSizes(1.0, min_units=0),
+    ):
+        with pytest.raises(TrafficError):
+            build()
+
+
+# ----------------------------------------------------------------------
+# Generation: determinism and independence
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(seeds)
+def test_generate_is_deterministic(seed):
+    profiles = make_profiles()
+    a = TrafficGenerator(profiles, seed=seed, horizon=10.0).generate()
+    b = TrafficGenerator(profiles, seed=seed, horizon=10.0).generate()
+    assert a == b
+
+
+@settings(max_examples=25, deadline=None)
+@given(seeds)
+def test_tenant_order_does_not_matter(seed):
+    """Reordering the profile tuple yields the identical merged schedule."""
+    profiles = make_profiles()
+    fwd = TrafficGenerator(profiles, seed=seed, horizon=10.0).generate()
+    rev = TrafficGenerator(
+        tuple(reversed(profiles)), seed=seed, horizon=10.0
+    ).generate()
+    assert fwd == rev
+
+
+@settings(max_examples=25, deadline=None)
+@given(seeds)
+def test_adding_a_tenant_preserves_existing_streams(seed):
+    """Tenant substreams are independent: a new tenant perturbs nothing."""
+    base = make_profiles(("alpha", "beta"))
+    grown = make_profiles(("alpha", "beta", "gamma"))
+    before = TrafficGenerator(base, seed=seed, horizon=10.0).generate()
+    after = TrafficGenerator(grown, seed=seed, horizon=10.0).generate()
+
+    def stream(schedule, tenant):
+        return [r for r in schedule.requests if r.tenant == tenant]
+
+    for tenant in ("alpha", "beta"):
+        assert stream(before, tenant) == stream(after, tenant)
+
+
+def test_schedule_sorted_and_indexed():
+    schedule = TrafficGenerator(
+        make_profiles(), seed=11, horizon=20.0
+    ).generate()
+    times = [r.time for r in schedule.requests]
+    assert times == sorted(times)
+    for tenant in schedule.tenants():
+        indices = [
+            r.index for r in schedule.requests if r.tenant == tenant
+        ]
+        assert indices == list(range(len(indices)))
+
+
+@settings(max_examples=15, deadline=None)
+@given(seeds)
+def test_observed_rate_within_tolerance(seed):
+    profile = TenantProfile(
+        "solo", PoissonArrivals(5.0), FixedSizes(32)
+    )
+    schedule = TrafficGenerator(
+        (profile,), seed=seed, horizon=400.0
+    ).generate()
+    assert schedule.observed_rate("solo") == pytest.approx(5.0, rel=0.15)
+
+
+def test_zero_weight_workload_never_picked():
+    profile = TenantProfile(
+        "picky",
+        PoissonArrivals(10.0),
+        FixedSizes(16),
+        workloads=("always", "never"),
+        weights=(1.0, 0.0),
+    )
+    schedule = TrafficGenerator((profile,), seed=5, horizon=20.0).generate()
+    assert schedule.count() > 0
+    assert {r.workload for r in schedule.requests} == {"always"}
+
+
+def test_rows_carry_qos_contract():
+    profile = TenantProfile(
+        "sla",
+        PoissonArrivals(5.0),
+        FixedSizes(16),
+        priority=0,
+        deadline_cycles=1e6,
+    )
+    schedule = TrafficGenerator((profile,), seed=1, horizon=5.0).generate()
+    assert all(r.priority == 0 for r in schedule.requests)
+    assert all(r.deadline_cycles == 1e6 for r in schedule.requests)
+
+
+# ----------------------------------------------------------------------
+# Replay files
+# ----------------------------------------------------------------------
+
+
+def test_save_load_roundtrip(tmp_path):
+    schedule = TrafficGenerator(
+        make_profiles(), seed=42, horizon=10.0
+    ).generate()
+    path = str(tmp_path / "sched.json")
+    schedule.save(path)
+    assert TrafficSchedule.load(path) == schedule
+
+
+def test_load_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "sched.json"
+    path.write_text(
+        json.dumps(
+            {
+                "schema_version": SCHEDULE_SCHEMA_VERSION + 1,
+                "seed": 0,
+                "horizon": 1.0,
+                "requests": [],
+            }
+        )
+    )
+    with pytest.raises(TrafficError, match="schema_version"):
+        TrafficSchedule.load(str(path))
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "not json at all",
+        json.dumps([1, 2, 3]),
+        json.dumps({"schema_version": 1, "seed": 0, "horizon": 1.0}),
+        json.dumps(
+            {
+                "schema_version": 1,
+                "seed": 0,
+                "horizon": 1.0,
+                "requests": [{"bogus": True}],
+            }
+        ),
+    ],
+)
+def test_load_rejects_malformed(tmp_path, payload):
+    path = tmp_path / "bad.json"
+    path.write_text(payload)
+    with pytest.raises(TrafficError):
+        TrafficSchedule.load(str(path))
+
+
+def test_load_missing_file_raises():
+    with pytest.raises(TrafficError):
+        TrafficSchedule.load("/nonexistent/sched.json")
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+
+
+def test_generator_validation():
+    profile = make_profiles(("solo",))
+    with pytest.raises(TrafficError):
+        TrafficGenerator(())
+    with pytest.raises(TrafficError):
+        TrafficGenerator(profile + profile)
+    with pytest.raises(TrafficError):
+        TrafficGenerator(profile, horizon=0.0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"name": ""},
+        {"workloads": ()},
+        {"workloads": ("a", "b"), "weights": (1.0,)},
+        {"workloads": ("a", "b"), "weights": (0.0, 0.0)},
+        {"workloads": ("a", "b"), "weights": (-1.0, 2.0)},
+        {"priority": -1},
+        {"weight": 0.0},
+        {"deadline_cycles": 0.0},
+    ],
+)
+def test_tenant_profile_validation(kwargs):
+    base = {
+        "name": "t",
+        "arrivals": PoissonArrivals(1.0),
+        "sizes": FixedSizes(8),
+    }
+    base.update(kwargs)
+    with pytest.raises(TrafficError):
+        TenantProfile(**base)
+
+
+def test_schedule_helpers_on_empty():
+    empty = TrafficSchedule(seed=0, horizon=0.0)
+    assert empty.tenants() == ()
+    assert empty.count() == 0
+    assert empty.observed_rate() == 0.0
+
+
+def test_scheduled_request_defaults():
+    row = ScheduledRequest(time=1.0, tenant="t", workload="w", units=8)
+    assert row.priority == 1
+    assert row.deadline_cycles is None
+    assert row.index == 0
+
+
+def test_bursty_generator_mixes_states():
+    profile = TenantProfile(
+        "bursty",
+        BurstyArrivals(burst_rate=20.0, mean_burst=1.0, mean_gap=3.0),
+        ParetoSizes(1.5, min_units=8, max_units=256),
+    )
+    schedule = TrafficGenerator((profile,), seed=9, horizon=60.0).generate()
+    assert schedule.count() > 0
+    assert schedule.observed_rate() == pytest.approx(
+        profile.arrivals.mean_rate(), rel=0.5
+    )

@@ -1,0 +1,347 @@
+"""AdmissionController units: ordering, bounds, aging, and hysteresis."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import AdmissionRejected, ServeError
+from repro.serve import AdmissionController, QoSConfig, TenantSpec
+
+TIMEOUT = 5.0
+
+
+def wait_until(predicate, timeout=TIMEOUT):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.001)
+    raise AssertionError("condition not reached in time")
+
+
+class Client:
+    """One admit() call on its own thread, with an observable outcome."""
+
+    def __init__(self, controller, tenant, priority=1, weight=1.0,
+                 deadline=None, order=None):
+        self.controller = controller
+        self.tenant = tenant
+        self.order = order if order is not None else []
+        self.admitted = threading.Event()
+        self.error = None
+        self.thread = threading.Thread(
+            target=self._run, args=(priority, weight, deadline), daemon=True
+        )
+
+    def _run(self, priority, weight, deadline):
+        try:
+            self.controller.admit(self.tenant, priority, weight, deadline)
+        except AdmissionRejected as exc:
+            self.error = exc
+            return
+        self.order.append(self.tenant)
+        self.admitted.set()
+
+    def start(self):
+        self.thread.start()
+        return self
+
+    def finish(self):
+        """Release this client's slot after it was admitted."""
+        assert self.admitted.wait(TIMEOUT), f"{self.tenant} never admitted"
+        self.controller.release(self.tenant)
+
+
+def drain(controller, clients):
+    """Admit queued clients one at a time, recording the order."""
+    finished = set()
+    for _ in range(len(clients)):
+        wait_until(
+            lambda: any(
+                c.admitted.is_set() and id(c) not in finished
+                for c in clients
+            )
+        )
+        ready = [
+            c
+            for c in clients
+            if c.admitted.is_set() and id(c) not in finished
+        ]
+        assert len(ready) == 1, "one release admits exactly one waiter"
+        ready[0].finish()
+        finished.add(id(ready[0]))
+
+
+def make_controller(capacity=1, **kwargs):
+    kwargs.setdefault("max_queue_depth", 16)
+    return AdmissionController(QoSConfig(**kwargs), capacity=capacity)
+
+
+def occupy(controller, tenant="holder"):
+    assert controller.admit(tenant, priority=0, weight=1.0) == 0
+    return tenant
+
+
+def queue_up(controller, specs, order):
+    """Start one blocked client per spec and wait until all are queued."""
+    base = controller.snapshot()["waiting"]
+    clients = []
+    for spec in specs:
+        clients.append(
+            Client(controller, order=order, **spec).start()
+        )
+        # Enqueue one at a time so ticket order matches spec order.
+        wait_until(
+            lambda n=base + len(clients): (
+                controller.snapshot()["waiting"] == n
+            )
+        )
+    return clients
+
+
+def test_immediate_admission_under_capacity():
+    controller = make_controller(capacity=2)
+    assert controller.admit("a", 1, 1.0) == 0
+    assert controller.admit("b", 1, 1.0) == 0
+    snap = controller.snapshot()
+    assert snap["inflight"] == 2
+    assert snap["admitted"] == 2
+    assert snap["waiting"] == 0
+
+
+def test_bounded_queue_rejects_with_structured_error():
+    controller = make_controller(capacity=1, max_queue_depth=1)
+    occupy(controller)
+    order = []
+    queue_up(controller, [{"tenant": "queued"}], order)
+    with pytest.raises(AdmissionRejected) as exc_info:
+        controller.admit("spill", 1, 1.0)
+    exc = exc_info.value
+    assert exc.tenant == "spill"
+    assert exc.queue_depth == 1
+    assert exc.limit == 1
+    snap = controller.snapshot()
+    assert snap["rejected"] == 1
+    assert snap["rejected_by_tenant"] == {"spill": 1}
+
+
+def test_strict_priority_classes_admit_highest_first():
+    controller = make_controller(capacity=1)
+    holder = occupy(controller)
+    order = []
+    clients = queue_up(
+        controller,
+        [
+            {"tenant": "low", "priority": 2},
+            {"tenant": "high", "priority": 0},
+            {"tenant": "mid", "priority": 1},
+        ],
+        order,
+    )
+    controller.release(holder)
+    drain(controller, clients)
+    assert order == ["high", "mid", "low"]
+
+
+def test_edf_within_a_priority_class():
+    controller = make_controller(capacity=1)
+    holder = occupy(controller)
+    order = []
+    clients = queue_up(
+        controller,
+        [
+            {"tenant": "late", "deadline": 30.0},
+            {"tenant": "soon", "deadline": 10.0},
+            {"tenant": "mid", "deadline": 20.0},
+            {"tenant": "never"},  # no deadline sorts last
+        ],
+        order,
+    )
+    controller.release(holder)
+    drain(controller, clients)
+    assert order == ["soon", "mid", "late", "never"]
+
+
+def test_weighted_fair_share_prefers_underserved_tenant():
+    controller = make_controller(capacity=2)
+    # Both slots held by "a"; its inflight-per-weight is 2/1.
+    occupy(controller, "a")
+    occupy(controller, "a")
+    order = []
+    clients = queue_up(
+        controller,
+        [
+            {"tenant": "a", "weight": 1.0},
+            {"tenant": "b", "weight": 1.0},
+        ],
+        order,
+    )
+    controller.release("a")
+    wait_until(lambda: len(order) == 1)
+    # "b" has zero inflight; it wins despite "a" arriving first.
+    assert order == ["b"]
+    controller.release("a")
+    drain(controller, [c for c in clients if c.tenant == "a"])
+    assert order == ["b", "a"]
+
+
+def test_aging_promotes_bypassed_waiter():
+    """A sustained high-priority stream cannot starve a queued tenant.
+
+    Fresh foreground arrivals always have zero bypasses while the
+    background waiter accumulates one per admission; once it crosses
+    ``max_bypass`` it preempts strictly-higher-priority newcomers.
+    """
+    controller = make_controller(capacity=1, max_bypass=2)
+    holder = occupy(controller)
+    order = []
+    clients = queue_up(
+        controller,
+        [
+            {"tenant": "bg", "priority": 5},
+            {"tenant": "fg1", "priority": 0},
+        ],
+        order,
+    )
+    controller.release(holder)
+    wait_until(lambda: len(order) == 1)  # fg1 in; bg bypassed once
+    clients += queue_up(controller, [{"tenant": "fg2", "priority": 0}], order)
+    clients[1].finish()
+    wait_until(lambda: len(order) == 2)  # fg2 in; bg bypassed twice
+    clients += queue_up(controller, [{"tenant": "fg3", "priority": 0}], order)
+    drain(controller, [c for c in clients if c.tenant != "fg1"])
+    # bg aged past max_bypass=2, so it beats the fresh fg3.
+    assert order == ["fg1", "fg2", "bg", "fg3"]
+
+
+def test_hysteresis_engages_and_releases():
+    controller = make_controller(
+        capacity=1,
+        max_queue_depth=4,
+        defer_watermark=0.5,
+        resume_watermark=0.25,
+    )
+    holder = occupy(controller)
+    assert not controller.deferring
+    order = []
+    clients = queue_up(
+        controller, [{"tenant": f"t{i}"} for i in range(2)], order
+    )
+    # 2 waiting / 4 bound = 0.5 >= defer watermark.
+    assert controller.deferring
+    assert controller.pressure() == pytest.approx(0.5)
+    controller.release(holder)
+    wait_until(lambda: len(order) == 1)
+    # 1 waiting / 4 = 0.25 <= resume watermark: released.
+    assert not controller.deferring
+    assert controller.snapshot()["defer_transitions"] == 1
+    order[:] = []
+    drain(controller, clients)
+
+
+def test_zero_watermark_defers_permanently():
+    controller = make_controller(capacity=4, defer_watermark=0.0,
+                                 resume_watermark=0.0)
+    assert not controller.deferring  # nothing admitted yet
+    controller.admit("a", 1, 1.0)
+    assert controller.deferring  # engaged from the very first admit
+    controller.release("a")
+    assert controller.deferring  # and pinned: resume never fires
+
+
+def test_high_watermark_never_defers():
+    controller = make_controller(
+        capacity=1, max_queue_depth=2, defer_watermark=2.0,
+        resume_watermark=0.0,
+    )
+    holder = occupy(controller)
+    order = []
+    clients = queue_up(
+        controller, [{"tenant": f"t{i}"} for i in range(2)], order
+    )
+    assert controller.pressure() == pytest.approx(1.0)
+    assert not controller.deferring
+    controller.release(holder)
+    drain(controller, clients)
+
+
+def test_release_without_waiters_is_safe():
+    controller = make_controller(capacity=1)
+    occupy(controller, "a")
+    controller.release("a")
+    controller.release("ghost")  # over-release must not wedge state
+    assert controller.snapshot()["inflight"] == 0
+    assert controller.admit("b", 1, 1.0) == 0
+
+
+def test_bypass_count_returned_to_caller():
+    controller = make_controller(capacity=1)
+    holder = occupy(controller)
+    results = {}
+
+    def run(tenant, priority):
+        results[tenant] = controller.admit(tenant, priority, 1.0)
+
+    threads = [threading.Thread(target=run, args=("slow", 9), daemon=True)]
+    threads[0].start()
+    wait_until(lambda: controller.snapshot()["waiting"] == 1)
+    threads.append(
+        threading.Thread(target=run, args=("fast", 0), daemon=True)
+    )
+    threads[-1].start()
+    wait_until(lambda: controller.snapshot()["waiting"] == 2)
+    controller.release(holder)
+    wait_until(lambda: "fast" in results)
+    controller.release("fast")
+    wait_until(lambda: "slow" in results)
+    controller.release("slow")
+    assert results["fast"] == 0
+    assert results["slow"] == 1  # bypassed once by the fast tenant
+
+
+def test_capacity_validation():
+    with pytest.raises(ServeError):
+        AdmissionController(QoSConfig(), capacity=0)
+
+
+def test_qos_config_validation():
+    with pytest.raises(ServeError):
+        QoSConfig(max_queue_depth=0)
+    with pytest.raises(ServeError):
+        QoSConfig(max_inflight=0)
+    with pytest.raises(ServeError):
+        QoSConfig(defer_watermark=-0.1)
+    with pytest.raises(ServeError):
+        QoSConfig(defer_watermark=0.25, resume_watermark=0.5)
+    with pytest.raises(ServeError):
+        QoSConfig(max_bypass=0)
+    with pytest.raises(ServeError):
+        QoSConfig(tenants=(TenantSpec("a"), TenantSpec("a")))
+
+
+def test_tenant_spec_validation():
+    with pytest.raises(ServeError):
+        TenantSpec("")
+    with pytest.raises(ServeError):
+        TenantSpec("t", priority=-1)
+    with pytest.raises(ServeError):
+        TenantSpec("t", weight=0.0)
+    with pytest.raises(ServeError):
+        TenantSpec("t", deadline_cycles=0.0)
+
+
+def test_spec_resolution():
+    listed = TenantSpec("vip", priority=0, weight=4.0)
+    config = QoSConfig(
+        tenants=(listed,),
+        default_tenant=TenantSpec("default", priority=3),
+    )
+    assert config.spec("vip") == listed
+    assert config.spec(None) == config.default_tenant
+    assert config.spec("default") == config.default_tenant
+    anon = config.spec("walk-in")
+    assert anon.name == "walk-in"
+    assert anon.priority == 3

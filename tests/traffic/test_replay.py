@@ -1,0 +1,123 @@
+"""Replayer units: the default catalog, case caching, and request rows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ReproConfig
+from repro.errors import TrafficError
+from repro.traffic import (
+    DEFAULT_WORKLOADS,
+    FixedSizes,
+    PoissonArrivals,
+    TenantProfile,
+    TrafficGenerator,
+    TrafficReplayer,
+    default_catalog,
+)
+
+from tests.traffic.conftest import axpy_catalog
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ReproConfig()
+
+
+@pytest.fixture(scope="module")
+def replayer(config):
+    return TrafficReplayer(config)
+
+
+class TestDefaultCatalog:
+    def test_covers_every_default_workload(self):
+        assert set(default_catalog()) == set(DEFAULT_WORKLOADS)
+
+    @pytest.mark.parametrize("workload", DEFAULT_WORKLOADS)
+    def test_every_builder_yields_a_servable_case(self, replayer, workload):
+        case = replayer.case_for(workload, 600)
+        # The case's own units — not the raw draw — back the request,
+        # so sizes always match the buffers behind them.
+        assert case.workload_units > 0
+        assert case.pool.name
+        assert len(case.pool.variants) >= 2
+        assert callable(case.make_args)
+
+    @pytest.mark.parametrize("workload", DEFAULT_WORKLOADS)
+    def test_draws_clamp_instead_of_exploding(self, replayer, workload):
+        tiny = replayer.case_for(workload, 1)
+        huge = replayer.case_for(workload, 1 << 30)
+        assert 0 < tiny.workload_units <= huge.workload_units
+
+    def test_distinct_buckets_distinct_cases_same_pool(self, replayer):
+        small = replayer.case_for("spmv-csr/random", 1024)
+        large = replayer.case_for("spmv-csr/random", 8192)
+        assert small is not large
+        assert small.workload_units != large.workload_units
+        assert small.pool.name == large.pool.name
+
+
+class TestReplayerSurface:
+    def test_case_for_caches_per_bucket(self, replayer):
+        assert replayer.case_for("kmeans", 256) is replayer.case_for(
+            "kmeans", 256
+        )
+
+    def test_unknown_workload_is_a_structured_error(self, replayer):
+        with pytest.raises(TrafficError, match="not in the replay catalog"):
+            replayer.case_for("made-up", 128)
+
+    def test_requests_carry_schedule_row_contracts(self, config):
+        profile = TenantProfile(
+            "t",
+            PoissonArrivals(8.0),
+            FixedSizes(32),
+            workloads=("axpy",),
+            priority=3,
+            deadline_cycles=5e6,
+        )
+        schedule = TrafficGenerator(
+            (profile,), seed=7, horizon=2.0
+        ).generate()
+        assert schedule.count() > 0
+        replayer = TrafficReplayer(config, catalog=axpy_catalog())
+        requests = replayer.serve_requests(schedule)
+        assert len(requests) == schedule.count()
+        seen_args = set()
+        for row, request in zip(schedule.requests, requests):
+            assert request.tenant == row.tenant == "t"
+            assert request.priority == 3
+            assert request.deadline_cycles == 5e6
+            case = replayer.case_for(row.workload, row.units)
+            assert request.workload_units == case.workload_units
+            # Fresh buffers per request: outputs are written.
+            assert id(request.args) not in seen_args
+            seen_args.add(id(request.args))
+
+    def test_pools_dedupe_by_kernel_name(self, config):
+        profile = TenantProfile(
+            "t",
+            PoissonArrivals(8.0),
+            FixedSizes(32),
+            workloads=("axpy", "axpy2"),
+        )
+        schedule = TrafficGenerator(
+            (profile,), seed=11, horizon=2.0
+        ).generate()
+        replayer = TrafficReplayer(
+            config, catalog=axpy_catalog(names=("axpy", "axpy2"))
+        )
+        pools = replayer.pools(schedule)
+        # Both catalog names resolve to one shared pool instance.
+        assert len(pools) == 1
+
+    def test_checker_resolves_the_row_case_validator(self, config):
+        profile = TenantProfile(
+            "t", PoissonArrivals(8.0), FixedSizes(32), workloads=("axpy",)
+        )
+        schedule = TrafficGenerator(
+            (profile,), seed=13, horizon=1.0
+        ).generate()
+        replayer = TrafficReplayer(config, catalog=axpy_catalog())
+        for row in schedule.requests:
+            assert callable(replayer.checker(row))
